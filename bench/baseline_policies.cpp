@@ -1,0 +1,69 @@
+// Non-learning baselines vs the learned PFDRL policy: oracle (upper
+// bound), reactive meter rule, night timer, and the passive no-EMS
+// baseline. Brackets how much of the headroom the DQN actually captures.
+#include "common.hpp"
+
+#include "core/pipeline.hpp"
+#include "ems/policies.hpp"
+
+int main() {
+  using namespace pfdrl;
+  bench::print_figure_header(
+      "Baseline policies vs learned PFDRL",
+      "(extension) the DQN should approach the oracle and clear every "
+      "heuristic");
+
+  const auto scenario = bench::bench_scenario(/*days=*/6);
+  const std::size_t day = data::kMinutesPerDay;
+
+  // Train PFDRL once.
+  auto cfg = sim::bench_pipeline(core::EmsMethod::kPfdrl);
+  core::EmsPipeline pipeline(scenario.traces, cfg);
+  pipeline.train_forecasters(0, 2 * day);
+  pipeline.train_ems(2 * day, 5 * day);
+  const auto learned = pipeline.evaluate(5 * day, 6 * day);
+
+  // Score the fixed policies over the same evaluation day.
+  struct Row {
+    const char* label;
+    ems::EpisodeResult result;
+  };
+  std::vector<Row> rows = {{"oracle (upper bound)", {}},
+                           {"reactive meter rule", {}},
+                           {"night timer (0-6h)", {}},
+                           {"passive (no EMS)", {}},
+                           {"PFDRL (learned)", {}}};
+  for (const auto& r : learned) rows[4].result.merge(r);
+
+  for (std::size_t h = 0; h < scenario.traces.size(); ++h) {
+    for (const auto& dev : scenario.traces[h].devices) {
+      if (dev.spec.protected_device) continue;
+      ems::EmsEnvironment env(
+          dev, std::vector<double>(day, dev.spec.standby_watts), 5 * day,
+          cfg.meter_interval_minutes);
+      rows[0].result.merge(
+          ems::score_actions(env, ems::oracle_actions(env)));
+      rows[1].result.merge(
+          ems::score_actions(env, ems::reactive_actions(env)));
+      rows[2].result.merge(
+          ems::score_actions(env, ems::timer_actions(env, 0, 6)));
+      rows[3].result.merge(
+          ems::score_actions(env, ems::passive_actions(env)));
+    }
+  }
+
+  util::TextTable table({"policy", "net saved frac", "gross frac",
+                         "violations/client", "reward/step"});
+  const auto homes = static_cast<double>(scenario.num_homes());
+  for (const auto& row : rows) {
+    const auto& r = row.result;
+    table.add_row(
+        {row.label, util::fmt_double(r.net_saved_fraction(), 3),
+         util::fmt_double(r.saved_fraction(), 3),
+         util::fmt_double(static_cast<double>(r.comfort_violations) / homes,
+                          1),
+         util::fmt_double(r.total_reward / static_cast<double>(r.steps), 2)});
+  }
+  table.print();
+  return 0;
+}

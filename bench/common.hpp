@@ -1,0 +1,40 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every binary regenerates one table/figure of the paper's evaluation
+// section (see DESIGN.md §4 for the index) and prints the series as an
+// aligned text table. Scales are chosen for single-core laptop runtimes;
+// absolute numbers therefore differ from the paper's testbed, but the
+// *shape* (ordering, optima, crossovers) is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
+#include "util/table.hpp"
+
+namespace pfdrl::bench {
+
+/// Standard bench neighbourhood: 5 homes, seeded; `days` trace days.
+inline sim::Scenario bench_scenario(std::size_t days,
+                                    std::uint32_t homes = 5,
+                                    std::uint64_t seed = 42) {
+  sim::ScenarioConfig cfg;
+  cfg.neighborhood.num_households = homes;
+  cfg.neighborhood.min_devices = 4;
+  cfg.neighborhood.max_devices = 5;
+  cfg.neighborhood.seed = seed;
+  cfg.trace.days = days;
+  cfg.trace.seed = seed;
+  return sim::Scenario::generate(cfg);
+}
+
+inline void print_figure_header(const std::string& figure,
+                                const std::string& paper_claim) {
+  std::printf("=== %s ===\n", figure.c_str());
+  std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+}  // namespace pfdrl::bench

@@ -1,0 +1,56 @@
+// Figure 5 — CDF of per-prediction load-forecasting accuracy for the
+// four methods. Paper: LR < SVM < BP < LSTM stochastically.
+#include "common.hpp"
+
+#include "fl/dfl.hpp"
+#include "forecast/metrics.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace pfdrl;
+  bench::print_figure_header(
+      "Figure 5: CDF of load forecasting accuracy (LR/SVM/BP/LSTM)",
+      "stochastic ordering LR < SVM < BP < LSTM");
+
+  const auto scenario = bench::bench_scenario(/*days=*/4);
+  const std::size_t day = data::kMinutesPerDay;
+
+  const std::vector<double> grid = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                    0.6, 0.7, 0.8, 0.9, 1.0};
+  util::TextTable table({"accuracy<=", "LR", "SVM", "BP", "LSTM"});
+  std::vector<std::vector<double>> cdfs;
+  std::vector<double> means;
+
+  for (auto method : {forecast::Method::kLr, forecast::Method::kSvr,
+                      forecast::Method::kBp, forecast::Method::kLstm}) {
+    fl::DflConfig cfg;
+    cfg.method = method;
+    cfg.window.window = 16;
+    fl::DflTrainer trainer(scenario.traces, cfg);
+    trainer.run(0, 3 * day);
+
+    std::vector<double> samples;
+    for (std::size_t h = 0; h < scenario.traces.size(); ++h) {
+      for (std::size_t d = 0; d < scenario.traces[h].devices.size(); ++d) {
+        const auto s = forecast::accuracy_samples(
+            trainer.forecaster(h, d), scenario.traces[h].devices[d], 3 * day,
+            4 * day);
+        samples.insert(samples.end(), s.begin(), s.end());
+      }
+    }
+    cdfs.push_back(util::empirical_cdf(samples, grid));
+    means.push_back(util::mean(samples));
+  }
+
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    table.add_row({util::fmt_double(grid[g], 1),
+                   util::fmt_double(cdfs[0][g], 3),
+                   util::fmt_double(cdfs[1][g], 3),
+                   util::fmt_double(cdfs[2][g], 3),
+                   util::fmt_double(cdfs[3][g], 3)});
+  }
+  table.print();
+  std::printf("\nmean accuracy: LR=%.3f SVM=%.3f BP=%.3f LSTM=%.3f\n",
+              means[0], means[1], means[2], means[3]);
+  return 0;
+}

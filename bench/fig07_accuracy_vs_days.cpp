@@ -1,0 +1,43 @@
+// Figure 7 — prediction accuracy vs accumulated training days.
+// Paper: accuracy grows with training days (fast early, saturating),
+// ordering LR < SVM < BP < LSTM throughout.
+#include "common.hpp"
+
+#include "fl/dfl.hpp"
+
+int main() {
+  using namespace pfdrl;
+  bench::print_figure_header(
+      "Figure 7: forecast accuracy vs training days (accumulative DFL)",
+      "accuracy grows with days, early growth steepest; LR<SVM<BP<LSTM");
+
+  const std::size_t total_days = 7;  // last day held out for evaluation
+  const auto scenario = bench::bench_scenario(total_days + 1);
+  const std::size_t day = data::kMinutesPerDay;
+  const std::size_t eval_begin = total_days * day;
+
+  // One trainer per method, trained one day at a time; evaluate on the
+  // held-out final day after each.
+  std::vector<std::unique_ptr<fl::DflTrainer>> trainers;
+  for (auto method : {forecast::Method::kLr, forecast::Method::kSvr,
+                      forecast::Method::kBp, forecast::Method::kLstm}) {
+    fl::DflConfig cfg;
+    cfg.method = method;
+    cfg.window.window = 16;
+    trainers.push_back(std::make_unique<fl::DflTrainer>(scenario.traces, cfg));
+  }
+
+  util::TextTable table({"days", "LR", "SVM", "BP", "LSTM"});
+  for (std::size_t d = 0; d < total_days; ++d) {
+    std::vector<std::string> row = {std::to_string(d + 1)};
+    for (auto& trainer : trainers) {
+      trainer->run(d * day, (d + 1) * day);
+      row.push_back(util::fmt_double(
+          trainer->mean_test_accuracy(eval_begin, (total_days + 1) * day),
+          3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 12 — personalized vs not-personalized EMS performance, mean and
+// error bar across residences.
+// Paper: the personalized model performs better for most residences.
+#include "common.hpp"
+
+#include "core/pipeline.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace pfdrl;
+  bench::print_figure_header(
+      "Figure 12: personalized (alpha=6) vs not personalized (full share)",
+      "personalization improves the mean and most residences");
+
+  const auto scenario = bench::bench_scenario(/*days=*/6, /*homes=*/6);
+  const std::size_t day = data::kMinutesPerDay;
+
+  struct Variant {
+    const char* label;
+    core::EmsMethod method;
+  };
+  const Variant variants[] = {
+      {"personalized (PFDRL, alpha=6)", core::EmsMethod::kPfdrl},
+      {"not personalized (FRL, all shared)", core::EmsMethod::kFrl},
+  };
+
+  util::TextTable table({"variant", "mean net saved frac", "std err",
+                         "mean reward/step", "violations/client"});
+  std::vector<std::vector<double>> per_home_fracs;
+  for (const auto& variant : variants) {
+    auto cfg = sim::bench_pipeline(variant.method);
+    core::EmsPipeline pipeline(scenario.traces, cfg);
+    pipeline.train_forecasters(0, 2 * day);
+    pipeline.train_ems(2 * day, 5 * day);
+    const auto results = pipeline.evaluate(5 * day, 6 * day);
+
+    util::RunningStats frac_stats;
+    util::RunningStats reward_stats;
+    double violations = 0.0;
+    std::vector<double> fracs;
+    for (const auto& r : results) {
+      frac_stats.add(r.net_saved_fraction());
+      fracs.push_back(r.net_saved_fraction());
+      reward_stats.add(r.total_reward / static_cast<double>(r.steps));
+      violations += static_cast<double>(r.comfort_violations);
+    }
+    per_home_fracs.push_back(std::move(fracs));
+    table.add_row({variant.label, util::fmt_double(frac_stats.mean(), 3),
+                   util::fmt_double(frac_stats.stderror(), 3),
+                   util::fmt_double(reward_stats.mean(), 2),
+                   util::fmt_double(
+                       violations / static_cast<double>(results.size()), 1)});
+  }
+  table.print();
+
+  std::size_t wins = 0;
+  for (std::size_t h = 0; h < per_home_fracs[0].size(); ++h) {
+    if (per_home_fracs[0][h] >= per_home_fracs[1][h]) ++wins;
+  }
+  std::printf("\npersonalized >= not-personalized for %zu of %zu residences\n",
+              wins, per_home_fracs[0].size());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 13 — load-forecasting time overhead (training and testing) for
+// the four methods, via google-benchmark.
+// Paper: LR ≈ SVM ≈ BP ≈ LSTM (all cheap enough for hourly retraining).
+// On our CPU substrate the LSTM's BPTT is relatively pricier — the
+// ordering of the cheap methods still matches.
+#include <benchmark/benchmark.h>
+
+#include "data/household.hpp"
+#include "data/trace.hpp"
+#include "forecast/forecaster.hpp"
+
+namespace {
+
+using namespace pfdrl;
+
+const data::DeviceTrace& shared_trace() {
+  static const data::DeviceTrace trace = [] {
+    data::NeighborhoodConfig nc;
+    nc.num_households = 1;
+    nc.min_devices = 5;
+    nc.max_devices = 5;
+    const auto home = data::make_neighborhood(nc)[0];
+    data::TraceConfig tc;
+    tc.days = 2;
+    const auto household = data::generate_household_trace(home, tc);
+    for (const auto& d : household.devices) {
+      if (!d.spec.protected_device) return d;
+    }
+    return household.devices[0];
+  }();
+  return trace;
+}
+
+data::WindowConfig bench_window() {
+  data::WindowConfig w;
+  w.window = 16;
+  return w;
+}
+
+void BM_ForecastTrain(benchmark::State& state) {
+  const auto method = static_cast<forecast::Method>(state.range(0));
+  const auto& trace = shared_trace();
+  for (auto _ : state) {
+    auto model = forecast::make_forecaster(method, bench_window(), 7);
+    forecast::TrainConfig tc;  // per-method tuned defaults
+    util::Rng rng(1);
+    model->train(trace, 0, data::kMinutesPerDay, tc, rng);
+    benchmark::DoNotOptimize(model->parameters().data());
+  }
+  state.SetLabel(forecast::method_name(method));
+}
+
+void BM_ForecastTest(benchmark::State& state) {
+  const auto method = static_cast<forecast::Method>(state.range(0));
+  const auto& trace = shared_trace();
+  auto model = forecast::make_forecaster(method, bench_window(), 7);
+  forecast::TrainConfig tc;
+  util::Rng rng(1);
+  model->train(trace, 0, data::kMinutesPerDay, tc, rng);
+  for (auto _ : state) {
+    const auto preds = model->predict_series(trace, data::kMinutesPerDay,
+                                             2 * data::kMinutesPerDay);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  state.SetLabel(forecast::method_name(method));
+}
+
+BENCHMARK(BM_ForecastTrain)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(BM_ForecastTest)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

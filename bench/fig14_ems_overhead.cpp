@@ -1,0 +1,56 @@
+// Figure 14 — energy-management time overhead (training + testing) for
+// the five methods.
+// Paper: PFDRL < FL ≈ Cloud ≈ Local < FRL — PFDRL broadcasts only α of
+// the DQN layers, so its round cost undercuts FRL's full-model exchange.
+// Wall-clock compute is nearly identical across methods on one machine;
+// the decisive difference is the broadcast volume, which we report
+// alongside (simulated transfer seconds on the modeled home LAN).
+#include "common.hpp"
+
+#include "core/pipeline.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace pfdrl;
+  bench::print_figure_header(
+      "Figure 14: EMS time overhead per method",
+      "PFDRL < FL ~= Cloud ~= Local < FRL (driven by broadcast volume)");
+
+  const auto scenario = bench::bench_scenario(/*days=*/4);
+  const std::size_t day = data::kMinutesPerDay;
+
+  const core::EmsMethod methods[] = {core::EmsMethod::kLocal,
+                                     core::EmsMethod::kCloud,
+                                     core::EmsMethod::kFl,
+                                     core::EmsMethod::kFrl,
+                                     core::EmsMethod::kPfdrl};
+
+  util::TextTable table({"method", "train s", "test s", "DRL MiB",
+                         "simulated transfer s", "total (train+transfer) s"});
+  for (auto method : methods) {
+    auto cfg = sim::bench_pipeline(method);
+    core::EmsPipeline pipeline(scenario.traces, cfg);
+    pipeline.train_forecasters(0, 2 * day);
+
+    util::Stopwatch train_watch;
+    pipeline.train_ems(2 * day, 3 * day);
+    const double train_s = train_watch.elapsed_seconds();
+
+    util::Stopwatch test_watch;
+    const auto results = pipeline.evaluate(3 * day, 4 * day);
+    const double test_s = test_watch.elapsed_seconds();
+    (void)results;
+
+    const auto drl = pipeline.drl_comm_stats();
+    const double transfer_s = drl.simulated_transfer_seconds;
+    table.add_row(
+        {core::ems_method_name(method), util::fmt_double(train_s, 2),
+         util::fmt_double(test_s, 2),
+         util::fmt_double(
+             static_cast<double>(drl.bytes_on_wire) / (1024.0 * 1024.0), 2),
+         util::fmt_double(transfer_s, 3),
+         util::fmt_double(train_s + transfer_s, 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks of the computational kernels underlying the system:
+// matmul, dense forward/backward, LSTM steps, replay sampling, message
+// bus broadcast, and federated averaging.
+#include <benchmark/benchmark.h>
+
+#include "fl/aggregate.hpp"
+#include "net/bus.hpp"
+#include "nn/dense.hpp"
+#include "nn/lstm.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "rl/replay.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pfdrl;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  nn::Matrix a(n, n);
+  nn::Matrix b(n, n);
+  for (double& x : a.data()) x = rng.normal();
+  for (double& x : b.data()) x = rng.normal();
+  nn::Matrix out(n, n);
+  for (auto _ : state) {
+    nn::matmul(a, b, out);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_DenseForward(benchmark::State& state) {
+  const std::size_t batch = 32, in = 100, out_dim = 100;
+  util::Rng rng(2);
+  std::vector<double> params(nn::dense_param_count(in, out_dim));
+  nn::dense_init(params, in, out_dim, nn::InitScheme::kHeNormal, rng);
+  nn::Matrix x(batch, in);
+  for (double& v : x.data()) v = rng.normal();
+  nn::Matrix y;
+  for (auto _ : state) {
+    nn::dense_forward(params, in, out_dim, x, nn::Activation::kRelu, y);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_DenseForward);
+
+void BM_MlpTrainBatch(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::Mlp net({5, 100, 100, 100, 100, 100, 100, 100, 100, 3},
+              nn::Activation::kRelu, nn::Activation::kIdentity,
+              nn::InitScheme::kHeNormal, rng);
+  nn::Adam opt(1e-3);
+  nn::Matrix x(32, 5);
+  nn::Matrix y(32, 3);
+  for (double& v : x.data()) v = rng.normal();
+  for (double& v : y.data()) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net.train_batch(x, y, nn::LossKind::kHuber, opt));
+  }
+  state.SetLabel("paper 8x100 DQN net, batch 32");
+}
+BENCHMARK(BM_MlpTrainBatch);
+
+void BM_LstmTrainBatch(benchmark::State& state) {
+  util::Rng rng(4);
+  nn::LstmRegressor net(3, 32, 1, rng);
+  nn::Adam opt(1e-3);
+  std::vector<nn::Matrix> xs(16, nn::Matrix(32, 3));
+  nn::Matrix y(32, 1);
+  for (auto& m : xs) {
+    for (double& v : m.data()) v = rng.normal();
+  }
+  for (double& v : y.data()) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.train_batch(xs, y, nn::LossKind::kMae, opt));
+  }
+  state.SetLabel("window 16, hidden 32, batch 32");
+}
+BENCHMARK(BM_LstmTrainBatch);
+
+void BM_ReplaySample(benchmark::State& state) {
+  rl::ReplayBuffer buf(2000);
+  util::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    rl::Transition t;
+    t.state.assign(5, rng.normal());
+    t.next_state.assign(5, rng.normal());
+    buf.push(std::move(t));
+  }
+  for (auto _ : state) {
+    const auto batch = buf.sample(32, rng);
+    benchmark::DoNotOptimize(batch.data());
+  }
+}
+BENCHMARK(BM_ReplaySample);
+
+void BM_BusBroadcast(benchmark::State& state) {
+  const auto homes = static_cast<std::size_t>(state.range(0));
+  net::MessageBus bus(net::Topology(net::TopologyKind::kFullMesh, homes));
+  net::Message msg;
+  msg.sender = 0;
+  msg.payload.assign(10000, 1.0);
+  for (auto _ : state) {
+    bus.broadcast(msg);
+    for (std::size_t h = 1; h < homes; ++h) {
+      auto drained = bus.drain(static_cast<net::AgentId>(h));
+      benchmark::DoNotOptimize(drained.data());
+    }
+  }
+  state.SetLabel("10k-double payload");
+}
+BENCHMARK(BM_BusBroadcast)->Arg(5)->Arg(20);
+
+void BM_FedAvg(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  std::vector<std::vector<double>> inputs(clients,
+                                          std::vector<double>(80000));
+  for (auto& v : inputs) {
+    for (double& x : v) x = rng.normal();
+  }
+  std::vector<std::span<const double>> views(inputs.begin(), inputs.end());
+  std::vector<double> out(80000);
+  for (auto _ : state) {
+    fl::fedavg(views, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel("80k params (paper DQN scale)");
+}
+BENCHMARK(BM_FedAvg)->Arg(5)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Billing analysis: what a household pays under the fixed vs variable
+// Texas-style tariff across a year of seasonal load, and what the PFDRL
+// EMS savings are worth under each plan.
+//
+//   $ ./examples/billing_analysis
+#include <cstdio>
+
+#include "data/household.hpp"
+#include "data/tariff.hpp"
+#include "data/trace.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pfdrl;
+
+  data::NeighborhoodConfig nc;
+  nc.num_households = 1;
+  nc.min_devices = 6;
+  nc.max_devices = 6;
+  const auto home = data::make_neighborhood(nc)[0];
+
+  const data::FixedTariff fixed;
+  const data::VariableTariff variable;
+
+  util::TextTable table({"month", "usage kWh", "standby kWh", "fixed $",
+                         "variable $", "standby waste $ (fixed)"});
+
+  double total_fixed = 0.0, total_var = 0.0, total_waste = 0.0;
+  for (std::uint32_t month = 0; month < 12; ++month) {
+    // One representative week per month, scaled to 30 days.
+    data::TraceConfig tc;
+    tc.days = 7;
+    tc.month = month;
+    tc.seed = 100 + month;
+    const auto trace = data::generate_household_trace(home, tc);
+
+    double fixed_cents = 0.0, var_cents = 0.0, waste_cents = 0.0;
+    double usage_kwh = 0.0, standby_kwh = 0.0;
+    for (const auto& dev : trace.devices) {
+      for (std::size_t m = 0; m < dev.minutes(); ++m) {
+        const double kwh = dev.watts[m] / 60.0 / 1000.0;
+        const std::size_t minute_of_year =
+            month * data::kMinutesPerMonth + (m % data::kMinutesPerDay);
+        usage_kwh += kwh;
+        fixed_cents += kwh * fixed.cents_per_kwh(minute_of_year);
+        var_cents += kwh * variable.cents_per_kwh(minute_of_year);
+        if (dev.modes[m] == data::DeviceMode::kStandby &&
+            !dev.spec.protected_device) {
+          standby_kwh += kwh;
+          waste_cents += kwh * fixed.cents_per_kwh(minute_of_year);
+        }
+      }
+    }
+    const double scale = 30.0 / 7.0;  // week -> month
+    total_fixed += fixed_cents * scale / 100.0;
+    total_var += var_cents * scale / 100.0;
+    total_waste += waste_cents * scale / 100.0;
+    table.add_row({std::to_string(month + 1),
+                   util::fmt_double(usage_kwh * scale, 1),
+                   util::fmt_double(standby_kwh * scale, 2),
+                   util::fmt_double(fixed_cents * scale / 100.0, 2),
+                   util::fmt_double(var_cents * scale / 100.0, 2),
+                   util::fmt_double(waste_cents * scale / 100.0, 2)});
+  }
+  table.print("monthly bill for one household:");
+  std::printf(
+      "\nyear: fixed $%.2f, variable $%.2f; reclaimable standby waste "
+      "$%.2f/yr\n(the PFDRL EMS recovers ~95%%+ of that waste — see "
+      "bench/headline_claims)\n",
+      total_fixed, total_var, total_waste);
+  return 0;
+}

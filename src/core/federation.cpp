@@ -1,0 +1,85 @@
+#include "core/federation.hpp"
+
+#include <algorithm>
+
+#include "core/layer_split.hpp"
+#include "fl/aggregate.hpp"
+
+namespace pfdrl::core {
+
+DrlFederation::DrlFederation(std::size_t num_homes, std::size_t share_layers,
+                             net::TopologyKind topology)
+    : share_layers_(share_layers),
+      bus_(net::Topology(topology, std::max<std::size_t>(1, num_homes))) {}
+
+void DrlFederation::round(std::vector<FederatedDevice>& devices,
+                          std::uint64_t round_id) {
+  if (bus_.num_agents() < 2) return;
+
+  const net::MessageKind kind = net::MessageKind::kDrlBaseParams;
+
+  // Phase 1: every device agent broadcasts its shared slice.
+  for (const auto& dev : devices) {
+    const nn::Mlp& net = dev.agent->network();
+    const std::size_t prefix = base_prefix_params(net, share_layers_);
+    net::Message msg;
+    msg.sender = dev.home;
+    msg.kind = share_layers_ >= net.num_layers()
+                   ? net::MessageKind::kDrlFullParams
+                   : kind;
+    msg.device_type = dev.device_type;
+    msg.round = round_id;
+    const auto params = net.parameters();
+    msg.payload.assign(params.begin(), params.begin() + prefix);
+    bus_.broadcast(msg);
+  }
+
+  // Star topology: the hub relays leaf messages to the other leaves
+  // (the "cloud aggregator" cost of the FRL baseline).
+  if (bus_.topology().kind() == net::TopologyKind::kStar) {
+    auto hub_msgs = bus_.drain(0);
+    for (auto& m : hub_msgs) {
+      for (std::size_t h = 1; h < bus_.num_agents(); ++h) {
+        if (static_cast<net::AgentId>(h) == m.sender) continue;
+        bus_.send(static_cast<net::AgentId>(h), m);
+      }
+      bus_.send(0, std::move(m));
+    }
+  }
+
+  // Phase 2: each home drains its inbox and averages per device type.
+  // Contributions sorted by sender id for bit-reproducibility.
+  std::vector<std::vector<net::Message>> inboxes(bus_.num_agents());
+  for (std::size_t h = 0; h < bus_.num_agents(); ++h) {
+    inboxes[h] = bus_.drain(static_cast<net::AgentId>(h));
+    std::sort(inboxes[h].begin(), inboxes[h].end(),
+              [](const net::Message& a, const net::Message& b) {
+                if (a.sender != b.sender) return a.sender < b.sender;
+                return a.device_type < b.device_type;
+              });
+  }
+
+  for (auto& dev : devices) {
+    nn::Mlp& net = dev.agent->network();
+    const std::size_t prefix = base_prefix_params(net, share_layers_);
+    const auto own = net.parameters();
+
+    std::vector<std::span<const double>> contributions;
+    contributions.push_back(own.subspan(0, prefix));
+    for (const auto& m : inboxes[dev.home]) {
+      if (m.device_type != dev.device_type) continue;
+      if (m.payload.size() != prefix) continue;  // shape guard
+      contributions.push_back(m.payload);
+    }
+    if (contributions.size() < 2) continue;  // no homologous peers
+
+    // Eq. 7 (uniform average of the base slice); the untouched suffix is
+    // Eq. 8's personalization layers.
+    std::vector<double> averaged(prefix, 0.0);
+    fl::fedavg(contributions, averaged);
+    std::copy(averaged.begin(), averaged.end(), net.parameters().begin());
+    dev.agent->notify_external_parameter_update();
+  }
+}
+
+}  // namespace pfdrl::core

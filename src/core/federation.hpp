@@ -1,0 +1,50 @@
+// DRL parameter federation (paper §3.3.2, Eq. 7).
+//
+// Groups DQN agents by device type across residences and averages either
+// the full parameter vector (the FRL baseline) or only the α-layer base
+// prefix (PFDRL). Parameters travel over the simulated message bus so
+// communication volume is accounted exactly — the PFDRL prefix messages
+// are smaller, which is what produces the paper's Fig. 14 time-overhead
+// ordering (PFDRL < FRL).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/bus.hpp"
+#include "rl/dqn.hpp"
+
+namespace pfdrl::core {
+
+struct FederatedDevice {
+  /// Residence / agent id on the bus.
+  net::AgentId home = 0;
+  /// Device type (aggregation group key).
+  std::uint32_t device_type = 0;
+  rl::DqnAgent* agent = nullptr;
+};
+
+class DrlFederation {
+ public:
+  /// `share_layers` = number of dense layers broadcast (the paper's α);
+  /// pass the network's full layer count for FRL. `num_homes` sizes the
+  /// bus.
+  DrlFederation(std::size_t num_homes, std::size_t share_layers,
+                net::TopologyKind topology);
+
+  /// One federation round over all registered devices: broadcast each
+  /// agent's shared slice, then average per device type at each home
+  /// (Eq. 7) and stitch with the local personalization suffix (Eq. 8).
+  void round(std::vector<FederatedDevice>& devices, std::uint64_t round_id);
+
+  [[nodiscard]] net::BusStats comm_stats() const { return bus_.stats(); }
+  [[nodiscard]] std::size_t share_layers() const noexcept {
+    return share_layers_;
+  }
+
+ private:
+  std::size_t share_layers_;
+  net::MessageBus bus_;
+};
+
+}  // namespace pfdrl::core

@@ -1,0 +1,16 @@
+#include "core/layer_split.hpp"
+
+#include <algorithm>
+
+namespace pfdrl::core {
+
+std::size_t base_prefix_params(const nn::Mlp& net, std::size_t alpha) {
+  const std::size_t layers = std::min(alpha, net.num_layers());
+  return net.layer_offset(layers);
+}
+
+std::size_t hidden_layer_count(const nn::Mlp& net) noexcept {
+  return net.num_layers() > 0 ? net.num_layers() - 1 : 0;
+}
+
+}  // namespace pfdrl::core

@@ -1,0 +1,25 @@
+// The PFDRL base/personalization layer split (paper §3.3.2).
+//
+// The DQN's Mlp stores parameters flat, layer by layer; choosing α base
+// layers means federating the flat prefix covering dense layers
+// [0, α) and keeping the suffix — the remaining hidden layers plus the
+// output head — local (Eq. 8: the deployed model is the aggregated base
+// concatenated with the local personalization layers).
+#pragma once
+
+#include <cstddef>
+
+#include "nn/mlp.hpp"
+
+namespace pfdrl::core {
+
+/// Flat parameter count of the α-layer base prefix. α is clamped to the
+/// network's layer count (α == num_layers means "share everything", the
+/// FRL setting).
+std::size_t base_prefix_params(const nn::Mlp& net, std::size_t alpha);
+
+/// Number of *hidden* layers in a DQN Mlp (layers minus the output head);
+/// the paper's α ranges over these (1..8 for the 8-hidden-layer net).
+std::size_t hidden_layer_count(const nn::Mlp& net) noexcept;
+
+}  // namespace pfdrl::core

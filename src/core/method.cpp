@@ -1,0 +1,36 @@
+#include "core/method.hpp"
+
+namespace pfdrl::core {
+
+const char* ems_method_name(EmsMethod m) noexcept {
+  switch (m) {
+    case EmsMethod::kLocal: return "Local";
+    case EmsMethod::kCloud: return "Cloud";
+    case EmsMethod::kFl: return "FL";
+    case EmsMethod::kFrl: return "FRL";
+    case EmsMethod::kPfdrl: return "PFDRL";
+  }
+  return "?";
+}
+
+MethodTraits method_traits(EmsMethod m) {
+  // Encodes paper Table 2 verbatim.
+  switch (m) {
+    case EmsMethod::kLocal:
+      return {"Local NN", "Local RL", true, true, false, false, true};
+    case EmsMethod::kCloud:
+      return {"Cloud NN", "Local RL", false, false, true, false, false};
+    case EmsMethod::kFl:
+      return {"Federated Learning", "Local RL", false, false, true, false,
+              false};
+    case EmsMethod::kFrl:
+      return {"Federated Learning", "Federated RL", false, false, true, true,
+              false};
+    case EmsMethod::kPfdrl:
+      return {"Decentralized Federated Learning", "Personalized Federated RL",
+              true, true, true, true, true};
+  }
+  return {};
+}
+
+}  // namespace pfdrl::core

@@ -1,0 +1,36 @@
+// The paper's comparison matrix (Table 2): which load-forecasting and
+// EMS-training scheme each compared method uses, and the qualitative
+// properties the paper attributes to them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pfdrl::core {
+
+enum class EmsMethod : std::uint8_t {
+  kLocal = 0,  // local NN forecasting + local RL
+  kCloud,      // cloud NN forecasting + local RL
+  kFl,         // federated-learning forecasting + local RL
+  kFrl,        // federated forecasting + fully federated RL
+  kPfdrl,      // decentralized federated forecasting + personalized fed RL
+};
+constexpr std::size_t kNumEmsMethods = 5;
+
+const char* ems_method_name(EmsMethod m) noexcept;
+
+/// Table 2, row for a method.
+struct MethodTraits {
+  std::string load_forecasting;
+  std::string ems;
+  bool local_area = false;       // no traffic leaves the neighbourhood
+  bool data_privacy = false;     // raw data never leaves the residence…
+                                 // …AND no central party holds the model
+  bool small_batch_training = false;
+  bool shares_ems = false;       // EMS plans are exchanged
+  bool personalization = false;  // per-residence model components
+};
+
+MethodTraits method_traits(EmsMethod m);
+
+}  // namespace pfdrl::core

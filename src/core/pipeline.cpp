@@ -1,0 +1,259 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace pfdrl::core {
+
+bool shares_ems_plans(EmsMethod m) noexcept {
+  return m == EmsMethod::kFrl || m == EmsMethod::kPfdrl;
+}
+
+namespace {
+
+fl::AggregationMode forecast_aggregation(EmsMethod m) noexcept {
+  switch (m) {
+    case EmsMethod::kLocal: return fl::AggregationMode::kNone;
+    case EmsMethod::kFl:
+    case EmsMethod::kFrl: return fl::AggregationMode::kCentralized;
+    case EmsMethod::kPfdrl: return fl::AggregationMode::kDecentralized;
+    case EmsMethod::kCloud: break;  // handled by CloudTrainer
+  }
+  return fl::AggregationMode::kNone;
+}
+
+}  // namespace
+
+EmsPipeline::EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
+                         PipelineConfig cfg)
+    : traces_(traces), cfg_(cfg) {
+  if (traces_.empty()) throw std::invalid_argument("EmsPipeline: no traces");
+
+  // Forecasting backend.
+  if (cfg_.method == EmsMethod::kCloud) {
+    fl::CloudConfig cc;
+    cc.method = cfg_.forecast_method;
+    cc.window = cfg_.window;
+    cc.train = cfg_.forecast_train;
+    cc.round_period_hours = cfg_.beta_hours;
+    cc.seed = cfg_.seed;
+    cloud_.emplace(traces_, cc);
+  } else {
+    fl::DflConfig dc;
+    dc.method = cfg_.forecast_method;
+    dc.window = cfg_.window;
+    dc.train = cfg_.forecast_train;
+    dc.broadcast_period_hours = cfg_.beta_hours;
+    dc.aggregation = forecast_aggregation(cfg_.method);
+    dc.secure_aggregation =
+        cfg_.secure_aggregation &&
+        dc.aggregation != fl::AggregationMode::kNone;
+    dc.seed = cfg_.seed;
+    dfl_.emplace(traces_, dc);
+  }
+
+  // One DQN per (home, actionable device). Protected devices (fridge,
+  // HVAC, water heater — autonomous duty cyclers) are metered and
+  // forecast but never actuated, so they get no agent (nullptr slot).
+  // Weight seed is shared across residences per device type (homologous
+  // networks must start identical for averaging to be meaningful);
+  // exploration seeds differ per home.
+  agents_.resize(traces_.size());
+  for (std::size_t h = 0; h < traces_.size(); ++h) {
+    agents_[h].reserve(traces_[h].devices.size());
+    for (std::size_t d = 0; d < traces_[h].devices.size(); ++d) {
+      if (traces_[h].devices[d].spec.protected_device) {
+        agents_[h].push_back(nullptr);
+        continue;
+      }
+      rl::DqnConfig qc = cfg_.dqn;
+      qc.state_dim = ems::EmsEnvironment::kStateDim;
+      qc.num_actions = ems::kNumActions;
+      const auto type =
+          static_cast<std::uint64_t>(traces_[h].devices[d].spec.type);
+      qc.seed = cfg_.seed * 7919 + type;
+      qc.exploration_seed = cfg_.seed * 104729 + h * 257 + type + 1;
+      agents_[h].push_back(std::make_unique<rl::DqnAgent>(qc));
+    }
+  }
+
+  if (shares_ems_plans(cfg_.method)) {
+    const rl::DqnAgent* any = nullptr;
+    for (const auto& home : agents_) {
+      for (const auto& a : home) {
+        if (a) { any = a.get(); break; }
+      }
+      if (any) break;
+    }
+    if (any == nullptr) {
+      throw std::invalid_argument("EmsPipeline: no actionable devices");
+    }
+    const std::size_t layers = any->network().num_layers();
+    const std::size_t share =
+        cfg_.method == EmsMethod::kFrl ? layers
+                                       : std::min(cfg_.alpha, layers);
+    const auto topology = cfg_.method == EmsMethod::kFrl
+                              ? net::TopologyKind::kStar
+                              : net::TopologyKind::kFullMesh;
+    federation_.emplace(traces_.size(), share, topology);
+  }
+}
+
+void EmsPipeline::train_forecasters(std::size_t begin, std::size_t end) {
+  if (cloud_) {
+    cloud_->run(begin, end);
+  } else {
+    dfl_->run(begin, end);
+  }
+}
+
+double EmsPipeline::forecast_accuracy(std::size_t begin,
+                                      std::size_t end) const {
+  return cloud_ ? cloud_->mean_test_accuracy(begin, end)
+                : dfl_->mean_test_accuracy(begin, end);
+}
+
+std::vector<double> EmsPipeline::forecast_series(std::size_t home,
+                                                 std::size_t dev,
+                                                 std::size_t begin,
+                                                 std::size_t end) const {
+  const auto& trace = traces_[home].devices[dev];
+  const forecast::Forecaster& model =
+      cloud_ ? cloud_->model_for_type(trace.spec.type)
+             : dfl_->forecaster(home, dev);
+  auto series = model.predict_series(trace, begin, end);
+  // predict_series targets start at max(begin, window): pad the leading
+  // minutes (no history yet) with the real reading so indices align.
+  const std::size_t first =
+      data::first_feasible_target(model.window_config(), begin);
+  std::vector<double> out;
+  out.reserve(end - begin);
+  for (std::size_t m = begin; m < first && m < end; ++m) {
+    out.push_back(trace.watts[m]);
+  }
+  out.insert(out.end(), series.begin(), series.end());
+  out.resize(end - begin, trace.spec.standby_watts);
+  return out;
+}
+
+void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
+  struct Job {
+    std::size_t home, dev;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t h = 0; h < agents_.size(); ++h) {
+    for (std::size_t d = 0; d < agents_[h].size(); ++d) {
+      if (agents_[h][d]) jobs.push_back({h, d});
+    }
+  }
+
+  util::ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t j) {
+    const auto [h, d] = jobs[j];
+    rl::DqnAgent& agent = *agents_[h][d];
+    ems::EmsEnvironment env(traces_[h].devices[d],
+                            forecast_series(h, d, begin, end), begin,
+                            cfg_.meter_interval_minutes);
+    std::vector<double> state = env.state_at(0);
+    for (std::size_t i = 0; i < env.length(); ++i) {
+      const int action = agent.act(state);
+      const double r = env.reward_at(i, action);
+      std::vector<double> next_state =
+          i + 1 < env.length() ? env.state_at(i + 1) : state;
+      const bool terminal = i + 1 >= env.length();
+      agent.remember({state, action, r, next_state, terminal});
+      if ((begin + i) % cfg_.learn_every_minutes == 0) agent.learn();
+      state = std::move(next_state);
+    }
+  });
+
+  if (federation_) {
+    std::vector<FederatedDevice> devices;
+    for (std::size_t h = 0; h < agents_.size(); ++h) {
+      for (std::size_t d = 0; d < agents_[h].size(); ++d) {
+        if (!agents_[h][d]) continue;
+        devices.push_back(
+            {static_cast<net::AgentId>(h),
+             static_cast<std::uint32_t>(traces_[h].devices[d].spec.type),
+             agents_[h][d].get()});
+      }
+    }
+    federation_->round(devices, ems_rounds_done_);
+  }
+  ++ems_rounds_done_;
+}
+
+void EmsPipeline::train_ems(std::size_t begin, std::size_t end) {
+  const auto round_minutes =
+      static_cast<std::size_t>(cfg_.gamma_hours * 60.0);
+  if (round_minutes == 0) {
+    throw std::invalid_argument("EmsPipeline: gamma too small");
+  }
+  for (std::size_t b = begin; b < end; b += round_minutes) {
+    ems_round(b, std::min(b + round_minutes, end));
+  }
+}
+
+std::vector<ems::EpisodeResult> EmsPipeline::evaluate(std::size_t begin,
+                                                      std::size_t end) const {
+  std::vector<ems::EpisodeResult> per_home(traces_.size());
+  util::ThreadPool::global().parallel_for(0, traces_.size(), [&](std::size_t h) {
+    ems::EpisodeResult merged;
+    for (std::size_t d = 0; d < agents_[h].size(); ++d) {
+      if (!agents_[h][d]) continue;
+      ems::EmsEnvironment env(traces_[h].devices[d],
+                              forecast_series(h, d, begin, end), begin,
+                              cfg_.meter_interval_minutes);
+      std::vector<int> actions(env.length());
+      for (std::size_t i = 0; i < env.length(); ++i) {
+        actions[i] = agents_[h][d]->act_greedy(env.state_at(i));
+      }
+      merged.merge(ems::score_actions(env, actions));
+    }
+    per_home[h] = merged;
+  });
+  return per_home;
+}
+
+std::vector<double> EmsPipeline::evaluate_savings_dollars(
+    std::size_t begin, std::size_t end, const data::Tariff& tariff,
+    std::size_t minute0_of_year) const {
+  std::vector<double> per_home(traces_.size(), 0.0);
+  util::ThreadPool::global().parallel_for(0, traces_.size(), [&](std::size_t h) {
+    double dollars = 0.0;
+    for (std::size_t d = 0; d < agents_[h].size(); ++d) {
+      if (!agents_[h][d]) continue;
+      ems::EmsEnvironment env(traces_[h].devices[d],
+                              forecast_series(h, d, begin, end), begin,
+                              cfg_.meter_interval_minutes);
+      std::vector<int> actions(env.length());
+      for (std::size_t i = 0; i < env.length(); ++i) {
+        actions[i] = agents_[h][d]->act_greedy(env.state_at(i));
+      }
+      dollars += ems::saved_dollars(env, actions, tariff, minute0_of_year);
+    }
+    per_home[h] = dollars;
+  });
+  return per_home;
+}
+
+net::BusStats EmsPipeline::forecast_comm_stats() const {
+  return dfl_ ? dfl_->comm_stats() : net::BusStats{};
+}
+
+net::BusStats EmsPipeline::drl_comm_stats() const {
+  return federation_ ? federation_->comm_stats() : net::BusStats{};
+}
+
+const rl::DqnAgent& EmsPipeline::agent(std::size_t home,
+                                       std::size_t dev) const {
+  const auto& slot = agents_.at(home).at(dev);
+  if (!slot) {
+    throw std::out_of_range("EmsPipeline::agent: protected device has none");
+  }
+  return *slot;
+}
+
+}  // namespace pfdrl::core

@@ -1,0 +1,122 @@
+// End-to-end EMS pipelines for all five compared methods (paper Table 2).
+//
+// A pipeline wires together:
+//   * a load-forecast training backend — local-only, cloud-pooled,
+//     hub-federated (FL) or decentralized-federated (DFL, β schedule);
+//   * one DQN EMS agent per (residence, device), trained online on the
+//     EmsEnvironment minute stream;
+//   * for FRL / PFDRL, a DrlFederation that exchanges EMS parameters at
+//     the γ schedule (all layers for FRL, α base layers for PFDRL).
+//
+// The per-(home,device) work inside a γ round is embarrassingly parallel
+// and fans out on the global thread pool; federation rounds are barriers,
+// mirroring the synchronous broadcast in Algorithms 1/2.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/federation.hpp"
+#include "core/method.hpp"
+#include "data/tariff.hpp"
+#include "data/trace.hpp"
+#include "ems/accounting.hpp"
+#include "ems/env.hpp"
+#include "fl/baselines.hpp"
+#include "fl/dfl.hpp"
+#include "rl/dqn.hpp"
+
+namespace pfdrl::core {
+
+struct PipelineConfig {
+  EmsMethod method = EmsMethod::kPfdrl;
+
+  // Forecasting.
+  forecast::Method forecast_method = forecast::Method::kLstm;
+  data::WindowConfig window{};
+  forecast::TrainConfig forecast_train{};
+  /// β: forecast-parameter broadcast period (hours).
+  double beta_hours = 12.0;
+  /// Pairwise-mask the DFL forecast broadcasts (fl/secure_agg.hpp).
+  bool secure_aggregation = false;
+
+  // EMS / DRL.
+  rl::DqnConfig dqn{};
+  /// γ: DRL-parameter broadcast period (hours).
+  double gamma_hours = 12.0;
+  /// α: number of base (shared) DQN layers for PFDRL.
+  std::size_t alpha = 6;
+  /// Run a DQN learn step every this many simulated minutes.
+  std::size_t learn_every_minutes = 4;
+  /// Meter reporting period fed to the EMS environment (minutes).
+  std::size_t meter_interval_minutes = ems::EmsEnvironment::kDefaultMeterInterval;
+
+  std::uint64_t seed = 123;
+};
+
+class EmsPipeline {
+ public:
+  EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
+              PipelineConfig cfg);
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t num_homes() const noexcept {
+    return traces_.size();
+  }
+
+  /// Phase A — train the forecasting models over [begin, end) minutes.
+  void train_forecasters(std::size_t begin, std::size_t end);
+
+  /// Mean paper-accuracy of the forecasting stage over [begin, end).
+  [[nodiscard]] double forecast_accuracy(std::size_t begin,
+                                         std::size_t end) const;
+
+  /// Phase B — online EMS training over [begin, end) minutes, with DRL
+  /// federation every γ hours (methods that share EMS plans only).
+  void train_ems(std::size_t begin, std::size_t end);
+
+  /// Greedy-policy evaluation over [begin, end): one merged result per
+  /// residence (summed over its devices).
+  [[nodiscard]] std::vector<ems::EpisodeResult> evaluate(
+      std::size_t begin, std::size_t end) const;
+
+  /// Dollars saved per residence under `tariff` over [begin, end);
+  /// `minute0_of_year` anchors time-of-use pricing.
+  [[nodiscard]] std::vector<double> evaluate_savings_dollars(
+      std::size_t begin, std::size_t end, const data::Tariff& tariff,
+      std::size_t minute0_of_year) const;
+
+  /// Communication accounting.
+  [[nodiscard]] net::BusStats forecast_comm_stats() const;
+  [[nodiscard]] net::BusStats drl_comm_stats() const;
+
+  /// DQN agent of (home, device) — exposed for tests and examples.
+  [[nodiscard]] const rl::DqnAgent& agent(std::size_t home,
+                                          std::size_t dev) const;
+
+ private:
+  /// Forecast series (watts) for trace minutes [begin, end) of one
+  /// device, from whichever backend the method uses.
+  [[nodiscard]] std::vector<double> forecast_series(std::size_t home,
+                                                    std::size_t dev,
+                                                    std::size_t begin,
+                                                    std::size_t end) const;
+
+  void ems_round(std::size_t begin, std::size_t end);
+
+  const std::vector<data::HouseholdTrace>& traces_;
+  PipelineConfig cfg_;
+
+  std::optional<fl::DflTrainer> dfl_;      // Local / FL / FRL / PFDRL
+  std::optional<fl::CloudTrainer> cloud_;  // Cloud
+
+  std::vector<std::vector<std::unique_ptr<rl::DqnAgent>>> agents_;
+  std::optional<DrlFederation> federation_;  // FRL / PFDRL
+  std::uint64_t ems_rounds_done_ = 0;
+};
+
+/// True if the method federates its EMS (FRL, PFDRL).
+bool shares_ems_plans(EmsMethod m) noexcept;
+
+}  // namespace pfdrl::core

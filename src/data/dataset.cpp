@@ -1,0 +1,144 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace pfdrl::data {
+
+double normalization_scale(const DeviceSpec& spec) noexcept {
+  // Headroom above nominal on-power so noisy peaks stay near [0, 1].
+  return std::max(1.0, spec.on_watts * 1.5);
+}
+
+double encode_watts(double watts, double scale, bool log_scale) noexcept {
+  watts = std::max(0.0, watts);
+  if (!log_scale) return watts / scale;
+  return std::log1p(watts) / std::log1p(scale);
+}
+
+double decode_watts(double value, double scale, bool log_scale) noexcept {
+  if (!log_scale) return std::max(0.0, value * scale);
+  return std::max(0.0, std::expm1(value * std::log1p(scale)));
+}
+
+namespace {
+
+struct CalendarFeature {
+  double sin_h;
+  double cos_h;
+};
+
+CalendarFeature calendar(std::size_t minute) noexcept {
+  const double hour_frac =
+      static_cast<double>(minute % kMinutesPerDay) /
+      static_cast<double>(kMinutesPerDay);
+  const double angle = 2.0 * std::numbers::pi * hour_frac;
+  return {std::sin(angle), std::cos(angle)};
+}
+
+std::size_t count_samples(std::size_t begin, std::size_t end,
+                          const WindowConfig& cfg, std::size_t stride) {
+  // Target indices run over [first_feasible_target, end).
+  const std::size_t first = first_feasible_target(cfg, begin);
+  if (end <= first) return 0;
+  return (end - first + stride - 1) / stride;
+}
+
+}  // namespace
+
+SupervisedSet make_supervised(const DeviceTrace& trace,
+                              const WindowConfig& cfg,
+                              std::size_t begin_minute,
+                              std::size_t end_minute) {
+  assert(cfg.window >= 1);
+  const std::size_t stride = std::max<std::size_t>(1, cfg.stride);
+  end_minute = std::min(end_minute, trace.minutes());
+
+  SupervisedSet set;
+  set.scale = normalization_scale(trace.spec);
+  const std::size_t n = count_samples(begin_minute, end_minute, cfg, stride);
+  const std::size_t feat = cfg.window + (cfg.calendar_features ? 2 : 0);
+  set.x = nn::Matrix(n, feat);
+  set.y = nn::Matrix(n, 1);
+  set.target_minute.reserve(n);
+
+  // For target t the feature window is the `window` minutes ending
+  // `horizon` minutes earlier: [t - horizon - window + 1, t - horizon].
+  const std::size_t gap = cfg.horizon > 0 ? cfg.horizon : 1;
+  std::size_t row = 0;
+  for (std::size_t t = first_feasible_target(cfg, begin_minute);
+       t < end_minute; t += stride) {
+    double* xr = set.x.row(row).data();
+    for (std::size_t k = 0; k < cfg.window; ++k) {
+      xr[k] = encode_watts(trace.watts[t - gap - cfg.window + 1 + k],
+                           set.scale, cfg.log_scale);
+    }
+    if (cfg.calendar_features) {
+      const auto cal = calendar(t);
+      xr[cfg.window] = cal.sin_h;
+      xr[cfg.window + 1] = cal.cos_h;
+    }
+    set.y(row, 0) = encode_watts(trace.watts[t], set.scale, cfg.log_scale);
+    set.target_minute.push_back(t);
+    ++row;
+  }
+  assert(row == n);
+  return set;
+}
+
+SequenceSet make_sequences(const DeviceTrace& trace, const WindowConfig& cfg,
+                           std::size_t begin_minute, std::size_t end_minute) {
+  assert(cfg.window >= 1);
+  const std::size_t stride = std::max<std::size_t>(1, cfg.stride);
+  end_minute = std::min(end_minute, trace.minutes());
+
+  SequenceSet set;
+  set.scale = normalization_scale(trace.spec);
+  const std::size_t n = count_samples(begin_minute, end_minute, cfg, stride);
+  const std::size_t step_feat = 1 + (cfg.calendar_features ? 2 : 0);
+  set.xs.assign(cfg.window, nn::Matrix(n, step_feat));
+  set.y = nn::Matrix(n, 1);
+  set.target_minute.reserve(n);
+
+  const std::size_t gap = cfg.horizon > 0 ? cfg.horizon : 1;
+  std::size_t row = 0;
+  for (std::size_t t = first_feasible_target(cfg, begin_minute);
+       t < end_minute; t += stride) {
+    for (std::size_t k = 0; k < cfg.window; ++k) {
+      const std::size_t src = t - gap - cfg.window + 1 + k;
+      double* xr = set.xs[k].row(row).data();
+      xr[0] = encode_watts(trace.watts[src], set.scale, cfg.log_scale);
+      if (cfg.calendar_features) {
+        const auto cal = calendar(src);
+        xr[1] = cal.sin_h;
+        xr[2] = cal.cos_h;
+      }
+    }
+    set.y(row, 0) = encode_watts(trace.watts[t], set.scale, cfg.log_scale);
+    set.target_minute.push_back(t);
+    ++row;
+  }
+  assert(row == n);
+  return set;
+}
+
+SplitPoint train_test_split(std::size_t minutes, double train_fraction) {
+  train_fraction = std::clamp(train_fraction, 0.0, 1.0);
+  return {static_cast<std::size_t>(
+      static_cast<double>(minutes) * train_fraction)};
+}
+
+double prediction_accuracy(double predicted_watts, double real_watts,
+                           double floor_watts) noexcept {
+  if (real_watts < floor_watts) {
+    // Relative error undefined near zero; treat a near-zero prediction as
+    // fully correct and anything substantial as fully wrong.
+    return predicted_watts < floor_watts ? 1.0 : 0.0;
+  }
+  const double rel = std::abs(predicted_watts - real_watts) / real_watts;
+  return std::clamp(1.0 - rel, 0.0, 1.0);
+}
+
+}  // namespace pfdrl::data

@@ -1,0 +1,136 @@
+#include "data/device.hpp"
+
+namespace pfdrl::data {
+
+const char* device_mode_name(DeviceMode m) noexcept {
+  switch (m) {
+    case DeviceMode::kOff: return "off";
+    case DeviceMode::kStandby: return "standby";
+    case DeviceMode::kOn: return "on";
+  }
+  return "?";
+}
+
+const char* device_type_name(DeviceType t) noexcept {
+  switch (t) {
+    case DeviceType::kTv: return "tv";
+    case DeviceType::kHvac: return "hvac";
+    case DeviceType::kLighting: return "lighting";
+    case DeviceType::kFridge: return "fridge";
+    case DeviceType::kWashingMachine: return "washing_machine";
+    case DeviceType::kDishwasher: return "dishwasher";
+    case DeviceType::kMicrowave: return "microwave";
+    case DeviceType::kComputer: return "computer";
+    case DeviceType::kWaterHeater: return "water_heater";
+    case DeviceType::kGameConsole: return "game_console";
+    case DeviceType::kCount: return "?";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<double> hours(std::initializer_list<double> w) { return w; }
+
+std::vector<DeviceArchetype> build_catalog() {
+  std::vector<DeviceArchetype> catalog;
+  catalog.resize(kNumDeviceTypes);
+
+  // Typical power figures (watts) follow published standby-power surveys
+  // (LBNL standby tables, Raj et al. 2009 cited by the paper).
+  {
+    auto& d = catalog[static_cast<std::size_t>(DeviceType::kTv)];
+    d.spec = {DeviceType::kTv, "tv", 6.0, 120.0, 0.10, 0.03};
+    d.behavior = {2.5, 90.0, 10.0, 0.15, false, 0, 0};
+    d.hourly_usage_weight =
+        hours({0.2, 0.1, 0.05, 0.05, 0.05, 0.1, 0.4, 0.6, 0.5, 0.3, 0.3, 0.4,
+               0.6, 0.5, 0.4, 0.4, 0.6, 1.0, 1.6, 2.0, 2.2, 1.8, 1.0, 0.5});
+  }
+  {
+    auto& d = catalog[static_cast<std::size_t>(DeviceType::kHvac)];
+    d.spec = {DeviceType::kHvac, "hvac", 10.0, 1800.0, 0.12, 0.04, true};
+    d.behavior = {0.0, 0.0, 0.0, 0.0, true, 18.0, 42.0};
+    d.hourly_usage_weight =
+        hours({0.7, 0.6, 0.6, 0.6, 0.6, 0.7, 0.9, 1.0, 1.0, 1.0, 1.1, 1.3,
+               1.5, 1.6, 1.7, 1.7, 1.5, 1.3, 1.2, 1.1, 1.0, 0.9, 0.8, 0.7});
+  }
+  {
+    auto& d = catalog[static_cast<std::size_t>(DeviceType::kLighting)];
+    d.spec = {DeviceType::kLighting, "lighting", 2.0, 60.0, 0.15, 0.05};
+    d.behavior = {3.0, 120.0, 15.0, 0.5, false, 0, 0};
+    d.hourly_usage_weight =
+        hours({0.3, 0.1, 0.05, 0.05, 0.1, 0.4, 1.0, 1.2, 0.6, 0.3, 0.2, 0.2,
+               0.2, 0.2, 0.2, 0.3, 0.6, 1.2, 1.8, 2.0, 1.9, 1.6, 1.0, 0.5});
+  }
+  {
+    auto& d = catalog[static_cast<std::size_t>(DeviceType::kFridge)];
+    d.spec = {DeviceType::kFridge, "fridge", 3.0, 150.0, 0.08, 0.03, true};
+    d.behavior = {0.0, 0.0, 0.0, 0.0, true, 15.0, 30.0};
+    d.hourly_usage_weight = std::vector<double>(24, 1.0);
+  }
+  {
+    auto& d = catalog[static_cast<std::size_t>(DeviceType::kWashingMachine)];
+    d.spec = {DeviceType::kWashingMachine, "washing_machine", 4.0, 500.0,
+              0.20, 0.04};
+    d.behavior = {0.4, 50.0, 30.0, 0.6, false, 0, 0};
+    d.hourly_usage_weight =
+        hours({0.05, 0.02, 0.02, 0.02, 0.02, 0.05, 0.3, 0.7, 0.9, 1.0, 1.0,
+               0.9, 0.8, 0.8, 0.7, 0.7, 0.8, 1.0, 1.1, 0.9, 0.6, 0.3, 0.15,
+               0.08});
+  }
+  {
+    auto& d = catalog[static_cast<std::size_t>(DeviceType::kDishwasher)];
+    d.spec = {DeviceType::kDishwasher, "dishwasher", 3.5, 1200.0, 0.15, 0.04};
+    d.behavior = {0.6, 75.0, 45.0, 0.5, false, 0, 0};
+    d.hourly_usage_weight =
+        hours({0.05, 0.02, 0.02, 0.02, 0.02, 0.05, 0.2, 0.6, 0.8, 0.5, 0.3,
+               0.4, 0.8, 0.9, 0.4, 0.3, 0.3, 0.5, 1.0, 1.8, 1.6, 1.0, 0.4,
+               0.1});
+  }
+  {
+    auto& d = catalog[static_cast<std::size_t>(DeviceType::kMicrowave)];
+    d.spec = {DeviceType::kMicrowave, "microwave", 3.0, 1100.0, 0.10, 0.03};
+    d.behavior = {2.0, 4.0, 1.0, 0.05, false, 0, 0};
+    d.hourly_usage_weight =
+        hours({0.05, 0.02, 0.02, 0.02, 0.05, 0.2, 1.0, 1.6, 1.0, 0.4, 0.4,
+               1.2, 1.8, 1.2, 0.4, 0.3, 0.5, 1.2, 1.8, 1.4, 0.8, 0.4, 0.2,
+               0.1});
+  }
+  {
+    auto& d = catalog[static_cast<std::size_t>(DeviceType::kComputer)];
+    d.spec = {DeviceType::kComputer, "computer", 8.0, 180.0, 0.15, 0.04};
+    d.behavior = {2.0, 150.0, 20.0, 0.1, false, 0, 0};
+    d.hourly_usage_weight =
+        hours({0.4, 0.2, 0.1, 0.05, 0.05, 0.1, 0.3, 0.6, 1.2, 1.6, 1.7, 1.6,
+               1.4, 1.6, 1.7, 1.6, 1.4, 1.2, 1.2, 1.4, 1.4, 1.2, 0.9, 0.6});
+  }
+  {
+    auto& d = catalog[static_cast<std::size_t>(DeviceType::kWaterHeater)];
+    d.spec = {DeviceType::kWaterHeater, "water_heater", 6.0, 4000.0, 0.10,
+              0.03, true};
+    d.behavior = {0.0, 0.0, 0.0, 0.0, true, 10.0, 80.0};
+    d.hourly_usage_weight =
+        hours({0.5, 0.4, 0.4, 0.4, 0.5, 1.0, 1.8, 2.0, 1.4, 0.9, 0.7, 0.7,
+               0.8, 0.7, 0.6, 0.6, 0.7, 1.0, 1.4, 1.6, 1.5, 1.2, 0.9, 0.6});
+  }
+  {
+    auto& d = catalog[static_cast<std::size_t>(DeviceType::kGameConsole)];
+    d.spec = {DeviceType::kGameConsole, "game_console", 12.0, 150.0, 0.12,
+              0.05};
+    d.behavior = {0.8, 80.0, 15.0, 0.1, false, 0, 0};
+    d.hourly_usage_weight =
+        hours({0.3, 0.15, 0.1, 0.05, 0.05, 0.05, 0.1, 0.2, 0.3, 0.3, 0.3,
+               0.4, 0.5, 0.5, 0.6, 0.8, 1.2, 1.6, 1.8, 2.0, 2.0, 1.6, 1.0,
+               0.5});
+  }
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<DeviceArchetype>& device_catalog() {
+  static const std::vector<DeviceArchetype> catalog = build_catalog();
+  return catalog;
+}
+
+}  // namespace pfdrl::data

@@ -1,0 +1,94 @@
+// Device models for the synthetic residential load generator.
+//
+// This module replaces the Pecan Street Dataport traces (proprietary,
+// account-gated) with a statistical equivalent: per-device minute-level
+// power series where the three operating modes the paper's EMS acts on
+// (off / standby / on) are clearly present, standby is a roughly constant
+// low draw, and on-power varies realistically. See DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfdrl::data {
+
+/// Ground-truth operating mode of a device at a given minute. The EMS
+/// never sees this directly — it classifies modes from power draw
+/// (ems/mode.hpp) — but the generator uses it, and tests check the
+/// classifier against it.
+enum class DeviceMode : std::uint8_t { kOff = 0, kStandby = 1, kOn = 2 };
+
+const char* device_mode_name(DeviceMode m) noexcept;
+
+/// Device categories mirroring the appliance types in the Pecan Street
+/// dataset's disaggregated columns.
+enum class DeviceType : std::uint8_t {
+  kTv = 0,
+  kHvac,
+  kLighting,
+  kFridge,
+  kWashingMachine,
+  kDishwasher,
+  kMicrowave,
+  kComputer,
+  kWaterHeater,
+  kGameConsole,
+  kCount  // sentinel
+};
+
+constexpr std::size_t kNumDeviceTypes = static_cast<std::size_t>(DeviceType::kCount);
+
+const char* device_type_name(DeviceType t) noexcept;
+
+/// Static electrical characteristics of one concrete device instance.
+/// Power values are watts.
+struct DeviceSpec {
+  DeviceType type = DeviceType::kTv;
+  std::string label;        // e.g. "tv@home3"
+  double standby_watts = 5.0;
+  double on_watts = 100.0;
+  /// Fraction of on-power fluctuation (multiplicative noise).
+  double on_noise = 0.08;
+  /// Fraction of standby-power fluctuation.
+  double standby_noise = 0.03;
+  /// Protected devices (fridge, HVAC, water heater) duty-cycle on their
+  /// own: their low-power phase is part of normal operation, not standby
+  /// waste, and an EMS must never switch them off. They are metered and
+  /// forecast like everything else but excluded from EMS actuation —
+  /// the standard "do-not-touch" list of residential EMS products.
+  bool protected_device = false;
+};
+
+/// Behavioural parameters: how often and how long the device runs, and
+/// what happens after use (the standby-waste behaviour PFDRL reclaims).
+struct DeviceBehavior {
+  /// Mean number of usage sessions per day.
+  double sessions_per_day = 2.0;
+  /// Mean/min session length in minutes.
+  double mean_session_minutes = 60.0;
+  double min_session_minutes = 5.0;
+  /// Probability that the user powers the device fully off after a
+  /// session (otherwise it lingers in standby until the next session).
+  double off_after_use_prob = 0.2;
+  /// Duty-cycling device (fridge/HVAC): alternates on/standby on its own
+  /// regardless of user sessions.
+  bool duty_cycling = false;
+  double duty_on_minutes = 20.0;
+  double duty_off_minutes = 40.0;
+};
+
+/// Catalog entry: typical spec + behaviour for a device type. Concrete
+/// instances are sampled around these in household.cpp.
+struct DeviceArchetype {
+  DeviceSpec spec;
+  DeviceBehavior behavior;
+  /// Relative weight of usage probability per hour of day [24]; scaled by
+  /// sessions_per_day. Household profiles shift/stretch this curve.
+  std::vector<double> hourly_usage_weight;  // size 24
+};
+
+/// The built-in catalog, one archetype per DeviceType.
+const std::vector<DeviceArchetype>& device_catalog();
+
+}  // namespace pfdrl::data

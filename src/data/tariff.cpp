@@ -1,0 +1,24 @@
+#include "data/tariff.hpp"
+
+#include <algorithm>
+
+namespace pfdrl::data {
+
+double VariableTariff::cents_per_kwh(
+    std::size_t minute_of_year) const noexcept {
+  // Diurnal shape: overnight trough, late-afternoon peak (ERCOT-like).
+  static constexpr double kHourly[24] = {
+      0.35, 0.30, 0.28, 0.28, 0.30, 0.40, 0.60, 0.80, 0.85, 0.90, 0.95, 1.00,
+      1.10, 1.25, 1.45, 1.60, 1.70, 1.60, 1.35, 1.15, 1.00, 0.80, 0.60, 0.45};
+  // Monthly wholesale factor: summer scarcity pricing, soft shoulders.
+  static constexpr double kMonthly[12] = {0.9, 0.85, 0.8, 0.7, 0.75, 0.95,
+                                          1.35, 1.6, 1.4, 1.0, 0.85, 0.9};
+  const std::size_t minute_of_day = minute_of_year % (24 * 60);
+  const std::size_t hour = minute_of_day / 60;
+  const std::uint32_t month = month_of_minute(minute_of_year);
+  // Base level chosen so the yearly average sits near the fixed plan.
+  const double cents = 11.0 * kHourly[hour] * kMonthly[month];
+  return std::clamp(cents, kMinCents, kMaxCents);
+}
+
+}  // namespace pfdrl::data

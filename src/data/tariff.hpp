@@ -1,0 +1,58 @@
+// Electricity tariffs for the monetary-cost metric (paper §4, Fig. 10):
+// a Texas-style fixed-rate plan (11.67 ¢/kWh average) and a variable
+// (time-of-use) plan quoted in the paper's 0.08–20 ¢/kWh range, with the
+// seasonal structure that makes the two plans trade places across months.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace pfdrl::data {
+
+class Tariff {
+ public:
+  virtual ~Tariff() = default;
+  /// Price in cents per kWh at the given minute of the year (months are
+  /// modeled as 30 days for simplicity).
+  [[nodiscard]] virtual double cents_per_kwh(std::size_t minute_of_year)
+      const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Flat rate: the paper quotes 11.67 cents/kWh average for TX.
+class FixedTariff final : public Tariff {
+ public:
+  explicit FixedTariff(double cents = 11.67) noexcept : cents_(cents) {}
+  [[nodiscard]] double cents_per_kwh(std::size_t) const noexcept override {
+    return cents_;
+  }
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+
+ private:
+  double cents_;
+};
+
+/// Time-of-use rate: diurnal curve (cheap overnight, expensive late
+/// afternoon) scaled by a monthly wholesale factor (expensive summer,
+/// cheap spring/fall), clamped to the paper's quoted [0.08, 20] band.
+class VariableTariff final : public Tariff {
+ public:
+  VariableTariff() noexcept = default;
+  [[nodiscard]] double cents_per_kwh(
+      std::size_t minute_of_year) const noexcept override;
+  [[nodiscard]] std::string name() const override { return "variable"; }
+
+  static constexpr double kMinCents = 0.08;
+  static constexpr double kMaxCents = 20.0;
+};
+
+/// Minutes per modeled month (30 days).
+constexpr std::size_t kMinutesPerMonth = 30 * 24 * 60;
+
+/// Month (0..11) for a minute of the year under the 30-day-month model.
+constexpr std::uint32_t month_of_minute(std::size_t minute_of_year) noexcept {
+  return static_cast<std::uint32_t>((minute_of_year / kMinutesPerMonth) % 12);
+}
+
+}  // namespace pfdrl::data

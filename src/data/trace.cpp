@@ -1,0 +1,179 @@
+#include "data/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pfdrl::data {
+
+double DeviceTrace::energy_kwh(std::size_t begin, std::size_t end) const {
+  end = std::min(end, watts.size());
+  double wh = 0.0;
+  for (std::size_t m = begin; m < end; ++m) wh += watts[m] / 60.0;
+  return wh / 1000.0;
+}
+
+double DeviceTrace::standby_energy_kwh(std::size_t begin,
+                                       std::size_t end) const {
+  end = std::min(end, watts.size());
+  double wh = 0.0;
+  for (std::size_t m = begin; m < end; ++m) {
+    if (modes[m] == DeviceMode::kStandby) wh += watts[m] / 60.0;
+  }
+  return wh / 1000.0;
+}
+
+double HouseholdTrace::total_energy_kwh() const {
+  double total = 0.0;
+  for (const auto& d : devices) total += d.energy_kwh(0, d.minutes());
+  return total;
+}
+
+double HouseholdTrace::total_standby_energy_kwh() const {
+  double total = 0.0;
+  for (const auto& d : devices) {
+    total += d.standby_energy_kwh(0, d.minutes());
+  }
+  return total;
+}
+
+double seasonal_factor(std::uint32_t month) noexcept {
+  // Texas cooling season: July/August peak, mild winters.
+  static constexpr double kByMonth[12] = {0.8, 0.8, 0.85, 0.95, 1.1, 1.3,
+                                          1.45, 1.5, 1.3, 1.05, 0.9, 0.85};
+  return kByMonth[month % 12];
+}
+
+namespace {
+
+/// Per-minute probability that a session starts in hour `h`, such that
+/// the expected number of sessions per day matches behavior.sessions_per_day
+/// given the hourly weights.
+double session_start_prob(const HouseholdDevice& dev, std::size_t hour) {
+  const auto& w = dev.hourly_usage_weight;
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  // sessions/day = sum_h p(h) * 60  =>  p(h) = rate * w[h] with
+  // rate = sessions_per_day / (60 * total).
+  return dev.behavior.sessions_per_day * w[hour] / (60.0 * total);
+}
+
+double session_length_minutes(const HouseholdDevice& dev, util::Rng& rng) {
+  // Exponential around the mean, floored at the minimum: short sessions
+  // dominate but long tails exist (mirrors appliance usage studies).
+  const double u = std::max(1e-12, rng.uniform());
+  const double len = -dev.behavior.mean_session_minutes * std::log(u);
+  return std::max(dev.behavior.min_session_minutes, len);
+}
+
+}  // namespace
+
+DeviceTrace generate_device_trace(const HouseholdDevice& device,
+                                  const TraceConfig& cfg, util::Rng rng) {
+  const std::size_t total_minutes = cfg.days * kMinutesPerDay;
+  DeviceTrace trace;
+  trace.spec = device.spec;
+  trace.watts.resize(total_minutes, 0.0);
+  trace.modes.resize(total_minutes, DeviceMode::kStandby);
+
+  const bool thermal = device.spec.type == DeviceType::kHvac ||
+                       device.spec.type == DeviceType::kWaterHeater;
+  const double season = thermal ? seasonal_factor(cfg.month) : 1.0;
+
+  if (device.behavior.duty_cycling) {
+    // Autonomous on/standby alternation. The on-fraction scales with the
+    // hourly weight and the seasonal factor by stretching on-periods.
+    DeviceMode mode = DeviceMode::kStandby;
+    double remaining = rng.uniform(1.0, device.behavior.duty_off_minutes);
+    for (std::size_t m = 0; m < total_minutes; ++m) {
+      if (remaining <= 0.0) {
+        const std::size_t h = hour_of_day(m);
+        const double intensity = device.hourly_usage_weight[h] * season;
+        if (mode == DeviceMode::kOn) {
+          mode = DeviceMode::kStandby;
+          remaining = std::max(
+              2.0, device.behavior.duty_off_minutes / std::max(0.2, intensity) *
+                       rng.uniform(0.7, 1.3));
+        } else {
+          mode = DeviceMode::kOn;
+          remaining = std::max(2.0, device.behavior.duty_on_minutes *
+                                        intensity * rng.uniform(0.7, 1.3));
+        }
+      }
+      remaining -= 1.0;
+      trace.modes[m] = mode;
+    }
+  } else {
+    // User-session process.
+    DeviceMode mode = rng.bernoulli(0.5) ? DeviceMode::kStandby
+                                         : DeviceMode::kOff;
+    double session_remaining = 0.0;
+    for (std::size_t m = 0; m < total_minutes; ++m) {
+      const std::size_t h = hour_of_day(m);
+      const bool night = h >= 22 || h < 6;
+      if (mode == DeviceMode::kOn) {
+        session_remaining -= 1.0;
+        if (session_remaining <= 0.0) {
+          // People are far more likely to power a device fully off when
+          // the session ends late at night (heading to bed) than during
+          // the day — this is what makes overnight standby waste small
+          // and midday-to-midnight waste large (paper Fig. 11).
+          const double p_off = std::min(
+              0.9, device.behavior.off_after_use_prob + (night ? 0.35 : 0.0));
+          mode = rng.bernoulli(p_off) ? DeviceMode::kOff
+                                      : DeviceMode::kStandby;
+        }
+      } else {
+        if (mode == DeviceMode::kStandby && night &&
+            rng.bernoulli(1.0 / 240.0)) {
+          // Bedtime sweep: lingering standby devices get switched off at
+          // some point during the night.
+          mode = DeviceMode::kOff;
+        }
+        if (rng.bernoulli(session_start_prob(device, h))) {
+          mode = DeviceMode::kOn;
+          session_remaining = session_length_minutes(device, rng);
+        }
+      }
+      trace.modes[m] = mode;
+    }
+  }
+
+  // Power draw per mode, with multiplicative noise. On-power for thermal
+  // devices additionally scales with season (compressor load).
+  for (std::size_t m = 0; m < total_minutes; ++m) {
+    switch (trace.modes[m]) {
+      case DeviceMode::kOff:
+        trace.watts[m] = 0.0;
+        break;
+      case DeviceMode::kStandby:
+        trace.watts[m] = std::max(
+            0.1, device.spec.standby_watts *
+                     (1.0 + device.spec.standby_noise * rng.normal()));
+        break;
+      case DeviceMode::kOn: {
+        const double base = device.spec.on_watts * (thermal ? season : 1.0);
+        trace.watts[m] = std::max(
+            device.spec.standby_watts * 2.0,
+            base * (1.0 + device.spec.on_noise * rng.normal()));
+        break;
+      }
+    }
+  }
+  return trace;
+}
+
+HouseholdTrace generate_household_trace(const HouseholdProfile& profile,
+                                        const TraceConfig& cfg) {
+  HouseholdTrace trace;
+  trace.household_id = profile.id;
+  trace.devices.reserve(profile.devices.size());
+  util::Rng root(cfg.seed ^ (0x9E3779B97F4A7C15ULL * (profile.id + 1)));
+  for (std::size_t d = 0; d < profile.devices.size(); ++d) {
+    trace.devices.push_back(
+        generate_device_trace(profile.devices[d], cfg, root.fork(d)));
+  }
+  return trace;
+}
+
+}  // namespace pfdrl::data

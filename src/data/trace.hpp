@@ -1,0 +1,81 @@
+// Minute-resolution synthetic load trace generation.
+//
+// Each device runs a small semi-Markov process: user-driven devices wait
+// in standby/off for the next usage session (hazard shaped by the
+// household-adjusted hourly curve), run for a random session length, and
+// afterwards either fall back to standby (the waste PFDRL reclaims) or
+// are switched off by the user. Duty-cycling devices (fridge, HVAC,
+// water heater) alternate on/standby autonomously, with the on-fraction
+// modulated by the hourly curve and by season (month).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/device.hpp"
+#include "data/household.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::data {
+
+constexpr std::size_t kMinutesPerDay = 24 * 60;
+constexpr std::size_t kMinutesPerHour = 60;
+
+/// Hour of day (0..23) for a minute index counted from trace start, with
+/// the trace assumed to start at midnight.
+constexpr std::size_t hour_of_day(std::size_t minute) noexcept {
+  return (minute / kMinutesPerHour) % 24;
+}
+constexpr std::size_t day_index(std::size_t minute) noexcept {
+  return minute / kMinutesPerDay;
+}
+
+/// One device's generated series.
+struct DeviceTrace {
+  DeviceSpec spec;
+  std::vector<double> watts;      // observed power (with noise)
+  std::vector<DeviceMode> modes;  // ground-truth operating mode
+
+  [[nodiscard]] std::size_t minutes() const noexcept { return watts.size(); }
+
+  /// Total energy in kWh over [begin, end) minutes.
+  [[nodiscard]] double energy_kwh(std::size_t begin, std::size_t end) const;
+  /// Energy spent in standby mode over [begin, end), kWh — the quantity
+  /// the paper's EMS tries to reclaim.
+  [[nodiscard]] double standby_energy_kwh(std::size_t begin,
+                                          std::size_t end) const;
+};
+
+struct HouseholdTrace {
+  std::uint32_t household_id = 0;
+  std::vector<DeviceTrace> devices;
+
+  [[nodiscard]] std::size_t minutes() const noexcept {
+    return devices.empty() ? 0 : devices.front().minutes();
+  }
+  [[nodiscard]] double total_energy_kwh() const;
+  [[nodiscard]] double total_standby_energy_kwh() const;
+};
+
+struct TraceConfig {
+  std::size_t days = 7;
+  /// Month of year (0..11) for seasonal modulation (HVAC load, Fig. 10).
+  std::uint32_t month = 6;
+  std::uint64_t seed = 1;
+};
+
+/// Generate one device's trace.
+DeviceTrace generate_device_trace(const HouseholdDevice& device,
+                                  const TraceConfig& cfg, util::Rng rng);
+
+/// Generate all devices of one household (device streams are forked from
+/// the config seed and the device index, so traces are stable even if
+/// generation is parallelised).
+HouseholdTrace generate_household_trace(const HouseholdProfile& profile,
+                                        const TraceConfig& cfg);
+
+/// Seasonal HVAC/water-heater intensity for a month (Texas-like: summer
+/// peak). Returns a multiplier around 1.
+double seasonal_factor(std::uint32_t month) noexcept;
+
+}  // namespace pfdrl::data

@@ -1,0 +1,94 @@
+#include "data/trace_io.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace pfdrl::data {
+
+namespace {
+
+/// The same ±10% band rule as ems::classify_mode, restated here so the
+/// data layer stays independent of the ems layer (which depends on it).
+DeviceMode classify_for_import(double watts, const DeviceSpec& spec) {
+  constexpr double kOffFloor = 0.5;
+  constexpr double kBand = 0.10;
+  if (watts < kOffFloor) return DeviceMode::kOff;
+  if (watts >= (1.0 - kBand) * spec.standby_watts &&
+      watts <= (1.0 + kBand) * spec.standby_watts) {
+    return DeviceMode::kStandby;
+  }
+  if (watts >= (1.0 - kBand) * spec.on_watts &&
+      watts <= (1.0 + kBand) * spec.on_watts) {
+    return DeviceMode::kOn;
+  }
+  const double d_s =
+      std::abs(std::log(std::max(watts, 1e-3) / spec.standby_watts));
+  const double d_on = std::abs(std::log(std::max(watts, 1e-3) / spec.on_watts));
+  return d_s <= d_on ? DeviceMode::kStandby : DeviceMode::kOn;
+}
+
+DeviceMode parse_mode(const std::string& s) {
+  if (s == "off") return DeviceMode::kOff;
+  if (s == "standby") return DeviceMode::kStandby;
+  if (s == "on") return DeviceMode::kOn;
+  throw std::runtime_error("trace csv: unknown mode '" + s + "'");
+}
+
+}  // namespace
+
+util::CsvTable trace_to_csv(const DeviceTrace& trace) {
+  util::CsvTable table({"minute", "watts", "mode"});
+  for (std::size_t m = 0; m < trace.minutes(); ++m) {
+    char watts[32];
+    std::snprintf(watts, sizeof(watts), "%.4f", trace.watts[m]);
+    table.add_row({std::to_string(m), watts,
+                   device_mode_name(trace.modes[m])});
+  }
+  return table;
+}
+
+DeviceTrace trace_from_csv(const util::CsvTable& table,
+                           const DeviceSpec& spec) {
+  const auto minute_col = table.column("minute");
+  const auto watts_col = table.column("watts");
+  if (!minute_col || !watts_col) {
+    throw std::runtime_error("trace csv: need 'minute' and 'watts' columns");
+  }
+  const auto mode_col = table.column("mode");
+
+  DeviceTrace trace;
+  trace.spec = spec;
+  trace.watts.reserve(table.num_rows());
+  trace.modes.reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const auto minute = table.cell_as_double(r, *minute_col);
+    if (!minute || static_cast<std::size_t>(*minute) != r) {
+      throw std::runtime_error(
+          "trace csv: minutes must be consecutive starting at 0 (row " +
+          std::to_string(r) + ")");
+    }
+    const auto watts = table.cell_as_double(r, *watts_col);
+    if (!watts || *watts < 0.0) {
+      throw std::runtime_error("trace csv: bad watts at row " +
+                               std::to_string(r));
+    }
+    trace.watts.push_back(*watts);
+    if (mode_col) {
+      trace.modes.push_back(parse_mode(table.cell(r, *mode_col)));
+    } else {
+      trace.modes.push_back(classify_for_import(*watts, spec));
+    }
+  }
+  return trace;
+}
+
+void save_trace_csv(const DeviceTrace& trace, const std::string& path) {
+  trace_to_csv(trace).save(path);
+}
+
+DeviceTrace load_trace_csv(const std::string& path, const DeviceSpec& spec) {
+  return trace_from_csv(util::CsvTable::load(path), spec);
+}
+
+}  // namespace pfdrl::data

@@ -1,0 +1,34 @@
+// CSV interchange for device traces.
+//
+// Users with access to real device-level data (e.g. a Pecan Street
+// Dataport export) can run every pipeline in this repository on it: the
+// expected schema is one row per minute,
+//     minute,watts[,mode]
+// with `mode` one of off/standby/on (optional — when absent, modes are
+// reconstructed with the ±10% band classifier from ems/mode.hpp using the
+// spec passed in). Export writes the same schema, so synthetic traces
+// can be round-tripped into plotting tools.
+#pragma once
+
+#include <string>
+
+#include "data/trace.hpp"
+#include "util/csv.hpp"
+
+namespace pfdrl::data {
+
+/// Serialize one device trace to CSV (minute, watts, mode).
+util::CsvTable trace_to_csv(const DeviceTrace& trace);
+
+/// Parse a device trace from CSV. Rows must be consecutive minutes
+/// starting at 0; throws std::runtime_error on schema violations.
+/// When the mode column is missing, modes are classified from watts
+/// using the ±10% bands of `spec`.
+DeviceTrace trace_from_csv(const util::CsvTable& table,
+                           const DeviceSpec& spec);
+
+/// File convenience wrappers.
+void save_trace_csv(const DeviceTrace& trace, const std::string& path);
+DeviceTrace load_trace_csv(const std::string& path, const DeviceSpec& spec);
+
+}  // namespace pfdrl::data

@@ -1,0 +1,80 @@
+#include "ems/env.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+
+namespace pfdrl::ems {
+
+EmsEnvironment::EmsEnvironment(const data::DeviceTrace& trace,
+                               std::vector<double> forecast_watts,
+                               std::size_t begin, std::size_t meter_interval)
+    : trace_(&trace),
+      forecast_watts_(std::move(forecast_watts)),
+      begin_(begin),
+      meter_interval_(std::max<std::size_t>(1, meter_interval)),
+      bands_(bands_for(trace.spec)),
+      scale_(data::normalization_scale(trace.spec)) {
+  if (begin_ + forecast_watts_.size() > trace.minutes()) {
+    throw std::invalid_argument("EmsEnvironment: span exceeds trace");
+  }
+}
+
+std::size_t EmsEnvironment::last_report_minute(
+    std::size_t minute) const noexcept {
+  if (minute == 0) return 0;
+  // Reports land at minutes 0, R, 2R, ...; the newest strictly before
+  // `minute` is available when acting at `minute`.
+  return ((minute - 1) / meter_interval_) * meter_interval_;
+}
+
+std::vector<double> EmsEnvironment::state_at(std::size_t idx) const {
+  assert(idx < length());
+  std::vector<double> s(kStateDim, 0.0);
+  const std::size_t minute = begin_ + idx;
+  // Log-compressed encoding: off/standby/on land on well-separated
+  // levels (~0 / ~0.3 / ~0.9) instead of 0 / 0.01 / 0.7.
+  s[0] = data::encode_watts(forecast_watts_[idx], scale_, /*log_scale=*/true);
+  // Causal meter history: the two most recent *reported* readings.
+  const std::size_t report = last_report_minute(minute);
+  const std::size_t prev_report =
+      report >= meter_interval_ ? report - meter_interval_ : 0;
+  s[1] = data::encode_watts(trace_->watts[report], scale_, /*log_scale=*/true);
+  s[2] = data::encode_watts(trace_->watts[prev_report], scale_,
+                            /*log_scale=*/true);
+  const double hour_frac =
+      static_cast<double>(minute % data::kMinutesPerDay) /
+      static_cast<double>(data::kMinutesPerDay);
+  s[3] = std::sin(2.0 * std::numbers::pi * hour_frac);
+  s[4] = std::cos(2.0 * std::numbers::pi * hour_frac);
+  return s;
+}
+
+data::DeviceMode EmsEnvironment::observed_mode(std::size_t idx) const {
+  return classify_mode(real_watts(idx), bands_);
+}
+
+data::DeviceMode EmsEnvironment::predicted_mode(std::size_t idx) const {
+  return classify_mode(forecast_watts_[idx], bands_);
+}
+
+data::DeviceMode EmsEnvironment::true_mode(std::size_t idx) const {
+  return trace_->modes[begin_ + idx];
+}
+
+double EmsEnvironment::reward_at(std::size_t idx, int action) const {
+  return reward(observed_mode(idx), action_to_mode(action));
+}
+
+double EmsEnvironment::real_watts(std::size_t idx) const noexcept {
+  return trace_->watts[begin_ + idx];
+}
+
+double EmsEnvironment::forecast_watts(std::size_t idx) const noexcept {
+  return forecast_watts_[idx];
+}
+
+}  // namespace pfdrl::ems

@@ -1,0 +1,47 @@
+#include "ems/mode.hpp"
+
+#include <cmath>
+
+namespace pfdrl::ems {
+
+ModeBands bands_for(const data::DeviceSpec& spec) noexcept {
+  ModeBands bands;
+  bands.standby_watts = spec.standby_watts;
+  bands.on_watts = spec.on_watts;
+  return bands;
+}
+
+data::DeviceMode classify_mode(double watts,
+                               const ModeBands& bands) noexcept {
+  if (watts < bands.off_floor) return data::DeviceMode::kOff;
+  const double lo_s = (1.0 - bands.band) * bands.standby_watts;
+  const double hi_s = (1.0 + bands.band) * bands.standby_watts;
+  if (watts >= lo_s && watts <= hi_s) return data::DeviceMode::kStandby;
+  const double lo_on = (1.0 - bands.band) * bands.on_watts;
+  const double hi_on = (1.0 + bands.band) * bands.on_watts;
+  if (watts >= lo_on && watts <= hi_on) return data::DeviceMode::kOn;
+
+  // Outside all bands: nearest center by relative (log-scale) distance —
+  // a 40 W reading on a 5 W-standby / 1800 W-on HVAC is much closer to
+  // standby than to on.
+  const double d_off = std::abs(std::log(std::max(watts, 1e-3) /
+                                         std::max(bands.off_floor, 1e-3)));
+  const double d_s =
+      std::abs(std::log(std::max(watts, 1e-3) / bands.standby_watts));
+  const double d_on =
+      std::abs(std::log(std::max(watts, 1e-3) / bands.on_watts));
+  if (d_s <= d_on && d_s <= d_off) return data::DeviceMode::kStandby;
+  if (d_on <= d_s && d_on <= d_off) return data::DeviceMode::kOn;
+  return data::DeviceMode::kOff;
+}
+
+double mode_watts(data::DeviceMode mode, const ModeBands& bands) noexcept {
+  switch (mode) {
+    case data::DeviceMode::kOff: return 0.0;
+    case data::DeviceMode::kStandby: return bands.standby_watts;
+    case data::DeviceMode::kOn: return bands.on_watts;
+  }
+  return 0.0;
+}
+
+}  // namespace pfdrl::ems

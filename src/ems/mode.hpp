@@ -1,0 +1,31 @@
+// Operating-mode classification from observed power draw (paper §3.3.1):
+// a reading of ~0 is off; within ±10% of the device's standby level is
+// standby; within ±10% of the on level is on. Readings outside all bands
+// (noise, transients) fall back to the nearest mode center measured by
+// relative distance, so the classifier is total.
+#pragma once
+
+#include "data/device.hpp"
+
+namespace pfdrl::ems {
+
+struct ModeBands {
+  double standby_watts = 5.0;
+  double on_watts = 100.0;
+  /// Below this the device is considered off (watts).
+  double off_floor = 0.5;
+  /// Half-width of the standby/on bands as a fraction (paper: 0.9–1.1,
+  /// i.e. 0.10).
+  double band = 0.10;
+};
+
+/// Bands for a concrete device spec.
+ModeBands bands_for(const data::DeviceSpec& spec) noexcept;
+
+/// Classify one power reading.
+data::DeviceMode classify_mode(double watts, const ModeBands& bands) noexcept;
+
+/// Mode center value (watts) for reconstructing a nominal draw.
+double mode_watts(data::DeviceMode mode, const ModeBands& bands) noexcept;
+
+}  // namespace pfdrl::ems

@@ -1,0 +1,59 @@
+#include "ems/policies.hpp"
+
+#include "data/trace.hpp"
+
+namespace pfdrl::ems {
+
+std::vector<int> oracle_actions(const EmsEnvironment& env) {
+  std::vector<int> actions(env.length());
+  for (std::size_t i = 0; i < env.length(); ++i) {
+    actions[i] = mode_to_action(optimal_action(env.true_mode(i)));
+  }
+  return actions;
+}
+
+std::vector<int> reactive_actions(const EmsEnvironment& env) {
+  std::vector<int> actions(env.length());
+  for (std::size_t i = 0; i < env.length(); ++i) {
+    const std::size_t minute = env.begin_minute() + i;
+    const std::size_t report = env.last_report_minute(minute);
+    const auto mode = classify_mode(env.trace().watts[report], env.bands());
+    actions[i] = mode_to_action(optimal_action(mode));
+  }
+  return actions;
+}
+
+std::vector<int> timer_actions(const EmsEnvironment& env,
+                               std::size_t off_hour, std::size_t on_hour) {
+  std::vector<int> actions(env.length());
+  for (std::size_t i = 0; i < env.length(); ++i) {
+    const std::size_t minute = env.begin_minute() + i;
+    const std::size_t hour = data::hour_of_day(minute);
+    const bool in_window = off_hour <= on_hour
+                               ? (hour >= off_hour && hour < on_hour)
+                               : (hour >= off_hour || hour < on_hour);
+    if (in_window) {
+      actions[i] = mode_to_action(data::DeviceMode::kOff);
+    } else {
+      // Outside its window the timer leaves the device alone (hold the
+      // last reported mode, same as the passive baseline).
+      const std::size_t report = env.last_report_minute(minute);
+      actions[i] = mode_to_action(
+          classify_mode(env.trace().watts[report], env.bands()));
+    }
+  }
+  return actions;
+}
+
+std::vector<int> passive_actions(const EmsEnvironment& env) {
+  std::vector<int> actions(env.length());
+  for (std::size_t i = 0; i < env.length(); ++i) {
+    const std::size_t minute = env.begin_minute() + i;
+    const std::size_t report = env.last_report_minute(minute);
+    const auto mode = classify_mode(env.trace().watts[report], env.bands());
+    actions[i] = mode_to_action(mode);  // hold, never optimize
+  }
+  return actions;
+}
+
+}  // namespace pfdrl::ems

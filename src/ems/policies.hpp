@@ -1,0 +1,32 @@
+// Non-learning EMS policies: the upper bound (oracle) and the heuristics
+// a commercial product would ship without RL. They bracket the DQN's
+// performance in the ablation bench and give the examples something to
+// compare against.
+#pragma once
+
+#include <vector>
+
+#include "ems/env.hpp"
+
+namespace pfdrl::ems {
+
+/// Upper bound: acts on generator ground truth (not realizable — the
+/// truth is only known to the simulator).
+std::vector<int> oracle_actions(const EmsEnvironment& env);
+
+/// Reactive rule on the newest meter report: off when the report reads
+/// standby or off, on when it reads on. No anticipation, no learning.
+std::vector<int> reactive_actions(const EmsEnvironment& env);
+
+/// Night timer: switch everything off between `off_hour` and `on_hour`
+/// (e.g. 0-6 AM), leave devices alone otherwise. The classic dumb plug
+/// timer.
+std::vector<int> timer_actions(const EmsEnvironment& env,
+                               std::size_t off_hour = 0,
+                               std::size_t on_hour = 6);
+
+/// Do nothing: hold each device in its last *reported* mode (an EMS that
+/// never initiates a switch). Saves nothing; the no-EMS baseline.
+std::vector<int> passive_actions(const EmsEnvironment& env);
+
+}  // namespace pfdrl::ems

@@ -1,0 +1,30 @@
+#include "ems/reward.hpp"
+
+#include <cstdlib>
+
+namespace pfdrl::ems {
+
+double reward(data::DeviceMode ground_truth,
+              data::DeviceMode action) noexcept {
+  using data::DeviceMode;
+  // The one exception first: reclaiming standby waste pays +30.
+  if (ground_truth == DeviceMode::kStandby && action == DeviceMode::kOff) {
+    return 30.0;
+  }
+  if (ground_truth == action) return 10.0;
+  const int distance = std::abs(static_cast<int>(ground_truth) -
+                                static_cast<int>(action));
+  return distance >= 2 ? -30.0 : -10.0;
+}
+
+data::DeviceMode optimal_action(data::DeviceMode ground_truth) noexcept {
+  using data::DeviceMode;
+  switch (ground_truth) {
+    case DeviceMode::kOn: return DeviceMode::kOn;
+    case DeviceMode::kStandby: return DeviceMode::kOff;
+    case DeviceMode::kOff: return DeviceMode::kOff;
+  }
+  return DeviceMode::kOff;
+}
+
+}  // namespace pfdrl::ems

@@ -1,0 +1,29 @@
+// The paper's reward function (Table 1). Actions are target device modes
+// (0 = off, 1 = standby, 2 = on); the ground-truth column is the mode the
+// device is actually needed in. Matching earns +10; one-step mismatches
+// -10; two-step mismatches -30; the single exception is the whole point
+// of the system — turning a standby device fully off earns +30.
+#pragma once
+
+#include "data/device.hpp"
+
+namespace pfdrl::ems {
+
+constexpr int kNumActions = 3;
+
+/// Table 1 exactly.
+double reward(data::DeviceMode ground_truth, data::DeviceMode action) noexcept;
+
+/// Integer action index <-> mode (Eq. 5: 0 off, 1 standby, 2 on).
+constexpr data::DeviceMode action_to_mode(int action) noexcept {
+  return static_cast<data::DeviceMode>(action);
+}
+constexpr int mode_to_action(data::DeviceMode mode) noexcept {
+  return static_cast<int>(mode);
+}
+
+/// The reward-optimal action for a ground-truth mode (used by tests and
+/// the oracle baseline): on -> on, standby -> off, off -> off.
+data::DeviceMode optimal_action(data::DeviceMode ground_truth) noexcept;
+
+}  // namespace pfdrl::ems

@@ -1,0 +1,79 @@
+#include "fl/aggregate.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pfdrl::fl {
+
+void fedavg(std::span<const std::span<const double>> inputs,
+            std::span<double> out) {
+  if (inputs.empty()) throw std::invalid_argument("fedavg: no inputs");
+  const std::size_t n = out.size();
+  for (const auto& in : inputs) {
+    if (in.size() != n) throw std::invalid_argument("fedavg: size mismatch");
+  }
+  const double inv = 1.0 / static_cast<double>(inputs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (const auto& in : inputs) sum += in[i];
+    out[i] = sum * inv;
+  }
+}
+
+void fedavg_weighted(std::span<const std::span<const double>> inputs,
+                     std::span<const double> weights, std::span<double> out) {
+  if (inputs.empty()) throw std::invalid_argument("fedavg_weighted: no inputs");
+  if (inputs.size() != weights.size()) {
+    throw std::invalid_argument("fedavg_weighted: weights size mismatch");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("fedavg_weighted: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("fedavg_weighted: zero total weight");
+  }
+  const std::size_t n = out.size();
+  for (const auto& in : inputs) {
+    if (in.size() != n) {
+      throw std::invalid_argument("fedavg_weighted: size mismatch");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      sum += weights[k] * inputs[k][i];
+    }
+    out[i] = sum / total;
+  }
+}
+
+void fedavg_prefix(std::span<const std::span<const double>> inputs,
+                   std::size_t prefix_len, std::span<double> out) {
+  if (inputs.empty()) throw std::invalid_argument("fedavg_prefix: no inputs");
+  if (prefix_len > out.size()) {
+    throw std::invalid_argument("fedavg_prefix: prefix exceeds output");
+  }
+  for (const auto& in : inputs) {
+    if (in.size() < prefix_len) {
+      throw std::invalid_argument("fedavg_prefix: input shorter than prefix");
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(inputs.size());
+  for (std::size_t i = 0; i < prefix_len; ++i) {
+    double sum = 0.0;
+    for (const auto& in : inputs) sum += in[i];
+    out[i] = sum * inv;
+  }
+}
+
+std::vector<double> fedavg(const std::vector<std::vector<double>>& inputs) {
+  if (inputs.empty()) throw std::invalid_argument("fedavg: no inputs");
+  std::vector<std::span<const double>> views(inputs.begin(), inputs.end());
+  std::vector<double> out(inputs.front().size(), 0.0);
+  fedavg(views, out);
+  return out;
+}
+
+}  // namespace pfdrl::fl

@@ -1,0 +1,33 @@
+// Federated parameter aggregation primitives (the paper's Eq. 2 / Alg. 1
+// averaging step, and the Eq. 7 base-layer variant used by PFDRL).
+//
+// All functions are order-independent up to floating-point associativity;
+// the callers always pass contributions in a fixed (agent-id) order so
+// results are bit-reproducible regardless of delivery interleaving.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pfdrl::fl {
+
+/// Uniform FedAvg: out = mean of all inputs. All spans must share one
+/// size; `inputs` must be non-empty. out may alias inputs[i].
+void fedavg(std::span<const std::span<const double>> inputs,
+            std::span<double> out);
+
+/// Weighted FedAvg (weights renormalized internally; must be >= 0 with a
+/// positive sum).
+void fedavg_weighted(std::span<const std::span<const double>> inputs,
+                     std::span<const double> weights, std::span<double> out);
+
+/// Average only the prefix [0, prefix_len) of each vector (PFDRL base
+/// layers); the suffix of `out` is left untouched (personalization
+/// layers stay local, Eq. 8).
+void fedavg_prefix(std::span<const std::span<const double>> inputs,
+                   std::size_t prefix_len, std::span<double> out);
+
+/// Convenience owning overloads.
+std::vector<double> fedavg(const std::vector<std::vector<double>>& inputs);
+
+}  // namespace pfdrl::fl

@@ -1,0 +1,102 @@
+#include "fl/baselines.hpp"
+
+#include "forecast/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pfdrl::fl {
+
+CloudTrainer::CloudTrainer(const std::vector<data::HouseholdTrace>& traces,
+                           CloudConfig cfg)
+    : traces_(traces), cfg_(cfg) {
+  if (traces_.empty()) throw std::invalid_argument("CloudTrainer: no traces");
+  for (const auto& home : traces_) {
+    for (const auto& dev : home.devices) {
+      if (!models_.contains(dev.spec.type)) {
+        models_[dev.spec.type] = forecast::make_forecaster(
+            cfg_.method, cfg_.window,
+            cfg_.seed * 1000 + static_cast<std::uint64_t>(dev.spec.type));
+      }
+    }
+  }
+}
+
+std::size_t CloudTrainer::run(std::size_t train_begin, std::size_t train_end) {
+  const auto round_minutes =
+      static_cast<std::size_t>(cfg_.round_period_hours * 60.0);
+  if (round_minutes == 0) {
+    throw std::invalid_argument("CloudTrainer: round period too small");
+  }
+  std::size_t rounds = 0;
+  for (std::size_t begin = train_begin; begin < train_end;
+       begin += round_minutes) {
+    round(begin, std::min(begin + round_minutes, train_end));
+    ++rounds;
+  }
+  return rounds;
+}
+
+void CloudTrainer::round(std::size_t begin, std::size_t end) {
+  // Pooled training: the global per-type model sees every residence's
+  // trace for this window, in home order. Types are independent -> pool.
+  std::vector<data::DeviceType> types;
+  types.reserve(models_.size());
+  for (const auto& [type, _] : models_) types.push_back(type);
+
+  util::ThreadPool::global().parallel_for(0, types.size(), [&](std::size_t i) {
+    const data::DeviceType type = types[i];
+    auto& model = *models_.at(type);
+    util::Rng rng = util::Rng(cfg_.seed).fork(
+        rounds_done_ * 100 + static_cast<std::uint64_t>(type));
+    for (const auto& home : traces_) {
+      for (std::size_t d = 0; d < home.devices.size(); ++d) {
+        if (home.devices[d].spec.type != type) continue;
+        model.train(home.devices[d], begin, end, cfg_.train, rng);
+      }
+    }
+  });
+
+  // Raw-data upload accounting (every sampled minute, 8 bytes/sample).
+  for (const auto& home : traces_) {
+    raw_bytes_uploaded_ +=
+        static_cast<std::uint64_t>(home.devices.size()) * (end - begin) * 8;
+  }
+  ++rounds_done_;
+}
+
+const forecast::Forecaster& CloudTrainer::model_for_type(
+    data::DeviceType type) const {
+  const auto it = models_.find(type);
+  if (it == models_.end()) {
+    throw std::out_of_range("CloudTrainer: unknown device type");
+  }
+  return *it->second;
+}
+
+double CloudTrainer::mean_test_accuracy(std::size_t begin,
+                                        std::size_t end) const {
+  util::RunningStats stats;
+  for (double acc : per_agent_accuracy(begin, end)) stats.add(acc);
+  return stats.mean();
+}
+
+std::vector<double> CloudTrainer::per_agent_accuracy(std::size_t begin,
+                                                     std::size_t end) const {
+  std::vector<double> out(traces_.size(), 0.0);
+  util::ThreadPool::global().parallel_for(0, traces_.size(), [&](std::size_t h) {
+    util::RunningStats stats;
+    for (const auto& dev : traces_[h].devices) {
+      const auto& model = model_for_type(dev.spec.type);
+      const auto result = forecast::evaluate(model, dev, begin, end);
+      if (result.samples > 0) stats.add(result.mean_accuracy);
+    }
+    out[h] = stats.mean();
+  });
+  return out;
+}
+
+}  // namespace pfdrl::fl

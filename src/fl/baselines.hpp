@@ -1,0 +1,64 @@
+// Centralized ("cloud") load-forecast training baseline: all residences
+// upload their raw data to one place, which trains a single global model
+// per device type. This is the privacy-violating comparator the paper's
+// DFL replaces — statistically it is the strongest pooled-data setting,
+// but it produces one model for heterogeneous homes (no per-residence
+// fit), which is exactly the weakness Figs. 8/9 expose.
+//
+// A purely local baseline needs no separate class: DflTrainer with
+// AggregationMode::kNone is the Local setting.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "data/trace.hpp"
+#include "forecast/forecaster.hpp"
+
+namespace pfdrl::fl {
+
+struct CloudConfig {
+  forecast::Method method = forecast::Method::kLstm;
+  data::WindowConfig window{};
+  forecast::TrainConfig train{};
+  /// Training cadence in hours (mirrors DFL's β for cost parity).
+  double round_period_hours = 12.0;
+  std::uint64_t seed = 7;
+};
+
+class CloudTrainer {
+ public:
+  CloudTrainer(const std::vector<data::HouseholdTrace>& traces,
+               CloudConfig cfg);
+
+  /// Train over [train_begin, train_end) in rounds; returns round count.
+  std::size_t run(std::size_t train_begin, std::size_t train_end);
+  void round(std::size_t begin, std::size_t end);
+
+  /// The single global model for a device type (throws if the type never
+  /// occurs in the neighbourhood).
+  [[nodiscard]] const forecast::Forecaster& model_for_type(
+      data::DeviceType type) const;
+
+  [[nodiscard]] double mean_test_accuracy(std::size_t begin,
+                                          std::size_t end) const;
+  [[nodiscard]] std::vector<double> per_agent_accuracy(std::size_t begin,
+                                                       std::size_t end) const;
+
+  /// Bytes of *raw data* shipped to the cloud so far (privacy/cost
+  /// accounting: 8 bytes per minute sample per device).
+  [[nodiscard]] std::uint64_t raw_bytes_uploaded() const noexcept {
+    return raw_bytes_uploaded_;
+  }
+
+ private:
+  const std::vector<data::HouseholdTrace>& traces_;
+  CloudConfig cfg_;
+  /// One global model per device type, keyed by type.
+  std::map<data::DeviceType, std::unique_ptr<forecast::Forecaster>> models_;
+  std::uint64_t rounds_done_ = 0;
+  std::uint64_t raw_bytes_uploaded_ = 0;
+};
+
+}  // namespace pfdrl::fl

@@ -1,0 +1,243 @@
+#include "fl/dfl.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+#include "fl/aggregate.hpp"
+#include "forecast/metrics.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pfdrl::fl {
+
+const char* aggregation_mode_name(AggregationMode m) noexcept {
+  switch (m) {
+    case AggregationMode::kDecentralized: return "decentralized";
+    case AggregationMode::kCentralized: return "centralized";
+    case AggregationMode::kNone: return "local";
+  }
+  return "?";
+}
+
+namespace {
+net::TopologyKind topology_for(AggregationMode m) noexcept {
+  return m == AggregationMode::kCentralized ? net::TopologyKind::kStar
+                                            : net::TopologyKind::kFullMesh;
+}
+}  // namespace
+
+DflTrainer::DflTrainer(const std::vector<data::HouseholdTrace>& traces,
+                       DflConfig cfg)
+    : traces_(traces),
+      cfg_(cfg),
+      bus_(net::Topology(topology_for(cfg.aggregation),
+                         std::max<std::size_t>(1, traces.size())),
+           cfg.link) {
+  if (traces_.empty()) throw std::invalid_argument("DflTrainer: no traces");
+  if (cfg_.secure_aggregation && cfg_.link.drop_probability > 0.0) {
+    throw std::invalid_argument(
+        "DflTrainer: secure aggregation needs a reliable link (pairwise "
+        "masks only cancel under full participation)");
+  }
+  const std::size_t minutes = traces_.front().minutes();
+  for (const auto& t : traces_) {
+    if (t.minutes() != minutes) {
+      throw std::invalid_argument("DflTrainer: trace length mismatch");
+    }
+  }
+  agents_.resize(traces_.size());
+  for (std::size_t h = 0; h < traces_.size(); ++h) {
+    for (std::size_t d = 0; d < traces_[h].devices.size(); ++d) {
+      // Same (method, window, seed) everywhere: the paper requires all
+      // residences to start from the same default model per device type,
+      // otherwise averaging mixes incompatible coordinate systems.
+      const auto type =
+          static_cast<std::uint64_t>(traces_[h].devices[d].spec.type);
+      agents_[h].devices.push_back(forecast::make_forecaster(
+          cfg_.method, cfg_.window, cfg_.seed * 1000 + type));
+    }
+  }
+}
+
+std::size_t DflTrainer::run(std::size_t train_begin, std::size_t train_end) {
+  const auto round_minutes = static_cast<std::size_t>(
+      cfg_.broadcast_period_hours * 60.0);
+  if (round_minutes == 0) {
+    throw std::invalid_argument("DflTrainer: broadcast period too small");
+  }
+  std::size_t rounds = 0;
+  for (std::size_t begin = train_begin; begin < train_end;
+       begin += round_minutes) {
+    round(begin, std::min(begin + round_minutes, train_end));
+    ++rounds;
+  }
+  return rounds;
+}
+
+void DflTrainer::round(std::size_t begin, std::size_t end) {
+  // Local training step: every (agent, device) pair trains on the newly
+  // recorded minutes. The pairs are independent, so fan out on the pool.
+  struct Job {
+    std::size_t home;
+    std::size_t dev;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t h = 0; h < agents_.size(); ++h) {
+    for (std::size_t d = 0; d < agents_[h].devices.size(); ++d) {
+      jobs.push_back({h, d});
+    }
+  }
+  util::ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t j) {
+    const auto [h, d] = jobs[j];
+    // Per-job RNG forked deterministically: results do not depend on the
+    // thread schedule.
+    util::Rng rng =
+        util::Rng(cfg_.seed).fork(rounds_done_ * 10000 + h * 100 + d);
+    auto& model = *agents_[h].devices[d];
+    forecast::TrainConfig train =
+        forecast::resolve_train_config(cfg_.method, cfg_.train);
+    // Small-batch training (paper Table 2): federated agents train on a
+    // bounded sample of each round's windows and lean on aggregation for
+    // coverage; the Local baseline (kNone) uses everything it has.
+    if (cfg_.max_round_samples > 0 &&
+        cfg_.aggregation != AggregationMode::kNone) {
+      const std::size_t hist = data::history_needed(model.window_config());
+      const std::size_t span = end > begin + hist ? end - begin - hist : 0;
+      const std::size_t windows = span / std::max<std::size_t>(1, train.stride);
+      if (windows > cfg_.max_round_samples) {
+        train.stride = (span + cfg_.max_round_samples - 1) /
+                       cfg_.max_round_samples;
+      }
+    }
+    model.train(traces_[h].devices[d], begin, end, train, rng);
+  });
+
+  if (cfg_.aggregation != AggregationMode::kNone && agents_.size() > 1) {
+    broadcast_and_aggregate(rounds_done_);
+  }
+  ++rounds_done_;
+}
+
+void DflTrainer::broadcast_and_aggregate(std::uint64_t round_id) {
+  // Aggregation groups: the sorted agent list per device type. Needed
+  // both for secure masking (masks cancel exactly within a full group)
+  // and to know whether a device has any homologous peers at all.
+  std::map<std::uint32_t, std::vector<net::AgentId>> groups;
+  for (std::size_t h = 0; h < agents_.size(); ++h) {
+    for (std::size_t d = 0; d < traces_[h].devices.size(); ++d) {
+      const auto type =
+          static_cast<std::uint32_t>(traces_[h].devices[d].spec.type);
+      auto& members = groups[type];
+      if (members.empty() || members.back() != static_cast<net::AgentId>(h)) {
+        members.push_back(static_cast<net::AgentId>(h));
+      }
+    }
+  }
+
+  const SecureAggregator aggregator(cfg_.secure);
+  // Masked (or plain) payload per (home, device), reused for both the
+  // broadcast and the sender's own contribution to its local average —
+  // pairwise masks only cancel if every group member contributes the
+  // masked form.
+  std::vector<std::vector<std::vector<double>>> payloads(agents_.size());
+
+  // Phase 1: every agent broadcasts each device model. With the star
+  // topology the hub (agent 0) additionally relays, doubling the wire
+  // cost — the "cloud" tax the paper's DFL removes.
+  for (std::size_t h = 0; h < agents_.size(); ++h) {
+    payloads[h].resize(agents_[h].devices.size());
+    for (std::size_t d = 0; d < agents_[h].devices.size(); ++d) {
+      const auto type =
+          static_cast<std::uint32_t>(traces_[h].devices[d].spec.type);
+      const auto params = agents_[h].devices[d]->parameters();
+      if (cfg_.secure_aggregation && groups[type].size() > 1) {
+        payloads[h][d] = aggregator.mask(static_cast<net::AgentId>(h),
+                                         round_id, groups[type], params);
+      } else {
+        payloads[h][d].assign(params.begin(), params.end());
+      }
+      net::Message msg;
+      msg.sender = static_cast<net::AgentId>(h);
+      msg.kind = net::MessageKind::kForecastParams;
+      msg.device_type = type;
+      msg.round = round_id;
+      msg.payload = payloads[h][d];
+      bus_.broadcast(msg);
+    }
+  }
+
+  if (cfg_.aggregation == AggregationMode::kCentralized) {
+    // Hub relays every leaf message to every other leaf so each agent
+    // ends up with the same information as in the decentralized case.
+    auto hub_msgs = bus_.drain(0);
+    for (auto& m : hub_msgs) {
+      for (std::size_t h = 1; h < agents_.size(); ++h) {
+        if (static_cast<net::AgentId>(h) == m.sender) continue;
+        bus_.send(static_cast<net::AgentId>(h), m);
+      }
+      // The hub keeps a copy for its own aggregation.
+      bus_.send(0, std::move(m));
+    }
+  }
+
+  // Phase 2: each agent drains its inbox and averages per device type.
+  // Aggregation runs in fixed agent order with contributions sorted by
+  // sender id — deterministic regardless of delivery interleaving.
+  for (std::size_t h = 0; h < agents_.size(); ++h) {
+    auto inbox = bus_.drain(static_cast<net::AgentId>(h));
+    std::sort(inbox.begin(), inbox.end(),
+              [](const net::Message& a, const net::Message& b) {
+                if (a.sender != b.sender) return a.sender < b.sender;
+                return a.device_type < b.device_type;
+              });
+    for (std::size_t d = 0; d < agents_[h].devices.size(); ++d) {
+      const auto type =
+          static_cast<std::uint32_t>(traces_[h].devices[d].spec.type);
+      auto& model = *agents_[h].devices[d];
+      const auto own = model.parameters();
+
+      std::vector<std::span<const double>> contributions;
+      contributions.push_back(payloads[h][d]);
+      for (const auto& m : inbox) {
+        if (m.device_type != type) continue;
+        if (m.payload.size() != own.size()) continue;  // shape guard
+        contributions.push_back(m.payload);
+      }
+      if (contributions.size() < 2) continue;  // nobody else has this type
+      std::vector<double> averaged(own.size(), 0.0);
+      fedavg(contributions, averaged);
+      model.set_parameters(averaged);
+    }
+  }
+}
+
+const forecast::Forecaster& DflTrainer::forecaster(std::size_t home,
+                                                   std::size_t dev) const {
+  return *agents_.at(home).devices.at(dev);
+}
+
+double DflTrainer::mean_test_accuracy(std::size_t begin,
+                                      std::size_t end) const {
+  util::RunningStats stats;
+  for (double acc : per_agent_accuracy(begin, end)) stats.add(acc);
+  return stats.mean();
+}
+
+std::vector<double> DflTrainer::per_agent_accuracy(std::size_t begin,
+                                                   std::size_t end) const {
+  std::vector<double> out(agents_.size(), 0.0);
+  util::ThreadPool::global().parallel_for(0, agents_.size(), [&](std::size_t h) {
+    util::RunningStats stats;
+    for (std::size_t d = 0; d < agents_[h].devices.size(); ++d) {
+      const auto result = forecast::evaluate(*agents_[h].devices[d],
+                                             traces_[h].devices[d], begin, end);
+      if (result.samples > 0) stats.add(result.mean_accuracy);
+    }
+    out[h] = stats.mean();
+  });
+  return out;
+}
+
+}  // namespace pfdrl::fl

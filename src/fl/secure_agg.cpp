@@ -1,0 +1,74 @@
+#include "fl/secure_agg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace pfdrl::fl {
+
+std::vector<double> SecureAggregator::pairwise_mask(net::AgentId a,
+                                                    net::AgentId b,
+                                                    std::uint64_t round,
+                                                    std::size_t size) const {
+  if (a > b) std::swap(a, b);
+  // Seed mixes the shared secret, round, and the ordered pair so every
+  // (pair, round) gets an independent stream both endpoints can derive.
+  std::uint64_t seed = cfg_.shared_secret;
+  seed ^= 0x9E3779B97F4A7C15ULL * (round + 1);
+  seed ^= (static_cast<std::uint64_t>(a) << 32) | b;
+  util::Rng rng(util::splitmix64(seed));
+  std::vector<double> mask(size);
+  for (double& m : mask) m = rng.uniform(-cfg_.mask_scale, cfg_.mask_scale);
+  return mask;
+}
+
+std::vector<double> SecureAggregator::mask(
+    net::AgentId self, std::uint64_t round,
+    std::span<const net::AgentId> group,
+    std::span<const double> params) const {
+  if (std::find(group.begin(), group.end(), self) == group.end()) {
+    throw std::invalid_argument("SecureAggregator: self not in group");
+  }
+  std::vector<double> out(params.begin(), params.end());
+
+  if (cfg_.pairwise_masking) {
+    for (net::AgentId peer : group) {
+      if (peer == self) continue;
+      const auto m = pairwise_mask(self, peer, round, out.size());
+      // Lower id adds, higher id subtracts: the pair cancels in the sum.
+      const double sign = self < peer ? 1.0 : -1.0;
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += sign * m[i];
+    }
+  }
+
+  if (cfg_.dp_sigma > 0.0) {
+    std::uint64_t seed = cfg_.shared_secret ^ (round * 1000003 + self);
+    util::Rng rng(util::splitmix64(seed));
+    for (double& v : out) v += rng.normal(0.0, cfg_.dp_sigma);
+  }
+  return out;
+}
+
+double SecureAggregator::sum_residual(
+    std::span<const std::vector<double>> masked,
+    std::span<const std::vector<double>> plain) {
+  assert(masked.size() == plain.size());
+  if (masked.empty()) return 0.0;
+  const std::size_t n = masked.front().size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double masked_sum = 0.0;
+    double plain_sum = 0.0;
+    for (std::size_t k = 0; k < masked.size(); ++k) {
+      masked_sum += masked[k][i];
+      plain_sum += plain[k][i];
+    }
+    worst = std::max(worst, std::abs(masked_sum - plain_sum));
+  }
+  return worst;
+}
+
+}  // namespace pfdrl::fl

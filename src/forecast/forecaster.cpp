@@ -1,0 +1,74 @@
+#include "forecast/forecaster.hpp"
+
+#include <stdexcept>
+
+#include "forecast/bp.hpp"
+#include "forecast/gru_forecaster.hpp"
+#include "forecast/lr.hpp"
+#include "forecast/lstm_forecaster.hpp"
+#include "forecast/svr.hpp"
+
+namespace pfdrl::forecast {
+
+const char* method_name(Method m) noexcept {
+  switch (m) {
+    case Method::kLr: return "LR";
+    case Method::kSvr: return "SVM";
+    case Method::kBp: return "BP";
+    case Method::kLstm: return "LSTM";
+    case Method::kGru: return "GRU";
+  }
+  return "?";
+}
+
+TrainConfig resolve_train_config(Method m, TrainConfig base) noexcept {
+  // Tuned per method: the linear models converge in one or few passes,
+  // the gradient-trained networks need more epochs and a larger Adam
+  // step to reach their ceiling within a broadcast round.
+  std::size_t epochs = 1;
+  double lr = 1e-3;
+  std::size_t stride = 1;
+  switch (m) {
+    case Method::kLr:
+      epochs = 1;
+      stride = 2;  // closed form; subsampling only trims the Gram pass
+      break;
+    case Method::kSvr:
+      epochs = 4;
+      lr = 1e-3;
+      break;
+    case Method::kBp:
+      epochs = 20;
+      lr = 3e-3;
+      break;
+    case Method::kLstm:
+    case Method::kGru:
+      epochs = 8;
+      lr = 3e-3;
+      break;
+  }
+  if (base.epochs == 0) base.epochs = epochs;
+  if (base.learning_rate == 0.0) base.learning_rate = lr;
+  if (base.stride == 0) base.stride = stride;
+  return base;
+}
+
+std::unique_ptr<Forecaster> make_forecaster(Method method,
+                                            const data::WindowConfig& window,
+                                            std::uint64_t seed) {
+  switch (method) {
+    case Method::kLr:
+      return std::make_unique<LrForecaster>(window);
+    case Method::kSvr:
+      return std::make_unique<SvrForecaster>(window);
+    case Method::kBp:
+      return std::make_unique<BpForecaster>(window, seed);
+    case Method::kLstm:
+      return std::make_unique<LstmForecaster>(window, seed);
+    case Method::kGru:
+      return std::make_unique<GruForecaster>(window, seed);
+  }
+  throw std::invalid_argument("make_forecaster: unknown method");
+}
+
+}  // namespace pfdrl::forecast

@@ -1,0 +1,90 @@
+// Load-forecasting model interface. One forecaster instance predicts the
+// next-minute power draw of one device from a sliding window of recent
+// draw plus calendar features (paper §3.2: per-device models, trained
+// locally, aggregated by parameter averaging across residences).
+//
+// All four methods the paper compares are provided:
+//   LR   — ridge-regularized linear regression (closed form),
+//   SVR  — linear epsilon-insensitive support vector regression (SGD),
+//   BP   — back-propagation MLP,
+//   LSTM — recurrent network over the window sequence.
+//
+// Every forecaster exposes its parameters as a flat vector so the DFL
+// layer can average homologous models across residences (Alg. 1).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/trace.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::forecast {
+
+// The paper's four methods plus a GRU extension (see gru_forecaster.hpp).
+enum class Method { kLr = 0, kSvr, kBp, kLstm, kGru };
+constexpr std::size_t kNumMethods = 5;
+
+const char* method_name(Method m) noexcept;
+
+/// Training knobs shared by all methods. Zero values mean "use the
+/// method's tuned default" (resolved by resolve_train_config); explicit
+/// values always win, so sweeps can pin any knob.
+struct TrainConfig {
+  std::size_t epochs = 0;
+  std::size_t batch_size = 32;
+  double learning_rate = 0.0;
+  /// Window subsampling stride during training (cost control; evaluation
+  /// always runs on every minute).
+  std::size_t stride = 0;
+};
+
+/// Fill zeroed TrainConfig fields with the per-method tuned defaults
+/// (the values behind the reported figure shapes; see DESIGN.md).
+TrainConfig resolve_train_config(Method m, TrainConfig base) noexcept;
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  [[nodiscard]] virtual Method method() const noexcept = 0;
+  [[nodiscard]] std::string name() const { return method_name(method()); }
+
+  /// Local training over trace minutes [begin, end). Returns mean
+  /// training loss of the final epoch (scaled units).
+  virtual double train(const data::DeviceTrace& trace, std::size_t begin,
+                       std::size_t end, const TrainConfig& cfg,
+                       util::Rng& rng) = 0;
+
+  /// One-step-ahead predictions (watts) for target minutes [begin, end).
+  /// Requires begin >= window (history must exist in the trace).
+  [[nodiscard]] virtual std::vector<double> predict_series(
+      const data::DeviceTrace& trace, std::size_t begin,
+      std::size_t end) const = 0;
+
+  /// Flat parameters for federated averaging.
+  [[nodiscard]] virtual std::span<const double> parameters() const = 0;
+  virtual void set_parameters(std::span<const double> values) = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<Forecaster> clone() const = 0;
+
+  [[nodiscard]] const data::WindowConfig& window_config() const noexcept {
+    return window_;
+  }
+
+ protected:
+  explicit Forecaster(data::WindowConfig window) noexcept : window_(window) {}
+  data::WindowConfig window_;
+};
+
+/// Factory. `seed` controls weight initialization; two forecasters built
+/// with the same (method, window, seed) start from identical parameters —
+/// the paper's "same default training model initially" requirement.
+std::unique_ptr<Forecaster> make_forecaster(Method method,
+                                            const data::WindowConfig& window,
+                                            std::uint64_t seed);
+
+}  // namespace pfdrl::forecast

@@ -1,0 +1,45 @@
+// Ridge-regularized linear regression forecaster (the paper's "LR"
+// baseline). Fit is closed-form via the normal equations; the weight
+// vector (plus intercept) is the flat parameter block exchanged in DFL.
+#pragma once
+
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+
+namespace pfdrl::forecast {
+
+class LrForecaster final : public Forecaster {
+ public:
+  LrForecaster(const data::WindowConfig& window, double ridge_lambda = 1e-4);
+
+  [[nodiscard]] Method method() const noexcept override { return Method::kLr; }
+  double train(const data::DeviceTrace& trace, std::size_t begin,
+               std::size_t end, const TrainConfig& cfg,
+               util::Rng& rng) override;
+  [[nodiscard]] std::vector<double> predict_series(
+      const data::DeviceTrace& trace, std::size_t begin,
+      std::size_t end) const override;
+  [[nodiscard]] std::span<const double> parameters() const override {
+    return weights_;
+  }
+  void set_parameters(std::span<const double> values) override;
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override {
+    return std::make_unique<LrForecaster>(*this);
+  }
+
+ private:
+  [[nodiscard]] std::size_t feature_count() const noexcept;
+
+  double ridge_lambda_;
+  /// [w_0 .. w_{F-1}, intercept].
+  std::vector<double> weights_;
+};
+
+/// Solve the symmetric positive-definite system A x = b in place by
+/// Cholesky decomposition; returns false if A is not SPD. Exposed for
+/// unit tests.
+bool cholesky_solve(std::vector<double>& a, std::size_t n,
+                    std::vector<double>& b);
+
+}  // namespace pfdrl::forecast

@@ -1,0 +1,88 @@
+#include "forecast/lstm_forecaster.hpp"
+
+#include <numeric>
+
+namespace pfdrl::forecast {
+
+LstmForecaster::LstmForecaster(const data::WindowConfig& window,
+                               std::uint64_t seed, std::size_t hidden)
+    : Forecaster(window),
+      net_([&] {
+        util::Rng rng(seed);
+        return nn::LstmRegressor(window.calendar_features ? 3 : 1, hidden, 1,
+                                 rng);
+      }()),
+      opt_(1e-3) {}
+
+double LstmForecaster::train(const data::DeviceTrace& trace, std::size_t begin,
+                             std::size_t end, const TrainConfig& cfg,
+                             util::Rng& rng) {
+  const TrainConfig tcfg = resolve_train_config(Method::kLstm, cfg);
+  data::WindowConfig wc = window_;
+  wc.stride = tcfg.stride;
+  const auto set = data::make_sequences(trace, wc, begin, end);
+  if (set.size() == 0) return 0.0;
+  opt_.set_learning_rate(tcfg.learning_rate);
+
+  std::vector<std::size_t> order(set.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const std::size_t steps = set.xs.size();
+  const std::size_t feat = set.step_features();
+
+  double last_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < tcfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t ofs = 0; ofs < order.size(); ofs += tcfg.batch_size) {
+      const std::size_t bs = std::min(tcfg.batch_size, order.size() - ofs);
+      std::vector<nn::Matrix> xb(steps, nn::Matrix(bs, feat));
+      nn::Matrix yb(bs, 1);
+      for (std::size_t i = 0; i < bs; ++i) {
+        const std::size_t src = order[ofs + i];
+        for (std::size_t t = 0; t < steps; ++t) {
+          auto row = set.xs[t].row(src);
+          std::copy(row.begin(), row.end(), xb[t].row(i).begin());
+        }
+        yb(i, 0) = set.y(src, 0);
+      }
+      loss_sum += net_.train_batch(xb, yb, nn::LossKind::kMae, opt_);
+      ++batches;
+    }
+    last_epoch_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+std::vector<double> LstmForecaster::predict_series(
+    const data::DeviceTrace& trace, std::size_t begin, std::size_t end) const {
+  data::WindowConfig wc = window_;
+  wc.stride = 1;
+  const std::size_t hist = data::history_needed(wc);
+  const std::size_t from = begin >= hist ? begin - hist : 0;
+  const auto set = data::make_sequences(trace, wc, from, end);
+  if (set.size() == 0) return {};
+  const nn::Matrix pred = net_.predict(set.xs);
+  std::vector<double> out;
+  out.reserve(set.size());
+  for (std::size_t r = 0; r < set.size(); ++r) {
+    if (set.target_minute[r] < begin) continue;
+    out.push_back(data::decode_watts(pred(r, 0), set.scale, wc.log_scale));
+  }
+  return out;
+}
+
+void LstmForecaster::set_parameters(std::span<const double> values) {
+  net_.set_parameters(values);
+  // Adam moments are intentionally kept: federated averaging moves the
+  // weights only slightly (peers share init and are re-averaged every
+  // round), and resetting the moments at every broadcast acted as a
+  // repeated warm restart that measurably hurt DFL accuracy.
+}
+
+std::unique_ptr<Forecaster> LstmForecaster::clone() const {
+  return std::unique_ptr<Forecaster>(new LstmForecaster(*this));
+}
+
+}  // namespace pfdrl::forecast

@@ -1,0 +1,77 @@
+#include "forecast/selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "forecast/metrics.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pfdrl::forecast {
+
+namespace {
+std::size_t split_point(std::size_t begin, std::size_t end,
+                        double train_fraction) {
+  train_fraction = std::clamp(train_fraction, 0.1, 0.95);
+  return begin + static_cast<std::size_t>(
+                     static_cast<double>(end - begin) * train_fraction);
+}
+}  // namespace
+
+std::vector<MethodScore> rank_methods(const data::DeviceTrace& trace,
+                                      std::size_t begin, std::size_t end,
+                                      const SelectionConfig& cfg) {
+  if (cfg.candidates.empty()) {
+    throw std::invalid_argument("rank_methods: no candidates");
+  }
+  end = std::min(end, trace.minutes());
+  const std::size_t validate_from = split_point(begin, end, cfg.train_fraction);
+
+  std::vector<MethodScore> scores(cfg.candidates.size());
+  util::ThreadPool::global().parallel_for(
+      0, cfg.candidates.size(), [&](std::size_t i) {
+        const Method method = cfg.candidates[i];
+        auto model = make_forecaster(method, cfg.window, cfg.seed);
+        TrainConfig train;  // per-method tuned defaults
+        util::Rng rng(cfg.seed * 31 + static_cast<std::uint64_t>(method));
+        model->train(trace, begin, validate_from, train, rng);
+        scores[i] = {method,
+                     evaluate(*model, trace, validate_from, end).mean_accuracy};
+      });
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const MethodScore& a, const MethodScore& b) {
+                     return a.accuracy > b.accuracy;
+                   });
+  return scores;
+}
+
+Method select_method(const data::DeviceTrace& trace, std::size_t begin,
+                     std::size_t end, const SelectionConfig& cfg) {
+  return rank_methods(trace, begin, end, cfg).front().method;
+}
+
+Method select_method_for_neighborhood(
+    const std::vector<data::HouseholdTrace>& traces, std::size_t begin,
+    std::size_t end, const SelectionConfig& cfg) {
+  if (traces.empty()) {
+    throw std::invalid_argument("select_method_for_neighborhood: no traces");
+  }
+  std::vector<util::RunningStats> pooled(cfg.candidates.size());
+  for (const auto& home : traces) {
+    for (const auto& dev : home.devices) {
+      const auto scores = rank_methods(dev, begin, end, cfg);
+      for (const auto& s : scores) {
+        for (std::size_t i = 0; i < cfg.candidates.size(); ++i) {
+          if (cfg.candidates[i] == s.method) pooled[i].add(s.accuracy);
+        }
+      }
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pooled.size(); ++i) {
+    if (pooled[i].mean() > pooled[best].mean()) best = i;
+  }
+  return cfg.candidates[best];
+}
+
+}  // namespace pfdrl::forecast

@@ -1,0 +1,50 @@
+// Forecast model selection (paper §3.2.1: "We also select the prediction
+// method with the best performance for the following step").
+//
+// Trains a candidate of every method on the head of the trace, scores
+// each on a held-out validation slice with the paper's accuracy metric,
+// and reports the ranking. Federated deployments must agree on one
+// method per device type (averaging requires homologous shapes), so the
+// neighbourhood-level helper pools validation scores across residences
+// before choosing.
+#pragma once
+
+#include <vector>
+
+#include "data/trace.hpp"
+#include "forecast/forecaster.hpp"
+
+namespace pfdrl::forecast {
+
+struct MethodScore {
+  Method method = Method::kLr;
+  double accuracy = 0.0;
+};
+
+struct SelectionConfig {
+  data::WindowConfig window{};
+  /// Fraction of [begin, end) used for training; the rest validates.
+  double train_fraction = 0.75;
+  /// Candidate methods to consider (default: the paper's four).
+  std::vector<Method> candidates = {Method::kLr, Method::kSvr, Method::kBp,
+                                    Method::kLstm};
+  std::uint64_t seed = 17;
+};
+
+/// Scores per method on one device trace, sorted best-first.
+std::vector<MethodScore> rank_methods(const data::DeviceTrace& trace,
+                                      std::size_t begin, std::size_t end,
+                                      const SelectionConfig& cfg);
+
+/// The winner for one device.
+Method select_method(const data::DeviceTrace& trace, std::size_t begin,
+                     std::size_t end, const SelectionConfig& cfg);
+
+/// Neighbourhood-level choice: pools mean validation accuracy over every
+/// instance of each device, per method, and returns one method all
+/// residences can federate with.
+Method select_method_for_neighborhood(
+    const std::vector<data::HouseholdTrace>& traces, std::size_t begin,
+    std::size_t end, const SelectionConfig& cfg);
+
+}  // namespace pfdrl::forecast

@@ -1,0 +1,45 @@
+// Linear epsilon-insensitive support vector regression trained by
+// stochastic subgradient descent (the paper's "SVM" forecasting
+// baseline, after Cao 2003). Linear kernel: the model stays a flat
+// weight vector and therefore averages cleanly across residences.
+#pragma once
+
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+
+namespace pfdrl::forecast {
+
+class SvrForecaster final : public Forecaster {
+ public:
+  SvrForecaster(const data::WindowConfig& window, double epsilon = 0.01,
+                double l2_lambda = 1e-4);
+
+  [[nodiscard]] Method method() const noexcept override {
+    return Method::kSvr;
+  }
+  double train(const data::DeviceTrace& trace, std::size_t begin,
+               std::size_t end, const TrainConfig& cfg,
+               util::Rng& rng) override;
+  [[nodiscard]] std::vector<double> predict_series(
+      const data::DeviceTrace& trace, std::size_t begin,
+      std::size_t end) const override;
+  [[nodiscard]] std::span<const double> parameters() const override {
+    return weights_;
+  }
+  void set_parameters(std::span<const double> values) override;
+  [[nodiscard]] std::unique_ptr<Forecaster> clone() const override {
+    return std::make_unique<SvrForecaster>(*this);
+  }
+
+ private:
+  [[nodiscard]] std::size_t feature_count() const noexcept;
+  [[nodiscard]] double raw_predict(const double* x) const noexcept;
+
+  double epsilon_;
+  double l2_lambda_;
+  /// [w_0 .. w_{F-1}, intercept].
+  std::vector<double> weights_;
+};
+
+}  // namespace pfdrl::forecast

@@ -1,0 +1,108 @@
+#include "net/bus.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace pfdrl::net {
+
+MessageBus::MessageBus(Topology topology, LinkModel link)
+    : topology_(std::move(topology)), link_(link) {
+  inboxes_.reserve(topology_.num_agents());
+  for (std::size_t i = 0; i < topology_.num_agents(); ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+void MessageBus::deliver(AgentId to, Message msg) {
+  if (to >= inboxes_.size()) throw std::out_of_range("bus: bad agent id");
+  const std::size_t bytes = msg.wire_bytes();
+  if (link_.drop_probability > 0.0) {
+    bool dropped;
+    {
+      std::lock_guard lock(drop_mutex_);
+      dropped = drop_rng_.bernoulli(link_.drop_probability);
+    }
+    if (dropped) {
+      std::lock_guard slock(stats_mutex_);
+      ++stats_.messages_dropped;
+      return;
+    }
+  }
+  {
+    auto& inbox = *inboxes_[to];
+    std::lock_guard lock(inbox.mutex);
+    inbox.queue.push_back(std::move(msg));
+    inbox.cv.notify_one();
+  }
+  std::lock_guard slock(stats_mutex_);
+  ++stats_.messages_delivered;
+  stats_.bytes_on_wire += bytes;
+  stats_.simulated_transfer_seconds += link_.transfer_seconds(bytes);
+}
+
+std::size_t MessageBus::broadcast(const Message& msg) {
+  const auto targets = topology_.neighbors(msg.sender);
+  {
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.messages_sent;
+  }
+  for (AgentId to : targets) deliver(to, msg);
+  return targets.size();
+}
+
+void MessageBus::send(AgentId to, Message msg) {
+  {
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.messages_sent;
+  }
+  deliver(to, std::move(msg));
+}
+
+std::optional<Message> MessageBus::try_receive(AgentId agent) {
+  auto& inbox = *inboxes_.at(agent);
+  std::lock_guard lock(inbox.mutex);
+  if (inbox.queue.empty()) return std::nullopt;
+  Message msg = std::move(inbox.queue.front());
+  inbox.queue.pop_front();
+  return msg;
+}
+
+std::vector<Message> MessageBus::drain(AgentId agent) {
+  auto& inbox = *inboxes_.at(agent);
+  std::lock_guard lock(inbox.mutex);
+  std::vector<Message> out(std::make_move_iterator(inbox.queue.begin()),
+                           std::make_move_iterator(inbox.queue.end()));
+  inbox.queue.clear();
+  return out;
+}
+
+std::optional<Message> MessageBus::receive_for(AgentId agent,
+                                               double timeout_seconds) {
+  auto& inbox = *inboxes_.at(agent);
+  std::unique_lock lock(inbox.mutex);
+  const bool got = inbox.cv.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [&inbox] { return !inbox.queue.empty(); });
+  if (!got) return std::nullopt;
+  Message msg = std::move(inbox.queue.front());
+  inbox.queue.pop_front();
+  return msg;
+}
+
+std::size_t MessageBus::inbox_size(AgentId agent) const {
+  const auto& inbox = *inboxes_.at(agent);
+  std::lock_guard lock(inbox.mutex);
+  return inbox.queue.size();
+}
+
+BusStats MessageBus::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+void MessageBus::reset_stats() {
+  std::lock_guard lock(stats_mutex_);
+  stats_ = BusStats{};
+}
+
+}  // namespace pfdrl::net

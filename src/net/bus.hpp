@@ -1,0 +1,91 @@
+// Thread-safe in-process message bus simulating the residential LAN the
+// paper's agents broadcast over. Each agent owns an inbox; broadcasts
+// fan out along the configured topology. The bus accounts for bytes and
+// messages per link and models per-link latency (virtual, accumulated
+// into counters — the simulation clock, not wall time, pays for it).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::net {
+
+struct LinkModel {
+  /// Simulated bandwidth in bytes/second (default: 100 Mbit home LAN).
+  double bytes_per_second = 12.5e6;
+  /// Fixed per-message latency in seconds.
+  double base_latency_s = 2e-3;
+  /// Probability that a delivery is silently dropped (lossy Wi-Fi model;
+  /// 0 = reliable). Receivers must tolerate missing contributions — the
+  /// FedAvg layer already averages whatever arrives.
+  double drop_probability = 0.0;
+
+  [[nodiscard]] double transfer_seconds(std::size_t bytes) const noexcept {
+    return base_latency_s + static_cast<double>(bytes) / bytes_per_second;
+  }
+};
+
+struct BusStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_on_wire = 0;
+  /// Total simulated link-seconds consumed by transfers.
+  double simulated_transfer_seconds = 0.0;
+};
+
+class MessageBus {
+ public:
+  MessageBus(Topology topology, LinkModel link = {});
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] std::size_t num_agents() const noexcept {
+    return topology_.num_agents();
+  }
+
+  /// Broadcast along the topology from msg.sender. Returns the number of
+  /// inboxes the message was delivered to.
+  std::size_t broadcast(const Message& msg);
+
+  /// Point-to-point send (used by the star hub to relay).
+  void send(AgentId to, Message msg);
+
+  /// Non-blocking receive for `agent`.
+  std::optional<Message> try_receive(AgentId agent);
+  /// Drain everything currently queued for `agent`.
+  std::vector<Message> drain(AgentId agent);
+  /// Blocking receive with a wall-clock timeout; nullopt on timeout.
+  std::optional<Message> receive_for(AgentId agent, double timeout_seconds);
+
+  [[nodiscard]] std::size_t inbox_size(AgentId agent) const;
+  [[nodiscard]] BusStats stats() const;
+  void reset_stats();
+
+ private:
+  struct Inbox {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void deliver(AgentId to, Message msg);
+
+  Topology topology_;
+  LinkModel link_;
+  util::Rng drop_rng_{0xD20BULL};
+  mutable std::mutex drop_mutex_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  mutable std::mutex stats_mutex_;
+  BusStats stats_;
+};
+
+}  // namespace pfdrl::net

@@ -1,0 +1,20 @@
+#include "net/message.hpp"
+
+namespace pfdrl::net {
+
+const char* message_kind_name(MessageKind k) noexcept {
+  switch (k) {
+    case MessageKind::kForecastParams: return "forecast_params";
+    case MessageKind::kDrlBaseParams: return "drl_base_params";
+    case MessageKind::kDrlFullParams: return "drl_full_params";
+  }
+  return "?";
+}
+
+std::size_t Message::wire_bytes() const noexcept {
+  // 4 (sender) + 1 (kind) + 4 (device_type) + 8 (round) + 8 (len)
+  constexpr std::size_t kHeader = 25;
+  return kHeader + payload.size() * sizeof(double);
+}
+
+}  // namespace pfdrl::net

@@ -1,0 +1,39 @@
+// Messages exchanged between smart-home agents over the simulated
+// residential network. Payloads are flat parameter vectors (the only
+// thing PFDRL ever transmits — raw data never leaves a residence).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfdrl::net {
+
+using AgentId = std::uint32_t;
+
+enum class MessageKind : std::uint8_t {
+  /// Load-forecasting model parameters for one device (DFL, β schedule).
+  kForecastParams = 0,
+  /// DRL base-layer parameters (PFDRL, γ schedule).
+  kDrlBaseParams = 1,
+  /// Full DRL parameters (the FRL baseline shares everything).
+  kDrlFullParams = 2,
+};
+
+const char* message_kind_name(MessageKind k) noexcept;
+
+struct Message {
+  AgentId sender = 0;
+  MessageKind kind = MessageKind::kForecastParams;
+  /// Which device's forecaster this is (index into the household's device
+  /// list by *type*, so homologous devices aggregate across residences).
+  std::uint32_t device_type = 0;
+  /// Training round the parameters came from (staleness accounting).
+  std::uint64_t round = 0;
+  std::vector<double> payload;
+
+  /// Serialized size in bytes on the simulated wire (header + payload).
+  [[nodiscard]] std::size_t wire_bytes() const noexcept;
+};
+
+}  // namespace pfdrl::net

@@ -1,0 +1,57 @@
+#include "net/topology.hpp"
+
+#include <stdexcept>
+
+namespace pfdrl::net {
+
+const char* topology_name(TopologyKind k) noexcept {
+  switch (k) {
+    case TopologyKind::kFullMesh: return "full_mesh";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kRing: return "ring";
+  }
+  return "?";
+}
+
+Topology::Topology(TopologyKind kind, std::size_t num_agents)
+    : kind_(kind), n_(num_agents) {
+  if (num_agents == 0) throw std::invalid_argument("Topology: zero agents");
+}
+
+std::vector<AgentId> Topology::neighbors(AgentId sender) const {
+  std::vector<AgentId> out;
+  switch (kind_) {
+    case TopologyKind::kFullMesh:
+      out.reserve(n_ - 1);
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (i != sender) out.push_back(static_cast<AgentId>(i));
+      }
+      break;
+    case TopologyKind::kStar:
+      // Agent 0 is the hub. Leaves talk to the hub; the hub reaches all.
+      if (sender == 0) {
+        out.reserve(n_ - 1);
+        for (std::size_t i = 1; i < n_; ++i) {
+          out.push_back(static_cast<AgentId>(i));
+        }
+      } else {
+        out.push_back(0);
+      }
+      break;
+    case TopologyKind::kRing:
+      if (n_ > 1) {
+        out.push_back(static_cast<AgentId>((sender + 1) % n_));
+        if (n_ > 2) {
+          out.push_back(static_cast<AgentId>((sender + n_ - 1) % n_));
+        }
+      }
+      break;
+  }
+  return out;
+}
+
+std::size_t Topology::broadcast_links(AgentId sender) const {
+  return neighbors(sender).size();
+}
+
+}  // namespace pfdrl::net

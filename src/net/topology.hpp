@@ -1,0 +1,41 @@
+// Broadcast topologies for the decentralized network. The paper's DFL
+// broadcasts to every other residence in the building (full mesh); star
+// and ring are provided for the ablation bench comparing decentralized
+// against hub-routed aggregation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace pfdrl::net {
+
+enum class TopologyKind : std::uint8_t { kFullMesh = 0, kStar = 1, kRing = 2 };
+
+const char* topology_name(TopologyKind k) noexcept;
+
+class Topology {
+ public:
+  Topology(TopologyKind kind, std::size_t num_agents);
+
+  [[nodiscard]] TopologyKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t num_agents() const noexcept { return n_; }
+
+  /// Agents that directly receive a broadcast from `sender`.
+  [[nodiscard]] std::vector<AgentId> neighbors(AgentId sender) const;
+
+  /// Number of links a broadcast from `sender` traverses (communication
+  /// cost accounting).
+  [[nodiscard]] std::size_t broadcast_links(AgentId sender) const;
+
+  /// True if every agent can eventually hear every other agent (all
+  /// provided topologies are connected; kept for API completeness).
+  [[nodiscard]] bool connected() const noexcept { return n_ > 0; }
+
+ private:
+  TopologyKind kind_;
+  std::size_t n_;
+};
+
+}  // namespace pfdrl::net

@@ -1,0 +1,53 @@
+#include "nn/activation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pfdrl::nn {
+
+double activate(Activation a, double x) noexcept {
+  switch (a) {
+    case Activation::kIdentity: return x;
+    case Activation::kRelu: return x > 0.0 ? x : 0.0;
+    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+    case Activation::kTanh: return std::tanh(x);
+  }
+  return x;
+}
+
+double activate_grad_from_output(Activation a, double y) noexcept {
+  switch (a) {
+    case Activation::kIdentity: return 1.0;
+    case Activation::kRelu: return y > 0.0 ? 1.0 : 0.0;
+    case Activation::kSigmoid: return y * (1.0 - y);
+    case Activation::kTanh: return 1.0 - y * y;
+  }
+  return 1.0;
+}
+
+void activate_inplace(Activation a, Matrix& m) {
+  if (a == Activation::kIdentity) return;
+  for (double& x : m.data()) x = activate(a, x);
+}
+
+void scale_by_activation_grad(Activation a, const Matrix& y, Matrix& grad) {
+  assert(y.rows() == grad.rows() && y.cols() == grad.cols());
+  if (a == Activation::kIdentity) return;
+  auto ys = y.data();
+  auto gs = grad.data();
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    gs[i] *= activate_grad_from_output(a, ys[i]);
+  }
+}
+
+const char* activation_name(Activation a) noexcept {
+  switch (a) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kTanh: return "tanh";
+  }
+  return "?";
+}
+
+}  // namespace pfdrl::nn

@@ -1,0 +1,261 @@
+#include "nn/gru.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+
+namespace pfdrl::nn {
+
+namespace {
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+GruRegressor::GruRegressor(std::size_t feature_dim, std::size_t hidden_dim,
+                           std::size_t output_dim, util::Rng& rng)
+    : f_(feature_dim), h_(hidden_dim), o_(output_dim) {
+  if (f_ == 0 || h_ == 0 || o_ == 0) {
+    throw std::invalid_argument("GruRegressor: zero dimension");
+  }
+  const std::size_t total = f_ * 3 * h_ + h_ * 3 * h_ + 3 * h_ + h_ * o_ + o_;
+  params_.assign(total, 0.0);
+  {
+    Matrix m(f_, 3 * h_);
+    init_weights(m, InitScheme::kXavierUniform, rng);
+    std::copy(m.data().begin(), m.data().end(), params_.begin());
+  }
+  {
+    Matrix m(h_, 3 * h_);
+    init_weights(m, InitScheme::kXavierUniform, rng);
+    std::copy(m.data().begin(), m.data().end(),
+              params_.begin() + static_cast<std::ptrdiff_t>(f_ * 3 * h_));
+  }
+  {
+    Matrix m(h_, o_);
+    init_weights(m, InitScheme::kXavierUniform, rng);
+    std::copy(m.data().begin(), m.data().end(),
+              params_.begin() +
+                  static_cast<std::ptrdiff_t>(f_ * 3 * h_ + h_ * 3 * h_ +
+                                              3 * h_));
+  }
+}
+
+void GruRegressor::set_parameters(std::span<const double> values) {
+  if (values.size() != params_.size()) {
+    throw std::invalid_argument("GruRegressor::set_parameters: size mismatch");
+  }
+  std::copy(values.begin(), values.end(), params_.begin());
+}
+
+void GruRegressor::step_forward(const Matrix& x, const Matrix& h_prev,
+                                StepCache& cache) const {
+  const std::size_t batch = x.rows();
+  assert(x.cols() == f_);
+  cache.x = x;
+  cache.h_prev = h_prev;
+  cache.gates = Matrix(batch, 3 * h_);
+  cache.h = Matrix(batch, h_);
+
+  const double* wx = params_.data();
+  const double* wh = params_.data() + f_ * 3 * h_;
+  const double* b = params_.data() + f_ * 3 * h_ + h_ * 3 * h_;
+
+  for (std::size_t r = 0; r < batch; ++r) {
+    double* z = cache.gates.row(r).data();
+    for (std::size_t j = 0; j < 3 * h_; ++j) z[j] = b[j];
+    const double* xr = x.row(r).data();
+    for (std::size_t k = 0; k < f_; ++k) {
+      const double xk = xr[k];
+      if (xk == 0.0) continue;
+      const double* w = wx + k * 3 * h_;
+      for (std::size_t j = 0; j < 3 * h_; ++j) z[j] += xk * w[j];
+    }
+    // Recurrent input: z and r gates see h directly; the candidate sees
+    // r ⊙ h, so it must be computed after r. First accumulate h into the
+    // z/r slices only.
+    const double* hp = h_prev.row(r).data();
+    for (std::size_t k = 0; k < h_; ++k) {
+      const double hk = hp[k];
+      if (hk == 0.0) continue;
+      const double* w = wh + k * 3 * h_;
+      for (std::size_t j = 0; j < 2 * h_; ++j) z[j] += hk * w[j];
+    }
+    // Gate nonlinearities for z, r.
+    for (std::size_t j = 0; j < 2 * h_; ++j) z[j] = sigmoid(z[j]);
+    // Candidate pre-activation gets (r ⊙ h) through the last H columns.
+    for (std::size_t k = 0; k < h_; ++k) {
+      const double rk = z[h_ + k] * hp[k];
+      if (rk == 0.0) continue;
+      const double* w = wh + k * 3 * h_ + 2 * h_;
+      for (std::size_t j = 0; j < h_; ++j) z[2 * h_ + j] += rk * w[j];
+    }
+    double* hv = cache.h.row(r).data();
+    for (std::size_t j = 0; j < h_; ++j) {
+      const double cand = std::tanh(z[2 * h_ + j]);
+      z[2 * h_ + j] = cand;
+      const double zg = z[j];
+      hv[j] = (1.0 - zg) * hp[j] + zg * cand;
+    }
+  }
+}
+
+const Matrix& GruRegressor::forward(const std::vector<Matrix>& xs) {
+  if (xs.empty()) throw std::invalid_argument("GruRegressor: empty sequence");
+  const std::size_t batch = xs.front().rows();
+  steps_.clear();
+  steps_.resize(xs.size());
+  Matrix h_prev(batch, h_);
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    assert(xs[t].rows() == batch);
+    step_forward(xs[t], h_prev, steps_[t]);
+    h_prev = steps_[t].h;
+  }
+  output_ = Matrix(batch, o_);
+  const double* w =
+      params_.data() + f_ * 3 * h_ + h_ * 3 * h_ + 3 * h_;
+  const double* b = w + h_ * o_;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double* hr = steps_.back().h.row(r).data();
+    double* yr = output_.row(r).data();
+    for (std::size_t j = 0; j < o_; ++j) yr[j] = b[j];
+    for (std::size_t k = 0; k < h_; ++k) {
+      for (std::size_t j = 0; j < o_; ++j) yr[j] += hr[k] * w[k * o_ + j];
+    }
+  }
+  return output_;
+}
+
+Matrix GruRegressor::predict(const std::vector<Matrix>& xs) const {
+  GruRegressor scratch(*this);
+  return scratch.forward(xs);
+}
+
+void GruRegressor::backward(const Matrix& grad_out,
+                            std::span<double> grads) const {
+  assert(grads.size() == params_.size());
+  const std::size_t batch = grad_out.rows();
+  const std::size_t T = steps_.size();
+
+  const std::size_t wx_off = 0;
+  const std::size_t wh_off = f_ * 3 * h_;
+  const std::size_t b_off = wh_off + h_ * 3 * h_;
+  const std::size_t whead_off = b_off + 3 * h_;
+  const std::size_t bhead_off = whead_off + h_ * o_;
+
+  Matrix dh(batch, h_);
+
+  // Head backward.
+  {
+    const double* w = params_.data() + whead_off;
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* go = grad_out.row(r).data();
+      const double* hr = steps_.back().h.row(r).data();
+      double* dhr = dh.row(r).data();
+      for (std::size_t j = 0; j < o_; ++j) {
+        grads[bhead_off + j] += go[j];
+        for (std::size_t k = 0; k < h_; ++k) {
+          grads[whead_off + k * o_ + j] += hr[k] * go[j];
+        }
+      }
+      for (std::size_t k = 0; k < h_; ++k) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < o_; ++j) s += go[j] * w[k * o_ + j];
+        dhr[k] = s;
+      }
+    }
+  }
+
+  Matrix dz(batch, 3 * h_);
+  const double* wh = params_.data() + wh_off;
+  for (std::size_t t = T; t-- > 0;) {
+    const StepCache& st = steps_[t];
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* g = st.gates.row(r).data();
+      const double* hp = st.h_prev.row(r).data();
+      double* dhr = dh.row(r).data();
+      double* dzr = dz.row(r).data();
+      for (std::size_t j = 0; j < h_; ++j) {
+        const double zg = g[j];
+        const double rg = g[h_ + j];
+        const double cand = g[2 * h_ + j];
+        const double dht = dhr[j];
+
+        const double dzg = dht * (cand - hp[j]);
+        const double dcand = dht * zg;
+        // dh_prev direct term (1 - z); gate paths added below.
+        dhr[j] = dht * (1.0 - zg);
+
+        const double dcand_pre = dcand * (1.0 - cand * cand);
+        dzr[2 * h_ + j] = dcand_pre;
+        dzr[j] = dzg * zg * (1.0 - zg);
+        // dr needs the candidate pre-activation path: handled after we
+        // know dcand_pre for all j (requires Whh row sums per k below).
+        dzr[h_ + j] = 0.0;  // filled next loop
+      }
+      // Candidate recurrent path: d(r ⊙ h)_k = sum_j dcand_pre_j Whh[k][j].
+      for (std::size_t k = 0; k < h_; ++k) {
+        const double* w = wh + k * 3 * h_ + 2 * h_;
+        double s = 0.0;
+        for (std::size_t j = 0; j < h_; ++j) s += dzr[2 * h_ + j] * w[j];
+        const double rk = g[h_ + k];
+        // through r: dr_k = s * h_prev_k; through h_prev: += s * r_k.
+        dzr[h_ + k] = s * hp[k] * rk * (1.0 - rk);
+        dhr[k] += s * rk;
+      }
+      // z and r recurrent paths into dh_prev.
+      for (std::size_t k = 0; k < h_; ++k) {
+        const double* w = wh + k * 3 * h_;
+        double s = 0.0;
+        for (std::size_t j = 0; j < 2 * h_; ++j) s += dzr[j] * w[j];
+        dhr[k] += s;
+      }
+      // Parameter gradients.
+      const double* xr = st.x.row(r).data();
+      for (std::size_t j = 0; j < 3 * h_; ++j) grads[b_off + j] += dzr[j];
+      for (std::size_t k = 0; k < f_; ++k) {
+        const double xk = xr[k];
+        if (xk == 0.0) continue;
+        double* gp = grads.data() + wx_off + k * 3 * h_;
+        for (std::size_t j = 0; j < 3 * h_; ++j) gp[j] += xk * dzr[j];
+      }
+      for (std::size_t k = 0; k < h_; ++k) {
+        const double hk = hp[k];
+        double* gp = grads.data() + wh_off + k * 3 * h_;
+        if (hk != 0.0) {
+          for (std::size_t j = 0; j < 2 * h_; ++j) gp[j] += hk * dzr[j];
+        }
+        const double rh = st.gates(r, h_ + k) * hp[k];  // (r ⊙ h)_k
+        if (rh != 0.0) {
+          for (std::size_t j = 0; j < h_; ++j) {
+            gp[2 * h_ + j] += rh * dzr[2 * h_ + j];
+          }
+        }
+      }
+    }
+  }
+}
+
+double GruRegressor::train_batch(const std::vector<Matrix>& xs,
+                                 const Matrix& y, LossKind loss,
+                                 Optimizer& opt, double clip_norm) {
+  const Matrix& pred = forward(xs);
+  const double value = loss_value(loss, pred, y);
+  Matrix grad_out;
+  loss_grad(loss, pred, y, grad_out);
+  std::vector<double> grads(params_.size(), 0.0);
+  backward(grad_out, grads);
+  if (clip_norm > 0.0) {
+    double sq = 0.0;
+    for (double g : grads) sq += g * g;
+    const double norm = std::sqrt(sq);
+    if (norm > clip_norm) {
+      const double scale = clip_norm / norm;
+      for (double& g : grads) g *= scale;
+    }
+  }
+  opt.step(params_, grads);
+  return value;
+}
+
+}  // namespace pfdrl::nn

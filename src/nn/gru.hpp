@@ -1,0 +1,63 @@
+// Single-layer GRU regressor with a dense head — the lighter recurrent
+// alternative to the LSTM (extension beyond the paper; compared in
+// bench/ablation_design). Same flat-parameter contract as the LSTM so it
+// can participate in federated averaging:
+//   [ Wx (F x 3H) | Wh (H x 3H) | b (3H) | W_head (H x O) | b_head (O) ]
+// Gate order inside the 3H dimension: update (z), reset (r), candidate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/matrix.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::nn {
+
+class GruRegressor {
+ public:
+  GruRegressor(std::size_t feature_dim, std::size_t hidden_dim,
+               std::size_t output_dim, util::Rng& rng);
+
+  [[nodiscard]] std::size_t feature_dim() const noexcept { return f_; }
+  [[nodiscard]] std::size_t hidden_dim() const noexcept { return h_; }
+  [[nodiscard]] std::size_t output_dim() const noexcept { return o_; }
+  [[nodiscard]] std::size_t parameter_count() const noexcept {
+    return params_.size();
+  }
+  [[nodiscard]] std::span<double> parameters() noexcept { return params_; }
+  [[nodiscard]] std::span<const double> parameters() const noexcept {
+    return params_;
+  }
+  void set_parameters(std::span<const double> values);
+
+  /// Forward over a sequence (xs[t]: batch x F); caches for backward.
+  const Matrix& forward(const std::vector<Matrix>& xs);
+  [[nodiscard]] Matrix predict(const std::vector<Matrix>& xs) const;
+
+  /// Forward + loss + BPTT + optimizer step; returns batch loss.
+  double train_batch(const std::vector<Matrix>& xs, const Matrix& y,
+                     LossKind loss, Optimizer& opt, double clip_norm = 5.0);
+
+ private:
+  struct StepCache {
+    Matrix x;      // B x F
+    Matrix gates;  // B x 3H post-nonlinearity (z, r, candidate)
+    Matrix h_prev; // B x H hidden entering the step
+    Matrix h;      // B x H hidden after the step
+  };
+
+  void step_forward(const Matrix& x, const Matrix& h_prev,
+                    StepCache& cache) const;
+  void backward(const Matrix& grad_out, std::span<double> grads) const;
+
+  std::size_t f_, h_, o_;
+  std::vector<double> params_;
+  std::vector<StepCache> steps_;
+  Matrix output_;
+};
+
+}  // namespace pfdrl::nn

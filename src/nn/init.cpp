@@ -1,0 +1,27 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace pfdrl::nn {
+
+void init_weights(Matrix& w, InitScheme scheme, util::Rng& rng) {
+  const auto fan_in = static_cast<double>(w.rows());
+  const auto fan_out = static_cast<double>(w.cols());
+  switch (scheme) {
+    case InitScheme::kXavierUniform: {
+      const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+      for (double& x : w.data()) x = rng.uniform(-limit, limit);
+      break;
+    }
+    case InitScheme::kHeNormal: {
+      const double stddev = std::sqrt(2.0 / std::max(fan_in, 1.0));
+      for (double& x : w.data()) x = rng.normal(0.0, stddev);
+      break;
+    }
+    case InitScheme::kZero:
+      w.zero();
+      break;
+  }
+}
+
+}  // namespace pfdrl::nn

@@ -1,0 +1,14 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::nn {
+
+enum class InitScheme { kXavierUniform, kHeNormal, kZero };
+
+/// Initialize `w` (fan_in x fan_out layout) with the given scheme.
+void init_weights(Matrix& w, InitScheme scheme, util::Rng& rng);
+
+}  // namespace pfdrl::nn

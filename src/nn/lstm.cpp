@@ -1,0 +1,305 @@
+#include "nn/lstm.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+#include "nn/init.hpp"
+
+namespace pfdrl::nn {
+
+namespace {
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+LstmRegressor::LstmRegressor(std::size_t feature_dim, std::size_t hidden_dim,
+                             std::size_t output_dim, util::Rng& rng)
+    : f_(feature_dim), h_(hidden_dim), o_(output_dim) {
+  if (f_ == 0 || h_ == 0 || o_ == 0) {
+    throw std::invalid_argument("LstmRegressor: zero dimension");
+  }
+  const std::size_t total =
+      f_ * 4 * h_ + h_ * 4 * h_ + 4 * h_ + h_ * o_ + o_;
+  params_.assign(total, 0.0);
+
+  // Xavier init for the recurrent blocks, He for the head; forget-gate
+  // bias starts at 1.0 (standard trick: remember by default).
+  {
+    Matrix m(f_, 4 * h_);
+    init_weights(m, InitScheme::kXavierUniform, rng);
+    std::copy(m.data().begin(), m.data().end(), wx().begin());
+  }
+  {
+    Matrix m(h_, 4 * h_);
+    init_weights(m, InitScheme::kXavierUniform, rng);
+    std::copy(m.data().begin(), m.data().end(), wh().begin());
+  }
+  for (std::size_t j = h_; j < 2 * h_; ++j) bias()[j] = 1.0;
+  {
+    Matrix m(h_, o_);
+    init_weights(m, InitScheme::kXavierUniform, rng);
+    std::copy(m.data().begin(), m.data().end(), w_head().begin());
+  }
+}
+
+std::span<double> LstmRegressor::wx() noexcept {
+  return std::span(params_).subspan(0, f_ * 4 * h_);
+}
+std::span<double> LstmRegressor::wh() noexcept {
+  return std::span(params_).subspan(f_ * 4 * h_, h_ * 4 * h_);
+}
+std::span<double> LstmRegressor::bias() noexcept {
+  return std::span(params_).subspan(f_ * 4 * h_ + h_ * 4 * h_, 4 * h_);
+}
+std::span<double> LstmRegressor::w_head() noexcept {
+  return std::span(params_).subspan(f_ * 4 * h_ + h_ * 4 * h_ + 4 * h_,
+                                    h_ * o_);
+}
+std::span<double> LstmRegressor::b_head() noexcept {
+  return std::span(params_).subspan(
+      f_ * 4 * h_ + h_ * 4 * h_ + 4 * h_ + h_ * o_, o_);
+}
+std::span<const double> LstmRegressor::wx() const noexcept {
+  return std::span(params_).subspan(0, f_ * 4 * h_);
+}
+std::span<const double> LstmRegressor::wh() const noexcept {
+  return std::span(params_).subspan(f_ * 4 * h_, h_ * 4 * h_);
+}
+std::span<const double> LstmRegressor::bias() const noexcept {
+  return std::span(params_).subspan(f_ * 4 * h_ + h_ * 4 * h_, 4 * h_);
+}
+std::span<const double> LstmRegressor::w_head() const noexcept {
+  return std::span(params_).subspan(f_ * 4 * h_ + h_ * 4 * h_ + 4 * h_,
+                                    h_ * o_);
+}
+std::span<const double> LstmRegressor::b_head() const noexcept {
+  return std::span(params_).subspan(
+      f_ * 4 * h_ + h_ * 4 * h_ + 4 * h_ + h_ * o_, o_);
+}
+
+void LstmRegressor::set_parameters(std::span<const double> values) {
+  if (values.size() != params_.size()) {
+    throw std::invalid_argument("LstmRegressor::set_parameters: size mismatch");
+  }
+  std::copy(values.begin(), values.end(), params_.begin());
+}
+
+void LstmRegressor::step_forward(const Matrix& x, const Matrix& h_prev,
+                                 const Matrix& c_prev,
+                                 StepCache& cache) const {
+  const std::size_t batch = x.rows();
+  assert(x.cols() == f_);
+  cache.x = x;
+  cache.gates = Matrix(batch, 4 * h_);
+  cache.c = Matrix(batch, h_);
+  cache.tanh_c = Matrix(batch, h_);
+  cache.h = Matrix(batch, h_);
+
+  const double* pwx = wx().data();
+  const double* pwh = wh().data();
+  const double* pb = bias().data();
+
+  for (std::size_t r = 0; r < batch; ++r) {
+    double* z = cache.gates.row(r).data();
+    for (std::size_t j = 0; j < 4 * h_; ++j) z[j] = pb[j];
+    const double* xr = x.row(r).data();
+    for (std::size_t k = 0; k < f_; ++k) {
+      const double xk = xr[k];
+      if (xk == 0.0) continue;
+      const double* w = pwx + k * 4 * h_;
+      for (std::size_t j = 0; j < 4 * h_; ++j) z[j] += xk * w[j];
+    }
+    const double* hr = h_prev.row(r).data();
+    for (std::size_t k = 0; k < h_; ++k) {
+      const double hk = hr[k];
+      if (hk == 0.0) continue;
+      const double* w = pwh + k * 4 * h_;
+      for (std::size_t j = 0; j < 4 * h_; ++j) z[j] += hk * w[j];
+    }
+    // Nonlinearities + state update.
+    const double* cprev = c_prev.row(r).data();
+    double* c = cache.c.row(r).data();
+    double* tc = cache.tanh_c.row(r).data();
+    double* h = cache.h.row(r).data();
+    for (std::size_t j = 0; j < h_; ++j) {
+      const double i_g = sigmoid(z[j]);
+      const double f_g = sigmoid(z[h_ + j]);
+      const double g_g = std::tanh(z[2 * h_ + j]);
+      const double o_g = sigmoid(z[3 * h_ + j]);
+      z[j] = i_g;
+      z[h_ + j] = f_g;
+      z[2 * h_ + j] = g_g;
+      z[3 * h_ + j] = o_g;
+      c[j] = f_g * cprev[j] + i_g * g_g;
+      tc[j] = std::tanh(c[j]);
+      h[j] = o_g * tc[j];
+    }
+  }
+}
+
+const Matrix& LstmRegressor::forward(const std::vector<Matrix>& xs) {
+  if (xs.empty()) throw std::invalid_argument("LstmRegressor: empty sequence");
+  const std::size_t batch = xs.front().rows();
+  steps_.clear();
+  steps_.resize(xs.size());
+  Matrix h_prev(batch, h_);
+  Matrix c_prev(batch, h_);
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    assert(xs[t].rows() == batch);
+    step_forward(xs[t], h_prev, c_prev, steps_[t]);
+    h_prev = steps_[t].h;
+    c_prev = steps_[t].c;
+  }
+  // Head: y = h_T * W_head + b_head.
+  output_ = Matrix(batch, o_);
+  const double* w = w_head().data();
+  const double* b = b_head().data();
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double* hr = steps_.back().h.row(r).data();
+    double* yr = output_.row(r).data();
+    for (std::size_t j = 0; j < o_; ++j) yr[j] = b[j];
+    for (std::size_t k = 0; k < h_; ++k) {
+      const double hk = hr[k];
+      for (std::size_t j = 0; j < o_; ++j) yr[j] += hk * w[k * o_ + j];
+    }
+  }
+  return output_;
+}
+
+Matrix LstmRegressor::predict(const std::vector<Matrix>& xs) const {
+  // const_cast-free: run a scratch copy of the caches.
+  LstmRegressor scratch(*this);
+  return scratch.forward(xs);
+}
+
+void LstmRegressor::backward(const Matrix& grad_out,
+                             std::span<double> grads) const {
+  assert(grads.size() == params_.size());
+  const std::size_t batch = grad_out.rows();
+  const std::size_t T = steps_.size();
+  assert(grad_out.cols() == o_);
+
+  const std::size_t wx_off = 0;
+  const std::size_t wh_off = f_ * 4 * h_;
+  const std::size_t b_off = wh_off + h_ * 4 * h_;
+  const std::size_t whead_off = b_off + 4 * h_;
+  const std::size_t bhead_off = whead_off + h_ * o_;
+
+  Matrix dh(batch, h_);
+  Matrix dc(batch, h_);
+
+  // Head backward: dL/dh_T = grad_out * W_head^T; head grads.
+  {
+    const double* w = w_head().data();
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* go = grad_out.row(r).data();
+      const double* hr = steps_.back().h.row(r).data();
+      double* dhr = dh.row(r).data();
+      for (std::size_t j = 0; j < o_; ++j) {
+        grads[bhead_off + j] += go[j];
+        for (std::size_t k = 0; k < h_; ++k) {
+          grads[whead_off + k * o_ + j] += hr[k] * go[j];
+        }
+      }
+      for (std::size_t k = 0; k < h_; ++k) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < o_; ++j) s += go[j] * w[k * o_ + j];
+        dhr[k] = s;
+      }
+    }
+  }
+
+  Matrix dz(batch, 4 * h_);
+  const double* pwh = wh().data();
+  for (std::size_t t = T; t-- > 0;) {
+    const StepCache& st = steps_[t];
+    const Matrix* c_prev = t > 0 ? &steps_[t - 1].c : nullptr;
+    const Matrix* h_prev = t > 0 ? &steps_[t - 1].h : nullptr;
+
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* gates = st.gates.row(r).data();
+      const double* tc = st.tanh_c.row(r).data();
+      double* dhr = dh.row(r).data();
+      double* dcr = dc.row(r).data();
+      double* dzr = dz.row(r).data();
+      for (std::size_t j = 0; j < h_; ++j) {
+        const double i_g = gates[j];
+        const double f_g = gates[h_ + j];
+        const double g_g = gates[2 * h_ + j];
+        const double o_g = gates[3 * h_ + j];
+        const double cp = c_prev ? (*c_prev)(r, j) : 0.0;
+
+        const double do_g = dhr[j] * tc[j];
+        dcr[j] += dhr[j] * o_g * (1.0 - tc[j] * tc[j]);
+        const double di = dcr[j] * g_g;
+        const double df = dcr[j] * cp;
+        const double dg = dcr[j] * i_g;
+
+        dzr[j] = di * i_g * (1.0 - i_g);
+        dzr[h_ + j] = df * f_g * (1.0 - f_g);
+        dzr[2 * h_ + j] = dg * (1.0 - g_g * g_g);
+        dzr[3 * h_ + j] = do_g * o_g * (1.0 - o_g);
+
+        // dc propagates to the previous step through the forget gate.
+        dcr[j] *= f_g;
+      }
+    }
+
+    // Accumulate parameter gradients and compute dh_{t-1}.
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* dzr = dz.row(r).data();
+      const double* xr = st.x.row(r).data();
+      for (std::size_t j = 0; j < 4 * h_; ++j) grads[b_off + j] += dzr[j];
+      for (std::size_t k = 0; k < f_; ++k) {
+        const double xk = xr[k];
+        if (xk == 0.0) continue;
+        double* g = grads.data() + wx_off + k * 4 * h_;
+        for (std::size_t j = 0; j < 4 * h_; ++j) g[j] += xk * dzr[j];
+      }
+      if (h_prev != nullptr) {
+        const double* hp = h_prev->row(r).data();
+        for (std::size_t k = 0; k < h_; ++k) {
+          const double hk = hp[k];
+          if (hk == 0.0) continue;
+          double* g = grads.data() + wh_off + k * 4 * h_;
+          for (std::size_t j = 0; j < 4 * h_; ++j) g[j] += hk * dzr[j];
+        }
+      }
+      // dh_{t-1} = dz * Wh^T.
+      double* dhr = dh.row(r).data();
+      for (std::size_t k = 0; k < h_; ++k) {
+        const double* w = pwh + k * 4 * h_;
+        double s = 0.0;
+        for (std::size_t j = 0; j < 4 * h_; ++j) s += dzr[j] * w[j];
+        dhr[k] = s;
+      }
+    }
+  }
+}
+
+double LstmRegressor::train_batch(const std::vector<Matrix>& xs,
+                                  const Matrix& y, LossKind loss,
+                                  Optimizer& opt, double clip_norm) {
+  const Matrix& pred = forward(xs);
+  const double value = loss_value(loss, pred, y);
+  Matrix grad_out;
+  loss_grad(loss, pred, y, grad_out);
+
+  std::vector<double> grads(params_.size(), 0.0);
+  backward(grad_out, grads);
+
+  if (clip_norm > 0.0) {
+    double sq = 0.0;
+    for (double g : grads) sq += g * g;
+    const double norm = std::sqrt(sq);
+    if (norm > clip_norm) {
+      const double scale = clip_norm / norm;
+      for (double& g : grads) g *= scale;
+    }
+  }
+  opt.step(params_, grads);
+  return value;
+}
+
+}  // namespace pfdrl::nn

@@ -1,0 +1,86 @@
+// Single-layer LSTM regressor with a dense head, trained by full
+// backpropagation through time. Used by the LSTM load forecaster (the
+// paper's best-performing prediction model).
+//
+// All parameters live in one flat buffer so the model can participate in
+// federated averaging exactly like the MLP:
+//   [ Wx (F x 4H) | Wh (H x 4H) | b (4H) | W_head (H x O) | b_head (O) ]
+// Gate order inside the 4H dimension: input, forget, candidate, output.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/matrix.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::nn {
+
+class LstmRegressor {
+ public:
+  /// feature_dim F, hidden_dim H, output_dim O (usually 1).
+  LstmRegressor(std::size_t feature_dim, std::size_t hidden_dim,
+                std::size_t output_dim, util::Rng& rng);
+
+  [[nodiscard]] std::size_t feature_dim() const noexcept { return f_; }
+  [[nodiscard]] std::size_t hidden_dim() const noexcept { return h_; }
+  [[nodiscard]] std::size_t output_dim() const noexcept { return o_; }
+
+  [[nodiscard]] std::size_t parameter_count() const noexcept {
+    return params_.size();
+  }
+  [[nodiscard]] std::span<double> parameters() noexcept { return params_; }
+  [[nodiscard]] std::span<const double> parameters() const noexcept {
+    return params_;
+  }
+
+  void set_parameters(std::span<const double> values);
+
+  /// Forward over a sequence: xs[t] is the batch-by-F input at step t.
+  /// All steps must share the same batch size. Returns batch-by-O output
+  /// and caches activations for backward().
+  const Matrix& forward(const std::vector<Matrix>& xs);
+  /// Stateless inference.
+  [[nodiscard]] Matrix predict(const std::vector<Matrix>& xs) const;
+
+  /// Forward + loss + BPTT + optimizer step. Gradients are L2-clipped at
+  /// `clip_norm` (0 disables clipping). Returns batch loss.
+  double train_batch(const std::vector<Matrix>& xs, const Matrix& y,
+                     LossKind loss, Optimizer& opt, double clip_norm = 5.0);
+
+ private:
+  struct StepCache {
+    Matrix x;       // B x F
+    Matrix gates;   // B x 4H, post-nonlinearity (i, f, g, o)
+    Matrix c;       // B x H cell state after the step
+    Matrix tanh_c;  // B x H
+    Matrix h;       // B x H hidden after the step
+  };
+
+  // Parameter slice accessors (const versions mirror).
+  [[nodiscard]] std::span<double> wx() noexcept;
+  [[nodiscard]] std::span<double> wh() noexcept;
+  [[nodiscard]] std::span<double> bias() noexcept;
+  [[nodiscard]] std::span<double> w_head() noexcept;
+  [[nodiscard]] std::span<double> b_head() noexcept;
+  [[nodiscard]] std::span<const double> wx() const noexcept;
+  [[nodiscard]] std::span<const double> wh() const noexcept;
+  [[nodiscard]] std::span<const double> bias() const noexcept;
+  [[nodiscard]] std::span<const double> w_head() const noexcept;
+  [[nodiscard]] std::span<const double> b_head() const noexcept;
+
+  void step_forward(const Matrix& x, const Matrix& h_prev,
+                    const Matrix& c_prev, StepCache& cache) const;
+  void backward(const Matrix& grad_out, std::span<double> grads) const;
+
+  std::size_t f_, h_, o_;
+  std::vector<double> params_;
+  // Training caches.
+  std::vector<StepCache> steps_;
+  Matrix output_;
+};
+
+}  // namespace pfdrl::nn

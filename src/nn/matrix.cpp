@@ -1,0 +1,182 @@
+#include "nn/matrix.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace pfdrl::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+void Matrix::fill(double v) noexcept {
+  for (double& x : data_) x = v;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) noexcept {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+void Matrix::axpy(double alpha, const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Matrix::apply(const std::function<double(double)>& f) {
+  for (double& x : data_) x = f(x);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::squared_norm() const noexcept {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return s;
+}
+
+namespace {
+
+// Row-range matmul kernel: ikj order so the inner loop streams through
+// contiguous memory in both b and out.
+void matmul_rows(const Matrix& a, const Matrix& b, Matrix& out,
+                 std::size_t row_begin, std::size_t row_end) {
+  const std::size_t n = b.cols();
+  const std::size_t k_dim = a.cols();
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    double* out_row = out.row(i).data();
+    for (std::size_t j = 0; j < n; ++j) out_row[j] = 0.0;
+    const double* a_row = a.row(i).data();
+    for (std::size_t k = 0; k < k_dim; ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const double* b_row = b.row(k).data();
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out, bool threaded) {
+  assert(a.cols() == b.rows());
+  if (out.rows() != a.rows() || out.cols() != b.cols()) {
+    out = Matrix(a.rows(), b.cols());
+  }
+  // Threading pays off only for enough work per row; below the cutoff the
+  // pool dispatch overhead dominates.
+  constexpr std::size_t kFlopCutoff = 1u << 16;
+  const std::size_t flops = a.rows() * a.cols() * b.cols();
+  if (threaded && flops >= kFlopCutoff && a.rows() > 1) {
+    util::ThreadPool::global().parallel_for_chunked(
+        0, a.rows(),
+        [&](std::size_t lo, std::size_t hi) { matmul_rows(a, b, out, lo, hi); });
+  } else {
+    matmul_rows(a, b, out, 0, a.rows());
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b, bool threaded) {
+  Matrix out(a.rows(), b.cols());
+  matmul(a, b, out, threaded);
+  return out;
+}
+
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows());
+  if (out.rows() != a.cols() || out.cols() != b.cols()) {
+    out = Matrix(a.cols(), b.cols());
+  } else {
+    out.zero();
+  }
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* a_row = a.row(r).data();
+    const double* b_row = b.row(r).data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const double ari = a_row[i];
+      if (ari == 0.0) continue;
+      double* out_row = out.row(i).data();
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += ari * b_row[j];
+    }
+  }
+}
+
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  if (out.rows() != a.rows() || out.cols() != b.rows()) {
+    out = Matrix(a.rows(), b.rows());
+  }
+  const std::size_t k_dim = a.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.row(i).data();
+    double* out_row = out.row(i).data();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.row(j).data();
+      double s = 0.0;
+      for (std::size_t k = 0; k < k_dim; ++k) s += a_row[k] * b_row[k];
+      out_row[j] = s;
+    }
+  }
+}
+
+void add_row_vector(Matrix& m, const Matrix& bias) {
+  assert(bias.rows() == 1 && bias.cols() == m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double* row = m.row(r).data();
+    const double* b = bias.row(0).data();
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += b[c];
+  }
+}
+
+void sum_rows(const Matrix& m, Matrix& out) {
+  if (out.rows() != 1 || out.cols() != m.cols()) {
+    out = Matrix(1, m.cols());
+  } else {
+    out.zero();
+  }
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.row(r).data();
+    double* o = out.row(0).data();
+    for (std::size_t c = 0; c < m.cols(); ++c) o[c] += row[c];
+  }
+}
+
+}  // namespace pfdrl::nn

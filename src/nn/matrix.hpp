@@ -1,0 +1,96 @@
+// Dense row-major matrix with the small set of BLAS-like kernels the
+// library needs: blocked (and optionally thread-pooled) matmul, transposed
+// variants for backprop, axpy-style updates, and elementwise maps.
+//
+// Double precision throughout: the federated averaging math (Eq. 2/7 in
+// the paper) is sensitive to accumulation order, and doubles keep the
+// deterministic chunked reductions well below test tolerances.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace pfdrl::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+  Matrix(std::size_t rows, std::size_t cols, double fill);
+  /// From nested initializer list (row major); all rows must have equal
+  /// length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(double v) noexcept;
+  void zero() noexcept { fill(0.0); }
+
+  /// this += other (shapes must match).
+  Matrix& operator+=(const Matrix& other);
+  /// this -= other (shapes must match).
+  Matrix& operator-=(const Matrix& other);
+  /// this *= scalar.
+  Matrix& operator*=(double s) noexcept;
+  /// this += alpha * other (shapes must match).
+  void axpy(double alpha, const Matrix& other);
+
+  /// Elementwise map in place.
+  void apply(const std::function<double(double)>& f);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Frobenius norm squared.
+  [[nodiscard]] double squared_norm() const noexcept;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) noexcept = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b. Blocked ikj loops; when `threaded` and the output is large
+/// enough, rows are sharded across the global thread pool (results are
+/// bitwise identical either way: each output element is produced by
+/// exactly one thread with a fixed accumulation order).
+void matmul(const Matrix& a, const Matrix& b, Matrix& out,
+            bool threaded = false);
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b,
+                            bool threaded = false);
+
+/// out = a^T * b without materializing the transpose.
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a * b^T without materializing the transpose.
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out(r, :) += bias for every row r (bias is 1 x cols).
+void add_row_vector(Matrix& m, const Matrix& bias);
+/// Column-wise sum of m into out (1 x cols).
+void sum_rows(const Matrix& m, Matrix& out);
+
+}  // namespace pfdrl::nn

@@ -1,0 +1,94 @@
+#include "nn/mlp.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pfdrl::nn {
+
+Mlp::Mlp(std::vector<std::size_t> dims, Activation hidden_act,
+         Activation output_act, InitScheme scheme, util::Rng& rng)
+    : dims_(std::move(dims)), hidden_act_(hidden_act), output_act_(output_act) {
+  if (dims_.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output dims");
+  }
+  for (std::size_t d : dims_) {
+    if (d == 0) throw std::invalid_argument("Mlp: zero-width layer");
+  }
+  offsets_.resize(num_layers() + 1);
+  offsets_[0] = 0;
+  for (std::size_t i = 0; i < num_layers(); ++i) {
+    offsets_[i + 1] = offsets_[i] + dense_param_count(dims_[i], dims_[i + 1]);
+  }
+  params_.assign(offsets_.back(), 0.0);
+  grads_.assign(offsets_.back(), 0.0);
+  for (std::size_t i = 0; i < num_layers(); ++i) {
+    dense_init(layer_parameters(i), dims_[i], dims_[i + 1], scheme, rng);
+  }
+  acts_.resize(num_layers() + 1);
+}
+
+void Mlp::set_parameters(std::span<const double> values) {
+  if (values.size() != params_.size()) {
+    throw std::invalid_argument("Mlp::set_parameters: size mismatch");
+  }
+  std::copy(values.begin(), values.end(), params_.begin());
+}
+
+const Matrix& Mlp::forward(const Matrix& x) {
+  assert(x.cols() == input_dim());
+  acts_[0] = x;
+  for (std::size_t i = 0; i < num_layers(); ++i) {
+    dense_forward(layer_parameters(i), dims_[i], dims_[i + 1], acts_[i],
+                  layer_act(i), acts_[i + 1]);
+  }
+  return acts_.back();
+}
+
+Matrix Mlp::predict(const Matrix& x) const {
+  assert(x.cols() == input_dim());
+  Matrix cur = x;
+  Matrix next;
+  for (std::size_t i = 0; i < num_layers(); ++i) {
+    dense_forward(layer_parameters(i), dims_[i], dims_[i + 1], cur,
+                  layer_act(i), next);
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+void Mlp::zero_grad() noexcept {
+  for (double& g : grads_) g = 0.0;
+}
+
+void Mlp::backward(Matrix grad_out) {
+  assert(grad_out.rows() == acts_.back().rows());
+  assert(grad_out.cols() == output_dim());
+  Matrix grad_in;
+  for (std::size_t i = num_layers(); i-- > 0;) {
+    auto grad_slice =
+        std::span(grads_).subspan(offsets_[i], layer_param_count(i));
+    dense_backward(layer_parameters(i), dims_[i], dims_[i + 1], acts_[i],
+                   acts_[i + 1], layer_act(i), grad_out, grad_slice,
+                   i > 0 ? &grad_in : nullptr);
+    if (i > 0) std::swap(grad_out, grad_in);
+  }
+}
+
+double Mlp::train_batch(const Matrix& x, const Matrix& y, LossKind loss,
+                        Optimizer& opt, double huber_delta) {
+  const Matrix& pred = forward(x);
+  const double value = loss_value(loss, pred, y, huber_delta);
+  Matrix grad;
+  loss_grad(loss, pred, y, grad, huber_delta);
+  zero_grad();
+  backward(std::move(grad));
+  opt.step(params_, grads_);
+  return value;
+}
+
+bool Mlp::same_architecture(const Mlp& other) const noexcept {
+  return dims_ == other.dims_ && hidden_act_ == other.hidden_act_ &&
+         output_act_ == other.output_act_;
+}
+
+}  // namespace pfdrl::nn

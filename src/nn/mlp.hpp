@@ -1,0 +1,105 @@
+// Multi-layer perceptron with all parameters in a single flat buffer.
+//
+// Layer i occupies the contiguous slice [layer_offset(i),
+// layer_offset(i) + layer_param_count(i)). PFDRL's personalization split
+// (paper §3.3.2, Eq. 7/8) treats layers [0, alpha) as federated "base"
+// layers and the rest as local "personalization" layers; with this layout
+// that is exactly the flat prefix [0, layer_offset(alpha)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/matrix.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::nn {
+
+class Mlp {
+ public:
+  /// dims = {input, hidden..., output}; at least {in, out}.
+  /// Hidden layers use `hidden_act`, the final layer `output_act`.
+  Mlp(std::vector<std::size_t> dims, Activation hidden_act,
+      Activation output_act, InitScheme scheme, util::Rng& rng);
+
+  /// Number of dense layers (dims.size() - 1).
+  [[nodiscard]] std::size_t num_layers() const noexcept {
+    return dims_.size() - 1;
+  }
+  [[nodiscard]] std::size_t input_dim() const noexcept { return dims_.front(); }
+  [[nodiscard]] std::size_t output_dim() const noexcept { return dims_.back(); }
+  [[nodiscard]] const std::vector<std::size_t>& dims() const noexcept {
+    return dims_;
+  }
+
+  [[nodiscard]] std::size_t parameter_count() const noexcept {
+    return params_.size();
+  }
+  [[nodiscard]] std::span<double> parameters() noexcept { return params_; }
+  [[nodiscard]] std::span<const double> parameters() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::span<double> gradients() noexcept { return grads_; }
+  [[nodiscard]] std::span<const double> gradients() const noexcept {
+    return grads_;
+  }
+
+  /// Flat offset of layer i's slice; layer_offset(num_layers()) is the
+  /// total parameter count, so [offset(a), offset(b)) spans layers [a, b).
+  [[nodiscard]] std::size_t layer_offset(std::size_t i) const noexcept {
+    return offsets_[i];
+  }
+  [[nodiscard]] std::size_t layer_param_count(std::size_t i) const noexcept {
+    return offsets_[i + 1] - offsets_[i];
+  }
+  [[nodiscard]] std::span<double> layer_parameters(std::size_t i) noexcept {
+    return std::span(params_).subspan(offsets_[i], layer_param_count(i));
+  }
+  [[nodiscard]] std::span<const double> layer_parameters(
+      std::size_t i) const noexcept {
+    return std::span(params_).subspan(offsets_[i], layer_param_count(i));
+  }
+
+  /// Replace all parameters. Size must equal parameter_count().
+  void set_parameters(std::span<const double> values);
+
+  /// Forward pass with activation caching (required before backward()).
+  const Matrix& forward(const Matrix& x);
+  /// Stateless inference (does not disturb the training caches).
+  [[nodiscard]] Matrix predict(const Matrix& x) const;
+
+  void zero_grad() noexcept;
+  /// Accumulate gradients for dL/d(output) = grad_out. Must follow
+  /// forward() with the same batch.
+  void backward(Matrix grad_out);
+
+  /// Convenience: forward + loss + backward + optimizer step over one
+  /// mini-batch. Returns the batch loss.
+  double train_batch(const Matrix& x, const Matrix& y, LossKind loss,
+                     Optimizer& opt, double huber_delta = 1.0);
+
+  /// Structural equality of shapes (same dims/activations) — a
+  /// precondition for federated parameter exchange.
+  [[nodiscard]] bool same_architecture(const Mlp& other) const noexcept;
+
+ private:
+  std::vector<std::size_t> dims_;
+  Activation hidden_act_;
+  Activation output_act_;
+  std::vector<std::size_t> offsets_;  // per-layer flat offsets, + total
+  std::vector<double> params_;
+  std::vector<double> grads_;
+  // Forward caches: acts_[0] is the input, acts_[i+1] layer i's output.
+  std::vector<Matrix> acts_;
+
+  [[nodiscard]] Activation layer_act(std::size_t i) const noexcept {
+    return i + 1 == num_layers() ? output_act_ : hidden_act_;
+  }
+};
+
+}  // namespace pfdrl::nn

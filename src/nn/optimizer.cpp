@@ -1,0 +1,43 @@
+#include "nn/optimizer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pfdrl::nn {
+
+void Sgd::step(std::span<double> params, std::span<const double> grads) {
+  assert(params.size() == grads.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] -= lr_ * grads[i];
+  }
+}
+
+void Momentum::step(std::span<double> params, std::span<const double> grads) {
+  assert(params.size() == grads.size());
+  if (velocity_.size() != params.size()) velocity_.assign(params.size(), 0.0);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    velocity_[i] = beta_ * velocity_[i] + grads[i];
+    params[i] -= lr_ * velocity_[i];
+  }
+}
+
+void Adam::step(std::span<double> params, std::span<const double> grads) {
+  assert(params.size() == grads.size());
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0);
+    v_.assign(params.size(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
+    const double mhat = m_[i] / bias1;
+    const double vhat = v_[i] / bias2;
+    params[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+}  // namespace pfdrl::nn

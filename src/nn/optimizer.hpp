@@ -1,0 +1,87 @@
+// First-order optimizers operating on flat parameter/gradient spans.
+// Layers expose their parameters as contiguous slices of a per-model flat
+// buffer (see mlp.hpp), so one optimizer instance serves a whole network
+// and keeps its slot state aligned with parameter indices — which is what
+// makes the PFDRL base/personal layer split straightforward: averaging a
+// prefix of the flat buffer averages exactly the base layers.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pfdrl::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// params[i] -= update derived from grads[i]. Sizes must match the size
+  /// passed at construction.
+  virtual void step(std::span<double> params, std::span<const double> grads) = 0;
+  /// Reset internal state (moments); used when a model's parameters are
+  /// replaced wholesale by a federated aggregate.
+  virtual void reset() = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Optimizer> clone() const = 0;
+
+  [[nodiscard]] double learning_rate() const noexcept { return lr_; }
+  void set_learning_rate(double lr) noexcept { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) noexcept : lr_(lr) {}
+  double lr_;
+};
+
+/// Plain stochastic gradient descent (the paper's DSGD local step).
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr) noexcept : Optimizer(lr) {}
+  void step(std::span<double> params, std::span<const double> grads) override;
+  void reset() override {}
+  [[nodiscard]] std::string name() const override { return "sgd"; }
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override {
+    return std::make_unique<Sgd>(lr_);
+  }
+};
+
+/// SGD with classical momentum.
+class Momentum final : public Optimizer {
+ public:
+  Momentum(double lr, double beta = 0.9) noexcept : Optimizer(lr), beta_(beta) {}
+  void step(std::span<double> params, std::span<const double> grads) override;
+  void reset() override { velocity_.clear(); }
+  [[nodiscard]] std::string name() const override { return "momentum"; }
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override {
+    return std::make_unique<Momentum>(lr_, beta_);
+  }
+
+ private:
+  double beta_;
+  std::vector<double> velocity_;
+};
+
+/// Adam (Kingma & Ba). Default hyperparameters.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8) noexcept
+      : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void step(std::span<double> params, std::span<const double> grads) override;
+  void reset() override {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+  [[nodiscard]] std::string name() const override { return "adam"; }
+  [[nodiscard]] std::unique_ptr<Optimizer> clone() const override {
+    return std::make_unique<Adam>(lr_, beta1_, beta2_, eps_);
+  }
+
+ private:
+  double beta1_, beta2_, eps_;
+  std::vector<double> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace pfdrl::nn

@@ -1,0 +1,33 @@
+// Model checkpoint serialization: a small tagged binary format holding a
+// shape signature plus the flat parameter vector. The signature guards
+// against loading a checkpoint into a differently-shaped model — the same
+// guard federated agents apply before aggregating a received update.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pfdrl::nn {
+
+struct Checkpoint {
+  /// Free-form architecture tag, e.g. "mlp:6-100x8-3:relu".
+  std::string signature;
+  std::vector<double> parameters;
+};
+
+/// Serialize to a byte buffer (magic, version, signature, params).
+std::vector<std::uint8_t> serialize_checkpoint(const Checkpoint& ckpt);
+/// Parse; throws std::runtime_error on malformed input or version skew.
+Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes);
+
+/// File convenience wrappers. Throw std::runtime_error on IO failure.
+void save_checkpoint(const Checkpoint& ckpt, const std::string& path);
+Checkpoint load_checkpoint(const std::string& path);
+
+/// FNV-1a hash of the parameter bytes: used by tests and by the message
+/// bus to cheaply assert payload integrity end-to-end.
+std::uint64_t parameter_digest(std::span<const double> params) noexcept;
+
+}  // namespace pfdrl::nn

@@ -1,0 +1,142 @@
+#include "rl/dqn.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "nn/loss.hpp"
+
+namespace pfdrl::rl {
+
+namespace {
+std::vector<std::size_t> make_dims(const DqnConfig& cfg) {
+  std::vector<std::size_t> dims;
+  dims.push_back(cfg.state_dim);
+  dims.insert(dims.end(), cfg.hidden.begin(), cfg.hidden.end());
+  dims.push_back(cfg.num_actions);
+  return dims;
+}
+
+nn::Mlp make_net(const DqnConfig& cfg, std::uint64_t salt) {
+  util::Rng rng(cfg.seed + salt);
+  return nn::Mlp(make_dims(cfg), nn::Activation::kRelu,
+                 nn::Activation::kIdentity, nn::InitScheme::kHeNormal, rng);
+}
+}  // namespace
+
+DqnAgent::DqnAgent(const DqnConfig& cfg)
+    : cfg_(cfg),
+      rng_(cfg.exploration_seed != 0 ? cfg.exploration_seed : cfg.seed),
+      net_(make_net(cfg, 0)),
+      target_(make_net(cfg, 0)),  // same seed: target starts equal
+      opt_(cfg.learning_rate),
+      replay_(cfg.replay_capacity) {}
+
+double DqnAgent::epsilon() const noexcept {
+  if (act_steps_ >= cfg_.epsilon_decay_steps) return cfg_.epsilon_end;
+  const double frac = static_cast<double>(act_steps_) /
+                      static_cast<double>(cfg_.epsilon_decay_steps);
+  return cfg_.epsilon_start + frac * (cfg_.epsilon_end - cfg_.epsilon_start);
+}
+
+int DqnAgent::act(std::span<const double> state) {
+  const double eps = epsilon();
+  ++act_steps_;
+  if (rng_.uniform() < eps) {
+    return static_cast<int>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(cfg_.num_actions) - 1));
+  }
+  return act_greedy(state);
+}
+
+int DqnAgent::act_greedy(std::span<const double> state) const {
+  const auto q = q_values(state);
+  return static_cast<int>(std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+std::vector<double> DqnAgent::q_values(std::span<const double> state) const {
+  assert(state.size() == cfg_.state_dim);
+  nn::Matrix x(1, cfg_.state_dim);
+  std::copy(state.begin(), state.end(), x.row(0).begin());
+  const nn::Matrix q = net_.predict(x);
+  return {q.row(0).begin(), q.row(0).end()};
+}
+
+double DqnAgent::learn() {
+  if (replay_.size() < cfg_.batch_size) return 0.0;
+  const auto batch = replay_.sample(cfg_.batch_size, rng_);
+  const std::size_t bs = batch.size();
+
+  nn::Matrix states(bs, cfg_.state_dim);
+  nn::Matrix next_states(bs, cfg_.state_dim);
+  for (std::size_t i = 0; i < bs; ++i) {
+    std::copy(batch[i]->state.begin(), batch[i]->state.end(),
+              states.row(i).begin());
+    std::copy(batch[i]->next_state.begin(), batch[i]->next_state.end(),
+              next_states.row(i).begin());
+  }
+
+  // TD targets from the frozen target network. With double DQN the
+  // bootstrap action comes from the online network instead.
+  const nn::Matrix q_next = target_.predict(next_states);
+  nn::Matrix q_next_online;
+  if (cfg_.double_dqn) q_next_online = net_.predict(next_states);
+  const nn::Matrix& q_pred = net_.forward(states);
+
+  // Loss only on the taken action's Q-value: the gradient matrix is zero
+  // everywhere else. Huber TD error, as in Algorithm 2.
+  nn::Matrix grad(bs, cfg_.num_actions);
+  double loss = 0.0;
+  const double inv_bs = 1.0 / static_cast<double>(bs);
+  for (std::size_t i = 0; i < bs; ++i) {
+    double max_next;
+    if (cfg_.double_dqn) {
+      std::size_t best = 0;
+      for (std::size_t a = 1; a < cfg_.num_actions; ++a) {
+        if (q_next_online(i, a) > q_next_online(i, best)) best = a;
+      }
+      max_next = q_next(i, best);
+    } else {
+      max_next = q_next(i, 0);
+      for (std::size_t a = 1; a < cfg_.num_actions; ++a) {
+        max_next = std::max(max_next, q_next(i, a));
+      }
+    }
+    const double target =
+        batch[i]->reward +
+        (batch[i]->terminal ? 0.0 : cfg_.discount * max_next);
+    const auto action = static_cast<std::size_t>(batch[i]->action);
+    const double td_error = q_pred(i, action) - target;
+    loss += nn::huber(td_error) * inv_bs;
+    grad(i, action) = nn::huber_grad(td_error) * inv_bs;
+  }
+
+  net_.zero_grad();
+  net_.backward(std::move(grad));
+  opt_.step(net_.parameters(), net_.gradients());
+
+  ++learn_steps_;
+  if (learn_steps_ % cfg_.target_replace_every == 0) sync_target();
+  return loss;
+}
+
+void DqnAgent::set_network_parameters(std::span<const double> values) {
+  net_.set_parameters(values);
+  sync_target();
+  opt_.reset();
+}
+
+void DqnAgent::notify_external_parameter_update() {
+  // Deliberately neither syncs the target network nor resets Adam.
+  // Federated peers share their init and are re-averaged every round, so
+  // the averaged weights stay close to the local ones: the Adam moments
+  // remain valid, and the target network must keep following its own
+  // refresh schedule (every target_replace_every learn steps) — forcing
+  // a sync at every broadcast turns the TD targets into moving targets
+  // and measurably slowed early federated learning.
+}
+
+void DqnAgent::sync_target() {
+  target_.set_parameters(net_.parameters());
+}
+
+}  // namespace pfdrl::rl

@@ -1,0 +1,102 @@
+// Deep Q-Network agent (paper §3.3.1). The Q-network follows the paper's
+// architecture — 8 hidden layers of 100 ReLU neurons, 3 outputs (one
+// Q-value per device mode) — and hyperparameters: learning rate 1e-3,
+// discount 0.9, replay capacity 2000, target-network refresh every 100
+// learn steps, Huber TD loss.
+//
+// The network is an nn::Mlp, so its flat parameter buffer and per-layer
+// offsets are directly usable by the PFDRL base/personalization split.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "rl/replay.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::rl {
+
+struct DqnConfig {
+  std::size_t state_dim = 8;
+  std::size_t num_actions = 3;
+  /// Hidden architecture; the paper's is eight layers of 100.
+  std::vector<std::size_t> hidden = {100, 100, 100, 100, 100, 100, 100, 100};
+  double learning_rate = 1e-3;
+  double discount = 0.9;  // the paper's "discounted rate"
+  std::size_t replay_capacity = 2000;
+  std::size_t target_replace_every = 100;
+  std::size_t batch_size = 32;
+  /// Double DQN (van Hasselt et al.): select the bootstrap action with
+  /// the online network, evaluate it with the target network. Reduces
+  /// Q-value overestimation; off by default to match the paper's DQN.
+  bool double_dqn = false;
+  /// Linear epsilon decay from start to end over `epsilon_decay_steps`.
+  double epsilon_start = 1.0;
+  double epsilon_end = 0.05;
+  std::size_t epsilon_decay_steps = 2000;
+  /// Seeds weight initialization. Federated peers must share this (the
+  /// paper's "same default model" requirement).
+  std::uint64_t seed = 11;
+  /// Seeds exploration / replay sampling; 0 means "use `seed`". Federated
+  /// peers should differ here so their trajectories decorrelate.
+  std::uint64_t exploration_seed = 0;
+};
+
+class DqnAgent {
+ public:
+  explicit DqnAgent(const DqnConfig& cfg);
+
+  [[nodiscard]] const DqnConfig& config() const noexcept { return cfg_; }
+
+  /// Epsilon-greedy action for `state` (advances the exploration
+  /// schedule).
+  int act(std::span<const double> state);
+  /// Greedy action (evaluation policy; no exploration, no schedule).
+  [[nodiscard]] int act_greedy(std::span<const double> state) const;
+  /// Q-values for a state (diagnostics/tests).
+  [[nodiscard]] std::vector<double> q_values(
+      std::span<const double> state) const;
+
+  void remember(Transition t) { replay_.push(std::move(t)); }
+  [[nodiscard]] const ReplayBuffer& replay() const noexcept { return replay_; }
+
+  /// One DQN learning step on a replay minibatch (no-op until the buffer
+  /// holds at least one batch). Returns the Huber TD loss, or 0 if
+  /// skipped.
+  double learn();
+
+  /// Current exploration rate.
+  [[nodiscard]] double epsilon() const noexcept;
+  [[nodiscard]] std::uint64_t learn_steps() const noexcept {
+    return learn_steps_;
+  }
+
+  /// Online network access for federated parameter exchange. The PFDRL
+  /// split uses the Mlp's per-layer offsets.
+  [[nodiscard]] nn::Mlp& network() noexcept { return net_; }
+  [[nodiscard]] const nn::Mlp& network() const noexcept { return net_; }
+  /// Replace online parameters wholesale (checkpoint restore): syncs the
+  /// target network and resets optimizer moments.
+  void set_network_parameters(std::span<const double> values);
+  /// Call after mutating network() parameters in place through federated
+  /// averaging. Intentionally keeps both the Adam moments and the target
+  /// network's own refresh schedule (see dqn.cpp for why).
+  void notify_external_parameter_update();
+  /// Copy online weights into the target network (exposed for tests).
+  void sync_target();
+
+ private:
+  DqnConfig cfg_;
+  util::Rng rng_;
+  nn::Mlp net_;
+  nn::Mlp target_;
+  nn::Adam opt_;
+  ReplayBuffer replay_;
+  std::uint64_t act_steps_ = 0;
+  std::uint64_t learn_steps_ = 0;
+};
+
+}  // namespace pfdrl::rl

@@ -1,0 +1,38 @@
+#include "rl/replay.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pfdrl::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("ReplayBuffer: capacity 0");
+  storage_.resize(capacity);
+}
+
+void ReplayBuffer::push(Transition t) {
+  storage_[next_] = std::move(t);
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+  ++total_pushed_;
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t batch,
+                                                    util::Rng& rng) const {
+  if (empty()) throw std::logic_error("ReplayBuffer: sample from empty");
+  std::vector<const Transition*> out;
+  out.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(size_) - 1));
+    out.push_back(&storage_[idx]);
+  }
+  return out;
+}
+
+void ReplayBuffer::clear() noexcept {
+  next_ = 0;
+  size_ = 0;
+}
+
+}  // namespace pfdrl::rl

@@ -1,0 +1,50 @@
+// Fixed-capacity experience replay (the paper sets memory capacity 2000).
+// Ring-buffer overwrite semantics; uniform sampling with replacement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pfdrl::rl {
+
+struct Transition {
+  std::vector<double> state;
+  int action = 0;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  bool terminal = false;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Insert; overwrites the oldest entry once full.
+  void push(Transition t);
+
+  /// Uniform sample with replacement. Requires a non-empty buffer.
+  [[nodiscard]] std::vector<const Transition*> sample(std::size_t batch,
+                                                      util::Rng& rng) const;
+
+  void clear() noexcept;
+
+  /// Total transitions ever pushed (diagnostics).
+  [[nodiscard]] std::uint64_t total_pushed() const noexcept {
+    return total_pushed_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Transition> storage_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace pfdrl::rl

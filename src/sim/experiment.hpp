@@ -1,0 +1,54 @@
+// Experiment drivers shared by the benchmark binaries: pipeline-config
+// presets sized to laptop runtimes, and the day-by-day convergence run
+// behind the paper's Fig. 9 / Fig. 11 comparisons.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "sim/scenario.hpp"
+
+namespace pfdrl::sim {
+
+/// Pipeline preset with the paper's hyperparameters (lr 1e-3, discount
+/// 0.9, replay 2000, target replace 100, 8x100 DQN, alpha 6, beta/gamma
+/// 12 h) — used by the headline benches.
+core::PipelineConfig paper_pipeline(core::EmsMethod method,
+                                    std::uint64_t seed = 123);
+
+/// Cheap pipeline for tests and quick sweeps: small DQN (4x32), short
+/// forecaster training. Same structure, minutes instead of tens of
+/// minutes of wall time.
+core::PipelineConfig fast_pipeline(core::EmsMethod method,
+                                   std::uint64_t seed = 123);
+
+/// Benchmark pipeline: the paper's 8-hidden-layer DQN topology at a
+/// narrower width (8x48) and the BP forecaster, sized so that multi-point
+/// sweeps (alpha, gamma, method comparisons) finish in minutes on one
+/// core while keeping every structural property (alpha ranges over 8
+/// hidden layers, gamma-scheduled federation, same state/reward).
+core::PipelineConfig bench_pipeline(core::EmsMethod method,
+                                    std::uint64_t seed = 123);
+
+/// One point of the saved-energy-vs-training-days curve.
+struct ConvergencePoint {
+  std::size_t day = 0;  // 1-based day index
+  /// Net saved energy (standby reclaimed minus interrupted-use energy).
+  double saved_kwh_per_client = 0.0;
+  double saved_fraction = 0.0;      // net, of available standby energy
+  double gross_saved_fraction = 0.0;  // ignores comfort violations
+  double comfort_violations_per_client = 0.0;
+  double mean_reward_per_step = 0.0;
+};
+
+/// Train the pipeline day by day on the scenario and evaluate the greedy
+/// policy on each trained day (paper Fig. 9 protocol: performance as a
+/// function of accumulated training days).
+///
+/// Day 0 trains the forecasters on the first `forecast_train_days` days;
+/// EMS training then consumes one day at a time.
+std::vector<ConvergencePoint> run_convergence(
+    const Scenario& scenario, const core::PipelineConfig& cfg,
+    std::size_t forecast_train_days, std::size_t ems_days);
+
+}  // namespace pfdrl::sim

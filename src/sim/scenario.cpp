@@ -1,0 +1,69 @@
+#include "sim/scenario.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace pfdrl::sim {
+
+std::size_t Scenario::num_devices() const noexcept {
+  std::size_t n = 0;
+  for (const auto& home : traces) n += home.devices.size();
+  return n;
+}
+
+double Scenario::total_standby_kwh(std::size_t begin, std::size_t end) const {
+  double total = 0.0;
+  for (const auto& home : traces) {
+    for (const auto& dev : home.devices) {
+      total += dev.standby_energy_kwh(begin, end);
+    }
+  }
+  return total;
+}
+
+Scenario Scenario::generate(const ScenarioConfig& cfg) {
+  Scenario scenario;
+  scenario.config = cfg;
+  scenario.profiles = data::make_neighborhood(cfg.neighborhood);
+  scenario.traces.resize(scenario.profiles.size());
+  util::ThreadPool::global().parallel_for(
+      0, scenario.profiles.size(), [&](std::size_t h) {
+        scenario.traces[h] =
+            data::generate_household_trace(scenario.profiles[h], cfg.trace);
+      });
+  return scenario;
+}
+
+ScenarioConfig tiny_scenario(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.neighborhood.num_households = 2;
+  cfg.neighborhood.min_devices = 3;
+  cfg.neighborhood.max_devices = 3;
+  cfg.neighborhood.seed = seed;
+  cfg.trace.days = 2;
+  cfg.trace.seed = seed;
+  return cfg;
+}
+
+ScenarioConfig small_scenario(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.neighborhood.num_households = 5;
+  cfg.neighborhood.min_devices = 4;
+  cfg.neighborhood.max_devices = 5;
+  cfg.neighborhood.seed = seed;
+  cfg.trace.days = 4;
+  cfg.trace.seed = seed;
+  return cfg;
+}
+
+ScenarioConfig medium_scenario(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.neighborhood.num_households = 10;
+  cfg.neighborhood.min_devices = 4;
+  cfg.neighborhood.max_devices = 7;
+  cfg.neighborhood.seed = seed;
+  cfg.trace.days = 8;
+  cfg.trace.seed = seed;
+  return cfg;
+}
+
+}  // namespace pfdrl::sim

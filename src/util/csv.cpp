@@ -1,0 +1,156 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pfdrl::util {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+std::optional<std::size_t> CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+const std::string& CsvTable::cell(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+std::optional<double> CsvTable::cell_as_double(std::size_t row,
+                                               std::size_t col) const {
+  const std::string& s = cell(row, col);
+  double value = 0.0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::vector<double> CsvTable::column_as_doubles(std::size_t col) const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out.push_back(cell_as_double(r, col).value_or(0.0));
+  }
+  return out;
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvTable::to_string() const {
+  std::ostringstream os;
+  auto emit_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+CsvTable CsvTable::parse(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  const auto end_field = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+  };
+  const auto end_row = [&] {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_has_content || !field.empty() || !current.empty()) end_row();
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("csv: unterminated quoted field");
+  if (row_has_content || !field.empty() || !current.empty()) end_row();
+
+  CsvTable table;
+  if (records.empty()) return table;
+  table.header_ = std::move(records.front());
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    table.add_row(std::move(records[r]));
+  }
+  return table;
+}
+
+void CsvTable::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("csv: cannot open for write: " + path);
+  out << to_string();
+  if (!out) throw std::runtime_error("csv: write failed: " + path);
+}
+
+CsvTable CsvTable::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("csv: cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace pfdrl::util

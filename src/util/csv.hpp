@@ -1,0 +1,56 @@
+// Minimal CSV reader/writer used for exporting benchmark series and for
+// persisting/reloading synthetic traces. Handles quoting, embedded commas
+// and newlines in quoted fields; numeric convenience accessors.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfdrl::util {
+
+/// An in-memory CSV table: a header row plus data rows of strings.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return header_.size(); }
+
+  /// Column index for a header name, or nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> column(std::string_view name) const;
+
+  /// Append a row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const;
+  /// Parse a cell as double; returns nullopt on parse failure.
+  [[nodiscard]] std::optional<double> cell_as_double(std::size_t row,
+                                                     std::size_t col) const;
+  /// Entire column as doubles; unparseable cells become 0.
+  [[nodiscard]] std::vector<double> column_as_doubles(std::size_t col) const;
+
+  /// Serialize with RFC-4180-style quoting.
+  [[nodiscard]] std::string to_string() const;
+  /// Parse from text. Throws std::runtime_error on structurally broken
+  /// input (unterminated quote).
+  static CsvTable parse(std::string_view text);
+
+  /// Convenience file IO. Throws std::runtime_error on IO failure.
+  void save(const std::string& path) const;
+  static CsvTable load(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a single field if it contains a comma, quote, or newline.
+std::string csv_escape(std::string_view field);
+
+}  // namespace pfdrl::util

@@ -1,0 +1,66 @@
+// Descriptive statistics used throughout the benchmarks and metric
+// collectors: streaming mean/variance (Welford), percentiles, CDF
+// sampling, and simple linear regression for trend checks in tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pfdrl::util {
+
+/// Numerically stable streaming accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double stderror() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+double mean(std::span<const double> xs) noexcept;
+double variance(std::span<const double> xs) noexcept;
+double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, q in [0, 1]. Copies and sorts.
+/// Returns 0 for empty input.
+double percentile(std::span<const double> xs, double q);
+
+/// Empirical CDF evaluated at `points`: fraction of xs <= point.
+std::vector<double> empirical_cdf(std::span<const double> xs,
+                                  std::span<const double> points);
+
+/// Ordinary least squares fit y = a + b*x. Returns {a, b}.
+/// Requires xs.size() == ys.size() and at least two points with
+/// non-degenerate x spread (otherwise b = 0).
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation coefficient; 0 when either side is degenerate.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Clamp helper used by metric code (std::clamp but tolerant of lo > hi
+/// never occurring by contract; asserts in debug builds).
+double clamp01(double x) noexcept;
+
+}  // namespace pfdrl::util

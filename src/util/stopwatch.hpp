@@ -1,0 +1,27 @@
+// Monotonic wall-clock stopwatch for the time-overhead figures
+// (paper Fig. 13 / Fig. 14) and the micro benchmarks.
+#pragma once
+
+#include <chrono>
+
+namespace pfdrl::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pfdrl::util

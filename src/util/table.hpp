@@ -1,0 +1,33 @@
+// ASCII table printer for benchmark output. Every bench binary prints its
+// figure/table series through this so that rows are aligned and stable to
+// diff against EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pfdrl::util {
+
+/// Builds an aligned text table. Numeric cells should be pre-formatted by
+/// the caller (see `fmt_double`).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Render with column padding, a header underline, and `title` above.
+  [[nodiscard]] std::string render(const std::string& title = {}) const;
+  /// Render and write to stdout.
+  void print(const std::string& title = {}) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.*f") without locale surprises.
+std::string fmt_double(double v, int precision = 3);
+/// Percentage formatting: 0.921 -> "92.1%".
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace pfdrl::util

@@ -1,0 +1,180 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pfdrl::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(wake_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::push_task(std::function<void()> task) {
+  const std::size_t idx =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard lock(queues_[idx]->mutex);
+    queues_[idx]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // Notify under the wake mutex: a worker that just found all queues
+  // empty holds this mutex until it blocks, so the notification cannot
+  // land in the window between its predicate check and its wait.
+  {
+    std::lock_guard lock(wake_mutex_);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_or_steal(std::size_t self,
+                                  std::function<void()>& out) {
+  // Own queue first (back: LIFO for locality)...
+  {
+    auto& q = *queues_[self];
+    std::lock_guard lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  // ...then steal from victims (front: FIFO keeps large chunks flowing).
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    auto& q = *queues_[(self + off) % queues_.size()];
+    std::lock_guard lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop_or_steal(index, task)) {
+      task();
+      task = nullptr;
+      pending_.fetch_sub(1, std::memory_order_release);
+      continue;
+    }
+    std::unique_lock lock(wake_mutex_);
+    wake_cv_.wait(lock, [this, index] {
+      if (stop_.load(std::memory_order_acquire)) return true;
+      // Re-check queues under the wake lock to avoid lost wakeups.
+      for (const auto& q : queues_) {
+        std::lock_guard ql(q->mutex);
+        if (!q->tasks.empty()) return true;
+      }
+      (void)index;
+      return false;
+    });
+    if (stop_.load(std::memory_order_acquire)) return;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  parallel_for_chunked(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      (end - begin + grain - 1) / grain);
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t num_chunks) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (num_chunks == 0) num_chunks = size() * 4;
+  num_chunks = std::clamp<std::size_t>(num_chunks, 1, n);
+
+  if (num_chunks == 1) {
+    body(begin, end);
+    return;
+  }
+
+  // Shared state lives in a shared_ptr: helper tasks may still be
+  // draining their (empty) chunk loop after the caller has observed
+  // completion and returned, so they must not reference stack locals.
+  struct SweepState {
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> next_chunk{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::function<void(std::size_t, std::size_t)> body;
+    std::size_t begin = 0, base = 0, rem = 0, num_chunks = 0;
+  };
+  auto state = std::make_shared<SweepState>();
+  state->body = body;
+  state->begin = begin;
+  state->base = n / num_chunks;
+  state->rem = n % num_chunks;
+  state->num_chunks = num_chunks;
+
+  const auto run_chunks = [](const std::shared_ptr<SweepState>& st) {
+    for (;;) {
+      const std::size_t c =
+          st->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= st->num_chunks) return;
+      // First `rem` chunks get one extra element: deterministic layout.
+      const std::size_t lo = st->begin + c * st->base + std::min(c, st->rem);
+      const std::size_t hi = lo + st->base + (c < st->rem ? 1 : 0);
+      st->body(lo, hi);
+      if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          st->num_chunks) {
+        std::lock_guard lock(st->done_mutex);
+        st->done_cv.notify_all();
+      }
+    }
+  };
+
+  // Post one helper task per worker; the caller also executes chunks so
+  // nested parallel_for from inside a worker cannot deadlock.
+  const std::size_t helpers = std::min(size(), num_chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    push_task([state, run_chunks] { run_chunks(state); });
+  }
+  run_chunks(state);
+
+  std::unique_lock lock(state->done_mutex);
+  state->done_cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->num_chunks;
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pfdrl::util

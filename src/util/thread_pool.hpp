@@ -1,0 +1,86 @@
+// Work-stealing thread pool used to fan out per-device forecaster
+// training, per-agent DRL steps, and blocked matmul tiles.
+//
+// Design notes (HPC-parallel idioms):
+//  * One bounded deque per worker; owners push/pop at the back, thieves
+//    steal from the front, which keeps the common path contention-free.
+//  * `parallel_for` does static range chunking (deterministic work
+//    decomposition) so numeric results are reproducible: any reduction
+//    over chunk results is performed in chunk-index order by the caller.
+//  * The pool is also usable as a plain task executor via `submit`.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pfdrl::util {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `num_threads` workers (default: hardware
+  /// concurrency, at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue an arbitrary task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    push_task([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Run body(i) for i in [begin, end) across the pool and wait.
+  /// The static chunking is deterministic in (range, grain); the calling
+  /// thread participates, so the pool never deadlocks when parallel_for
+  /// is invoked from a worker.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Chunked variant: body(chunk_begin, chunk_end). Useful when per-chunk
+  /// setup (e.g. a thread-local accumulator) amortizes across iterations.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body,
+      std::size_t num_chunks = 0);
+
+  /// The process-wide default pool (lazily constructed, never destroyed
+  /// before exit). Library code that does not care about pool identity
+  /// should use this to avoid oversubscription.
+  static ThreadPool& global();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void push_task(std::function<void()> task);
+  bool try_pop_or_steal(std::size_t self, std::function<void()>& out);
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> next_queue_{0};
+};
+
+}  // namespace pfdrl::util

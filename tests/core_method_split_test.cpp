@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/layer_split.hpp"
+#include "core/method.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::core {
+namespace {
+
+TEST(MethodTraits, Table2Local) {
+  const auto t = method_traits(EmsMethod::kLocal);
+  EXPECT_EQ(t.load_forecasting, "Local NN");
+  EXPECT_EQ(t.ems, "Local RL");
+  EXPECT_TRUE(t.local_area);
+  EXPECT_TRUE(t.data_privacy);
+  EXPECT_FALSE(t.small_batch_training);
+  EXPECT_FALSE(t.shares_ems);
+  EXPECT_TRUE(t.personalization);
+}
+
+TEST(MethodTraits, Table2Cloud) {
+  const auto t = method_traits(EmsMethod::kCloud);
+  EXPECT_EQ(t.load_forecasting, "Cloud NN");
+  EXPECT_FALSE(t.local_area);
+  EXPECT_FALSE(t.data_privacy);
+  EXPECT_TRUE(t.small_batch_training);
+  EXPECT_FALSE(t.personalization);
+}
+
+TEST(MethodTraits, Table2Fl) {
+  const auto t = method_traits(EmsMethod::kFl);
+  EXPECT_EQ(t.load_forecasting, "Federated Learning");
+  EXPECT_EQ(t.ems, "Local RL");
+  EXPECT_FALSE(t.shares_ems);
+}
+
+TEST(MethodTraits, Table2Frl) {
+  const auto t = method_traits(EmsMethod::kFrl);
+  EXPECT_EQ(t.ems, "Federated RL");
+  EXPECT_TRUE(t.shares_ems);
+  EXPECT_FALSE(t.personalization);
+}
+
+TEST(MethodTraits, Table2Pfdrl) {
+  const auto t = method_traits(EmsMethod::kPfdrl);
+  EXPECT_EQ(t.load_forecasting, "Decentralized Federated Learning");
+  EXPECT_EQ(t.ems, "Personalized Federated RL");
+  EXPECT_TRUE(t.local_area);
+  EXPECT_TRUE(t.data_privacy);
+  EXPECT_TRUE(t.small_batch_training);
+  EXPECT_TRUE(t.shares_ems);
+  EXPECT_TRUE(t.personalization);
+}
+
+TEST(MethodTraits, OnlyPfdrlHasAllProperties) {
+  for (auto m : {EmsMethod::kLocal, EmsMethod::kCloud, EmsMethod::kFl,
+                 EmsMethod::kFrl}) {
+    const auto t = method_traits(m);
+    const bool all = t.local_area && t.data_privacy &&
+                     t.small_batch_training && t.shares_ems &&
+                     t.personalization;
+    EXPECT_FALSE(all) << ems_method_name(m);
+  }
+  const auto t = method_traits(EmsMethod::kPfdrl);
+  EXPECT_TRUE(t.local_area && t.data_privacy && t.small_batch_training &&
+              t.shares_ems && t.personalization);
+}
+
+TEST(MethodNames, Stable) {
+  EXPECT_STREQ(ems_method_name(EmsMethod::kLocal), "Local");
+  EXPECT_STREQ(ems_method_name(EmsMethod::kCloud), "Cloud");
+  EXPECT_STREQ(ems_method_name(EmsMethod::kFl), "FL");
+  EXPECT_STREQ(ems_method_name(EmsMethod::kFrl), "FRL");
+  EXPECT_STREQ(ems_method_name(EmsMethod::kPfdrl), "PFDRL");
+}
+
+nn::Mlp dqn_like_net() {
+  util::Rng rng(1);
+  return nn::Mlp({5, 10, 10, 10, 3}, nn::Activation::kRelu,
+                 nn::Activation::kIdentity, nn::InitScheme::kHeNormal, rng);
+}
+
+TEST(LayerSplit, PrefixGrowsWithAlpha) {
+  const auto net = dqn_like_net();
+  std::size_t prev = 0;
+  for (std::size_t alpha = 0; alpha <= net.num_layers(); ++alpha) {
+    const std::size_t p = base_prefix_params(net, alpha);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_EQ(base_prefix_params(net, 0), 0u);
+  EXPECT_EQ(base_prefix_params(net, net.num_layers()), net.parameter_count());
+}
+
+TEST(LayerSplit, AlphaClampedToLayerCount) {
+  const auto net = dqn_like_net();
+  EXPECT_EQ(base_prefix_params(net, 100), net.parameter_count());
+}
+
+TEST(LayerSplit, PrefixMatchesLayerOffsets) {
+  const auto net = dqn_like_net();
+  for (std::size_t alpha = 1; alpha < net.num_layers(); ++alpha) {
+    EXPECT_EQ(base_prefix_params(net, alpha), net.layer_offset(alpha));
+  }
+}
+
+TEST(LayerSplit, HiddenLayerCount) {
+  const auto net = dqn_like_net();
+  EXPECT_EQ(hidden_layer_count(net), 3u);  // 4 dense layers - output
+}
+
+}  // namespace
+}  // namespace pfdrl::core

@@ -1,0 +1,177 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
+
+namespace pfdrl::core {
+namespace {
+
+sim::Scenario tiny() {
+  auto cfg = sim::tiny_scenario(42);
+  return sim::Scenario::generate(cfg);
+}
+
+PipelineConfig tiny_pipeline(EmsMethod method) {
+  auto cfg = sim::fast_pipeline(method, 42);
+  cfg.forecast_method = forecast::Method::kLr;  // cheapest
+  cfg.dqn.hidden = {12, 12};
+  return cfg;
+}
+
+TEST(Pipeline, RejectsEmptyTraces) {
+  std::vector<data::HouseholdTrace> empty;
+  EXPECT_THROW(EmsPipeline(empty, tiny_pipeline(EmsMethod::kPfdrl)),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, ProtectedDevicesHaveNoAgent) {
+  const auto scenario = tiny();
+  EmsPipeline pipeline(scenario.traces, tiny_pipeline(EmsMethod::kLocal));
+  for (std::size_t h = 0; h < scenario.traces.size(); ++h) {
+    for (std::size_t d = 0; d < scenario.traces[h].devices.size(); ++d) {
+      if (scenario.traces[h].devices[d].spec.protected_device) {
+        EXPECT_THROW(pipeline.agent(h, d), std::out_of_range);
+      } else {
+        EXPECT_NO_THROW(pipeline.agent(h, d));
+      }
+    }
+  }
+}
+
+TEST(Pipeline, SharesEmsPlansOnlyForFrlAndPfdrl) {
+  EXPECT_FALSE(shares_ems_plans(EmsMethod::kLocal));
+  EXPECT_FALSE(shares_ems_plans(EmsMethod::kCloud));
+  EXPECT_FALSE(shares_ems_plans(EmsMethod::kFl));
+  EXPECT_TRUE(shares_ems_plans(EmsMethod::kFrl));
+  EXPECT_TRUE(shares_ems_plans(EmsMethod::kPfdrl));
+}
+
+class PipelineAllMethods : public ::testing::TestWithParam<EmsMethod> {};
+
+TEST_P(PipelineAllMethods, EndToEndSmoke) {
+  const auto scenario = tiny();
+  const std::size_t day = data::kMinutesPerDay;
+  EmsPipeline pipeline(scenario.traces, tiny_pipeline(GetParam()));
+  pipeline.train_forecasters(0, day);
+  const double acc = pipeline.forecast_accuracy(day, 2 * day);
+  EXPECT_GT(acc, 0.2);
+  EXPECT_LE(acc, 1.0);
+  pipeline.train_ems(day, 2 * day);
+  const auto results = pipeline.evaluate(day, 2 * day);
+  ASSERT_EQ(results.size(), scenario.num_homes());
+  for (const auto& r : results) {
+    EXPECT_GT(r.steps, 0u);
+    EXPECT_GE(r.standby_kwh, 0.0);
+    EXPECT_GE(r.saved_kwh, 0.0);
+    EXPECT_LE(r.saved_kwh, r.standby_kwh + 1e-9);
+  }
+}
+
+TEST_P(PipelineAllMethods, CommStatsMatchMethod) {
+  const auto scenario = tiny();
+  const std::size_t day = data::kMinutesPerDay;
+  EmsPipeline pipeline(scenario.traces, tiny_pipeline(GetParam()));
+  pipeline.train_forecasters(0, day);
+  pipeline.train_ems(day, 2 * day);
+
+  const auto fc = pipeline.forecast_comm_stats();
+  const auto drl = pipeline.drl_comm_stats();
+  switch (GetParam()) {
+    case EmsMethod::kLocal:
+      EXPECT_EQ(fc.messages_sent, 0u);
+      EXPECT_EQ(drl.messages_sent, 0u);
+      break;
+    case EmsMethod::kCloud:
+      // Cloud ships raw data, not parameters; no bus traffic either way.
+      EXPECT_EQ(fc.messages_sent, 0u);
+      EXPECT_EQ(drl.messages_sent, 0u);
+      break;
+    case EmsMethod::kFl:
+      EXPECT_GT(fc.messages_sent, 0u);
+      EXPECT_EQ(drl.messages_sent, 0u);
+      break;
+    case EmsMethod::kFrl:
+      EXPECT_GT(fc.messages_sent, 0u);
+      EXPECT_GT(drl.messages_sent, 0u);
+      break;
+    case EmsMethod::kPfdrl:
+      EXPECT_GT(fc.messages_sent, 0u);
+      EXPECT_GT(drl.messages_sent, 0u);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, PipelineAllMethods,
+                         ::testing::Values(EmsMethod::kLocal,
+                                           EmsMethod::kCloud, EmsMethod::kFl,
+                                           EmsMethod::kFrl,
+                                           EmsMethod::kPfdrl));
+
+TEST(Pipeline, PfdrlBroadcastsLessDrlDataThanFrl) {
+  const auto scenario = tiny();
+  const std::size_t day = data::kMinutesPerDay;
+
+  auto frl_cfg = tiny_pipeline(EmsMethod::kFrl);
+  auto pfdrl_cfg = tiny_pipeline(EmsMethod::kPfdrl);
+  pfdrl_cfg.alpha = 1;
+
+  EmsPipeline frl(scenario.traces, frl_cfg);
+  EmsPipeline pfdrl(scenario.traces, pfdrl_cfg);
+  frl.train_forecasters(0, day);
+  pfdrl.train_forecasters(0, day);
+  frl.train_ems(day, 2 * day);
+  pfdrl.train_ems(day, 2 * day);
+
+  EXPECT_LT(pfdrl.drl_comm_stats().bytes_on_wire,
+            frl.drl_comm_stats().bytes_on_wire);
+}
+
+TEST(Pipeline, EvaluateSavingsDollarsShape) {
+  const auto scenario = tiny();
+  const std::size_t day = data::kMinutesPerDay;
+  EmsPipeline pipeline(scenario.traces, tiny_pipeline(EmsMethod::kPfdrl));
+  pipeline.train_forecasters(0, day);
+  pipeline.train_ems(day, 2 * day);
+  const data::FixedTariff tariff;
+  const auto dollars =
+      pipeline.evaluate_savings_dollars(day, 2 * day, tariff, 0);
+  ASSERT_EQ(dollars.size(), scenario.num_homes());
+  for (double d : dollars) EXPECT_GE(d, 0.0);
+}
+
+TEST(Pipeline, SecureAggregationMatchesPlainForecasts) {
+  // End-to-end: the PFDRL pipeline with masked DFL broadcasts produces
+  // the same forecast accuracy as the plain one (masks cancel in the
+  // aggregate).
+  const auto scenario = tiny();
+  const std::size_t day = data::kMinutesPerDay;
+  auto plain_cfg = tiny_pipeline(EmsMethod::kPfdrl);
+  auto secure_cfg = plain_cfg;
+  secure_cfg.secure_aggregation = true;
+  EmsPipeline plain(scenario.traces, plain_cfg);
+  EmsPipeline secure(scenario.traces, secure_cfg);
+  plain.train_forecasters(0, day);
+  secure.train_forecasters(0, day);
+  EXPECT_NEAR(plain.forecast_accuracy(day, 2 * day),
+              secure.forecast_accuracy(day, 2 * day), 1e-6);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto scenario = tiny();
+  const std::size_t day = data::kMinutesPerDay;
+  const auto run = [&] {
+    EmsPipeline pipeline(scenario.traces, tiny_pipeline(EmsMethod::kPfdrl));
+    pipeline.train_forecasters(0, day);
+    pipeline.train_ems(day, 2 * day);
+    const auto results = pipeline.evaluate(day, 2 * day);
+    double total = 0.0;
+    for (const auto& r : results) total += r.total_reward;
+    return total;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace pfdrl::core

@@ -1,0 +1,227 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pfdrl::data {
+namespace {
+
+DeviceTrace ramp_trace(std::size_t minutes) {
+  // watts[m] = m, deterministic, modes all standby (irrelevant here).
+  DeviceTrace trace;
+  trace.spec.type = DeviceType::kTv;
+  trace.spec.standby_watts = 5.0;
+  trace.spec.on_watts = 100.0;
+  trace.watts.resize(minutes);
+  trace.modes.assign(minutes, DeviceMode::kStandby);
+  for (std::size_t m = 0; m < minutes; ++m) {
+    trace.watts[m] = static_cast<double>(m);
+  }
+  return trace;
+}
+
+TEST(EncodeDecode, LinearInverse) {
+  for (double w : {0.0, 1.0, 5.5, 150.0}) {
+    const double enc = encode_watts(w, 150.0, false);
+    EXPECT_NEAR(decode_watts(enc, 150.0, false), w, 1e-9);
+  }
+}
+
+TEST(EncodeDecode, LogInverse) {
+  for (double w : {0.0, 0.5, 3.0, 42.0, 1800.0}) {
+    const double enc = encode_watts(w, 2700.0, true);
+    EXPECT_NEAR(decode_watts(enc, 2700.0, true), w, 1e-6 * (1 + w));
+  }
+}
+
+TEST(EncodeDecode, LogSeparatesStandbyFromOff) {
+  // The motivating property: in log scale standby sits well above off.
+  const double scale = 150.0;
+  const double off = encode_watts(0.0, scale, true);
+  const double standby = encode_watts(5.0, scale, true);
+  const double on = encode_watts(100.0, scale, true);
+  EXPECT_EQ(off, 0.0);
+  EXPECT_GT(standby, 0.25);
+  EXPECT_GT(on, standby + 0.3);
+}
+
+TEST(EncodeDecode, NegativeClamped) {
+  EXPECT_EQ(encode_watts(-5.0, 100.0, true), 0.0);
+  EXPECT_EQ(decode_watts(-0.5, 100.0, false), 0.0);
+}
+
+TEST(WindowMath, HistoryNeeded) {
+  WindowConfig cfg;
+  cfg.window = 16;
+  cfg.horizon = 15;
+  EXPECT_EQ(history_needed(cfg), 30u);
+  EXPECT_EQ(first_feasible_target(cfg, 0), 30u);
+  EXPECT_EQ(first_feasible_target(cfg, 100), 100u);
+  cfg.horizon = 1;
+  EXPECT_EQ(history_needed(cfg), 16u);
+}
+
+TEST(Supervised, FeatureAlignment) {
+  const auto trace = ramp_trace(200);
+  WindowConfig cfg;
+  cfg.window = 4;
+  cfg.horizon = 3;
+  cfg.calendar_features = false;
+  cfg.log_scale = false;
+  const auto set = make_supervised(trace, cfg, 0, 50);
+  ASSERT_GT(set.size(), 0u);
+  // First target is window + horizon - 1 = 6.
+  EXPECT_EQ(set.target_minute[0], 6u);
+  // For target t, features are watts[t-horizon-window+1 .. t-horizon]
+  // = {0,1,2,3} for t=6 (scaled).
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(set.x(0, k) * set.scale, static_cast<double>(k), 1e-9);
+  }
+  EXPECT_NEAR(set.y(0, 0) * set.scale, 6.0, 1e-9);
+}
+
+TEST(Supervised, HorizonGapRespected) {
+  const auto trace = ramp_trace(300);
+  WindowConfig cfg;
+  cfg.window = 3;
+  cfg.horizon = 10;
+  cfg.calendar_features = false;
+  cfg.log_scale = false;
+  const auto set = make_supervised(trace, cfg, 0, 100);
+  // Last feature of each row must be horizon minutes before the target.
+  for (std::size_t r = 0; r < set.size(); ++r) {
+    const double last_feature = set.x(r, 2) * set.scale;
+    EXPECT_NEAR(last_feature,
+                static_cast<double>(set.target_minute[r] - 10), 1e-9);
+  }
+}
+
+TEST(Supervised, CalendarFeaturesOnUnitCircle) {
+  const auto trace = ramp_trace(kMinutesPerDay);
+  WindowConfig cfg;
+  cfg.window = 4;
+  cfg.horizon = 1;
+  cfg.calendar_features = true;
+  const auto set = make_supervised(trace, cfg, 0, kMinutesPerDay);
+  ASSERT_EQ(set.features(), 6u);
+  for (std::size_t r = 0; r < set.size(); r += 37) {
+    const double s = set.x(r, 4);
+    const double c = set.x(r, 5);
+    EXPECT_NEAR(s * s + c * c, 1.0, 1e-9);
+  }
+}
+
+TEST(Supervised, StrideSubsamples) {
+  const auto trace = ramp_trace(500);
+  WindowConfig cfg;
+  cfg.window = 4;
+  cfg.horizon = 1;
+  cfg.stride = 5;
+  const auto dense = make_supervised(trace, cfg, 0, 400);
+  cfg.stride = 1;
+  const auto full = make_supervised(trace, cfg, 0, 400);
+  EXPECT_NEAR(static_cast<double>(full.size()) / dense.size(), 5.0, 0.2);
+  // Strided targets advance by stride.
+  EXPECT_EQ(dense.target_minute[1] - dense.target_minute[0], 5u);
+}
+
+TEST(Supervised, EmptyWhenRangeTooShort) {
+  const auto trace = ramp_trace(100);
+  WindowConfig cfg;
+  cfg.window = 30;
+  cfg.horizon = 80;
+  const auto set = make_supervised(trace, cfg, 0, 100);
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(Sequences, AlignedWithSupervised) {
+  const auto trace = ramp_trace(300);
+  WindowConfig cfg;
+  cfg.window = 5;
+  cfg.horizon = 4;
+  cfg.calendar_features = false;
+  cfg.log_scale = false;
+  const auto sup = make_supervised(trace, cfg, 10, 200);
+  const auto seq = make_sequences(trace, cfg, 10, 200);
+  ASSERT_EQ(sup.size(), seq.size());
+  ASSERT_EQ(seq.xs.size(), 5u);
+  EXPECT_EQ(seq.step_features(), 1u);
+  for (std::size_t r = 0; r < sup.size(); r += 11) {
+    EXPECT_EQ(sup.target_minute[r], seq.target_minute[r]);
+    for (std::size_t t = 0; t < 5; ++t) {
+      EXPECT_NEAR(seq.xs[t](r, 0), sup.x(r, t), 1e-12);
+    }
+    EXPECT_NEAR(seq.y(r, 0), sup.y(r, 0), 1e-12);
+  }
+}
+
+TEST(Sequences, CalendarPerStep) {
+  const auto trace = ramp_trace(kMinutesPerDay);
+  WindowConfig cfg;
+  cfg.window = 3;
+  cfg.horizon = 1;
+  cfg.calendar_features = true;
+  const auto seq = make_sequences(trace, cfg, 0, 600);
+  EXPECT_EQ(seq.step_features(), 3u);
+  for (std::size_t r = 0; r < seq.size(); r += 53) {
+    for (std::size_t t = 0; t < 3; ++t) {
+      const double s = seq.xs[t](r, 1);
+      const double c = seq.xs[t](r, 2);
+      EXPECT_NEAR(s * s + c * c, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(Split, EightyTwenty) {
+  EXPECT_EQ(train_test_split(1000).train_end, 800u);
+  EXPECT_EQ(train_test_split(1000, 0.5).train_end, 500u);
+  EXPECT_EQ(train_test_split(0).train_end, 0u);
+  EXPECT_EQ(train_test_split(10, 2.0).train_end, 10u);  // clamped
+}
+
+TEST(Accuracy, ExactPredictionIsOne) {
+  EXPECT_DOUBLE_EQ(prediction_accuracy(50.0, 50.0), 1.0);
+}
+
+TEST(Accuracy, RelativeError) {
+  EXPECT_NEAR(prediction_accuracy(90.0, 100.0), 0.9, 1e-12);
+  EXPECT_NEAR(prediction_accuracy(110.0, 100.0), 0.9, 1e-12);
+}
+
+TEST(Accuracy, ClampedAtZero) {
+  EXPECT_EQ(prediction_accuracy(300.0, 100.0), 0.0);
+}
+
+TEST(Accuracy, OffDeviceSemantics) {
+  // Real value below floor: correct if prediction is also near zero.
+  EXPECT_EQ(prediction_accuracy(0.1, 0.0), 1.0);
+  EXPECT_EQ(prediction_accuracy(40.0, 0.0), 0.0);
+}
+
+TEST(NormalizationScale, HasHeadroom) {
+  DeviceSpec spec;
+  spec.on_watts = 100.0;
+  EXPECT_DOUBLE_EQ(normalization_scale(spec), 150.0);
+  spec.on_watts = 0.1;
+  EXPECT_GE(normalization_scale(spec), 1.0);
+}
+
+class EncodeDecodeSweep
+    : public ::testing::TestWithParam<std::tuple<double, bool>> {};
+
+TEST_P(EncodeDecodeSweep, InverseProperty) {
+  const auto [scale, log_scale] = GetParam();
+  for (double w = 0.0; w <= scale * 1.2; w += scale / 17.0) {
+    const double enc = encode_watts(w, scale, log_scale);
+    EXPECT_NEAR(decode_watts(enc, scale, log_scale), w, 1e-6 * (1 + w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scales, EncodeDecodeSweep,
+    ::testing::Combine(::testing::Values(10.0, 150.0, 2700.0, 6000.0),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace pfdrl::data

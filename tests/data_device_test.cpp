@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/device.hpp"
+#include "data/household.hpp"
+
+namespace pfdrl::data {
+namespace {
+
+TEST(DeviceCatalog, OneArchetypePerType) {
+  const auto& catalog = device_catalog();
+  ASSERT_EQ(catalog.size(), kNumDeviceTypes);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(catalog[i].spec.type), i);
+  }
+}
+
+TEST(DeviceCatalog, PowerLevelsOrdered) {
+  for (const auto& d : device_catalog()) {
+    EXPECT_GT(d.spec.standby_watts, 0.0) << d.spec.label;
+    EXPECT_GT(d.spec.on_watts, d.spec.standby_watts * 2) << d.spec.label;
+  }
+}
+
+TEST(DeviceCatalog, HourlyCurvesComplete) {
+  for (const auto& d : device_catalog()) {
+    ASSERT_EQ(d.hourly_usage_weight.size(), 24u) << d.spec.label;
+    for (double w : d.hourly_usage_weight) EXPECT_GE(w, 0.0);
+  }
+}
+
+TEST(DeviceCatalog, DutyCyclersAreProtected) {
+  for (const auto& d : device_catalog()) {
+    EXPECT_EQ(d.spec.protected_device, d.behavior.duty_cycling)
+        << d.spec.label;
+  }
+}
+
+TEST(DeviceCatalog, UserDevicesHaveSessions) {
+  for (const auto& d : device_catalog()) {
+    if (!d.behavior.duty_cycling) {
+      EXPECT_GT(d.behavior.sessions_per_day, 0.0) << d.spec.label;
+      EXPECT_GT(d.behavior.mean_session_minutes, 0.0) << d.spec.label;
+    }
+  }
+}
+
+TEST(DeviceNames, Stable) {
+  EXPECT_STREQ(device_type_name(DeviceType::kTv), "tv");
+  EXPECT_STREQ(device_type_name(DeviceType::kHvac), "hvac");
+  EXPECT_STREQ(device_mode_name(DeviceMode::kStandby), "standby");
+  EXPECT_STREQ(device_mode_name(DeviceMode::kOff), "off");
+  EXPECT_STREQ(device_mode_name(DeviceMode::kOn), "on");
+}
+
+TEST(Household, EveryHomeHasFridge) {
+  NeighborhoodConfig cfg;
+  cfg.num_households = 20;
+  const auto homes = make_neighborhood(cfg);
+  for (const auto& home : homes) {
+    bool has_fridge = false;
+    for (const auto& d : home.devices) {
+      if (d.spec.type == DeviceType::kFridge) has_fridge = true;
+    }
+    EXPECT_TRUE(has_fridge) << home.name;
+  }
+}
+
+TEST(Household, DeviceCountInRange) {
+  NeighborhoodConfig cfg;
+  cfg.num_households = 30;
+  cfg.min_devices = 4;
+  cfg.max_devices = 6;
+  for (const auto& home : make_neighborhood(cfg)) {
+    EXPECT_GE(home.devices.size(), 4u);
+    EXPECT_LE(home.devices.size(), 6u);
+  }
+}
+
+TEST(Household, NoDuplicateDeviceTypesWithinHome) {
+  NeighborhoodConfig cfg;
+  cfg.num_households = 25;
+  for (const auto& home : make_neighborhood(cfg)) {
+    std::set<DeviceType> types;
+    for (const auto& d : home.devices) {
+      EXPECT_TRUE(types.insert(d.spec.type).second)
+          << home.name << " has duplicate " << device_type_name(d.spec.type);
+    }
+  }
+}
+
+TEST(Household, DeterministicPerSeed) {
+  NeighborhoodConfig cfg;
+  cfg.num_households = 8;
+  cfg.seed = 77;
+  const auto a = make_neighborhood(cfg);
+  const auto b = make_neighborhood(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t h = 0; h < a.size(); ++h) {
+    ASSERT_EQ(a[h].devices.size(), b[h].devices.size());
+    EXPECT_EQ(a[h].archetype, b[h].archetype);
+    EXPECT_DOUBLE_EQ(a[h].schedule_shift_hours, b[h].schedule_shift_hours);
+    for (std::size_t d = 0; d < a[h].devices.size(); ++d) {
+      EXPECT_DOUBLE_EQ(a[h].devices[d].spec.standby_watts,
+                       b[h].devices[d].spec.standby_watts);
+    }
+  }
+}
+
+TEST(Household, DifferentSeedsDiffer) {
+  NeighborhoodConfig a_cfg;
+  a_cfg.num_households = 8;
+  a_cfg.seed = 1;
+  NeighborhoodConfig b_cfg = a_cfg;
+  b_cfg.seed = 2;
+  const auto a = make_neighborhood(a_cfg);
+  const auto b = make_neighborhood(b_cfg);
+  bool any_diff = false;
+  for (std::size_t h = 0; h < a.size(); ++h) {
+    if (a[h].devices.size() != b[h].devices.size() ||
+        a[h].archetype != b[h].archetype) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Household, JitterKeepsSaneRanges) {
+  NeighborhoodConfig cfg;
+  cfg.num_households = 40;
+  const auto& catalog = device_catalog();
+  for (const auto& home : make_neighborhood(cfg)) {
+    for (const auto& d : home.devices) {
+      const auto& proto = catalog[static_cast<std::size_t>(d.spec.type)];
+      EXPECT_GE(d.spec.standby_watts, proto.spec.standby_watts * 0.5 - 1e-9);
+      EXPECT_LE(d.spec.standby_watts, proto.spec.standby_watts * 2.0 + 1e-9);
+      EXPECT_GE(d.spec.on_watts, proto.spec.on_watts * 0.7 - 1e-9);
+      EXPECT_LE(d.spec.on_watts, proto.spec.on_watts * 1.4 + 1e-9);
+      EXPECT_GE(d.behavior.off_after_use_prob, 0.0);
+      EXPECT_LE(d.behavior.off_after_use_prob, 0.95);
+    }
+  }
+}
+
+TEST(Archetypes, PoolGrowsBeyondThreshold) {
+  NeighborhoodConfig cfg;
+  cfg.base_archetypes = 5;
+  cfg.archetype_growth_threshold = 100;
+  cfg.num_households = 50;
+  EXPECT_EQ(effective_archetypes(cfg), 5u);
+  cfg.num_households = 100;
+  EXPECT_EQ(effective_archetypes(cfg), 5u);
+  cfg.num_households = 110;
+  EXPECT_EQ(effective_archetypes(cfg), 6u);
+  cfg.num_households = 190;
+  EXPECT_EQ(effective_archetypes(cfg), 14u);
+}
+
+TEST(Archetypes, LargeNeighborhoodUsesNewArchetypes) {
+  NeighborhoodConfig cfg;
+  cfg.num_households = 160;
+  const auto homes = make_neighborhood(cfg);
+  std::set<std::uint32_t> archetypes;
+  for (const auto& home : homes) archetypes.insert(home.archetype);
+  bool has_procedural = false;
+  for (auto a : archetypes) {
+    if (a >= 5) has_procedural = true;
+  }
+  EXPECT_TRUE(has_procedural);
+}
+
+}  // namespace
+}  // namespace pfdrl::data

@@ -1,0 +1,73 @@
+#include "data/tariff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfdrl::data {
+namespace {
+
+TEST(FixedTariff, ConstantEverywhere) {
+  FixedTariff t;
+  EXPECT_DOUBLE_EQ(t.cents_per_kwh(0), 11.67);
+  EXPECT_DOUBLE_EQ(t.cents_per_kwh(kMinutesPerMonth * 7 + 12345), 11.67);
+  EXPECT_EQ(t.name(), "fixed");
+}
+
+TEST(FixedTariff, CustomRate) {
+  FixedTariff t(9.5);
+  EXPECT_DOUBLE_EQ(t.cents_per_kwh(42), 9.5);
+}
+
+TEST(VariableTariff, WithinPaperBand) {
+  VariableTariff t;
+  for (std::size_t m = 0; m < 12 * kMinutesPerMonth; m += 997) {
+    const double c = t.cents_per_kwh(m);
+    EXPECT_GE(c, VariableTariff::kMinCents);
+    EXPECT_LE(c, VariableTariff::kMaxCents);
+  }
+}
+
+TEST(VariableTariff, DiurnalShape) {
+  VariableTariff t;
+  // 3 AM cheaper than 4 PM within the same month.
+  const std::size_t base = 2 * kMinutesPerMonth;  // March
+  EXPECT_LT(t.cents_per_kwh(base + 3 * 60), t.cents_per_kwh(base + 16 * 60));
+}
+
+TEST(VariableTariff, SeasonalShape) {
+  VariableTariff t;
+  // Same hour: August pricier than April (Texas scarcity season).
+  const std::size_t hour = 15 * 60;
+  EXPECT_GT(t.cents_per_kwh(7 * kMinutesPerMonth + hour),
+            t.cents_per_kwh(3 * kMinutesPerMonth + hour));
+}
+
+TEST(VariableTariff, CrossoverWithFixedExists) {
+  // The paper's Fig. 10 relies on the two plans trading places by month.
+  FixedTariff fixed;
+  VariableTariff var;
+  bool var_cheaper_somewhere = false;
+  bool fixed_cheaper_somewhere = false;
+  for (std::uint32_t month = 0; month < 12; ++month) {
+    double var_sum = 0.0;
+    int n = 0;
+    for (std::size_t m = 0; m < kMinutesPerMonth; m += 60) {
+      var_sum += var.cents_per_kwh(month * kMinutesPerMonth + m);
+      ++n;
+    }
+    const double var_avg = var_sum / n;
+    if (var_avg < fixed.cents_per_kwh(0)) var_cheaper_somewhere = true;
+    if (var_avg > fixed.cents_per_kwh(0)) fixed_cheaper_somewhere = true;
+  }
+  EXPECT_TRUE(var_cheaper_somewhere);
+  EXPECT_TRUE(fixed_cheaper_somewhere);
+}
+
+TEST(TariffTime, MonthOfMinute) {
+  EXPECT_EQ(month_of_minute(0), 0u);
+  EXPECT_EQ(month_of_minute(kMinutesPerMonth - 1), 0u);
+  EXPECT_EQ(month_of_minute(kMinutesPerMonth), 1u);
+  EXPECT_EQ(month_of_minute(12 * kMinutesPerMonth), 0u);  // wraps
+}
+
+}  // namespace
+}  // namespace pfdrl::data

@@ -1,0 +1,98 @@
+#include "data/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/dataset.hpp"
+#include "data/household.hpp"
+
+namespace pfdrl::data {
+namespace {
+
+DeviceTrace sample_trace() {
+  NeighborhoodConfig nc;
+  nc.num_households = 1;
+  nc.min_devices = 3;
+  nc.max_devices = 3;
+  const auto home = make_neighborhood(nc)[0];
+  TraceConfig tc;
+  tc.days = 1;
+  return generate_household_trace(home, tc).devices[0];
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  const auto trace = sample_trace();
+  const auto csv = trace_to_csv(trace);
+  EXPECT_EQ(csv.num_rows(), trace.minutes());
+  const auto back = trace_from_csv(csv, trace.spec);
+  ASSERT_EQ(back.minutes(), trace.minutes());
+  for (std::size_t m = 0; m < trace.minutes(); ++m) {
+    ASSERT_NEAR(back.watts[m], trace.watts[m], 1e-3);  // %.4f precision
+    ASSERT_EQ(back.modes[m], trace.modes[m]);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto trace = sample_trace();
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pfdrl_trace.csv").string();
+  save_trace_csv(trace, path);
+  const auto back = load_trace_csv(path, trace.spec);
+  EXPECT_EQ(back.minutes(), trace.minutes());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ModesClassifiedWhenColumnAbsent) {
+  util::CsvTable csv({"minute", "watts"});
+  csv.add_row({"0", "0.0"});
+  csv.add_row({"1", "5.0"});
+  csv.add_row({"2", "100.0"});
+  DeviceSpec spec;
+  spec.standby_watts = 5.0;
+  spec.on_watts = 100.0;
+  const auto trace = trace_from_csv(csv, spec);
+  ASSERT_EQ(trace.minutes(), 3u);
+  EXPECT_EQ(trace.modes[0], DeviceMode::kOff);
+  EXPECT_EQ(trace.modes[1], DeviceMode::kStandby);
+  EXPECT_EQ(trace.modes[2], DeviceMode::kOn);
+}
+
+TEST(TraceIo, RejectsMissingColumns) {
+  util::CsvTable csv({"time", "power"});
+  csv.add_row({"0", "1.0"});
+  EXPECT_THROW(trace_from_csv(csv, DeviceSpec{}), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNonConsecutiveMinutes) {
+  util::CsvTable csv({"minute", "watts"});
+  csv.add_row({"0", "1.0"});
+  csv.add_row({"5", "1.0"});
+  EXPECT_THROW(trace_from_csv(csv, DeviceSpec{}), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNegativeWatts) {
+  util::CsvTable csv({"minute", "watts"});
+  csv.add_row({"0", "-1.0"});
+  EXPECT_THROW(trace_from_csv(csv, DeviceSpec{}), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsUnknownMode) {
+  util::CsvTable csv({"minute", "watts", "mode"});
+  csv.add_row({"0", "5.0", "idle"});
+  EXPECT_THROW(trace_from_csv(csv, DeviceSpec{}), std::runtime_error);
+}
+
+TEST(TraceIo, ImportedTraceUsableByDatasets) {
+  const auto trace = sample_trace();
+  const auto back = trace_from_csv(trace_to_csv(trace), trace.spec);
+  WindowConfig cfg;
+  cfg.window = 8;
+  cfg.horizon = 5;
+  const auto set = make_supervised(back, cfg, 0, back.minutes());
+  EXPECT_GT(set.size(), 0u);
+}
+
+}  // namespace
+}  // namespace pfdrl::data

@@ -1,0 +1,223 @@
+#include "data/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/household.hpp"
+
+namespace pfdrl::data {
+namespace {
+
+HouseholdProfile sample_home(std::uint64_t seed = 42) {
+  NeighborhoodConfig cfg;
+  cfg.num_households = 1;
+  cfg.min_devices = 6;
+  cfg.max_devices = 7;
+  cfg.seed = seed;
+  return make_neighborhood(cfg)[0];
+}
+
+TEST(Trace, LengthMatchesConfig) {
+  const auto home = sample_home();
+  TraceConfig cfg;
+  cfg.days = 3;
+  const auto trace = generate_household_trace(home, cfg);
+  EXPECT_EQ(trace.minutes(), 3 * kMinutesPerDay);
+  for (const auto& d : trace.devices) {
+    EXPECT_EQ(d.watts.size(), 3 * kMinutesPerDay);
+    EXPECT_EQ(d.modes.size(), 3 * kMinutesPerDay);
+  }
+}
+
+TEST(Trace, DeterministicPerSeed) {
+  const auto home = sample_home();
+  TraceConfig cfg;
+  cfg.days = 2;
+  cfg.seed = 9;
+  const auto a = generate_household_trace(home, cfg);
+  const auto b = generate_household_trace(home, cfg);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  for (std::size_t d = 0; d < a.devices.size(); ++d) {
+    EXPECT_EQ(a.devices[d].watts, b.devices[d].watts);
+    EXPECT_EQ(a.devices[d].modes, b.devices[d].modes);
+  }
+}
+
+TEST(Trace, SeedChangesTrace) {
+  const auto home = sample_home();
+  TraceConfig a_cfg;
+  a_cfg.days = 2;
+  a_cfg.seed = 1;
+  TraceConfig b_cfg = a_cfg;
+  b_cfg.seed = 2;
+  const auto a = generate_household_trace(home, a_cfg);
+  const auto b = generate_household_trace(home, b_cfg);
+  EXPECT_NE(a.devices[0].watts, b.devices[0].watts);
+}
+
+TEST(Trace, WattsConsistentWithModes) {
+  const auto home = sample_home();
+  TraceConfig cfg;
+  cfg.days = 2;
+  const auto trace = generate_household_trace(home, cfg);
+  for (const auto& d : trace.devices) {
+    for (std::size_t m = 0; m < d.minutes(); ++m) {
+      switch (d.modes[m]) {
+        case DeviceMode::kOff:
+          ASSERT_EQ(d.watts[m], 0.0);
+          break;
+        case DeviceMode::kStandby:
+          ASSERT_GT(d.watts[m], 0.0);
+          ASSERT_LT(d.watts[m], d.spec.on_watts * 0.5)
+              << d.spec.label << " minute " << m;
+          break;
+        case DeviceMode::kOn:
+          ASSERT_GT(d.watts[m], d.spec.standby_watts)
+              << d.spec.label << " minute " << m;
+          break;
+      }
+    }
+  }
+}
+
+TEST(Trace, AllThreeModesOccurSomewhere) {
+  const auto home = sample_home();
+  TraceConfig cfg;
+  cfg.days = 7;
+  const auto trace = generate_household_trace(home, cfg);
+  bool any_off = false, any_standby = false, any_on = false;
+  for (const auto& d : trace.devices) {
+    for (auto mode : d.modes) {
+      any_off |= mode == DeviceMode::kOff;
+      any_standby |= mode == DeviceMode::kStandby;
+      any_on |= mode == DeviceMode::kOn;
+    }
+  }
+  EXPECT_TRUE(any_standby);
+  EXPECT_TRUE(any_on);
+  EXPECT_TRUE(any_off);
+}
+
+TEST(Trace, DutyCyclersNeverOff) {
+  const auto home = sample_home();
+  TraceConfig cfg;
+  cfg.days = 3;
+  const auto trace = generate_household_trace(home, cfg);
+  for (const auto& d : trace.devices) {
+    if (!d.spec.protected_device) continue;
+    for (auto mode : d.modes) {
+      ASSERT_NE(mode, DeviceMode::kOff) << d.spec.label;
+    }
+  }
+}
+
+TEST(Trace, EnergyAccountingMatchesManualSum) {
+  const auto home = sample_home();
+  TraceConfig cfg;
+  cfg.days = 1;
+  const auto trace = generate_household_trace(home, cfg);
+  const auto& d = trace.devices[0];
+  double wh = 0.0;
+  double standby_wh = 0.0;
+  for (std::size_t m = 100; m < 500; ++m) {
+    wh += d.watts[m] / 60.0;
+    if (d.modes[m] == DeviceMode::kStandby) standby_wh += d.watts[m] / 60.0;
+  }
+  EXPECT_NEAR(d.energy_kwh(100, 500), wh / 1000.0, 1e-12);
+  EXPECT_NEAR(d.standby_energy_kwh(100, 500), standby_wh / 1000.0, 1e-12);
+}
+
+TEST(Trace, EnergyRangeClampedToLength) {
+  const auto home = sample_home();
+  TraceConfig cfg;
+  cfg.days = 1;
+  const auto trace = generate_household_trace(home, cfg);
+  const auto& d = trace.devices[0];
+  EXPECT_DOUBLE_EQ(d.energy_kwh(0, 10 * kMinutesPerDay),
+                   d.energy_kwh(0, d.minutes()));
+}
+
+TEST(Trace, HouseholdTotalsAreSums) {
+  const auto home = sample_home();
+  TraceConfig cfg;
+  cfg.days = 1;
+  const auto trace = generate_household_trace(home, cfg);
+  double total = 0.0;
+  double standby = 0.0;
+  for (const auto& d : trace.devices) {
+    total += d.energy_kwh(0, d.minutes());
+    standby += d.standby_energy_kwh(0, d.minutes());
+  }
+  EXPECT_NEAR(trace.total_energy_kwh(), total, 1e-12);
+  EXPECT_NEAR(trace.total_standby_energy_kwh(), standby, 1e-12);
+  EXPECT_GT(standby, 0.0);
+  EXPECT_LT(standby, total);
+}
+
+TEST(Trace, SeasonalFactorSummerPeak) {
+  EXPECT_GT(seasonal_factor(7), seasonal_factor(0));   // Aug > Jan
+  EXPECT_GT(seasonal_factor(7), seasonal_factor(3));   // Aug > Apr
+  EXPECT_NEAR(seasonal_factor(12), seasonal_factor(0), 1e-12);  // wraps
+}
+
+TEST(Trace, SummerIncreasesHvacEnergy) {
+  const auto home = sample_home();
+  // Find a profile with HVAC; if absent, synthesize one from the catalog.
+  HouseholdDevice hvac;
+  bool found = false;
+  for (const auto& d : home.devices) {
+    if (d.spec.type == DeviceType::kHvac) {
+      hvac = d;
+      found = true;
+    }
+  }
+  if (!found) {
+    const auto& proto =
+        device_catalog()[static_cast<std::size_t>(DeviceType::kHvac)];
+    hvac.spec = proto.spec;
+    hvac.behavior = proto.behavior;
+    hvac.hourly_usage_weight = proto.hourly_usage_weight;
+  }
+  TraceConfig summer;
+  summer.days = 5;
+  summer.month = 7;
+  TraceConfig winter = summer;
+  winter.month = 0;
+  const auto st = generate_device_trace(hvac, summer, util::Rng(1));
+  const auto wt = generate_device_trace(hvac, winter, util::Rng(1));
+  EXPECT_GT(st.energy_kwh(0, st.minutes()), wt.energy_kwh(0, wt.minutes()));
+}
+
+TEST(Trace, SessionRateRoughlyMatchesBehavior) {
+  // Count on-sessions of a user device over many days; expect within a
+  // factor-2 band of sessions_per_day (loose: the hazard is hour-shaped).
+  const auto& proto = device_catalog()[static_cast<std::size_t>(DeviceType::kTv)];
+  HouseholdDevice tv;
+  tv.spec = proto.spec;
+  tv.behavior = proto.behavior;
+  tv.hourly_usage_weight = proto.hourly_usage_weight;
+  TraceConfig cfg;
+  cfg.days = 30;
+  const auto trace = generate_device_trace(tv, cfg, util::Rng(5));
+  std::size_t sessions = 0;
+  for (std::size_t m = 1; m < trace.minutes(); ++m) {
+    if (trace.modes[m] == DeviceMode::kOn &&
+        trace.modes[m - 1] != DeviceMode::kOn) {
+      ++sessions;
+    }
+  }
+  const double per_day = static_cast<double>(sessions) / 30.0;
+  EXPECT_GT(per_day, tv.behavior.sessions_per_day * 0.4);
+  EXPECT_LT(per_day, tv.behavior.sessions_per_day * 2.0);
+}
+
+TEST(Trace, HourOfDayHelpers) {
+  EXPECT_EQ(hour_of_day(0), 0u);
+  EXPECT_EQ(hour_of_day(59), 0u);
+  EXPECT_EQ(hour_of_day(60), 1u);
+  EXPECT_EQ(hour_of_day(kMinutesPerDay + 61), 1u);
+  EXPECT_EQ(day_index(kMinutesPerDay - 1), 0u);
+  EXPECT_EQ(day_index(kMinutesPerDay), 1u);
+}
+
+}  // namespace
+}  // namespace pfdrl::data

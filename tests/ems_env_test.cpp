@@ -1,0 +1,153 @@
+#include "ems/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+
+namespace pfdrl::ems {
+namespace {
+
+using data::DeviceMode;
+
+/// Crafted trace: off for 60, standby for 120, on for 60, standby rest.
+data::DeviceTrace crafted_trace(std::size_t minutes = 480) {
+  data::DeviceTrace t;
+  t.spec.type = data::DeviceType::kTv;
+  t.spec.standby_watts = 6.0;
+  t.spec.on_watts = 120.0;
+  t.watts.resize(minutes);
+  t.modes.resize(minutes);
+  for (std::size_t m = 0; m < minutes; ++m) {
+    if (m < 60) {
+      t.modes[m] = DeviceMode::kOff;
+      t.watts[m] = 0.0;
+    } else if (m < 180) {
+      t.modes[m] = DeviceMode::kStandby;
+      t.watts[m] = 6.0;
+    } else if (m < 240) {
+      t.modes[m] = DeviceMode::kOn;
+      t.watts[m] = 120.0;
+    } else {
+      t.modes[m] = DeviceMode::kStandby;
+      t.watts[m] = 6.0;
+    }
+  }
+  return t;
+}
+
+std::vector<double> flat_forecast(std::size_t n, double watts) {
+  return std::vector<double>(n, watts);
+}
+
+TEST(Env, SpanValidation) {
+  const auto trace = crafted_trace(100);
+  EXPECT_THROW(EmsEnvironment(trace, flat_forecast(200, 6.0), 0),
+               std::invalid_argument);
+  EXPECT_NO_THROW(EmsEnvironment(trace, flat_forecast(100, 6.0), 0));
+  EXPECT_THROW(EmsEnvironment(trace, flat_forecast(50, 6.0), 60),
+               std::invalid_argument);
+}
+
+TEST(Env, LengthAndAccessors) {
+  const auto trace = crafted_trace();
+  EmsEnvironment env(trace, flat_forecast(100, 6.0), 50, 5);
+  EXPECT_EQ(env.length(), 100u);
+  EXPECT_EQ(env.begin_minute(), 50u);
+  EXPECT_EQ(env.meter_interval(), 5u);
+  EXPECT_DOUBLE_EQ(env.real_watts(10), trace.watts[60]);
+  EXPECT_DOUBLE_EQ(env.forecast_watts(3), 6.0);
+}
+
+TEST(Env, LastReportMinuteMath) {
+  const auto trace = crafted_trace();
+  EmsEnvironment env(trace, flat_forecast(100, 6.0), 0, 15);
+  EXPECT_EQ(env.last_report_minute(0), 0u);
+  EXPECT_EQ(env.last_report_minute(1), 0u);
+  EXPECT_EQ(env.last_report_minute(15), 0u);
+  EXPECT_EQ(env.last_report_minute(16), 15u);
+  EXPECT_EQ(env.last_report_minute(31), 30u);
+}
+
+TEST(Env, ContinuousMeteringInterval1) {
+  const auto trace = crafted_trace();
+  EmsEnvironment env(trace, flat_forecast(480, 6.0), 0, 1);
+  // With a 1-minute interval, the last report when acting at t is t-1.
+  EXPECT_EQ(env.last_report_minute(100), 99u);
+}
+
+TEST(Env, StateDimAndRange) {
+  const auto trace = crafted_trace();
+  EmsEnvironment env(trace, flat_forecast(480, 6.0), 0, 5);
+  const auto s = env.state_at(100);
+  ASSERT_EQ(s.size(), EmsEnvironment::kStateDim);
+  // Encoded watts in [0, ~1], calendar in [-1, 1].
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(s[i], 0.0);
+    EXPECT_LE(s[i], 1.2);
+  }
+  EXPECT_GE(s[3], -1.0);
+  EXPECT_LE(s[3], 1.0);
+}
+
+TEST(Env, StateIsCausal) {
+  // The state at step t must not depend on watts[t] (only on reported
+  // history and the forecast): modify watts at t and observe no change.
+  auto trace = crafted_trace();
+  const std::size_t t = 200;
+  EmsEnvironment env_a(trace, flat_forecast(480, 6.0), 0, 5);
+  const auto before = env_a.state_at(t);
+  trace.watts[t] = 9999.0;
+  EmsEnvironment env_b(trace, flat_forecast(480, 6.0), 0, 5);
+  const auto after = env_b.state_at(t);
+  EXPECT_EQ(before, after);
+}
+
+TEST(Env, StateUsesLatestReport) {
+  // Changing the most recent report minute's watts must change the state.
+  auto trace = crafted_trace();
+  const std::size_t t = 203;  // last report at 200 with interval 5
+  EmsEnvironment env_a(trace, flat_forecast(480, 6.0), 0, 5);
+  const auto before = env_a.state_at(t);
+  trace.watts[200] = 80.0;
+  EmsEnvironment env_b(trace, flat_forecast(480, 6.0), 0, 5);
+  const auto after = env_b.state_at(t);
+  EXPECT_NE(before[1], after[1]);
+}
+
+TEST(Env, ObservedAndTrueModes) {
+  const auto trace = crafted_trace();
+  EmsEnvironment env(trace, flat_forecast(480, 6.0), 0, 5);
+  EXPECT_EQ(env.observed_mode(30), DeviceMode::kOff);
+  EXPECT_EQ(env.observed_mode(100), DeviceMode::kStandby);
+  EXPECT_EQ(env.observed_mode(200), DeviceMode::kOn);
+  EXPECT_EQ(env.true_mode(30), DeviceMode::kOff);
+  EXPECT_EQ(env.true_mode(200), DeviceMode::kOn);
+}
+
+TEST(Env, PredictedModeFromForecast) {
+  const auto trace = crafted_trace();
+  EmsEnvironment env(trace, flat_forecast(480, 120.0), 0, 5);
+  EXPECT_EQ(env.predicted_mode(0), DeviceMode::kOn);
+}
+
+TEST(Env, RewardMatchesTable) {
+  const auto trace = crafted_trace();
+  EmsEnvironment env(trace, flat_forecast(480, 6.0), 0, 5);
+  // Step 100 is standby: off pays +30, standby +10, on -10.
+  EXPECT_DOUBLE_EQ(env.reward_at(100, 0), 30.0);
+  EXPECT_DOUBLE_EQ(env.reward_at(100, 1), 10.0);
+  EXPECT_DOUBLE_EQ(env.reward_at(100, 2), -10.0);
+  // Step 200 is on: off pays -30.
+  EXPECT_DOUBLE_EQ(env.reward_at(200, 0), -30.0);
+  EXPECT_DOUBLE_EQ(env.reward_at(200, 2), 10.0);
+}
+
+TEST(Env, OffsetBeginAlignsIndices) {
+  const auto trace = crafted_trace();
+  EmsEnvironment env(trace, flat_forecast(100, 6.0), 150, 5);
+  // idx 40 -> trace minute 190 (on period).
+  EXPECT_EQ(env.true_mode(40), DeviceMode::kOn);
+}
+
+}  // namespace
+}  // namespace pfdrl::ems

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "ems/mode.hpp"
+#include "ems/reward.hpp"
+
+namespace pfdrl::ems {
+namespace {
+
+using data::DeviceMode;
+
+ModeBands tv_bands() {
+  ModeBands b;
+  b.standby_watts = 6.0;
+  b.on_watts = 120.0;
+  return b;
+}
+
+TEST(ModeClassify, OffBelowFloor) {
+  EXPECT_EQ(classify_mode(0.0, tv_bands()), DeviceMode::kOff);
+  EXPECT_EQ(classify_mode(0.4, tv_bands()), DeviceMode::kOff);
+}
+
+TEST(ModeClassify, StandbyWithinBand) {
+  const auto b = tv_bands();
+  EXPECT_EQ(classify_mode(6.0, b), DeviceMode::kStandby);
+  EXPECT_EQ(classify_mode(5.5, b), DeviceMode::kStandby);   // 0.92x
+  EXPECT_EQ(classify_mode(6.5, b), DeviceMode::kStandby);   // 1.08x
+}
+
+TEST(ModeClassify, OnWithinBand) {
+  const auto b = tv_bands();
+  EXPECT_EQ(classify_mode(120.0, b), DeviceMode::kOn);
+  EXPECT_EQ(classify_mode(109.0, b), DeviceMode::kOn);
+  EXPECT_EQ(classify_mode(131.0, b), DeviceMode::kOn);
+}
+
+TEST(ModeClassify, FallbackNearestCenter) {
+  const auto b = tv_bands();
+  // 20 W is outside both bands but far closer to standby in log space.
+  EXPECT_EQ(classify_mode(20.0, b), DeviceMode::kStandby);
+  // 80 W leans on.
+  EXPECT_EQ(classify_mode(80.0, b), DeviceMode::kOn);
+  // 0.7 W: nearest is off-ish/standby; must not be on.
+  EXPECT_NE(classify_mode(0.7, b), DeviceMode::kOn);
+}
+
+TEST(ModeClassify, HvacScale) {
+  ModeBands b;
+  b.standby_watts = 10.0;
+  b.on_watts = 1800.0;
+  EXPECT_EQ(classify_mode(10.5, b), DeviceMode::kStandby);
+  EXPECT_EQ(classify_mode(1850.0, b), DeviceMode::kOn);
+  EXPECT_EQ(classify_mode(40.0, b), DeviceMode::kStandby);  // log-nearest
+}
+
+TEST(ModeClassify, BandsForSpec) {
+  data::DeviceSpec spec;
+  spec.standby_watts = 3.3;
+  spec.on_watts = 77.0;
+  const auto b = bands_for(spec);
+  EXPECT_DOUBLE_EQ(b.standby_watts, 3.3);
+  EXPECT_DOUBLE_EQ(b.on_watts, 77.0);
+  EXPECT_DOUBLE_EQ(b.band, 0.10);
+}
+
+TEST(ModeClassify, ModeWatts) {
+  const auto b = tv_bands();
+  EXPECT_EQ(mode_watts(DeviceMode::kOff, b), 0.0);
+  EXPECT_EQ(mode_watts(DeviceMode::kStandby, b), 6.0);
+  EXPECT_EQ(mode_watts(DeviceMode::kOn, b), 120.0);
+}
+
+struct BandBoundaryCase {
+  double watts_factor;  // multiple of the standby level
+  DeviceMode expected;
+};
+
+class StandbyBandSweep : public ::testing::TestWithParam<BandBoundaryCase> {};
+
+TEST_P(StandbyBandSweep, PaperBandSemantics) {
+  const auto b = tv_bands();
+  const double watts = GetParam().watts_factor * b.standby_watts;
+  EXPECT_EQ(classify_mode(watts, b), GetParam().expected)
+      << "factor " << GetParam().watts_factor;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, StandbyBandSweep,
+    ::testing::Values(BandBoundaryCase{0.901, DeviceMode::kStandby},
+                      BandBoundaryCase{1.0, DeviceMode::kStandby},
+                      BandBoundaryCase{1.099, DeviceMode::kStandby},
+                      // Just outside the band the log-nearest fallback
+                      // still lands on standby for a 20x on/standby gap.
+                      BandBoundaryCase{1.2, DeviceMode::kStandby},
+                      BandBoundaryCase{0.85, DeviceMode::kStandby}));
+
+// ---- Reward table (paper Table 1, asserted verbatim) ----
+
+TEST(Reward, Table1Exact) {
+  using M = DeviceMode;
+  EXPECT_DOUBLE_EQ(reward(M::kOn, M::kOn), 10.0);
+  EXPECT_DOUBLE_EQ(reward(M::kOn, M::kStandby), -10.0);
+  EXPECT_DOUBLE_EQ(reward(M::kOn, M::kOff), -30.0);
+  EXPECT_DOUBLE_EQ(reward(M::kStandby, M::kOn), -10.0);
+  EXPECT_DOUBLE_EQ(reward(M::kStandby, M::kStandby), 10.0);
+  EXPECT_DOUBLE_EQ(reward(M::kStandby, M::kOff), 30.0);  // the exception
+  EXPECT_DOUBLE_EQ(reward(M::kOff, M::kOn), -30.0);
+  EXPECT_DOUBLE_EQ(reward(M::kOff, M::kStandby), -10.0);
+  EXPECT_DOUBLE_EQ(reward(M::kOff, M::kOff), 10.0);
+}
+
+TEST(Reward, OptimalActions) {
+  EXPECT_EQ(optimal_action(DeviceMode::kOn), DeviceMode::kOn);
+  EXPECT_EQ(optimal_action(DeviceMode::kStandby), DeviceMode::kOff);
+  EXPECT_EQ(optimal_action(DeviceMode::kOff), DeviceMode::kOff);
+}
+
+TEST(Reward, OptimalActionMaximizesTable) {
+  for (auto truth :
+       {DeviceMode::kOff, DeviceMode::kStandby, DeviceMode::kOn}) {
+    const auto best = optimal_action(truth);
+    for (auto act : {DeviceMode::kOff, DeviceMode::kStandby, DeviceMode::kOn}) {
+      EXPECT_LE(reward(truth, act), reward(truth, best));
+    }
+  }
+}
+
+TEST(Reward, ActionModeMapping) {
+  EXPECT_EQ(action_to_mode(0), DeviceMode::kOff);
+  EXPECT_EQ(action_to_mode(1), DeviceMode::kStandby);
+  EXPECT_EQ(action_to_mode(2), DeviceMode::kOn);
+  EXPECT_EQ(mode_to_action(DeviceMode::kOn), 2);
+  EXPECT_EQ(kNumActions, 3);
+}
+
+}  // namespace
+}  // namespace pfdrl::ems

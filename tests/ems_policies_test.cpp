@@ -1,0 +1,125 @@
+#include "ems/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ems/accounting.hpp"
+
+namespace pfdrl::ems {
+namespace {
+
+using data::DeviceMode;
+
+data::DeviceTrace two_day_trace() {
+  // Day pattern: standby overnight (0-6h), on 9-10h, standby rest.
+  data::DeviceTrace t;
+  t.spec.type = data::DeviceType::kTv;
+  t.spec.standby_watts = 6.0;
+  t.spec.on_watts = 120.0;
+  const std::size_t minutes = 2 * data::kMinutesPerDay;
+  t.watts.resize(minutes);
+  t.modes.resize(minutes);
+  for (std::size_t m = 0; m < minutes; ++m) {
+    const std::size_t hour = data::hour_of_day(m);
+    if (hour == 9) {
+      t.modes[m] = DeviceMode::kOn;
+      t.watts[m] = 120.0;
+    } else {
+      t.modes[m] = DeviceMode::kStandby;
+      t.watts[m] = 6.0;
+    }
+  }
+  return t;
+}
+
+EmsEnvironment make_env(const data::DeviceTrace& trace) {
+  return EmsEnvironment(trace,
+                        std::vector<double>(data::kMinutesPerDay, 6.0),
+                        data::kMinutesPerDay, 5);
+}
+
+TEST(Policies, OracleIsPerfect) {
+  const auto trace = two_day_trace();
+  const auto env = make_env(trace);
+  const auto result = score_actions(env, oracle_actions(env));
+  EXPECT_DOUBLE_EQ(result.saved_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(result.net_saved_fraction(), 1.0);
+  EXPECT_EQ(result.comfort_violations, 0u);
+}
+
+TEST(Policies, ReactiveNearOracleOnSlowDevices) {
+  const auto trace = two_day_trace();
+  const auto env = make_env(trace);
+  const auto result = score_actions(env, reactive_actions(env));
+  // Loses only the meter-staleness window around transitions.
+  EXPECT_GT(result.net_saved_fraction(), 0.9);
+  EXPECT_LE(result.comfort_violations, 2u);
+}
+
+TEST(Policies, TimerSavesOnlyItsWindow) {
+  const auto trace = two_day_trace();
+  const auto env = make_env(trace);
+  const auto result = score_actions(env, timer_actions(env, 0, 6));
+  // 6 of 23 standby hours fall inside the timer window.
+  EXPECT_NEAR(result.saved_fraction(), 6.0 / 23.0, 0.02);
+  // The on-hour is outside the window; only the meter-staleness gap at
+  // the 9 AM transition can register (the hold rule reads a stale
+  // standby report for up to one interval).
+  EXPECT_LE(result.comfort_violations, 1u);
+}
+
+TEST(Policies, TimerWindowWrapsMidnight) {
+  const auto trace = two_day_trace();
+  const auto env = make_env(trace);
+  const auto actions = timer_actions(env, 22, 6);
+  // Minute at hour 23 must be off, at hour 12 must not.
+  const std::size_t idx23 = 23 * 60;
+  const std::size_t idx12 = 12 * 60;
+  EXPECT_EQ(actions[idx23], mode_to_action(DeviceMode::kOff));
+  EXPECT_NE(actions[idx12], mode_to_action(DeviceMode::kOff));
+}
+
+TEST(Policies, TimerInterruptsUsageInsideWindow) {
+  const auto trace = two_day_trace();
+  const auto env = make_env(trace);
+  // Window covering the 9-10h usage hour: one interruption.
+  const auto result = score_actions(env, timer_actions(env, 8, 12));
+  EXPECT_GE(result.comfort_violations, 1u);
+}
+
+TEST(Policies, PassiveSavesNothingHarmsNothing) {
+  const auto trace = two_day_trace();
+  const auto env = make_env(trace);
+  const auto result = score_actions(env, passive_actions(env));
+  EXPECT_DOUBLE_EQ(result.saved_kwh, 0.0);
+  // Holding the reported mode can only mismatch within the staleness
+  // window around the single on-transition.
+  EXPECT_LE(result.comfort_violations, 1u);
+}
+
+TEST(Policies, OrderingOracleGeReactiveGeTimerGePassive) {
+  const auto trace = two_day_trace();
+  const auto env = make_env(trace);
+  const double oracle =
+      score_actions(env, oracle_actions(env)).net_saved_fraction();
+  const double reactive =
+      score_actions(env, reactive_actions(env)).net_saved_fraction();
+  const double timer =
+      score_actions(env, timer_actions(env, 0, 6)).net_saved_fraction();
+  const double passive =
+      score_actions(env, passive_actions(env)).net_saved_fraction();
+  EXPECT_GE(oracle, reactive);
+  EXPECT_GE(reactive, timer);
+  EXPECT_GE(timer, passive);
+}
+
+TEST(Policies, AllReturnFullLengthVectors) {
+  const auto trace = two_day_trace();
+  const auto env = make_env(trace);
+  EXPECT_EQ(oracle_actions(env).size(), env.length());
+  EXPECT_EQ(reactive_actions(env).size(), env.length());
+  EXPECT_EQ(timer_actions(env).size(), env.length());
+  EXPECT_EQ(passive_actions(env).size(), env.length());
+}
+
+}  // namespace
+}  // namespace pfdrl::ems

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "fl/baselines.hpp"
+#include "fl/dfl.hpp"
+#include "sim/scenario.hpp"
+
+namespace pfdrl::fl {
+namespace {
+
+std::vector<data::HouseholdTrace> small_traces(std::size_t homes = 3,
+                                               std::size_t days = 2,
+                                               std::uint64_t seed = 42) {
+  sim::ScenarioConfig cfg;
+  cfg.neighborhood.num_households = static_cast<std::uint32_t>(homes);
+  cfg.neighborhood.min_devices = 3;
+  cfg.neighborhood.max_devices = 4;
+  cfg.neighborhood.seed = seed;
+  cfg.trace.days = days;
+  cfg.trace.seed = seed;
+  return sim::Scenario::generate(cfg).traces;
+}
+
+DflConfig fast_dfl(AggregationMode mode) {
+  DflConfig cfg;
+  cfg.method = forecast::Method::kLr;  // cheap, deterministic
+  cfg.window.window = 8;
+  cfg.window.horizon = 5;
+  cfg.aggregation = mode;
+  cfg.broadcast_period_hours = 12.0;
+  return cfg;
+}
+
+TEST(DflTrainer, RejectsEmptyAndMismatched) {
+  std::vector<data::HouseholdTrace> empty;
+  EXPECT_THROW(DflTrainer(empty, fast_dfl(AggregationMode::kNone)),
+               std::invalid_argument);
+  auto traces = small_traces(2);
+  traces[1].devices[0].watts.resize(100);
+  traces[1].devices[0].modes.resize(100);
+  EXPECT_THROW(DflTrainer(traces, fast_dfl(AggregationMode::kNone)),
+               std::invalid_argument);
+}
+
+TEST(DflTrainer, RunExecutesExpectedRounds) {
+  const auto traces = small_traces();
+  DflTrainer trainer(traces, fast_dfl(AggregationMode::kDecentralized));
+  const std::size_t rounds = trainer.run(0, data::kMinutesPerDay);
+  EXPECT_EQ(rounds, 2u);  // 24h at beta = 12h
+}
+
+TEST(DflTrainer, TrainingImprovesOverUntrained) {
+  const auto traces = small_traces(3, 2);
+  DflTrainer trained(traces, fast_dfl(AggregationMode::kDecentralized));
+  trained.run(0, data::kMinutesPerDay);
+  DflTrainer untrained(traces, fast_dfl(AggregationMode::kDecentralized));
+  const std::size_t eval_begin = data::kMinutesPerDay;
+  EXPECT_GT(trained.mean_test_accuracy(eval_begin, traces[0].minutes()),
+            untrained.mean_test_accuracy(eval_begin, traces[0].minutes()));
+}
+
+TEST(DflTrainer, DecentralizedMakesHomologousModelsEqual) {
+  const auto traces = small_traces(3, 1);
+  DflTrainer trainer(traces, fast_dfl(AggregationMode::kDecentralized));
+  trainer.run(0, data::kMinutesPerDay);
+  // After a round ending in aggregation, same-type forecasters across
+  // homes must hold identical parameters.
+  for (std::size_t h1 = 0; h1 < traces.size(); ++h1) {
+    for (std::size_t d1 = 0; d1 < traces[h1].devices.size(); ++d1) {
+      for (std::size_t h2 = h1 + 1; h2 < traces.size(); ++h2) {
+        for (std::size_t d2 = 0; d2 < traces[h2].devices.size(); ++d2) {
+          if (traces[h1].devices[d1].spec.type !=
+              traces[h2].devices[d2].spec.type) {
+            continue;
+          }
+          const auto p1 = trainer.forecaster(h1, d1).parameters();
+          const auto p2 = trainer.forecaster(h2, d2).parameters();
+          ASSERT_EQ(p1.size(), p2.size());
+          for (std::size_t i = 0; i < p1.size(); ++i) {
+            ASSERT_NEAR(p1[i], p2[i], 1e-12)
+                << "home " << h1 << "/" << h2 << " dev type "
+                << data::device_type_name(traces[h1].devices[d1].spec.type);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DflTrainer, CentralizedMatchesDecentralizedResult) {
+  // Same averaging math; only the communication pattern differs.
+  const auto traces = small_traces(3, 1);
+  DflTrainer mesh(traces, fast_dfl(AggregationMode::kDecentralized));
+  DflTrainer star(traces, fast_dfl(AggregationMode::kCentralized));
+  mesh.run(0, data::kMinutesPerDay);
+  star.run(0, data::kMinutesPerDay);
+  for (std::size_t h = 0; h < traces.size(); ++h) {
+    for (std::size_t d = 0; d < traces[h].devices.size(); ++d) {
+      const auto pm = mesh.forecaster(h, d).parameters();
+      const auto ps = star.forecaster(h, d).parameters();
+      for (std::size_t i = 0; i < pm.size(); ++i) {
+        ASSERT_NEAR(pm[i], ps[i], 1e-12);
+      }
+    }
+  }
+}
+
+TEST(DflTrainer, CentralizedCostsMoreWire) {
+  const auto traces = small_traces(4, 1);
+  DflTrainer mesh(traces, fast_dfl(AggregationMode::kDecentralized));
+  DflTrainer star(traces, fast_dfl(AggregationMode::kCentralized));
+  mesh.run(0, data::kMinutesPerDay);
+  star.run(0, data::kMinutesPerDay);
+  // The hub relay makes the star deliver more copies in total.
+  EXPECT_GT(star.comm_stats().messages_delivered,
+            mesh.comm_stats().messages_delivered / 2);
+  EXPECT_GT(star.comm_stats().bytes_on_wire, 0u);
+}
+
+TEST(DflTrainer, LocalModeNoTraffic) {
+  const auto traces = small_traces(3, 1);
+  DflTrainer trainer(traces, fast_dfl(AggregationMode::kNone));
+  trainer.run(0, data::kMinutesPerDay);
+  EXPECT_EQ(trainer.comm_stats().messages_sent, 0u);
+  EXPECT_EQ(trainer.comm_stats().bytes_on_wire, 0u);
+}
+
+TEST(DflTrainer, LocalModelsStayDifferent) {
+  const auto traces = small_traces(3, 1);
+  DflTrainer trainer(traces, fast_dfl(AggregationMode::kNone));
+  trainer.run(0, data::kMinutesPerDay);
+  // Find two homes sharing a device type; their local models should
+  // differ (different data, no averaging).
+  bool found_pair = false;
+  for (std::size_t h1 = 0; h1 < traces.size() && !found_pair; ++h1) {
+    for (std::size_t d1 = 0; d1 < traces[h1].devices.size(); ++d1) {
+      for (std::size_t h2 = h1 + 1; h2 < traces.size(); ++h2) {
+        for (std::size_t d2 = 0; d2 < traces[h2].devices.size(); ++d2) {
+          if (traces[h1].devices[d1].spec.type !=
+              traces[h2].devices[d2].spec.type) {
+            continue;
+          }
+          found_pair = true;
+          const auto p1 = trainer.forecaster(h1, d1).parameters();
+          const auto p2 = trainer.forecaster(h2, d2).parameters();
+          bool any_diff = false;
+          for (std::size_t i = 0; i < p1.size(); ++i) {
+            if (p1[i] != p2[i]) any_diff = true;
+          }
+          EXPECT_TRUE(any_diff);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(DflTrainer, PerAgentAccuracyShape) {
+  const auto traces = small_traces(3, 2);
+  DflTrainer trainer(traces, fast_dfl(AggregationMode::kDecentralized));
+  trainer.run(0, data::kMinutesPerDay);
+  const auto per_agent =
+      trainer.per_agent_accuracy(data::kMinutesPerDay, traces[0].minutes());
+  ASSERT_EQ(per_agent.size(), traces.size());
+  for (double acc : per_agent) {
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+  }
+}
+
+TEST(CloudTrainer, OneModelPerType) {
+  const auto traces = small_traces(3, 1);
+  CloudConfig cfg;
+  cfg.method = forecast::Method::kLr;
+  cfg.window.window = 8;
+  cfg.window.horizon = 5;
+  CloudTrainer trainer(traces, cfg);
+  trainer.run(0, data::kMinutesPerDay);
+  // Every device type present maps to a model; absent types throw.
+  for (const auto& home : traces) {
+    for (const auto& dev : home.devices) {
+      EXPECT_NO_THROW(trainer.model_for_type(dev.spec.type));
+    }
+  }
+}
+
+TEST(CloudTrainer, UnknownTypeThrows) {
+  auto traces = small_traces(1, 1);
+  // Remove any game console to guarantee absence... simpler: ask for a
+  // type no home has by checking first.
+  CloudConfig cfg;
+  cfg.method = forecast::Method::kLr;
+  CloudTrainer trainer(traces, cfg);
+  bool has_console = false;
+  for (const auto& d : traces[0].devices) {
+    if (d.spec.type == data::DeviceType::kGameConsole) has_console = true;
+  }
+  if (!has_console) {
+    EXPECT_THROW(trainer.model_for_type(data::DeviceType::kGameConsole),
+                 std::out_of_range);
+  }
+}
+
+TEST(CloudTrainer, RawUploadAccounting) {
+  const auto traces = small_traces(2, 1);
+  CloudConfig cfg;
+  cfg.method = forecast::Method::kLr;
+  CloudTrainer trainer(traces, cfg);
+  EXPECT_EQ(trainer.raw_bytes_uploaded(), 0u);
+  trainer.run(0, data::kMinutesPerDay);
+  std::uint64_t expected = 0;
+  for (const auto& home : traces) {
+    expected += home.devices.size() * data::kMinutesPerDay * 8;
+  }
+  EXPECT_EQ(trainer.raw_bytes_uploaded(), expected);
+}
+
+TEST(CloudTrainer, AccuracyInRange) {
+  const auto traces = small_traces(3, 2);
+  CloudConfig cfg;
+  cfg.method = forecast::Method::kLr;
+  cfg.window.window = 8;
+  cfg.window.horizon = 5;
+  CloudTrainer trainer(traces, cfg);
+  trainer.run(0, data::kMinutesPerDay);
+  const double acc =
+      trainer.mean_test_accuracy(data::kMinutesPerDay, traces[0].minutes());
+  EXPECT_GT(acc, 0.3);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(DflTrainer, DeterministicAcrossRunsDespiteThreadPool) {
+  // Training fans out on the global thread pool; per-job RNGs are forked
+  // from (seed, round, home, device), so two runs must produce bitwise
+  // identical models regardless of scheduling.
+  const auto traces = small_traces(3, 2);
+  const auto run = [&] {
+    DflTrainer trainer(traces, fast_dfl(AggregationMode::kDecentralized));
+    trainer.run(0, data::kMinutesPerDay);
+    std::vector<double> all;
+    for (std::size_t h = 0; h < traces.size(); ++h) {
+      for (std::size_t d = 0; d < traces[h].devices.size(); ++d) {
+        const auto p = trainer.forecaster(h, d).parameters();
+        all.insert(all.end(), p.begin(), p.end());
+      }
+    }
+    return all;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(DflTrainer, SmallBatchCapOnlyAppliesToFederatedModes) {
+  // The Local baseline trains on everything (Table 2: no small-batch
+  // column); with BP this shows as a measurable accuracy edge for Local
+  // over what a capped run of the same data could learn per round.
+  auto cfg = fast_dfl(AggregationMode::kNone);
+  cfg.max_round_samples = 10;  // would cripple training if applied
+  const auto traces = small_traces(2, 2);
+  DflTrainer local(traces, cfg);
+  local.run(0, data::kMinutesPerDay);
+  const double acc =
+      local.mean_test_accuracy(data::kMinutesPerDay, traces[0].minutes());
+  // LR on full data comfortably beats the ~0.3 an effectively untrained
+  // model scores.
+  EXPECT_GT(acc, 0.35);
+}
+
+TEST(AggregationModeNames, Stable) {
+  EXPECT_STREQ(aggregation_mode_name(AggregationMode::kDecentralized),
+               "decentralized");
+  EXPECT_STREQ(aggregation_mode_name(AggregationMode::kCentralized),
+               "centralized");
+  EXPECT_STREQ(aggregation_mode_name(AggregationMode::kNone), "local");
+}
+
+}  // namespace
+}  // namespace pfdrl::fl

@@ -1,0 +1,100 @@
+#include "forecast/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace pfdrl::forecast {
+namespace {
+
+data::DeviceTrace sample_trace() {
+  data::NeighborhoodConfig nc;
+  nc.num_households = 1;
+  nc.min_devices = 4;
+  nc.max_devices = 4;
+  const auto home = data::make_neighborhood(nc)[0];
+  data::TraceConfig tc;
+  tc.days = 2;
+  const auto trace = data::generate_household_trace(home, tc);
+  for (const auto& d : trace.devices) {
+    if (!d.spec.protected_device) return d;
+  }
+  return trace.devices[0];
+}
+
+SelectionConfig cheap_selection() {
+  SelectionConfig cfg;
+  cfg.window.window = 8;
+  cfg.window.horizon = 5;
+  cfg.candidates = {Method::kLr, Method::kSvr, Method::kBp};  // no BPTT
+  return cfg;
+}
+
+TEST(Selection, RanksAllCandidates) {
+  const auto trace = sample_trace();
+  const auto scores =
+      rank_methods(trace, 0, trace.minutes(), cheap_selection());
+  ASSERT_EQ(scores.size(), 3u);
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_GE(scores[i - 1].accuracy, scores[i].accuracy);  // sorted
+  }
+  for (const auto& s : scores) {
+    EXPECT_GE(s.accuracy, 0.0);
+    EXPECT_LE(s.accuracy, 1.0);
+  }
+}
+
+TEST(Selection, WinnerIsTopRanked) {
+  const auto trace = sample_trace();
+  const auto cfg = cheap_selection();
+  const auto scores = rank_methods(trace, 0, trace.minutes(), cfg);
+  EXPECT_EQ(select_method(trace, 0, trace.minutes(), cfg),
+            scores.front().method);
+}
+
+TEST(Selection, EmptyCandidatesThrow) {
+  const auto trace = sample_trace();
+  SelectionConfig cfg = cheap_selection();
+  cfg.candidates.clear();
+  EXPECT_THROW(rank_methods(trace, 0, trace.minutes(), cfg),
+               std::invalid_argument);
+}
+
+TEST(Selection, DeterministicPerSeed) {
+  const auto trace = sample_trace();
+  const auto cfg = cheap_selection();
+  const auto a = rank_methods(trace, 0, trace.minutes(), cfg);
+  const auto b = rank_methods(trace, 0, trace.minutes(), cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].method, b[i].method);
+    EXPECT_DOUBLE_EQ(a[i].accuracy, b[i].accuracy);
+  }
+}
+
+TEST(Selection, NeighborhoodChoiceIsACandidate) {
+  sim::ScenarioConfig sc;
+  sc.neighborhood.num_households = 2;
+  sc.neighborhood.min_devices = 3;
+  sc.neighborhood.max_devices = 3;
+  sc.trace.days = 2;
+  const auto scenario = sim::Scenario::generate(sc);
+  const auto cfg = cheap_selection();
+  const Method chosen = select_method_for_neighborhood(
+      scenario.traces, 0, scenario.minutes(), cfg);
+  bool is_candidate = false;
+  for (auto m : cfg.candidates) {
+    if (m == chosen) is_candidate = true;
+  }
+  EXPECT_TRUE(is_candidate);
+}
+
+TEST(Selection, NeighborhoodRejectsEmpty) {
+  std::vector<data::HouseholdTrace> empty;
+  EXPECT_THROW(
+      select_method_for_neighborhood(empty, 0, 100, cheap_selection()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfdrl::forecast

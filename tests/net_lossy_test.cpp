@@ -1,0 +1,85 @@
+// Lossy-link behaviour: the bus drops deliveries at the configured rate
+// and the federated trainers degrade gracefully (they average whatever
+// arrives) — while secure aggregation correctly refuses lossy links.
+#include <gtest/gtest.h>
+
+#include "fl/dfl.hpp"
+#include "net/bus.hpp"
+#include "sim/scenario.hpp"
+
+namespace pfdrl {
+namespace {
+
+TEST(LossyBus, DropRateApproximatelyRespected) {
+  net::LinkModel link;
+  link.drop_probability = 0.3;
+  net::MessageBus bus(net::Topology(net::TopologyKind::kFullMesh, 2), link);
+  net::Message msg;
+  msg.sender = 0;
+  msg.payload.assign(4, 1.0);
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) bus.broadcast(msg);
+  const auto stats = bus.stats();
+  EXPECT_EQ(stats.messages_delivered + stats.messages_dropped,
+            static_cast<std::uint64_t>(n));
+  EXPECT_NEAR(static_cast<double>(stats.messages_dropped) / n, 0.3, 0.03);
+}
+
+TEST(LossyBus, ReliableLinkDropsNothing) {
+  net::MessageBus bus(net::Topology(net::TopologyKind::kFullMesh, 3));
+  net::Message msg;
+  msg.sender = 0;
+  for (int i = 0; i < 100; ++i) bus.broadcast(msg);
+  EXPECT_EQ(bus.stats().messages_dropped, 0u);
+  EXPECT_EQ(bus.stats().messages_delivered, 200u);
+}
+
+TEST(LossyBus, DroppedMessagesNotBilled) {
+  net::LinkModel link;
+  link.drop_probability = 1.0;  // black hole
+  net::MessageBus bus(net::Topology(net::TopologyKind::kFullMesh, 2), link);
+  net::Message msg;
+  msg.sender = 0;
+  msg.payload.assign(100, 1.0);
+  bus.broadcast(msg);
+  const auto stats = bus.stats();
+  EXPECT_EQ(stats.messages_delivered, 0u);
+  EXPECT_EQ(stats.bytes_on_wire, 0u);
+  EXPECT_EQ(bus.inbox_size(1), 0u);
+}
+
+std::vector<data::HouseholdTrace> small_traces() {
+  sim::ScenarioConfig cfg;
+  cfg.neighborhood.num_households = 3;
+  cfg.neighborhood.min_devices = 3;
+  cfg.neighborhood.max_devices = 3;
+  cfg.trace.days = 2;
+  return sim::Scenario::generate(cfg).traces;
+}
+
+TEST(LossyDfl, DegradesGracefully) {
+  const auto traces = small_traces();
+  fl::DflConfig cfg;
+  cfg.method = forecast::Method::kLr;
+  cfg.window.window = 8;
+  cfg.window.horizon = 5;
+  cfg.link.drop_probability = 0.4;
+  fl::DflTrainer trainer(traces, cfg);
+  trainer.run(0, data::kMinutesPerDay);  // must not throw or deadlock
+  const double acc =
+      trainer.mean_test_accuracy(data::kMinutesPerDay, traces[0].minutes());
+  EXPECT_GT(acc, 0.2);  // still learns from partial aggregates
+  EXPECT_GT(trainer.comm_stats().messages_dropped, 0u);
+}
+
+TEST(LossyDfl, SecureAggregationRefusesLossyLink) {
+  const auto traces = small_traces();
+  fl::DflConfig cfg;
+  cfg.method = forecast::Method::kLr;
+  cfg.secure_aggregation = true;
+  cfg.link.drop_probability = 0.1;
+  EXPECT_THROW(fl::DflTrainer(traces, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfdrl

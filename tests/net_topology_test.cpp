@@ -1,0 +1,103 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pfdrl::net {
+namespace {
+
+TEST(Topology, ZeroAgentsThrows) {
+  EXPECT_THROW(Topology(TopologyKind::kFullMesh, 0), std::invalid_argument);
+}
+
+TEST(Topology, FullMeshNeighbors) {
+  Topology t(TopologyKind::kFullMesh, 4);
+  const auto n = t.neighbors(1);
+  EXPECT_EQ(std::set<AgentId>(n.begin(), n.end()),
+            (std::set<AgentId>{0, 2, 3}));
+  EXPECT_EQ(t.broadcast_links(1), 3u);
+}
+
+TEST(Topology, FullMeshSingleAgent) {
+  Topology t(TopologyKind::kFullMesh, 1);
+  EXPECT_TRUE(t.neighbors(0).empty());
+  EXPECT_EQ(t.broadcast_links(0), 0u);
+}
+
+TEST(Topology, StarHubReachesAll) {
+  Topology t(TopologyKind::kStar, 5);
+  const auto n = t.neighbors(0);
+  EXPECT_EQ(n.size(), 4u);
+}
+
+TEST(Topology, StarLeafTalksToHubOnly) {
+  Topology t(TopologyKind::kStar, 5);
+  const auto n = t.neighbors(3);
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_EQ(n[0], 0u);
+}
+
+TEST(Topology, RingTwoNeighbors) {
+  Topology t(TopologyKind::kRing, 5);
+  const auto n = t.neighbors(0);
+  EXPECT_EQ(std::set<AgentId>(n.begin(), n.end()), (std::set<AgentId>{1, 4}));
+}
+
+TEST(Topology, RingOfTwoSingleNeighbor) {
+  Topology t(TopologyKind::kRing, 2);
+  const auto n = t.neighbors(0);
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_EQ(n[0], 1u);
+}
+
+TEST(Topology, NeighborsNeverIncludeSelf) {
+  for (auto kind :
+       {TopologyKind::kFullMesh, TopologyKind::kStar, TopologyKind::kRing}) {
+    Topology t(kind, 6);
+    for (AgentId a = 0; a < 6; ++a) {
+      for (AgentId n : t.neighbors(a)) {
+        EXPECT_NE(n, a) << topology_name(kind);
+      }
+    }
+  }
+}
+
+TEST(Topology, Names) {
+  EXPECT_STREQ(topology_name(TopologyKind::kFullMesh), "full_mesh");
+  EXPECT_STREQ(topology_name(TopologyKind::kStar), "star");
+  EXPECT_STREQ(topology_name(TopologyKind::kRing), "ring");
+}
+
+class MeshSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MeshSizes, BroadcastLinksScale) {
+  const std::size_t n = GetParam();
+  Topology mesh(TopologyKind::kFullMesh, n);
+  Topology star(TopologyKind::kStar, n);
+  for (AgentId a = 0; a < n; ++a) {
+    EXPECT_EQ(mesh.broadcast_links(a), n - 1);
+    EXPECT_EQ(star.broadcast_links(a), a == 0 ? n - 1 : 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshSizes, ::testing::Values(1, 2, 3, 8, 32));
+
+TEST(Message, WireBytesScaleWithPayload) {
+  Message m;
+  const std::size_t empty = m.wire_bytes();
+  m.payload.assign(100, 0.0);
+  EXPECT_EQ(m.wire_bytes(), empty + 800);
+}
+
+TEST(Message, KindNames) {
+  EXPECT_STREQ(message_kind_name(MessageKind::kForecastParams),
+               "forecast_params");
+  EXPECT_STREQ(message_kind_name(MessageKind::kDrlBaseParams),
+               "drl_base_params");
+  EXPECT_STREQ(message_kind_name(MessageKind::kDrlFullParams),
+               "drl_full_params");
+}
+
+}  // namespace
+}  // namespace pfdrl::net

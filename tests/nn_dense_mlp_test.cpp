@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dense.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::nn {
+namespace {
+
+TEST(Dense, ParamCount) {
+  EXPECT_EQ(dense_param_count(3, 4), 16u);
+  EXPECT_EQ(dense_param_count(1, 1), 2u);
+}
+
+TEST(Dense, ForwardKnownValues) {
+  // 2 -> 1 layer: y = 1*x0 + 2*x1 + 0.5, identity activation.
+  std::vector<double> params = {1.0, 2.0, 0.5};
+  Matrix x{{3.0, 4.0}};
+  Matrix y;
+  dense_forward(params, 2, 1, x, Activation::kIdentity, y);
+  ASSERT_EQ(y.rows(), 1u);
+  EXPECT_DOUBLE_EQ(y(0, 0), 11.5);
+}
+
+TEST(Dense, ForwardReluClamps) {
+  std::vector<double> params = {-1.0, 0.0};  // y = -x0
+  Matrix x{{5.0}};
+  Matrix y;
+  dense_forward(params, 1, 1, x, Activation::kRelu, y);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+}
+
+TEST(Dense, GradientCheck) {
+  util::Rng rng(3);
+  const std::size_t in = 4;
+  const std::size_t out = 3;
+  std::vector<double> params(dense_param_count(in, out));
+  dense_init(params, in, out, InitScheme::kXavierUniform, rng);
+
+  Matrix x(2, in);
+  for (double& v : x.data()) v = rng.normal();
+
+  // Loss = sum(y); dL/dy = 1.
+  const auto loss = [&](std::span<const double> p) {
+    Matrix y;
+    dense_forward(p, in, out, x, Activation::kTanh, y);
+    double s = 0.0;
+    for (double v : y.data()) s += v;
+    return s;
+  };
+
+  Matrix y;
+  dense_forward(params, in, out, x, Activation::kTanh, y);
+  Matrix grad_y(2, out, 1.0);
+  std::vector<double> grads(params.size(), 0.0);
+  Matrix grad_x;
+  dense_backward(params, in, out, x, y, Activation::kTanh, grad_y, grads,
+                 &grad_x);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto plus = params;
+    auto minus = params;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const double numeric = (loss(plus) - loss(minus)) / (2 * eps);
+    ASSERT_NEAR(grads[i], numeric, 1e-5) << "param " << i;
+  }
+
+  // Input gradient check.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Matrix xp = x;
+    Matrix xm = x;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    Matrix yp, ym;
+    dense_forward(params, in, out, xp, Activation::kTanh, yp);
+    dense_forward(params, in, out, xm, Activation::kTanh, ym);
+    double sp = 0.0, sm = 0.0;
+    for (double v : yp.data()) sp += v;
+    for (double v : ym.data()) sm += v;
+    ASSERT_NEAR(grad_x.data()[i], (sp - sm) / (2 * eps), 1e-5) << "x " << i;
+  }
+}
+
+TEST(DenseLayer, ForwardBackwardRoundTrip) {
+  util::Rng rng(4);
+  DenseLayer layer(3, 2, Activation::kRelu, InitScheme::kHeNormal, rng);
+  Matrix x{{0.5, -0.2, 1.0}, {1.0, 1.0, 1.0}};
+  const Matrix& y = layer.forward(x);
+  EXPECT_EQ(y.rows(), 2u);
+  EXPECT_EQ(y.cols(), 2u);
+  layer.zero_grad();
+  Matrix grad_y(2, 2, 1.0);
+  const Matrix grad_x = layer.backward(std::move(grad_y));
+  EXPECT_EQ(grad_x.rows(), 2u);
+  EXPECT_EQ(grad_x.cols(), 3u);
+}
+
+TEST(Mlp, ConstructionValidation) {
+  util::Rng rng(1);
+  EXPECT_THROW(Mlp({5}, Activation::kRelu, Activation::kIdentity,
+                   InitScheme::kHeNormal, rng),
+               std::invalid_argument);
+  EXPECT_THROW(Mlp({5, 0, 2}, Activation::kRelu, Activation::kIdentity,
+                   InitScheme::kHeNormal, rng),
+               std::invalid_argument);
+}
+
+TEST(Mlp, LayerOffsetsPartitionParameters) {
+  util::Rng rng(2);
+  Mlp net({4, 8, 6, 2}, Activation::kRelu, Activation::kIdentity,
+          InitScheme::kHeNormal, rng);
+  EXPECT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.layer_offset(0), 0u);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    EXPECT_EQ(net.layer_offset(i), total);
+    total += net.layer_param_count(i);
+  }
+  EXPECT_EQ(total, net.parameter_count());
+  EXPECT_EQ(net.layer_param_count(0), dense_param_count(4, 8));
+  EXPECT_EQ(net.layer_param_count(2), dense_param_count(6, 2));
+}
+
+TEST(Mlp, SameSeedSameParameters) {
+  util::Rng r1(7);
+  util::Rng r2(7);
+  Mlp a({3, 5, 1}, Activation::kRelu, Activation::kIdentity,
+        InitScheme::kXavierUniform, r1);
+  Mlp b({3, 5, 1}, Activation::kRelu, Activation::kIdentity,
+        InitScheme::kXavierUniform, r2);
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(Mlp, SetParametersRoundTrip) {
+  util::Rng rng(8);
+  Mlp net({2, 3, 1}, Activation::kTanh, Activation::kIdentity,
+          InitScheme::kXavierUniform, rng);
+  std::vector<double> values(net.parameter_count());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i) * 0.01;
+  }
+  net.set_parameters(values);
+  const auto got = net.parameters();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(got[i], values[i]);
+  }
+  EXPECT_THROW(net.set_parameters(std::vector<double>(3)),
+               std::invalid_argument);
+}
+
+TEST(Mlp, PredictMatchesForward) {
+  util::Rng rng(9);
+  Mlp net({3, 6, 4, 2}, Activation::kRelu, Activation::kIdentity,
+          InitScheme::kHeNormal, rng);
+  Matrix x(5, 3);
+  for (double& v : x.data()) v = rng.normal();
+  const Matrix a = net.predict(x);
+  const Matrix& b = net.forward(x);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Mlp, GradientCheckSmallNet) {
+  util::Rng rng(10);
+  Mlp net({2, 4, 3, 1}, Activation::kTanh, Activation::kIdentity,
+          InitScheme::kXavierUniform, rng);
+  Matrix x(3, 2);
+  for (double& v : x.data()) v = rng.normal();
+  const Matrix target(3, 1, 0.5);
+
+  const auto loss_at = [&](std::span<const double> p) {
+    Mlp copy = net;
+    copy.set_parameters(p);
+    const Matrix pred = copy.predict(x);
+    return loss_value(LossKind::kMse, pred, target);
+  };
+
+  const Matrix& pred = net.forward(x);
+  Matrix grad;
+  loss_grad(LossKind::kMse, pred, target, grad);
+  net.zero_grad();
+  net.backward(std::move(grad));
+
+  const auto params = net.parameters();
+  const auto grads = net.gradients();
+  std::vector<double> base(params.begin(), params.end());
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < base.size(); i += 3) {  // subsample for speed
+    auto plus = base;
+    auto minus = base;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const double numeric = (loss_at(plus) - loss_at(minus)) / (2 * eps);
+    ASSERT_NEAR(grads[i], numeric, 1e-5) << "param " << i;
+  }
+}
+
+TEST(Mlp, TrainBatchLearnsToyRegression) {
+  // y = 2*x0 - x1 is learnable by a small relu net.
+  util::Rng rng(11);
+  Mlp net({2, 16, 1}, Activation::kRelu, Activation::kIdentity,
+          InitScheme::kHeNormal, rng);
+  Adam opt(0.01);
+  Matrix x(64, 2);
+  Matrix y(64, 1);
+  util::Rng data_rng(12);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x(i, 0) = data_rng.uniform(-1, 1);
+    x(i, 1) = data_rng.uniform(-1, 1);
+    y(i, 0) = 2 * x(i, 0) - x(i, 1);
+  }
+  const double first = net.train_batch(x, y, LossKind::kMse, opt);
+  double last = first;
+  for (int e = 0; e < 300; ++e) last = net.train_batch(x, y, LossKind::kMse, opt);
+  EXPECT_LT(last, first * 0.05);
+  EXPECT_LT(last, 0.01);
+}
+
+TEST(Mlp, SameArchitecture) {
+  util::Rng rng(13);
+  Mlp a({2, 4, 1}, Activation::kRelu, Activation::kIdentity,
+        InitScheme::kHeNormal, rng);
+  Mlp b({2, 4, 1}, Activation::kRelu, Activation::kIdentity,
+        InitScheme::kHeNormal, rng);
+  Mlp c({2, 5, 1}, Activation::kRelu, Activation::kIdentity,
+        InitScheme::kHeNormal, rng);
+  Mlp d({2, 4, 1}, Activation::kTanh, Activation::kIdentity,
+        InitScheme::kHeNormal, rng);
+  EXPECT_TRUE(a.same_architecture(b));
+  EXPECT_FALSE(a.same_architecture(c));
+  EXPECT_FALSE(a.same_architecture(d));
+}
+
+TEST(Mlp, LayerParametersAreViewsIntoFlatBuffer) {
+  util::Rng rng(14);
+  Mlp net({2, 3, 1}, Activation::kRelu, Activation::kIdentity,
+          InitScheme::kHeNormal, rng);
+  auto slice = net.layer_parameters(1);
+  slice[0] = 1234.5;
+  EXPECT_EQ(net.parameters()[net.layer_offset(1)], 1234.5);
+}
+
+}  // namespace
+}  // namespace pfdrl::nn

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::nn {
+namespace {
+
+std::vector<Matrix> random_sequence(std::size_t steps, std::size_t batch,
+                                    std::size_t feat, util::Rng& rng) {
+  std::vector<Matrix> xs(steps, Matrix(batch, feat));
+  for (auto& x : xs) {
+    for (double& v : x.data()) v = rng.normal(0.0, 0.5);
+  }
+  return xs;
+}
+
+TEST(Lstm, ConstructionValidation) {
+  util::Rng rng(1);
+  EXPECT_THROW(LstmRegressor(0, 4, 1, rng), std::invalid_argument);
+  EXPECT_THROW(LstmRegressor(2, 0, 1, rng), std::invalid_argument);
+  EXPECT_THROW(LstmRegressor(2, 4, 0, rng), std::invalid_argument);
+}
+
+TEST(Lstm, ParameterCount) {
+  util::Rng rng(2);
+  const std::size_t f = 3, h = 5, o = 2;
+  LstmRegressor net(f, h, o, rng);
+  EXPECT_EQ(net.parameter_count(),
+            f * 4 * h + h * 4 * h + 4 * h + h * o + o);
+}
+
+TEST(Lstm, ForwardShape) {
+  util::Rng rng(3);
+  LstmRegressor net(2, 4, 1, rng);
+  const auto xs = [&] {
+    util::Rng r(4);
+    return random_sequence(6, 3, 2, r);
+  }();
+  const Matrix& y = net.forward(xs);
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_EQ(y.cols(), 1u);
+}
+
+TEST(Lstm, EmptySequenceThrows) {
+  util::Rng rng(5);
+  LstmRegressor net(2, 4, 1, rng);
+  EXPECT_THROW(net.forward({}), std::invalid_argument);
+}
+
+TEST(Lstm, PredictMatchesForward) {
+  util::Rng rng(6);
+  LstmRegressor net(3, 5, 1, rng);
+  util::Rng data_rng(7);
+  const auto xs = random_sequence(5, 4, 3, data_rng);
+  const Matrix a = net.predict(xs);
+  const Matrix& b = net.forward(xs);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Lstm, SameSeedSameOutput) {
+  util::Rng r1(8);
+  util::Rng r2(8);
+  LstmRegressor a(2, 4, 1, r1);
+  LstmRegressor b(2, 4, 1, r2);
+  util::Rng data_rng(9);
+  const auto xs = random_sequence(4, 2, 2, data_rng);
+  EXPECT_EQ(a.predict(xs), b.predict(xs));
+}
+
+TEST(Lstm, SetParametersRoundTrip) {
+  util::Rng rng(10);
+  LstmRegressor net(2, 3, 1, rng);
+  std::vector<double> values(net.parameter_count());
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = 0.001 * static_cast<double>(i);
+  net.set_parameters(values);
+  const auto got = net.parameters();
+  for (std::size_t i = 0; i < values.size(); ++i) EXPECT_EQ(got[i], values[i]);
+  EXPECT_THROW(net.set_parameters(std::vector<double>(5)),
+               std::invalid_argument);
+}
+
+TEST(Lstm, GradientCheckViaTraining) {
+  // Finite-difference check of the full BPTT path: compare the parameter
+  // update direction of a plain-SGD train_batch against the numeric
+  // gradient of the loss.
+  util::Rng rng(11);
+  LstmRegressor net(2, 3, 1, rng);
+  util::Rng data_rng(12);
+  const auto xs = random_sequence(4, 2, 2, data_rng);
+  Matrix y(2, 1);
+  y(0, 0) = 0.3;
+  y(1, 0) = -0.2;
+
+  const auto loss_at = [&](std::span<const double> p) {
+    LstmRegressor copy = net;
+    copy.set_parameters(p);
+    const Matrix pred = copy.predict(xs);
+    return loss_value(LossKind::kMse, pred, y);
+  };
+
+  const std::vector<double> before(net.parameters().begin(),
+                                   net.parameters().end());
+  const double lr = 1e-3;
+  Sgd opt(lr);
+  LstmRegressor trained = net;
+  trained.train_batch(xs, y, LossKind::kMse, opt, /*clip_norm=*/0.0);
+  const auto after = trained.parameters();
+
+  // Implied gradient from the SGD step: g = (before - after) / lr.
+  const double eps = 1e-6;
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < before.size(); i += 7) {
+    auto plus = before;
+    auto minus = before;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const double numeric = (loss_at(plus) - loss_at(minus)) / (2 * eps);
+    const double implied = (before[i] - after[i]) / lr;
+    ASSERT_NEAR(implied, numeric, 1e-4) << "param " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(Lstm, LearnsSequenceMean) {
+  // Target = mean of the sequence's first feature: requires memory.
+  util::Rng rng(13);
+  LstmRegressor net(1, 8, 1, rng);
+  Adam opt(0.01);
+  util::Rng data_rng(14);
+
+  double first_loss = -1.0;
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    std::vector<Matrix> xs(5, Matrix(8, 1));
+    Matrix y(8, 1);
+    for (std::size_t b = 0; b < 8; ++b) {
+      double sum = 0.0;
+      for (std::size_t t = 0; t < 5; ++t) {
+        const double v = data_rng.uniform(-1, 1);
+        xs[t](b, 0) = v;
+        sum += v;
+      }
+      y(b, 0) = sum / 5.0;
+    }
+    last_loss = net.train_batch(xs, y, LossKind::kMse, opt);
+    if (epoch == 0) first_loss = last_loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.2);
+  EXPECT_LT(last_loss, 0.01);
+}
+
+TEST(Lstm, ClipNormBoundsUpdate) {
+  util::Rng rng(15);
+  LstmRegressor net(1, 4, 1, rng);
+  util::Rng data_rng(16);
+  const auto xs = random_sequence(3, 2, 1, data_rng);
+  Matrix y(2, 1, 100.0);  // huge target -> huge gradient
+
+  Sgd opt(1.0);
+  LstmRegressor clipped = net;
+  clipped.train_batch(xs, y, LossKind::kMse, opt, /*clip_norm=*/1.0);
+  double update_sq = 0.0;
+  for (std::size_t i = 0; i < net.parameter_count(); ++i) {
+    const double d = clipped.parameters()[i] - net.parameters()[i];
+    update_sq += d * d;
+  }
+  // With lr=1 and clip 1.0 the update norm is at most ~1.
+  EXPECT_LE(std::sqrt(update_sq), 1.0 + 1e-9);
+}
+
+TEST(Lstm, ForgetBiasInitializedToOne) {
+  util::Rng rng(17);
+  const std::size_t f = 2, h = 3;
+  LstmRegressor net(f, h, 1, rng);
+  const auto params = net.parameters();
+  const std::size_t b_off = f * 4 * h + h * 4 * h;
+  for (std::size_t j = 0; j < h; ++j) {
+    EXPECT_EQ(params[b_off + h + j], 1.0);  // forget-gate slice
+    EXPECT_EQ(params[b_off + j], 0.0);      // input-gate slice
+  }
+}
+
+}  // namespace
+}  // namespace pfdrl::nn

@@ -1,0 +1,89 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/rng.hpp"
+
+namespace pfdrl::nn {
+namespace {
+
+Checkpoint sample_checkpoint(std::size_t n, std::uint64_t seed) {
+  Checkpoint ckpt;
+  ckpt.signature = "mlp:test:" + std::to_string(n);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) ckpt.parameters.push_back(rng.normal());
+  return ckpt;
+}
+
+TEST(Serialize, RoundTrip) {
+  const Checkpoint ckpt = sample_checkpoint(100, 1);
+  const auto bytes = serialize_checkpoint(ckpt);
+  const Checkpoint back = deserialize_checkpoint(bytes);
+  EXPECT_EQ(back.signature, ckpt.signature);
+  EXPECT_EQ(back.parameters, ckpt.parameters);
+}
+
+TEST(Serialize, EmptyParameters) {
+  Checkpoint ckpt;
+  ckpt.signature = "empty";
+  const Checkpoint back = deserialize_checkpoint(serialize_checkpoint(ckpt));
+  EXPECT_EQ(back.signature, "empty");
+  EXPECT_TRUE(back.parameters.empty());
+}
+
+TEST(Serialize, BadMagicThrows) {
+  auto bytes = serialize_checkpoint(sample_checkpoint(4, 2));
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(deserialize_checkpoint(bytes), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedThrows) {
+  const auto bytes = serialize_checkpoint(sample_checkpoint(16, 3));
+  const std::span<const std::uint8_t> half(bytes.data(), bytes.size() / 2);
+  EXPECT_THROW(deserialize_checkpoint(half), std::runtime_error);
+}
+
+TEST(Serialize, CorruptPayloadFailsDigest) {
+  auto bytes = serialize_checkpoint(sample_checkpoint(16, 4));
+  bytes[bytes.size() / 2] ^= 0x01;  // flip a payload bit
+  EXPECT_THROW(deserialize_checkpoint(bytes), std::runtime_error);
+}
+
+TEST(Serialize, DigestSensitivity) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = a;
+  b[1] = 2.0000001;
+  EXPECT_NE(parameter_digest(a), parameter_digest(b));
+  EXPECT_EQ(parameter_digest(a), parameter_digest(a));
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pfdrl_ckpt_test.bin").string();
+  const Checkpoint ckpt = sample_checkpoint(64, 5);
+  save_checkpoint(ckpt, path);
+  const Checkpoint back = load_checkpoint(path);
+  EXPECT_EQ(back.parameters, ckpt.parameters);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/x.bin"), std::runtime_error);
+}
+
+class SerializeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SerializeSizes, RoundTripAnySize) {
+  const Checkpoint ckpt = sample_checkpoint(GetParam(), 6 + GetParam());
+  const Checkpoint back = deserialize_checkpoint(serialize_checkpoint(ckpt));
+  EXPECT_EQ(back.parameters, ckpt.parameters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerializeSizes,
+                         ::testing::Values(0, 1, 2, 17, 256, 10001));
+
+}  // namespace
+}  // namespace pfdrl::nn

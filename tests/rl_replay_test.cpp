@@ -1,0 +1,126 @@
+#include "rl/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pfdrl::rl {
+namespace {
+
+Transition make_transition(int tag) {
+  Transition t;
+  t.state = {static_cast<double>(tag)};
+  t.action = tag % 3;
+  t.reward = tag;
+  t.next_state = {static_cast<double>(tag + 1)};
+  return t;
+}
+
+TEST(Replay, ZeroCapacityThrows) {
+  EXPECT_THROW(ReplayBuffer(0), std::invalid_argument);
+}
+
+TEST(Replay, SizeGrowsToCapacity) {
+  ReplayBuffer buf(3);
+  EXPECT_TRUE(buf.empty());
+  buf.push(make_transition(0));
+  EXPECT_EQ(buf.size(), 1u);
+  buf.push(make_transition(1));
+  buf.push(make_transition(2));
+  EXPECT_EQ(buf.size(), 3u);
+  buf.push(make_transition(3));
+  EXPECT_EQ(buf.size(), 3u);  // capped
+  EXPECT_EQ(buf.capacity(), 3u);
+}
+
+TEST(Replay, OverwritesOldest) {
+  ReplayBuffer buf(2);
+  buf.push(make_transition(0));
+  buf.push(make_transition(1));
+  buf.push(make_transition(2));  // evicts 0
+  util::Rng rng(1);
+  std::set<double> rewards;
+  for (int i = 0; i < 100; ++i) {
+    rewards.insert(buf.sample(1, rng)[0]->reward);
+  }
+  EXPECT_EQ(rewards.count(0.0), 0u);
+  EXPECT_EQ(rewards.count(1.0), 1u);
+  EXPECT_EQ(rewards.count(2.0), 1u);
+}
+
+TEST(Replay, SampleFromEmptyThrows) {
+  ReplayBuffer buf(4);
+  util::Rng rng(1);
+  EXPECT_THROW(buf.sample(1, rng), std::logic_error);
+}
+
+TEST(Replay, SampleSizeAndMembership) {
+  ReplayBuffer buf(8);
+  for (int i = 0; i < 5; ++i) buf.push(make_transition(i));
+  util::Rng rng(2);
+  const auto batch = buf.sample(16, rng);  // with replacement, > size ok
+  EXPECT_EQ(batch.size(), 16u);
+  for (const auto* t : batch) {
+    EXPECT_GE(t->reward, 0.0);
+    EXPECT_LE(t->reward, 4.0);
+  }
+}
+
+TEST(Replay, SampleCoversAllEntries) {
+  ReplayBuffer buf(4);
+  for (int i = 0; i < 4; ++i) buf.push(make_transition(i));
+  util::Rng rng(3);
+  std::set<double> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(buf.sample(1, rng)[0]->reward);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Replay, ClearResets) {
+  ReplayBuffer buf(4);
+  buf.push(make_transition(0));
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.total_pushed(), 1u);  // lifetime counter survives clear
+}
+
+TEST(Replay, TotalPushedCounts) {
+  ReplayBuffer buf(2);
+  for (int i = 0; i < 10; ++i) buf.push(make_transition(i));
+  EXPECT_EQ(buf.total_pushed(), 10u);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(Replay, StoresFullTransition) {
+  ReplayBuffer buf(1);
+  Transition t;
+  t.state = {1.0, 2.0};
+  t.action = 2;
+  t.reward = -30.0;
+  t.next_state = {3.0, 4.0};
+  t.terminal = true;
+  buf.push(t);
+  util::Rng rng(4);
+  const auto* got = buf.sample(1, rng)[0];
+  EXPECT_EQ(got->state, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(got->action, 2);
+  EXPECT_EQ(got->reward, -30.0);
+  EXPECT_EQ(got->next_state, (std::vector<double>{3.0, 4.0}));
+  EXPECT_TRUE(got->terminal);
+}
+
+class ReplayCapacities : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReplayCapacities, NeverExceedsCapacity) {
+  ReplayBuffer buf(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    buf.push(make_transition(i));
+    ASSERT_LE(buf.size(), GetParam());
+  }
+  EXPECT_EQ(buf.size(), std::min<std::size_t>(100, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, ReplayCapacities,
+                         ::testing::Values(1, 2, 7, 100, 2000));
+
+}  // namespace
+}  // namespace pfdrl::rl

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
+
+namespace pfdrl::sim {
+namespace {
+
+TEST(Scenario, GenerateShapes) {
+  const auto scenario = Scenario::generate(tiny_scenario(1));
+  EXPECT_EQ(scenario.num_homes(), 2u);
+  EXPECT_EQ(scenario.minutes(), 2 * data::kMinutesPerDay);
+  EXPECT_GT(scenario.num_devices(), 0u);
+  EXPECT_EQ(scenario.profiles.size(), scenario.traces.size());
+}
+
+TEST(Scenario, DeterministicPerSeed) {
+  const auto a = Scenario::generate(tiny_scenario(7));
+  const auto b = Scenario::generate(tiny_scenario(7));
+  ASSERT_EQ(a.num_homes(), b.num_homes());
+  for (std::size_t h = 0; h < a.num_homes(); ++h) {
+    ASSERT_EQ(a.traces[h].devices.size(), b.traces[h].devices.size());
+    for (std::size_t d = 0; d < a.traces[h].devices.size(); ++d) {
+      ASSERT_EQ(a.traces[h].devices[d].watts, b.traces[h].devices[d].watts);
+    }
+  }
+}
+
+TEST(Scenario, StandbyEnergyPositive) {
+  const auto scenario = Scenario::generate(tiny_scenario(2));
+  EXPECT_GT(scenario.total_standby_kwh(0, scenario.minutes()), 0.0);
+  EXPECT_DOUBLE_EQ(scenario.total_standby_kwh(100, 100), 0.0);
+}
+
+TEST(Scenario, PresetsScale) {
+  const auto tiny = tiny_scenario();
+  const auto small = small_scenario();
+  const auto medium = medium_scenario();
+  EXPECT_LT(tiny.neighborhood.num_households,
+            small.neighborhood.num_households);
+  EXPECT_LT(small.neighborhood.num_households,
+            medium.neighborhood.num_households);
+  EXPECT_LE(tiny.trace.days, small.trace.days);
+}
+
+TEST(PipelinePresets, PaperHyperparameters) {
+  const auto cfg = paper_pipeline(core::EmsMethod::kPfdrl);
+  EXPECT_EQ(cfg.dqn.hidden, (std::vector<std::size_t>(8, 100)));
+  EXPECT_DOUBLE_EQ(cfg.dqn.learning_rate, 1e-3);
+  EXPECT_DOUBLE_EQ(cfg.dqn.discount, 0.9);
+  EXPECT_EQ(cfg.dqn.replay_capacity, 2000u);
+  EXPECT_EQ(cfg.dqn.target_replace_every, 100u);
+  EXPECT_EQ(cfg.alpha, 6u);
+  EXPECT_DOUBLE_EQ(cfg.beta_hours, 12.0);
+  EXPECT_DOUBLE_EQ(cfg.gamma_hours, 12.0);
+  EXPECT_EQ(cfg.forecast_method, forecast::Method::kLstm);
+}
+
+TEST(PipelinePresets, BenchKeepsEightHiddenLayers) {
+  const auto cfg = bench_pipeline(core::EmsMethod::kPfdrl);
+  EXPECT_EQ(cfg.dqn.hidden.size(), 8u);  // alpha in 1..8 must stay valid
+}
+
+TEST(PipelinePresets, FastIsSmaller) {
+  const auto fast = fast_pipeline(core::EmsMethod::kPfdrl);
+  const auto paper = paper_pipeline(core::EmsMethod::kPfdrl);
+  EXPECT_LT(fast.dqn.hidden.size(), paper.dqn.hidden.size());
+  EXPECT_LE(fast.alpha, fast.dqn.hidden.size());
+}
+
+TEST(Convergence, ProducesMonotoneDaysAndSaneRanges) {
+  auto sc_cfg = tiny_scenario(3);
+  sc_cfg.trace.days = 4;
+  const auto scenario = Scenario::generate(sc_cfg);
+  auto cfg = fast_pipeline(core::EmsMethod::kPfdrl, 3);
+  cfg.forecast_method = forecast::Method::kLr;
+  cfg.dqn.hidden = {12, 12};
+  const auto points = run_convergence(scenario, cfg, 1, 2);
+  ASSERT_GE(points.size(), 1u);
+  std::size_t prev_day = 0;
+  for (const auto& p : points) {
+    EXPECT_GT(p.day, prev_day);
+    prev_day = p.day;
+    EXPECT_GE(p.saved_fraction, 0.0);
+    EXPECT_LE(p.saved_fraction, 1.0);
+    EXPECT_GE(p.gross_saved_fraction, p.saved_fraction - 1e-9);
+    EXPECT_GE(p.saved_kwh_per_client, 0.0);
+  }
+}
+
+TEST(Convergence, StopsAtEvalBoundary) {
+  // Asking for more EMS days than exist: points end before the held-out
+  // evaluation day.
+  auto sc_cfg = tiny_scenario(4);
+  sc_cfg.trace.days = 3;
+  const auto scenario = Scenario::generate(sc_cfg);
+  auto cfg = fast_pipeline(core::EmsMethod::kLocal, 4);
+  cfg.forecast_method = forecast::Method::kLr;
+  cfg.dqn.hidden = {12, 12};
+  const auto points = run_convergence(scenario, cfg, 1, 10);
+  EXPECT_LE(points.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pfdrl::sim

@@ -1,0 +1,129 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace pfdrl::util {
+namespace {
+
+TEST(Csv, EscapePlain) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(Csv, EscapeComma) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, EscapeQuote) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, EscapeNewline) {
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, RoundTripSimple) {
+  CsvTable t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"x", "y", "z"});
+  const auto parsed = CsvTable::parse(t.to_string());
+  ASSERT_EQ(parsed.num_rows(), 2u);
+  ASSERT_EQ(parsed.num_cols(), 3u);
+  EXPECT_EQ(parsed.cell(0, 0), "1");
+  EXPECT_EQ(parsed.cell(1, 2), "z");
+  EXPECT_EQ(parsed.header(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Csv, RoundTripQuotedContent) {
+  CsvTable t({"name", "note"});
+  t.add_row({"widget, large", "says \"ok\"\nsecond line"});
+  const auto parsed = CsvTable::parse(t.to_string());
+  ASSERT_EQ(parsed.num_rows(), 1u);
+  EXPECT_EQ(parsed.cell(0, 0), "widget, large");
+  EXPECT_EQ(parsed.cell(0, 1), "says \"ok\"\nsecond line");
+}
+
+TEST(Csv, ParseCrlf) {
+  const auto t = CsvTable::parse("a,b\r\n1,2\r\n");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.cell(0, 1), "2");
+}
+
+TEST(Csv, ParseWithoutTrailingNewline) {
+  const auto t = CsvTable::parse("a,b\n1,2");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.cell(0, 0), "1");
+}
+
+TEST(Csv, ParseEmpty) {
+  const auto t = CsvTable::parse("");
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_cols(), 0u);
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(CsvTable::parse("a,b\n\"oops,2\n"), std::runtime_error);
+}
+
+TEST(Csv, ColumnLookup) {
+  CsvTable t({"time", "watts"});
+  EXPECT_EQ(t.column("watts"), std::optional<std::size_t>(1));
+  EXPECT_EQ(t.column("absent"), std::nullopt);
+}
+
+TEST(Csv, RowPaddedToHeaderWidth) {
+  CsvTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.cell(0, 0), "only");
+  EXPECT_EQ(t.cell(0, 2), "");
+}
+
+TEST(Csv, RowTruncatedToHeaderWidth) {
+  CsvTable t({"a"});
+  t.add_row({"1", "extra"});
+  EXPECT_EQ(t.num_cols(), 1u);
+  EXPECT_EQ(t.cell(0, 0), "1");
+}
+
+TEST(Csv, CellAsDouble) {
+  CsvTable t({"v"});
+  t.add_row({"3.25"});
+  t.add_row({"nope"});
+  t.add_row({"12x"});  // trailing junk is a parse failure
+  EXPECT_EQ(t.cell_as_double(0, 0), std::optional<double>(3.25));
+  EXPECT_EQ(t.cell_as_double(1, 0), std::nullopt);
+  EXPECT_EQ(t.cell_as_double(2, 0), std::nullopt);
+}
+
+TEST(Csv, ColumnAsDoubles) {
+  CsvTable t({"v"});
+  t.add_row({"1.5"});
+  t.add_row({"bad"});
+  t.add_row({"-2"});
+  const auto col = t.column_as_doubles(0);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col[0], 1.5);
+  EXPECT_DOUBLE_EQ(col[1], 0.0);
+  EXPECT_DOUBLE_EQ(col[2], -2.0);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pfdrl_csv_test.csv").string();
+  CsvTable t({"k", "v"});
+  t.add_row({"alpha", "6"});
+  t.save(path);
+  const auto loaded = CsvTable::load(path);
+  EXPECT_EQ(loaded.cell(0, 0), "alpha");
+  EXPECT_EQ(loaded.cell_as_double(0, 1), std::optional<double>(6.0));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadMissingFileThrows) {
+  EXPECT_THROW(CsvTable::load("/nonexistent/dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pfdrl::util

@@ -1,0 +1,190 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pfdrl::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 7;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, CategoricalProportions) {
+  Rng rng(11);
+  const std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(Rng, CategoricalAllZeroFallsBack) {
+  Rng rng(12);
+  EXPECT_EQ(rng.categorical({0.0, 0.0}), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to match
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng root(42);
+  Rng a = root.fork(0);
+  Rng b = root.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng r1(42);
+  Rng r2(42);
+  Rng a = r1.fork(5);
+  Rng b = r2.fork(5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForkUnaffectedByParentUse) {
+  Rng r1(42);
+  Rng r2(42);
+  r2.next();
+  r2.next();  // consuming the parent must not change fork streams
+  Rng a = r1.fork(9);
+  Rng b = r2.fork(9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanNearHalf) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, UniformIntUnbiasedOverSmallRange) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  std::vector<int> counts(5, 0);
+  const int n = 25000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 0.2, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 42, 1000003, 0xDEADBEEF));
+
+}  // namespace
+}  // namespace pfdrl::util

@@ -1,0 +1,172 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pfdrl::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.stderror(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), mean(xs));
+  EXPECT_NEAR(s.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 31.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.normal(5.0, 3.0));
+
+  RunningStats whole;
+  for (double x : xs) whole.add(x);
+
+  // Split at several points; merged stats must match the single pass.
+  for (std::size_t split : {0u, 1u, 500u, 999u, 1000u}) {
+    RunningStats a;
+    RunningStats b;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      (i < split ? a : b).add(xs[i]);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  }
+}
+
+TEST(Stats, MeanEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, VarianceOfConstant) {
+  const std::vector<double> xs(10, 4.2);
+  EXPECT_NEAR(variance(xs), 0.0, 1e-24);  // floating-point residue only
+}
+
+TEST(Stats, PercentileKnownValues) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.1), 1.0);
+}
+
+TEST(Stats, PercentileEmpty) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, PercentileClampsQuantile) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 2.0), 2.0);
+}
+
+TEST(Stats, EmpiricalCdfMonotone) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> points = {0.0, 1.0, 2.0, 2.5, 3.0, 4.0};
+  const auto cdf = empirical_cdf(xs, points);
+  ASSERT_EQ(cdf.size(), points.size());
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.25);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.75);
+  EXPECT_DOUBLE_EQ(cdf[3], 0.75);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[5], 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.5 * i - 7.0);
+  }
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-10);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+}
+
+TEST(Stats, LinearFitDegenerate) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {2.0, 3.0, 4.0};
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {2.0, 3.0, 4.0};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, Clamp01) {
+  EXPECT_EQ(clamp01(-0.5), 0.0);
+  EXPECT_EQ(clamp01(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(clamp01(0.25), 0.25);
+}
+
+class PercentileOrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileOrderProperty, QuantilesMonotoneInQ) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) xs.push_back(rng.normal(0.0, 10.0));
+  double prev = percentile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = percentile(xs, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileOrderProperty,
+                         ::testing::Values(1, 7, 99, 12345));
+
+}  // namespace
+}  // namespace pfdrl::util

@@ -1,0 +1,140 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace pfdrl::util {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitManyTasks) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunkedPartitions) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunked(0, 100,
+                            [&](std::size_t lo, std::size_t hi) {
+                              std::lock_guard lock(m);
+                              chunks.emplace_back(lo, hi);
+                            },
+                            7);
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 7u);
+  EXPECT_EQ(chunks.front().first, 0u);
+  EXPECT_EQ(chunks.back().second, 100u);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);  // contiguous
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  ThreadPool pool(4);
+  const std::size_t n = 5000;
+  std::vector<double> xs(n);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  std::atomic<long> parallel_sum{0};
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    parallel_sum.fetch_add(static_cast<long>(xs[i]),
+                           std::memory_order_relaxed);
+  });
+  const long expected =
+      static_cast<long>(std::accumulate(xs.begin(), xs.end(), 0.0));
+  EXPECT_EQ(parallel_sum.load(), expected);
+}
+
+TEST(ThreadPool, GlobalPoolIsStable) {
+  ThreadPool* a = &ThreadPool::global();
+  ThreadPool* b = &ThreadPool::global();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreadPool, StressManySmallBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 64, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+class GrainSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GrainSweep, CoverageIndependentOfGrain) {
+  ThreadPool pool(3);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(
+      0, n,
+      [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      GetParam());
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grains, GrainSweep,
+                         ::testing::Values(1, 3, 16, 100, 1000, 5000));
+
+}  // namespace
+}  // namespace pfdrl::util
