@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_policies.dir/baseline_policies.cpp.o"
+  "CMakeFiles/baseline_policies.dir/baseline_policies.cpp.o.d"
+  "baseline_policies"
+  "baseline_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_alpha_sweep.dir/fig02_alpha_sweep.cpp.o"
+  "CMakeFiles/fig02_alpha_sweep.dir/fig02_alpha_sweep.cpp.o.d"
+  "fig02_alpha_sweep"
+  "fig02_alpha_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_alpha_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_beta_sweep.dir/fig03_beta_sweep.cpp.o"
+  "CMakeFiles/fig03_beta_sweep.dir/fig03_beta_sweep.cpp.o.d"
+  "fig03_beta_sweep"
+  "fig03_beta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_beta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

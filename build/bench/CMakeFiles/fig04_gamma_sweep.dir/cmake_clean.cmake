@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_gamma_sweep.dir/fig04_gamma_sweep.cpp.o"
+  "CMakeFiles/fig04_gamma_sweep.dir/fig04_gamma_sweep.cpp.o.d"
+  "fig04_gamma_sweep"
+  "fig04_gamma_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_gamma_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_accuracy_cdf.dir/fig05_accuracy_cdf.cpp.o"
+  "CMakeFiles/fig05_accuracy_cdf.dir/fig05_accuracy_cdf.cpp.o.d"
+  "fig05_accuracy_cdf"
+  "fig05_accuracy_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_accuracy_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_accuracy_by_hour.dir/fig06_accuracy_by_hour.cpp.o"
+  "CMakeFiles/fig06_accuracy_by_hour.dir/fig06_accuracy_by_hour.cpp.o.d"
+  "fig06_accuracy_by_hour"
+  "fig06_accuracy_by_hour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_accuracy_by_hour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

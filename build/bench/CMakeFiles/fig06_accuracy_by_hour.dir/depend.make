@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_accuracy_by_hour.
+# This may be replaced when dependencies are built.

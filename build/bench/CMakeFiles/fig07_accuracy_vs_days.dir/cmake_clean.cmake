@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_accuracy_vs_days.dir/fig07_accuracy_vs_days.cpp.o"
+  "CMakeFiles/fig07_accuracy_vs_days.dir/fig07_accuracy_vs_days.cpp.o.d"
+  "fig07_accuracy_vs_days"
+  "fig07_accuracy_vs_days.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_accuracy_vs_days.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

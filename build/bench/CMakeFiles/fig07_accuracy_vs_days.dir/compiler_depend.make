@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_accuracy_vs_days.
+# This may be replaced when dependencies are built.

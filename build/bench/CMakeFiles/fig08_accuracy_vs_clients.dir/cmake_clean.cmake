@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_accuracy_vs_clients.dir/fig08_accuracy_vs_clients.cpp.o"
+  "CMakeFiles/fig08_accuracy_vs_clients.dir/fig08_accuracy_vs_clients.cpp.o.d"
+  "fig08_accuracy_vs_clients"
+  "fig08_accuracy_vs_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_accuracy_vs_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_accuracy_vs_clients.
+# This may be replaced when dependencies are built.

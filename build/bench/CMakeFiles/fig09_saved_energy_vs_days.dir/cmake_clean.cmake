@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_saved_energy_vs_days.dir/fig09_saved_energy_vs_days.cpp.o"
+  "CMakeFiles/fig09_saved_energy_vs_days.dir/fig09_saved_energy_vs_days.cpp.o.d"
+  "fig09_saved_energy_vs_days"
+  "fig09_saved_energy_vs_days.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_saved_energy_vs_days.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

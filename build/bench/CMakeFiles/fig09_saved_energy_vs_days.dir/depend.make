@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_saved_energy_vs_days.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_monetary_by_month.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_saved_energy_by_hour.dir/fig11_saved_energy_by_hour.cpp.o"
+  "CMakeFiles/fig11_saved_energy_by_hour.dir/fig11_saved_energy_by_hour.cpp.o.d"
+  "fig11_saved_energy_by_hour"
+  "fig11_saved_energy_by_hour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_saved_energy_by_hour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_saved_energy_by_hour.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_saved_energy_by_hour.
+# This may be replaced when dependencies are built.

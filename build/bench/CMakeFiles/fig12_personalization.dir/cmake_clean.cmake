@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_personalization.dir/fig12_personalization.cpp.o"
+  "CMakeFiles/fig12_personalization.dir/fig12_personalization.cpp.o.d"
+  "fig12_personalization"
+  "fig12_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

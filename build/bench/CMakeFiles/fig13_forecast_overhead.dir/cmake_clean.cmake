@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_forecast_overhead.dir/fig13_forecast_overhead.cpp.o"
+  "CMakeFiles/fig13_forecast_overhead.dir/fig13_forecast_overhead.cpp.o.d"
+  "fig13_forecast_overhead"
+  "fig13_forecast_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_forecast_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

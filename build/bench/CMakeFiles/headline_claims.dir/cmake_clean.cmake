@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_claims.dir/headline_claims.cpp.o"
+  "CMakeFiles/headline_claims.dir/headline_claims.cpp.o.d"
+  "headline_claims"
+  "headline_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

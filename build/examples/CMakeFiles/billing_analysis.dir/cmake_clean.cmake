@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billing_analysis.dir/billing_analysis.cpp.o"
+  "CMakeFiles/billing_analysis.dir/billing_analysis.cpp.o.d"
+  "billing_analysis"
+  "billing_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billing_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

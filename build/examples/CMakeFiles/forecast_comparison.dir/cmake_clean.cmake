@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_comparison.dir/forecast_comparison.cpp.o"
+  "CMakeFiles/forecast_comparison.dir/forecast_comparison.cpp.o.d"
+  "forecast_comparison"
+  "forecast_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/import_real_trace.dir/import_real_trace.cpp.o"
+  "CMakeFiles/import_real_trace.dir/import_real_trace.cpp.o.d"
+  "import_real_trace"
+  "import_real_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/import_real_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for import_real_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighborhood_sim.dir/neighborhood_sim.cpp.o"
+  "CMakeFiles/neighborhood_sim.dir/neighborhood_sim.cpp.o.d"
+  "neighborhood_sim"
+  "neighborhood_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighborhood_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalization_study.dir/personalization_study.cpp.o"
+  "CMakeFiles/personalization_study.dir/personalization_study.cpp.o.d"
+  "personalization_study"
+  "personalization_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalization_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

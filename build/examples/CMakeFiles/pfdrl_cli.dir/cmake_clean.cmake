@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfdrl_cli.dir/pfdrl_cli.cpp.o"
+  "CMakeFiles/pfdrl_cli.dir/pfdrl_cli.cpp.o.d"
+  "pfdrl_cli"
+  "pfdrl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfdrl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

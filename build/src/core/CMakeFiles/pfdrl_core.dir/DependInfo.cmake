@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/federation.cpp" "src/core/CMakeFiles/pfdrl_core.dir/federation.cpp.o" "gcc" "src/core/CMakeFiles/pfdrl_core.dir/federation.cpp.o.d"
+  "/root/repo/src/core/layer_split.cpp" "src/core/CMakeFiles/pfdrl_core.dir/layer_split.cpp.o" "gcc" "src/core/CMakeFiles/pfdrl_core.dir/layer_split.cpp.o.d"
+  "/root/repo/src/core/method.cpp" "src/core/CMakeFiles/pfdrl_core.dir/method.cpp.o" "gcc" "src/core/CMakeFiles/pfdrl_core.dir/method.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/pfdrl_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/pfdrl_core.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/pfdrl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/pfdrl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ems/CMakeFiles/pfdrl_ems.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/pfdrl_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pfdrl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pfdrl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfdrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pfdrl_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfdrl_core.dir/federation.cpp.o"
+  "CMakeFiles/pfdrl_core.dir/federation.cpp.o.d"
+  "CMakeFiles/pfdrl_core.dir/layer_split.cpp.o"
+  "CMakeFiles/pfdrl_core.dir/layer_split.cpp.o.d"
+  "CMakeFiles/pfdrl_core.dir/method.cpp.o"
+  "CMakeFiles/pfdrl_core.dir/method.cpp.o.d"
+  "CMakeFiles/pfdrl_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pfdrl_core.dir/pipeline.cpp.o.d"
+  "libpfdrl_core.a"
+  "libpfdrl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfdrl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

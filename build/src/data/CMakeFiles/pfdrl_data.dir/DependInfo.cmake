@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/pfdrl_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/pfdrl_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/device.cpp" "src/data/CMakeFiles/pfdrl_data.dir/device.cpp.o" "gcc" "src/data/CMakeFiles/pfdrl_data.dir/device.cpp.o.d"
+  "/root/repo/src/data/household.cpp" "src/data/CMakeFiles/pfdrl_data.dir/household.cpp.o" "gcc" "src/data/CMakeFiles/pfdrl_data.dir/household.cpp.o.d"
+  "/root/repo/src/data/tariff.cpp" "src/data/CMakeFiles/pfdrl_data.dir/tariff.cpp.o" "gcc" "src/data/CMakeFiles/pfdrl_data.dir/tariff.cpp.o.d"
+  "/root/repo/src/data/trace.cpp" "src/data/CMakeFiles/pfdrl_data.dir/trace.cpp.o" "gcc" "src/data/CMakeFiles/pfdrl_data.dir/trace.cpp.o.d"
+  "/root/repo/src/data/trace_io.cpp" "src/data/CMakeFiles/pfdrl_data.dir/trace_io.cpp.o" "gcc" "src/data/CMakeFiles/pfdrl_data.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pfdrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfdrl_data.dir/dataset.cpp.o"
+  "CMakeFiles/pfdrl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/pfdrl_data.dir/device.cpp.o"
+  "CMakeFiles/pfdrl_data.dir/device.cpp.o.d"
+  "CMakeFiles/pfdrl_data.dir/household.cpp.o"
+  "CMakeFiles/pfdrl_data.dir/household.cpp.o.d"
+  "CMakeFiles/pfdrl_data.dir/tariff.cpp.o"
+  "CMakeFiles/pfdrl_data.dir/tariff.cpp.o.d"
+  "CMakeFiles/pfdrl_data.dir/trace.cpp.o"
+  "CMakeFiles/pfdrl_data.dir/trace.cpp.o.d"
+  "CMakeFiles/pfdrl_data.dir/trace_io.cpp.o"
+  "CMakeFiles/pfdrl_data.dir/trace_io.cpp.o.d"
+  "libpfdrl_data.a"
+  "libpfdrl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfdrl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ems/accounting.cpp" "src/ems/CMakeFiles/pfdrl_ems.dir/accounting.cpp.o" "gcc" "src/ems/CMakeFiles/pfdrl_ems.dir/accounting.cpp.o.d"
+  "/root/repo/src/ems/env.cpp" "src/ems/CMakeFiles/pfdrl_ems.dir/env.cpp.o" "gcc" "src/ems/CMakeFiles/pfdrl_ems.dir/env.cpp.o.d"
+  "/root/repo/src/ems/mode.cpp" "src/ems/CMakeFiles/pfdrl_ems.dir/mode.cpp.o" "gcc" "src/ems/CMakeFiles/pfdrl_ems.dir/mode.cpp.o.d"
+  "/root/repo/src/ems/policies.cpp" "src/ems/CMakeFiles/pfdrl_ems.dir/policies.cpp.o" "gcc" "src/ems/CMakeFiles/pfdrl_ems.dir/policies.cpp.o.d"
+  "/root/repo/src/ems/reward.cpp" "src/ems/CMakeFiles/pfdrl_ems.dir/reward.cpp.o" "gcc" "src/ems/CMakeFiles/pfdrl_ems.dir/reward.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/pfdrl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/pfdrl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfdrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pfdrl_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfdrl_ems.dir/accounting.cpp.o"
+  "CMakeFiles/pfdrl_ems.dir/accounting.cpp.o.d"
+  "CMakeFiles/pfdrl_ems.dir/env.cpp.o"
+  "CMakeFiles/pfdrl_ems.dir/env.cpp.o.d"
+  "CMakeFiles/pfdrl_ems.dir/mode.cpp.o"
+  "CMakeFiles/pfdrl_ems.dir/mode.cpp.o.d"
+  "CMakeFiles/pfdrl_ems.dir/policies.cpp.o"
+  "CMakeFiles/pfdrl_ems.dir/policies.cpp.o.d"
+  "CMakeFiles/pfdrl_ems.dir/reward.cpp.o"
+  "CMakeFiles/pfdrl_ems.dir/reward.cpp.o.d"
+  "libpfdrl_ems.a"
+  "libpfdrl_ems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfdrl_ems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

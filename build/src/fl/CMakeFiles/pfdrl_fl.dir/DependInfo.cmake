@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/aggregate.cpp" "src/fl/CMakeFiles/pfdrl_fl.dir/aggregate.cpp.o" "gcc" "src/fl/CMakeFiles/pfdrl_fl.dir/aggregate.cpp.o.d"
+  "/root/repo/src/fl/baselines.cpp" "src/fl/CMakeFiles/pfdrl_fl.dir/baselines.cpp.o" "gcc" "src/fl/CMakeFiles/pfdrl_fl.dir/baselines.cpp.o.d"
+  "/root/repo/src/fl/dfl.cpp" "src/fl/CMakeFiles/pfdrl_fl.dir/dfl.cpp.o" "gcc" "src/fl/CMakeFiles/pfdrl_fl.dir/dfl.cpp.o.d"
+  "/root/repo/src/fl/secure_agg.cpp" "src/fl/CMakeFiles/pfdrl_fl.dir/secure_agg.cpp.o" "gcc" "src/fl/CMakeFiles/pfdrl_fl.dir/secure_agg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/forecast/CMakeFiles/pfdrl_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pfdrl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pfdrl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfdrl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pfdrl_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

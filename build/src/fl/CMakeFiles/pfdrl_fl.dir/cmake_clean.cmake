@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfdrl_fl.dir/aggregate.cpp.o"
+  "CMakeFiles/pfdrl_fl.dir/aggregate.cpp.o.d"
+  "CMakeFiles/pfdrl_fl.dir/baselines.cpp.o"
+  "CMakeFiles/pfdrl_fl.dir/baselines.cpp.o.d"
+  "CMakeFiles/pfdrl_fl.dir/dfl.cpp.o"
+  "CMakeFiles/pfdrl_fl.dir/dfl.cpp.o.d"
+  "CMakeFiles/pfdrl_fl.dir/secure_agg.cpp.o"
+  "CMakeFiles/pfdrl_fl.dir/secure_agg.cpp.o.d"
+  "libpfdrl_fl.a"
+  "libpfdrl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfdrl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/bp.cpp" "src/forecast/CMakeFiles/pfdrl_forecast.dir/bp.cpp.o" "gcc" "src/forecast/CMakeFiles/pfdrl_forecast.dir/bp.cpp.o.d"
+  "/root/repo/src/forecast/forecaster.cpp" "src/forecast/CMakeFiles/pfdrl_forecast.dir/forecaster.cpp.o" "gcc" "src/forecast/CMakeFiles/pfdrl_forecast.dir/forecaster.cpp.o.d"
+  "/root/repo/src/forecast/gru_forecaster.cpp" "src/forecast/CMakeFiles/pfdrl_forecast.dir/gru_forecaster.cpp.o" "gcc" "src/forecast/CMakeFiles/pfdrl_forecast.dir/gru_forecaster.cpp.o.d"
+  "/root/repo/src/forecast/lr.cpp" "src/forecast/CMakeFiles/pfdrl_forecast.dir/lr.cpp.o" "gcc" "src/forecast/CMakeFiles/pfdrl_forecast.dir/lr.cpp.o.d"
+  "/root/repo/src/forecast/lstm_forecaster.cpp" "src/forecast/CMakeFiles/pfdrl_forecast.dir/lstm_forecaster.cpp.o" "gcc" "src/forecast/CMakeFiles/pfdrl_forecast.dir/lstm_forecaster.cpp.o.d"
+  "/root/repo/src/forecast/metrics.cpp" "src/forecast/CMakeFiles/pfdrl_forecast.dir/metrics.cpp.o" "gcc" "src/forecast/CMakeFiles/pfdrl_forecast.dir/metrics.cpp.o.d"
+  "/root/repo/src/forecast/selection.cpp" "src/forecast/CMakeFiles/pfdrl_forecast.dir/selection.cpp.o" "gcc" "src/forecast/CMakeFiles/pfdrl_forecast.dir/selection.cpp.o.d"
+  "/root/repo/src/forecast/svr.cpp" "src/forecast/CMakeFiles/pfdrl_forecast.dir/svr.cpp.o" "gcc" "src/forecast/CMakeFiles/pfdrl_forecast.dir/svr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pfdrl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pfdrl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfdrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

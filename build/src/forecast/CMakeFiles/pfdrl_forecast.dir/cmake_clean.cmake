@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfdrl_forecast.dir/bp.cpp.o"
+  "CMakeFiles/pfdrl_forecast.dir/bp.cpp.o.d"
+  "CMakeFiles/pfdrl_forecast.dir/forecaster.cpp.o"
+  "CMakeFiles/pfdrl_forecast.dir/forecaster.cpp.o.d"
+  "CMakeFiles/pfdrl_forecast.dir/gru_forecaster.cpp.o"
+  "CMakeFiles/pfdrl_forecast.dir/gru_forecaster.cpp.o.d"
+  "CMakeFiles/pfdrl_forecast.dir/lr.cpp.o"
+  "CMakeFiles/pfdrl_forecast.dir/lr.cpp.o.d"
+  "CMakeFiles/pfdrl_forecast.dir/lstm_forecaster.cpp.o"
+  "CMakeFiles/pfdrl_forecast.dir/lstm_forecaster.cpp.o.d"
+  "CMakeFiles/pfdrl_forecast.dir/metrics.cpp.o"
+  "CMakeFiles/pfdrl_forecast.dir/metrics.cpp.o.d"
+  "CMakeFiles/pfdrl_forecast.dir/selection.cpp.o"
+  "CMakeFiles/pfdrl_forecast.dir/selection.cpp.o.d"
+  "CMakeFiles/pfdrl_forecast.dir/svr.cpp.o"
+  "CMakeFiles/pfdrl_forecast.dir/svr.cpp.o.d"
+  "libpfdrl_forecast.a"
+  "libpfdrl_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfdrl_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfdrl_net.dir/bus.cpp.o"
+  "CMakeFiles/pfdrl_net.dir/bus.cpp.o.d"
+  "CMakeFiles/pfdrl_net.dir/message.cpp.o"
+  "CMakeFiles/pfdrl_net.dir/message.cpp.o.d"
+  "CMakeFiles/pfdrl_net.dir/topology.cpp.o"
+  "CMakeFiles/pfdrl_net.dir/topology.cpp.o.d"
+  "libpfdrl_net.a"
+  "libpfdrl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfdrl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

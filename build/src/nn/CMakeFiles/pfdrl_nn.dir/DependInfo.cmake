@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/pfdrl_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/pfdrl_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/pfdrl_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/pfdrl_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/gru.cpp" "src/nn/CMakeFiles/pfdrl_nn.dir/gru.cpp.o" "gcc" "src/nn/CMakeFiles/pfdrl_nn.dir/gru.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/pfdrl_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/pfdrl_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/pfdrl_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/pfdrl_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/pfdrl_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/pfdrl_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/pfdrl_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/pfdrl_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/pfdrl_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/pfdrl_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/pfdrl_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/pfdrl_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/pfdrl_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/pfdrl_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pfdrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

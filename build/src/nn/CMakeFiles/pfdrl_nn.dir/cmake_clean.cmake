@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfdrl_nn.dir/activation.cpp.o"
+  "CMakeFiles/pfdrl_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/pfdrl_nn.dir/dense.cpp.o"
+  "CMakeFiles/pfdrl_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/pfdrl_nn.dir/gru.cpp.o"
+  "CMakeFiles/pfdrl_nn.dir/gru.cpp.o.d"
+  "CMakeFiles/pfdrl_nn.dir/init.cpp.o"
+  "CMakeFiles/pfdrl_nn.dir/init.cpp.o.d"
+  "CMakeFiles/pfdrl_nn.dir/loss.cpp.o"
+  "CMakeFiles/pfdrl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/pfdrl_nn.dir/lstm.cpp.o"
+  "CMakeFiles/pfdrl_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/pfdrl_nn.dir/matrix.cpp.o"
+  "CMakeFiles/pfdrl_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/pfdrl_nn.dir/mlp.cpp.o"
+  "CMakeFiles/pfdrl_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/pfdrl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/pfdrl_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/pfdrl_nn.dir/serialize.cpp.o"
+  "CMakeFiles/pfdrl_nn.dir/serialize.cpp.o.d"
+  "libpfdrl_nn.a"
+  "libpfdrl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfdrl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/dqn.cpp" "src/rl/CMakeFiles/pfdrl_rl.dir/dqn.cpp.o" "gcc" "src/rl/CMakeFiles/pfdrl_rl.dir/dqn.cpp.o.d"
+  "/root/repo/src/rl/replay.cpp" "src/rl/CMakeFiles/pfdrl_rl.dir/replay.cpp.o" "gcc" "src/rl/CMakeFiles/pfdrl_rl.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pfdrl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfdrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

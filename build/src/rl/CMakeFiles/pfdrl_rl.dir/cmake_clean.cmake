@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfdrl_rl.dir/dqn.cpp.o"
+  "CMakeFiles/pfdrl_rl.dir/dqn.cpp.o.d"
+  "CMakeFiles/pfdrl_rl.dir/replay.cpp.o"
+  "CMakeFiles/pfdrl_rl.dir/replay.cpp.o.d"
+  "libpfdrl_rl.a"
+  "libpfdrl_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfdrl_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

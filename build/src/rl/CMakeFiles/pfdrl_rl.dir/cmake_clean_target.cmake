@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpfdrl_rl.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfdrl_sim.dir/experiment.cpp.o"
+  "CMakeFiles/pfdrl_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/pfdrl_sim.dir/scenario.cpp.o"
+  "CMakeFiles/pfdrl_sim.dir/scenario.cpp.o.d"
+  "libpfdrl_sim.a"
+  "libpfdrl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfdrl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

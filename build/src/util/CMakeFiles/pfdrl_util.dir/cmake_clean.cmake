@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfdrl_util.dir/csv.cpp.o"
+  "CMakeFiles/pfdrl_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pfdrl_util.dir/log.cpp.o"
+  "CMakeFiles/pfdrl_util.dir/log.cpp.o.d"
+  "CMakeFiles/pfdrl_util.dir/rng.cpp.o"
+  "CMakeFiles/pfdrl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pfdrl_util.dir/stats.cpp.o"
+  "CMakeFiles/pfdrl_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pfdrl_util.dir/table.cpp.o"
+  "CMakeFiles/pfdrl_util.dir/table.cpp.o.d"
+  "CMakeFiles/pfdrl_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/pfdrl_util.dir/thread_pool.cpp.o.d"
+  "libpfdrl_util.a"
+  "libpfdrl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfdrl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

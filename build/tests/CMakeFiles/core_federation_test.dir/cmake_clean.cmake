@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_federation_test.dir/core_federation_test.cpp.o"
+  "CMakeFiles/core_federation_test.dir/core_federation_test.cpp.o.d"
+  "core_federation_test"
+  "core_federation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_federation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_method_split_test.dir/core_method_split_test.cpp.o"
+  "CMakeFiles/core_method_split_test.dir/core_method_split_test.cpp.o.d"
+  "core_method_split_test"
+  "core_method_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_method_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pipeline_test.dir/core_pipeline_test.cpp.o"
+  "CMakeFiles/core_pipeline_test.dir/core_pipeline_test.cpp.o.d"
+  "core_pipeline_test"
+  "core_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_device_test.dir/data_device_test.cpp.o"
+  "CMakeFiles/data_device_test.dir/data_device_test.cpp.o.d"
+  "data_device_test"
+  "data_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

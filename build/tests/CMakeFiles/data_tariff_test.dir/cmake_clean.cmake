@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_tariff_test.dir/data_tariff_test.cpp.o"
+  "CMakeFiles/data_tariff_test.dir/data_tariff_test.cpp.o.d"
+  "data_tariff_test"
+  "data_tariff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_tariff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

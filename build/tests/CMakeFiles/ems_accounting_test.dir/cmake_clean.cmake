@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ems_accounting_test.dir/ems_accounting_test.cpp.o"
+  "CMakeFiles/ems_accounting_test.dir/ems_accounting_test.cpp.o.d"
+  "ems_accounting_test"
+  "ems_accounting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ems_accounting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ems_env_test.dir/ems_env_test.cpp.o"
+  "CMakeFiles/ems_env_test.dir/ems_env_test.cpp.o.d"
+  "ems_env_test"
+  "ems_env_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ems_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ems_mode_reward_test.dir/ems_mode_reward_test.cpp.o"
+  "CMakeFiles/ems_mode_reward_test.dir/ems_mode_reward_test.cpp.o.d"
+  "ems_mode_reward_test"
+  "ems_mode_reward_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ems_mode_reward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ems_policies_test.dir/ems_policies_test.cpp.o"
+  "CMakeFiles/ems_policies_test.dir/ems_policies_test.cpp.o.d"
+  "ems_policies_test"
+  "ems_policies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ems_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_aggregate_test.dir/fl_aggregate_test.cpp.o"
+  "CMakeFiles/fl_aggregate_test.dir/fl_aggregate_test.cpp.o.d"
+  "fl_aggregate_test"
+  "fl_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_secure_agg_test.dir/fl_secure_agg_test.cpp.o"
+  "CMakeFiles/fl_secure_agg_test.dir/fl_secure_agg_test.cpp.o.d"
+  "fl_secure_agg_test"
+  "fl_secure_agg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_secure_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

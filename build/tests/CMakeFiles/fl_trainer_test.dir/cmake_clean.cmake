@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_trainer_test.dir/fl_trainer_test.cpp.o"
+  "CMakeFiles/fl_trainer_test.dir/fl_trainer_test.cpp.o.d"
+  "fl_trainer_test"
+  "fl_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_selection_test.dir/forecast_selection_test.cpp.o"
+  "CMakeFiles/forecast_selection_test.dir/forecast_selection_test.cpp.o.d"
+  "forecast_selection_test"
+  "forecast_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forecast_test.dir/forecast_test.cpp.o"
+  "CMakeFiles/forecast_test.dir/forecast_test.cpp.o.d"
+  "forecast_test"
+  "forecast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forecast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_bus_test.dir/net_bus_test.cpp.o"
+  "CMakeFiles/net_bus_test.dir/net_bus_test.cpp.o.d"
+  "net_bus_test"
+  "net_bus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_lossy_test.dir/net_lossy_test.cpp.o"
+  "CMakeFiles/net_lossy_test.dir/net_lossy_test.cpp.o.d"
+  "net_lossy_test"
+  "net_lossy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_lossy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

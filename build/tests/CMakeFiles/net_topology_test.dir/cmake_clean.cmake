@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_topology_test.dir/net_topology_test.cpp.o"
+  "CMakeFiles/net_topology_test.dir/net_topology_test.cpp.o.d"
+  "net_topology_test"
+  "net_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_activation_loss_test.dir/nn_activation_loss_test.cpp.o"
+  "CMakeFiles/nn_activation_loss_test.dir/nn_activation_loss_test.cpp.o.d"
+  "nn_activation_loss_test"
+  "nn_activation_loss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_activation_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

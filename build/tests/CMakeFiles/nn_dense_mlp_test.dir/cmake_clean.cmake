@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_dense_mlp_test.dir/nn_dense_mlp_test.cpp.o"
+  "CMakeFiles/nn_dense_mlp_test.dir/nn_dense_mlp_test.cpp.o.d"
+  "nn_dense_mlp_test"
+  "nn_dense_mlp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_dense_mlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_gru_test.dir/nn_gru_test.cpp.o"
+  "CMakeFiles/nn_gru_test.dir/nn_gru_test.cpp.o.d"
+  "nn_gru_test"
+  "nn_gru_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_gru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

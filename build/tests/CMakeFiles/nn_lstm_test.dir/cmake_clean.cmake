@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_lstm_test.dir/nn_lstm_test.cpp.o"
+  "CMakeFiles/nn_lstm_test.dir/nn_lstm_test.cpp.o.d"
+  "nn_lstm_test"
+  "nn_lstm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_lstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

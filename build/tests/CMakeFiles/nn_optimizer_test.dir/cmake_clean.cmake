@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_optimizer_test.dir/nn_optimizer_test.cpp.o"
+  "CMakeFiles/nn_optimizer_test.dir/nn_optimizer_test.cpp.o.d"
+  "nn_optimizer_test"
+  "nn_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_dqn_test.dir/rl_dqn_test.cpp.o"
+  "CMakeFiles/rl_dqn_test.dir/rl_dqn_test.cpp.o.d"
+  "rl_dqn_test"
+  "rl_dqn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_dqn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

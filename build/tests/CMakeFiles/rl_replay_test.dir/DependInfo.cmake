@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rl_replay_test.cpp" "tests/CMakeFiles/rl_replay_test.dir/rl_replay_test.cpp.o" "gcc" "tests/CMakeFiles/rl_replay_test.dir/rl_replay_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pfdrl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pfdrl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/pfdrl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/pfdrl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ems/CMakeFiles/pfdrl_ems.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/pfdrl_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pfdrl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pfdrl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pfdrl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfdrl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

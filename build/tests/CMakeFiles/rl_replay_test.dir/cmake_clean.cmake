@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_replay_test.dir/rl_replay_test.cpp.o"
+  "CMakeFiles/rl_replay_test.dir/rl_replay_test.cpp.o.d"
+  "rl_replay_test"
+  "rl_replay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

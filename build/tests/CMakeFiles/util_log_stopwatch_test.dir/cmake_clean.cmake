@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_log_stopwatch_test.dir/util_log_stopwatch_test.cpp.o"
+  "CMakeFiles/util_log_stopwatch_test.dir/util_log_stopwatch_test.cpp.o.d"
+  "util_log_stopwatch_test"
+  "util_log_stopwatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_log_stopwatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
