@@ -8,12 +8,15 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/experiment.hpp"
 #include "sim/scenario.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pfdrl::bench {
 
@@ -35,6 +38,23 @@ inline void print_figure_header(const std::string& figure,
                                 const std::string& paper_claim) {
   std::printf("=== %s ===\n", figure.c_str());
   std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+/// Metrics sidecar hook: when PFDRL_METRICS_DIR is set, fold the runtime
+/// pool counters into the global registry and write everything the run
+/// recorded to `<dir>/<bench_name>.metrics.json`. Call at the end of
+/// main() — a no-op without the env var, so benches stay silent by
+/// default.
+inline void dump_metrics(const std::string& bench_name) {
+  const char* dir = std::getenv("PFDRL_METRICS_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  auto& reg = obs::MetricsRegistry::global();
+  obs::record_thread_pool_stats(reg, "pool",
+                                util::ThreadPool::global().stats());
+  const std::string path =
+      std::string(dir) + "/" + bench_name + ".metrics.json";
+  reg.write_json(path);
+  std::printf("\nmetrics written to %s\n", path.c_str());
 }
 
 }  // namespace pfdrl::bench

@@ -40,5 +40,6 @@ int main() {
                                     1)});
   }
   table.print();
+  bench::dump_metrics("fig04_gamma_sweep");
   return 0;
 }

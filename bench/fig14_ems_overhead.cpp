@@ -52,5 +52,6 @@ int main() {
          util::fmt_double(train_s + transfer_s, 2)});
   }
   table.print();
+  bench::dump_metrics("fig14_ems_overhead");
   return 0;
 }

@@ -15,11 +15,15 @@
 //   --seed N            scenario + pipeline seed     (default 42)
 //   --paper-scale       full 8x100 DQN + LSTM forecasters
 //   --secure            pairwise-masked (secure) DFL aggregation
+//   --drop P            link drop probability in [0,1) (default 0)
+//   --metrics-out PATH  write a JSON metrics dump of the whole run
+//                       (.csv suffix switches to the CSV exporter)
 #include <cstdio>
 #include <optional>
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "sim/experiment.hpp"
 #include "sim/scenario.hpp"
 #include "util/table.hpp"
@@ -55,6 +59,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   bool paper_scale = false;
   bool secure = false;
+  double drop = 0.0;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -82,12 +88,20 @@ int main(int argc, char** argv) {
       paper_scale = true;
     } else if (arg == "--secure") {
       secure = true;
+    } else if (arg == "--drop") {
+      drop = std::stod(next());
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else {
       usage_error(("unknown flag " + arg).c_str());
     }
   }
   if (days < 4) usage_error("--days must be at least 4");
   if (homes < 1) usage_error("--homes must be at least 1");
+  if (drop < 0.0 || drop >= 1.0) usage_error("--drop must be in [0,1)");
+  if (secure && drop > 0.0) {
+    usage_error("--secure needs a reliable link (no --drop)");
+  }
 
   sim::ScenarioConfig sc;
   sc.neighborhood.num_households = homes;
@@ -102,6 +116,7 @@ int main(int argc, char** argv) {
   cfg.beta_hours = beta;
   cfg.gamma_hours = gamma;
   cfg.secure_aggregation = secure;
+  cfg.link.drop_probability = drop;
 
   std::printf(
       "method=%s homes=%u days=%zu alpha=%zu beta=%.1fh gamma=%.1fh "
@@ -145,5 +160,24 @@ int main(int argc, char** argv) {
   std::printf("traffic: forecast %.1f MiB, DRL %.1f MiB\n",
               static_cast<double>(fc.bytes_on_wire) / (1024.0 * 1024.0),
               static_cast<double>(drl.bytes_on_wire) / (1024.0 * 1024.0));
+
+  if (!metrics_out.empty()) {
+    pipeline.sync_runtime_metrics();
+    const auto& reg = pipeline.metrics();
+    try {
+      if (metrics_out.size() > 4 &&
+          metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0) {
+        reg.write_csv(metrics_out);
+      } else {
+        reg.write_json(metrics_out);
+      }
+    } catch (const std::exception& e) {
+      // The run itself succeeded — report the export failure cleanly
+      // instead of aborting and losing the printed results.
+      std::fprintf(stderr, "pfdrl_cli: %s\n", e.what());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
   return 0;
 }

@@ -4,17 +4,25 @@
 
 #include "core/layer_split.hpp"
 #include "fl/aggregate.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfdrl::core {
 
 DrlFederation::DrlFederation(std::size_t num_homes, std::size_t share_layers,
-                             net::TopologyKind topology)
+                             net::TopologyKind topology, net::LinkModel link,
+                             obs::MetricsRegistry* metrics)
     : share_layers_(share_layers),
-      bus_(net::Topology(topology, std::max<std::size_t>(1, num_homes))) {}
+      bus_(net::Topology(topology, std::max<std::size_t>(1, num_homes)),
+           link),
+      metrics_(metrics) {}
 
 void DrlFederation::round(std::vector<FederatedDevice>& devices,
                           std::uint64_t round_id) {
   if (bus_.num_agents() < 2) return;
+  std::uint64_t relayed = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t params_averaged = 0;
 
   const net::MessageKind kind = net::MessageKind::kDrlBaseParams;
 
@@ -42,6 +50,7 @@ void DrlFederation::round(std::vector<FederatedDevice>& devices,
       for (std::size_t h = 1; h < bus_.num_agents(); ++h) {
         if (static_cast<net::AgentId>(h) == m.sender) continue;
         bus_.send(static_cast<net::AgentId>(h), m);
+        ++relayed;
       }
       bus_.send(0, std::move(m));
     }
@@ -68,8 +77,12 @@ void DrlFederation::round(std::vector<FederatedDevice>& devices,
     contributions.push_back(own.subspan(0, prefix));
     for (const auto& m : inboxes[dev.home]) {
       if (m.device_type != dev.device_type) continue;
-      if (m.payload.size() != prefix) continue;  // shape guard
+      if (m.payload.size() != prefix) {  // shape guard
+        ++rejected;
+        continue;
+      }
       contributions.push_back(m.payload);
+      ++accepted;
     }
     if (contributions.size() < 2) continue;  // no homologous peers
 
@@ -79,6 +92,20 @@ void DrlFederation::round(std::vector<FederatedDevice>& devices,
     fl::fedavg(contributions, averaged);
     std::copy(averaged.begin(), averaged.end(), net.parameters().begin());
     dev.agent->notify_external_parameter_update();
+    params_averaged += averaged.size();
+    if (metrics_ != nullptr) {
+      metrics_->histogram("drl.agg_group_size", obs::Histogram::count_buckets())
+          .observe(static_cast<double>(contributions.size()));
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("drl.rounds").add(1);
+    metrics_->counter("drl.messages_relayed").add(relayed);
+    metrics_->counter("drl.contributions_accepted").add(accepted);
+    metrics_->counter("drl.contributions_rejected").add(rejected);
+    metrics_->counter("drl.params_averaged").add(params_averaged);
+    obs::record_bus_stats(*metrics_, "bus.drl", bus_.stats());
   }
 }
 

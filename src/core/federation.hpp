@@ -14,6 +14,10 @@
 #include "net/bus.hpp"
 #include "rl/dqn.hpp"
 
+namespace pfdrl::obs {
+class MetricsRegistry;
+}
+
 namespace pfdrl::core {
 
 struct FederatedDevice {
@@ -28,9 +32,12 @@ class DrlFederation {
  public:
   /// `share_layers` = number of dense layers broadcast (the paper's α);
   /// pass the network's full layer count for FRL. `num_homes` sizes the
-  /// bus.
+  /// bus. `link` models the plan-exchange network (lossy links shrink
+  /// aggregation groups; the shape guard keeps averaging well-formed).
+  /// `metrics` (optional) receives per-round drl.* instruments.
   DrlFederation(std::size_t num_homes, std::size_t share_layers,
-                net::TopologyKind topology);
+                net::TopologyKind topology, net::LinkModel link = {},
+                obs::MetricsRegistry* metrics = nullptr);
 
   /// One federation round over all registered devices: broadcast each
   /// agent's shared slice, then average per device type at each home
@@ -45,6 +52,7 @@ class DrlFederation {
  private:
   std::size_t share_layers_;
   net::MessageBus bus_;
+  obs::MetricsRegistry* metrics_;
 };
 
 }  // namespace pfdrl::core

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pfdrl::core {
@@ -52,6 +53,8 @@ EmsPipeline::EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
         cfg_.secure_aggregation &&
         dc.aggregation != fl::AggregationMode::kNone;
     dc.seed = cfg_.seed;
+    dc.link = cfg_.link;
+    dc.metrics = &metrics();
     dfl_.emplace(traces_, dc);
   }
 
@@ -98,11 +101,16 @@ EmsPipeline::EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
     const auto topology = cfg_.method == EmsMethod::kFrl
                               ? net::TopologyKind::kStar
                               : net::TopologyKind::kFullMesh;
-    federation_.emplace(traces_.size(), share, topology);
+    // The DRL plan exchange rides the same (possibly lossy) link model as
+    // the forecast path; the per-type shape guard keeps averaging
+    // well-formed when contributions go missing.
+    federation_.emplace(traces_.size(), share, topology, cfg_.link,
+                        &metrics());
   }
 }
 
 void EmsPipeline::train_forecasters(std::size_t begin, std::size_t end) {
+  obs::SpanTimer span(metrics().histogram("forecast.train_seconds"));
   if (cloud_) {
     cloud_->run(begin, end);
   } else {
@@ -140,6 +148,13 @@ std::vector<double> EmsPipeline::forecast_series(std::size_t home,
 }
 
 void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
+  obs::MetricsRegistry& reg = metrics();
+  obs::SpanTimer round_span(reg.histogram("ems.round_seconds"),
+                            &reg.series("ems.round_seconds_series"));
+  obs::Counter& env_steps = reg.counter("ems.env_steps");
+  obs::Counter& replay_pushes = reg.counter("ems.replay_pushes");
+  obs::Counter& learn_calls = reg.counter("ems.learn_calls");
+
   struct Job {
     std::size_t home, dev;
   };
@@ -150,24 +165,55 @@ void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
     }
   }
 
+  // One decision step per meter interval: the agent commits a mode when a
+  // fresh reading arrives, holds it until the next report, and banks the
+  // reward integrated over the held interval.
+  const std::size_t stride =
+      std::max<std::size_t>(1, cfg_.meter_interval_minutes);
+
   util::ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t j) {
     const auto [h, d] = jobs[j];
     rl::DqnAgent& agent = *agents_[h][d];
     ems::EmsEnvironment env(traces_[h].devices[d],
                             forecast_series(h, d, begin, end), begin,
                             cfg_.meter_interval_minutes);
+    std::uint64_t steps = 0;
+    std::uint64_t learns = 0;
     std::vector<double> state = env.state_at(0);
-    for (std::size_t i = 0; i < env.length(); ++i) {
+    for (std::size_t t = 0; t < env.length(); t += stride) {
+      const std::size_t t_next = std::min(t + stride, env.length());
       const int action = agent.act(state);
-      const double r = env.reward_at(i, action);
-      std::vector<double> next_state =
-          i + 1 < env.length() ? env.state_at(i + 1) : state;
-      const bool terminal = i + 1 >= env.length();
+      double r = 0.0;
+      for (std::size_t m = t; m < t_next; ++m) r += env.reward_at(m, action);
+      const bool terminal = t_next >= env.length();
+      std::vector<double> next_state = terminal ? state : env.state_at(t_next);
       agent.remember({state, action, r, next_state, terminal});
-      if ((begin + i) % cfg_.learn_every_minutes == 0) agent.learn();
+      // `t` is a minute offset but advances one meter interval per step:
+      // learn whenever the step's interval [t, t+stride) crosses a
+      // multiple of the learn period, so the average learn cadence is one
+      // step per learn_every_minutes of simulated time regardless of the
+      // meter interval (and unaliased against `begin`).
+      if ((begin + t) % cfg_.learn_every_minutes < stride) {
+        agent.learn();
+        ++learns;
+      }
       state = std::move(next_state);
+      ++steps;
     }
+    env_steps.add(steps);
+    replay_pushes.add(steps);
+    learn_calls.add(learns);
   });
+
+  // Mean exploration rate across agents after this round — the epsilon
+  // trajectory is the quickest convergence sanity check in a dump.
+  if (!jobs.empty()) {
+    double eps_sum = 0.0;
+    for (const auto& [h, d] : jobs) eps_sum += agents_[h][d]->epsilon();
+    const double eps = eps_sum / static_cast<double>(jobs.size());
+    reg.gauge("ems.epsilon").set(eps);
+    reg.series("ems.epsilon_series").append(eps);
+  }
 
   if (federation_) {
     std::vector<FederatedDevice> devices;
@@ -183,6 +229,7 @@ void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
     federation_->round(devices, ems_rounds_done_);
   }
   ++ems_rounds_done_;
+  reg.counter("ems.rounds").add(1);
 }
 
 void EmsPipeline::train_ems(std::size_t begin, std::size_t end) {
@@ -245,6 +292,19 @@ net::BusStats EmsPipeline::forecast_comm_stats() const {
 
 net::BusStats EmsPipeline::drl_comm_stats() const {
   return federation_ ? federation_->comm_stats() : net::BusStats{};
+}
+
+obs::MetricsRegistry& EmsPipeline::metrics() const noexcept {
+  return cfg_.metrics != nullptr ? *cfg_.metrics
+                                 : obs::MetricsRegistry::global();
+}
+
+void EmsPipeline::sync_runtime_metrics() const {
+  obs::MetricsRegistry& reg = metrics();
+  obs::record_bus_stats(reg, "bus.forecast", forecast_comm_stats());
+  obs::record_bus_stats(reg, "bus.drl", drl_comm_stats());
+  obs::record_thread_pool_stats(reg, "pool",
+                                util::ThreadPool::global().stats());
 }
 
 const rl::DqnAgent& EmsPipeline::agent(std::size_t home,

@@ -27,6 +27,10 @@
 #include "fl/dfl.hpp"
 #include "rl/dqn.hpp"
 
+namespace pfdrl::obs {
+class MetricsRegistry;
+}
+
 namespace pfdrl::core {
 
 struct PipelineConfig {
@@ -47,10 +51,24 @@ struct PipelineConfig {
   double gamma_hours = 12.0;
   /// α: number of base (shared) DQN layers for PFDRL.
   std::size_t alpha = 6;
-  /// Run a DQN learn step every this many simulated minutes.
+  /// Run a DQN learn step every this many simulated minutes. The EMS
+  /// decision loop advances one meter interval per step, so the gate is
+  /// interval-aware: a learn step fires in every step whose interval
+  /// contains a multiple of this period.
   std::size_t learn_every_minutes = 4;
-  /// Meter reporting period fed to the EMS environment (minutes).
+  /// Meter reporting period fed to the EMS environment (minutes). Also
+  /// the EMS decision cadence: agents act when a new reading arrives
+  /// (between reports the observable state barely moves), and the
+  /// transition reward integrates the held action over the interval.
   std::size_t meter_interval_minutes = ems::EmsEnvironment::kDefaultMeterInterval;
+
+  /// Simulated link model shared by the forecast (DFL) and the DRL plan
+  /// exchange buses. Lossy links shrink aggregation groups on both paths.
+  net::LinkModel link{};
+
+  /// Metrics sink for the ems.* / dfl.* / drl.* / bus.* instruments;
+  /// nullptr means the process-global obs::MetricsRegistry.
+  obs::MetricsRegistry* metrics = nullptr;
 
   std::uint64_t seed = 123;
 };
@@ -90,6 +108,15 @@ class EmsPipeline {
   /// Communication accounting.
   [[nodiscard]] net::BusStats forecast_comm_stats() const;
   [[nodiscard]] net::BusStats drl_comm_stats() const;
+
+  /// The metrics sink this pipeline records into (config override or the
+  /// process-global registry).
+  [[nodiscard]] obs::MetricsRegistry& metrics() const noexcept;
+  /// Fold externally accumulated runtime stats (both buses, the global
+  /// thread pool) into the registry; call before exporting so the dump
+  /// carries bus drop/byte counters and pool counters even for methods
+  /// that never touched a bus.
+  void sync_runtime_metrics() const;
 
   /// DQN agent of (home, device) — exposed for tests and examples.
   [[nodiscard]] const rl::DqnAgent& agent(std::size_t home,

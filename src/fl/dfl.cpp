@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <optional>
 #include <stdexcept>
 
 #include "fl/aggregate.hpp"
 #include "forecast/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -77,6 +79,11 @@ std::size_t DflTrainer::run(std::size_t train_begin, std::size_t train_end) {
 }
 
 void DflTrainer::round(std::size_t begin, std::size_t end) {
+  std::optional<obs::SpanTimer> round_span;
+  if (cfg_.metrics != nullptr) {
+    round_span.emplace(cfg_.metrics->histogram("dfl.round_seconds"),
+                       &cfg_.metrics->series("dfl.round_seconds_series"));
+  }
   // Local training step: every (agent, device) pair trains on the newly
   // recorded minutes. The pairs are independent, so fan out on the pool.
   struct Job {
@@ -118,6 +125,11 @@ void DflTrainer::round(std::size_t begin, std::size_t end) {
     broadcast_and_aggregate(rounds_done_);
   }
   ++rounds_done_;
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("dfl.rounds").add(1);
+    cfg_.metrics->counter("dfl.devices_trained").add(jobs.size());
+    obs::record_bus_stats(*cfg_.metrics, "bus.forecast", bus_.stats());
+  }
 }
 
 void DflTrainer::broadcast_and_aggregate(std::uint64_t round_id) {
@@ -185,6 +197,8 @@ void DflTrainer::broadcast_and_aggregate(std::uint64_t round_id) {
   // Phase 2: each agent drains its inbox and averages per device type.
   // Aggregation runs in fixed agent order with contributions sorted by
   // sender id — deterministic regardless of delivery interleaving.
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
   for (std::size_t h = 0; h < agents_.size(); ++h) {
     auto inbox = bus_.drain(static_cast<net::AgentId>(h));
     std::sort(inbox.begin(), inbox.end(),
@@ -202,14 +216,27 @@ void DflTrainer::broadcast_and_aggregate(std::uint64_t round_id) {
       contributions.push_back(payloads[h][d]);
       for (const auto& m : inbox) {
         if (m.device_type != type) continue;
-        if (m.payload.size() != own.size()) continue;  // shape guard
+        if (m.payload.size() != own.size()) {  // shape guard
+          ++rejected;
+          continue;
+        }
         contributions.push_back(m.payload);
+        ++accepted;
       }
       if (contributions.size() < 2) continue;  // nobody else has this type
       std::vector<double> averaged(own.size(), 0.0);
       fedavg(contributions, averaged);
       model.set_parameters(averaged);
+      if (cfg_.metrics != nullptr) {
+        cfg_.metrics
+            ->histogram("dfl.agg_group_size", obs::Histogram::count_buckets())
+            .observe(static_cast<double>(contributions.size()));
+      }
     }
+  }
+  if (cfg_.metrics != nullptr) {
+    cfg_.metrics->counter("dfl.contributions_accepted").add(accepted);
+    cfg_.metrics->counter("dfl.contributions_rejected").add(rejected);
   }
 }
 

@@ -27,6 +27,10 @@
 #include "forecast/forecaster.hpp"
 #include "net/bus.hpp"
 
+namespace pfdrl::obs {
+class MetricsRegistry;
+}
+
 namespace pfdrl::fl {
 
 enum class AggregationMode : std::uint8_t {
@@ -58,6 +62,9 @@ struct DflConfig {
   /// it through (secure_aggregation requires a reliable link — masks only
   /// cancel under full participation).
   net::LinkModel link{};
+  /// Metrics sink for the dfl.* / bus.forecast.* instruments; nullptr
+  /// disables recording.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One agent's per-device model set.

@@ -1,0 +1,392 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace pfdrl::obs {
+
+namespace {
+
+void atomic_update_min(std::atomic<double>& slot, double value) noexcept {
+  double seen = slot.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_update_max(std::atomic<double>& slot, double value) noexcept {
+  double seen = slot.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& slot, double delta) noexcept {
+  double seen = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(seen, seen + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+/// JSON number formatting: finite doubles round-trip via %.17g; the
+/// sentinel infinities from an empty histogram serialize as null.
+void append_json_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string csv_double(double v) {
+  if (!std::isfinite(v)) return "nan";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Gauge::update_max(double value) noexcept {
+  atomic_update_max(value_, value);
+}
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)),
+      counts_(bounds_.size()),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: no buckets");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds not sorted");
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  if (it == bounds_.end()) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counts_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_update_min(min_, value);
+  atomic_update_max(max_, value);
+}
+
+double Histogram::min() const noexcept {
+  return min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const auto n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::time_buckets() {
+  std::vector<double> b;
+  double v = 1e-6;
+  for (int i = 0; i < 28; ++i) {  // 1 µs .. ~134 s
+    b.push_back(v);
+    v *= 2.0;
+  }
+  return b;
+}
+
+std::vector<double> Histogram::count_buckets() {
+  std::vector<double> b;
+  double v = 1.0;
+  for (int i = 0; i < 16; ++i) {  // 1 .. 32768
+    b.push_back(v);
+    v *= 2.0;
+  }
+  return b;
+}
+
+void Series::append(double value) {
+  std::lock_guard lock(mutex_);
+  values_.push_back(value);
+}
+
+std::vector<double> Series::values() const {
+  std::lock_guard lock(mutex_);
+  return values_;
+}
+
+std::size_t Series::size() const {
+  std::lock_guard lock(mutex_);
+  return values_.size();
+}
+
+void Series::reset() {
+  std::lock_guard lock(mutex_);
+  values_.clear();
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name) {
+  // Callers hold mutex_.
+  return entries_[std::string(name)];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  Entry& e = entry(name);
+  if (!e.counter) {
+    if (e.gauge || e.histogram || e.series) {
+      throw std::logic_error("metrics: '" + std::string(name) +
+                             "' already registered as another kind");
+    }
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  Entry& e = entry(name);
+  if (!e.gauge) {
+    if (e.counter || e.histogram || e.series) {
+      throw std::logic_error("metrics: '" + std::string(name) +
+                             "' already registered as another kind");
+    }
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bucket_bounds) {
+  std::lock_guard lock(mutex_);
+  Entry& e = entry(name);
+  if (!e.histogram) {
+    if (e.counter || e.gauge || e.series) {
+      throw std::logic_error("metrics: '" + std::string(name) +
+                             "' already registered as another kind");
+    }
+    if (bucket_bounds.empty()) bucket_bounds = Histogram::time_buckets();
+    e.histogram = std::make_unique<Histogram>(std::move(bucket_bounds));
+  }
+  return *e.histogram;
+}
+
+Series& MetricsRegistry::series(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  Entry& e = entry(name);
+  if (!e.series) {
+    if (e.counter || e.gauge || e.histogram) {
+      throw std::logic_error("metrics: '" + std::string(name) +
+                             "' already registered as another kind");
+    }
+    e.series = std::make_unique<Series>();
+  }
+  return *e.series;
+}
+
+bool MetricsRegistry::contains(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  return entries_.find(name) != entries_.end();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+    if (e.series) e.series->reset();
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\n";
+
+  const auto emit_section = [&](const char* kind, auto&& has,
+                                auto&& emit_value, bool last) {
+    out += "  ";
+    append_json_string(out, kind);
+    out += ": {";
+    bool first = true;
+    for (const auto& [name, e] : entries_) {
+      if (!has(e)) continue;
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      append_json_string(out, name);
+      out += ": ";
+      emit_value(e);
+    }
+    out += first ? "}" : "\n  }";
+    out += last ? "\n" : ",\n";
+  };
+
+  emit_section(
+      "counters", [](const Entry& e) { return e.counter != nullptr; },
+      [&](const Entry& e) { out += std::to_string(e.counter->value()); },
+      false);
+  emit_section(
+      "gauges", [](const Entry& e) { return e.gauge != nullptr; },
+      [&](const Entry& e) { append_json_double(out, e.gauge->value()); },
+      false);
+  emit_section(
+      "histograms", [](const Entry& e) { return e.histogram != nullptr; },
+      [&](const Entry& e) {
+        const Histogram& h = *e.histogram;
+        out += "{\"count\": " + std::to_string(h.count());
+        out += ", \"sum\": ";
+        append_json_double(out, h.sum());
+        out += ", \"min\": ";
+        append_json_double(out, h.min());
+        out += ", \"max\": ";
+        append_json_double(out, h.max());
+        out += ", \"buckets\": [";
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          if (i > 0) out += ", ";
+          out += "{\"le\": ";
+          append_json_double(out, h.bounds()[i]);
+          out += ", \"count\": " + std::to_string(h.bucket_count(i)) + "}";
+        }
+        out += "], \"overflow\": " + std::to_string(h.overflow_count()) + "}";
+      },
+      false);
+  emit_section(
+      "series", [](const Entry& e) { return e.series != nullptr; },
+      [&](const Entry& e) {
+        out += "[";
+        const auto values = e.series->values();
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          if (i > 0) out += ", ";
+          append_json_double(out, values[i]);
+        }
+        out += "]";
+      },
+      true);
+
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "kind,name,field,value\n";
+  for (const auto& [name, e] : entries_) {
+    if (e.counter) {
+      out += "counter," + name + ",value," +
+             std::to_string(e.counter->value()) + "\n";
+    } else if (e.gauge) {
+      out += "gauge," + name + ",value," + csv_double(e.gauge->value()) + "\n";
+    } else if (e.histogram) {
+      const Histogram& h = *e.histogram;
+      out += "histogram," + name + ",count," + std::to_string(h.count()) + "\n";
+      out += "histogram," + name + ",sum," + csv_double(h.sum()) + "\n";
+      out += "histogram," + name + ",min," + csv_double(h.min()) + "\n";
+      out += "histogram," + name + ",max," + csv_double(h.max()) + "\n";
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        out += "histogram," + name + ",le=" + csv_double(h.bounds()[i]) + "," +
+               std::to_string(h.bucket_count(i)) + "\n";
+      }
+      out += "histogram," + name + ",overflow," +
+             std::to_string(h.overflow_count()) + "\n";
+    } else if (e.series) {
+      const auto values = e.series->values();
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        out += "series," + name + "," + std::to_string(i) + "," +
+               csv_double(values[i]) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("metrics: cannot write " + path);
+  out << to_json();
+}
+
+void MetricsRegistry::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("metrics: cannot write " + path);
+  out << to_csv();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+double SpanTimer::stop() {
+  if (sink_ == nullptr) return 0.0;
+  const double elapsed = watch_.elapsed_seconds();
+  sink_->observe(elapsed);
+  if (trajectory_ != nullptr) trajectory_->append(elapsed);
+  sink_ = nullptr;
+  trajectory_ = nullptr;
+  return elapsed;
+}
+
+void record_bus_stats(MetricsRegistry& registry, std::string_view prefix,
+                      const net::BusStats& stats) {
+  const std::string p(prefix);
+  registry.counter(p + ".messages_sent").set(stats.messages_sent);
+  registry.counter(p + ".messages_delivered").set(stats.messages_delivered);
+  registry.counter(p + ".messages_dropped").set(stats.messages_dropped);
+  registry.counter(p + ".bytes_on_wire").set(stats.bytes_on_wire);
+  registry.gauge(p + ".simulated_transfer_seconds")
+      .set(stats.simulated_transfer_seconds);
+}
+
+void record_thread_pool_stats(MetricsRegistry& registry,
+                              std::string_view prefix,
+                              const util::ThreadPoolStats& stats) {
+  const std::string p(prefix);
+  registry.counter(p + ".tasks_executed").set(stats.tasks_executed);
+  registry.counter(p + ".tasks_stolen").set(stats.tasks_stolen);
+  registry.gauge(p + ".max_queue_depth")
+      .set(static_cast<double>(stats.max_queue_depth));
+}
+
+}  // namespace pfdrl::obs

@@ -33,6 +33,9 @@ std::vector<const Transition*> ReplayBuffer::sample(std::size_t batch,
 void ReplayBuffer::clear() noexcept {
   next_ = 0;
   size_ = 0;
+  // A cleared buffer restarts its telemetry too: leaving the cumulative
+  // counter running would double-count pushes across clears.
+  total_pushed_ = 0;
 }
 
 }  // namespace pfdrl::rl

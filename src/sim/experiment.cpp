@@ -19,10 +19,12 @@ core::PipelineConfig paper_pipeline(core::EmsMethod method,
   cfg.dqn.discount = 0.9;
   cfg.dqn.replay_capacity = 2000;
   cfg.dqn.target_replace_every = 100;
-  // Exploration stretched over ~3 simulated days: the paper's Fig. 9
+  // Exploration stretched over ~4 simulated days: the paper's Fig. 9
   // convergence plays out over tens of days, and the speed advantage of
-  // sharing EMS plans only shows while agents are still learning.
-  cfg.dqn.epsilon_decay_steps = 6000;
+  // sharing EMS plans only shows while agents are still learning. The
+  // EMS loop takes one decision per meter interval (default 5 min), so
+  // 1200 act steps ≈ 6000 simulated minutes.
+  cfg.dqn.epsilon_decay_steps = 1200;
   cfg.learn_every_minutes = 45;
   cfg.seed = seed;
   return cfg;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
 
 namespace pfdrl::util {
 
@@ -37,7 +38,13 @@ void ThreadPool::push_task(std::function<void()> task) {
     std::lock_guard lock(queues_[idx]->mutex);
     queues_[idx]->tasks.push_back(std::move(task));
   }
-  pending_.fetch_add(1, std::memory_order_release);
+  const std::size_t depth = pending_.fetch_add(1, std::memory_order_release) + 1;
+  // Racy-but-monotonic high-water mark; exactness is not worth a lock on
+  // the submit path.
+  std::uint64_t seen = max_queue_depth_.load(std::memory_order_relaxed);
+  while (seen < depth && !max_queue_depth_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
   // Notify under the wake mutex: a worker that just found all queues
   // empty holds this mutex until it blocks, so the notification cannot
   // land in the window between its predicate check and its wait.
@@ -66,6 +73,7 @@ bool ThreadPool::try_pop_or_steal(std::size_t self,
     if (!q.tasks.empty()) {
       out = std::move(q.tasks.front());
       q.tasks.pop_front();
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -79,6 +87,7 @@ void ThreadPool::worker_loop(std::size_t index) {
       task();
       task = nullptr;
       pending_.fetch_sub(1, std::memory_order_release);
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     std::unique_lock lock(wake_mutex_);
@@ -133,6 +142,10 @@ void ThreadPool::parallel_for_chunked(
     std::condition_variable done_cv;
     std::function<void(std::size_t, std::size_t)> body;
     std::size_t begin = 0, base = 0, rem = 0, num_chunks = 0;
+    // First exception thrown by any chunk body; later chunks are skipped
+    // (but still counted) and the caller rethrows after the barrier.
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // written once, guarded by done_mutex
   };
   auto state = std::make_shared<SweepState>();
   state->body = body;
@@ -149,7 +162,16 @@ void ThreadPool::parallel_for_chunked(
       // First `rem` chunks get one extra element: deterministic layout.
       const std::size_t lo = st->begin + c * st->base + std::min(c, st->rem);
       const std::size_t hi = lo + st->base + (c < st->rem ? 1 : 0);
-      st->body(lo, hi);
+      if (!st->failed.load(std::memory_order_acquire)) {
+        try {
+          st->body(lo, hi);
+        } catch (...) {
+          std::lock_guard lock(st->done_mutex);
+          if (!st->failed.exchange(true, std::memory_order_acq_rel)) {
+            st->error = std::current_exception();
+          }
+        }
+      }
       if (st->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           st->num_chunks) {
         std::lock_guard lock(st->done_mutex);
@@ -170,11 +192,22 @@ void ThreadPool::parallel_for_chunked(
   state->done_cv.wait(lock, [&] {
     return state->done.load(std::memory_order_acquire) == state->num_chunks;
   });
+  if (state->failed.load(std::memory_order_acquire)) {
+    std::rethrow_exception(state->error);
+  }
 }
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPoolStats ThreadPool::stats() const noexcept {
+  ThreadPoolStats s;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace pfdrl::util

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -21,6 +22,17 @@
 #include <vector>
 
 namespace pfdrl::util {
+
+/// Cumulative pool counters (monotonic over the pool's lifetime).
+struct ThreadPoolStats {
+  /// Tasks popped and executed by workers (caller-run parallel_for
+  /// chunks are not pool tasks and don't count here).
+  std::uint64_t tasks_executed = 0;
+  /// Tasks taken from another worker's queue.
+  std::uint64_t tasks_stolen = 0;
+  /// High-water mark of tasks queued but not yet started.
+  std::uint64_t max_queue_depth = 0;
+};
 
 class ThreadPool {
  public:
@@ -48,6 +60,9 @@ class ThreadPool {
   /// The static chunking is deterministic in (range, grain); the calling
   /// thread participates, so the pool never deadlocks when parallel_for
   /// is invoked from a worker.
+  /// If any body invocation throws, the first exception (in completion
+  /// order) is rethrown on the calling thread after all chunks have
+  /// settled; remaining chunks are skipped.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body,
                     std::size_t grain = 1);
@@ -63,6 +78,9 @@ class ThreadPool {
   /// before exit). Library code that does not care about pool identity
   /// should use this to avoid oversubscription.
   static ThreadPool& global();
+
+  /// Snapshot of the cumulative pool counters.
+  [[nodiscard]] ThreadPoolStats stats() const noexcept;
 
  private:
   struct WorkerQueue {
@@ -81,6 +99,9 @@ class ThreadPool {
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
 };
 
 }  // namespace pfdrl::util

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/layer_split.hpp"
+#include "obs/metrics.hpp"
 
 namespace pfdrl::core {
 namespace {
@@ -148,6 +149,47 @@ TEST(Federation, ThreePeersAverageTogether) {
     ASSERT_NEAR(a.network().parameters()[i], expected[i], 1e-12);
     ASSERT_NEAR(c.network().parameters()[i], expected[i], 1e-12);
   }
+}
+
+TEST(Federation, LossyLinkDegradesGracefully) {
+  // A black-hole link means no peer contributions arrive: averaging must
+  // silently no-op (every group is just the local slice) rather than
+  // corrupting parameters or throwing.
+  rl::DqnAgent a(tiny_dqn(1, 100));
+  rl::DqnAgent b(tiny_dqn(1, 200));
+  jiggle(a, 11);
+  jiggle(b, 12);
+  const std::vector<double> a_before(a.network().parameters().begin(),
+                                     a.network().parameters().end());
+  net::LinkModel link;
+  link.drop_probability = 1.0;
+  DrlFederation fed(2, 2, net::TopologyKind::kFullMesh, link);
+  std::vector<FederatedDevice> devices = {{0, 7, &a}, {1, 7, &b}};
+  fed.round(devices, 0);
+  const auto pa = a.network().parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) ASSERT_EQ(pa[i], a_before[i]);
+  EXPECT_EQ(fed.comm_stats().messages_delivered, 0u);
+  EXPECT_GT(fed.comm_stats().messages_dropped, 0u);
+}
+
+TEST(Federation, RoundRecordsMetrics) {
+  rl::DqnAgent a(tiny_dqn(1, 100));
+  rl::DqnAgent b(tiny_dqn(1, 200));
+  jiggle(a, 13);
+  jiggle(b, 14);
+  obs::MetricsRegistry reg;
+  DrlFederation fed(2, 2, net::TopologyKind::kFullMesh, net::LinkModel{},
+                    &reg);
+  std::vector<FederatedDevice> devices = {{0, 7, &a}, {1, 7, &b}};
+  fed.round(devices, 0);
+  EXPECT_EQ(reg.counter("drl.rounds").value(), 1u);
+  EXPECT_EQ(reg.counter("drl.contributions_accepted").value(), 2u);
+  EXPECT_EQ(reg.counter("drl.contributions_rejected").value(), 0u);
+  const std::size_t prefix = base_prefix_params(a.network(), 2);
+  EXPECT_EQ(reg.counter("drl.params_averaged").value(), 2u * prefix);
+  // Both averaging groups had size 2 (own slice + one peer).
+  EXPECT_EQ(reg.histogram("drl.agg_group_size").count(), 2u);
+  EXPECT_EQ(reg.counter("bus.drl.messages_sent").value(), 2u);
 }
 
 TEST(Federation, RoundIsIdempotentOnEqualAgents) {

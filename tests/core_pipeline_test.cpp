@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
 #include "sim/experiment.hpp"
 #include "sim/scenario.hpp"
 
@@ -156,6 +157,59 @@ TEST(Pipeline, SecureAggregationMatchesPlainForecasts) {
   secure.train_forecasters(0, day);
   EXPECT_NEAR(plain.forecast_accuracy(day, 2 * day),
               secure.forecast_accuracy(day, 2 * day), 1e-6);
+}
+
+TEST(Pipeline, LearnCadenceAndAccountingFollowMeterInterval) {
+  // Regression for the learn-cadence/round-accounting bug. The EMS loop
+  // advances one meter interval per decision step; with a 15-minute meter
+  // a 240-minute γ round is 16 steps, not 240. The old per-minute loop
+  // pushed 240 transitions per device per round, and a naive
+  // `(begin + t) % learn_every == 0` gate over strided minute offsets
+  // aliases against the stride: with learn_every = 40 it only fires when
+  // t is a multiple of lcm(40, 15) = 120 — 2 learns per round instead of
+  // the 6 a 40-minute cadence promises. The interval-aware gate
+  // `(begin + t) % learn_every < stride` fires exactly 240/40 = 6 times.
+  const auto scenario = tiny();
+  auto cfg = tiny_pipeline(EmsMethod::kLocal);
+  cfg.meter_interval_minutes = 15;
+  cfg.learn_every_minutes = 40;
+  cfg.gamma_hours = 4.0;  // 240-minute rounds
+  obs::MetricsRegistry reg;  // private sink: keep the assertions exact
+  cfg.metrics = &reg;
+
+  std::size_t actionable = 0;
+  for (const auto& home : scenario.traces) {
+    for (const auto& dev : home.devices) {
+      if (!dev.spec.protected_device) ++actionable;
+    }
+  }
+  ASSERT_GT(actionable, 0u);
+
+  const std::size_t day = data::kMinutesPerDay;
+  EmsPipeline pipeline(scenario.traces, cfg);
+  pipeline.train_forecasters(0, day);
+  pipeline.train_ems(day, day + 240);  // exactly one γ round
+
+  EXPECT_EQ(reg.counter("ems.rounds").value(), 1u);
+  EXPECT_EQ(reg.counter("ems.env_steps").value(), actionable * 16);
+  EXPECT_EQ(reg.counter("ems.replay_pushes").value(), actionable * 16);
+  EXPECT_EQ(reg.counter("ems.learn_calls").value(), actionable * 6);
+  for (std::size_t h = 0; h < scenario.traces.size(); ++h) {
+    for (std::size_t d = 0; d < scenario.traces[h].devices.size(); ++d) {
+      if (scenario.traces[h].devices[d].spec.protected_device) continue;
+      EXPECT_EQ(pipeline.agent(h, d).replay().total_pushed(), 16u);
+    }
+  }
+
+  // A second round doubles every per-round count — no drift, no aliasing
+  // against the new begin offset (1680 % 40 = 0 still, but 1680 % 15 = 0
+  // keeps the stride phase identical).
+  pipeline.train_ems(day + 240, day + 480);
+  EXPECT_EQ(reg.counter("ems.rounds").value(), 2u);
+  EXPECT_EQ(reg.counter("ems.env_steps").value(), actionable * 32);
+  EXPECT_EQ(reg.counter("ems.learn_calls").value(), actionable * 12);
+  EXPECT_EQ(reg.series("ems.epsilon_series").size(), 2u);
+  EXPECT_EQ(reg.histogram("ems.round_seconds").count(), 2u);
 }
 
 TEST(Pipeline, DeterministicAcrossRuns) {

@@ -3,8 +3,11 @@
 // arrives) — while secure aggregation correctly refuses lossy links.
 #include <gtest/gtest.h>
 
+#include "core/pipeline.hpp"
 #include "fl/dfl.hpp"
 #include "net/bus.hpp"
+#include "obs/metrics.hpp"
+#include "sim/experiment.hpp"
 #include "sim/scenario.hpp"
 
 namespace pfdrl {
@@ -70,6 +73,45 @@ TEST(LossyDfl, DegradesGracefully) {
       trainer.mean_test_accuracy(data::kMinutesPerDay, traces[0].minutes());
   EXPECT_GT(acc, 0.2);  // still learns from partial aggregates
   EXPECT_GT(trainer.comm_stats().messages_dropped, 0u);
+}
+
+TEST(LossyDrl, PipelinePlumbsLinkModelIntoDrlFederation) {
+  // Regression: PipelineConfig::link used to stop at the forecast bus —
+  // the DRL plan exchange always rode a perfect link, so drops never
+  // showed up in drl_comm_stats(). Now both buses share the model.
+  // Dense homes (8 of the 10 device types each) guarantee homologous
+  // peers, so contributions flow whenever the link lets them through.
+  sim::ScenarioConfig sc;
+  sc.neighborhood.num_households = 3;
+  sc.neighborhood.min_devices = 8;
+  sc.neighborhood.max_devices = 8;
+  sc.trace.days = 2;
+  const auto traces = sim::Scenario::generate(sc).traces;
+  auto cfg = sim::fast_pipeline(core::EmsMethod::kPfdrl, 42);
+  cfg.forecast_method = forecast::Method::kLr;
+  cfg.dqn.hidden = {12, 12};
+  cfg.gamma_hours = 2.0;  // several DRL rounds within one training day
+  cfg.link.drop_probability = 0.4;
+  obs::MetricsRegistry reg;
+  cfg.metrics = &reg;
+
+  core::EmsPipeline pipeline(traces, cfg);
+  const std::size_t day = data::kMinutesPerDay;
+  pipeline.train_forecasters(0, day);
+  pipeline.train_ems(day, 2 * day);
+
+  const auto drl = pipeline.drl_comm_stats();
+  EXPECT_GT(drl.messages_sent, 0u);
+  EXPECT_GT(drl.messages_dropped, 0u);
+  EXPECT_EQ(drl.messages_delivered + drl.messages_dropped,
+            drl.messages_sent * 2u);  // full mesh of 3: two receivers each
+
+  // The drops surface in the metrics export too.
+  pipeline.sync_runtime_metrics();
+  EXPECT_EQ(reg.counter("bus.drl.messages_dropped").value(),
+            drl.messages_dropped);
+  EXPECT_GT(reg.counter("drl.rounds").value(), 0u);
+  EXPECT_GT(reg.counter("drl.contributions_accepted").value(), 0u);
 }
 
 TEST(LossyDfl, SecureAggregationRefusesLossyLink) {

@@ -80,7 +80,12 @@ TEST(Replay, ClearResets) {
   buf.push(make_transition(0));
   buf.clear();
   EXPECT_TRUE(buf.empty());
-  EXPECT_EQ(buf.total_pushed(), 1u);  // lifetime counter survives clear
+  // clear() starts a fresh lifetime: a stale total_pushed() would
+  // double-count pushes when per-round accounting diffs the counter.
+  EXPECT_EQ(buf.total_pushed(), 0u);
+  buf.push(make_transition(1));
+  EXPECT_EQ(buf.total_pushed(), 1u);
+  EXPECT_EQ(buf.size(), 1u);
 }
 
 TEST(Replay, TotalPushedCounts) {

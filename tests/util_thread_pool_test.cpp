@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace pfdrl::util {
@@ -101,6 +105,62 @@ TEST(ThreadPool, ParallelSumMatchesSequential) {
   const long expected =
       static_cast<long>(std::accumulate(xs.begin(), xs.end(), 0.0));
   EXPECT_EQ(parallel_sum.load(), expected);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, PoolUsableAfterBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   0, 10, [](std::size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+  // The failed sweep must not wedge the pool or leak the sweep barrier.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 64, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 64);
+  auto fut = pool.submit([] { return 5; });
+  EXPECT_EQ(fut.get(), 5);
+}
+
+TEST(ThreadPool, FirstExceptionWinsEvenWhenManyThrow) {
+  ThreadPool pool(4);
+  // Every chunk throws; exactly one exception must surface (no terminate
+  // from a second in-flight exception) and it must be one of ours.
+  try {
+    pool.parallel_for(0, 1000,
+                      [](std::size_t i) {
+                        throw std::out_of_range("i=" + std::to_string(i));
+                      });
+    FAIL() << "parallel_for swallowed the exception";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("i="), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, StatsCountExecutedTasks) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) pool.submit([] {}).get();
+  pool.parallel_for(0, 256, [](std::size_t) {});
+  // Workers bump tasks_executed just *after* finishing a task, so a
+  // future's get() can outrun the counter by one — poll briefly.
+  ThreadPoolStats s{};
+  for (int spin = 0; spin < 2000; ++spin) {
+    s = pool.stats();
+    if (s.tasks_executed >= 8) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(s.tasks_executed, 8u);   // the 8 completed submits
+  EXPECT_GE(s.max_queue_depth, 1u);  // every push raises depth past 0
 }
 
 TEST(ThreadPool, GlobalPoolIsStable) {
