@@ -157,7 +157,10 @@ void ablation_split_direction(const sim::Scenario& scenario) {
           const auto p = net->parameters();
           slices.emplace_back(p.begin() + lo, p.begin() + hi);
         }
-        const auto avg = fl::fedavg(slices);
+        std::vector<std::span<const double>> views(slices.begin(),
+                                                   slices.end());
+        std::vector<double> avg(hi - lo, 0.0);
+        fl::fedavg_prefix(views, avg.size(), avg);
         for (std::size_t k = 0; k < nets.size(); ++k) {
           auto p = nets[k]->parameters();
           std::copy(avg.begin(), avg.end(), p.begin() + lo);

@@ -1,0 +1,62 @@
+#include "core/episode.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace pfdrl::core {
+
+EpisodeRunner::EpisodeRunner(const std::vector<data::HouseholdTrace>& traces,
+                             ForecastFn forecast,
+                             std::size_t meter_interval_minutes,
+                             obs::MetricsRegistry* metrics)
+    : traces_(traces),
+      forecast_(std::move(forecast)),
+      meter_interval_(meter_interval_minutes),
+      metrics_(metrics) {}
+
+ems::EmsEnvironment EpisodeRunner::environment(std::size_t home,
+                                               std::size_t dev,
+                                               std::size_t begin,
+                                               std::size_t end) const {
+  const Key key{home, dev, begin, end};
+  std::shared_ptr<const std::vector<double>> series;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) series = it->second;
+  }
+  if (series) {
+    if (metrics_ != nullptr) {
+      metrics_->counter("episode.forecast_cache_hits").add(1);
+    }
+  } else {
+    series = std::make_shared<const std::vector<double>>(
+        forecast_(home, dev, begin, end));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cache_.emplace(key, series);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("episode.forecast_cache_misses").add(1);
+    }
+  }
+  return ems::EmsEnvironment(traces_[home].devices[dev], *series, begin,
+                             meter_interval_);
+}
+
+std::vector<int> EpisodeRunner::greedy_actions(const rl::DqnAgent& agent,
+                                               const ems::EmsEnvironment& env) {
+  std::vector<int> actions(env.length());
+  for (std::size_t i = 0; i < env.length(); ++i) {
+    actions[i] = agent.act_greedy(env.state_at(i));
+  }
+  return actions;
+}
+
+void EpisodeRunner::invalidate_forecasts() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace pfdrl::core

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "core/layer_split.hpp"
-#include "fl/aggregate.hpp"
+#include "fl/exchange.hpp"
 #include "obs/metrics.hpp"
 
 namespace pfdrl::core {
@@ -19,92 +19,44 @@ DrlFederation::DrlFederation(std::size_t num_homes, std::size_t share_layers,
 void DrlFederation::round(std::vector<FederatedDevice>& devices,
                           std::uint64_t round_id) {
   if (bus_.num_agents() < 2) return;
-  std::uint64_t relayed = 0;
-  std::uint64_t accepted = 0;
-  std::uint64_t rejected = 0;
-  std::uint64_t params_averaged = 0;
 
-  const net::MessageKind kind = net::MessageKind::kDrlBaseParams;
-
-  // Phase 1: every device agent broadcasts its shared slice.
+  // One exchange item per registered device agent. `send` is the α-layer
+  // base prefix (Eq. 7's shared slice); `in_place` is the live parameter
+  // span, so the engine lands the grouped average directly in the network
+  // via fedavg_prefix and the untouched suffix stays Eq. 8's
+  // personalization layers.
+  std::vector<fl::ExchangeItem> items;
+  items.reserve(devices.size());
+  net::MessageKind kind = net::MessageKind::kDrlBaseParams;
   for (const auto& dev : devices) {
-    const nn::Mlp& net = dev.agent->network();
-    const std::size_t prefix = base_prefix_params(net, share_layers_);
-    net::Message msg;
-    msg.sender = dev.home;
-    msg.kind = share_layers_ >= net.num_layers()
-                   ? net::MessageKind::kDrlFullParams
-                   : kind;
-    msg.device_type = dev.device_type;
-    msg.round = round_id;
-    const auto params = net.parameters();
-    msg.payload.assign(params.begin(), params.begin() + prefix);
-    bus_.broadcast(msg);
-  }
-
-  // Star topology: the hub relays leaf messages to the other leaves
-  // (the "cloud aggregator" cost of the FRL baseline).
-  if (bus_.topology().kind() == net::TopologyKind::kStar) {
-    auto hub_msgs = bus_.drain(0);
-    for (auto& m : hub_msgs) {
-      for (std::size_t h = 1; h < bus_.num_agents(); ++h) {
-        if (static_cast<net::AgentId>(h) == m.sender) continue;
-        bus_.send(static_cast<net::AgentId>(h), m);
-        ++relayed;
-      }
-      bus_.send(0, std::move(m));
-    }
-  }
-
-  // Phase 2: each home drains its inbox and averages per device type.
-  // Contributions sorted by sender id for bit-reproducibility.
-  std::vector<std::vector<net::Message>> inboxes(bus_.num_agents());
-  for (std::size_t h = 0; h < bus_.num_agents(); ++h) {
-    inboxes[h] = bus_.drain(static_cast<net::AgentId>(h));
-    std::sort(inboxes[h].begin(), inboxes[h].end(),
-              [](const net::Message& a, const net::Message& b) {
-                if (a.sender != b.sender) return a.sender < b.sender;
-                return a.device_type < b.device_type;
-              });
-  }
-
-  for (auto& dev : devices) {
     nn::Mlp& net = dev.agent->network();
     const std::size_t prefix = base_prefix_params(net, share_layers_);
-    const auto own = net.parameters();
-
-    std::vector<std::span<const double>> contributions;
-    contributions.push_back(own.subspan(0, prefix));
-    for (const auto& m : inboxes[dev.home]) {
-      if (m.device_type != dev.device_type) continue;
-      if (m.payload.size() != prefix) {  // shape guard
-        ++rejected;
-        continue;
-      }
-      contributions.push_back(m.payload);
-      ++accepted;
+    if (share_layers_ >= net.num_layers()) {
+      kind = net::MessageKind::kDrlFullParams;  // FRL shares everything
     }
-    if (contributions.size() < 2) continue;  // no homologous peers
-
-    // Eq. 7 (uniform average of the base slice); the untouched suffix is
-    // Eq. 8's personalization layers.
-    std::vector<double> averaged(prefix, 0.0);
-    fl::fedavg(contributions, averaged);
-    std::copy(averaged.begin(), averaged.end(), net.parameters().begin());
-    dev.agent->notify_external_parameter_update();
-    params_averaged += averaged.size();
-    if (metrics_ != nullptr) {
-      metrics_->histogram("drl.agg_group_size", obs::Histogram::count_buckets())
-          .observe(static_cast<double>(contributions.size()));
-    }
+    const auto params = net.parameters();
+    items.push_back({.agent = dev.home,
+                     .device_type = dev.device_type,
+                     .send = params.subspan(0, prefix),
+                     .in_place = params});
   }
+
+  fl::ParamExchange::Options options;
+  options.kind = kind;
+  options.metrics = metrics_;
+  options.group_size_histogram = "drl.agg_group_size";
+  fl::ParamExchange exchange(bus_, options);
+  const fl::ExchangeStats stats = exchange.round(
+      items, round_id, [&](std::size_t i, std::span<const double>) {
+        devices[i].agent->notify_external_parameter_update();
+      });
 
   if (metrics_ != nullptr) {
     metrics_->counter("drl.rounds").add(1);
-    metrics_->counter("drl.messages_relayed").add(relayed);
-    metrics_->counter("drl.contributions_accepted").add(accepted);
-    metrics_->counter("drl.contributions_rejected").add(rejected);
-    metrics_->counter("drl.params_averaged").add(params_averaged);
+    metrics_->counter("drl.messages_relayed").add(stats.relayed);
+    metrics_->counter("drl.contributions_accepted").add(stats.accepted);
+    metrics_->counter("drl.contributions_rejected").add(stats.rejected);
+    metrics_->counter("drl.params_averaged").add(stats.params_averaged);
     obs::record_bus_stats(*metrics_, "bus.drl", bus_.stats());
   }
 }

@@ -30,7 +30,15 @@ fl::AggregationMode forecast_aggregation(EmsMethod m) noexcept {
 
 EmsPipeline::EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
                          PipelineConfig cfg)
-    : traces_(traces), cfg_(cfg) {
+    : traces_(traces),
+      cfg_(cfg),
+      runner_(
+          traces_,
+          [this](std::size_t home, std::size_t dev, std::size_t begin,
+                 std::size_t end) {
+            return forecast_series(home, dev, begin, end);
+          },
+          cfg_.meter_interval_minutes, &metrics()) {
   if (traces_.empty()) throw std::invalid_argument("EmsPipeline: no traces");
 
   // Forecasting backend.
@@ -116,6 +124,8 @@ void EmsPipeline::train_forecasters(std::size_t begin, std::size_t end) {
   } else {
     dfl_->run(begin, end);
   }
+  // Model parameters moved: every cached forecast series is stale.
+  runner_.invalidate_forecasts();
 }
 
 double EmsPipeline::forecast_accuracy(std::size_t begin,
@@ -174,9 +184,7 @@ void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
   util::ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t j) {
     const auto [h, d] = jobs[j];
     rl::DqnAgent& agent = *agents_[h][d];
-    ems::EmsEnvironment env(traces_[h].devices[d],
-                            forecast_series(h, d, begin, end), begin,
-                            cfg_.meter_interval_minutes);
+    const ems::EmsEnvironment env = runner_.environment(h, d, begin, end);
     std::uint64_t steps = 0;
     std::uint64_t learns = 0;
     std::vector<double> state = env.state_at(0);
@@ -243,24 +251,29 @@ void EmsPipeline::train_ems(std::size_t begin, std::size_t end) {
   }
 }
 
+void EmsPipeline::for_each_greedy_rollout(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, const ems::EmsEnvironment&,
+                             const std::vector<int>&)>& visit) const {
+  util::ThreadPool::global().parallel_for(0, traces_.size(), [&](std::size_t h) {
+    for (std::size_t d = 0; d < agents_[h].size(); ++d) {
+      if (!agents_[h][d]) continue;
+      const ems::EmsEnvironment env = runner_.environment(h, d, begin, end);
+      visit(h, env, EpisodeRunner::greedy_actions(*agents_[h][d], env));
+    }
+  });
+}
+
 std::vector<ems::EpisodeResult> EmsPipeline::evaluate(std::size_t begin,
                                                       std::size_t end) const {
   std::vector<ems::EpisodeResult> per_home(traces_.size());
-  util::ThreadPool::global().parallel_for(0, traces_.size(), [&](std::size_t h) {
-    ems::EpisodeResult merged;
-    for (std::size_t d = 0; d < agents_[h].size(); ++d) {
-      if (!agents_[h][d]) continue;
-      ems::EmsEnvironment env(traces_[h].devices[d],
-                              forecast_series(h, d, begin, end), begin,
-                              cfg_.meter_interval_minutes);
-      std::vector<int> actions(env.length());
-      for (std::size_t i = 0; i < env.length(); ++i) {
-        actions[i] = agents_[h][d]->act_greedy(env.state_at(i));
-      }
-      merged.merge(ems::score_actions(env, actions));
-    }
-    per_home[h] = merged;
-  });
+  // visit runs on the worker owning home h: per_home[h] has one writer.
+  for_each_greedy_rollout(
+      begin, end,
+      [&](std::size_t h, const ems::EmsEnvironment& env,
+          const std::vector<int>& actions) {
+        per_home[h].merge(ems::score_actions(env, actions));
+      });
   return per_home;
 }
 
@@ -268,21 +281,12 @@ std::vector<double> EmsPipeline::evaluate_savings_dollars(
     std::size_t begin, std::size_t end, const data::Tariff& tariff,
     std::size_t minute0_of_year) const {
   std::vector<double> per_home(traces_.size(), 0.0);
-  util::ThreadPool::global().parallel_for(0, traces_.size(), [&](std::size_t h) {
-    double dollars = 0.0;
-    for (std::size_t d = 0; d < agents_[h].size(); ++d) {
-      if (!agents_[h][d]) continue;
-      ems::EmsEnvironment env(traces_[h].devices[d],
-                              forecast_series(h, d, begin, end), begin,
-                              cfg_.meter_interval_minutes);
-      std::vector<int> actions(env.length());
-      for (std::size_t i = 0; i < env.length(); ++i) {
-        actions[i] = agents_[h][d]->act_greedy(env.state_at(i));
-      }
-      dollars += ems::saved_dollars(env, actions, tariff, minute0_of_year);
-    }
-    per_home[h] = dollars;
-  });
+  for_each_greedy_rollout(
+      begin, end,
+      [&](std::size_t h, const ems::EmsEnvironment& env,
+          const std::vector<int>& actions) {
+        per_home[h] += ems::saved_dollars(env, actions, tariff, minute0_of_year);
+      });
   return per_home;
 }
 

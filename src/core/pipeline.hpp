@@ -13,10 +13,12 @@
 // mirroring the synchronous broadcast in Algorithms 1/2.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/episode.hpp"
 #include "core/federation.hpp"
 #include "core/method.hpp"
 #include "data/tariff.hpp"
@@ -124,11 +126,21 @@ class EmsPipeline {
 
  private:
   /// Forecast series (watts) for trace minutes [begin, end) of one
-  /// device, from whichever backend the method uses.
+  /// device, from whichever backend the method uses. Raw (uncached)
+  /// backend call — episode code goes through runner_ instead.
   [[nodiscard]] std::vector<double> forecast_series(std::size_t home,
                                                     std::size_t dev,
                                                     std::size_t begin,
                                                     std::size_t end) const;
+
+  /// The shared evaluation rollout: for every actionable (home, device),
+  /// build the cached environment over [begin, end), run the greedy
+  /// policy and hand (home, env, actions) to `visit`. Homes fan out on
+  /// the pool; `visit` runs on the worker owning that home.
+  void for_each_greedy_rollout(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t home, const ems::EmsEnvironment& env,
+                               const std::vector<int>& actions)>& visit) const;
 
   void ems_round(std::size_t begin, std::size_t end);
 
@@ -140,6 +152,8 @@ class EmsPipeline {
 
   std::vector<std::vector<std::unique_ptr<rl::DqnAgent>>> agents_;
   std::optional<DrlFederation> federation_;  // FRL / PFDRL
+  /// Declared after cfg_ (its ForecastFn and metrics sink read it).
+  EpisodeRunner runner_;
   std::uint64_t ems_rounds_done_ = 0;
 };
 

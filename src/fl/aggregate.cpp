@@ -68,12 +68,4 @@ void fedavg_prefix(std::span<const std::span<const double>> inputs,
   }
 }
 
-std::vector<double> fedavg(const std::vector<std::vector<double>>& inputs) {
-  if (inputs.empty()) throw std::invalid_argument("fedavg: no inputs");
-  std::vector<std::span<const double>> views(inputs.begin(), inputs.end());
-  std::vector<double> out(inputs.front().size(), 0.0);
-  fedavg(views, out);
-  return out;
-}
-
 }  // namespace pfdrl::fl

@@ -6,8 +6,8 @@
 // results are bit-reproducible regardless of delivery interleaving.
 #pragma once
 
+#include <cstddef>
 #include <span>
-#include <vector>
 
 namespace pfdrl::fl {
 
@@ -26,8 +26,5 @@ void fedavg_weighted(std::span<const std::span<const double>> inputs,
 /// layers stay local, Eq. 8).
 void fedavg_prefix(std::span<const std::span<const double>> inputs,
                    std::size_t prefix_len, std::span<double> out);
-
-/// Convenience owning overloads.
-std::vector<double> fedavg(const std::vector<std::vector<double>>& inputs);
 
 }  // namespace pfdrl::fl

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <optional>
 #include <stdexcept>
 
-#include "fl/aggregate.hpp"
+#include "fl/exchange.hpp"
 #include "forecast/metrics.hpp"
 #include "obs/metrics.hpp"
 #include "util/stats.hpp"
@@ -133,110 +132,42 @@ void DflTrainer::round(std::size_t begin, std::size_t end) {
 }
 
 void DflTrainer::broadcast_and_aggregate(std::uint64_t round_id) {
-  // Aggregation groups: the sorted agent list per device type. Needed
-  // both for secure masking (masks cancel exactly within a full group)
-  // and to know whether a device has any homologous peers at all.
-  std::map<std::uint32_t, std::vector<net::AgentId>> groups;
+  // One exchange item per (home, device); the engine owns the whole
+  // broadcast → relay → drain → sort → shape-guard → average round
+  // (Alg. 1's aggregation step). Forecasters expose no mutable flat
+  // span, so the averaged result arrives through the commit callback.
+  struct Slot {
+    std::size_t home, dev;
+  };
+  std::vector<Slot> slots;
+  std::vector<ExchangeItem> items;
   for (std::size_t h = 0; h < agents_.size(); ++h) {
-    for (std::size_t d = 0; d < traces_[h].devices.size(); ++d) {
+    for (std::size_t d = 0; d < agents_[h].devices.size(); ++d) {
       const auto type =
           static_cast<std::uint32_t>(traces_[h].devices[d].spec.type);
-      auto& members = groups[type];
-      if (members.empty() || members.back() != static_cast<net::AgentId>(h)) {
-        members.push_back(static_cast<net::AgentId>(h));
-      }
+      slots.push_back({h, d});
+      items.push_back({.agent = static_cast<net::AgentId>(h),
+                       .device_type = type,
+                       .send = agents_[h].devices[d]->parameters(),
+                       .in_place = {}});
     }
   }
 
   const SecureAggregator aggregator(cfg_.secure);
-  // Masked (or plain) payload per (home, device), reused for both the
-  // broadcast and the sender's own contribution to its local average —
-  // pairwise masks only cancel if every group member contributes the
-  // masked form.
-  std::vector<std::vector<std::vector<double>>> payloads(agents_.size());
+  ParamExchange::Options options;
+  options.kind = net::MessageKind::kForecastParams;
+  options.secure = cfg_.secure_aggregation ? &aggregator : nullptr;
+  options.metrics = cfg_.metrics;
+  options.group_size_histogram = "dfl.agg_group_size";
+  ParamExchange exchange(bus_, options);
+  const ExchangeStats stats = exchange.round(
+      items, round_id, [&](std::size_t i, std::span<const double> averaged) {
+        agents_[slots[i].home].devices[slots[i].dev]->set_parameters(averaged);
+      });
 
-  // Phase 1: every agent broadcasts each device model. With the star
-  // topology the hub (agent 0) additionally relays, doubling the wire
-  // cost — the "cloud" tax the paper's DFL removes.
-  for (std::size_t h = 0; h < agents_.size(); ++h) {
-    payloads[h].resize(agents_[h].devices.size());
-    for (std::size_t d = 0; d < agents_[h].devices.size(); ++d) {
-      const auto type =
-          static_cast<std::uint32_t>(traces_[h].devices[d].spec.type);
-      const auto params = agents_[h].devices[d]->parameters();
-      if (cfg_.secure_aggregation && groups[type].size() > 1) {
-        payloads[h][d] = aggregator.mask(static_cast<net::AgentId>(h),
-                                         round_id, groups[type], params);
-      } else {
-        payloads[h][d].assign(params.begin(), params.end());
-      }
-      net::Message msg;
-      msg.sender = static_cast<net::AgentId>(h);
-      msg.kind = net::MessageKind::kForecastParams;
-      msg.device_type = type;
-      msg.round = round_id;
-      msg.payload = payloads[h][d];
-      bus_.broadcast(msg);
-    }
-  }
-
-  if (cfg_.aggregation == AggregationMode::kCentralized) {
-    // Hub relays every leaf message to every other leaf so each agent
-    // ends up with the same information as in the decentralized case.
-    auto hub_msgs = bus_.drain(0);
-    for (auto& m : hub_msgs) {
-      for (std::size_t h = 1; h < agents_.size(); ++h) {
-        if (static_cast<net::AgentId>(h) == m.sender) continue;
-        bus_.send(static_cast<net::AgentId>(h), m);
-      }
-      // The hub keeps a copy for its own aggregation.
-      bus_.send(0, std::move(m));
-    }
-  }
-
-  // Phase 2: each agent drains its inbox and averages per device type.
-  // Aggregation runs in fixed agent order with contributions sorted by
-  // sender id — deterministic regardless of delivery interleaving.
-  std::uint64_t accepted = 0;
-  std::uint64_t rejected = 0;
-  for (std::size_t h = 0; h < agents_.size(); ++h) {
-    auto inbox = bus_.drain(static_cast<net::AgentId>(h));
-    std::sort(inbox.begin(), inbox.end(),
-              [](const net::Message& a, const net::Message& b) {
-                if (a.sender != b.sender) return a.sender < b.sender;
-                return a.device_type < b.device_type;
-              });
-    for (std::size_t d = 0; d < agents_[h].devices.size(); ++d) {
-      const auto type =
-          static_cast<std::uint32_t>(traces_[h].devices[d].spec.type);
-      auto& model = *agents_[h].devices[d];
-      const auto own = model.parameters();
-
-      std::vector<std::span<const double>> contributions;
-      contributions.push_back(payloads[h][d]);
-      for (const auto& m : inbox) {
-        if (m.device_type != type) continue;
-        if (m.payload.size() != own.size()) {  // shape guard
-          ++rejected;
-          continue;
-        }
-        contributions.push_back(m.payload);
-        ++accepted;
-      }
-      if (contributions.size() < 2) continue;  // nobody else has this type
-      std::vector<double> averaged(own.size(), 0.0);
-      fedavg(contributions, averaged);
-      model.set_parameters(averaged);
-      if (cfg_.metrics != nullptr) {
-        cfg_.metrics
-            ->histogram("dfl.agg_group_size", obs::Histogram::count_buckets())
-            .observe(static_cast<double>(contributions.size()));
-      }
-    }
-  }
   if (cfg_.metrics != nullptr) {
-    cfg_.metrics->counter("dfl.contributions_accepted").add(accepted);
-    cfg_.metrics->counter("dfl.contributions_rejected").add(rejected);
+    cfg_.metrics->counter("dfl.contributions_accepted").add(stats.accepted);
+    cfg_.metrics->counter("dfl.contributions_rejected").add(stats.rejected);
   }
 }
 

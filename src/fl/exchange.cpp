@@ -1,0 +1,144 @@
+#include "fl/exchange.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "fl/aggregate.hpp"
+#include "obs/metrics.hpp"
+
+namespace pfdrl::fl {
+
+ParamExchange::ParamExchange(net::MessageBus& bus, Options options)
+    : bus_(bus), options_(std::move(options)) {}
+
+ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
+                                   std::uint64_t round_id,
+                                   const CommitFn& commit) {
+  ExchangeStats stats;
+  const std::uint64_t allocations_before = net::Payload::allocations();
+
+  // Aggregation groups: the sorted agent list per device type. Needed
+  // both for secure masking (masks cancel exactly within a full group)
+  // and to know whether a device has any homologous peers at all.
+  std::map<std::uint32_t, std::vector<net::AgentId>> groups;
+  for (const auto& item : items) groups[item.device_type].push_back(item.agent);
+  for (auto& [type, members] : groups) {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+  }
+
+  // Phase 1: every item broadcasts its shared slice as one refcounted
+  // payload; the bus fans out handles, not copies. The (possibly masked)
+  // payload doubles as the sender's own contribution in phase 2 —
+  // pairwise masks only cancel if every group member contributes the
+  // masked form.
+  std::vector<net::Payload> sent(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    const auto& group = groups[item.device_type];
+    if (options_.secure != nullptr && group.size() > 1) {
+      sent[i] = options_.secure->mask(item.agent, round_id, group, item.send);
+    } else {
+      sent[i] = std::vector<double>(item.send.begin(), item.send.end());
+    }
+    net::Message msg;
+    msg.sender = item.agent;
+    msg.kind = options_.kind;
+    msg.device_type = item.device_type;
+    msg.round = round_id;
+    msg.payload = sent[i];
+    bus_.broadcast(msg);
+  }
+
+  // Star topology: the hub relays leaf messages to the other leaves and
+  // keeps a copy for its own aggregation — the "cloud aggregator" tax of
+  // the centralized baselines. Relayed messages share the same payload
+  // buffer as the original.
+  if (bus_.topology().kind() == net::TopologyKind::kStar) {
+    auto hub_msgs = bus_.drain(0);
+    for (auto& m : hub_msgs) {
+      for (std::size_t h = 1; h < bus_.num_agents(); ++h) {
+        if (static_cast<net::AgentId>(h) == m.sender) continue;
+        bus_.send(static_cast<net::AgentId>(h), m);
+        ++stats.relayed;
+      }
+      bus_.send(0, std::move(m));
+    }
+  }
+
+  // Phase 2: drain every inbox and sort by (sender, device_type) so
+  // averaging order never depends on delivery interleaving.
+  std::vector<std::vector<net::Message>> inboxes(bus_.num_agents());
+  for (std::size_t h = 0; h < bus_.num_agents(); ++h) {
+    inboxes[h] = bus_.drain(static_cast<net::AgentId>(h));
+    std::sort(inboxes[h].begin(), inboxes[h].end(),
+              [](const net::Message& a, const net::Message& b) {
+                if (a.sender != b.sender) return a.sender < b.sender;
+                return a.device_type < b.device_type;
+              });
+  }
+
+  obs::Histogram* group_hist = nullptr;
+  obs::Histogram* caller_hist = nullptr;
+  if (options_.metrics != nullptr) {
+    group_hist = &options_.metrics->histogram("exchange.group_size",
+                                              obs::Histogram::count_buckets());
+    if (!options_.group_size_histogram.empty()) {
+      caller_hist = &options_.metrics->histogram(
+          options_.group_size_histogram, obs::Histogram::count_buckets());
+    }
+  }
+
+  std::vector<double> scratch;
+  std::vector<std::span<const double>> contributions;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    const std::size_t shared_len = item.send.size();
+    contributions.clear();
+    contributions.push_back(sent[i]);
+    for (const auto& m : inboxes[item.agent]) {
+      if (m.device_type != item.device_type) continue;
+      if (m.payload.size() != shared_len) {  // shape guard
+        ++stats.rejected;
+        continue;
+      }
+      contributions.push_back(m.payload);
+      ++stats.accepted;
+    }
+    if (contributions.size() < options_.min_group) continue;  // no peers
+
+    std::span<const double> averaged;
+    if (!item.in_place.empty()) {
+      // Eq. 7 in place: the shared prefix of the live parameter span is
+      // overwritten; the suffix (Eq. 8's personalization layers) is never
+      // touched.
+      fedavg_prefix(contributions, shared_len, item.in_place);
+      averaged = std::span<const double>(item.in_place).subspan(0, shared_len);
+    } else {
+      scratch.assign(shared_len, 0.0);
+      fedavg(contributions, scratch);
+      averaged = scratch;
+    }
+    ++stats.items_averaged;
+    stats.params_averaged += shared_len;
+    if (group_hist != nullptr) {
+      group_hist->observe(static_cast<double>(contributions.size()));
+    }
+    if (caller_hist != nullptr) {
+      caller_hist->observe(static_cast<double>(contributions.size()));
+    }
+    if (commit) commit(i, averaged);
+  }
+
+  stats.payload_allocations = net::Payload::allocations() - allocations_before;
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("exchange.rounds").add(1);
+    options_.metrics->counter("exchange.items").add(items.size());
+    options_.metrics->counter("exchange.payload_copies")
+        .add(stats.payload_allocations);
+    options_.metrics->counter("exchange.relays").add(stats.relayed);
+  }
+  return stats;
+}
+
+}  // namespace pfdrl::fl

@@ -1,0 +1,117 @@
+// The federated exchange round, as one reusable engine.
+//
+// Both of the paper's federation loops — DFL forecast averaging every β
+// hours (Alg. 1) and DRL base-layer averaging every γ hours (Eq. 7) —
+// are the same communication pattern: every agent broadcasts a flat
+// parameter slice along the topology, a star hub optionally relays leaf
+// messages (the "cloud tax" of the centralized baselines), every agent
+// drains its inbox in deterministic (sender, device_type) order, guards
+// contribution shapes, and averages per device-type group. ParamExchange
+// owns that whole round; DflTrainer and DrlFederation are thin
+// configurations of it (gossip-averaging systems — DSGD, FedAvg — treat
+// the exchange round as a primitive, and so do we).
+//
+// Zero-copy: outgoing slices become one net::Payload allocation each; the
+// bus fans out refcounted handles, so a full-mesh broadcast is O(1)
+// payload allocations regardless of receiver count. The engine reports
+// the per-round allocation count as `exchange.payload_copies`.
+//
+// Determinism: inboxes are sorted by (sender, device_type) before
+// averaging and items are processed in caller order, so results are
+// bit-reproducible regardless of delivery interleaving — the property
+// the fixed-seed golden test pins down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fl/secure_agg.hpp"
+#include "net/bus.hpp"
+
+namespace pfdrl::obs {
+class MetricsRegistry;
+}
+
+namespace pfdrl::fl {
+
+/// One (agent, device) participant in an exchange round.
+struct ExchangeItem {
+  /// Residence / agent id on the bus.
+  net::AgentId agent = 0;
+  /// Device type — the aggregation group key (homologous models only).
+  std::uint32_t device_type = 0;
+  /// The shared slice this item broadcasts and averages over (for PFDRL
+  /// this is the α-layer base prefix; for DFL the full parameter vector).
+  std::span<const double> send;
+  /// Optional in-place destination covering at least send.size() values
+  /// (typically the network's flat parameter span). When non-empty the
+  /// grouped average is written via fedavg_prefix — Eq. 7 lands directly
+  /// in the live parameters and the untouched suffix is Eq. 8's
+  /// personalization layers. When empty the engine averages into scratch
+  /// and hands the result to the commit callback instead.
+  std::span<double> in_place;
+};
+
+/// What one round did (callers fold these into their own dfl.* / drl.*
+/// metric namespaces; the engine also records exchange.* instruments).
+struct ExchangeStats {
+  /// Peer contributions merged after the shape guard.
+  std::uint64_t accepted = 0;
+  /// Contributions rejected by the shape guard.
+  std::uint64_t rejected = 0;
+  /// Hub relays performed (star topology only).
+  std::uint64_t relayed = 0;
+  /// Items whose group reached min_group and were averaged.
+  std::uint64_t items_averaged = 0;
+  /// Parameters overwritten by averaging, summed over items.
+  std::uint64_t params_averaged = 0;
+  /// Payload buffer allocations during the round (zero-copy accounting:
+  /// one per broadcast item, never per receiver).
+  std::uint64_t payload_allocations = 0;
+};
+
+class ParamExchange {
+ public:
+  struct Options {
+    /// Kind stamped on outgoing messages.
+    net::MessageKind kind = net::MessageKind::kForecastParams;
+    /// Pairwise-mask broadcasts (groups of >= 2) so no neighbour sees raw
+    /// parameters; the masked form is also the sender's own contribution,
+    /// since masks only cancel under full group participation.
+    const SecureAggregator* secure = nullptr;
+    /// Minimum group size (own contribution included) to average at all;
+    /// below it the item keeps its local parameters untouched.
+    std::size_t min_group = 2;
+    /// Sink for the exchange.* instruments; nullptr disables recording.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Optional caller-namespaced histogram for per-average group sizes
+    /// (e.g. "dfl.agg_group_size"); empty records exchange.group_size
+    /// only.
+    std::string group_size_histogram;
+  };
+
+  /// Invoked for every averaged item after its result landed; `averaged`
+  /// aliases item.in_place for in-place items and engine scratch
+  /// otherwise (consumers without a mutable flat span call
+  /// set_parameters here; consumers with one use it to notify).
+  using CommitFn =
+      std::function<void(std::size_t item, std::span<const double> averaged)>;
+
+  ParamExchange(net::MessageBus& bus, Options options);
+
+  /// One full round: broadcast, optional star relay, drain, sort, shape
+  /// guard, grouped average, commit. The star relay triggers off the
+  /// bus's own topology. Items must be in deterministic caller order
+  /// (ascending agent recommended); an agent may own several items.
+  ExchangeStats round(std::span<const ExchangeItem> items,
+                      std::uint64_t round_id, const CommitFn& commit);
+
+ private:
+  net::MessageBus& bus_;
+  Options options_;
+};
+
+}  // namespace pfdrl::fl

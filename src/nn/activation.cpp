@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <span>
 
 namespace pfdrl::nn {
 
@@ -25,18 +26,48 @@ double activate_grad_from_output(Activation a, double y) noexcept {
   return 1.0;
 }
 
+namespace {
+// grad[i] *= g(y[i]) with the gradient functor inlined per element.
+template <class G>
+void scale_elems(std::span<const double> ys, std::span<double> gs, G&& g) {
+  for (std::size_t i = 0; i < gs.size(); ++i) gs[i] *= g(ys[i]);
+}
+}  // namespace
+
+// Both kernels dispatch on the activation kind once per matrix and hand
+// Matrix::apply / scale_elems a concrete lambda — same math as the
+// per-element activate()/activate_grad_from_output() switches, minus the
+// per-element branch.
 void activate_inplace(Activation a, Matrix& m) {
-  if (a == Activation::kIdentity) return;
-  for (double& x : m.data()) x = activate(a, x);
+  switch (a) {
+    case Activation::kIdentity: return;
+    case Activation::kRelu:
+      m.apply([](double x) noexcept { return x > 0.0 ? x : 0.0; });
+      return;
+    case Activation::kSigmoid:
+      m.apply([](double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); });
+      return;
+    case Activation::kTanh:
+      m.apply([](double x) noexcept { return std::tanh(x); });
+      return;
+  }
 }
 
 void scale_by_activation_grad(Activation a, const Matrix& y, Matrix& grad) {
   assert(y.rows() == grad.rows() && y.cols() == grad.cols());
-  if (a == Activation::kIdentity) return;
   auto ys = y.data();
   auto gs = grad.data();
-  for (std::size_t i = 0; i < gs.size(); ++i) {
-    gs[i] *= activate_grad_from_output(a, ys[i]);
+  switch (a) {
+    case Activation::kIdentity: return;
+    case Activation::kRelu:
+      scale_elems(ys, gs, [](double v) noexcept { return v > 0.0 ? 1.0 : 0.0; });
+      return;
+    case Activation::kSigmoid:
+      scale_elems(ys, gs, [](double v) noexcept { return v * (1.0 - v); });
+      return;
+    case Activation::kTanh:
+      scale_elems(ys, gs, [](double v) noexcept { return 1.0 - v * v; });
+      return;
   }
 }
 

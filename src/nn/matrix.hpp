@@ -58,7 +58,16 @@ class Matrix {
   /// this += alpha * other (shapes must match).
   void axpy(double alpha, const Matrix& other);
 
-  /// Elementwise map in place.
+  /// Elementwise map in place. The functor is a template parameter so the
+  /// per-element call inlines — activation kernels dispatch on the
+  /// activation kind once per matrix, not once per element through a
+  /// std::function indirection.
+  template <class F>
+  void apply(F&& f) {
+    for (double& x : data_) x = f(x);
+  }
+  /// Type-erased overload for callers that already hold a std::function
+  /// (non-templates win overload resolution, so this stays selectable).
   void apply(const std::function<double(double)>& f);
 
   [[nodiscard]] Matrix transposed() const;

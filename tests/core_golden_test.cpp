@@ -1,0 +1,101 @@
+// Fixed-seed golden determinism test for the PFDRL pipeline.
+//
+// Runs a small but complete PFDRL pipeline (3 homes, 4 devices each,
+// LR forecasters, 2-hidden-layer DQNs, alpha = 2 so the federated round
+// exercises the prefix split) and asserts the forecast accuracy and the
+// per-home EpisodeResult totals are *bitwise* identical to values
+// recorded from the pre-ParamExchange implementation. Every stage is
+// deterministic by construction (per-job forked RNGs, fixed aggregation
+// order, fixed-order chunked reductions), so any drift here means a
+// refactor changed numerical behaviour, not just structure.
+//
+// If this test fails after an *intentional* semantic change, re-record
+// the constants by running the test and copying the "golden actual"
+// block it prints on failure.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "data/trace.hpp"
+#include "obs/metrics.hpp"
+#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
+
+namespace pfdrl {
+namespace {
+
+struct GoldenHome {
+  double total_reward;
+  double standby_kwh;
+  double saved_kwh;
+  std::size_t comfort_violations;
+  double violation_kwh;
+  std::size_t steps;
+};
+
+TEST(GoldenPfdrl, SmallRunIsBitwiseStable) {
+  sim::ScenarioConfig sc;
+  sc.neighborhood.num_households = 3;
+  sc.neighborhood.min_devices = 4;
+  sc.neighborhood.max_devices = 4;
+  sc.neighborhood.seed = 42;
+  sc.trace.days = 2;
+  sc.trace.seed = 42;
+  const auto traces = sim::Scenario::generate(sc).traces;
+
+  auto cfg = sim::fast_pipeline(core::EmsMethod::kPfdrl, 42);
+  cfg.forecast_method = forecast::Method::kLr;
+  cfg.window.window = 8;
+  cfg.window.horizon = 5;
+  cfg.dqn.hidden = {12, 12};
+  cfg.alpha = 2;  // genuine base/personalization split (3 dense layers)
+  cfg.gamma_hours = 6.0;
+  obs::MetricsRegistry reg;
+  cfg.metrics = &reg;
+
+  core::EmsPipeline pipeline(traces, cfg);
+  const std::size_t day = data::kMinutesPerDay;
+  pipeline.train_forecasters(0, day);
+  pipeline.train_ems(day, 2 * day);
+
+  const double accuracy = pipeline.forecast_accuracy(day, 2 * day);
+  const auto results = pipeline.evaluate(day, 2 * day);
+  ASSERT_EQ(results.size(), 3u);
+
+  // Recorded from the seed implementation (PR 1 tree) with the exact
+  // configuration above; %.17g round-trips doubles exactly.
+  const double kGoldenAccuracy = 0.64804216308708673;
+  const GoldenHome kGolden[3] = {
+      {34620, 0.13383352753431202, 0.13383352753431202, 4,
+       0.012029867034949609, 2880},
+      {53280, 0.26892035280230486, 0.072634918212407307, 1,
+       0.0014929682995983061, 4320},
+      {34860, 0.10526374927161707, 0.094155883730830184, 2,
+       0.042400546539063777, 4320},
+  };
+
+  if (accuracy != kGoldenAccuracy) {
+    std::printf("golden actual:\n  accuracy %.17g\n", accuracy);
+    for (const auto& r : results) {
+      std::printf("  {%.17g, %.17g, %.17g, %zu, %.17g, %zu},\n",
+                  r.total_reward, r.standby_kwh, r.saved_kwh,
+                  r.comfort_violations, r.violation_kwh, r.steps);
+    }
+  }
+
+  EXPECT_EQ(accuracy, kGoldenAccuracy);
+  for (std::size_t h = 0; h < results.size(); ++h) {
+    EXPECT_EQ(results[h].total_reward, kGolden[h].total_reward) << "home " << h;
+    EXPECT_EQ(results[h].standby_kwh, kGolden[h].standby_kwh) << "home " << h;
+    EXPECT_EQ(results[h].saved_kwh, kGolden[h].saved_kwh) << "home " << h;
+    EXPECT_EQ(results[h].comfort_violations, kGolden[h].comfort_violations)
+        << "home " << h;
+    EXPECT_EQ(results[h].violation_kwh, kGolden[h].violation_kwh)
+        << "home " << h;
+    EXPECT_EQ(results[h].steps, kGolden[h].steps) << "home " << h;
+  }
+}
+
+}  // namespace
+}  // namespace pfdrl

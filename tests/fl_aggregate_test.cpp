@@ -12,9 +12,18 @@
 namespace pfdrl::fl {
 namespace {
 
+// The owning convenience overload is gone (the exchange engine is the
+// only production caller and uses the span form); tests wrap it once.
+std::vector<double> avg_of(const std::vector<std::vector<double>>& inputs) {
+  std::vector<std::span<const double>> views(inputs.begin(), inputs.end());
+  std::vector<double> out(inputs.empty() ? 0 : inputs.front().size(), 0.0);
+  fedavg(views, out);
+  return out;
+}
+
 TEST(FedAvg, ExactAverage) {
   const std::vector<std::vector<double>> inputs = {{1.0, 2.0}, {3.0, 6.0}};
-  const auto out = fedavg(inputs);
+  const auto out = avg_of(inputs);
   ASSERT_EQ(out.size(), 2u);
   EXPECT_DOUBLE_EQ(out[0], 2.0);
   EXPECT_DOUBLE_EQ(out[1], 4.0);
@@ -22,11 +31,11 @@ TEST(FedAvg, ExactAverage) {
 
 TEST(FedAvg, SingleInputIdentity) {
   const std::vector<std::vector<double>> inputs = {{5.0, -1.0}};
-  EXPECT_EQ(fedavg(inputs), inputs[0]);
+  EXPECT_EQ(avg_of(inputs), inputs[0]);
 }
 
 TEST(FedAvg, EmptyThrows) {
-  EXPECT_THROW(fedavg({}), std::invalid_argument);
+  EXPECT_THROW(avg_of({}), std::invalid_argument);
 }
 
 TEST(FedAvg, SizeMismatchThrows) {
@@ -45,9 +54,9 @@ TEST(FedAvg, PermutationInvariance) {
     for (double& x : v) x = rng.normal();
     inputs.push_back(std::move(v));
   }
-  const auto a = fedavg(inputs);
+  const auto a = avg_of(inputs);
   std::reverse(inputs.begin(), inputs.end());
-  const auto b = fedavg(inputs);
+  const auto b = avg_of(inputs);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-15);
 }
@@ -59,12 +68,12 @@ TEST(FedAvg, LinearityProperty) {
   for (auto& v : inputs) {
     for (double& x : v) x = rng.normal();
   }
-  const auto base = fedavg(inputs);
+  const auto base = avg_of(inputs);
   auto scaled = inputs;
   for (auto& v : scaled) {
     for (double& x : v) x *= 2.5;
   }
-  const auto got = fedavg(scaled);
+  const auto got = avg_of(scaled);
   for (std::size_t i = 0; i < base.size(); ++i) {
     EXPECT_NEAR(got[i], base[i] * 2.5, 1e-12);
   }
@@ -99,7 +108,7 @@ TEST(FedAvgWeighted, UniformWeightsMatchPlain) {
   std::vector<double> weighted(6);
   const std::vector<double> w(4, 0.25);
   fedavg_weighted(views, w, weighted);
-  const auto plain = fedavg(inputs);
+  const auto plain = avg_of(inputs);
   for (std::size_t i = 0; i < 6; ++i) {
     EXPECT_NEAR(weighted[i], plain[i], 1e-12);
   }
@@ -213,7 +222,7 @@ TEST_P(FedAvgSizes, MeanOfIdenticalIsIdentity) {
   std::vector<double> v(GetParam() * 3 + 1);
   for (double& x : v) x = rng.normal();
   std::vector<std::vector<double>> inputs(GetParam() + 1, v);
-  const auto out = fedavg(inputs);
+  const auto out = avg_of(inputs);
   for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(out[i], v[i], 1e-12);
 }
 
