@@ -16,13 +16,26 @@
 //   --paper-scale       full 8x100 DQN + LSTM forecasters
 //   --secure            pairwise-masked (secure) DFL aggregation
 //   --drop P            link drop probability in [0,1) (default 0)
+//   --fault-plan SPEC   comma-separated fault spec, e.g.
+//                       drop=0.2,delay=0.01,jitter=0.005,dup=0.02,reorder=1
+//                       (keys: drop delay jitter dup reorder bw latency seed)
+//   --deadline S        per-round exchange deadline, simulated seconds
+//   --quorum F          quorum fraction of the nominal group in (0,1]
+//   --crash A:FROM:TO   crash agent A for federation rounds [FROM,TO)
+//                       (repeatable)
+//   --straggler A:S     agent A starts every round S simulated seconds
+//                       late (repeatable)
+//   --partition F:T:a,b partition agents {a,b,...} from the rest for
+//                       rounds [F,T) (repeatable)
 //   --metrics-out PATH  write a JSON metrics dump of the whole run
 //                       (.csv suffix switches to the CSV exporter)
 #include <cstdio>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "net/fault.hpp"
 #include "obs/metrics.hpp"
 #include "sim/experiment.hpp"
 #include "sim/scenario.hpp"
@@ -60,6 +73,8 @@ int main(int argc, char** argv) {
   bool paper_scale = false;
   bool secure = false;
   double drop = 0.0;
+  net::FaultPlan fault;
+  fl::ExchangePolicy robustness;
   std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
@@ -90,6 +105,34 @@ int main(int argc, char** argv) {
       secure = true;
     } else if (arg == "--drop") {
       drop = std::stod(next());
+    } else if (arg == "--fault-plan") {
+      try {
+        fault = net::parse_fault_plan(next());
+      } catch (const std::invalid_argument& e) {
+        usage_error(e.what());
+      }
+    } else if (arg == "--deadline") {
+      robustness.round_deadline_s = std::stod(next());
+    } else if (arg == "--quorum") {
+      robustness.quorum_fraction = std::stod(next());
+    } else if (arg == "--crash") {
+      try {
+        robustness.failures.crashes.push_back(net::parse_crash(next()));
+      } catch (const std::invalid_argument& e) {
+        usage_error(e.what());
+      }
+    } else if (arg == "--straggler") {
+      try {
+        robustness.failures.stragglers.push_back(net::parse_straggler(next()));
+      } catch (const std::invalid_argument& e) {
+        usage_error(e.what());
+      }
+    } else if (arg == "--partition") {
+      try {
+        fault.partitions.push_back(net::parse_partition(next()));
+      } catch (const std::invalid_argument& e) {
+        usage_error(e.what());
+      }
     } else if (arg == "--metrics-out") {
       metrics_out = next();
     } else {
@@ -99,8 +142,14 @@ int main(int argc, char** argv) {
   if (days < 4) usage_error("--days must be at least 4");
   if (homes < 1) usage_error("--homes must be at least 1");
   if (drop < 0.0 || drop >= 1.0) usage_error("--drop must be in [0,1)");
-  if (secure && drop > 0.0) {
-    usage_error("--secure needs a reliable link (no --drop)");
+  if (drop > 0.0) fault.link.drop_probability = drop;
+  if (robustness.quorum_fraction < 0.0 || robustness.quorum_fraction > 1.0) {
+    usage_error("--quorum must be in [0,1]");
+  }
+  if (secure && (!fault.reliable() || robustness.degraded())) {
+    usage_error(
+        "--secure needs a reliable fault-free plan (no --drop, --fault-plan "
+        "faults, --deadline, --quorum, --crash, --straggler or --partition)");
   }
 
   sim::ScenarioConfig sc;
@@ -116,7 +165,8 @@ int main(int argc, char** argv) {
   cfg.beta_hours = beta;
   cfg.gamma_hours = gamma;
   cfg.secure_aggregation = secure;
-  cfg.link.drop_probability = drop;
+  cfg.fault = fault;
+  cfg.robustness = robustness;
 
   std::printf(
       "method=%s homes=%u days=%zu alpha=%zu beta=%.1fh gamma=%.1fh "

@@ -9,12 +9,14 @@
 namespace pfdrl::core {
 
 DrlFederation::DrlFederation(std::size_t num_homes, std::size_t share_layers,
-                             net::TopologyKind topology, net::LinkModel link,
-                             obs::MetricsRegistry* metrics)
+                             net::TopologyKind topology, net::FaultPlan fault,
+                             obs::MetricsRegistry* metrics,
+                             fl::ExchangePolicy policy)
     : share_layers_(share_layers),
       bus_(net::Topology(topology, std::max<std::size_t>(1, num_homes)),
-           link),
-      metrics_(metrics) {}
+           std::move(fault)),
+      metrics_(metrics),
+      policy_(std::move(policy)) {}
 
 void DrlFederation::round(std::vector<FederatedDevice>& devices,
                           std::uint64_t round_id) {
@@ -45,6 +47,7 @@ void DrlFederation::round(std::vector<FederatedDevice>& devices,
   options.kind = kind;
   options.metrics = metrics_;
   options.group_size_histogram = "drl.agg_group_size";
+  options.policy = policy_;
   fl::ParamExchange exchange(bus_, options);
   const fl::ExchangeStats stats = exchange.round(
       items, round_id, [&](std::size_t i, std::span<const double>) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fl/exchange.hpp"
 #include "net/bus.hpp"
 #include "rl/dqn.hpp"
 
@@ -32,12 +33,15 @@ class DrlFederation {
  public:
   /// `share_layers` = number of dense layers broadcast (the paper's α);
   /// pass the network's full layer count for FRL. `num_homes` sizes the
-  /// bus. `link` models the plan-exchange network (lossy links shrink
-  /// aggregation groups; the shape guard keeps averaging well-formed).
-  /// `metrics` (optional) receives per-round drl.* instruments.
+  /// bus. `fault` models the plan-exchange network (a bare LinkModel
+  /// converts implicitly; lossy links shrink aggregation groups and the
+  /// shape guard keeps averaging well-formed). `metrics` (optional)
+  /// receives per-round drl.* instruments. `policy` adds deadline /
+  /// quorum / crash / straggler degradation to every round.
   DrlFederation(std::size_t num_homes, std::size_t share_layers,
-                net::TopologyKind topology, net::LinkModel link = {},
-                obs::MetricsRegistry* metrics = nullptr);
+                net::TopologyKind topology, net::FaultPlan fault = {},
+                obs::MetricsRegistry* metrics = nullptr,
+                fl::ExchangePolicy policy = {});
 
   /// One federation round over all registered devices: broadcast each
   /// agent's shared slice, then average per device type at each home
@@ -53,6 +57,7 @@ class DrlFederation {
   std::size_t share_layers_;
   net::MessageBus bus_;
   obs::MetricsRegistry* metrics_;
+  fl::ExchangePolicy policy_;
 };
 
 }  // namespace pfdrl::core

@@ -61,7 +61,8 @@ EmsPipeline::EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
         cfg_.secure_aggregation &&
         dc.aggregation != fl::AggregationMode::kNone;
     dc.seed = cfg_.seed;
-    dc.link = cfg_.link;
+    dc.fault = cfg_.fault;  // seed 0 → DflTrainer derives bus-1 stream
+    dc.robustness = cfg_.robustness;
     dc.metrics = &metrics();
     dfl_.emplace(traces_, dc);
   }
@@ -109,11 +110,16 @@ EmsPipeline::EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
     const auto topology = cfg_.method == EmsMethod::kFrl
                               ? net::TopologyKind::kStar
                               : net::TopologyKind::kFullMesh;
-    // The DRL plan exchange rides the same (possibly lossy) link model as
-    // the forecast path; the per-type shape guard keeps averaging
+    // The DRL plan exchange rides the same fault plan as the forecast
+    // path but on its own RNG stream (bus id 2) so the two buses never
+    // share a drop mask; the per-type shape guard keeps averaging
     // well-formed when contributions go missing.
-    federation_.emplace(traces_.size(), share, topology, cfg_.link,
-                        &metrics());
+    net::FaultPlan drl_fault = cfg_.fault;
+    if (drl_fault.seed == 0) {
+      drl_fault.seed = net::derive_fault_seed(cfg_.seed, 2);
+    }
+    federation_.emplace(traces_.size(), share, topology, std::move(drl_fault),
+                        &metrics(), cfg_.robustness);
   }
 }
 

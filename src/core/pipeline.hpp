@@ -64,9 +64,14 @@ struct PipelineConfig {
   /// transition reward integrates the held action over the interval.
   std::size_t meter_interval_minutes = ems::EmsEnvironment::kDefaultMeterInterval;
 
-  /// Simulated link model shared by the forecast (DFL) and the DRL plan
-  /// exchange buses. Lossy links shrink aggregation groups on both paths.
-  net::LinkModel link{};
+  /// Fault plan shared by the forecast (DFL) and the DRL plan exchange
+  /// buses: link model plus injected drops, delay/jitter, duplication,
+  /// reordering and partition windows. Each bus gets its own RNG stream
+  /// derived from `seed` (bus ids 1 and 2) unless fault.seed is set.
+  net::FaultPlan fault{};
+  /// Deadline / quorum / crash / straggler policy applied to both
+  /// federation paths. Default = original always-everything rounds.
+  fl::ExchangePolicy robustness{};
 
   /// Metrics sink for the ems.* / dfl.* / drl.* / bus.* instruments;
   /// nullptr means the process-global obs::MetricsRegistry.

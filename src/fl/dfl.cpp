@@ -27,6 +27,14 @@ net::TopologyKind topology_for(AggregationMode m) noexcept {
   return m == AggregationMode::kCentralized ? net::TopologyKind::kStar
                                             : net::TopologyKind::kFullMesh;
 }
+
+// Forecast bus = bus id 1 in the experiment's fault-seed namespace (the
+// DRL federation bus is id 2). Only derived when the plan itself carries
+// no seed, so explicit FaultPlan::seed always wins.
+net::FaultPlan seeded_fault(net::FaultPlan fault, std::uint64_t exp_seed) {
+  if (fault.seed == 0) fault.seed = net::derive_fault_seed(exp_seed, 1);
+  return fault;
+}
 }  // namespace
 
 DflTrainer::DflTrainer(const std::vector<data::HouseholdTrace>& traces,
@@ -35,12 +43,14 @@ DflTrainer::DflTrainer(const std::vector<data::HouseholdTrace>& traces,
       cfg_(cfg),
       bus_(net::Topology(topology_for(cfg.aggregation),
                          std::max<std::size_t>(1, traces.size())),
-           cfg.link) {
+           seeded_fault(cfg.fault, cfg.seed)) {
   if (traces_.empty()) throw std::invalid_argument("DflTrainer: no traces");
-  if (cfg_.secure_aggregation && cfg_.link.drop_probability > 0.0) {
+  if (cfg_.secure_aggregation &&
+      (!cfg_.fault.reliable() || cfg_.robustness.degraded())) {
     throw std::invalid_argument(
-        "DflTrainer: secure aggregation needs a reliable link (pairwise "
-        "masks only cancel under full participation)");
+        "DflTrainer: secure aggregation needs a reliable link and no "
+        "degradation policy (pairwise masks only cancel under full "
+        "participation)");
   }
   const std::size_t minutes = traces_.front().minutes();
   for (const auto& t : traces_) {
@@ -159,6 +169,7 @@ void DflTrainer::broadcast_and_aggregate(std::uint64_t round_id) {
   options.secure = cfg_.secure_aggregation ? &aggregator : nullptr;
   options.metrics = cfg_.metrics;
   options.group_size_histogram = "dfl.agg_group_size";
+  options.policy = cfg_.robustness;
   ParamExchange exchange(bus_, options);
   const ExchangeStats stats = exchange.round(
       items, round_id, [&](std::size_t i, std::span<const double> averaged) {

@@ -23,6 +23,7 @@
 
 #include "data/household.hpp"
 #include "data/trace.hpp"
+#include "fl/exchange.hpp"
 #include "fl/secure_agg.hpp"
 #include "forecast/forecaster.hpp"
 #include "net/bus.hpp"
@@ -57,11 +58,17 @@ struct DflConfig {
   /// floating-point residue (plus optional DP noise).
   bool secure_aggregation = false;
   SecureAggConfig secure{};
-  /// Simulated link characteristics (bandwidth, latency, loss). With a
-  /// lossy link, aggregation simply averages the contributions that made
-  /// it through (secure_aggregation requires a reliable link — masks only
-  /// cancel under full participation).
-  net::LinkModel link{};
+  /// Link behaviour: bandwidth/latency/loss plus injected delay, jitter,
+  /// duplication, reordering and partition windows. With a faulty plan,
+  /// aggregation simply averages the contributions that made it through
+  /// (secure_aggregation requires FaultPlan::reliable() — masks only
+  /// cancel under full participation). When fault.seed is 0 the trainer
+  /// derives a per-bus stream from `seed` (bus id 1) so the forecast and
+  /// DRL buses never share a drop mask.
+  net::FaultPlan fault{};
+  /// Deadline / quorum / crash / straggler policy for exchange rounds.
+  /// The default reproduces the original always-everything round.
+  ExchangePolicy robustness{};
   /// Metrics sink for the dfl.* / bus.forecast.* instruments; nullptr
   /// disables recording.
   obs::MetricsRegistry* metrics = nullptr;

@@ -1,6 +1,7 @@
 #include "fl/exchange.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "fl/aggregate.hpp"
@@ -16,10 +17,18 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
                                    const CommitFn& commit) {
   ExchangeStats stats;
   const std::uint64_t allocations_before = net::Payload::allocations();
+  const net::BusStats bus_before = bus_.stats();
+  const ExchangePolicy& policy = options_.policy;
+  const auto is_crashed = [&](net::AgentId a) {
+    return policy.failures.crashed(a, round_id);
+  };
 
   // Aggregation groups: the sorted agent list per device type. Needed
-  // both for secure masking (masks cancel exactly within a full group)
-  // and to know whether a device has any homologous peers at all.
+  // for secure masking (masks cancel exactly within a full group), to
+  // know whether a device has homologous peers at all, and as the
+  // *nominal* group size the quorum fraction is measured against —
+  // crashed members still count toward the denominator, so a shrinking
+  // live set shows up as a falling quorum fill, not a moving target.
   std::map<std::uint32_t, std::vector<net::AgentId>> groups;
   for (const auto& item : items) groups[item.device_type].push_back(item.agent);
   for (auto& [type, members] : groups) {
@@ -27,14 +36,24 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
     members.erase(std::unique(members.begin(), members.end()), members.end());
   }
 
-  // Phase 1: every item broadcasts its shared slice as one refcounted
-  // payload; the bus fans out handles, not copies. The (possibly masked)
-  // payload doubles as the sender's own contribution in phase 2 —
-  // pairwise masks only cancel if every group member contributes the
-  // masked form.
+  // Phase 1: every live item broadcasts its shared slice as one
+  // refcounted payload; the bus fans out handles, not copies. Crashed
+  // residences skip the round (no broadcast, no drain — their inbox
+  // backlog is discarded as stale after restart). Stragglers start late:
+  // their compute delay seeds Message::arrival_s, so with a deadline
+  // their contributions tend to miss the cut at every receiver. The
+  // (possibly masked) payload doubles as the sender's own contribution
+  // in phase 3 — pairwise masks only cancel if every group member
+  // contributes the masked form.
   std::vector<net::Payload> sent(items.size());
+  std::vector<char> live(items.size(), 1);
   for (std::size_t i = 0; i < items.size(); ++i) {
     const auto& item = items[i];
+    if (is_crashed(item.agent)) {
+      live[i] = 0;
+      ++stats.crashed_items;
+      continue;
+    }
     const auto& group = groups[item.device_type];
     if (options_.secure != nullptr && group.size() > 1) {
       sent[i] = options_.secure->mask(item.agent, round_id, group, item.send);
@@ -46,6 +65,7 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
     msg.kind = options_.kind;
     msg.device_type = item.device_type;
     msg.round = round_id;
+    msg.arrival_s = policy.failures.compute_delay(item.agent);
     msg.payload = sent[i];
     bus_.broadcast(msg);
   }
@@ -53,25 +73,85 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
   // Star topology: the hub relays leaf messages to the other leaves and
   // keeps a copy for its own aggregation — the "cloud aggregator" tax of
   // the centralized baselines. Relayed messages share the same payload
-  // buffer as the original.
-  if (bus_.topology().kind() == net::TopologyKind::kStar) {
+  // buffer as the original and accumulate the second hop's latency. When
+  // the lossy leaf->hub link ate a contribution, the leaf retransmits
+  // with backoff (up to policy.hub_retries attempts); a crashed hub
+  // takes the whole round down — every leaf falls back to local.
+  std::vector<net::Message> hub_keep;
+  if (bus_.topology().kind() == net::TopologyKind::kStar && !is_crashed(0)) {
     auto hub_msgs = bus_.drain(0);
+    if (policy.hub_retries > 0) {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        const auto& item = items[i];
+        if (!live[i] || item.agent == 0) continue;
+        const auto hub_has = [&] {
+          return std::any_of(hub_msgs.begin(), hub_msgs.end(),
+                             [&](const net::Message& m) {
+                               return m.sender == item.agent &&
+                                      m.device_type == item.device_type;
+                             });
+        };
+        for (std::size_t attempt = 1;
+             attempt <= policy.hub_retries && !hub_has(); ++attempt) {
+          net::Message msg;
+          msg.sender = item.agent;
+          msg.kind = options_.kind;
+          msg.device_type = item.device_type;
+          msg.round = round_id;
+          msg.arrival_s = policy.failures.compute_delay(item.agent) +
+                          static_cast<double>(attempt) *
+                              policy.retry_backoff_s;
+          msg.payload = sent[i];
+          ++stats.retries;
+          bus_.send(0, msg);
+          auto retried = bus_.drain(0);
+          hub_msgs.insert(hub_msgs.end(),
+                          std::make_move_iterator(retried.begin()),
+                          std::make_move_iterator(retried.end()));
+        }
+      }
+    }
     for (auto& m : hub_msgs) {
       for (std::size_t h = 1; h < bus_.num_agents(); ++h) {
         if (static_cast<net::AgentId>(h) == m.sender) continue;
         bus_.send(static_cast<net::AgentId>(h), m);
         ++stats.relayed;
       }
-      bus_.send(0, std::move(m));
+      // The hub already holds this copy in hand — it aggregates from it
+      // directly instead of looping it back through the (possibly
+      // faulty) network.
+      hub_keep.push_back(std::move(m));
     }
   }
 
-  // Phase 2: drain every inbox and sort by (sender, device_type) so
-  // averaging order never depends on delivery interleaving.
+  // Phase 2: drain every live inbox, discard stale (older-round) and
+  // late (past-deadline) deliveries, and sort the survivors by
+  // (sender, device_type) so averaging order never depends on delivery
+  // interleaving. Crashed agents keep their backlog for next time.
+  const double deadline = policy.round_deadline_s;
   std::vector<std::vector<net::Message>> inboxes(bus_.num_agents());
   for (std::size_t h = 0; h < bus_.num_agents(); ++h) {
-    inboxes[h] = bus_.drain(static_cast<net::AgentId>(h));
-    std::sort(inboxes[h].begin(), inboxes[h].end(),
+    if (is_crashed(static_cast<net::AgentId>(h))) continue;
+    auto raw = bus_.drain(static_cast<net::AgentId>(h));
+    if (h == 0 && !hub_keep.empty()) {
+      raw.insert(raw.end(), std::make_move_iterator(hub_keep.begin()),
+                 std::make_move_iterator(hub_keep.end()));
+      hub_keep.clear();
+    }
+    auto& kept = inboxes[h];
+    kept.reserve(raw.size());
+    for (auto& m : raw) {
+      if (m.round != round_id) {
+        ++stats.stale_msgs;
+        continue;
+      }
+      if (deadline > 0.0 && m.arrival_s > deadline) {
+        ++stats.late_msgs;
+        continue;
+      }
+      kept.push_back(std::move(m));
+    }
+    std::sort(kept.begin(), kept.end(),
               [](const net::Message& a, const net::Message& b) {
                 if (a.sender != b.sender) return a.sender < b.sender;
                 return a.device_type < b.device_type;
@@ -89,15 +169,31 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
     }
   }
 
+  // Phase 3: participation-weighted grouped average. Contributions are
+  // deduped per (sender, device_type) — duplicated deliveries collapse
+  // to one vote, so every unique participant that made the deadline
+  // weighs exactly 1/K in the mean. An item whose group misses the
+  // quorum (or min_group) keeps its local parameters untouched: one more
+  // item-round of staleness, never an average over garbage.
   std::vector<double> scratch;
   std::vector<std::span<const double>> contributions;
   for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!live[i]) continue;
     const auto& item = items[i];
     const std::size_t shared_len = item.send.size();
     contributions.clear();
     contributions.push_back(sent[i]);
+    bool have_prev = false;
+    net::AgentId prev_sender = 0;
     for (const auto& m : inboxes[item.agent]) {
       if (m.device_type != item.device_type) continue;
+      if (m.sender == item.agent) continue;  // echo guard
+      if (have_prev && m.sender == prev_sender) {  // duplicate delivery
+        ++stats.duplicates;
+        continue;
+      }
+      have_prev = true;
+      prev_sender = m.sender;
       if (m.payload.size() != shared_len) {  // shape guard
         ++stats.rejected;
         continue;
@@ -105,7 +201,20 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
       contributions.push_back(m.payload);
       ++stats.accepted;
     }
-    if (contributions.size() < options_.min_group) continue;  // no peers
+
+    const std::size_t nominal = groups[item.device_type].size();
+    std::size_t required = options_.min_group;
+    if (policy.quorum_fraction > 0.0) {
+      required = std::max(
+          required, static_cast<std::size_t>(std::ceil(
+                        policy.quorum_fraction * static_cast<double>(nominal))));
+    }
+    if (contributions.size() < required) {  // local fallback
+      ++stats.local_fallbacks;
+      if (policy.quorum_fraction > 0.0) ++stats.quorum_missed;
+      continue;
+    }
+    if (policy.quorum_fraction > 0.0) ++stats.quorum_met;
 
     std::span<const double> averaged;
     if (!item.in_place.empty()) {
@@ -132,11 +241,32 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
 
   stats.payload_allocations = net::Payload::allocations() - allocations_before;
   if (options_.metrics != nullptr) {
-    options_.metrics->counter("exchange.rounds").add(1);
-    options_.metrics->counter("exchange.items").add(items.size());
-    options_.metrics->counter("exchange.payload_copies")
-        .add(stats.payload_allocations);
-    options_.metrics->counter("exchange.relays").add(stats.relayed);
+    obs::MetricsRegistry& reg = *options_.metrics;
+    reg.counter("exchange.rounds").add(1);
+    reg.counter("exchange.items").add(items.size());
+    reg.counter("exchange.payload_copies").add(stats.payload_allocations);
+    reg.counter("exchange.relays").add(stats.relayed);
+    reg.counter("exchange.quorum_met").add(stats.quorum_met);
+    reg.counter("exchange.quorum_missed").add(stats.quorum_missed);
+    reg.counter("exchange.stale_rounds").add(stats.local_fallbacks);
+    reg.counter("exchange.stale_msgs").add(stats.stale_msgs);
+    reg.counter("exchange.late_msgs").add(stats.late_msgs);
+    reg.counter("exchange.duplicate_msgs").add(stats.duplicates);
+    reg.counter("exchange.crashed_items").add(stats.crashed_items);
+    reg.counter("exchange.retries").add(stats.retries);
+    // fault.* — the run-wide fault ledger, folded as per-round deltas of
+    // this bus's counters so both federation buses add into one family.
+    const net::BusStats bus_after = bus_.stats();
+    reg.counter("fault.drops")
+        .add(bus_after.messages_dropped - bus_before.messages_dropped);
+    reg.counter("fault.partition_drops")
+        .add(bus_after.messages_partition_dropped -
+             bus_before.messages_partition_dropped);
+    reg.counter("fault.duplicates")
+        .add(bus_after.messages_duplicated - bus_before.messages_duplicated);
+    reg.counter("fault.delayed_msgs")
+        .add(bus_after.messages_delayed - bus_before.messages_delayed);
+    reg.counter("fault.crashes").add(stats.crashed_items);
   }
   return stats;
 }

@@ -20,6 +20,17 @@
 // averaging and items are processed in caller order, so results are
 // bit-reproducible regardless of delivery interleaving — the property
 // the fixed-seed golden test pins down.
+//
+// Degradation: rounds are deadline-based when ExchangePolicy asks for it.
+// Each round drains whatever arrived by the per-round deadline (in
+// simulated time), discards stale leftovers from earlier rounds and
+// duplicate deliveries, aggregates the quorum that made it with a
+// participation-weighted average (each unique arrival weighs 1/K), and
+// falls back to local-only parameters when the quorum is missed. Crashed
+// residences skip the round entirely; the star-relay hub path retries
+// missing leaf contributions with backoff. Every degradation decision is
+// observable through the exchange.* and fault.* metric families — see
+// docs/robustness.md for the exact semantics the tests pin.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +41,7 @@
 
 #include "fl/secure_agg.hpp"
 #include "net/bus.hpp"
+#include "net/fault.hpp"
 
 namespace pfdrl::obs {
 class MetricsRegistry;
@@ -55,6 +67,33 @@ struct ExchangeItem {
   std::span<double> in_place;
 };
 
+/// Robustness policy for a round: how long to wait, how many peers are
+/// enough, how hard the star hub tries, and which residences are down.
+/// The default policy reproduces the original always-everything round.
+struct ExchangePolicy {
+  /// Per-round deadline in simulated seconds; contributions whose
+  /// Message::arrival_s exceeds it are discarded as late. 0 = no
+  /// deadline (drain everything from the current round).
+  double round_deadline_s = 0.0;
+  /// Minimum fraction of an item's nominal aggregation group (own
+  /// contribution included) that must arrive for averaging; below it the
+  /// item falls back to its local parameters. 0 disables the gate
+  /// (Options::min_group still applies).
+  double quorum_fraction = 0.0;
+  /// Star topology only: retransmission attempts per missing leaf
+  /// contribution on the leaf->hub path. 0 disables retries.
+  std::size_t hub_retries = 2;
+  /// Extra simulated arrival delay per retry attempt (backoff).
+  double retry_backoff_s = 0.05;
+  /// Crash windows and compute stragglers, per residence.
+  net::FailureSchedule failures{};
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return round_deadline_s > 0.0 || quorum_fraction > 0.0 ||
+           !failures.empty();
+  }
+};
+
 /// What one round did (callers fold these into their own dfl.* / drl.*
 /// metric namespaces; the engine also records exchange.* instruments).
 struct ExchangeStats {
@@ -64,13 +103,34 @@ struct ExchangeStats {
   std::uint64_t rejected = 0;
   /// Hub relays performed (star topology only).
   std::uint64_t relayed = 0;
-  /// Items whose group reached min_group and were averaged.
+  /// Items whose group reached min_group and quorum and were averaged.
   std::uint64_t items_averaged = 0;
   /// Parameters overwritten by averaging, summed over items.
   std::uint64_t params_averaged = 0;
   /// Payload buffer allocations during the round (zero-copy accounting:
   /// one per broadcast item, never per receiver).
   std::uint64_t payload_allocations = 0;
+  /// Duplicate deliveries collapsed by the (sender, device_type) dedupe
+  /// — aggregation is idempotent under the bus's duplication fault.
+  std::uint64_t duplicates = 0;
+  /// Messages from older rounds discarded at drain (a restarted
+  /// residence's crash backlog).
+  std::uint64_t stale_msgs = 0;
+  /// Current-round messages discarded for arriving past the deadline.
+  std::uint64_t late_msgs = 0;
+  /// Items whose group met the quorum fraction (counted only when the
+  /// quorum gate is enabled).
+  std::uint64_t quorum_met = 0;
+  /// Items gated out by the quorum fraction (local fallback).
+  std::uint64_t quorum_missed = 0;
+  /// Live items that did not average this round for any reason (below
+  /// min_group, or quorum missed) and kept local parameters — each one
+  /// is an item-round of staleness.
+  std::uint64_t local_fallbacks = 0;
+  /// Items skipped because their residence is inside a crash window.
+  std::uint64_t crashed_items = 0;
+  /// Leaf->hub retransmissions attempted by the star relay path.
+  std::uint64_t retries = 0;
 };
 
 class ParamExchange {
@@ -91,6 +151,9 @@ class ParamExchange {
     /// (e.g. "dfl.agg_group_size"); empty records exchange.group_size
     /// only.
     std::string group_size_histogram;
+    /// Deadline / quorum / retry / failure-schedule policy; the default
+    /// reproduces the original always-everything round.
+    ExchangePolicy policy{};
   };
 
   /// Invoked for every averaged item after its result landed; `averaged`

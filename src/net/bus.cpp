@@ -5,39 +5,95 @@
 
 namespace pfdrl::net {
 
-MessageBus::MessageBus(Topology topology, LinkModel link)
-    : topology_(std::move(topology)), link_(link) {
+namespace {
+// Legacy constant fault stream, used when FaultPlan::seed is 0 so that
+// directly constructed buses (tests, micro-benches) stay reproducible
+// without an experiment seed. Experiment-owned buses derive a per-bus
+// stream with derive_fault_seed() instead.
+constexpr std::uint64_t kLegacyFaultSeed = 0xD20BULL;
+}  // namespace
+
+MessageBus::MessageBus(Topology topology, FaultPlan fault)
+    : topology_(std::move(topology)),
+      fault_(std::move(fault)),
+      fault_rng_(fault_.seed != 0 ? fault_.seed : kLegacyFaultSeed) {
   inboxes_.reserve(topology_.num_agents());
   for (std::size_t i = 0; i < topology_.num_agents(); ++i) {
     inboxes_.push_back(std::make_unique<Inbox>());
   }
 }
 
+void MessageBus::enqueue(Inbox& inbox, Message msg,
+                         std::uint64_t reorder_draw) {
+  std::lock_guard lock(inbox.mutex);
+  if (fault_.reorder && !inbox.queue.empty()) {
+    const std::size_t pos = reorder_draw % (inbox.queue.size() + 1);
+    inbox.queue.insert(inbox.queue.begin() + static_cast<std::ptrdiff_t>(pos),
+                       std::move(msg));
+  } else {
+    inbox.queue.push_back(std::move(msg));
+  }
+  inbox.cv.notify_one();
+}
+
 void MessageBus::deliver(AgentId to, Message msg) {
   if (to >= inboxes_.size()) throw std::out_of_range("bus: bad agent id");
   const std::size_t bytes = msg.wire_bytes();
-  if (link_.drop_probability > 0.0) {
-    bool dropped;
-    {
-      std::lock_guard lock(drop_mutex_);
-      dropped = drop_rng_.bernoulli(link_.drop_probability);
-    }
-    if (dropped) {
-      std::lock_guard slock(stats_mutex_);
-      ++stats_.messages_dropped;
-      return;
-    }
-  }
+  const LinkModel& link = fault_.link;
+
+  // All fault decisions for this delivery come from the per-bus stream,
+  // drawn in a fixed order (drop, jitter, duplicate, reorder position)
+  // so the stream state depends only on the delivery sequence.
+  bool dropped = false;
+  bool partitioned = false;
+  bool duplicated = false;
+  double extra_delay = 0.0;
+  std::uint64_t reorder_draw = 0;
   {
-    auto& inbox = *inboxes_[to];
-    std::lock_guard lock(inbox.mutex);
-    inbox.queue.push_back(std::move(msg));
-    inbox.cv.notify_one();
+    std::lock_guard lock(fault_mutex_);
+    if (fault_.severed(msg.sender, to, msg.round)) {
+      partitioned = true;
+    } else if (link.drop_probability > 0.0 &&
+               fault_rng_.bernoulli(link.drop_probability)) {
+      dropped = true;
+    } else {
+      extra_delay = fault_.delay_s;
+      if (fault_.jitter_s > 0.0) {
+        extra_delay += fault_rng_.uniform(0.0, fault_.jitter_s);
+      }
+      if (fault_.duplicate_probability > 0.0) {
+        duplicated = fault_rng_.bernoulli(fault_.duplicate_probability);
+      }
+      if (fault_.reorder) reorder_draw = fault_rng_.next();
+    }
   }
+  if (partitioned || dropped) {
+    std::lock_guard slock(stats_mutex_);
+    ++stats_.messages_dropped;
+    if (partitioned) ++stats_.messages_partition_dropped;
+    return;
+  }
+
+  const double transfer = link.transfer_seconds(bytes);
+  msg.arrival_s += transfer + extra_delay;
+  Message duplicate;
+  if (duplicated) {
+    duplicate = msg;  // shares the payload handle — no deep copy
+    duplicate.arrival_s += transfer;  // retransmission: one transfer later
+  }
+  auto& inbox = *inboxes_[to];
+  enqueue(inbox, std::move(msg), reorder_draw);
+  if (duplicated) enqueue(inbox, std::move(duplicate), reorder_draw);
+
   std::lock_guard slock(stats_mutex_);
-  ++stats_.messages_delivered;
-  stats_.bytes_on_wire += bytes;
-  stats_.simulated_transfer_seconds += link_.transfer_seconds(bytes);
+  stats_.messages_delivered += duplicated ? 2 : 1;
+  stats_.bytes_on_wire += duplicated ? 2 * bytes : bytes;
+  stats_.simulated_transfer_seconds += duplicated ? 2 * transfer : transfer;
+  if (duplicated) ++stats_.messages_duplicated;
+  if (extra_delay > 0.0) {
+    ++stats_.messages_delayed;
+    stats_.simulated_fault_delay_seconds += extra_delay;
+  }
 }
 
 std::size_t MessageBus::broadcast(const Message& msg) {

@@ -3,6 +3,15 @@
 // fan out along the configured topology. The bus accounts for bytes and
 // messages per link and models per-link latency (virtual, accumulated
 // into counters — the simulation clock, not wall time, pays for it).
+//
+// Link faults are injected here, per delivery, from a net::FaultPlan:
+// silent drops, fixed+jitter delay (stamped into Message::arrival_s for
+// the deadline-based exchange rounds), duplication, reordering, and
+// scheduled partitions keyed on the message's round. All fault
+// randomness comes from one per-bus RNG stream (FaultPlan::seed), so
+// runs are bitwise reproducible per seed and distinct buses never share
+// a drop mask. Node-level failures (crashes, stragglers) live one layer
+// up, in fl::ParamExchange — see docs/robustness.md.
 #pragma once
 
 #include <condition_variable>
@@ -13,41 +22,39 @@
 #include <optional>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/message.hpp"
 #include "net/topology.hpp"
 #include "util/rng.hpp"
 
 namespace pfdrl::net {
 
-struct LinkModel {
-  /// Simulated bandwidth in bytes/second (default: 100 Mbit home LAN).
-  double bytes_per_second = 12.5e6;
-  /// Fixed per-message latency in seconds.
-  double base_latency_s = 2e-3;
-  /// Probability that a delivery is silently dropped (lossy Wi-Fi model;
-  /// 0 = reliable). Receivers must tolerate missing contributions — the
-  /// FedAvg layer already averages whatever arrives.
-  double drop_probability = 0.0;
-
-  [[nodiscard]] double transfer_seconds(std::size_t bytes) const noexcept {
-    return base_latency_s + static_cast<double>(bytes) / bytes_per_second;
-  }
-};
-
 struct BusStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
+  /// All failed deliveries (random loss + partition cuts).
   std::uint64_t messages_dropped = 0;
+  /// Subset of messages_dropped caused by an active partition window.
+  std::uint64_t messages_partition_dropped = 0;
+  /// Deliveries enqueued twice by the duplication fault.
+  std::uint64_t messages_duplicated = 0;
+  /// Deliveries that received extra injected delay (delay_s/jitter_s).
+  std::uint64_t messages_delayed = 0;
   std::uint64_t bytes_on_wire = 0;
   /// Total simulated link-seconds consumed by transfers.
   double simulated_transfer_seconds = 0.0;
+  /// Total injected fault delay (fixed + jitter), simulated seconds.
+  double simulated_fault_delay_seconds = 0.0;
 };
 
 class MessageBus {
  public:
-  MessageBus(Topology topology, LinkModel link = {});
+  /// `fault` describes everything this bus's links do to traffic; a bare
+  /// LinkModel converts implicitly for loss-only call sites.
+  MessageBus(Topology topology, FaultPlan fault = {});
 
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return fault_; }
   [[nodiscard]] std::size_t num_agents() const noexcept {
     return topology_.num_agents();
   }
@@ -78,11 +85,12 @@ class MessageBus {
   };
 
   void deliver(AgentId to, Message msg);
+  void enqueue(Inbox& inbox, Message msg, std::uint64_t reorder_draw);
 
   Topology topology_;
-  LinkModel link_;
-  util::Rng drop_rng_{0xD20BULL};
-  mutable std::mutex drop_mutex_;
+  FaultPlan fault_;
+  util::Rng fault_rng_;
+  mutable std::mutex fault_mutex_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   mutable std::mutex stats_mutex_;
   BusStats stats_;

@@ -76,6 +76,12 @@ struct Message {
   std::uint32_t device_type = 0;
   /// Training round the parameters came from (staleness accounting).
   std::uint64_t round = 0;
+  /// Simulated arrival offset within the round, in seconds. The sender
+  /// seeds it with its compute delay (straggler model); every bus hop
+  /// adds transfer time plus injected delay/jitter. Deadline-based
+  /// exchange rounds discard contributions whose arrival_s exceeds the
+  /// round deadline. Simulation metadata — not billed as wire bytes.
+  double arrival_s = 0.0;
   Payload payload;
 
   /// Serialized size in bytes on the simulated wire (header + payload).

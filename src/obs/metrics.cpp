@@ -374,9 +374,15 @@ void record_bus_stats(MetricsRegistry& registry, std::string_view prefix,
   registry.counter(p + ".messages_sent").set(stats.messages_sent);
   registry.counter(p + ".messages_delivered").set(stats.messages_delivered);
   registry.counter(p + ".messages_dropped").set(stats.messages_dropped);
+  registry.counter(p + ".messages_partition_dropped")
+      .set(stats.messages_partition_dropped);
+  registry.counter(p + ".messages_duplicated").set(stats.messages_duplicated);
+  registry.counter(p + ".messages_delayed").set(stats.messages_delayed);
   registry.counter(p + ".bytes_on_wire").set(stats.bytes_on_wire);
   registry.gauge(p + ".simulated_transfer_seconds")
       .set(stats.simulated_transfer_seconds);
+  registry.gauge(p + ".simulated_fault_delay_seconds")
+      .set(stats.simulated_fault_delay_seconds);
 }
 
 void record_thread_pool_stats(MetricsRegistry& registry,

@@ -1,0 +1,155 @@
+// Chaos soak (CTest label: stress). Hammers the exchange engine and both
+// federation paths with every fault at once — drops, delay+jitter,
+// duplication, reordering, rolling partitions, rolling crashes,
+// stragglers, deadlines and quorum gates — over many rounds and seeds.
+// The assertions are liveness and invariants, not trajectories: every
+// round terminates, every live item either averages or falls back,
+// bus accounting stays consistent, and two identically seeded soaks
+// agree bitwise. Run the quick suite with `ctest -LE stress` to skip.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "fl/exchange.hpp"
+#include "net/bus.hpp"
+#include "net/fault.hpp"
+#include "net/topology.hpp"
+
+namespace pfdrl::fl {
+namespace {
+
+net::FaultPlan everything_plan(std::uint64_t seed) {
+  net::FaultPlan plan;
+  plan.link.drop_probability = 0.25;
+  plan.delay_s = 0.001;
+  plan.jitter_s = 0.003;
+  plan.duplicate_probability = 0.1;
+  plan.reorder = true;
+  plan.seed = seed;
+  // Rolling split-brain windows: every 10 rounds, agents {0,1,2} lose
+  // the rest of the mesh for 3 rounds.
+  for (std::uint64_t r = 5; r < 100; r += 10) {
+    plan.partitions.push_back({.from_round = r,
+                               .until_round = r + 3,
+                               .group = {0, 1, 2}});
+  }
+  return plan;
+}
+
+ExchangePolicy everything_policy() {
+  ExchangePolicy policy;
+  policy.round_deadline_s = 0.006;
+  policy.quorum_fraction = 0.4;
+  policy.hub_retries = 3;
+  policy.retry_backoff_s = 0.002;
+  // Rolling crashes: agent (r / 7) % n down for rounds [7k, 7k+2).
+  for (std::uint64_t k = 0; k < 14; ++k) {
+    policy.failures.crashes.push_back(
+        {.agent = static_cast<net::AgentId>(k % 8),
+         .from_round = 7 * k,
+         .until_round = 7 * k + 2});
+  }
+  policy.failures.stragglers.push_back({.agent = 5, .compute_delay_s = 0.004});
+  policy.failures.stragglers.push_back({.agent = 6, .compute_delay_s = 0.02});
+  return policy;
+}
+
+struct SoakTotals {
+  std::uint64_t averaged = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t crashed = 0;
+  std::uint64_t late = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t retries = 0;
+  std::vector<double> final_params;
+
+  bool operator==(const SoakTotals&) const = default;
+};
+
+SoakTotals soak(net::TopologyKind kind, std::uint64_t seed,
+                std::size_t rounds) {
+  const std::size_t n = 8;
+  const std::size_t len = 24;
+  std::vector<std::vector<double>> params(n, std::vector<double>(len));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t i = 0; i < len; ++i) {
+      params[a][i] = static_cast<double>(a * 1000 + i);
+    }
+  }
+
+  net::MessageBus bus(net::Topology(kind, n), everything_plan(seed));
+  ParamExchange::Options options;
+  options.policy = everything_policy();
+  ParamExchange exchange(bus, options);
+
+  SoakTotals totals;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    std::vector<ExchangeItem> items;
+    for (std::size_t a = 0; a < n; ++a) {
+      items.push_back({.agent = static_cast<net::AgentId>(a),
+                       // Two device-type groups of four homes each.
+                       .device_type = static_cast<std::uint32_t>(a % 2),
+                       .send = params[a],
+                       .in_place = params[a]});
+    }
+    const auto stats = exchange.round(items, r, {});
+
+    // Conservation: every live item either averaged or fell back.
+    EXPECT_EQ(stats.items_averaged + stats.local_fallbacks +
+                  stats.crashed_items,
+              n)
+        << "round " << r;
+    totals.averaged += stats.items_averaged;
+    totals.fallbacks += stats.local_fallbacks;
+    totals.crashed += stats.crashed_items;
+    totals.late += stats.late_msgs;
+    totals.stale += stats.stale_msgs;
+    totals.duplicates += stats.duplicates;
+    totals.retries += stats.retries;
+  }
+
+  // Bus ledger stays consistent under all faults at once.
+  const auto bs = bus.stats();
+  EXPECT_GT(bs.messages_dropped, 0u);
+  EXPECT_GE(bs.messages_dropped, bs.messages_partition_dropped);
+  EXPECT_GT(bs.messages_duplicated, 0u);
+  EXPECT_GT(bs.messages_delayed, 0u);
+  EXPECT_GT(bs.simulated_fault_delay_seconds, 0.0);
+
+  for (const auto& p : params) {
+    totals.final_params.insert(totals.final_params.end(), p.begin(), p.end());
+  }
+  return totals;
+}
+
+TEST(ChaosStress, FullMeshSoakCompletesWithDegradation) {
+  const auto totals = soak(net::TopologyKind::kFullMesh, 1234, 100);
+  EXPECT_GT(totals.averaged, 0u);    // quorum was reachable sometimes
+  EXPECT_GT(totals.fallbacks, 0u);   // ... and missed sometimes
+  EXPECT_GT(totals.crashed, 0u);
+  EXPECT_GT(totals.late, 0u);
+  EXPECT_GT(totals.stale, 0u);       // crash backlogs were discarded
+  EXPECT_GT(totals.duplicates, 0u);  // dedupe engaged
+}
+
+TEST(ChaosStress, StarSoakCompletesWithRetries) {
+  const auto totals = soak(net::TopologyKind::kStar, 99, 100);
+  EXPECT_GT(totals.averaged, 0u);
+  EXPECT_GT(totals.fallbacks, 0u);
+  EXPECT_GT(totals.retries, 0u);  // the lossy leaf->hub path retried
+}
+
+TEST(ChaosStress, SoakIsBitwiseDeterministicPerSeed) {
+  for (auto kind : {net::TopologyKind::kFullMesh, net::TopologyKind::kStar}) {
+    const auto first = soak(kind, 777, 60);
+    const auto second = soak(kind, 777, 60);
+    EXPECT_TRUE(first == second);
+    const auto other = soak(kind, 778, 60);
+    EXPECT_FALSE(first.final_params == other.final_params);
+  }
+}
+
+}  // namespace
+}  // namespace pfdrl::fl

@@ -97,5 +97,103 @@ TEST(GoldenPfdrl, SmallRunIsBitwiseStable) {
   }
 }
 
+// Chaos determinism: a fully loaded fault plan (drops, delay+jitter,
+// duplication, reordering, a partition window, a crashed residence, a
+// straggler, a deadline and a quorum gate) must still be bitwise
+// reproducible per seed — all fault randomness rides per-bus seeded
+// streams and the exchange engine stays single-threaded per round.
+// Run-twice comparison rather than pinned constants so the test pins the
+// determinism property, not one arbitrary chaotic trajectory.
+struct ChaosOutcome {
+  double accuracy = 0.0;
+  std::vector<ems::EpisodeResult> results;
+  std::uint64_t quorum_met = 0;
+  std::uint64_t quorum_missed = 0;
+  std::uint64_t stale_rounds = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_crashes = 0;
+  std::uint64_t late_msgs = 0;
+};
+
+ChaosOutcome run_chaos(std::uint64_t seed) {
+  sim::ScenarioConfig sc;
+  sc.neighborhood.num_households = 4;
+  sc.neighborhood.min_devices = 4;
+  sc.neighborhood.max_devices = 4;
+  sc.neighborhood.seed = seed;
+  sc.trace.days = 2;
+  sc.trace.seed = seed;
+  const auto traces = sim::Scenario::generate(sc).traces;
+
+  auto cfg = sim::fast_pipeline(core::EmsMethod::kPfdrl, seed);
+  cfg.forecast_method = forecast::Method::kLr;
+  cfg.window.window = 8;
+  cfg.window.horizon = 5;
+  cfg.dqn.hidden = {12, 12};
+  cfg.alpha = 2;
+  cfg.beta_hours = 6.0;
+  cfg.gamma_hours = 3.0;  // many DRL rounds so every fault window fires
+  cfg.fault.link.drop_probability = 0.2;
+  cfg.fault.delay_s = 0.002;
+  cfg.fault.jitter_s = 0.004;
+  cfg.fault.duplicate_probability = 0.05;
+  cfg.fault.reorder = true;
+  cfg.fault.partitions.push_back({.from_round = 1,
+                                  .until_round = 3,
+                                  .group = {0, 1}});
+  cfg.robustness.round_deadline_s = 0.006;
+  cfg.robustness.quorum_fraction = 0.5;
+  cfg.robustness.failures.crashes.push_back(
+      {.agent = 2, .from_round = 0, .until_round = 2});
+  cfg.robustness.failures.stragglers.push_back(
+      {.agent = 3, .compute_delay_s = 0.02});
+  obs::MetricsRegistry reg;
+  cfg.metrics = &reg;
+
+  core::EmsPipeline pipeline(traces, cfg);
+  const std::size_t day = data::kMinutesPerDay;
+  pipeline.train_forecasters(0, day);
+  pipeline.train_ems(day, 2 * day);
+
+  ChaosOutcome out;
+  out.accuracy = pipeline.forecast_accuracy(day, 2 * day);
+  out.results = pipeline.evaluate(day, 2 * day);
+  out.quorum_met = reg.counter("exchange.quorum_met").value();
+  out.quorum_missed = reg.counter("exchange.quorum_missed").value();
+  out.stale_rounds = reg.counter("exchange.stale_rounds").value();
+  out.fault_drops = reg.counter("fault.drops").value();
+  out.fault_crashes = reg.counter("fault.crashes").value();
+  out.late_msgs = reg.counter("exchange.late_msgs").value();
+  return out;
+}
+
+TEST(GoldenChaos, SeededChaosRunIsBitwiseReproducible) {
+  const auto first = run_chaos(42);
+  const auto second = run_chaos(42);
+
+  // The chaos actually engaged: faults fired and the degradation
+  // machinery made real decisions (otherwise this test pins nothing).
+  EXPECT_GT(first.fault_drops, 0u);
+  EXPECT_GT(first.fault_crashes, 0u);
+  EXPECT_GT(first.quorum_met + first.quorum_missed, 0u);
+  EXPECT_GT(first.late_msgs + first.stale_rounds, 0u);
+
+  EXPECT_EQ(first.accuracy, second.accuracy);
+  EXPECT_EQ(first.quorum_met, second.quorum_met);
+  EXPECT_EQ(first.quorum_missed, second.quorum_missed);
+  EXPECT_EQ(first.stale_rounds, second.stale_rounds);
+  EXPECT_EQ(first.fault_drops, second.fault_drops);
+  EXPECT_EQ(first.late_msgs, second.late_msgs);
+  ASSERT_EQ(first.results.size(), second.results.size());
+  for (std::size_t h = 0; h < first.results.size(); ++h) {
+    EXPECT_EQ(first.results[h].total_reward, second.results[h].total_reward);
+    EXPECT_EQ(first.results[h].standby_kwh, second.results[h].standby_kwh);
+    EXPECT_EQ(first.results[h].saved_kwh, second.results[h].saved_kwh);
+    EXPECT_EQ(first.results[h].comfort_violations,
+              second.results[h].comfort_violations);
+    EXPECT_EQ(first.results[h].steps, second.results[h].steps);
+  }
+}
+
 }  // namespace
 }  // namespace pfdrl

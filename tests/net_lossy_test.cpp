@@ -66,7 +66,7 @@ TEST(LossyDfl, DegradesGracefully) {
   cfg.method = forecast::Method::kLr;
   cfg.window.window = 8;
   cfg.window.horizon = 5;
-  cfg.link.drop_probability = 0.4;
+  cfg.fault.link.drop_probability = 0.4;
   fl::DflTrainer trainer(traces, cfg);
   trainer.run(0, data::kMinutesPerDay);  // must not throw or deadlock
   const double acc =
@@ -91,7 +91,7 @@ TEST(LossyDrl, PipelinePlumbsLinkModelIntoDrlFederation) {
   cfg.forecast_method = forecast::Method::kLr;
   cfg.dqn.hidden = {12, 12};
   cfg.gamma_hours = 2.0;  // several DRL rounds within one training day
-  cfg.link.drop_probability = 0.4;
+  cfg.fault.link.drop_probability = 0.4;
   obs::MetricsRegistry reg;
   cfg.metrics = &reg;
 
@@ -119,7 +119,7 @@ TEST(LossyDfl, SecureAggregationRefusesLossyLink) {
   fl::DflConfig cfg;
   cfg.method = forecast::Method::kLr;
   cfg.secure_aggregation = true;
-  cfg.link.drop_probability = 0.1;
+  cfg.fault.link.drop_probability = 0.1;
   EXPECT_THROW(fl::DflTrainer(traces, cfg), std::invalid_argument);
 }
 

@@ -357,15 +357,24 @@ TEST(RecordHelpers, BusAndPoolFoldsAreIdempotent) {
   bus.messages_sent = 10;
   bus.messages_delivered = 8;
   bus.messages_dropped = 2;
+  bus.messages_partition_dropped = 1;
+  bus.messages_duplicated = 3;
+  bus.messages_delayed = 4;
   bus.bytes_on_wire = 4096;
   bus.simulated_transfer_seconds = 0.75;
+  bus.simulated_fault_delay_seconds = 0.25;
   record_bus_stats(reg, "bus.test", bus);
   record_bus_stats(reg, "bus.test", bus);  // must not double-count
   EXPECT_EQ(reg.counter("bus.test.messages_sent").value(), 10u);
   EXPECT_EQ(reg.counter("bus.test.messages_dropped").value(), 2u);
+  EXPECT_EQ(reg.counter("bus.test.messages_partition_dropped").value(), 1u);
+  EXPECT_EQ(reg.counter("bus.test.messages_duplicated").value(), 3u);
+  EXPECT_EQ(reg.counter("bus.test.messages_delayed").value(), 4u);
   EXPECT_EQ(reg.counter("bus.test.bytes_on_wire").value(), 4096u);
   EXPECT_DOUBLE_EQ(
       reg.gauge("bus.test.simulated_transfer_seconds").value(), 0.75);
+  EXPECT_DOUBLE_EQ(
+      reg.gauge("bus.test.simulated_fault_delay_seconds").value(), 0.25);
 
   util::ThreadPoolStats pool;
   pool.tasks_executed = 100;
