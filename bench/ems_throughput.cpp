@@ -1,0 +1,195 @@
+// End-to-end decision throughput of the EMS act path — the recorded
+// perf baseline for the allocation-free inference work.
+//
+// Replays a 20-home neighbourhood's device traces through per-device DQN
+// agents (paper 8x100 net) taking one greedy decision per meter interval,
+// and reports decisions/second for two implementations of the same math:
+//   * workspace — the production path (DqnAgent::act_greedy through the
+//     agent's nn::Workspace arena; steady-state zero heap allocations);
+//   * legacy    — the pre-arena path replicated locally (fresh state
+//     vector + allocating Mlp::predict per decision), kept here so the
+//     speedup stays measurable against the code that no longer exists.
+// Both paths compute bitwise-identical Q-values (the kernels share the
+// accumulation order), so agreement of the chosen actions is asserted.
+//
+// Writes a JSON summary (default BENCH_pipeline.json in the CWD; see
+// docs/performance.md) with the throughput numbers and the nn.* arena
+// telemetry. Flags: --homes N, --minutes M, --out PATH.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "ems/env.hpp"
+#include "nn/workspace.hpp"
+#include "rl/dqn.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace pfdrl;
+
+rl::DqnConfig agent_config(std::uint64_t seed) {
+  rl::DqnConfig cfg;  // paper defaults: 8 x 100 ReLU, 3 actions
+  cfg.state_dim = ems::EmsEnvironment::kStateDim;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The pre-arena act path: allocate the state vector and run the
+/// allocating predict(), exactly as DqnAgent::q_values did before the
+/// workspace existed.
+int legacy_act_greedy(const nn::Mlp& net, const ems::EmsEnvironment& env,
+                      std::size_t idx) {
+  const std::vector<double> state = env.state_at(idx);
+  nn::Matrix x(1, state.size());
+  std::copy(state.begin(), state.end(), x.row(0).begin());
+  const nn::Matrix q = net.predict(x);
+  const auto row = q.row(0);
+  return static_cast<int>(std::max_element(row.begin(), row.end()) -
+                          row.begin());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t homes = 20;
+  std::size_t minutes = 2 * 1440;  // two simulated days
+  std::string out_path = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--homes") == 0 && i + 1 < argc) {
+      homes = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--minutes") == 0 && i + 1 < argc) {
+      minutes = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--homes N] [--minutes M] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bench::print_figure_header(
+      "EMS decision throughput (perf baseline)",
+      "allocation-free act path vs the legacy allocating path");
+
+  const std::size_t days = (minutes + 1439) / 1440;
+  const sim::Scenario scenario =
+      bench::bench_scenario(days, static_cast<std::uint32_t>(homes));
+  minutes = std::min(minutes, scenario.minutes());
+
+  // One agent + environment per device. Perfect forecast (the trace's own
+  // watts): this bench measures decision throughput, not forecast quality.
+  struct Device {
+    std::unique_ptr<rl::DqnAgent> agent;
+    std::unique_ptr<ems::EmsEnvironment> env;
+  };
+  std::vector<Device> devices;
+  for (std::size_t h = 0; h < scenario.traces.size(); ++h) {
+    for (const auto& trace : scenario.traces[h].devices) {
+      auto forecast = std::make_shared<const std::vector<double>>(
+          trace.watts.begin(),
+          trace.watts.begin() + static_cast<std::ptrdiff_t>(minutes));
+      devices.push_back(
+          {std::make_unique<rl::DqnAgent>(agent_config(h + 1)),
+           std::make_unique<ems::EmsEnvironment>(trace, std::move(forecast),
+                                                 0)});
+    }
+  }
+
+  const std::size_t stride = ems::EmsEnvironment::kDefaultMeterInterval;
+  std::array<double, ems::EmsEnvironment::kStateDim> state{};
+  std::vector<int> ws_actions, legacy_actions;
+
+  // Warm-up pass sizes every agent's arena so the timed pass measures the
+  // steady state the EMS loop actually runs in.
+  for (const auto& dev : devices) {
+    dev.env->state_into(0, state);
+    (void)dev.agent->act_greedy(state);
+  }
+
+  const std::uint64_t allocs_before = nn::Workspace::total_allocations();
+  util::Stopwatch ws_watch;
+  for (const auto& dev : devices) {
+    for (std::size_t t = 0; t < dev.env->length(); t += stride) {
+      dev.env->state_into(t, state);
+      ws_actions.push_back(dev.agent->act_greedy(state));
+    }
+  }
+  const double ws_seconds = ws_watch.elapsed_seconds();
+  const std::uint64_t steady_allocs =
+      nn::Workspace::total_allocations() - allocs_before;
+
+  util::Stopwatch legacy_watch;
+  for (const auto& dev : devices) {
+    for (std::size_t t = 0; t < dev.env->length(); t += stride) {
+      legacy_actions.push_back(
+          legacy_act_greedy(dev.agent->network(), *dev.env, t));
+    }
+  }
+  const double legacy_seconds = legacy_watch.elapsed_seconds();
+
+  if (ws_actions != legacy_actions) {
+    std::fprintf(stderr,
+                 "FATAL: workspace and legacy paths disagree on actions\n");
+    return 1;
+  }
+
+  const auto decisions = static_cast<double>(ws_actions.size());
+  const double ws_rate = decisions / ws_seconds;
+  const double legacy_rate = decisions / legacy_seconds;
+  const double speedup = legacy_seconds / ws_seconds;
+
+  util::TextTable table({"path", "decisions", "seconds", "decisions/sec"});
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.0f", decisions);
+  table.add_row({"workspace", buf, std::to_string(ws_seconds),
+                 std::to_string(ws_rate)});
+  table.add_row({"legacy", buf, std::to_string(legacy_seconds),
+                 std::to_string(legacy_rate)});
+  table.print();
+  std::printf("\nspeedup: %.2fx; steady-state arena allocations: %llu\n",
+              speedup, static_cast<unsigned long long>(steady_allocs));
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"ems_throughput\",\n"
+               "  \"homes\": %zu,\n"
+               "  \"devices\": %zu,\n"
+               "  \"minutes\": %zu,\n"
+               "  \"meter_interval\": %zu,\n"
+               "  \"decisions\": %zu,\n"
+               "  \"workspace_seconds\": %.6f,\n"
+               "  \"workspace_decisions_per_sec\": %.1f,\n"
+               "  \"legacy_seconds\": %.6f,\n"
+               "  \"legacy_decisions_per_sec\": %.1f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"steady_state_workspace_allocs\": %llu,\n"
+               "  \"nn_workspace_allocs\": %llu,\n"
+               "  \"nn_scratch_bytes\": %llu\n"
+               "}\n",
+               scenario.traces.size(), devices.size(), minutes, stride,
+               ws_actions.size(), ws_seconds, ws_rate, legacy_seconds,
+               legacy_rate, speedup,
+               static_cast<unsigned long long>(steady_allocs),
+               static_cast<unsigned long long>(
+                   nn::Workspace::total_allocations()),
+               static_cast<unsigned long long>(nn::Workspace::total_bytes()));
+  std::fclose(f);
+  std::printf("baseline written to %s\n", out_path.c_str());
+
+  bench::dump_metrics("ems_throughput");
+  return 0;
+}

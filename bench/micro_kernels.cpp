@@ -9,6 +9,8 @@
 #include "nn/lstm.hpp"
 #include "nn/matrix.hpp"
 #include "nn/mlp.hpp"
+#include "nn/workspace.hpp"
+#include "rl/dqn.hpp"
 #include "rl/replay.hpp"
 #include "util/rng.hpp"
 
@@ -47,6 +49,88 @@ void BM_DenseForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DenseForward);
+
+void BM_Matvec1(benchmark::State& state) {
+  const std::size_t in = 100, out_dim = 100;
+  util::Rng rng(12);
+  std::vector<double> params(nn::dense_param_count(in, out_dim));
+  nn::dense_init(params, in, out_dim, nn::InitScheme::kHeNormal, rng);
+  const std::span<const double> w(params.data(), in * out_dim);
+  const std::span<const double> b(params.data() + in * out_dim, out_dim);
+  std::vector<double> x(in);
+  for (double& v : x) v = rng.normal();
+  std::vector<double> y(out_dim);
+  for (auto _ : state) {
+    nn::matvec1(w, b, x, in, out_dim, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel("100x100 layer, batch 1");
+}
+BENCHMARK(BM_Matvec1);
+
+void BM_DenseForwardBatch1(benchmark::State& state) {
+  const std::size_t in = 100, out_dim = 100;
+  util::Rng rng(13);
+  std::vector<double> params(nn::dense_param_count(in, out_dim));
+  nn::dense_init(params, in, out_dim, nn::InitScheme::kHeNormal, rng);
+  nn::Matrix x(1, in);
+  for (double& v : x.data()) v = rng.normal();
+  nn::Matrix y;
+  for (auto _ : state) {
+    nn::dense_forward(params, in, out_dim, x, nn::Activation::kRelu, y);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetLabel("matvec1 dispatch path");
+}
+BENCHMARK(BM_DenseForwardBatch1);
+
+// The two batch-1 inference paths of the paper's DQN net, side by side:
+// the allocating predict() vs the workspace arena path the agents use.
+void BM_MlpPredictAlloc(benchmark::State& state) {
+  util::Rng rng(14);
+  nn::Mlp net({5, 100, 100, 100, 100, 100, 100, 100, 100, 3},
+              nn::Activation::kRelu, nn::Activation::kIdentity,
+              nn::InitScheme::kHeNormal, rng);
+  nn::Matrix x(1, 5);
+  for (double& v : x.data()) v = rng.normal();
+  for (auto _ : state) {
+    const nn::Matrix q = net.predict(x);
+    benchmark::DoNotOptimize(q.data().data());
+  }
+  state.SetLabel("paper 8x100 net, fresh workspace per call");
+}
+BENCHMARK(BM_MlpPredictAlloc);
+
+void BM_MlpPredictWorkspace(benchmark::State& state) {
+  util::Rng rng(14);  // same seed: identical net as BM_MlpPredictAlloc
+  nn::Mlp net({5, 100, 100, 100, 100, 100, 100, 100, 100, 3},
+              nn::Activation::kRelu, nn::Activation::kIdentity,
+              nn::InitScheme::kHeNormal, rng);
+  nn::Matrix x(1, 5);
+  for (double& v : x.data()) v = rng.normal();
+  nn::Workspace ws;
+  for (auto _ : state) {
+    ws.reset();
+    const nn::Matrix& q = net.predict(x, ws);
+    benchmark::DoNotOptimize(q.data().data());
+  }
+  state.SetLabel("paper 8x100 net, reused arena (steady-state 0 allocs)");
+}
+BENCHMARK(BM_MlpPredictWorkspace);
+
+void BM_DqnActGreedy(benchmark::State& state) {
+  rl::DqnConfig cfg;  // paper defaults: 8x100 ReLU, 3 actions
+  cfg.state_dim = 5;
+  rl::DqnAgent agent(cfg);
+  util::Rng rng(15);
+  std::vector<double> s(cfg.state_dim);
+  for (double& v : s) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.act_greedy(s));
+  }
+  state.SetLabel("per-decision EMS hot path");
+}
+BENCHMARK(BM_DqnActGreedy);
 
 void BM_MlpTrainBatch(benchmark::State& state) {
   util::Rng rng(3);

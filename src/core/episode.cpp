@@ -1,5 +1,6 @@
 #include "core/episode.hpp"
 
+#include <array>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -41,15 +42,19 @@ ems::EmsEnvironment EpisodeRunner::environment(std::size_t home,
       metrics_->counter("episode.forecast_cache_misses").add(1);
     }
   }
-  return ems::EmsEnvironment(traces_[home].devices[dev], *series, begin,
-                             meter_interval_);
+  // Shared-forecast overload: the environment references the cached
+  // series instead of copying a day's worth of minutes per episode.
+  return ems::EmsEnvironment(traces_[home].devices[dev], std::move(series),
+                             begin, meter_interval_);
 }
 
 std::vector<int> EpisodeRunner::greedy_actions(const rl::DqnAgent& agent,
                                                const ems::EmsEnvironment& env) {
   std::vector<int> actions(env.length());
+  std::array<double, ems::EmsEnvironment::kStateDim> state;
   for (std::size_t i = 0; i < env.length(); ++i) {
-    actions[i] = agent.act_greedy(env.state_at(i));
+    env.state_into(i, state);
+    actions[i] = agent.act_greedy(state);
   }
   return actions;
 }

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
 
@@ -193,15 +194,25 @@ void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
     const ems::EmsEnvironment env = runner_.environment(h, d, begin, end);
     std::uint64_t steps = 0;
     std::uint64_t learns = 0;
-    std::vector<double> state = env.state_at(0);
+    std::array<double, ems::EmsEnvironment::kStateDim> state;
+    std::array<double, ems::EmsEnvironment::kStateDim> next_state;
+    env.state_into(0, state);
     for (std::size_t t = 0; t < env.length(); t += stride) {
       const std::size_t t_next = std::min(t + stride, env.length());
       const int action = agent.act(state);
       double r = 0.0;
       for (std::size_t m = t; m < t_next; ++m) r += env.reward_at(m, action);
       const bool terminal = t_next >= env.length();
-      std::vector<double> next_state = terminal ? state : env.state_at(t_next);
-      agent.remember({state, action, r, next_state, terminal});
+      if (terminal) {
+        next_state = state;
+      } else {
+        env.state_into(t_next, next_state);
+      }
+      agent.remember({{state.begin(), state.end()},
+                      action,
+                      r,
+                      {next_state.begin(), next_state.end()},
+                      terminal});
       // `t` is a minute offset but advances one meter interval per step:
       // learn whenever the step's interval [t, t+stride) crosses a
       // multiple of the learn period, so the average learn cadence is one
@@ -211,7 +222,7 @@ void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
         agent.learn();
         ++learns;
       }
-      state = std::move(next_state);
+      state = next_state;
       ++steps;
     }
     env_steps.add(steps);
@@ -315,6 +326,7 @@ void EmsPipeline::sync_runtime_metrics() const {
   obs::record_bus_stats(reg, "bus.drl", drl_comm_stats());
   obs::record_thread_pool_stats(reg, "pool",
                                 util::ThreadPool::global().stats());
+  obs::record_nn_workspace_stats(reg);
 }
 
 const rl::DqnAgent& EmsPipeline::agent(std::size_t home,

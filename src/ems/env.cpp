@@ -12,13 +12,25 @@ namespace pfdrl::ems {
 EmsEnvironment::EmsEnvironment(const data::DeviceTrace& trace,
                                std::vector<double> forecast_watts,
                                std::size_t begin, std::size_t meter_interval)
+    : EmsEnvironment(trace,
+                     std::make_shared<const std::vector<double>>(
+                         std::move(forecast_watts)),
+                     begin, meter_interval) {}
+
+EmsEnvironment::EmsEnvironment(
+    const data::DeviceTrace& trace,
+    std::shared_ptr<const std::vector<double>> forecast_watts,
+    std::size_t begin, std::size_t meter_interval)
     : trace_(&trace),
-      forecast_watts_(std::move(forecast_watts)),
+      forecast_(std::move(forecast_watts)),
       begin_(begin),
       meter_interval_(std::max<std::size_t>(1, meter_interval)),
       bands_(bands_for(trace.spec)),
       scale_(data::normalization_scale(trace.spec)) {
-  if (begin_ + forecast_watts_.size() > trace.minutes()) {
+  if (!forecast_) {
+    throw std::invalid_argument("EmsEnvironment: null forecast series");
+  }
+  if (begin_ + forecast_->size() > trace.minutes()) {
     throw std::invalid_argument("EmsEnvironment: span exceeds trace");
   }
 }
@@ -32,12 +44,19 @@ std::size_t EmsEnvironment::last_report_minute(
 }
 
 std::vector<double> EmsEnvironment::state_at(std::size_t idx) const {
-  assert(idx < length());
   std::vector<double> s(kStateDim, 0.0);
+  state_into(idx, s);
+  return s;
+}
+
+void EmsEnvironment::state_into(std::size_t idx, std::span<double> out) const {
+  assert(idx < length());
+  assert(out.size() == kStateDim);
+  double* s = out.data();
   const std::size_t minute = begin_ + idx;
   // Log-compressed encoding: off/standby/on land on well-separated
   // levels (~0 / ~0.3 / ~0.9) instead of 0 / 0.01 / 0.7.
-  s[0] = data::encode_watts(forecast_watts_[idx], scale_, /*log_scale=*/true);
+  s[0] = data::encode_watts((*forecast_)[idx], scale_, /*log_scale=*/true);
   // Causal meter history: the two most recent *reported* readings.
   const std::size_t report = last_report_minute(minute);
   const std::size_t prev_report =
@@ -50,7 +69,6 @@ std::vector<double> EmsEnvironment::state_at(std::size_t idx) const {
       static_cast<double>(data::kMinutesPerDay);
   s[3] = std::sin(2.0 * std::numbers::pi * hour_frac);
   s[4] = std::cos(2.0 * std::numbers::pi * hour_frac);
-  return s;
 }
 
 data::DeviceMode EmsEnvironment::observed_mode(std::size_t idx) const {
@@ -58,7 +76,7 @@ data::DeviceMode EmsEnvironment::observed_mode(std::size_t idx) const {
 }
 
 data::DeviceMode EmsEnvironment::predicted_mode(std::size_t idx) const {
-  return classify_mode(forecast_watts_[idx], bands_);
+  return classify_mode((*forecast_)[idx], bands_);
 }
 
 data::DeviceMode EmsEnvironment::true_mode(std::size_t idx) const {
@@ -74,7 +92,7 @@ double EmsEnvironment::real_watts(std::size_t idx) const noexcept {
 }
 
 double EmsEnvironment::forecast_watts(std::size_t idx) const noexcept {
-  return forecast_watts_[idx];
+  return (*forecast_)[idx];
 }
 
 }  // namespace pfdrl::ems

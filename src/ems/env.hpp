@@ -35,6 +35,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "data/device.hpp"
@@ -53,6 +55,14 @@ class EmsEnvironment {
   EmsEnvironment(const data::DeviceTrace& trace,
                  std::vector<double> forecast_watts, std::size_t begin,
                  std::size_t meter_interval = kDefaultMeterInterval);
+  /// Shared-forecast overload: the environment holds a reference to the
+  /// caller's series instead of copying it. Used by core::EpisodeRunner,
+  /// whose forecast cache hands the same (possibly multi-day) series to
+  /// every episode over a window.
+  EmsEnvironment(const data::DeviceTrace& trace,
+                 std::shared_ptr<const std::vector<double>> forecast_watts,
+                 std::size_t begin,
+                 std::size_t meter_interval = kDefaultMeterInterval);
 
   static constexpr std::size_t kStateDim = 5;
   static constexpr std::size_t kDefaultMeterInterval = 5;
@@ -67,7 +77,7 @@ class EmsEnvironment {
       const noexcept;
 
   [[nodiscard]] std::size_t length() const noexcept {
-    return forecast_watts_.size();
+    return forecast_->size();
   }
   [[nodiscard]] std::size_t begin_minute() const noexcept { return begin_; }
   [[nodiscard]] const data::DeviceTrace& trace() const noexcept {
@@ -77,6 +87,9 @@ class EmsEnvironment {
 
   /// State vector for step `idx` in [0, length()).
   [[nodiscard]] std::vector<double> state_at(std::size_t idx) const;
+  /// Allocation-free variant: writes the state into `out`, which must be
+  /// exactly kStateDim wide. Hot-path entry used by the episode runner.
+  void state_into(std::size_t idx, std::span<double> out) const;
 
   /// Mode classified from the real power reading at step idx (what the
   /// agent and the reward can observe).
@@ -95,7 +108,7 @@ class EmsEnvironment {
 
  private:
   const data::DeviceTrace* trace_;
-  std::vector<double> forecast_watts_;
+  std::shared_ptr<const std::vector<double>> forecast_;
   std::size_t begin_;
   std::size_t meter_interval_;
   ModeBands bands_;

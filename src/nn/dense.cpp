@@ -4,25 +4,59 @@
 
 namespace pfdrl::nn {
 
+void matvec1(std::span<const double> w, std::span<const double> b,
+             std::span<const double> x, std::size_t in, std::size_t out,
+             std::span<double> y) noexcept {
+  assert(w.size() == in * out && b.size() == out);
+  assert(x.size() == in && y.size() == out);
+  const double* pw = w.data();
+  std::size_t j = 0;
+  for (; j + 4 <= out; j += 4) {
+    double a0 = b[j], a1 = b[j + 1], a2 = b[j + 2], a3 = b[j + 3];
+    const double* wj = pw + j;
+    for (std::size_t k = 0; k < in; ++k) {
+      const double xk = x[k];
+      const double* wk = wj + k * out;
+      a0 += xk * wk[0];
+      a1 += xk * wk[1];
+      a2 += xk * wk[2];
+      a3 += xk * wk[3];
+    }
+    y[j] = a0;
+    y[j + 1] = a1;
+    y[j + 2] = a2;
+    y[j + 3] = a3;
+  }
+  for (; j < out; ++j) {
+    double acc = b[j];
+    for (std::size_t k = 0; k < in; ++k) acc += x[k] * pw[k * out + j];
+    y[j] = acc;
+  }
+}
+
 void dense_forward(std::span<const double> params, std::size_t in,
                    std::size_t out, const Matrix& x, Activation act,
                    Matrix& y) {
   assert(params.size() == dense_param_count(in, out));
   assert(x.cols() == in);
   const std::size_t batch = x.rows();
-  if (y.rows() != batch || y.cols() != out) y = Matrix(batch, out);
+  y.reshape(batch, out);
 
-  const double* w = params.data();          // in*out
-  const double* b = params.data() + in * out;  // out
-  for (std::size_t r = 0; r < batch; ++r) {
-    const double* xr = x.row(r).data();
-    double* yr = y.row(r).data();
-    for (std::size_t j = 0; j < out; ++j) yr[j] = b[j];
-    for (std::size_t k = 0; k < in; ++k) {
-      const double xk = xr[k];
-      if (xk == 0.0) continue;
-      const double* wk = w + k * out;
-      for (std::size_t j = 0; j < out; ++j) yr[j] += xk * wk[j];
+  const auto w = params.first(in * out);
+  const auto b = params.subspan(in * out);
+  if (batch == 1) {
+    matvec1(w, b, x.row(0), in, out, y.row(0));
+  } else {
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* xr = x.row(r).data();
+      double* yr = y.row(r).data();
+      for (std::size_t j = 0; j < out; ++j) yr[j] = b[j];
+      for (std::size_t k = 0; k < in; ++k) {
+        const double xk = xr[k];
+        if (xk == 0.0) continue;
+        const double* wk = w.data() + k * out;
+        for (std::size_t j = 0; j < out; ++j) yr[j] += xk * wk[j];
+      }
     }
   }
   activate_inplace(act, y);
@@ -56,9 +90,7 @@ void dense_backward(std::span<const double> params, std::size_t in,
   }
 
   if (grad_x != nullptr) {
-    if (grad_x->rows() != batch || grad_x->cols() != in) {
-      *grad_x = Matrix(batch, in);
-    }
+    grad_x->reshape(batch, in);  // fully overwritten below
     const double* w = params.data();
     for (std::size_t r = 0; r < batch; ++r) {
       const double* dr = grad_y.row(r).data();

@@ -27,10 +27,22 @@ constexpr std::size_t dense_param_count(std::size_t in, std::size_t out) {
 }
 
 /// y = act(x * W + b).
-/// x: batch x in; y: batch x out (resized by caller); params: [W|b].
+/// x: batch x in; y: batch x out (reshaped in place, reusing capacity);
+/// params: [W|b]. Batch-1 inputs dispatch to matvec1 below.
 void dense_forward(std::span<const double> params, std::size_t in,
                    std::size_t out, const Matrix& x, Activation act,
                    Matrix& y);
+
+/// Batch-1 kernel: y[j] = b[j] + sum_k x[k] * W[k][j] (no activation).
+/// Branch-free inner loop, four outputs per pass with one register
+/// accumulator each; every output is accumulated in ascending-k order,
+/// so results are bitwise identical to the batched dense_forward row
+/// kernel (which skips x[k] == 0 terms — those contribute exactly +0.0).
+/// This is the per-decision hot path of the EMS loop: one call per layer
+/// per DQN decision, millions of times per multi-home run.
+void matvec1(std::span<const double> w, std::span<const double> b,
+             std::span<const double> x, std::size_t in, std::size_t out,
+             std::span<double> y) noexcept;
 
 /// Backward pass. `y` is the cached forward output, `grad_y` the incoming
 /// gradient dL/dy (modified in place into the pre-activation delta).

@@ -3,8 +3,10 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "nn/init.hpp"
+#include "nn/workspace.hpp"
 
 namespace pfdrl::nn {
 
@@ -48,21 +50,19 @@ void GruRegressor::set_parameters(std::span<const double> values) {
   std::copy(values.begin(), values.end(), params_.begin());
 }
 
-void GruRegressor::step_forward(const Matrix& x, const Matrix& h_prev,
-                                StepCache& cache) const {
+void GruRegressor::step_compute(const Matrix& x, const Matrix& h_prev,
+                                Matrix& gates, Matrix& h) const {
   const std::size_t batch = x.rows();
   assert(x.cols() == f_);
-  cache.x = x;
-  cache.h_prev = h_prev;
-  cache.gates = Matrix(batch, 3 * h_);
-  cache.h = Matrix(batch, h_);
+  gates.reshape(batch, 3 * h_);
+  h.reshape(batch, h_);
 
   const double* wx = params_.data();
   const double* wh = params_.data() + f_ * 3 * h_;
   const double* b = params_.data() + f_ * 3 * h_ + h_ * 3 * h_;
 
   for (std::size_t r = 0; r < batch; ++r) {
-    double* z = cache.gates.row(r).data();
+    double* z = gates.row(r).data();
     for (std::size_t j = 0; j < 3 * h_; ++j) z[j] = b[j];
     const double* xr = x.row(r).data();
     for (std::size_t k = 0; k < f_; ++k) {
@@ -90,7 +90,7 @@ void GruRegressor::step_forward(const Matrix& x, const Matrix& h_prev,
       const double* w = wh + k * 3 * h_ + 2 * h_;
       for (std::size_t j = 0; j < h_; ++j) z[2 * h_ + j] += rk * w[j];
     }
-    double* hv = cache.h.row(r).data();
+    double* hv = h.row(r).data();
     for (std::size_t j = 0; j < h_; ++j) {
       const double cand = std::tanh(z[2 * h_ + j]);
       z[2 * h_ + j] = cand;
@@ -100,35 +100,60 @@ void GruRegressor::step_forward(const Matrix& x, const Matrix& h_prev,
   }
 }
 
-const Matrix& GruRegressor::forward(const std::vector<Matrix>& xs) {
-  if (xs.empty()) throw std::invalid_argument("GruRegressor: empty sequence");
-  const std::size_t batch = xs.front().rows();
-  steps_.clear();
-  steps_.resize(xs.size());
-  Matrix h_prev(batch, h_);
-  for (std::size_t t = 0; t < xs.size(); ++t) {
-    assert(xs[t].rows() == batch);
-    step_forward(xs[t], h_prev, steps_[t]);
-    h_prev = steps_[t].h;
-  }
-  output_ = Matrix(batch, o_);
-  const double* w =
-      params_.data() + f_ * 3 * h_ + h_ * 3 * h_ + 3 * h_;
+void GruRegressor::head_into(const Matrix& h_last, Matrix& out) const {
+  const std::size_t batch = h_last.rows();
+  out.reshape(batch, o_);
+  const double* w = params_.data() + f_ * 3 * h_ + h_ * 3 * h_ + 3 * h_;
   const double* b = w + h_ * o_;
   for (std::size_t r = 0; r < batch; ++r) {
-    const double* hr = steps_.back().h.row(r).data();
-    double* yr = output_.row(r).data();
+    const double* hr = h_last.row(r).data();
+    double* yr = out.row(r).data();
     for (std::size_t j = 0; j < o_; ++j) yr[j] = b[j];
     for (std::size_t k = 0; k < h_; ++k) {
       for (std::size_t j = 0; j < o_; ++j) yr[j] += hr[k] * w[k * o_ + j];
     }
   }
+}
+
+const Matrix& GruRegressor::forward(const std::vector<Matrix>& xs) {
+  if (xs.empty()) throw std::invalid_argument("GruRegressor: empty sequence");
+  const std::size_t batch = xs.front().rows();
+  // resize (not clear+resize): surviving StepCaches keep their buffers.
+  steps_.resize(xs.size());
+  h0_.reshape(batch, h_);
+  h0_.zero();
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    assert(xs[t].rows() == batch);
+    StepCache& cache = steps_[t];
+    cache.x = &xs[t];
+    cache.h_prev = t > 0 ? &steps_[t - 1].h : &h0_;
+    step_compute(xs[t], *cache.h_prev, cache.gates, cache.h);
+  }
+  head_into(steps_.back().h, output_);
   return output_;
 }
 
 Matrix GruRegressor::predict(const std::vector<Matrix>& xs) const {
-  GruRegressor scratch(*this);
-  return scratch.forward(xs);
+  Workspace ws;
+  return predict(xs, ws);
+}
+
+const Matrix& GruRegressor::predict(const std::vector<Matrix>& xs,
+                                    Workspace& ws) const {
+  if (xs.empty()) throw std::invalid_argument("GruRegressor: empty sequence");
+  const std::size_t batch = xs.front().rows();
+  Matrix& gates = ws.take(batch, 3 * h_);
+  Matrix* h_prev = &ws.take(batch, h_);
+  Matrix* h_next = &ws.take(batch, h_);
+  Matrix& out = ws.take(batch, o_);
+  h_prev->zero();
+  for (const Matrix& x : xs) {
+    assert(x.rows() == batch);
+    step_compute(x, *h_prev, gates, *h_next);
+    std::swap(h_prev, h_next);
+  }
+  head_into(*h_prev, out);
+  return out;
 }
 
 void GruRegressor::backward(const Matrix& grad_out,
@@ -172,7 +197,7 @@ void GruRegressor::backward(const Matrix& grad_out,
     const StepCache& st = steps_[t];
     for (std::size_t r = 0; r < batch; ++r) {
       const double* g = st.gates.row(r).data();
-      const double* hp = st.h_prev.row(r).data();
+      const double* hp = st.h_prev->row(r).data();
       double* dhr = dh.row(r).data();
       double* dzr = dz.row(r).data();
       for (std::size_t j = 0; j < h_; ++j) {
@@ -211,7 +236,7 @@ void GruRegressor::backward(const Matrix& grad_out,
         dhr[k] += s;
       }
       // Parameter gradients.
-      const double* xr = st.x.row(r).data();
+      const double* xr = st.x->row(r).data();
       for (std::size_t j = 0; j < 3 * h_; ++j) grads[b_off + j] += dzr[j];
       for (std::size_t k = 0; k < f_; ++k) {
         const double xk = xr[k];

@@ -17,6 +17,8 @@
 
 namespace pfdrl::nn {
 
+class Workspace;
+
 class GruRegressor {
  public:
   GruRegressor(std::size_t feature_dim, std::size_t hidden_dim,
@@ -35,8 +37,14 @@ class GruRegressor {
   void set_parameters(std::span<const double> values);
 
   /// Forward over a sequence (xs[t]: batch x F); caches for backward.
+  /// The step inputs are held by reference: `xs` must outlive the
+  /// matching backward().
   const Matrix& forward(const std::vector<Matrix>& xs);
+  /// Stateless inference (allocates a scratch workspace per call).
   [[nodiscard]] Matrix predict(const std::vector<Matrix>& xs) const;
+  /// Allocation-free inference via workspace step scratch; the returned
+  /// reference points into `ws`.
+  const Matrix& predict(const std::vector<Matrix>& xs, Workspace& ws) const;
 
   /// Forward + loss + BPTT + optimizer step; returns batch loss.
   double train_batch(const std::vector<Matrix>& xs, const Matrix& y,
@@ -44,19 +52,27 @@ class GruRegressor {
 
  private:
   struct StepCache {
-    Matrix x;      // B x F
-    Matrix gates;  // B x 3H post-nonlinearity (z, r, candidate)
-    Matrix h_prev; // B x H hidden entering the step
-    Matrix h;      // B x H hidden after the step
+    const Matrix* x = nullptr;       // B x F step input (view into xs)
+    Matrix gates;                    // B x 3H post-nonlinearity (z, r, cand)
+    const Matrix* h_prev = nullptr;  // B x H hidden entering the step
+    Matrix h;                        // B x H hidden after the step
   };
 
-  void step_forward(const Matrix& x, const Matrix& h_prev,
-                    StepCache& cache) const;
+  /// One recurrent step into caller-provided scratch (outputs reshaped in
+  /// place, fully overwritten). Shared by forward() and the workspace
+  /// predict.
+  void step_compute(const Matrix& x, const Matrix& h_prev, Matrix& gates,
+                    Matrix& h) const;
+  /// Dense head: out = h_last * W_head + b_head (out reshaped in place).
+  void head_into(const Matrix& h_last, Matrix& out) const;
   void backward(const Matrix& grad_out, std::span<double> grads) const;
 
   std::size_t f_, h_, o_;
   std::vector<double> params_;
+  // steps_ is resized (not cleared) per forward so step scratch keeps its
+  // buffers; h0_ is the zeroed initial hidden the first step points at.
   std::vector<StepCache> steps_;
+  Matrix h0_;
   Matrix output_;
 };
 

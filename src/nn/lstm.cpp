@@ -6,6 +6,7 @@
 
 #include "nn/activation.hpp"
 #include "nn/init.hpp"
+#include "nn/workspace.hpp"
 
 namespace pfdrl::nn {
 
@@ -85,23 +86,22 @@ void LstmRegressor::set_parameters(std::span<const double> values) {
   std::copy(values.begin(), values.end(), params_.begin());
 }
 
-void LstmRegressor::step_forward(const Matrix& x, const Matrix& h_prev,
-                                 const Matrix& c_prev,
-                                 StepCache& cache) const {
+void LstmRegressor::step_compute(const Matrix& x, const Matrix& h_prev,
+                                 const Matrix& c_prev, Matrix& gates,
+                                 Matrix& c, Matrix& tanh_c, Matrix& h) const {
   const std::size_t batch = x.rows();
   assert(x.cols() == f_);
-  cache.x = x;
-  cache.gates = Matrix(batch, 4 * h_);
-  cache.c = Matrix(batch, h_);
-  cache.tanh_c = Matrix(batch, h_);
-  cache.h = Matrix(batch, h_);
+  gates.reshape(batch, 4 * h_);
+  c.reshape(batch, h_);
+  tanh_c.reshape(batch, h_);
+  h.reshape(batch, h_);
 
   const double* pwx = wx().data();
   const double* pwh = wh().data();
   const double* pb = bias().data();
 
   for (std::size_t r = 0; r < batch; ++r) {
-    double* z = cache.gates.row(r).data();
+    double* z = gates.row(r).data();
     for (std::size_t j = 0; j < 4 * h_; ++j) z[j] = pb[j];
     const double* xr = x.row(r).data();
     for (std::size_t k = 0; k < f_; ++k) {
@@ -119,9 +119,9 @@ void LstmRegressor::step_forward(const Matrix& x, const Matrix& h_prev,
     }
     // Nonlinearities + state update.
     const double* cprev = c_prev.row(r).data();
-    double* c = cache.c.row(r).data();
-    double* tc = cache.tanh_c.row(r).data();
-    double* h = cache.h.row(r).data();
+    double* cr = c.row(r).data();
+    double* tc = tanh_c.row(r).data();
+    double* hv = h.row(r).data();
     for (std::size_t j = 0; j < h_; ++j) {
       const double i_g = sigmoid(z[j]);
       const double f_g = sigmoid(z[h_ + j]);
@@ -131,9 +131,25 @@ void LstmRegressor::step_forward(const Matrix& x, const Matrix& h_prev,
       z[h_ + j] = f_g;
       z[2 * h_ + j] = g_g;
       z[3 * h_ + j] = o_g;
-      c[j] = f_g * cprev[j] + i_g * g_g;
-      tc[j] = std::tanh(c[j]);
-      h[j] = o_g * tc[j];
+      cr[j] = f_g * cprev[j] + i_g * g_g;
+      tc[j] = std::tanh(cr[j]);
+      hv[j] = o_g * tc[j];
+    }
+  }
+}
+
+void LstmRegressor::head_into(const Matrix& h_last, Matrix& out) const {
+  const std::size_t batch = h_last.rows();
+  out.reshape(batch, o_);
+  const double* w = w_head().data();
+  const double* b = b_head().data();
+  for (std::size_t r = 0; r < batch; ++r) {
+    const double* hr = h_last.row(r).data();
+    double* yr = out.row(r).data();
+    for (std::size_t j = 0; j < o_; ++j) yr[j] = b[j];
+    for (std::size_t k = 0; k < h_; ++k) {
+      const double hk = hr[k];
+      for (std::size_t j = 0; j < o_; ++j) yr[j] += hk * w[k * o_ + j];
     }
   }
 }
@@ -141,36 +157,52 @@ void LstmRegressor::step_forward(const Matrix& x, const Matrix& h_prev,
 const Matrix& LstmRegressor::forward(const std::vector<Matrix>& xs) {
   if (xs.empty()) throw std::invalid_argument("LstmRegressor: empty sequence");
   const std::size_t batch = xs.front().rows();
-  steps_.clear();
+  // resize (not clear+resize): surviving StepCaches keep their buffers,
+  // so repeat batches of the same shape allocate nothing.
   steps_.resize(xs.size());
-  Matrix h_prev(batch, h_);
-  Matrix c_prev(batch, h_);
+  h0_.reshape(batch, h_);
+  h0_.zero();
+  c0_.reshape(batch, h_);
+  c0_.zero();
   for (std::size_t t = 0; t < xs.size(); ++t) {
     assert(xs[t].rows() == batch);
-    step_forward(xs[t], h_prev, c_prev, steps_[t]);
-    h_prev = steps_[t].h;
-    c_prev = steps_[t].c;
+    const Matrix& h_prev = t > 0 ? steps_[t - 1].h : h0_;
+    const Matrix& c_prev = t > 0 ? steps_[t - 1].c : c0_;
+    StepCache& cache = steps_[t];
+    cache.x = &xs[t];
+    step_compute(xs[t], h_prev, c_prev, cache.gates, cache.c, cache.tanh_c,
+                 cache.h);
   }
-  // Head: y = h_T * W_head + b_head.
-  output_ = Matrix(batch, o_);
-  const double* w = w_head().data();
-  const double* b = b_head().data();
-  for (std::size_t r = 0; r < batch; ++r) {
-    const double* hr = steps_.back().h.row(r).data();
-    double* yr = output_.row(r).data();
-    for (std::size_t j = 0; j < o_; ++j) yr[j] = b[j];
-    for (std::size_t k = 0; k < h_; ++k) {
-      const double hk = hr[k];
-      for (std::size_t j = 0; j < o_; ++j) yr[j] += hk * w[k * o_ + j];
-    }
-  }
+  head_into(steps_.back().h, output_);
   return output_;
 }
 
 Matrix LstmRegressor::predict(const std::vector<Matrix>& xs) const {
-  // const_cast-free: run a scratch copy of the caches.
-  LstmRegressor scratch(*this);
-  return scratch.forward(xs);
+  Workspace ws;
+  return predict(xs, ws);
+}
+
+const Matrix& LstmRegressor::predict(const std::vector<Matrix>& xs,
+                                     Workspace& ws) const {
+  if (xs.empty()) throw std::invalid_argument("LstmRegressor: empty sequence");
+  const std::size_t batch = xs.front().rows();
+  Matrix& gates = ws.take(batch, 4 * h_);
+  Matrix& tanh_c = ws.take(batch, h_);
+  Matrix* h_prev = &ws.take(batch, h_);
+  Matrix* h_next = &ws.take(batch, h_);
+  Matrix* c_prev = &ws.take(batch, h_);
+  Matrix* c_next = &ws.take(batch, h_);
+  Matrix& out = ws.take(batch, o_);
+  h_prev->zero();
+  c_prev->zero();
+  for (const Matrix& x : xs) {
+    assert(x.rows() == batch);
+    step_compute(x, *h_prev, *c_prev, gates, *c_next, tanh_c, *h_next);
+    std::swap(h_prev, h_next);
+    std::swap(c_prev, c_next);
+  }
+  head_into(*h_prev, out);
+  return out;
 }
 
 void LstmRegressor::backward(const Matrix& grad_out,
@@ -249,7 +281,7 @@ void LstmRegressor::backward(const Matrix& grad_out,
     // Accumulate parameter gradients and compute dh_{t-1}.
     for (std::size_t r = 0; r < batch; ++r) {
       const double* dzr = dz.row(r).data();
-      const double* xr = st.x.row(r).data();
+      const double* xr = st.x->row(r).data();
       for (std::size_t j = 0; j < 4 * h_; ++j) grads[b_off + j] += dzr[j];
       for (std::size_t k = 0; k < f_; ++k) {
         const double xk = xr[k];

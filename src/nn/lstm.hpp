@@ -19,6 +19,8 @@
 
 namespace pfdrl::nn {
 
+class Workspace;
+
 class LstmRegressor {
  public:
   /// feature_dim F, hidden_dim H, output_dim O (usually 1).
@@ -41,10 +43,15 @@ class LstmRegressor {
 
   /// Forward over a sequence: xs[t] is the batch-by-F input at step t.
   /// All steps must share the same batch size. Returns batch-by-O output
-  /// and caches activations for backward().
+  /// and caches activations for backward(). The step inputs are held by
+  /// reference: `xs` must outlive the matching backward().
   const Matrix& forward(const std::vector<Matrix>& xs);
-  /// Stateless inference.
+  /// Stateless inference (allocates a scratch workspace per call).
   [[nodiscard]] Matrix predict(const std::vector<Matrix>& xs) const;
+  /// Allocation-free inference: gate/cell/hidden step scratch lives in
+  /// workspace slots that steady-state calls reuse without growth. The
+  /// returned reference points into `ws`.
+  const Matrix& predict(const std::vector<Matrix>& xs, Workspace& ws) const;
 
   /// Forward + loss + BPTT + optimizer step. Gradients are L2-clipped at
   /// `clip_norm` (0 disables clipping). Returns batch loss.
@@ -53,7 +60,7 @@ class LstmRegressor {
 
  private:
   struct StepCache {
-    Matrix x;       // B x F
+    const Matrix* x = nullptr;  // B x F step input (view into caller's xs)
     Matrix gates;   // B x 4H, post-nonlinearity (i, f, g, o)
     Matrix c;       // B x H cell state after the step
     Matrix tanh_c;  // B x H
@@ -72,14 +79,23 @@ class LstmRegressor {
   [[nodiscard]] std::span<const double> w_head() const noexcept;
   [[nodiscard]] std::span<const double> b_head() const noexcept;
 
-  void step_forward(const Matrix& x, const Matrix& h_prev,
-                    const Matrix& c_prev, StepCache& cache) const;
+  /// One recurrent step into caller-provided scratch (all outputs are
+  /// reshaped in place and fully overwritten). Shared by the training
+  /// forward (cache matrices) and the workspace predict (arena slots).
+  void step_compute(const Matrix& x, const Matrix& h_prev,
+                    const Matrix& c_prev, Matrix& gates, Matrix& c,
+                    Matrix& tanh_c, Matrix& h) const;
+  /// Dense head: out = h_last * W_head + b_head (out reshaped in place).
+  void head_into(const Matrix& h_last, Matrix& out) const;
   void backward(const Matrix& grad_out, std::span<double> grads) const;
 
   std::size_t f_, h_, o_;
   std::vector<double> params_;
-  // Training caches.
+  // Training caches. steps_ is resized (not cleared) per forward so the
+  // per-step scratch keeps its heap buffers across batches; h0_/c0_ are
+  // the zeroed initial states the first step reads.
   std::vector<StepCache> steps_;
+  Matrix h0_, c0_;
   Matrix output_;
 };
 

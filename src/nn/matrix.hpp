@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <initializer_list>
 #include <span>
 #include <vector>
@@ -49,6 +48,18 @@ class Matrix {
   void fill(double v) noexcept;
   void zero() noexcept { fill(0.0); }
 
+  /// Change geometry in place, reusing the existing heap buffer whenever
+  /// its capacity suffices (the capacity never shrinks). Element values
+  /// after a reshape are unspecified — callers must fully overwrite.
+  /// Returns the number of heap bytes newly acquired (0 when the buffer
+  /// was reused), which is what nn::Workspace folds into its process-wide
+  /// growth counters.
+  std::size_t reshape(std::size_t rows, std::size_t cols);
+  /// Heap capacity in elements (>= size()).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return data_.capacity();
+  }
+
   /// this += other (shapes must match).
   Matrix& operator+=(const Matrix& other);
   /// this -= other (shapes must match).
@@ -61,14 +72,12 @@ class Matrix {
   /// Elementwise map in place. The functor is a template parameter so the
   /// per-element call inlines — activation kernels dispatch on the
   /// activation kind once per matrix, not once per element through a
-  /// std::function indirection.
+  /// type-erased indirection. (A std::function overload used to exist;
+  /// every call site binds a concrete lambda, so it was deleted.)
   template <class F>
   void apply(F&& f) {
     for (double& x : data_) x = f(x);
   }
-  /// Type-erased overload for callers that already hold a std::function
-  /// (non-templates win overload resolution, so this stays selectable).
-  void apply(const std::function<double(double)>& f);
 
   [[nodiscard]] Matrix transposed() const;
 
@@ -83,10 +92,14 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// out = a * b. Blocked ikj loops; when `threaded` and the output is large
-/// enough, rows are sharded across the global thread pool (results are
-/// bitwise identical either way: each output element is produced by
-/// exactly one thread with a fixed accumulation order).
+/// out = a * b. Register-blocked over output columns (4-wide accumulator
+/// block held in registers across the full k sweep); when `threaded` and
+/// the output is large enough, rows are sharded across the global thread
+/// pool. Results are bitwise identical either way: each output element is
+/// produced by exactly one thread as a single accumulator walked in
+/// ascending-k order — the invariant the golden tests pin.
+/// If `out` aliases `a` or `b` the product is computed into a temporary
+/// first (silent corruption otherwise), at the cost of one allocation.
 void matmul(const Matrix& a, const Matrix& b, Matrix& out,
             bool threaded = false);
 [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b,
@@ -94,7 +107,9 @@ void matmul(const Matrix& a, const Matrix& b, Matrix& out,
 
 /// out = a^T * b without materializing the transpose.
 void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out);
-/// out = a * b^T without materializing the transpose.
+/// out = a * b^T without materializing the transpose. Register-blocked
+/// four output columns at a time (shared a-row loads); per-element
+/// accumulation stays a single ascending-k dot product.
 void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out(r, :) += bias for every row r (bias is 1 x cols).

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "nn/workspace.hpp"
+
 namespace pfdrl::nn {
 
 Mlp::Mlp(std::vector<std::size_t> dims, Activation hidden_act,
@@ -36,24 +38,29 @@ void Mlp::set_parameters(std::span<const double> values) {
 
 const Matrix& Mlp::forward(const Matrix& x) {
   assert(x.cols() == input_dim());
-  acts_[0] = x;
+  input_ = &x;  // view, not copy — x must outlive the matching backward()
   for (std::size_t i = 0; i < num_layers(); ++i) {
-    dense_forward(layer_parameters(i), dims_[i], dims_[i + 1], acts_[i],
+    dense_forward(layer_parameters(i), dims_[i], dims_[i + 1], layer_input(i),
                   layer_act(i), acts_[i + 1]);
   }
   return acts_.back();
 }
 
 Matrix Mlp::predict(const Matrix& x) const {
+  Workspace ws;
+  return predict(x, ws);
+}
+
+const Matrix& Mlp::predict(const Matrix& x, Workspace& ws) const {
   assert(x.cols() == input_dim());
-  Matrix cur = x;
-  Matrix next;
+  const Matrix* cur = &x;
   for (std::size_t i = 0; i < num_layers(); ++i) {
-    dense_forward(layer_parameters(i), dims_[i], dims_[i + 1], cur,
-                  layer_act(i), next);
-    std::swap(cur, next);
+    Matrix& y = ws.take(x.rows(), dims_[i + 1]);
+    dense_forward(layer_parameters(i), dims_[i], dims_[i + 1], *cur,
+                  layer_act(i), y);
+    cur = &y;
   }
-  return cur;
+  return *cur;
 }
 
 void Mlp::zero_grad() noexcept {
@@ -61,16 +68,16 @@ void Mlp::zero_grad() noexcept {
 }
 
 void Mlp::backward(Matrix grad_out) {
+  assert(input_ != nullptr && "backward() requires a preceding forward()");
   assert(grad_out.rows() == acts_.back().rows());
   assert(grad_out.cols() == output_dim());
-  Matrix grad_in;
   for (std::size_t i = num_layers(); i-- > 0;) {
     auto grad_slice =
         std::span(grads_).subspan(offsets_[i], layer_param_count(i));
-    dense_backward(layer_parameters(i), dims_[i], dims_[i + 1], acts_[i],
-                   acts_[i + 1], layer_act(i), grad_out, grad_slice,
-                   i > 0 ? &grad_in : nullptr);
-    if (i > 0) std::swap(grad_out, grad_in);
+    dense_backward(layer_parameters(i), dims_[i], dims_[i + 1],
+                   layer_input(i), acts_[i + 1], layer_act(i), grad_out,
+                   grad_slice, i > 0 ? &grad_scratch_ : nullptr);
+    if (i > 0) std::swap(grad_out, grad_scratch_);
   }
 }
 

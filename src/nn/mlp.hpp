@@ -20,6 +20,8 @@
 
 namespace pfdrl::nn {
 
+class Workspace;
+
 class Mlp {
  public:
   /// dims = {input, hidden..., output}; at least {in, out}.
@@ -69,9 +71,18 @@ class Mlp {
   void set_parameters(std::span<const double> values);
 
   /// Forward pass with activation caching (required before backward()).
+  /// The input is held by reference, not copied: `x` must stay alive and
+  /// unmodified until the matching backward() completes.
   const Matrix& forward(const Matrix& x);
   /// Stateless inference (does not disturb the training caches).
+  /// Allocates per call; the hot path is the workspace overload below.
   [[nodiscard]] Matrix predict(const Matrix& x) const;
+  /// Allocation-free inference: every per-layer activation lives in a
+  /// workspace slot (one take() per layer, exact shapes, so steady-state
+  /// repeats grow nothing). The returned reference points into `ws` and
+  /// stays valid until the slot is recycled by a later reset()/take()
+  /// cycle; it survives further take() calls within the same cycle.
+  const Matrix& predict(const Matrix& x, Workspace& ws) const;
 
   void zero_grad() noexcept;
   /// Accumulate gradients for dL/d(output) = grad_out. Must follow
@@ -94,8 +105,18 @@ class Mlp {
   std::vector<std::size_t> offsets_;  // per-layer flat offsets, + total
   std::vector<double> params_;
   std::vector<double> grads_;
-  // Forward caches: acts_[0] is the input, acts_[i+1] layer i's output.
+  // Forward caches: acts_[i] is layer i's output (1-based; the input is
+  // *viewed* through input_, never deep-copied — see forward()).
   std::vector<Matrix> acts_;
+  const Matrix* input_ = nullptr;
+  // Backward ping-pong scratch, kept to preserve capacity across batches.
+  Matrix grad_scratch_;
+
+  /// Layer i's input: the forward() argument for i == 0, else the cached
+  /// activation of the previous layer.
+  [[nodiscard]] const Matrix& layer_input(std::size_t i) const noexcept {
+    return i == 0 ? *input_ : acts_[i];
+  }
 
   [[nodiscard]] Activation layer_act(std::size_t i) const noexcept {
     return i + 1 == num_layers() ? output_act_ : hidden_act_;

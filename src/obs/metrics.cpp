@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/workspace.hpp"
+
 namespace pfdrl::obs {
 
 namespace {
@@ -393,6 +395,12 @@ void record_thread_pool_stats(MetricsRegistry& registry,
   registry.counter(p + ".tasks_stolen").set(stats.tasks_stolen);
   registry.gauge(p + ".max_queue_depth")
       .set(static_cast<double>(stats.max_queue_depth));
+}
+
+void record_nn_workspace_stats(MetricsRegistry& registry) {
+  registry.counter("nn.workspace_allocs").set(nn::Workspace::total_allocations());
+  registry.gauge("nn.scratch_bytes")
+      .set(static_cast<double>(nn::Workspace::total_bytes()));
 }
 
 }  // namespace pfdrl::obs

@@ -210,4 +210,11 @@ void record_thread_pool_stats(MetricsRegistry& registry,
                               std::string_view prefix,
                               const util::ThreadPoolStats& stats);
 
+/// Fold the process-wide nn::Workspace telemetry into an
+/// `nn.workspace_allocs` counter (heap acquisitions by all arenas since
+/// process start — flat once the steady state is reached) and an
+/// `nn.scratch_bytes` gauge (bytes currently held by live arenas).
+/// Idempotent (set, not add) so it can run after every round.
+void record_nn_workspace_stats(MetricsRegistry& registry);
+
 }  // namespace pfdrl::obs

@@ -48,39 +48,56 @@ int DqnAgent::act(std::span<const double> state) {
   return act_greedy(state);
 }
 
+std::span<const double> DqnAgent::q_row(std::span<const double> state) const {
+  assert(state.size() == cfg_.state_dim);
+  ws_.reset();
+  nn::Matrix& x = ws_.take(1, cfg_.state_dim);
+  std::copy(state.begin(), state.end(), x.row(0).begin());
+  return net_.predict(x, ws_).row(0);
+}
+
 int DqnAgent::act_greedy(std::span<const double> state) const {
-  const auto q = q_values(state);
+  const auto q = q_row(state);
   return static_cast<int>(std::max_element(q.begin(), q.end()) - q.begin());
 }
 
 std::vector<double> DqnAgent::q_values(std::span<const double> state) const {
-  assert(state.size() == cfg_.state_dim);
-  nn::Matrix x(1, cfg_.state_dim);
-  std::copy(state.begin(), state.end(), x.row(0).begin());
-  const nn::Matrix q = net_.predict(x);
-  return {q.row(0).begin(), q.row(0).end()};
+  std::vector<double> out(cfg_.num_actions);
+  q_values_into(state, out);
+  return out;
+}
+
+void DqnAgent::q_values_into(std::span<const double> state,
+                             std::span<double> out) const {
+  assert(out.size() == cfg_.num_actions);
+  const auto q = q_row(state);
+  std::copy(q.begin(), q.end(), out.begin());
 }
 
 double DqnAgent::learn() {
   if (replay_.size() < cfg_.batch_size) return 0.0;
-  const auto batch = replay_.sample(cfg_.batch_size, rng_);
+  replay_.sample_into(cfg_.batch_size, rng_, batch_);
+  const auto& batch = batch_;
   const std::size_t bs = batch.size();
 
-  nn::Matrix states(bs, cfg_.state_dim);
-  nn::Matrix next_states(bs, cfg_.state_dim);
+  states_.reshape(bs, cfg_.state_dim);       // fully overwritten below
+  next_states_.reshape(bs, cfg_.state_dim);  // fully overwritten below
   for (std::size_t i = 0; i < bs; ++i) {
     std::copy(batch[i]->state.begin(), batch[i]->state.end(),
-              states.row(i).begin());
+              states_.row(i).begin());
     std::copy(batch[i]->next_state.begin(), batch[i]->next_state.end(),
-              next_states.row(i).begin());
+              next_states_.row(i).begin());
   }
 
   // TD targets from the frozen target network. With double DQN the
-  // bootstrap action comes from the online network instead.
-  const nn::Matrix q_next = target_.predict(next_states);
-  nn::Matrix q_next_online;
-  if (cfg_.double_dqn) q_next_online = net_.predict(next_states);
-  const nn::Matrix& q_pred = net_.forward(states);
+  // bootstrap action comes from the online network instead. Both predicts
+  // run through the workspace; the slots don't collide because takes only
+  // advance within a reset cycle.
+  ws_.reset();
+  const nn::Matrix& q_next = target_.predict(next_states_, ws_);
+  const nn::Matrix* q_next_online_p =
+      cfg_.double_dqn ? &net_.predict(next_states_, ws_) : nullptr;
+  const nn::Matrix& q_pred = net_.forward(states_);
 
   // Loss only on the taken action's Q-value: the gradient matrix is zero
   // everywhere else. Huber TD error, as in Algorithm 2.
@@ -90,9 +107,10 @@ double DqnAgent::learn() {
   for (std::size_t i = 0; i < bs; ++i) {
     double max_next;
     if (cfg_.double_dqn) {
+      const nn::Matrix& q_online = *q_next_online_p;
       std::size_t best = 0;
       for (std::size_t a = 1; a < cfg_.num_actions; ++a) {
-        if (q_next_online(i, a) > q_next_online(i, best)) best = a;
+        if (q_online(i, a) > q_online(i, best)) best = a;
       }
       max_next = q_next(i, best);
     } else {

@@ -14,6 +14,7 @@
 
 #include "nn/mlp.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/workspace.hpp"
 #include "rl/replay.hpp"
 #include "util/rng.hpp"
 
@@ -52,13 +53,17 @@ class DqnAgent {
   [[nodiscard]] const DqnConfig& config() const noexcept { return cfg_; }
 
   /// Epsilon-greedy action for `state` (advances the exploration
-  /// schedule).
+  /// schedule). Steady-state calls are allocation-free: the forward pass
+  /// runs through the agent's nn::Workspace arena.
   int act(std::span<const double> state);
   /// Greedy action (evaluation policy; no exploration, no schedule).
   [[nodiscard]] int act_greedy(std::span<const double> state) const;
   /// Q-values for a state (diagnostics/tests).
   [[nodiscard]] std::vector<double> q_values(
       std::span<const double> state) const;
+  /// Allocation-free variant: writes num_actions Q-values into `out`.
+  void q_values_into(std::span<const double> state,
+                     std::span<double> out) const;
 
   void remember(Transition t) { replay_.push(std::move(t)); }
   [[nodiscard]] const ReplayBuffer& replay() const noexcept { return replay_; }
@@ -89,6 +94,11 @@ class DqnAgent {
   void sync_target();
 
  private:
+  /// Single-state forward through the workspace; returns the Q-row, which
+  /// lives in ws_ until the next q_row()/learn() call.
+  [[nodiscard]] std::span<const double> q_row(
+      std::span<const double> state) const;
+
   DqnConfig cfg_;
   util::Rng rng_;
   nn::Mlp net_;
@@ -97,6 +107,14 @@ class DqnAgent {
   ReplayBuffer replay_;
   std::uint64_t act_steps_ = 0;
   std::uint64_t learn_steps_ = 0;
+  // Inference scratch. The workspace (and the learn() buffers below) keep
+  // their heap blocks across calls, so the steady-state act/learn paths
+  // stop allocating once warm. Mutable: taking scratch does not change
+  // the agent's observable state.
+  mutable nn::Workspace ws_;
+  nn::Matrix states_;
+  nn::Matrix next_states_;
+  std::vector<const Transition*> batch_;
 };
 
 }  // namespace pfdrl::rl

@@ -19,15 +19,21 @@ void ReplayBuffer::push(Transition t) {
 
 std::vector<const Transition*> ReplayBuffer::sample(std::size_t batch,
                                                     util::Rng& rng) const {
-  if (empty()) throw std::logic_error("ReplayBuffer: sample from empty");
   std::vector<const Transition*> out;
+  sample_into(batch, rng, out);
+  return out;
+}
+
+void ReplayBuffer::sample_into(std::size_t batch, util::Rng& rng,
+                               std::vector<const Transition*>& out) const {
+  if (empty()) throw std::logic_error("ReplayBuffer: sample from empty");
+  out.clear();
   out.reserve(batch);
   for (std::size_t i = 0; i < batch; ++i) {
     const auto idx = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(size_) - 1));
     out.push_back(&storage_[idx]);
   }
-  return out;
 }
 
 void ReplayBuffer::clear() noexcept {

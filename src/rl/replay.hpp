@@ -32,6 +32,12 @@ class ReplayBuffer {
   [[nodiscard]] std::vector<const Transition*> sample(std::size_t batch,
                                                       util::Rng& rng) const;
 
+  /// Allocation-free variant of sample(): draws into `out` (cleared and
+  /// refilled; capacity is reused across calls). Consumes the identical
+  /// RNG sequence as sample() for the same inputs.
+  void sample_into(std::size_t batch, util::Rng& rng,
+                   std::vector<const Transition*>& out) const;
+
   void clear() noexcept;
 
   /// Total transitions ever pushed (diagnostics).

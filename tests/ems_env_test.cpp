@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "data/dataset.hpp"
 
 namespace pfdrl::ems {
@@ -147,6 +149,35 @@ TEST(Env, OffsetBeginAlignsIndices) {
   EmsEnvironment env(trace, flat_forecast(100, 6.0), 150, 5);
   // idx 40 -> trace minute 190 (on period).
   EXPECT_EQ(env.true_mode(40), DeviceMode::kOn);
+}
+
+TEST(Env, StateIntoMatchesStateAt) {
+  const auto trace = crafted_trace();
+  EmsEnvironment env(trace, flat_forecast(200, 6.0), 40, 5);
+  std::array<double, EmsEnvironment::kStateDim> buf{};
+  for (std::size_t idx : {0u, 1u, 17u, 60u, 199u}) {
+    const auto expected = env.state_at(idx);
+    env.state_into(idx, buf);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(buf[i], expected[i]) << "idx " << idx << " dim " << i;
+    }
+  }
+}
+
+TEST(Env, SharedForecastCtorMatchesValueCtor) {
+  const auto trace = crafted_trace();
+  auto series =
+      std::make_shared<const std::vector<double>>(flat_forecast(100, 6.0));
+  EmsEnvironment by_value(trace, flat_forecast(100, 6.0), 50, 5);
+  EmsEnvironment shared(trace, series, 50, 5);
+  EXPECT_EQ(shared.length(), by_value.length());
+  for (std::size_t idx : {0u, 30u, 99u}) {
+    EXPECT_EQ(shared.state_at(idx), by_value.state_at(idx));
+    EXPECT_EQ(shared.forecast_watts(idx), by_value.forecast_watts(idx));
+  }
+  EXPECT_THROW(
+      EmsEnvironment(trace, std::shared_ptr<const std::vector<double>>{}, 0),
+      std::invalid_argument);
 }
 
 }  // namespace

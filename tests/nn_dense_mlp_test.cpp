@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/dense.hpp"
@@ -245,6 +246,56 @@ TEST(Mlp, LayerParametersAreViewsIntoFlatBuffer) {
   auto slice = net.layer_parameters(1);
   slice[0] = 1234.5;
   EXPECT_EQ(net.parameters()[net.layer_offset(1)], 1234.5);
+}
+
+// The batch-1 matvec kernel must agree bitwise with the batched row
+// kernel: both accumulate every output in ascending-k order, and the
+// goldens pin that order. Exercises out dims around the 4-wide unroll
+// boundary (remainders 0..3) and states containing exact zeros (the
+// batched kernel skips them; the branch-free kernel adds +0.0).
+TEST(Dense, Batch1MatchesBatchedBitwise) {
+  util::Rng rng(31);
+  for (const std::size_t out : {1u, 3u, 4u, 5u, 7u, 8u}) {
+    const std::size_t in = 6;
+    std::vector<double> params(dense_param_count(in, out));
+    for (double& p : params) p = rng.normal();
+    Matrix batch(5, in);
+    for (double& v : batch.data()) v = rng.normal();
+    batch(1, 2) = 0.0;  // exercise the zero-skip equivalence
+    batch(3, 0) = 0.0;
+    for (const auto act : {Activation::kIdentity, Activation::kRelu}) {
+      Matrix y_batched;
+      dense_forward(params, in, out, batch, act, y_batched);
+      for (std::size_t r = 0; r < batch.rows(); ++r) {
+        Matrix x(1, in);
+        std::copy(batch.row(r).begin(), batch.row(r).end(),
+                  x.row(0).begin());
+        Matrix y1;
+        dense_forward(params, in, out, x, act, y1);
+        for (std::size_t j = 0; j < out; ++j) {
+          ASSERT_EQ(y1(0, j), y_batched(r, j))
+              << "row " << r << " col " << j << " out=" << out;
+        }
+      }
+    }
+  }
+}
+
+// predict() (workspace inference path) and forward() (training path)
+// share the same dense kernels, so their outputs must be bitwise equal.
+TEST(Mlp, PredictMatchesForwardBitwise) {
+  util::Rng rng(32);
+  Mlp net({5, 9, 7, 3}, Activation::kRelu, Activation::kIdentity,
+          InitScheme::kHeNormal, rng);
+  Matrix x(4, 5);
+  for (double& v : x.data()) v = rng.normal();
+  const Matrix& fwd = net.forward(x);
+  const Matrix pred = net.predict(x);
+  ASSERT_EQ(pred.rows(), fwd.rows());
+  ASSERT_EQ(pred.cols(), fwd.cols());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    ASSERT_EQ(pred.data()[i], fwd.data()[i]);
+  }
 }
 
 }  // namespace

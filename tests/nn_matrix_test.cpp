@@ -198,5 +198,58 @@ TEST(Matmul, OutputResizedWhenNeeded) {
   EXPECT_DOUBLE_EQ(out(1, 0), 3.0);
 }
 
+TEST(Matmul, OutAliasingAIsGuarded) {
+  util::Rng rng(7);
+  Matrix a = random_matrix(4, 4, rng);
+  const Matrix b = random_matrix(4, 4, rng);
+  const Matrix expected = matmul(a, b);
+  matmul(a, b, a);  // out aliases a: must detour through a temporary
+  EXPECT_EQ(a, expected);
+}
+
+TEST(Matmul, OutAliasingBIsGuarded) {
+  util::Rng rng(8);
+  const Matrix a = random_matrix(3, 3, rng);
+  Matrix b = random_matrix(3, 3, rng);
+  const Matrix expected = matmul(a, b);
+  matmul(a, b, b);  // out aliases b
+  EXPECT_EQ(b, expected);
+}
+
+// Blocked a*b^T kernel vs the naive reference on shapes that exercise
+// the 4-wide register block and its remainder (rows % 4 in {0,1,2,3}).
+TEST(Matmul, ABtShapesMatchNaive) {
+  util::Rng rng(9);
+  for (const auto [m, k, n] :
+       {std::tuple{1, 1, 1}, std::tuple{2, 5, 3}, std::tuple{5, 6, 4},
+        std::tuple{7, 3, 6}, std::tuple{4, 8, 9}, std::tuple{13, 5, 11}}) {
+    const Matrix a = random_matrix(static_cast<std::size_t>(m),
+                                   static_cast<std::size_t>(k), rng);
+    const Matrix b = random_matrix(static_cast<std::size_t>(n),
+                                   static_cast<std::size_t>(k), rng);
+    Matrix got;
+    matmul_a_bt(a, b, got);
+    const Matrix expected = naive_matmul(a, b.transposed());
+    ASSERT_EQ(got.rows(), expected.rows());
+    ASSERT_EQ(got.cols(), expected.cols());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got.data()[i], expected.data()[i], 1e-10)
+          << "shape " << m << "x" << k << " * (" << n << "x" << k << ")^T";
+    }
+  }
+}
+
+TEST(Matrix, ReshapeReusesCapacity) {
+  Matrix m(4, 8);
+  const std::size_t grown_first = m.reshape(8, 8);  // must grow
+  EXPECT_GT(grown_first, 0u);
+  EXPECT_EQ(m.rows(), 8u);
+  EXPECT_EQ(m.cols(), 8u);
+  const std::size_t cap = m.capacity();
+  EXPECT_EQ(m.reshape(2, 3), 0u);  // shrink: buffer reused
+  EXPECT_EQ(m.reshape(8, 8), 0u);  // back up within capacity: reused
+  EXPECT_EQ(m.capacity(), cap);
+}
+
 }  // namespace
 }  // namespace pfdrl::nn

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "nn/workspace.hpp"
+
 namespace pfdrl::obs {
 namespace {
 
@@ -385,6 +387,26 @@ TEST(RecordHelpers, BusAndPoolFoldsAreIdempotent) {
   EXPECT_EQ(reg.counter("pool.tasks_executed").value(), 100u);
   EXPECT_EQ(reg.counter("pool.tasks_stolen").value(), 5u);
   EXPECT_DOUBLE_EQ(reg.gauge("pool.max_queue_depth").value(), 12.0);
+}
+
+TEST(RuntimeStats, NnWorkspaceFoldIsIdempotent) {
+  MetricsRegistry reg;
+  {
+    nn::Workspace ws;
+    ws.take(8, 8);  // ensure the process-wide counters are non-trivial
+    record_nn_workspace_stats(reg);
+    record_nn_workspace_stats(reg);  // set, not add: no double counting
+    EXPECT_EQ(reg.counter("nn.workspace_allocs").value(),
+              nn::Workspace::total_allocations());
+    EXPECT_DOUBLE_EQ(reg.gauge("nn.scratch_bytes").value(),
+                     static_cast<double>(nn::Workspace::total_bytes()));
+    EXPECT_GT(reg.counter("nn.workspace_allocs").value(), 0u);
+    EXPECT_GT(reg.gauge("nn.scratch_bytes").value(), 0.0);
+  }
+  // The arena died: a re-fold reflects the released scratch bytes.
+  record_nn_workspace_stats(reg);
+  EXPECT_DOUBLE_EQ(reg.gauge("nn.scratch_bytes").value(),
+                   static_cast<double>(nn::Workspace::total_bytes()));
 }
 
 }  // namespace

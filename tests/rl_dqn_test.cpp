@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+
+#include "nn/workspace.hpp"
 
 namespace pfdrl::rl {
 namespace {
@@ -223,6 +226,47 @@ TEST(Dqn, NetworkExposesPaperArchitecture) {
   EXPECT_EQ(agent.network().num_layers(), 9u);
   EXPECT_EQ(agent.network().dims()[1], 100u);
   EXPECT_EQ(agent.network().output_dim(), 3u);
+}
+
+TEST(Dqn, QValuesIntoMatchesQValues) {
+  DqnAgent agent(small_config());
+  const std::vector<double> state = {0.3, -0.7, 0.2};
+  const auto expected = agent.q_values(state);
+  std::array<double, 3> got{};
+  agent.q_values_into(state, got);
+  for (std::size_t a = 0; a < expected.size(); ++a) {
+    EXPECT_EQ(got[a], expected[a]);
+  }
+}
+
+// The per-decision inference path must stop allocating once the agent's
+// workspace is warm — same style of pin as the exchange-engine
+// payload_copies test: the process-wide counter must not move across a
+// steady-state burst.
+TEST(Dqn, ActPathAllocationFreeSteadyState) {
+  DqnAgent agent(small_config());
+  const std::vector<double> state = {0.1, 0.4, -0.2};
+  std::array<double, 3> q{};
+  // Warm-up: first calls size the workspace slots.
+  (void)agent.act_greedy(state);
+  agent.q_values_into(state, q);
+  const std::uint64_t allocs = nn::Workspace::total_allocations();
+  for (int i = 0; i < 500; ++i) {
+    (void)agent.act_greedy(state);
+    agent.q_values_into(state, q);
+  }
+  EXPECT_EQ(nn::Workspace::total_allocations(), allocs);
+}
+
+// Same pin for the paper-default architecture (8 x 100 ReLU): the depth
+// of the net must not reintroduce per-call growth.
+TEST(Dqn, ActPathAllocationFreePaperNet) {
+  DqnAgent agent{DqnConfig{}};
+  std::vector<double> state(DqnConfig{}.state_dim, 0.25);
+  (void)agent.act_greedy(state);
+  const std::uint64_t allocs = nn::Workspace::total_allocations();
+  for (int i = 0; i < 50; ++i) (void)agent.act_greedy(state);
+  EXPECT_EQ(nn::Workspace::total_allocations(), allocs);
 }
 
 }  // namespace

@@ -127,5 +127,24 @@ TEST_P(ReplayCapacities, NeverExceedsCapacity) {
 INSTANTIATE_TEST_SUITE_P(Caps, ReplayCapacities,
                          ::testing::Values(1, 2, 7, 100, 2000));
 
+// sample_into() must consume the identical RNG sequence as sample(), so
+// swapping call sites between them cannot change a run's trajectory.
+TEST(Replay, SampleIntoMatchesSample) {
+  ReplayBuffer buf(16);
+  for (int i = 0; i < 10; ++i) buf.push(make_transition(i));
+  util::Rng rng_a(77);
+  util::Rng rng_b(77);
+  const auto expected = buf.sample(6, rng_a);
+  std::vector<const Transition*> got;
+  buf.sample_into(6, rng_b, got);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], expected[i]);
+  // Reuse: a second draw refills without stale entries.
+  const auto expected2 = buf.sample(3, rng_a);
+  buf.sample_into(3, rng_b, got);
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], expected2[i]);
+}
+
 }  // namespace
 }  // namespace pfdrl::rl

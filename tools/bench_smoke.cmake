@@ -1,0 +1,79 @@
+# Smoke test for the perf-baseline benchmarks (ctest job `bench_smoke`,
+# label `stress`). Runs both baseline emitters with minimal iteration
+# budgets into a scratch directory and checks that the JSON they produce
+# parses and carries the expected keys — so a flag rename or a broken
+# writer fails CI instead of silently producing an unusable baseline.
+#
+# Expected -D inputs: MICRO_KERNELS, EMS_THROUGHPUT (executable paths),
+# WORK_DIR (scratch directory).
+
+if(NOT DEFINED MICRO_KERNELS OR NOT DEFINED EMS_THROUGHPUT OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "bench_smoke: MICRO_KERNELS, EMS_THROUGHPUT and WORK_DIR must be set")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(kernels_json "${WORK_DIR}/BENCH_kernels.json")
+set(pipeline_json "${WORK_DIR}/BENCH_pipeline.json")
+
+# --- micro_kernels: google-benchmark JSON emitter, minimal time budget,
+# restricted to the batch-1 act-path benchmarks to keep the smoke fast.
+execute_process(
+  COMMAND "${MICRO_KERNELS}"
+    --benchmark_filter=BM_Matvec1|BM_DenseForwardBatch1|BM_MlpPredict|BM_DqnActGreedy
+    --benchmark_min_time=0.01
+    --benchmark_out=${kernels_json}
+    --benchmark_out_format=json
+  RESULT_VARIABLE kernels_rc
+  OUTPUT_VARIABLE kernels_out
+  ERROR_VARIABLE kernels_err)
+if(NOT kernels_rc EQUAL 0)
+  message(FATAL_ERROR "micro_kernels failed (${kernels_rc}):\n${kernels_out}\n${kernels_err}")
+endif()
+
+# --- ems_throughput: tiny scenario, hand-rolled JSON writer.
+execute_process(
+  COMMAND "${EMS_THROUGHPUT}" --homes 2 --minutes 60 --out "${pipeline_json}"
+  RESULT_VARIABLE pipeline_rc
+  OUTPUT_VARIABLE pipeline_out
+  ERROR_VARIABLE pipeline_err)
+if(NOT pipeline_rc EQUAL 0)
+  message(FATAL_ERROR "ems_throughput failed (${pipeline_rc}):\n${pipeline_out}\n${pipeline_err}")
+endif()
+
+# --- validate the emitted JSON. string(JSON) needs CMake >= 3.19; on
+# older CMake fall back to substring checks of the required keys.
+function(check_keys path)
+  file(READ "${path}" doc)
+  if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+    # A GET on a missing key (or unparsable document) raises a fatal
+    # error with this non-ERROR_VARIABLE form — exactly what we want.
+    foreach(key IN LISTS ARGN)
+      string(JSON value GET "${doc}" ${key})
+      message(STATUS "${path}: ${key} = ${value}")
+    endforeach()
+  else()
+    foreach(key IN LISTS ARGN)
+      string(FIND "${doc}" "\"${key}\"" pos)
+      if(pos EQUAL -1)
+        message(FATAL_ERROR "${path}: missing key \"${key}\"")
+      endif()
+    endforeach()
+  endif()
+endfunction()
+
+check_keys("${kernels_json}" context benchmarks)
+check_keys("${pipeline_json}" bench decisions workspace_decisions_per_sec
+  legacy_decisions_per_sec speedup steady_state_workspace_allocs
+  nn_workspace_allocs nn_scratch_bytes)
+
+# The act path must stay allocation-free in the steady state — the same
+# invariant the unit test pins, re-checked here end-to-end.
+file(READ "${pipeline_json}" doc)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON steady GET "${doc}" steady_state_workspace_allocs)
+  if(NOT steady EQUAL 0)
+    message(FATAL_ERROR "ems_throughput: steady-state arena allocations = ${steady}, expected 0")
+  endif()
+endif()
+
+message(STATUS "bench_smoke: both baseline emitters produced valid JSON")
