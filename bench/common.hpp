@@ -52,6 +52,7 @@ inline void dump_metrics(const std::string& bench_name) {
   obs::record_thread_pool_stats(reg, "pool",
                                 util::ThreadPool::global().stats());
   obs::record_nn_workspace_stats(reg);
+  obs::record_nn_kernel_stats(reg);
   const std::string path =
       std::string(dir) + "/" + bench_name + ".metrics.json";
   reg.write_json(path);

@@ -1,0 +1,203 @@
+// DFL train-round throughput — the recorded perf baseline for the
+// vectorizable-kernel work.
+//
+// The DFL forecaster retrain is the computation overhead the paper
+// benchmarks in fig. 13 and the dominant cost of a PFDRL run (the act
+// path is ~25 µs/decision; one LSTM round over a broadcast period costs
+// milliseconds per device). This bench replays the per-round retrain
+// loop exactly as fl::DflTrainer issues it — one train() call per
+// simulated broadcast round over that round's newly recorded minutes —
+// for the LSTM and GRU forecasters, and reports training windows per
+// second (windows = sequence samples, weighted by epochs, counted from
+// the same data::make_sequences the trainer uses).
+//
+// Determinism guard: each method trains a second, identically seeded
+// forecaster and the final parameter vectors must match bitwise — the
+// strip-mined kernels are fixed-order reductions, so run-to-run drift
+// here is a bug, not noise.
+//
+// Writes a JSON summary (default BENCH_dfl.json in the CWD; the
+// committed baseline at the repo root carries before/after sections —
+// see docs/performance.md). Flags: --days N, --rounds R, --round-minutes
+// M, --hidden H, --out PATH.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "data/dataset.hpp"
+#include "forecast/forecaster.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace pfdrl;
+
+struct MethodResult {
+  std::string name;
+  std::size_t windows = 0;  // epoch-weighted training windows processed
+  double seconds = 0.0;
+  bool deterministic = false;
+
+  [[nodiscard]] double windows_per_sec() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(windows) / seconds : 0.0;
+  }
+};
+
+MethodResult run_method(forecast::Method method, const data::DeviceTrace& trace,
+                        std::size_t rounds, std::size_t round_minutes,
+                        std::size_t total_minutes) {
+  MethodResult result;
+  result.name = forecast::method_name(method);
+
+  data::WindowConfig window;  // production defaults (16-step, calendar)
+  auto model = forecast::make_forecaster(method, window, 7);
+  auto twin = forecast::make_forecaster(method, window, 7);
+  const forecast::TrainConfig resolved =
+      forecast::resolve_train_config(method, forecast::TrainConfig{});
+
+  // Warm-up round: sizes the gather buffers and gradient arenas so the
+  // timed rounds measure the steady state the DFL loop runs in.
+  {
+    util::Rng rng = util::Rng(1).fork(9999);
+    model->train(trace, 0, std::min(round_minutes, total_minutes),
+                 forecast::TrainConfig{}, rng);
+  }
+
+  util::Stopwatch watch;
+  double seconds = 0.0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::size_t begin = (r * round_minutes) % total_minutes;
+    const std::size_t end = std::min(begin + round_minutes, total_minutes);
+    // Same per-round RNG forking scheme as fl::DflTrainer, so the twin
+    // run below sees identical shuffles.
+    util::Rng rng = util::Rng(1).fork(r * 10000);
+    watch.reset();
+    model->train(trace, begin, end, forecast::TrainConfig{}, rng);
+    seconds += watch.elapsed_seconds();
+
+    // Window accounting mirrors the trainer's data path: count what
+    // make_sequences actually yields for this round at the resolved
+    // training stride, once per epoch.
+    data::WindowConfig wc = window;
+    wc.stride = resolved.stride;
+    const auto set = data::make_sequences(trace, wc, begin, end);
+    result.windows += set.size() * resolved.epochs;
+  }
+  result.seconds = seconds;
+
+  // Bitwise run-to-run determinism: replay the same rounds into the twin.
+  {
+    util::Rng warm = util::Rng(1).fork(9999);
+    twin->train(trace, 0, std::min(round_minutes, total_minutes),
+                forecast::TrainConfig{}, warm);
+  }
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::size_t begin = (r * round_minutes) % total_minutes;
+    const std::size_t end = std::min(begin + round_minutes, total_minutes);
+    util::Rng rng = util::Rng(1).fork(r * 10000);
+    twin->train(trace, begin, end, forecast::TrainConfig{}, rng);
+  }
+  const auto a = model->parameters();
+  const auto b = twin->parameters();
+  result.deterministic = a.size() == b.size();
+  for (std::size_t i = 0; result.deterministic && i < a.size(); ++i) {
+    if (a[i] != b[i]) result.deterministic = false;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t days = 2;
+  std::size_t rounds = 6;
+  std::size_t round_minutes = 360;  // one 6-hour broadcast period
+  std::string out_path = "BENCH_dfl.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
+      days = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--round-minutes") == 0 && i + 1 < argc) {
+      round_minutes = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: %s [--days N] [--rounds R] [--round-minutes M] [--out P]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+
+  bench::print_figure_header(
+      "DFL train-round throughput (perf baseline)",
+      "per-round LSTM/GRU retraining is the run's computation overhead "
+      "(fig. 13)");
+
+  const sim::Scenario scenario = bench::bench_scenario(days, 1);
+  const std::size_t total_minutes = scenario.minutes();
+  const data::DeviceTrace* trace = &scenario.traces[0].devices[0];
+  for (const auto& d : scenario.traces[0].devices) {
+    if (!d.spec.protected_device) {
+      trace = &d;
+      break;
+    }
+  }
+
+  const MethodResult lstm = run_method(forecast::Method::kLstm, *trace, rounds,
+                                       round_minutes, total_minutes);
+  const MethodResult gru = run_method(forecast::Method::kGru, *trace, rounds,
+                                      round_minutes, total_minutes);
+
+  util::TextTable table(
+      {"method", "windows", "seconds", "windows/sec", "deterministic"});
+  for (const auto& r : {lstm, gru}) {
+    table.add_row({r.name, std::to_string(r.windows),
+                   std::to_string(r.seconds),
+                   std::to_string(r.windows_per_sec()),
+                   r.deterministic ? "yes" : "NO"});
+  }
+  table.print();
+
+  if (!lstm.deterministic || !gru.deterministic) {
+    std::fprintf(stderr,
+                 "FATAL: repeated identically seeded training runs diverged\n");
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"dfl_throughput\",\n"
+               "  \"days\": %zu,\n"
+               "  \"rounds\": %zu,\n"
+               "  \"round_minutes\": %zu,\n"
+               "  \"lstm_windows\": %zu,\n"
+               "  \"lstm_seconds\": %.6f,\n"
+               "  \"lstm_windows_per_sec\": %.1f,\n"
+               "  \"gru_windows\": %zu,\n"
+               "  \"gru_seconds\": %.6f,\n"
+               "  \"gru_windows_per_sec\": %.1f,\n"
+               "  \"deterministic\": %s\n"
+               "}\n",
+               days, rounds, round_minutes, lstm.windows, lstm.seconds,
+               lstm.windows_per_sec(), gru.windows, gru.seconds,
+               gru.windows_per_sec(),
+               lstm.deterministic && gru.deterministic ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nbaseline written to %s\n", out_path.c_str());
+
+  bench::dump_metrics("dfl_throughput");
+  return 0;
+}

@@ -327,6 +327,7 @@ void EmsPipeline::sync_runtime_metrics() const {
   obs::record_thread_pool_stats(reg, "pool",
                                 util::ThreadPool::global().stats());
   obs::record_nn_workspace_stats(reg);
+  obs::record_nn_kernel_stats(reg);
 }
 
 const rl::DqnAgent& EmsPipeline::agent(std::size_t home,

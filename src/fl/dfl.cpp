@@ -1,6 +1,7 @@
 #include "fl/dfl.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <optional>
 #include <stdexcept>
@@ -105,6 +106,10 @@ void DflTrainer::round(std::size_t begin, std::size_t end) {
       jobs.push_back({h, d});
     }
   }
+  // Per-epoch training windows this round, summed over jobs (the same
+  // span/stride arithmetic the sampling cap uses). Relaxed atomic: jobs
+  // only accumulate; the fold into the registry happens once below.
+  std::atomic<std::uint64_t> round_windows{0};
   util::ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t j) {
     const auto [h, d] = jobs[j];
     // Per-job RNG forked deterministically: results do not depend on the
@@ -114,19 +119,21 @@ void DflTrainer::round(std::size_t begin, std::size_t end) {
     auto& model = *agents_[h].devices[d];
     forecast::TrainConfig train =
         forecast::resolve_train_config(cfg_.method, cfg_.train);
+    const std::size_t hist = data::history_needed(model.window_config());
+    const std::size_t span = end > begin + hist ? end - begin - hist : 0;
     // Small-batch training (paper Table 2): federated agents train on a
     // bounded sample of each round's windows and lean on aggregation for
     // coverage; the Local baseline (kNone) uses everything it has.
     if (cfg_.max_round_samples > 0 &&
         cfg_.aggregation != AggregationMode::kNone) {
-      const std::size_t hist = data::history_needed(model.window_config());
-      const std::size_t span = end > begin + hist ? end - begin - hist : 0;
       const std::size_t windows = span / std::max<std::size_t>(1, train.stride);
       if (windows > cfg_.max_round_samples) {
         train.stride = (span + cfg_.max_round_samples - 1) /
                        cfg_.max_round_samples;
       }
     }
+    round_windows.fetch_add(span / std::max<std::size_t>(1, train.stride),
+                            std::memory_order_relaxed);
     model.train(traces_[h].devices[d], begin, end, train, rng);
   });
 
@@ -137,6 +144,8 @@ void DflTrainer::round(std::size_t begin, std::size_t end) {
   if (cfg_.metrics != nullptr) {
     cfg_.metrics->counter("dfl.rounds").add(1);
     cfg_.metrics->counter("dfl.devices_trained").add(jobs.size());
+    cfg_.metrics->counter("dfl.train_windows")
+        .add(round_windows.load(std::memory_order_relaxed));
     obs::record_bus_stats(*cfg_.metrics, "bus.forecast", bus_.stats());
   }
 }

@@ -37,25 +37,25 @@ double BpForecaster::train(const data::DeviceTrace& trace, std::size_t begin,
   if (set.size() == 0) return 0.0;
   opt_.set_learning_rate(tcfg.learning_rate);
 
-  std::vector<std::size_t> order(set.size());
-  std::iota(order.begin(), order.end(), 0);
+  order_.resize(set.size());
+  std::iota(order_.begin(), order_.end(), 0);
 
   double last_epoch_loss = 0.0;
   for (std::size_t epoch = 0; epoch < tcfg.epochs; ++epoch) {
-    rng.shuffle(order);
+    rng.shuffle(order_);
     double loss_sum = 0.0;
     std::size_t batches = 0;
-    for (std::size_t ofs = 0; ofs < order.size(); ofs += tcfg.batch_size) {
-      const std::size_t bs = std::min(tcfg.batch_size, order.size() - ofs);
-      nn::Matrix xb(bs, set.x.cols());
-      nn::Matrix yb(bs, 1);
+    for (std::size_t ofs = 0; ofs < order_.size(); ofs += tcfg.batch_size) {
+      const std::size_t bs = std::min(tcfg.batch_size, order_.size() - ofs);
+      xb_.reshape(bs, set.x.cols());
+      yb_.reshape(bs, 1);
       for (std::size_t i = 0; i < bs; ++i) {
-        const std::size_t src = order[ofs + i];
+        const std::size_t src = order_[ofs + i];
         auto row = set.x.row(src);
-        std::copy(row.begin(), row.end(), xb.row(i).begin());
-        yb(i, 0) = set.y(src, 0);
+        std::copy(row.begin(), row.end(), xb_.row(i).begin());
+        yb_(i, 0) = set.y(src, 0);
       }
-      loss_sum += net_.train_batch(xb, yb, nn::LossKind::kMae, opt_);
+      loss_sum += net_.train_batch(xb_, yb_, nn::LossKind::kMae, opt_);
       ++batches;
     }
     last_epoch_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;

@@ -32,6 +32,10 @@ class BpForecaster final : public Forecaster {
 
   nn::Mlp net_;
   nn::Adam opt_;
+  // Minibatch gather buffers, reshaped in place per batch (see
+  // LstmForecaster). Contents fully overwritten before each use.
+  nn::Matrix xb_, yb_;
+  std::vector<std::size_t> order_;
 };
 
 }  // namespace pfdrl::forecast

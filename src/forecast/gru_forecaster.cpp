@@ -24,29 +24,32 @@ double GruForecaster::train(const data::DeviceTrace& trace, std::size_t begin,
   if (set.size() == 0) return 0.0;
   opt_.set_learning_rate(tcfg.learning_rate);
 
-  std::vector<std::size_t> order(set.size());
-  std::iota(order.begin(), order.end(), 0);
+  order_.resize(set.size());
+  std::iota(order_.begin(), order_.end(), 0);
   const std::size_t steps = set.xs.size();
   const std::size_t feat = set.step_features();
+  // resize (not clear+resize): surviving step matrices keep their heap
+  // buffers, and the per-batch reshape below reuses them in place.
+  xb_.resize(steps);
 
   double last_epoch_loss = 0.0;
   for (std::size_t epoch = 0; epoch < tcfg.epochs; ++epoch) {
-    rng.shuffle(order);
+    rng.shuffle(order_);
     double loss_sum = 0.0;
     std::size_t batches = 0;
-    for (std::size_t ofs = 0; ofs < order.size(); ofs += tcfg.batch_size) {
-      const std::size_t bs = std::min(tcfg.batch_size, order.size() - ofs);
-      std::vector<nn::Matrix> xb(steps, nn::Matrix(bs, feat));
-      nn::Matrix yb(bs, 1);
+    for (std::size_t ofs = 0; ofs < order_.size(); ofs += tcfg.batch_size) {
+      const std::size_t bs = std::min(tcfg.batch_size, order_.size() - ofs);
+      for (std::size_t t = 0; t < steps; ++t) xb_[t].reshape(bs, feat);
+      yb_.reshape(bs, 1);
       for (std::size_t i = 0; i < bs; ++i) {
-        const std::size_t src = order[ofs + i];
+        const std::size_t src = order_[ofs + i];
         for (std::size_t t = 0; t < steps; ++t) {
           auto row = set.xs[t].row(src);
-          std::copy(row.begin(), row.end(), xb[t].row(i).begin());
+          std::copy(row.begin(), row.end(), xb_[t].row(i).begin());
         }
-        yb(i, 0) = set.y(src, 0);
+        yb_(i, 0) = set.y(src, 0);
       }
-      loss_sum += net_.train_batch(xb, yb, nn::LossKind::kMae, opt_);
+      loss_sum += net_.train_batch(xb_, yb_, nn::LossKind::kMae, opt_);
       ++batches;
     }
     last_epoch_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;

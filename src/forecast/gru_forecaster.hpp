@@ -34,6 +34,11 @@ class GruForecaster final : public Forecaster {
 
   nn::GruRegressor net_;
   nn::Adam opt_;
+  // Minibatch gather buffers, reshaped in place per batch (see
+  // LstmForecaster). Contents fully overwritten before each use.
+  std::vector<nn::Matrix> xb_;
+  nn::Matrix yb_;
+  std::vector<std::size_t> order_;
 };
 
 }  // namespace pfdrl::forecast

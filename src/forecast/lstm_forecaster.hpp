@@ -34,6 +34,12 @@ class LstmForecaster final : public Forecaster {
 
   nn::LstmRegressor net_;
   nn::Adam opt_;
+  // Gather buffers for minibatch assembly, reshaped in place per batch so
+  // the train loop stops re-allocating steps-many matrices every batch of
+  // every epoch. Contents are fully overwritten before each use.
+  std::vector<nn::Matrix> xb_;
+  nn::Matrix yb_;
+  std::vector<std::size_t> order_;
 };
 
 }  // namespace pfdrl::forecast

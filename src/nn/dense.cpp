@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "nn/kernels.hpp"
+
 namespace pfdrl::nn {
 
 void matvec1(std::span<const double> w, std::span<const double> b,
@@ -52,10 +54,7 @@ void dense_forward(std::span<const double> params, std::size_t in,
       double* yr = y.row(r).data();
       for (std::size_t j = 0; j < out; ++j) yr[j] = b[j];
       for (std::size_t k = 0; k < in; ++k) {
-        const double xk = xr[k];
-        if (xk == 0.0) continue;
-        const double* wk = w.data() + k * out;
-        for (std::size_t j = 0; j < out; ++j) yr[j] += xk * wk[j];
+        kernels::axpy(xr[k], w.data() + k * out, yr, out);
       }
     }
   }
@@ -81,12 +80,7 @@ void dense_backward(std::span<const double> params, std::size_t in,
     const double* xr = x.row(r).data();
     const double* dr = grad_y.row(r).data();
     for (std::size_t j = 0; j < out; ++j) gb[j] += dr[j];
-    for (std::size_t k = 0; k < in; ++k) {
-      const double xk = xr[k];
-      if (xk == 0.0) continue;
-      double* gwk = gw + k * out;
-      for (std::size_t j = 0; j < out; ++j) gwk[j] += xk * dr[j];
-    }
+    kernels::outer_acc(xr, in, dr, out, gw);
   }
 
   if (grad_x != nullptr) {
@@ -96,10 +90,7 @@ void dense_backward(std::span<const double> params, std::size_t in,
       const double* dr = grad_y.row(r).data();
       double* gxr = grad_x->row(r).data();
       for (std::size_t k = 0; k < in; ++k) {
-        const double* wk = w + k * out;
-        double s = 0.0;
-        for (std::size_t j = 0; j < out; ++j) s += dr[j] * wk[j];
-        gxr[k] = s;
+        gxr[k] = kernels::dot(dr, w + k * out, out);
       }
     }
   }

@@ -6,13 +6,10 @@
 #include <utility>
 
 #include "nn/init.hpp"
+#include "nn/kernels.hpp"
 #include "nn/workspace.hpp"
 
 namespace pfdrl::nn {
-
-namespace {
-double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
-}  // namespace
 
 GruRegressor::GruRegressor(std::size_t feature_dim, std::size_t hidden_dim,
                            std::size_t output_dim, util::Rng& rng)
@@ -66,36 +63,27 @@ void GruRegressor::step_compute(const Matrix& x, const Matrix& h_prev,
     for (std::size_t j = 0; j < 3 * h_; ++j) z[j] = b[j];
     const double* xr = x.row(r).data();
     for (std::size_t k = 0; k < f_; ++k) {
-      const double xk = xr[k];
-      if (xk == 0.0) continue;
-      const double* w = wx + k * 3 * h_;
-      for (std::size_t j = 0; j < 3 * h_; ++j) z[j] += xk * w[j];
+      kernels::axpy(xr[k], wx + k * 3 * h_, z, 3 * h_);
     }
     // Recurrent input: z and r gates see h directly; the candidate sees
     // r ⊙ h, so it must be computed after r. First accumulate h into the
     // z/r slices only.
     const double* hp = h_prev.row(r).data();
     for (std::size_t k = 0; k < h_; ++k) {
-      const double hk = hp[k];
-      if (hk == 0.0) continue;
-      const double* w = wh + k * 3 * h_;
-      for (std::size_t j = 0; j < 2 * h_; ++j) z[j] += hk * w[j];
+      kernels::axpy(hp[k], wh + k * 3 * h_, z, 2 * h_);
     }
-    // Gate nonlinearities for z, r.
-    for (std::size_t j = 0; j < 2 * h_; ++j) z[j] = sigmoid(z[j]);
+    // Gate nonlinearities for z, r — one batched call over the slice.
+    kernels::sigmoid_inplace(z, 2 * h_);
     // Candidate pre-activation gets (r ⊙ h) through the last H columns.
     for (std::size_t k = 0; k < h_; ++k) {
-      const double rk = z[h_ + k] * hp[k];
-      if (rk == 0.0) continue;
-      const double* w = wh + k * 3 * h_ + 2 * h_;
-      for (std::size_t j = 0; j < h_; ++j) z[2 * h_ + j] += rk * w[j];
+      kernels::axpy(z[h_ + k] * hp[k], wh + k * 3 * h_ + 2 * h_, z + 2 * h_,
+                    h_);
     }
+    kernels::tanh_inplace(z + 2 * h_, h_);
     double* hv = h.row(r).data();
     for (std::size_t j = 0; j < h_; ++j) {
-      const double cand = std::tanh(z[2 * h_ + j]);
-      z[2 * h_ + j] = cand;
       const double zg = z[j];
-      hv[j] = (1.0 - zg) * hp[j] + zg * cand;
+      hv[j] = (1.0 - zg) * hp[j] + zg * z[2 * h_ + j];
     }
   }
 }
@@ -110,7 +98,7 @@ void GruRegressor::head_into(const Matrix& h_last, Matrix& out) const {
     double* yr = out.row(r).data();
     for (std::size_t j = 0; j < o_; ++j) yr[j] = b[j];
     for (std::size_t k = 0; k < h_; ++k) {
-      for (std::size_t j = 0; j < o_; ++j) yr[j] += hr[k] * w[k * o_ + j];
+      kernels::axpy(hr[k], w + k * o_, yr, o_);
     }
   }
 }
@@ -156,8 +144,7 @@ const Matrix& GruRegressor::predict(const std::vector<Matrix>& xs,
   return out;
 }
 
-void GruRegressor::backward(const Matrix& grad_out,
-                            std::span<double> grads) const {
+void GruRegressor::backward(const Matrix& grad_out, std::span<double> grads) {
   assert(grads.size() == params_.size());
   const std::size_t batch = grad_out.rows();
   const std::size_t T = steps_.size();
@@ -168,7 +155,8 @@ void GruRegressor::backward(const Matrix& grad_out,
   const std::size_t whead_off = b_off + 3 * h_;
   const std::size_t bhead_off = whead_off + h_ * o_;
 
-  Matrix dh(batch, h_);
+  Matrix& dh = dh_;
+  dh.reshape(batch, h_);  // fully written by the head backward below
 
   // Head backward.
   {
@@ -177,21 +165,16 @@ void GruRegressor::backward(const Matrix& grad_out,
       const double* go = grad_out.row(r).data();
       const double* hr = steps_.back().h.row(r).data();
       double* dhr = dh.row(r).data();
-      for (std::size_t j = 0; j < o_; ++j) {
-        grads[bhead_off + j] += go[j];
-        for (std::size_t k = 0; k < h_; ++k) {
-          grads[whead_off + k * o_ + j] += hr[k] * go[j];
-        }
-      }
+      for (std::size_t j = 0; j < o_; ++j) grads[bhead_off + j] += go[j];
+      kernels::outer_acc(hr, h_, go, o_, grads.data() + whead_off);
       for (std::size_t k = 0; k < h_; ++k) {
-        double s = 0.0;
-        for (std::size_t j = 0; j < o_; ++j) s += go[j] * w[k * o_ + j];
-        dhr[k] = s;
+        dhr[k] = kernels::dot(go, w + k * o_, o_);
       }
     }
   }
 
-  Matrix dz(batch, 3 * h_);
+  Matrix& dz = dz_;
+  dz.reshape(batch, 3 * h_);  // fully written per step
   const double* wh = params_.data() + wh_off;
   for (std::size_t t = T; t-- > 0;) {
     const StepCache& st = steps_[t];
@@ -220,9 +203,8 @@ void GruRegressor::backward(const Matrix& grad_out,
       }
       // Candidate recurrent path: d(r ⊙ h)_k = sum_j dcand_pre_j Whh[k][j].
       for (std::size_t k = 0; k < h_; ++k) {
-        const double* w = wh + k * 3 * h_ + 2 * h_;
-        double s = 0.0;
-        for (std::size_t j = 0; j < h_; ++j) s += dzr[2 * h_ + j] * w[j];
+        const double s =
+            kernels::dot(dzr + 2 * h_, wh + k * 3 * h_ + 2 * h_, h_);
         const double rk = g[h_ + k];
         // through r: dr_k = s * h_prev_k; through h_prev: += s * r_k.
         dzr[h_ + k] = s * hp[k] * rk * (1.0 - rk);
@@ -230,32 +212,17 @@ void GruRegressor::backward(const Matrix& grad_out,
       }
       // z and r recurrent paths into dh_prev.
       for (std::size_t k = 0; k < h_; ++k) {
-        const double* w = wh + k * 3 * h_;
-        double s = 0.0;
-        for (std::size_t j = 0; j < 2 * h_; ++j) s += dzr[j] * w[j];
-        dhr[k] += s;
+        dhr[k] += kernels::dot(dzr, wh + k * 3 * h_, 2 * h_);
       }
       // Parameter gradients.
       const double* xr = st.x->row(r).data();
       for (std::size_t j = 0; j < 3 * h_; ++j) grads[b_off + j] += dzr[j];
-      for (std::size_t k = 0; k < f_; ++k) {
-        const double xk = xr[k];
-        if (xk == 0.0) continue;
-        double* gp = grads.data() + wx_off + k * 3 * h_;
-        for (std::size_t j = 0; j < 3 * h_; ++j) gp[j] += xk * dzr[j];
-      }
+      kernels::outer_acc(xr, f_, dzr, 3 * h_, grads.data() + wx_off);
       for (std::size_t k = 0; k < h_; ++k) {
-        const double hk = hp[k];
         double* gp = grads.data() + wh_off + k * 3 * h_;
-        if (hk != 0.0) {
-          for (std::size_t j = 0; j < 2 * h_; ++j) gp[j] += hk * dzr[j];
-        }
+        kernels::axpy(hp[k], dzr, gp, 2 * h_);
         const double rh = st.gates(r, h_ + k) * hp[k];  // (r ⊙ h)_k
-        if (rh != 0.0) {
-          for (std::size_t j = 0; j < h_; ++j) {
-            gp[2 * h_ + j] += rh * dzr[2 * h_ + j];
-          }
-        }
+        kernels::axpy(rh, dzr + 2 * h_, gp + 2 * h_, h_);
       }
     }
   }
@@ -266,13 +233,16 @@ double GruRegressor::train_batch(const std::vector<Matrix>& xs,
                                  Optimizer& opt, double clip_norm) {
   const Matrix& pred = forward(xs);
   const double value = loss_value(loss, pred, y);
-  Matrix grad_out;
-  loss_grad(loss, pred, y, grad_out);
-  std::vector<double> grads(params_.size(), 0.0);
-  backward(grad_out, grads);
+  loss_grad(loss, pred, y, grad_out_scratch_);
+
+  // assign() reuses the arena's capacity after the first batch — the
+  // steady-state train loop performs no gradient-buffer allocation.
+  grads_scratch_.assign(params_.size(), 0.0);
+  std::vector<double>& grads = grads_scratch_;
+  backward(grad_out_scratch_, grads);
+
   if (clip_norm > 0.0) {
-    double sq = 0.0;
-    for (double g : grads) sq += g * g;
+    const double sq = kernels::dot(grads.data(), grads.data(), grads.size());
     const double norm = std::sqrt(sq);
     if (norm > clip_norm) {
       const double scale = clip_norm / norm;
@@ -280,6 +250,7 @@ double GruRegressor::train_batch(const std::vector<Matrix>& xs,
     }
   }
   opt.step(params_, grads);
+  kernels::note_train_batch();
   return value;
 }
 

@@ -65,7 +65,7 @@ class GruRegressor {
                     Matrix& h) const;
   /// Dense head: out = h_last * W_head + b_head (out reshaped in place).
   void head_into(const Matrix& h_last, Matrix& out) const;
-  void backward(const Matrix& grad_out, std::span<double> grads) const;
+  void backward(const Matrix& grad_out, std::span<double> grads);
 
   std::size_t f_, h_, o_;
   std::vector<double> params_;
@@ -74,6 +74,11 @@ class GruRegressor {
   std::vector<StepCache> steps_;
   Matrix h0_;
   Matrix output_;
+  // Persistent training scratch (see LstmRegressor): reused in place each
+  // train_batch so steady-state batches allocate nothing.
+  std::vector<double> grads_scratch_;
+  Matrix grad_out_scratch_;
+  Matrix dh_, dz_;
 };
 
 }  // namespace pfdrl::nn

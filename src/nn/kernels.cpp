@@ -1,0 +1,88 @@
+#include "nn/kernels.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#if defined(__AVX2__) && defined(PFDRL_HAVE_LIBMVEC)
+#include <immintrin.h>
+// glibc's x86-64 vector-math entry points (4-wide double, AVX2 width).
+// The 'dN4v' signature takes one ymm argument and returns one ymm, which
+// is exactly the SysV calling convention for (__m256d) -> __m256d, so a
+// plain extern declaration binds them. Declared here rather than via
+// math.h's simd pragmas because those only activate under -ffast-math,
+// which this project must not enable (it licenses reassociation and
+// would void the kernel determinism contract).
+extern "C" {
+__m256d _ZGVdN4v_exp(__m256d);   // NOLINT(readability-identifier-naming)
+__m256d _ZGVdN4v_tanh(__m256d);  // NOLINT(readability-identifier-naming)
+}
+#define PFDRL_VECTOR_MATH 1
+#endif
+
+namespace pfdrl::nn::kernels {
+
+namespace {
+
+std::atomic<std::uint64_t> g_train_batches{0};
+
+// Kept out-of-line and noinline so the compiler must emit the expression
+// as written instead of constant-folding it: with -ffp-contract=off this
+// is round(a*b) + c; with contraction it becomes fma(a, b, c).
+[[gnu::noinline]] double mul_add_probe(double a, double b, double c) noexcept {
+  return a * b + c;
+}
+
+}  // namespace
+
+void sigmoid_inplace(double* x, std::size_t n) noexcept {
+  std::size_t j = 0;
+#ifdef PFDRL_VECTOR_MATH
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d zero = _mm256_setzero_pd();
+  for (; j + kLanes <= n; j += kLanes) {
+    const __m256d v = _mm256_loadu_pd(x + j);
+    const __m256d e = _ZGVdN4v_exp(_mm256_sub_pd(zero, v));
+    _mm256_storeu_pd(x + j, _mm256_div_pd(one, _mm256_add_pd(one, e)));
+  }
+#endif
+  for (; j < n; ++j) x[j] = 1.0 / (1.0 + std::exp(-x[j]));
+}
+
+void tanh_inplace(double* x, std::size_t n) noexcept {
+  std::size_t j = 0;
+#ifdef PFDRL_VECTOR_MATH
+  for (; j + kLanes <= n; j += kLanes) {
+    _mm256_storeu_pd(x + j, _ZGVdN4v_tanh(_mm256_loadu_pd(x + j)));
+  }
+#endif
+  for (; j < n; ++j) x[j] = std::tanh(x[j]);
+}
+
+bool vector_math_active() noexcept {
+#ifdef PFDRL_VECTOR_MATH
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool fp_contraction_active() noexcept {
+  // a² = 1 + 2⁻²⁶ + 2⁻⁵⁴ needs 54 fraction bits, so the product is
+  // inexact in double. Without contraction the probe computes
+  // round(a²) - round(a²) = 0 exactly; a fused multiply-add keeps the
+  // low bits and returns the (nonzero) rounding error instead.
+  volatile double v = 1.0 + 0x1p-27;
+  const double a = v;
+  const double rounded = a * a;
+  return mul_add_probe(a, a, -rounded) != 0.0;
+}
+
+std::uint64_t total_train_batches() noexcept {
+  return g_train_batches.load(std::memory_order_relaxed);
+}
+
+void note_train_batch() noexcept {
+  g_train_batches.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace pfdrl::nn::kernels

@@ -1,0 +1,111 @@
+// Strip-mined, branch-free inner-loop kernels for the training hot path.
+//
+// Every dense/recurrent loop in the library reduces to three primitives:
+//
+//   dot(x, y, n)        — reduction over n products;
+//   axpy(a, x, y, n)    — y[j] += a * x[j] (no reduction);
+//   outer_acc(x, d, g)  — g[k][j] += x[k] * d[j] (rows of axpy).
+//
+// The old kernels guarded each k-term with `if (x[k] == 0.0) continue;`
+// (profitable for sparse ReLU activations, fatal for auto-vectorization:
+// the branch makes every lane control-dependent). These kernels drop the
+// branch — a zero term contributes exactly +0.0, so for axpy/outer_acc
+// the results are bitwise unchanged — and strip-mine the *reduction*
+// kernel into kLanes = 4 independent lane accumulators that a compiler
+// maps onto one 256-bit vector register.
+//
+// Determinism contract (what the golden tests re-pinned against):
+//   * dot combines its lanes in the fixed order ((l0+l1)+(l2+l3)) + tail,
+//     where lane m sums terms k ≡ m (mod 4) in ascending k and the tail
+//     (n mod 4 trailing terms) is summed sequentially after the lanes.
+//     The result depends only on (x, y, n) — never on threading, call
+//     site, or repetition — so runs are bitwise reproducible.
+//   * axpy/outer_acc perform per-element independent updates in ascending
+//     j; they are bitwise identical to the scalar reference.
+//   * Builds pin -ffp-contract=off (see the top-level CMakeLists): FMA
+//     contraction would re-round differently per compiler and silently
+//     break cross-toolchain reproducibility. fp_contraction_active()
+//     detects a dropped flag at runtime; a ctest guards it.
+//
+// The pre-vectorization scalar kernels survive as nn::ref (ref.hpp); an
+// equivalence sweep bounds |kernels - ref| at 1e-12 relative error across
+// the shape grid the LSTM/GRU gate math uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pfdrl::nn::kernels {
+
+/// Lane count of the strip-mined reduction (one AVX2 register of
+/// doubles). Fixed: changing it changes reduction order, which requires
+/// a golden re-bless (docs/performance.md).
+inline constexpr std::size_t kLanes = 4;
+
+/// Strip-mined dot product over n elements. Fixed combine order:
+/// ((l0 + l1) + (l2 + l3)) + tail (see file header).
+[[nodiscard]] inline double dot(const double* x, const double* y,
+                                std::size_t n) noexcept {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    l0 += x[k] * y[k];
+    l1 += x[k + 1] * y[k + 1];
+    l2 += x[k + 2] * y[k + 2];
+    l3 += x[k + 3] * y[k + 3];
+  }
+  double tail = 0.0;
+  for (; k < n; ++k) tail += x[k] * y[k];
+  return ((l0 + l1) + (l2 + l3)) + tail;
+}
+
+/// y[j] += a * x[j] for j in [0, n). Branch-free; x and y must not
+/// overlap (all call sites pass disjoint parameter/scratch buffers).
+inline void axpy(double a, const double* __restrict x, double* __restrict y,
+                 std::size_t n) noexcept {
+  for (std::size_t j = 0; j < n; ++j) y[j] += a * x[j];
+}
+
+/// Outer-product accumulate: g[k * n + j] += x[k] * d[j] for k in [0, m),
+/// j in [0, n). g must not overlap x or d.
+inline void outer_acc(const double* __restrict x, std::size_t m,
+                      const double* __restrict d, std::size_t n,
+                      double* __restrict g) noexcept {
+  for (std::size_t k = 0; k < m; ++k) axpy(x[k], d, g + k * n, n);
+}
+
+/// x[j] = 1 / (1 + exp(-x[j])) for j in [0, n). Batched so the whole
+/// gate slice goes through one call: with libmvec available (see
+/// vector_math_active()) groups of kLanes elements run through the
+/// 4-wide vector exp and the n mod kLanes tail stays scalar. The result
+/// for a given (contents, n) is identical on every call — position in
+/// the batch is fixed, so runs stay bitwise reproducible per build —
+/// but the vector and scalar builds differ by a few ulp (glibc bounds
+/// libmvec at 4 ulp), which is why recurrent-model expectations are
+/// tolerance-based, never bitwise across build configurations.
+void sigmoid_inplace(double* x, std::size_t n) noexcept;
+
+/// x[j] = tanh(x[j]) for j in [0, n). Same batching and determinism
+/// contract as sigmoid_inplace.
+void tanh_inplace(double* x, std::size_t n) noexcept;
+
+/// True when sigmoid_inplace/tanh_inplace were compiled against libmvec
+/// (AVX2 ISA + glibc vector math present at configure time). Exported by
+/// the obs layer as the `nn.kernel_vector_math` gauge so run artifacts
+/// record which transcendental path produced them.
+[[nodiscard]] bool vector_math_active() noexcept;
+
+/// True when the compiler contracted a * b + c into an FMA — i.e. the
+/// -ffp-contract=off pin was dropped. Evaluated on the library's own
+/// translation unit so it tests the flags the kernels were built with.
+[[nodiscard]] bool fp_contraction_active() noexcept;
+
+/// Process-wide count of train_batch invocations through the kernel
+/// layer (LSTM/GRU BPTT and MLP batches). Exported by the obs layer as
+/// `nn.kernel_train_batches`; one relaxed atomic add per batch, so the
+/// telemetry costs nothing the inner loops can feel.
+[[nodiscard]] std::uint64_t total_train_batches() noexcept;
+/// Bump the train-batch counter (called once per train_batch).
+void note_train_batch() noexcept;
+
+}  // namespace pfdrl::nn::kernels

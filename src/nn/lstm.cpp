@@ -6,13 +6,10 @@
 
 #include "nn/activation.hpp"
 #include "nn/init.hpp"
+#include "nn/kernels.hpp"
 #include "nn/workspace.hpp"
 
 namespace pfdrl::nn {
-
-namespace {
-double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
-}  // namespace
 
 LstmRegressor::LstmRegressor(std::size_t feature_dim, std::size_t hidden_dim,
                              std::size_t output_dim, util::Rng& rng)
@@ -105,36 +102,29 @@ void LstmRegressor::step_compute(const Matrix& x, const Matrix& h_prev,
     for (std::size_t j = 0; j < 4 * h_; ++j) z[j] = pb[j];
     const double* xr = x.row(r).data();
     for (std::size_t k = 0; k < f_; ++k) {
-      const double xk = xr[k];
-      if (xk == 0.0) continue;
-      const double* w = pwx + k * 4 * h_;
-      for (std::size_t j = 0; j < 4 * h_; ++j) z[j] += xk * w[j];
+      kernels::axpy(xr[k], pwx + k * 4 * h_, z, 4 * h_);
     }
     const double* hr = h_prev.row(r).data();
     for (std::size_t k = 0; k < h_; ++k) {
-      const double hk = hr[k];
-      if (hk == 0.0) continue;
-      const double* w = pwh + k * 4 * h_;
-      for (std::size_t j = 0; j < 4 * h_; ++j) z[j] += hk * w[j];
+      kernels::axpy(hr[k], pwh + k * 4 * h_, z, 4 * h_);
     }
-    // Nonlinearities + state update.
+    // Nonlinearities, batched per gate slice so each slice is one
+    // vector-math call (gate layout i | f | g | o): sigmoid over the
+    // contiguous i,f block, tanh over g, sigmoid over o.
+    kernels::sigmoid_inplace(z, 2 * h_);
+    kernels::tanh_inplace(z + 2 * h_, h_);
+    kernels::sigmoid_inplace(z + 3 * h_, h_);
+    // State update.
     const double* cprev = c_prev.row(r).data();
     double* cr = c.row(r).data();
     double* tc = tanh_c.row(r).data();
     double* hv = h.row(r).data();
     for (std::size_t j = 0; j < h_; ++j) {
-      const double i_g = sigmoid(z[j]);
-      const double f_g = sigmoid(z[h_ + j]);
-      const double g_g = std::tanh(z[2 * h_ + j]);
-      const double o_g = sigmoid(z[3 * h_ + j]);
-      z[j] = i_g;
-      z[h_ + j] = f_g;
-      z[2 * h_ + j] = g_g;
-      z[3 * h_ + j] = o_g;
-      cr[j] = f_g * cprev[j] + i_g * g_g;
-      tc[j] = std::tanh(cr[j]);
-      hv[j] = o_g * tc[j];
+      cr[j] = z[h_ + j] * cprev[j] + z[j] * z[2 * h_ + j];
+      tc[j] = cr[j];
     }
+    kernels::tanh_inplace(tc, h_);
+    for (std::size_t j = 0; j < h_; ++j) hv[j] = z[3 * h_ + j] * tc[j];
   }
 }
 
@@ -148,8 +138,7 @@ void LstmRegressor::head_into(const Matrix& h_last, Matrix& out) const {
     double* yr = out.row(r).data();
     for (std::size_t j = 0; j < o_; ++j) yr[j] = b[j];
     for (std::size_t k = 0; k < h_; ++k) {
-      const double hk = hr[k];
-      for (std::size_t j = 0; j < o_; ++j) yr[j] += hk * w[k * o_ + j];
+      kernels::axpy(hr[k], w + k * o_, yr, o_);
     }
   }
 }
@@ -205,8 +194,7 @@ const Matrix& LstmRegressor::predict(const std::vector<Matrix>& xs,
   return out;
 }
 
-void LstmRegressor::backward(const Matrix& grad_out,
-                             std::span<double> grads) const {
+void LstmRegressor::backward(const Matrix& grad_out, std::span<double> grads) {
   assert(grads.size() == params_.size());
   const std::size_t batch = grad_out.rows();
   const std::size_t T = steps_.size();
@@ -218,8 +206,11 @@ void LstmRegressor::backward(const Matrix& grad_out,
   const std::size_t whead_off = b_off + 4 * h_;
   const std::size_t bhead_off = whead_off + h_ * o_;
 
-  Matrix dh(batch, h_);
-  Matrix dc(batch, h_);
+  Matrix& dh = dh_;
+  Matrix& dc = dc_;
+  dh.reshape(batch, h_);  // fully written by the head backward below
+  dc.reshape(batch, h_);
+  dc.zero();
 
   // Head backward: dL/dh_T = grad_out * W_head^T; head grads.
   {
@@ -228,21 +219,16 @@ void LstmRegressor::backward(const Matrix& grad_out,
       const double* go = grad_out.row(r).data();
       const double* hr = steps_.back().h.row(r).data();
       double* dhr = dh.row(r).data();
-      for (std::size_t j = 0; j < o_; ++j) {
-        grads[bhead_off + j] += go[j];
-        for (std::size_t k = 0; k < h_; ++k) {
-          grads[whead_off + k * o_ + j] += hr[k] * go[j];
-        }
-      }
+      for (std::size_t j = 0; j < o_; ++j) grads[bhead_off + j] += go[j];
+      kernels::outer_acc(hr, h_, go, o_, grads.data() + whead_off);
       for (std::size_t k = 0; k < h_; ++k) {
-        double s = 0.0;
-        for (std::size_t j = 0; j < o_; ++j) s += go[j] * w[k * o_ + j];
-        dhr[k] = s;
+        dhr[k] = kernels::dot(go, w + k * o_, o_);
       }
     }
   }
 
-  Matrix dz(batch, 4 * h_);
+  Matrix& dz = dz_;
+  dz.reshape(batch, 4 * h_);  // fully written per step
   const double* pwh = wh().data();
   for (std::size_t t = T; t-- > 0;) {
     const StepCache& st = steps_[t];
@@ -283,28 +269,15 @@ void LstmRegressor::backward(const Matrix& grad_out,
       const double* dzr = dz.row(r).data();
       const double* xr = st.x->row(r).data();
       for (std::size_t j = 0; j < 4 * h_; ++j) grads[b_off + j] += dzr[j];
-      for (std::size_t k = 0; k < f_; ++k) {
-        const double xk = xr[k];
-        if (xk == 0.0) continue;
-        double* g = grads.data() + wx_off + k * 4 * h_;
-        for (std::size_t j = 0; j < 4 * h_; ++j) g[j] += xk * dzr[j];
-      }
+      kernels::outer_acc(xr, f_, dzr, 4 * h_, grads.data() + wx_off);
       if (h_prev != nullptr) {
         const double* hp = h_prev->row(r).data();
-        for (std::size_t k = 0; k < h_; ++k) {
-          const double hk = hp[k];
-          if (hk == 0.0) continue;
-          double* g = grads.data() + wh_off + k * 4 * h_;
-          for (std::size_t j = 0; j < 4 * h_; ++j) g[j] += hk * dzr[j];
-        }
+        kernels::outer_acc(hp, h_, dzr, 4 * h_, grads.data() + wh_off);
       }
       // dh_{t-1} = dz * Wh^T.
       double* dhr = dh.row(r).data();
       for (std::size_t k = 0; k < h_; ++k) {
-        const double* w = pwh + k * 4 * h_;
-        double s = 0.0;
-        for (std::size_t j = 0; j < 4 * h_; ++j) s += dzr[j] * w[j];
-        dhr[k] = s;
+        dhr[k] = kernels::dot(dzr, pwh + k * 4 * h_, 4 * h_);
       }
     }
   }
@@ -315,15 +288,16 @@ double LstmRegressor::train_batch(const std::vector<Matrix>& xs,
                                   Optimizer& opt, double clip_norm) {
   const Matrix& pred = forward(xs);
   const double value = loss_value(loss, pred, y);
-  Matrix grad_out;
-  loss_grad(loss, pred, y, grad_out);
+  loss_grad(loss, pred, y, grad_out_scratch_);
 
-  std::vector<double> grads(params_.size(), 0.0);
-  backward(grad_out, grads);
+  // assign() reuses the arena's capacity after the first batch — the
+  // steady-state train loop performs no gradient-buffer allocation.
+  grads_scratch_.assign(params_.size(), 0.0);
+  std::vector<double>& grads = grads_scratch_;
+  backward(grad_out_scratch_, grads);
 
   if (clip_norm > 0.0) {
-    double sq = 0.0;
-    for (double g : grads) sq += g * g;
+    const double sq = kernels::dot(grads.data(), grads.data(), grads.size());
     const double norm = std::sqrt(sq);
     if (norm > clip_norm) {
       const double scale = clip_norm / norm;
@@ -331,6 +305,7 @@ double LstmRegressor::train_batch(const std::vector<Matrix>& xs,
     }
   }
   opt.step(params_, grads);
+  kernels::note_train_batch();
   return value;
 }
 

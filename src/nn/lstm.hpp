@@ -87,7 +87,7 @@ class LstmRegressor {
                     Matrix& tanh_c, Matrix& h) const;
   /// Dense head: out = h_last * W_head + b_head (out reshaped in place).
   void head_into(const Matrix& h_last, Matrix& out) const;
-  void backward(const Matrix& grad_out, std::span<double> grads) const;
+  void backward(const Matrix& grad_out, std::span<double> grads);
 
   std::size_t f_, h_, o_;
   std::vector<double> params_;
@@ -97,6 +97,12 @@ class LstmRegressor {
   std::vector<StepCache> steps_;
   Matrix h0_, c0_;
   Matrix output_;
+  // Persistent training scratch: the gradient arena and the BPTT
+  // deltas are assigned/reshaped in place each train_batch, so
+  // steady-state batches of a stable shape perform no heap allocation.
+  std::vector<double> grads_scratch_;
+  Matrix grad_out_scratch_;
+  Matrix dh_, dc_, dz_;
 };
 
 }  // namespace pfdrl::nn

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nn/kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pfdrl::nn {
@@ -59,6 +60,7 @@ Matrix& Matrix::operator*=(double s) noexcept {
 
 void Matrix::axpy(double alpha, const Matrix& other) {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
+  // Not kernels::axpy: `other` may legally alias *this here.
   for (std::size_t i = 0; i < data_.size(); ++i) {
     data_[i] += alpha * other.data_[i];
   }
@@ -73,20 +75,18 @@ Matrix Matrix::transposed() const {
 }
 
 double Matrix::squared_norm() const noexcept {
-  double s = 0.0;
-  for (double x : data_) s += x * x;
-  return s;
+  return kernels::dot(data_.data(), data_.data(), data_.size());
 }
 
 namespace {
 
-// Row-range matmul kernel, register-blocked four output columns wide:
-// out[i][j..j+3] live in registers across the whole k sweep instead of
-// being re-loaded/stored once per k (the old ikj kernel's inner-loop
-// traffic). Each output element is still one accumulator walked in
-// ascending-k order — bitwise identical to the old kernel (skipped
-// aik == 0 terms contribute exactly +0.0), which the golden tests and
-// the naive-reference equivalence test pin.
+// Row-range matmul kernel in ikj order: out_row accumulates one
+// kernels::axpy per k, so the j sweep is branch-free and vectorizes
+// (broadcast a[i][k], contiguous loads from b's row k). Each output
+// element is still a single accumulator walked in ascending-k order —
+// only the *loop structure* changed; dropping the old `aik == 0.0` skip
+// adds exact +0.0 terms. Bitwise identical across thread counts: rows
+// are sharded, never the k reduction.
 void matmul_rows(const Matrix& a, const Matrix& b, Matrix& out,
                  std::size_t row_begin, std::size_t row_end) {
   const std::size_t n = b.cols();
@@ -95,32 +95,9 @@ void matmul_rows(const Matrix& a, const Matrix& b, Matrix& out,
   for (std::size_t i = row_begin; i < row_end; ++i) {
     const double* a_row = a.row(i).data();
     double* out_row = out.row(i).data();
-    std::size_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
-      const double* bj = b0 + j;
-      for (std::size_t k = 0; k < k_dim; ++k) {
-        const double aik = a_row[k];
-        if (aik == 0.0) continue;
-        const double* bk = bj + k * n;
-        c0 += aik * bk[0];
-        c1 += aik * bk[1];
-        c2 += aik * bk[2];
-        c3 += aik * bk[3];
-      }
-      out_row[j] = c0;
-      out_row[j + 1] = c1;
-      out_row[j + 2] = c2;
-      out_row[j + 3] = c3;
-    }
-    for (; j < n; ++j) {
-      double c = 0.0;
-      for (std::size_t k = 0; k < k_dim; ++k) {
-        const double aik = a_row[k];
-        if (aik == 0.0) continue;
-        c += aik * b0[k * n + j];
-      }
-      out_row[j] = c;
+    for (std::size_t j = 0; j < n; ++j) out_row[j] = 0.0;
+    for (std::size_t k = 0; k < k_dim; ++k) {
+      kernels::axpy(a_row[k], b0 + k * n, out_row, n);
     }
   }
 }
@@ -183,10 +160,7 @@ void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
     const double* a_row = a.row(r).data();
     const double* b_row = b.row(r).data();
     for (std::size_t i = 0; i < m; ++i) {
-      const double ari = a_row[i];
-      if (ari == 0.0) continue;
-      double* out_row = out.row(i).data();
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += ari * b_row[j];
+      kernels::axpy(a_row[i], b_row, out.row(i).data(), n);
     }
   }
 }
@@ -198,36 +172,13 @@ void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
   }
   const std::size_t k_dim = a.cols();
   const std::size_t n = b.rows();
-  // Four dot products at a time so each a_row[k] load feeds four
-  // accumulators; per-element accumulation is unchanged (single
-  // accumulator, ascending k).
+  // Both operand rows are contiguous over k, so each output is one
+  // strip-mined kernels::dot (4-lane reduction, fixed combine order).
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double* a_row = a.row(i).data();
     double* out_row = out.row(i).data();
-    std::size_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const double* r0 = b.row(j).data();
-      const double* r1 = b.row(j + 1).data();
-      const double* r2 = b.row(j + 2).data();
-      const double* r3 = b.row(j + 3).data();
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      for (std::size_t k = 0; k < k_dim; ++k) {
-        const double aik = a_row[k];
-        s0 += aik * r0[k];
-        s1 += aik * r1[k];
-        s2 += aik * r2[k];
-        s3 += aik * r3[k];
-      }
-      out_row[j] = s0;
-      out_row[j + 1] = s1;
-      out_row[j + 2] = s2;
-      out_row[j + 3] = s3;
-    }
-    for (; j < n; ++j) {
-      const double* b_row = b.row(j).data();
-      double s = 0.0;
-      for (std::size_t k = 0; k < k_dim; ++k) s += a_row[k] * b_row[k];
-      out_row[j] = s;
+    for (std::size_t j = 0; j < n; ++j) {
+      out_row[j] = kernels::dot(a_row, b.row(j).data(), k_dim);
     }
   }
 }

@@ -92,8 +92,8 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// out = a * b. Register-blocked over output columns (4-wide accumulator
-/// block held in registers across the full k sweep); when `threaded` and
+/// out = a * b. ikj loop order through the branch-free nn::kernels::axpy
+/// (broadcast a[i][k] against b's contiguous row k); when `threaded` and
 /// the output is large enough, rows are sharded across the global thread
 /// pool. Results are bitwise identical either way: each output element is
 /// produced by exactly one thread as a single accumulator walked in
@@ -107,9 +107,9 @@ void matmul(const Matrix& a, const Matrix& b, Matrix& out,
 
 /// out = a^T * b without materializing the transpose.
 void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out);
-/// out = a * b^T without materializing the transpose. Register-blocked
-/// four output columns at a time (shared a-row loads); per-element
-/// accumulation stays a single ascending-k dot product.
+/// out = a * b^T without materializing the transpose. Each output element
+/// is one strip-mined nn::kernels::dot (4-lane reduction, fixed combine
+/// order — deterministic run-to-run, see kernels.hpp).
 void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out(r, :) += bias for every row r (bias is 1 x cols).

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "nn/kernels.hpp"
 #include "nn/workspace.hpp"
 
 namespace pfdrl::nn {
@@ -67,7 +68,7 @@ void Mlp::zero_grad() noexcept {
   for (double& g : grads_) g = 0.0;
 }
 
-void Mlp::backward(Matrix grad_out) {
+void Mlp::backward(Matrix& grad_out) {
   assert(input_ != nullptr && "backward() requires a preceding forward()");
   assert(grad_out.rows() == acts_.back().rows());
   assert(grad_out.cols() == output_dim());
@@ -85,11 +86,11 @@ double Mlp::train_batch(const Matrix& x, const Matrix& y, LossKind loss,
                         Optimizer& opt, double huber_delta) {
   const Matrix& pred = forward(x);
   const double value = loss_value(loss, pred, y, huber_delta);
-  Matrix grad;
-  loss_grad(loss, pred, y, grad, huber_delta);
+  loss_grad(loss, pred, y, loss_grad_scratch_, huber_delta);
   zero_grad();
-  backward(std::move(grad));
+  backward(loss_grad_scratch_);
   opt.step(params_, grads_);
+  kernels::note_train_batch();
   return value;
 }
 

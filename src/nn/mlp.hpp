@@ -86,8 +86,11 @@ class Mlp {
 
   void zero_grad() noexcept;
   /// Accumulate gradients for dL/d(output) = grad_out. Must follow
-  /// forward() with the same batch.
-  void backward(Matrix grad_out);
+  /// forward() with the same batch. `grad_out` is consumed as scratch:
+  /// its contents are unspecified on return (the layer sweep ping-pongs
+  /// it against an internal buffer), but its heap allocation is preserved
+  /// — callers that pass a pooled matrix keep their capacity.
+  void backward(Matrix& grad_out);
 
   /// Convenience: forward + loss + backward + optimizer step over one
   /// mini-batch. Returns the batch loss.
@@ -111,6 +114,8 @@ class Mlp {
   const Matrix* input_ = nullptr;
   // Backward ping-pong scratch, kept to preserve capacity across batches.
   Matrix grad_scratch_;
+  // Loss-gradient buffer for train_batch, reused across batches.
+  Matrix loss_grad_scratch_;
 
   /// Layer i's input: the forward() argument for i == 0, else the cached
   /// activation of the previous layer.

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/kernels.hpp"
 #include "nn/workspace.hpp"
 
 namespace pfdrl::obs {
@@ -401,6 +402,15 @@ void record_nn_workspace_stats(MetricsRegistry& registry) {
   registry.counter("nn.workspace_allocs").set(nn::Workspace::total_allocations());
   registry.gauge("nn.scratch_bytes")
       .set(static_cast<double>(nn::Workspace::total_bytes()));
+}
+
+void record_nn_kernel_stats(MetricsRegistry& registry) {
+  registry.counter("nn.kernel_train_batches")
+      .set(nn::kernels::total_train_batches());
+  registry.gauge("nn.kernel_lanes")
+      .set(static_cast<double>(nn::kernels::kLanes));
+  registry.gauge("nn.kernel_vector_math")
+      .set(nn::kernels::vector_math_active() ? 1.0 : 0.0);
 }
 
 }  // namespace pfdrl::obs

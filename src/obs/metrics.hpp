@@ -217,4 +217,12 @@ void record_thread_pool_stats(MetricsRegistry& registry,
 /// Idempotent (set, not add) so it can run after every round.
 void record_nn_workspace_stats(MetricsRegistry& registry);
 
+/// Fold the process-wide nn::kernels telemetry into an
+/// `nn.kernel_train_batches` counter (train_batch calls across every
+/// model since process start) and an `nn.kernel_lanes` gauge (the fixed
+/// accumulator-lane count of the strip-mined reduction kernels — a
+/// build constant, recorded so dumps are self-describing). Idempotent
+/// (set, not add) so it can run after every round.
+void record_nn_kernel_stats(MetricsRegistry& registry);
+
 }  // namespace pfdrl::obs

@@ -100,8 +100,12 @@ double DqnAgent::learn() {
   const nn::Matrix& q_pred = net_.forward(states_);
 
   // Loss only on the taken action's Q-value: the gradient matrix is zero
-  // everywhere else. Huber TD error, as in Algorithm 2.
-  nn::Matrix grad(bs, cfg_.num_actions);
+  // everywhere else. Huber TD error, as in Algorithm 2. The gradient
+  // lives in a workspace slot (taken after both predicts, so their slots
+  // stay valid within this reset cycle) — steady-state learn() calls
+  // reuse it without allocating.
+  nn::Matrix& grad = ws_.take(bs, cfg_.num_actions);
+  grad.zero();
   double loss = 0.0;
   const double inv_bs = 1.0 / static_cast<double>(bs);
   for (std::size_t i = 0; i < bs; ++i) {
@@ -129,7 +133,7 @@ double DqnAgent::learn() {
   }
 
   net_.zero_grad();
-  net_.backward(std::move(grad));
+  net_.backward(grad);
   opt_.step(net_.parameters(), net_.gradients());
 
   ++learn_steps_;

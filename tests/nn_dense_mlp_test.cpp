@@ -187,7 +187,7 @@ TEST(Mlp, GradientCheckSmallNet) {
   Matrix grad;
   loss_grad(LossKind::kMse, pred, target, grad);
   net.zero_grad();
-  net.backward(std::move(grad));
+  net.backward(grad);
 
   const auto params = net.parameters();
   const auto grads = net.gradients();

@@ -1,0 +1,286 @@
+// Equivalence and determinism suite for the strip-mined nn::kernels
+// layer against the preserved scalar reference (nn::ref):
+//   * axpy-family results must match the reference BITWISE (dropping the
+//     zero-skip branch adds exact +0.0 terms);
+//   * dot-family results (reassociated into 4 lanes) must stay within
+//     1e-12 relative error across a shape grid that includes the LSTM/GRU
+//     gate widths (4H = 128, 3H = 96, and ragged sizes for the tail path);
+//   * the lane combine order is pinned (a permutation-sensitivity probe);
+//   * threaded matmul must be bitwise identical to single-threaded;
+//   * FP contraction must be off in the flags this binary was built with.
+#include "nn/kernels.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/matrix.hpp"
+#include "nn/ref.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::nn {
+namespace {
+
+std::vector<double> random_vec(std::size_t n, util::Rng& rng,
+                               double sparsity = 0.0) {
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = rng.uniform() < sparsity ? 0.0 : rng.normal();
+  }
+  return v;
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng,
+                     double sparsity = 0.0) {
+  Matrix m(rows, cols);
+  for (double& x : m.data()) {
+    x = rng.uniform() < sparsity ? 0.0 : rng.normal();
+  }
+  return m;
+}
+
+double rel_err(double got, double want) {
+  const double scale = std::max(1.0, std::abs(want));
+  return std::abs(got - want) / scale;
+}
+
+// The shape grid: the dimensions the recurrent gate math actually uses
+// (H = 32 → 4H = 128, 3H = 96; H = 7 for ragged-tail coverage) plus
+// degenerate and sub-lane sizes.
+const std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16,
+                              28, 31, 32, 96, 100, 128, 257};
+
+TEST(NnKernels, DotMatchesReferenceWithinTolerance) {
+  util::Rng rng(7);
+  for (const std::size_t n : kSizes) {
+    for (const double sparsity : {0.0, 0.5}) {
+      const auto x = random_vec(n, rng, sparsity);
+      const auto y = random_vec(n, rng, sparsity);
+      const double got = kernels::dot(x.data(), y.data(), n);
+      const double want = ref::dot(x.data(), y.data(), n);
+      EXPECT_LE(rel_err(got, want), 1e-12) << "n=" << n;
+    }
+  }
+}
+
+TEST(NnKernels, DotIsDeterministicAcrossCalls) {
+  util::Rng rng(8);
+  const auto x = random_vec(257, rng);
+  const auto y = random_vec(257, rng);
+  const double first = kernels::dot(x.data(), y.data(), x.size());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(kernels::dot(x.data(), y.data(), x.size()), first);
+  }
+}
+
+// Pins the documented combine order ((l0+l1)+(l2+l3)) + tail: an input
+// crafted so any other association of the lane partials produces a
+// different double. Lane partials: l0 = 1.0, l1 = 0x1p-53, l2 = -1.0,
+// l3 = 0x1p-53, tail (n = 9) = 0x1p-60.
+//   documented: ((1 + 2^-53) + (-1 + 2^-53)) + 2^-60
+//     = (1.0 + (-1 + 2^-53)) + 2^-60         [1 + 2^-53 rounds to 1.0]
+//     = 2^-53 + 2^-60
+// whereas e.g. ((l0+l2)+(l1+l3)) + tail = (0 + 2^-52) + 2^-60 which is
+// a strictly different value. The test also guards kLanes = 4: any lane
+// count change re-buckets the terms and breaks the expectation.
+TEST(NnKernels, DotLaneCombineOrderPinned) {
+  static_assert(kernels::kLanes == 4);
+  const double x[9] = {1.0, 0x1p-53, -1.0, 0x1p-53, 0.0, 0.0, 0.0, 0.0,
+                       0x1p-60};
+  const double y[9] = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  const double got = kernels::dot(x, y, 9);
+  const double want = ((1.0 + 0x1p-53) + (-1.0 + 0x1p-53)) + 0x1p-60;
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(want, 0x1p-53 + 0x1p-60);  // sanity: the order matters
+  EXPECT_NE(got, (0x1p-53 + 0x1p-53) + 0x1p-60);
+}
+
+TEST(NnKernels, AxpyBitwiseMatchesReference) {
+  util::Rng rng(9);
+  for (const std::size_t n : kSizes) {
+    // Sparse scalars exercise the dropped a == 0 skip: +0.0 terms must
+    // leave y bitwise unchanged.
+    for (const double a : {0.0, 1.7, -0.3}) {
+      const auto x = random_vec(n, rng, 0.3);
+      auto y_got = random_vec(n, rng);
+      auto y_want = y_got;
+      kernels::axpy(a, x.data(), y_got.data(), n);
+      ref::axpy(a, x.data(), y_want.data(), n);
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(y_got[j], y_want[j]) << "n=" << n << " a=" << a;
+      }
+    }
+  }
+}
+
+TEST(NnKernels, OuterAccBitwiseMatchesRowwiseReference) {
+  util::Rng rng(10);
+  const std::size_t m = 13, n = 96;  // GRU gate width, ragged row count
+  const auto x = random_vec(m, rng, 0.4);
+  const auto d = random_vec(n, rng);
+  auto g_got = random_vec(m * n, rng);
+  auto g_want = g_got;
+  kernels::outer_acc(x.data(), m, d.data(), n, g_got.data());
+  for (std::size_t k = 0; k < m; ++k) {
+    ref::axpy(x[k], d.data(), g_want.data() + k * n, n);
+  }
+  EXPECT_EQ(g_got, g_want);
+}
+
+TEST(NnKernels, MatmulBitwiseMatchesReference) {
+  // The production matmul reordered its loops (ijk -> ikj through axpy)
+  // but each output element is still one ascending-k accumulator, so it
+  // must stay BITWISE equal to the scalar reference — the invariant that
+  // let the golden constants survive the act-path kernels unchanged.
+  util::Rng rng(11);
+  const struct {
+    std::size_t m, k, n;
+  } shapes[] = {{1, 3, 1}, {2, 16, 3}, {5, 7, 9}, {32, 28, 128}, {8, 32, 96}};
+  for (const auto& s : shapes) {
+    const Matrix a = random_matrix(s.m, s.k, rng, 0.3);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    Matrix got, want;
+    matmul(a, b, got);
+    ref::matmul(a, b, want);
+    EXPECT_EQ(got, want) << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(NnKernels, MatmulAtBBitwiseMatchesReference) {
+  util::Rng rng(12);
+  const Matrix a = random_matrix(17, 28, rng, 0.3);
+  const Matrix b = random_matrix(17, 96, rng);
+  Matrix got, want;
+  matmul_at_b(a, b, got);
+  ref::matmul_at_b(a, b, want);
+  EXPECT_EQ(got, want);
+}
+
+TEST(NnKernels, MatmulABtMatchesReferenceWithinTolerance) {
+  // a * b^T now runs through the strip-mined dot, so it reassociates the
+  // reduction: tolerance-bounded against the reference, not bitwise.
+  util::Rng rng(13);
+  const struct {
+    std::size_t m, k, n;
+  } shapes[] = {{3, 7, 5}, {16, 128, 32}, {8, 96, 24}};
+  for (const auto& s : shapes) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.n, s.k, rng);
+    Matrix got, want;
+    matmul_a_bt(a, b, got);
+    ref::matmul_a_bt(a, b, want);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_LE(rel_err(got.data()[i], want.data()[i]), 1e-12);
+    }
+  }
+}
+
+TEST(NnKernels, ThreadedMatmulBitwiseEqualsSingleThreaded) {
+  // 64x64x64 = 262144 flops — past the threading cutoff with rows > 1,
+  // so the threaded call actually shards across the pool. Row sharding
+  // must never change results: each output element is produced by
+  // exactly one thread in the same ascending-k order.
+  util::Rng rng(14);
+  const Matrix a = random_matrix(64, 64, rng);
+  const Matrix b = random_matrix(64, 64, rng);
+  Matrix serial, threaded;
+  matmul(a, b, serial, /*threaded=*/false);
+  matmul(a, b, threaded, /*threaded=*/true);
+  EXPECT_EQ(serial, threaded);
+  // And repeat runs of the threaded path are self-consistent.
+  Matrix again;
+  matmul(a, b, again, /*threaded=*/true);
+  EXPECT_EQ(threaded, again);
+}
+
+TEST(NnKernels, SquaredNormMatchesDotOfSelf) {
+  util::Rng rng(15);
+  const Matrix m = random_matrix(9, 31, rng);
+  EXPECT_EQ(m.squared_norm(),
+            kernels::dot(m.data().data(), m.data().data(), m.size()));
+}
+
+// The batched gate nonlinearities may route through libmvec (4 ulp
+// accuracy bound), so they are tolerance-checked against the scalar
+// formulas — never bitwise across build configurations.
+TEST(NnKernels, SigmoidInplaceMatchesScalarWithinTolerance) {
+  util::Rng rng(16);
+  for (const std::size_t n : kSizes) {
+    auto x = random_vec(n, rng);
+    for (double& v : x) v *= 4.0;  // cover the saturating range too
+    auto got = x;
+    kernels::sigmoid_inplace(got.data(), n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double want = 1.0 / (1.0 + std::exp(-x[j]));
+      EXPECT_LE(rel_err(got[j], want), 1e-12) << "n=" << n << " j=" << j;
+    }
+  }
+}
+
+TEST(NnKernels, TanhInplaceMatchesScalarWithinTolerance) {
+  util::Rng rng(17);
+  for (const std::size_t n : kSizes) {
+    auto x = random_vec(n, rng);
+    auto got = x;
+    kernels::tanh_inplace(got.data(), n);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_LE(rel_err(got[j], std::tanh(x[j])), 1e-12)
+          << "n=" << n << " j=" << j;
+    }
+  }
+}
+
+// Per the determinism contract the batched nonlinearities depend only on
+// (contents, n): repeat calls on the same slice must be bitwise equal,
+// including the ragged tail that falls off the vector path.
+TEST(NnKernels, BatchedNonlinearitiesDeterministicAcrossCalls) {
+  util::Rng rng(18);
+  const auto x = random_vec(131, rng);  // 131 = 32 groups of 4 + tail of 3
+  auto first_s = x, first_t = x;
+  kernels::sigmoid_inplace(first_s.data(), first_s.size());
+  kernels::tanh_inplace(first_t.data(), first_t.size());
+  for (int i = 0; i < 5; ++i) {
+    auto s = x, t = x;
+    kernels::sigmoid_inplace(s.data(), s.size());
+    kernels::tanh_inplace(t.data(), t.size());
+    EXPECT_EQ(s, first_s);
+    EXPECT_EQ(t, first_t);
+  }
+}
+
+TEST(NnKernels, SigmoidInplaceSaturatesCleanly) {
+  double x[6] = {-1000.0, -40.0, 0.0, 40.0, 1000.0, 0.5};
+  kernels::sigmoid_inplace(x, 6);
+  EXPECT_EQ(x[0], 0.0);
+  EXPECT_NEAR(x[1], 0.0, 1e-15);
+  EXPECT_EQ(x[2], 0.5);
+  EXPECT_NEAR(x[3], 1.0, 1e-15);
+  EXPECT_EQ(x[4], 1.0);
+  EXPECT_GT(x[5], 0.5);
+}
+
+TEST(NnKernels, VectorMathFlagStable) {
+  // Machine-dependent value, but it must be a stable build-time property.
+  EXPECT_EQ(kernels::vector_math_active(), kernels::vector_math_active());
+}
+
+// Build-flag guard: fails if -ffp-contract=off is ever dropped from the
+// top-level CMakeLists. Contraction would re-round a*b+c differently per
+// compiler/arch and silently invalidate every golden constant.
+TEST(NnKernels, FpContractionDisabled) {
+  EXPECT_FALSE(kernels::fp_contraction_active());
+}
+
+TEST(NnKernels, TrainBatchCounterMonotonic) {
+  const std::uint64_t before = kernels::total_train_batches();
+  kernels::note_train_batch();
+  kernels::note_train_batch();
+  EXPECT_EQ(kernels::total_train_batches(), before + 2);
+}
+
+}  // namespace
+}  // namespace pfdrl::nn

@@ -6,6 +6,7 @@
 #include <array>
 
 #include "nn/workspace.hpp"
+#include "util/rng.hpp"
 
 namespace pfdrl::rl {
 namespace {
@@ -266,6 +267,28 @@ TEST(Dqn, ActPathAllocationFreePaperNet) {
   (void)agent.act_greedy(state);
   const std::uint64_t allocs = nn::Workspace::total_allocations();
   for (int i = 0; i < 50; ++i) (void)agent.act_greedy(state);
+  EXPECT_EQ(nn::Workspace::total_allocations(), allocs);
+}
+
+// The learn path gets the same pin: once the replay is full and a few
+// warm-up steps have sized the gradient slot (the slot buffer and the
+// Mlp ping-pong scratch trade places across backward(), so capacities
+// converge over the first couple of calls), further learn() calls must
+// not grow any workspace arena.
+TEST(Dqn, LearnPathAllocationFreeSteadyState) {
+  DqnAgent agent(small_config());
+  util::Rng rng(77);
+  for (int i = 0; i < 64; ++i) {
+    Transition t;
+    t.state = {rng.normal(), rng.normal(), rng.normal()};
+    t.action = i % 3;
+    t.reward = rng.normal();
+    t.next_state = {rng.normal(), rng.normal(), rng.normal()};
+    agent.remember(t);
+  }
+  for (int i = 0; i < 4; ++i) agent.learn();  // warm the slots
+  const std::uint64_t allocs = nn::Workspace::total_allocations();
+  for (int i = 0; i < 200; ++i) agent.learn();
   EXPECT_EQ(nn::Workspace::total_allocations(), allocs);
 }
 

@@ -4,16 +4,19 @@
 # parses and carries the expected keys — so a flag rename or a broken
 # writer fails CI instead of silently producing an unusable baseline.
 #
-# Expected -D inputs: MICRO_KERNELS, EMS_THROUGHPUT (executable paths),
-# WORK_DIR (scratch directory).
+# Expected -D inputs: MICRO_KERNELS, EMS_THROUGHPUT, DFL_THROUGHPUT
+# (executable paths), WORK_DIR (scratch directory).
 
-if(NOT DEFINED MICRO_KERNELS OR NOT DEFINED EMS_THROUGHPUT OR NOT DEFINED WORK_DIR)
-  message(FATAL_ERROR "bench_smoke: MICRO_KERNELS, EMS_THROUGHPUT and WORK_DIR must be set")
+if(NOT DEFINED MICRO_KERNELS OR NOT DEFINED EMS_THROUGHPUT
+   OR NOT DEFINED DFL_THROUGHPUT OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "bench_smoke: MICRO_KERNELS, EMS_THROUGHPUT, DFL_THROUGHPUT and WORK_DIR must be set")
 endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
 set(kernels_json "${WORK_DIR}/BENCH_kernels.json")
 set(pipeline_json "${WORK_DIR}/BENCH_pipeline.json")
+set(dfl_json "${WORK_DIR}/BENCH_dfl.json")
 
 # --- micro_kernels: google-benchmark JSON emitter, minimal time budget,
 # restricted to the batch-1 act-path benchmarks to keep the smoke fast.
@@ -38,6 +41,19 @@ execute_process(
   ERROR_VARIABLE pipeline_err)
 if(NOT pipeline_rc EQUAL 0)
   message(FATAL_ERROR "ems_throughput failed (${pipeline_rc}):\n${pipeline_out}\n${pipeline_err}")
+endif()
+
+# --- dfl_throughput: one tiny federated round per recurrent method. The
+# emitter's built-in twin run doubles as an end-to-end determinism check
+# (bitwise-identical parameters across two identically seeded rounds).
+execute_process(
+  COMMAND "${DFL_THROUGHPUT}" --days 1 --rounds 1 --round-minutes 120
+    --out "${dfl_json}"
+  RESULT_VARIABLE dfl_rc
+  OUTPUT_VARIABLE dfl_out
+  ERROR_VARIABLE dfl_err)
+if(NOT dfl_rc EQUAL 0)
+  message(FATAL_ERROR "dfl_throughput failed (${dfl_rc}):\n${dfl_out}\n${dfl_err}")
 endif()
 
 # --- validate the emitted JSON. string(JSON) needs CMake >= 3.19; on
@@ -65,6 +81,18 @@ check_keys("${kernels_json}" context benchmarks)
 check_keys("${pipeline_json}" bench decisions workspace_decisions_per_sec
   legacy_decisions_per_sec speedup steady_state_workspace_allocs
   nn_workspace_allocs nn_scratch_bytes)
+check_keys("${dfl_json}" bench lstm_windows lstm_windows_per_sec
+  gru_windows gru_windows_per_sec deterministic)
+
+# Train rounds must be bitwise reproducible (the kernel determinism
+# contract, re-checked end-to-end by the emitter's twin run).
+file(READ "${dfl_json}" doc)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON dfl_det GET "${doc}" deterministic)
+  if(NOT dfl_det STREQUAL "ON" AND NOT dfl_det STREQUAL "true")
+    message(FATAL_ERROR "dfl_throughput: twin rounds diverged (deterministic = ${dfl_det})")
+  endif()
+endif()
 
 # The act path must stay allocation-free in the steady state — the same
 # invariant the unit test pins, re-checked here end-to-end.
