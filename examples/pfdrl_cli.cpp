@@ -29,6 +29,13 @@
 //                       rounds [F,T) (repeatable)
 //   --metrics-out PATH  write a JSON metrics dump of the whole run
 //                       (.csv suffix switches to the CSV exporter)
+//   --snapshot-every N  save a crash-safe run snapshot every N EMS rounds
+//                       (see docs/persistence.md); with --crash windows,
+//                       crashed homes warm-restart from the last snapshot
+//   --snapshot-out PATH snapshot file (default pfdrl_snapshot.pfrc)
+//   --resume PATH       restore a snapshot and continue training from its
+//                       recorded cursor (must match method/homes/seed)
+#include <algorithm>
 #include <cstdio>
 #include <optional>
 #include <stdexcept>
@@ -39,6 +46,7 @@
 #include "obs/metrics.hpp"
 #include "sim/experiment.hpp"
 #include "sim/scenario.hpp"
+#include "sim/snapshot.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -76,6 +84,9 @@ int main(int argc, char** argv) {
   net::FaultPlan fault;
   fl::ExchangePolicy robustness;
   std::string metrics_out;
+  std::uint64_t snapshot_every = 0;
+  std::string snapshot_out = "pfdrl_snapshot.pfrc";
+  std::string resume_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -135,6 +146,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (arg == "--snapshot-every") {
+      snapshot_every = std::stoull(next());
+    } else if (arg == "--snapshot-out") {
+      snapshot_out = next();
+    } else if (arg == "--resume") {
+      resume_path = next();
     } else {
       usage_error(("unknown flag " + arg).c_str());
     }
@@ -180,8 +197,45 @@ int main(int argc, char** argv) {
   const std::size_t fc_days = 2;
   const std::size_t eval_begin = (days - 1) * day;
 
-  pipeline.train_forecasters(0, fc_days * day);
-  pipeline.train_ems(fc_days * day, eval_begin);
+  std::size_t ems_begin = fc_days * day;
+  if (!resume_path.empty()) {
+    // Snapshots are taken at EMS-round boundaries, after forecaster
+    // training: restoring replaces both training phases up to the
+    // recorded cursor, so only the remaining EMS rounds run.
+    try {
+      const sim::RunSnapshot snap = sim::load_snapshot(resume_path);
+      sim::restore_run(pipeline, snap);
+      ems_begin = std::max<std::size_t>(
+          ems_begin, static_cast<std::size_t>(snap.train_cursor_minutes));
+      std::printf("resumed from %s (ems round %llu, minute %llu)\n\n",
+                  resume_path.c_str(),
+                  static_cast<unsigned long long>(snap.ems_rounds_done),
+                  static_cast<unsigned long long>(snap.train_cursor_minutes));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pfdrl_cli: --resume failed: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    pipeline.train_forecasters(0, fc_days * day);
+  }
+
+  std::optional<sim::SnapshotManager> snapshots;
+  if (snapshot_every > 0) {
+    sim::SnapshotManager::Options so;
+    so.path = snapshot_out;
+    so.every_rounds = snapshot_every;
+    so.train_begin_minute = ems_begin;
+    so.train_end_minute = eval_begin;
+    snapshots.emplace(pipeline, so);
+  }
+  if (ems_begin < eval_begin) pipeline.train_ems(ems_begin, eval_begin);
+  if (snapshots && snapshots->saves() > 0) {
+    std::printf("snapshots: %llu saved to %s (%llu warm restart%s)\n",
+                static_cast<unsigned long long>(snapshots->saves()),
+                snapshot_out.c_str(),
+                static_cast<unsigned long long>(snapshots->home_restarts()),
+                snapshots->home_restarts() == 1 ? "" : "s");
+  }
 
   const auto results = pipeline.evaluate(eval_begin, days * day);
   util::TextTable table({"home", "standby kWh", "net saved kWh", "net %",

@@ -52,6 +52,10 @@ class DrlFederation {
   [[nodiscard]] std::size_t share_layers() const noexcept {
     return share_layers_;
   }
+  /// The plan-exchange bus (warm-restart fault-RNG/stats restore; see
+  /// sim/snapshot.hpp).
+  [[nodiscard]] net::MessageBus& bus() noexcept { return bus_; }
+  [[nodiscard]] const net::MessageBus& bus() const noexcept { return bus_; }
 
  private:
   std::size_t share_layers_;

@@ -165,6 +165,23 @@ std::vector<double> EmsPipeline::forecast_series(std::size_t home,
 }
 
 void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
+  // Warm-restart hook: a residence whose crash window ended with the
+  // previous round re-enters this round having lost its process state;
+  // the installed hook (sim::SnapshotManager) reloads it from its last
+  // snapshot before any new experience is collected.
+  if (on_home_restart_) {
+    const net::FailureSchedule& failures = cfg_.robustness.failures;
+    if (!failures.crashes.empty() && ems_rounds_done_ > 0) {
+      for (std::size_t h = 0; h < traces_.size(); ++h) {
+        const auto id = static_cast<net::AgentId>(h);
+        if (failures.crashed(id, ems_rounds_done_ - 1) &&
+            !failures.crashed(id, ems_rounds_done_)) {
+          on_home_restart_(h);
+        }
+      }
+    }
+  }
+
   obs::MetricsRegistry& reg = metrics();
   obs::SpanTimer round_span(reg.histogram("ems.round_seconds"),
                             &reg.series("ems.round_seconds_series"));
@@ -255,6 +272,7 @@ void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
   }
   ++ems_rounds_done_;
   reg.counter("ems.rounds").add(1);
+  if (on_round_end_) on_round_end_(ems_rounds_done_);
 }
 
 void EmsPipeline::train_ems(std::size_t begin, std::size_t end) {
@@ -337,6 +355,10 @@ const rl::DqnAgent& EmsPipeline::agent(std::size_t home,
     throw std::out_of_range("EmsPipeline::agent: protected device has none");
   }
   return *slot;
+}
+
+rl::DqnAgent* EmsPipeline::mutable_agent(std::size_t home, std::size_t dev) {
+  return agents_.at(home).at(dev).get();
 }
 
 }  // namespace pfdrl::core

@@ -129,6 +129,65 @@ class EmsPipeline {
   [[nodiscard]] const rl::DqnAgent& agent(std::size_t home,
                                           std::size_t dev) const;
 
+  // --- Warm-restart persistence surface (consumed by sim/snapshot) ----
+  // The pipeline exposes its mutable internals and two hooks instead of
+  // knowing about snapshots itself: sim layers RunSnapshot/SnapshotManager
+  // on top (core must not depend on sim).
+
+  [[nodiscard]] std::uint64_t ems_rounds_done() const noexcept {
+    return ems_rounds_done_;
+  }
+  void set_ems_rounds_done(std::uint64_t rounds) noexcept {
+    ems_rounds_done_ = rounds;
+  }
+  /// Device count of `home` (agent slots, including protected devices).
+  [[nodiscard]] std::size_t num_devices(std::size_t home) const {
+    return agents_.at(home).size();
+  }
+  /// Agent pointer; nullptr for protected (agent-less) devices.
+  [[nodiscard]] const rl::DqnAgent* agent_ptr(std::size_t home,
+                                              std::size_t dev) const {
+    return agents_.at(home).at(dev).get();
+  }
+  /// Mutable agent pointer; nullptr for protected (agent-less) devices.
+  [[nodiscard]] rl::DqnAgent* mutable_agent(std::size_t home, std::size_t dev);
+  [[nodiscard]] fl::DflTrainer* dfl_trainer() noexcept {
+    return dfl_ ? &*dfl_ : nullptr;
+  }
+  [[nodiscard]] const fl::DflTrainer* dfl_trainer() const noexcept {
+    return dfl_ ? &*dfl_ : nullptr;
+  }
+  [[nodiscard]] fl::CloudTrainer* cloud_trainer() noexcept {
+    return cloud_ ? &*cloud_ : nullptr;
+  }
+  [[nodiscard]] const fl::CloudTrainer* cloud_trainer() const noexcept {
+    return cloud_ ? &*cloud_ : nullptr;
+  }
+  [[nodiscard]] DrlFederation* drl_federation() noexcept {
+    return federation_ ? &*federation_ : nullptr;
+  }
+  [[nodiscard]] const DrlFederation* drl_federation() const noexcept {
+    return federation_ ? &*federation_ : nullptr;
+  }
+  /// Drop every cached forecast series (call after restoring model
+  /// parameters out-of-band).
+  void invalidate_forecast_cache() { runner_.invalidate_forecasts(); }
+
+  /// Fires after every completed EMS round with the updated
+  /// ems_rounds_done() — the periodic-snapshot trigger.
+  void set_on_round_end(std::function<void(std::uint64_t)> hook) {
+    on_round_end_ = std::move(hook);
+  }
+  /// Fires at the start of the first EMS round after residence `home`
+  /// exits a crash window (cfg.robustness.failures). With no hook
+  /// installed, behaviour is the original robustness model: the home kept
+  /// its in-memory state across the outage (uplink loss, not process
+  /// loss). A snapshot manager installs a hook that reloads the home from
+  /// its last snapshot — the warm-restart model.
+  void set_on_home_restart(std::function<void(std::size_t)> hook) {
+    on_home_restart_ = std::move(hook);
+  }
+
  private:
   /// Forecast series (watts) for trace minutes [begin, end) of one
   /// device, from whichever backend the method uses. Raw (uncached)
@@ -160,6 +219,8 @@ class EmsPipeline {
   /// Declared after cfg_ (its ForecastFn and metrics sink read it).
   EpisodeRunner runner_;
   std::uint64_t ems_rounds_done_ = 0;
+  std::function<void(std::uint64_t)> on_round_end_;
+  std::function<void(std::size_t)> on_home_restart_;
 };
 
 /// True if the method federates its EMS (FRL, PFDRL).

@@ -77,6 +77,22 @@ const forecast::Forecaster& CloudTrainer::model_for_type(
   return *it->second;
 }
 
+std::vector<data::DeviceType> CloudTrainer::model_types() const {
+  std::vector<data::DeviceType> types;
+  types.reserve(models_.size());
+  for (const auto& [type, model] : models_) types.push_back(type);
+  return types;
+}
+
+forecast::Forecaster& CloudTrainer::mutable_model_for_type(
+    data::DeviceType type) {
+  const auto it = models_.find(type);
+  if (it == models_.end()) {
+    throw std::out_of_range("CloudTrainer: unknown device type");
+  }
+  return *it->second;
+}
+
 double CloudTrainer::mean_test_accuracy(std::size_t begin,
                                         std::size_t end) const {
   util::RunningStats stats;

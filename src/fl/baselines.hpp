@@ -52,6 +52,21 @@ class CloudTrainer {
     return raw_bytes_uploaded_;
   }
 
+  // --- Warm-restart persistence surface (see sim/snapshot.hpp) --------
+  [[nodiscard]] std::uint64_t rounds_done() const noexcept {
+    return rounds_done_;
+  }
+  void set_rounds_done(std::uint64_t rounds) noexcept {
+    rounds_done_ = rounds;
+  }
+  void set_raw_bytes_uploaded(std::uint64_t bytes) noexcept {
+    raw_bytes_uploaded_ = bytes;
+  }
+  /// Device types with a global model, sorted (snapshot iteration order).
+  [[nodiscard]] std::vector<data::DeviceType> model_types() const;
+  [[nodiscard]] forecast::Forecaster& mutable_model_for_type(
+      data::DeviceType type);
+
  private:
   const std::vector<data::HouseholdTrace>& traces_;
   CloudConfig cfg_;

@@ -196,6 +196,11 @@ const forecast::Forecaster& DflTrainer::forecaster(std::size_t home,
   return *agents_.at(home).devices.at(dev);
 }
 
+forecast::Forecaster& DflTrainer::mutable_forecaster(std::size_t home,
+                                                     std::size_t dev) {
+  return *agents_.at(home).devices.at(dev);
+}
+
 double DflTrainer::mean_test_accuracy(std::size_t begin,
                                       std::size_t end) const {
   util::RunningStats stats;

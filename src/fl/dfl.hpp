@@ -112,6 +112,23 @@ class DflTrainer {
 
   [[nodiscard]] net::BusStats comm_stats() const { return bus_.stats(); }
 
+  // --- Warm-restart persistence surface (see sim/snapshot.hpp) --------
+  /// Rounds executed so far. The per-round training RNG is forked from
+  /// (seed, rounds_done, home, dev), so restoring this counter plus the
+  /// forecaster states is all a bitwise resume needs.
+  [[nodiscard]] std::uint64_t rounds_done() const noexcept {
+    return rounds_done_;
+  }
+  void set_rounds_done(std::uint64_t rounds) noexcept {
+    rounds_done_ = rounds;
+  }
+  /// Mutable forecaster access for snapshot restore.
+  [[nodiscard]] forecast::Forecaster& mutable_forecaster(std::size_t home,
+                                                         std::size_t dev);
+  /// The broadcast bus (fault-RNG and stats restore).
+  [[nodiscard]] net::MessageBus& bus() noexcept { return bus_; }
+  [[nodiscard]] const net::MessageBus& bus() const noexcept { return bus_; }
+
  private:
   void broadcast_and_aggregate(std::uint64_t round_id);
 

@@ -1,0 +1,47 @@
+// Shared flat encoding of nn::AdamState for the Adam-backed forecasters
+// (BP, LSTM, GRU). Layout: [t, n, m[0..n), v[0..n)] — doubles carry the
+// integer fields exactly for any realistic step count. Internal to the
+// forecast library; the public surface is Forecaster::train_state().
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "nn/optimizer.hpp"
+
+namespace pfdrl::forecast::detail {
+
+inline std::vector<double> encode_adam(const nn::Adam& opt) {
+  const nn::AdamState s = opt.capture_state();
+  std::vector<double> out;
+  out.reserve(2 + 2 * s.m.size());
+  out.push_back(static_cast<double>(s.t));
+  out.push_back(static_cast<double>(s.m.size()));
+  out.insert(out.end(), s.m.begin(), s.m.end());
+  out.insert(out.end(), s.v.begin(), s.v.end());
+  return out;
+}
+
+inline void decode_adam(std::span<const double> flat, nn::Adam& opt) {
+  if (flat.empty()) {
+    opt.reset();
+    return;
+  }
+  if (flat.size() < 2 || flat[1] < 0.0) {
+    throw std::invalid_argument("forecast: malformed train state");
+  }
+  const auto n = static_cast<std::size_t>(flat[1]);
+  if (flat.size() != 2 + 2 * n) {
+    throw std::invalid_argument("forecast: train state length mismatch");
+  }
+  nn::AdamState s;
+  s.t = static_cast<long>(flat[0]);
+  s.m.assign(flat.begin() + 2, flat.begin() + 2 + static_cast<std::ptrdiff_t>(n));
+  s.v.assign(flat.begin() + 2 + static_cast<std::ptrdiff_t>(n), flat.end());
+  opt.restore_state(std::move(s));
+}
+
+}  // namespace pfdrl::forecast::detail

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "forecast/adam_codec.hpp"
+
 namespace pfdrl::forecast {
 
 namespace {
@@ -87,6 +89,14 @@ void BpForecaster::set_parameters(std::span<const double> values) {
   // weights only slightly (peers share init and are re-averaged every
   // round), and resetting the moments at every broadcast acted as a
   // repeated warm restart that measurably hurt DFL accuracy.  // moments refer to the replaced parameters
+}
+
+std::vector<double> BpForecaster::train_state() const {
+  return detail::encode_adam(opt_);
+}
+
+void BpForecaster::set_train_state(std::span<const double> state) {
+  detail::decode_adam(state, opt_);
 }
 
 std::unique_ptr<Forecaster> BpForecaster::clone() const {

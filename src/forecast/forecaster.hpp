@@ -69,6 +69,17 @@ class Forecaster {
   [[nodiscard]] virtual std::span<const double> parameters() const = 0;
   virtual void set_parameters(std::span<const double> values) = 0;
 
+  /// Training state beyond parameters() that a warm restart must carry to
+  /// continue training bitwise — for the Adam-backed methods (BP, LSTM,
+  /// GRU) the optimizer moments and step count, flat-encoded as
+  /// [t, n, m[0..n), v[0..n)]. Stateless methods (LR, SVR) return empty.
+  [[nodiscard]] virtual std::vector<double> train_state() const { return {}; }
+  /// Restore an encoding produced by train_state(). Empty resets to a
+  /// cold optimizer; malformed input throws std::invalid_argument.
+  virtual void set_train_state(std::span<const double> state) {
+    (void)state;
+  }
+
   [[nodiscard]] virtual std::unique_ptr<Forecaster> clone() const = 0;
 
   [[nodiscard]] const data::WindowConfig& window_config() const noexcept {

@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "forecast/adam_codec.hpp"
+
 namespace pfdrl::forecast {
 
 GruForecaster::GruForecaster(const data::WindowConfig& window,
@@ -78,6 +80,14 @@ std::vector<double> GruForecaster::predict_series(
 void GruForecaster::set_parameters(std::span<const double> values) {
   net_.set_parameters(values);
   // Adam moments kept across federated averaging (see lstm_forecaster).
+}
+
+std::vector<double> GruForecaster::train_state() const {
+  return detail::encode_adam(opt_);
+}
+
+void GruForecaster::set_train_state(std::span<const double> state) {
+  detail::decode_adam(state, opt_);
 }
 
 std::unique_ptr<Forecaster> GruForecaster::clone() const {

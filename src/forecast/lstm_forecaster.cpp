@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "forecast/adam_codec.hpp"
+
 namespace pfdrl::forecast {
 
 LstmForecaster::LstmForecaster(const data::WindowConfig& window,
@@ -82,6 +84,14 @@ void LstmForecaster::set_parameters(std::span<const double> values) {
   // weights only slightly (peers share init and are re-averaged every
   // round), and resetting the moments at every broadcast acted as a
   // repeated warm restart that measurably hurt DFL accuracy.
+}
+
+std::vector<double> LstmForecaster::train_state() const {
+  return detail::encode_adam(opt_);
+}
+
+void LstmForecaster::set_train_state(std::span<const double> state) {
+  detail::decode_adam(state, opt_);
 }
 
 std::unique_ptr<Forecaster> LstmForecaster::clone() const {

@@ -27,6 +27,8 @@ class LstmForecaster final : public Forecaster {
     return net_.parameters();
   }
   void set_parameters(std::span<const double> values) override;
+  [[nodiscard]] std::vector<double> train_state() const override;
+  void set_train_state(std::span<const double> state) override;
   [[nodiscard]] std::unique_ptr<Forecaster> clone() const override;
 
  private:

@@ -161,4 +161,19 @@ void MessageBus::reset_stats() {
   stats_ = BusStats{};
 }
 
+void MessageBus::restore_stats(const BusStats& stats) {
+  std::lock_guard lock(stats_mutex_);
+  stats_ = stats;
+}
+
+util::RngState MessageBus::fault_rng_state() const {
+  std::lock_guard lock(fault_mutex_);
+  return fault_rng_.state();
+}
+
+void MessageBus::restore_fault_rng(const util::RngState& state) {
+  std::lock_guard lock(fault_mutex_);
+  fault_rng_.restore(state);
+}
+
 }  // namespace pfdrl::net

@@ -76,6 +76,17 @@ class MessageBus {
   [[nodiscard]] std::size_t inbox_size(AgentId agent) const;
   [[nodiscard]] BusStats stats() const;
   void reset_stats();
+  /// Restore accounting wholesale (warm-restart persistence).
+  void restore_stats(const BusStats& stats);
+
+  /// Fault-RNG snapshot/restore for warm restarts: the per-bus fault
+  /// stream must continue where it left off or a resumed chaos run draws
+  /// a different drop/delay mask than the uninterrupted one. In-flight
+  /// inbox contents are intentionally NOT part of a snapshot — the
+  /// exchange layer already treats unread backlog as stale and discards
+  /// it (docs/robustness.md).
+  [[nodiscard]] util::RngState fault_rng_state() const;
+  void restore_fault_rng(const util::RngState& state);
 
  private:
   struct Inbox {

@@ -8,7 +8,9 @@
 
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pfdrl::nn {
@@ -61,6 +63,15 @@ class Momentum final : public Optimizer {
   std::vector<double> velocity_;
 };
 
+/// Serializable Adam moment state (see Adam::capture_state). `m` and `v`
+/// are empty before the first step; afterwards both match the parameter
+/// count.
+struct AdamState {
+  std::vector<double> m;
+  std::vector<double> v;
+  long t = 0;
+};
+
 /// Adam (Kingma & Ba). Default hyperparameters.
 class Adam final : public Optimizer {
  public:
@@ -72,6 +83,20 @@ class Adam final : public Optimizer {
     m_.clear();
     v_.clear();
     t_ = 0;
+  }
+
+  /// Snapshot / restore the moment vectors and step count, so a resumed
+  /// run continues the bias-corrected updates bitwise instead of cold-
+  /// starting the moments (which acts as an unplanned warm restart of
+  /// the learning-rate schedule).
+  [[nodiscard]] AdamState capture_state() const { return {m_, v_, t_}; }
+  void restore_state(AdamState state) {
+    if (state.m.size() != state.v.size()) {
+      throw std::invalid_argument("Adam: moment size mismatch");
+    }
+    m_ = std::move(state.m);
+    v_ = std::move(state.v);
+    t_ = state.t;
   }
   [[nodiscard]] std::string name() const override { return "adam"; }
   [[nodiscard]] std::unique_ptr<Optimizer> clone() const override {

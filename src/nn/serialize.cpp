@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/records.hpp"
+
 namespace pfdrl::nn {
 
 namespace {
@@ -49,14 +51,21 @@ Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes) {
     throw std::runtime_error("checkpoint: unsupported version");
   }
   Checkpoint ckpt;
+  // Both length prefixes are untrusted: a corrupt or truncated buffer can
+  // carry any value here, so validate against the bytes actually present
+  // before allocating or touching payload data — a 2^60 "length" must
+  // throw, not reserve().
   const auto sig_len = read_pod<std::uint64_t>(bytes);
-  if (bytes.size() < sig_len) {
+  if (sig_len > bytes.size()) {
     throw std::runtime_error("checkpoint: truncated signature");
   }
   ckpt.signature.assign(reinterpret_cast<const char*>(bytes.data()),
                         static_cast<std::size_t>(sig_len));
   bytes = bytes.subspan(static_cast<std::size_t>(sig_len));
   const auto n = read_pod<std::uint64_t>(bytes);
+  if (n > bytes.size() / sizeof(double)) {
+    throw std::runtime_error("checkpoint: truncated parameters");
+  }
   ckpt.parameters.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
     ckpt.parameters.push_back(read_pod<double>(bytes));
@@ -69,12 +78,10 @@ Checkpoint deserialize_checkpoint(std::span<const std::uint8_t> bytes) {
 }
 
 void save_checkpoint(const Checkpoint& ckpt, const std::string& path) {
-  const auto bytes = serialize_checkpoint(ckpt);
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("checkpoint: write failed " + path);
+  // Crash-safe: stage-and-rename, never the target file in place. A crash
+  // mid-write used to leave a truncated, unloadable checkpoint at `path`;
+  // now it leaves either the previous file or the complete new one.
+  util::atomic_write_file(path, serialize_checkpoint(ckpt));
 }
 
 Checkpoint load_checkpoint(const std::string& path) {

@@ -165,6 +165,11 @@ void Series::reset() {
   values_.clear();
 }
 
+void Series::restore(std::vector<double> values) {
+  std::lock_guard lock(mutex_);
+  values_ = std::move(values);
+}
+
 MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name) {
   // Callers hold mutex_.
   return entries_[std::string(name)];
@@ -242,6 +247,26 @@ void MetricsRegistry::reset() {
     if (e.histogram) e.histogram->reset();
     if (e.series) e.series->reset();
   }
+}
+
+MetricsSnapshot MetricsRegistry::capture_state() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, e] : entries_) {
+    if (e.counter) snapshot.counters[name] = e.counter->value();
+    if (e.gauge) snapshot.gauges[name] = e.gauge->value();
+    if (e.series) snapshot.series[name] = e.series->values();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::restore_state(const MetricsSnapshot& snapshot) {
+  // Goes through the public find-or-create accessors (each takes the
+  // registry lock itself) so restoring into a fresh registry creates the
+  // instruments and kind conflicts surface as the usual logic_error.
+  for (const auto& [name, value] : snapshot.counters) counter(name).set(value);
+  for (const auto& [name, value] : snapshot.gauges) gauge(name).set(value);
+  for (const auto& [name, values] : snapshot.series) series(name).restore(values);
 }
 
 std::string MetricsRegistry::to_json() const {

@@ -122,10 +122,23 @@ class Series {
   [[nodiscard]] std::vector<double> values() const;
   [[nodiscard]] std::size_t size() const;
   void reset();
+  /// Replace the trajectory wholesale (warm-restart persistence).
+  void restore(std::vector<double> values);
 
  private:
   mutable std::mutex mutex_;
   std::vector<double> values_;
+};
+
+/// Deterministic slice of a registry for warm-restart persistence:
+/// counters, gauges and series — the instruments whose values a resumed
+/// run must continue from. Histograms are deliberately excluded: they
+/// hold wall-time distributions, which are not reproducible and restart
+/// from empty on resume.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::vector<double>> series;
 };
 
 class MetricsRegistry {
@@ -149,6 +162,13 @@ class MetricsRegistry {
   [[nodiscard]] std::size_t size() const;
   /// Zero every instrument (layouts and names survive).
   void reset();
+
+  /// Snapshot / restore the deterministic instruments (counters, gauges,
+  /// series; histograms excluded — see MetricsSnapshot). Restore
+  /// find-or-creates each named instrument and overwrites its value;
+  /// instruments absent from the snapshot are left untouched.
+  [[nodiscard]] MetricsSnapshot capture_state() const;
+  void restore_state(const MetricsSnapshot& snapshot);
 
   /// One JSON document: {"counters":{...},"gauges":{...},
   /// "histograms":{...},"series":{...}} with names sorted.

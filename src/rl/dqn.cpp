@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "nn/loss.hpp"
 
@@ -159,6 +160,34 @@ void DqnAgent::notify_external_parameter_update() {
 
 void DqnAgent::sync_target() {
   target_.set_parameters(net_.parameters());
+}
+
+DqnAgentState DqnAgent::capture_state() const {
+  DqnAgentState state;
+  const auto online = net_.parameters();
+  const auto target = target_.parameters();
+  state.online_params.assign(online.begin(), online.end());
+  state.target_params.assign(target.begin(), target.end());
+  state.optimizer = opt_.capture_state();
+  state.replay = replay_.capture_state();
+  state.rng = rng_.state();
+  state.act_steps = act_steps_;
+  state.learn_steps = learn_steps_;
+  return state;
+}
+
+void DqnAgent::restore_state(const DqnAgentState& state) {
+  if (state.online_params.size() != net_.parameters().size() ||
+      state.target_params.size() != target_.parameters().size()) {
+    throw std::invalid_argument("DqnAgent: snapshot parameter size mismatch");
+  }
+  net_.set_parameters(state.online_params);
+  target_.set_parameters(state.target_params);
+  opt_.restore_state(state.optimizer);
+  replay_.restore_state(state.replay);
+  rng_.restore(state.rng);
+  act_steps_ = state.act_steps;
+  learn_steps_ = state.learn_steps;
 }
 
 }  // namespace pfdrl::rl

@@ -46,6 +46,21 @@ struct DqnConfig {
   std::uint64_t exploration_seed = 0;
 };
 
+/// Everything a warm restart needs to continue this agent bitwise:
+/// both networks' flat parameters (online and target drift apart between
+/// refreshes), Adam moments, the replay ring, the exploration RNG, and
+/// the two step counters (epsilon derives from act_steps; the target
+/// refresh schedule from learn_steps).
+struct DqnAgentState {
+  std::vector<double> online_params;
+  std::vector<double> target_params;
+  nn::AdamState optimizer;
+  ReplayBufferState replay;
+  util::RngState rng;
+  std::uint64_t act_steps = 0;
+  std::uint64_t learn_steps = 0;
+};
+
 class DqnAgent {
  public:
   explicit DqnAgent(const DqnConfig& cfg);
@@ -92,6 +107,14 @@ class DqnAgent {
   void notify_external_parameter_update();
   /// Copy online weights into the target network (exposed for tests).
   void sync_target();
+
+  /// Deep-copy snapshot for warm-restart persistence.
+  [[nodiscard]] DqnAgentState capture_state() const;
+  /// Restore a snapshot. Unlike set_network_parameters this keeps the
+  /// captured target network and Adam moments instead of resetting them —
+  /// the restored agent must continue learning bitwise, not cold-start
+  /// its schedule. Throws std::invalid_argument on shape mismatch.
+  void restore_state(const DqnAgentState& state);
 
  private:
   /// Single-state forward through the workspace; returns the Q-row, which

@@ -36,6 +36,37 @@ void ReplayBuffer::sample_into(std::size_t batch, util::Rng& rng,
   }
 }
 
+ReplayBufferState ReplayBuffer::capture_state() const {
+  ReplayBufferState state;
+  state.entries.assign(storage_.begin(),
+                       storage_.begin() + static_cast<std::ptrdiff_t>(size_));
+  state.next = next_;
+  state.total_pushed = total_pushed_;
+  return state;
+}
+
+void ReplayBuffer::restore_state(const ReplayBufferState& state) {
+  if (state.entries.size() > capacity_) {
+    throw std::invalid_argument("ReplayBuffer: snapshot exceeds capacity");
+  }
+  // The write cursor must point at a valid slot: the first free slot
+  // while filling, any populated slot once the ring has wrapped.
+  const bool full = state.entries.size() == capacity_;
+  if ((full && state.next >= capacity_) ||
+      (!full && state.next != state.entries.size())) {
+    throw std::invalid_argument("ReplayBuffer: inconsistent snapshot cursor");
+  }
+  for (std::size_t i = 0; i < state.entries.size(); ++i) {
+    storage_[i] = state.entries[i];
+  }
+  for (std::size_t i = state.entries.size(); i < capacity_; ++i) {
+    storage_[i] = Transition{};
+  }
+  size_ = state.entries.size();
+  next_ = state.next;
+  total_pushed_ = state.total_pushed;
+}
+
 void ReplayBuffer::clear() noexcept {
   next_ = 0;
   size_ = 0;

@@ -17,6 +17,17 @@ struct Transition {
   bool terminal = false;
 };
 
+/// Snapshot of a ReplayBuffer for warm-restart persistence. `entries`
+/// holds the populated slots in *storage* order (index 0 of the ring
+/// array first), so restoring reproduces not just the contents but the
+/// exact overwrite position — sample() index draws land on identical
+/// transitions afterwards.
+struct ReplayBufferState {
+  std::vector<Transition> entries;
+  std::size_t next = 0;
+  std::uint64_t total_pushed = 0;
+};
+
 class ReplayBuffer {
  public:
   explicit ReplayBuffer(std::size_t capacity);
@@ -39,6 +50,13 @@ class ReplayBuffer {
                    std::vector<const Transition*>& out) const;
 
   void clear() noexcept;
+
+  /// Deep-copy snapshot of the ring (contents, write cursor, telemetry).
+  [[nodiscard]] ReplayBufferState capture_state() const;
+  /// Restore a snapshot into this buffer. The snapshot must fit the
+  /// buffer's capacity and carry a consistent cursor; throws
+  /// std::invalid_argument otherwise.
+  void restore_state(const ReplayBufferState& state);
 
   /// Total transitions ever pushed (diagnostics).
   [[nodiscard]] std::uint64_t total_pushed() const noexcept {

@@ -1,0 +1,144 @@
+#include "util/records.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace pfdrl::util {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50465243;  // "PFRC"
+constexpr std::uint32_t kVersion = 1;
+// Header: magic + version. Record frame: u64 length + u32 crc.
+constexpr std::size_t kHeaderBytes = 8;
+constexpr std::size_t kFrameBytes = 12;
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320U ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& out, const T& value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::span<const std::uint8_t>& in, const char* what) {
+  if (in.size() < sizeof(T)) {
+    throw std::runtime_error(std::string("records: truncated ") + what);
+  }
+  T value;
+  std::memcpy(&value, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFU;
+  for (std::uint8_t b : bytes) c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFU;
+}
+
+void atomic_write_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes) {
+  // Stage next to the target so the final rename never crosses a
+  // filesystem boundary (cross-device rename is not atomic, and fails
+  // outright on POSIX).
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("records: cannot open " + tmp);
+  }
+  const std::size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("records: write failed " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("records: rename failed " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("records: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 1 << 16> chunk;
+  for (;;) {
+    const std::size_t got = std::fread(chunk.data(), 1, chunk.size(), f);
+    bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + got);
+    if (got < chunk.size()) break;
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) throw std::runtime_error("records: read failed " + path);
+  return bytes;
+}
+
+RecordWriter::RecordWriter() {
+  buffer_.reserve(kHeaderBytes);
+  append_pod(buffer_, kMagic);
+  append_pod(buffer_, kVersion);
+}
+
+void RecordWriter::append(std::span<const std::uint8_t> payload) {
+  buffer_.reserve(buffer_.size() + kFrameBytes + payload.size());
+  append_pod(buffer_, static_cast<std::uint64_t>(payload.size()));
+  append_pod(buffer_, crc32(payload));
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+  ++count_;
+}
+
+void RecordWriter::write_file(const std::string& path) const {
+  atomic_write_file(path, buffer_);
+}
+
+RecordReader::RecordReader(std::span<const std::uint8_t> bytes)
+    : rest_(bytes) {
+  if (read_pod<std::uint32_t>(rest_, "header") != kMagic) {
+    throw std::runtime_error("records: bad magic");
+  }
+  if (read_pod<std::uint32_t>(rest_, "header") != kVersion) {
+    throw std::runtime_error("records: unsupported version");
+  }
+}
+
+std::optional<std::span<const std::uint8_t>> RecordReader::next() {
+  if (rest_.empty()) return std::nullopt;
+  const auto len = read_pod<std::uint64_t>(rest_, "record length");
+  const auto crc = read_pod<std::uint32_t>(rest_, "record crc");
+  // The length prefix is attacker/corruption-controlled: validate it
+  // against the bytes actually present before forming the payload span.
+  if (len > rest_.size()) {
+    throw std::runtime_error("records: record length exceeds input");
+  }
+  const auto payload = rest_.first(static_cast<std::size_t>(len));
+  rest_ = rest_.subspan(static_cast<std::size_t>(len));
+  if (crc32(payload) != crc) {
+    throw std::runtime_error("records: crc mismatch (corrupt record)");
+  }
+  ++read_;
+  return payload;
+}
+
+}  // namespace pfdrl::util

@@ -18,6 +18,18 @@ namespace pfdrl::util {
 /// (seed, stream-id) pairs into independent generator states.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// Complete serializable generator state. The Box-Muller cache is part of
+/// it: normal() produces variates in pairs and hands out the cached
+/// second one on the next call, so a snapshot that dropped the cache
+/// would make a restored stream diverge bitwise after any odd number of
+/// normal() draws.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+  std::uint64_t seed = 0;
+};
+
 /// xoshiro256** engine with convenience distributions.
 ///
 /// Satisfies UniformRandomBitGenerator so it can also be handed to
@@ -60,6 +72,19 @@ class Rng {
   /// Index in [0, weights.size()) sampled proportionally to weights.
   /// Requires at least one strictly positive weight.
   std::size_t categorical(const std::vector<double>& weights) noexcept;
+
+  /// Snapshot the complete generator state (xoshiro words, Box-Muller
+  /// cache, fork seed). restore() continues the stream bitwise —
+  /// including mid-normal() pairs and subsequent fork() derivations.
+  [[nodiscard]] RngState state() const noexcept {
+    return {s_, cached_normal_, has_cached_normal_, seed_};
+  }
+  void restore(const RngState& state) noexcept {
+    s_ = state.s;
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+    seed_ = state.seed;
+  }
 
   /// Fisher-Yates shuffle.
   template <typename T>

@@ -14,7 +14,9 @@
 #include "fl/secure_agg.hpp"
 #include "net/bus.hpp"
 #include "net/topology.hpp"
+#include "nn/serialize.hpp"
 #include "obs/metrics.hpp"
+#include "util/records.hpp"
 #include "util/thread_pool.hpp"
 
 int main() {
@@ -101,6 +103,57 @@ int main() {
     if (reg.counter("exchange.rounds").value() != kJobs) {
       std::fprintf(stderr, "FAIL: exchange round count wrong\n");
       return 1;
+    }
+  }
+
+  // Phase 3: hostile-input sweep over the two binary parsers. Both read
+  // untrusted length prefixes; every truncation point and every single
+  // bit flip must end in a clean throw or an intact payload — ASan turns
+  // any out-of-bounds read into a hard failure.
+  {
+    nn::Checkpoint ckpt;
+    ckpt.signature = "mlp:6-32x2-3:relu";
+    for (int i = 0; i < 64; ++i) ckpt.parameters.push_back(0.25 * i);
+    const auto ckpt_bytes = nn::serialize_checkpoint(ckpt);
+
+    util::RecordWriter writer;
+    writer.append(ckpt_bytes);
+    writer.append(std::vector<std::uint8_t>{1, 2, 3});
+    const auto& rec_bytes = writer.bytes();
+
+    const auto fuzz_checkpoint = [](std::span<const std::uint8_t> bytes) {
+      try {
+        (void)nn::deserialize_checkpoint(bytes);
+      } catch (const std::runtime_error&) {
+      }
+    };
+    const auto fuzz_records = [](std::span<const std::uint8_t> bytes) {
+      try {
+        util::RecordReader reader(bytes);
+        while (reader.next().has_value()) {
+        }
+      } catch (const std::runtime_error&) {
+      }
+    };
+    for (std::size_t cut = 0; cut <= ckpt_bytes.size(); ++cut) {
+      fuzz_checkpoint({ckpt_bytes.data(), cut});
+    }
+    for (std::size_t cut = 0; cut <= rec_bytes.size(); ++cut) {
+      fuzz_records({rec_bytes.data(), cut});
+    }
+    for (std::size_t byte = 0; byte < ckpt_bytes.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto flipped = ckpt_bytes;
+        flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        fuzz_checkpoint(flipped);
+      }
+    }
+    for (std::size_t byte = 0; byte < rec_bytes.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto flipped = rec_bytes;
+        flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        fuzz_records(flipped);
+      }
     }
   }
 

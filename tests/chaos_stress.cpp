@@ -11,10 +11,17 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/pipeline.hpp"
+#include "data/trace.hpp"
 #include "fl/exchange.hpp"
 #include "net/bus.hpp"
 #include "net/fault.hpp"
 #include "net/topology.hpp"
+#include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
+#include "sim/snapshot.hpp"
 
 namespace pfdrl::fl {
 namespace {
@@ -148,6 +155,114 @@ TEST(ChaosStress, SoakIsBitwiseDeterministicPerSeed) {
     EXPECT_TRUE(first == second);
     const auto other = soak(kind, 778, 60);
     EXPECT_FALSE(first.final_params == other.final_params);
+  }
+}
+
+// Snapshot-under-chaos soak: a full PFDRL pipeline under every fault at
+// once (drops, delay+jitter, duplication, reordering, a partition
+// window, crash windows — one spanning the snapshot boundary — a
+// straggler, a deadline and a quorum gate) is snapshotted mid-run,
+// pushed through the full serialize -> deserialize codec, restored into
+// a fresh pipeline and run to completion. The resumed run's learned
+// state (parameter digests) and evaluation results must match the
+// uninterrupted run exactly: the fault-RNG streams restore bitwise and
+// uncaptured inbox backlogs are invisible (the exchange discards stale
+// backlog either way, docs/robustness.md).
+TEST(ChaosStress, SnapshotResumeUnderChaosMatchesUninterrupted) {
+  sim::ScenarioConfig sc;
+  sc.neighborhood.num_households = 4;
+  sc.neighborhood.min_devices = 4;
+  sc.neighborhood.max_devices = 4;
+  sc.neighborhood.seed = 42;
+  sc.trace.days = 2;
+  sc.trace.seed = 42;
+  const auto traces = sim::Scenario::generate(sc).traces;
+
+  const auto make_config = [](obs::MetricsRegistry& reg) {
+    auto cfg = sim::fast_pipeline(core::EmsMethod::kPfdrl, 42);
+    cfg.forecast_method = forecast::Method::kLr;
+    cfg.window.window = 8;
+    cfg.window.horizon = 5;
+    cfg.dqn.hidden = {12, 12};
+    cfg.alpha = 2;
+    cfg.beta_hours = 6.0;
+    cfg.gamma_hours = 3.0;  // 8 DRL rounds over the training day
+    cfg.fault.link.drop_probability = 0.2;
+    cfg.fault.delay_s = 0.002;
+    cfg.fault.jitter_s = 0.004;
+    cfg.fault.duplicate_probability = 0.05;
+    cfg.fault.reorder = true;
+    cfg.fault.partitions.push_back(
+        {.from_round = 1, .until_round = 3, .group = {0, 1}});
+    cfg.robustness.round_deadline_s = 0.006;
+    cfg.robustness.quorum_fraction = 0.5;
+    cfg.robustness.failures.crashes.push_back(
+        {.agent = 2, .from_round = 0, .until_round = 2});
+    // Spans the round-4 snapshot boundary: home 1 is down both when the
+    // snapshot is taken and when the resumed run starts.
+    cfg.robustness.failures.crashes.push_back(
+        {.agent = 1, .from_round = 3, .until_round = 5});
+    cfg.robustness.failures.stragglers.push_back(
+        {.agent = 3, .compute_delay_s = 0.02});
+    cfg.metrics = &reg;
+    return cfg;
+  };
+
+  const std::size_t day = data::kMinutesPerDay;
+  const std::size_t cut = day + 4 * 180;  // after 4 of the 8 rounds
+
+  // Uninterrupted reference.
+  obs::MetricsRegistry reg_a;
+  core::EmsPipeline a(traces, make_config(reg_a));
+  a.train_forecasters(0, day);
+  a.train_ems(day, 2 * day);
+
+  // Interrupted run, snapshotted through the wire format at the cut.
+  std::vector<std::uint8_t> wire;
+  {
+    obs::MetricsRegistry reg_b;
+    core::EmsPipeline b(traces, make_config(reg_b));
+    b.train_forecasters(0, day);
+    b.train_ems(day, cut);
+    wire = sim::serialize_snapshot(sim::capture_run(b, cut));
+  }
+
+  obs::MetricsRegistry reg_c;
+  core::EmsPipeline c(traces, make_config(reg_c));
+  sim::restore_run(c, sim::deserialize_snapshot(wire));
+  c.train_ems(cut, 2 * day);
+
+  const sim::RunSnapshot final_a = sim::capture_run(a);
+  const sim::RunSnapshot final_c = sim::capture_run(c);
+  ASSERT_EQ(final_a.agents.size(), final_c.agents.size());
+  for (std::size_t i = 0; i < final_a.agents.size(); ++i) {
+    const auto& x = final_a.agents[i].state;
+    const auto& y = final_c.agents[i].state;
+    EXPECT_EQ(nn::parameter_digest(x.online_params),
+              nn::parameter_digest(y.online_params))
+        << "agent " << i;
+    EXPECT_EQ(nn::parameter_digest(x.target_params),
+              nn::parameter_digest(y.target_params))
+        << "agent " << i;
+    EXPECT_EQ(x.rng.s, y.rng.s) << "agent " << i;
+    EXPECT_EQ(x.act_steps, y.act_steps) << "agent " << i;
+  }
+  ASSERT_EQ(final_a.forecasters.size(), final_c.forecasters.size());
+  for (std::size_t i = 0; i < final_a.forecasters.size(); ++i) {
+    EXPECT_EQ(nn::parameter_digest(final_a.forecasters[i].parameters),
+              nn::parameter_digest(final_c.forecasters[i].parameters))
+        << "forecaster " << i;
+  }
+
+  EXPECT_EQ(a.forecast_accuracy(day, 2 * day),
+            c.forecast_accuracy(day, 2 * day));
+  const auto ra = a.evaluate(day, 2 * day);
+  const auto rc = c.evaluate(day, 2 * day);
+  ASSERT_EQ(ra.size(), rc.size());
+  for (std::size_t h = 0; h < ra.size(); ++h) {
+    EXPECT_EQ(ra[h].total_reward, rc[h].total_reward) << "home " << h;
+    EXPECT_EQ(ra[h].comfort_violations, rc[h].comfort_violations)
+        << "home " << h;
   }
 }
 

@@ -52,6 +52,72 @@ TEST(Serialize, CorruptPayloadFailsDigest) {
   EXPECT_THROW(deserialize_checkpoint(bytes), std::runtime_error);
 }
 
+// Systematic truncation sweep: a checkpoint cut at *every* possible byte
+// offset must throw, never read out of bounds (the sanitizer builds make
+// an overread fatal) and never yield a partially-filled checkpoint.
+TEST(Serialize, EveryTruncationThrows) {
+  const auto bytes = serialize_checkpoint(sample_checkpoint(16, 7));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> trunc(bytes.data(), cut);
+    EXPECT_THROW(deserialize_checkpoint(trunc), std::runtime_error)
+        << "no throw at truncation offset " << cut;
+  }
+}
+
+// Single-bit-flip sweep over the whole buffer: deserialization must
+// either throw or reproduce the original checkpoint exactly. Flips in
+// the signature bytes are the one region the parameter digest does not
+// cover — those may parse, but only into a different signature, which
+// the caller's shape guard then rejects.
+TEST(Serialize, BitFlipsNeverYieldCorruptParameters) {
+  const Checkpoint original = sample_checkpoint(8, 8);
+  const auto bytes = serialize_checkpoint(original);
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = bytes;
+      flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        const Checkpoint back = deserialize_checkpoint(flipped);
+        // Parsed: the digest guarantees the parameters survived intact.
+        EXPECT_EQ(back.parameters, original.parameters)
+            << "silent parameter corruption at byte " << byte;
+      } catch (const std::runtime_error&) {
+        // Detected corruption — the expected outcome for most flips.
+      }
+    }
+  }
+}
+
+// A length prefix far beyond the buffer (the embedded-length trust bug)
+// must throw up front instead of reserving petabytes or walking off the
+// end of the input.
+TEST(Serialize, HugeSignatureLengthThrows) {
+  auto bytes = serialize_checkpoint(sample_checkpoint(4, 9));
+  for (std::size_t i = 8; i < 16; ++i) bytes[i] = 0xFF;  // u64 sig length
+  EXPECT_THROW(deserialize_checkpoint(bytes), std::runtime_error);
+}
+
+TEST(Serialize, HugeParameterCountThrows) {
+  Checkpoint ckpt;  // empty signature puts the count right after it
+  ckpt.signature = "";
+  ckpt.parameters = {1.0, 2.0};
+  auto bytes = serialize_checkpoint(ckpt);
+  for (std::size_t i = 16; i < 24; ++i) bytes[i] = 0xFF;  // u64 param count
+  EXPECT_THROW(deserialize_checkpoint(bytes), std::runtime_error);
+}
+
+TEST(Serialize, SaveIsAtomicReplacement) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pfdrl_ckpt_atomic.bin")
+          .string();
+  save_checkpoint(sample_checkpoint(8, 10), path);
+  const Checkpoint updated = sample_checkpoint(8, 11);
+  save_checkpoint(updated, path);  // replaces via temp + rename
+  EXPECT_EQ(load_checkpoint(path).parameters, updated.parameters);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
 TEST(Serialize, DigestSensitivity) {
   const std::vector<double> a = {1.0, 2.0, 3.0};
   std::vector<double> b = a;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <array>
+#include <stdexcept>
 
 #include "nn/workspace.hpp"
 #include "util/rng.hpp"
@@ -290,6 +291,127 @@ TEST(Dqn, LearnPathAllocationFreeSteadyState) {
   const std::uint64_t allocs = nn::Workspace::total_allocations();
   for (int i = 0; i < 200; ++i) agent.learn();
   EXPECT_EQ(nn::Workspace::total_allocations(), allocs);
+}
+
+// --- Warm-restart state capture ---------------------------------------
+
+namespace {
+/// Drive `agent` through n interleaved act/remember/learn steps with its
+/// own trajectory RNG, so exploration, replay sampling and Adam all move.
+void drive(DqnAgent& agent, util::Rng& rng, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    std::vector<double> state = {rng.uniform(), rng.uniform(), rng.uniform()};
+    const int action = agent.act(state);
+    Transition t;
+    t.state = state;
+    t.action = action;
+    t.reward = rng.uniform(-1, 1);
+    t.next_state = {rng.uniform(), rng.uniform(), rng.uniform()};
+    agent.remember(std::move(t));
+    agent.learn();
+  }
+}
+}  // namespace
+
+// The core warm-restart property: a restored agent continues bitwise —
+// identical actions (exploration RNG), identical losses (replay
+// sampling + Adam moments) and identical parameters after further
+// training.
+TEST(Dqn, CaptureRestoreContinuesBitwise) {
+  DqnAgent original(small_config());
+  util::Rng traj(901);
+  drive(original, traj, 120);  // past the first target refresh
+
+  const DqnAgentState state = original.capture_state();
+  DqnAgent restored(small_config());
+  restored.restore_state(state);
+
+  // Same trajectory stream for both from here on.
+  util::Rng traj_a(902), traj_b(902);
+  for (int i = 0; i < 60; ++i) {
+    std::vector<double> s = {traj_a.uniform(), traj_a.uniform(),
+                             traj_a.uniform()};
+    std::vector<double> s2 = {traj_b.uniform(), traj_b.uniform(),
+                              traj_b.uniform()};
+    ASSERT_EQ(original.act(s), restored.act(s2)) << "step " << i;
+    Transition ta;
+    ta.state = s;
+    ta.action = 0;
+    ta.reward = 0.5;
+    ta.next_state = s;
+    Transition tb = ta;
+    original.remember(std::move(ta));
+    restored.remember(std::move(tb));
+    ASSERT_EQ(original.learn(), restored.learn()) << "step " << i;
+  }
+  EXPECT_EQ(original.epsilon(), restored.epsilon());
+  EXPECT_EQ(original.learn_steps(), restored.learn_steps());
+  const auto pa = original.network().parameters();
+  const auto pb = restored.network().parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) ASSERT_EQ(pa[i], pb[i]);
+}
+
+// restore_state must keep the captured target network and Adam moments;
+// set_network_parameters (checkpoint-style restore) resets both. The
+// two must therefore diverge after the same subsequent learn step.
+TEST(Dqn, RestoreKeepsTargetAndAdamUnlikeSetNetworkParameters) {
+  DqnAgent trained(small_config());
+  util::Rng traj(903);
+  drive(trained, traj, 60);  // online and target have drifted apart
+
+  const DqnAgentState state = trained.capture_state();
+  // The capture really holds two distinct networks.
+  ASSERT_EQ(state.online_params.size(), state.target_params.size());
+  bool nets_differ = false;
+  for (std::size_t i = 0; i < state.online_params.size(); ++i) {
+    if (state.online_params[i] != state.target_params[i]) nets_differ = true;
+  }
+  ASSERT_TRUE(nets_differ);
+
+  DqnAgent warm(small_config());
+  warm.restore_state(state);
+  DqnAgent cold(small_config());
+  cold.set_network_parameters(state.online_params);
+
+  // Same online parameters either way...
+  const auto pw = warm.network().parameters();
+  const auto pc = cold.network().parameters();
+  for (std::size_t i = 0; i < pw.size(); ++i) ASSERT_EQ(pw[i], pc[i]);
+
+  // ...but the warm restore preserved the drifted target (cold synced
+  // it), so identical learn batches produce different updates.
+  util::Rng fill(904);
+  for (int i = 0; i < 40; ++i) {
+    Transition t;
+    t.state = {fill.uniform(), fill.uniform(), fill.uniform()};
+    t.action = i % 3;
+    t.reward = fill.uniform(-1, 1);
+    t.next_state = {fill.uniform(), fill.uniform(), fill.uniform()};
+    Transition t2 = t;
+    warm.remember(std::move(t));
+    cold.remember(std::move(t2));
+  }
+  warm.learn();
+  cold.learn();
+  const auto aw = warm.network().parameters();
+  const auto ac = cold.network().parameters();
+  bool diverged = false;
+  for (std::size_t i = 0; i < aw.size(); ++i) {
+    if (aw[i] != ac[i]) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Dqn, RestoreRejectsShapeMismatch) {
+  DqnAgent agent(small_config());
+  DqnAgentState state = agent.capture_state();
+  state.online_params.pop_back();
+  EXPECT_THROW(agent.restore_state(state), std::invalid_argument);
+
+  DqnAgentState state2 = agent.capture_state();
+  state2.target_params.push_back(0.0);
+  EXPECT_THROW(agent.restore_state(state2), std::invalid_argument);
 }
 
 }  // namespace

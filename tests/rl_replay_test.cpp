@@ -146,5 +146,94 @@ TEST(Replay, SampleIntoMatchesSample) {
   for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], expected2[i]);
 }
 
+// --- Warm-restart snapshot/restore -----------------------------------
+
+// Restoring a snapshot must reproduce the ring exactly: storage order,
+// write cursor, size and cumulative push counter — so the next push
+// evicts the same slot it would have in the uninterrupted run.
+TEST(ReplaySnapshot, RoundTripPreservesRingOrderAndCounters) {
+  ReplayBuffer buf(4);
+  for (int i = 0; i < 6; ++i) buf.push(make_transition(i));  // wrapped twice
+  const ReplayBufferState state = buf.capture_state();
+  EXPECT_EQ(state.entries.size(), 4u);
+  EXPECT_EQ(state.next, 2u);  // 6 % 4
+  EXPECT_EQ(state.total_pushed, 6u);
+  // Storage order: slots 0,1 were overwritten by tags 4,5; slots 2,3
+  // still hold tags 2,3.
+  EXPECT_EQ(state.entries[0].reward, 4.0);
+  EXPECT_EQ(state.entries[1].reward, 5.0);
+  EXPECT_EQ(state.entries[2].reward, 2.0);
+  EXPECT_EQ(state.entries[3].reward, 3.0);
+
+  ReplayBuffer restored(4);
+  restored.push(make_transition(99));  // pre-existing junk must vanish
+  restored.restore_state(state);
+  EXPECT_EQ(restored.size(), 4u);
+  EXPECT_EQ(restored.total_pushed(), 6u);
+  // The next two pushes must evict tags 2 and 3 (cursor at slot 2).
+  restored.push(make_transition(6));
+  restored.push(make_transition(7));
+  util::Rng rng(5);
+  std::set<double> rewards;
+  for (int i = 0; i < 300; ++i) rewards.insert(restored.sample(1, rng)[0]->reward);
+  EXPECT_EQ(rewards, (std::set<double>{4.0, 5.0, 6.0, 7.0}));
+}
+
+TEST(ReplaySnapshot, PartiallyFilledRoundTrip) {
+  ReplayBuffer buf(8);
+  for (int i = 0; i < 3; ++i) buf.push(make_transition(i));
+  const auto state = buf.capture_state();
+  EXPECT_EQ(state.entries.size(), 3u);
+  EXPECT_EQ(state.next, 3u);
+  ReplayBuffer restored(8);
+  restored.restore_state(state);
+  EXPECT_EQ(restored.size(), 3u);
+  EXPECT_EQ(restored.total_pushed(), 3u);
+  restored.push(make_transition(3));
+  EXPECT_EQ(restored.size(), 4u);  // cursor continued, no overwrite yet
+}
+
+// After restore, sampling must consume the identical RNG sequence and
+// land on the identical transitions as the original buffer — both via
+// sample() and the allocation-free sample_into().
+TEST(ReplaySnapshot, SamplingAfterRestoreMatchesOriginal) {
+  ReplayBuffer original(16);
+  for (int i = 0; i < 11; ++i) original.push(make_transition(i));
+  ReplayBuffer restored(16);
+  restored.restore_state(original.capture_state());
+
+  util::Rng rng_a(123);
+  util::Rng rng_b(123);
+  const auto batch_a = original.sample(8, rng_a);
+  std::vector<const Transition*> batch_b;
+  restored.sample_into(8, rng_b, batch_b);
+  ASSERT_EQ(batch_a.size(), batch_b.size());
+  for (std::size_t i = 0; i < batch_a.size(); ++i) {
+    EXPECT_EQ(batch_a[i]->reward, batch_b[i]->reward);
+    EXPECT_EQ(batch_a[i]->state, batch_b[i]->state);
+  }
+  // And the RNG streams stay in lockstep afterwards.
+  EXPECT_EQ(rng_a.next(), rng_b.next());
+}
+
+TEST(ReplaySnapshot, OversizedSnapshotThrows) {
+  ReplayBuffer big(8);
+  for (int i = 0; i < 8; ++i) big.push(make_transition(i));
+  const auto state = big.capture_state();
+  ReplayBuffer small(4);
+  EXPECT_THROW(small.restore_state(state), std::invalid_argument);
+}
+
+TEST(ReplaySnapshot, InconsistentCursorThrows) {
+  ReplayBuffer buf(4);
+  ReplayBufferState state;
+  state.entries = {make_transition(0), make_transition(1)};
+  state.next = 0;  // filling buffer must have next == entries.size()
+  EXPECT_THROW(buf.restore_state(state), std::invalid_argument);
+  state.next = 2;
+  buf.restore_state(state);  // consistent now
+  EXPECT_EQ(buf.size(), 2u);
+}
+
 }  // namespace
 }  // namespace pfdrl::rl

@@ -163,6 +163,59 @@ TEST(Rng, ForkUnaffectedByParentUse) {
   for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next(), b.next());
 }
 
+TEST(Rng, StateRoundTripContinuesStreamBitwise) {
+  Rng rng(99);
+  for (int i = 0; i < 17; ++i) rng.next();
+  const RngState saved = rng.state();
+
+  Rng restored(1);  // deliberately different seed — restore must win
+  restored.restore(saved);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next(), restored.next());
+}
+
+TEST(Rng, StateRoundTripPreservesBoxMullerCache) {
+  Rng rng(123);
+  // Draw an odd number of normals so a second variate sits in the cache.
+  (void)rng.normal();
+  const RngState saved = rng.state();
+  EXPECT_TRUE(saved.has_cached_normal);
+
+  Rng restored(7);
+  restored.restore(saved);
+  // The very next normal() must hand out the cached variate, then both
+  // streams continue in lockstep through fresh Box-Muller pairs.
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.normal();
+    const double b = restored.normal();
+    EXPECT_EQ(a, b);  // bitwise, not approximately
+  }
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next(), restored.next());
+}
+
+TEST(Rng, StateRoundTripPreservesForkSeed) {
+  Rng rng(77);
+  rng.next();
+  Rng restored(5);
+  restored.restore(rng.state());
+  Rng a = rng.fork(3);
+  Rng b = restored.fork(3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StateRoundTripThroughMixedDistributions) {
+  Rng rng(2024);
+  (void)rng.normal();
+  (void)rng.uniform();
+  (void)rng.normal();  // cache refilled mid-sequence
+  Rng restored(0);
+  restored.restore(rng.state());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(rng.normal(), restored.normal());
+    EXPECT_EQ(rng.uniform(), restored.uniform());
+    EXPECT_EQ(rng.uniform_int(0, 1000), restored.uniform_int(0, 1000));
+  }
+}
+
 class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RngSeedSweep, UniformMeanNearHalf) {

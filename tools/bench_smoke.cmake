@@ -4,13 +4,18 @@
 # parses and carries the expected keys — so a flag rename or a broken
 # writer fails CI instead of silently producing an unusable baseline.
 #
-# Expected -D inputs: MICRO_KERNELS, EMS_THROUGHPUT, DFL_THROUGHPUT
-# (executable paths), WORK_DIR (scratch directory).
+# Also exercises the pfdrl_cli snapshot/resume path end-to-end: one run
+# writing periodic snapshots, then a second run resuming from the file —
+# the two runs' evaluation lines must agree exactly.
+#
+# Expected -D inputs: MICRO_KERNELS, EMS_THROUGHPUT, DFL_THROUGHPUT,
+# PFDRL_CLI (executable paths), WORK_DIR (scratch directory).
 
 if(NOT DEFINED MICRO_KERNELS OR NOT DEFINED EMS_THROUGHPUT
-   OR NOT DEFINED DFL_THROUGHPUT OR NOT DEFINED WORK_DIR)
+   OR NOT DEFINED DFL_THROUGHPUT OR NOT DEFINED PFDRL_CLI
+   OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR
-    "bench_smoke: MICRO_KERNELS, EMS_THROUGHPUT, DFL_THROUGHPUT and WORK_DIR must be set")
+    "bench_smoke: MICRO_KERNELS, EMS_THROUGHPUT, DFL_THROUGHPUT, PFDRL_CLI and WORK_DIR must be set")
 endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
@@ -105,3 +110,49 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
 endif()
 
 message(STATUS "bench_smoke: both baseline emitters produced valid JSON")
+
+# --- pfdrl_cli snapshot/resume: write a snapshot every round, then
+# resume from the file with matching flags. The snapshot cadence covers
+# the whole training window, so the resumed run skips straight to
+# evaluation — its result lines must match the first run's exactly
+# (crash-resume is bitwise; the unit golden pins the state, this pins
+# the shipped CLI wiring).
+set(snapshot_file "${WORK_DIR}/smoke.pfrc")
+set(cli_flags --method pfdrl --homes 2 --days 4 --gamma 6 --seed 7)
+execute_process(
+  COMMAND "${PFDRL_CLI}" ${cli_flags}
+    --snapshot-every 1 --snapshot-out "${snapshot_file}"
+  RESULT_VARIABLE save_rc
+  OUTPUT_VARIABLE save_out
+  ERROR_VARIABLE save_err)
+if(NOT save_rc EQUAL 0)
+  message(FATAL_ERROR "pfdrl_cli snapshot run failed (${save_rc}):\n${save_out}\n${save_err}")
+endif()
+if(NOT save_out MATCHES "snapshots: [0-9]+ saved")
+  message(FATAL_ERROR "pfdrl_cli snapshot run saved nothing:\n${save_out}")
+endif()
+if(NOT EXISTS "${snapshot_file}")
+  message(FATAL_ERROR "pfdrl_cli: ${snapshot_file} was not written")
+endif()
+
+execute_process(
+  COMMAND "${PFDRL_CLI}" ${cli_flags} --resume "${snapshot_file}"
+  RESULT_VARIABLE resume_rc
+  OUTPUT_VARIABLE resume_out
+  ERROR_VARIABLE resume_err)
+if(NOT resume_rc EQUAL 0)
+  message(FATAL_ERROR "pfdrl_cli resume run failed (${resume_rc}):\n${resume_out}\n${resume_err}")
+endif()
+if(NOT resume_out MATCHES "resumed from")
+  message(FATAL_ERROR "pfdrl_cli resume run did not restore:\n${resume_out}")
+endif()
+
+foreach(line_re "forecast accuracy [^\n]*" "traffic: [^\n]*")
+  string(REGEX MATCH "${line_re}" save_line "${save_out}")
+  string(REGEX MATCH "${line_re}" resume_line "${resume_out}")
+  if(NOT save_line STREQUAL resume_line)
+    message(FATAL_ERROR
+      "pfdrl_cli resume diverged:\n  saved:   ${save_line}\n  resumed: ${resume_line}")
+  endif()
+endforeach()
+message(STATUS "bench_smoke: pfdrl_cli snapshot/resume round-trip agreed")
