@@ -1,0 +1,304 @@
+// City-scale federation engine sweep — the perf baseline for the sharded
+// bulk-synchronous refactor (docs/scaling.md).
+//
+// The full EMS pipeline cannot run 100k homes on a laptop (the DQN +
+// forecaster state alone would swamp RAM), but the *engine* the refactor
+// changed — sharded local steps, topology broadcast, cross-shard batch
+// routing, parallel drain/aggregate — can, and that is what this bench
+// measures. Each point spins up N synthetic agents with P-double
+// parameter slices, runs R bulk-synchronous rounds (sharded local update
+// via util::sharded_for, then a full fl::ParamExchange round over the
+// chosen topology with the net::ShardRouter batching cross-shard
+// traffic), and reports agent-rounds/second plus the router's batching
+// accounting. The default hierarchical topology aligns its clusters with
+// the shard plan, so the only cross-shard traffic is hub-to-hub.
+//
+// Determinism guard: every point runs twice with the same seed and the
+// final parameter vectors must match bitwise (fixed-order FNV hash) —
+// the sharded engine contract that twin runs agree regardless of the
+// thread schedule.
+//
+// Writes a JSON summary (default BENCH_scale.json in the CWD; the
+// committed baseline at the repo root is produced by the default flags).
+// Flags: --agents CSV, --rounds R, --params P, --shards S (0 = one per
+// pool worker), --topology NAME, --fanout N, --out PATH.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "fl/exchange.hpp"
+#include "net/bus.hpp"
+#include "net/shard_router.hpp"
+#include "net/topology.hpp"
+#include "sim/shard.hpp"
+#include "util/shard.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace pfdrl;
+
+struct SweepConfig {
+  std::size_t params = 64;
+  std::size_t rounds = 3;
+  std::size_t shards = 0;  // 0 = one shard per pool worker
+  net::TopologyKind topology = net::TopologyKind::kHierarchical;
+  std::size_t fanout = 4;
+  std::uint64_t seed = 42;
+};
+
+struct PointResult {
+  std::size_t agents = 0;
+  std::size_t shards = 0;
+  double seconds = 0.0;
+  double agent_rounds_per_sec = 0.0;
+  std::uint64_t links_per_round = 0;
+  double imbalance = 1.0;
+  net::ShardRouterStats router;
+  std::uint64_t hash = 0;
+  bool deterministic = false;
+};
+
+/// Fixed-order FNV-1a over the raw parameter bytes — bitwise, and
+/// independent of how many threads produced them.
+std::uint64_t hash_params(const std::vector<double>& params) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(params.data());
+  for (std::size_t i = 0; i < params.size() * sizeof(double); ++i) {
+    h = (h ^ bytes[i]) * 1099511628211ULL;
+  }
+  return h;
+}
+
+/// One engine run: R bulk-synchronous rounds over N agents. Returns the
+/// final parameter hash; fills `out` with the run's accounting.
+std::uint64_t run_engine(std::size_t agents, const SweepConfig& cfg,
+                         PointResult* out) {
+  const sim::ShardPlan plan = sim::ShardPlan::make(
+      agents,
+      cfg.shards > 0 ? cfg.shards : util::ThreadPool::global().size());
+
+  net::TopologyOptions topo;
+  topo.cluster_size = plan.aligned_cluster_size();
+  topo.fanout = cfg.fanout;
+  topo.gossip_seed = cfg.seed;
+  net::MessageBus bus(net::Topology(cfg.topology, agents, topo), {});
+  net::ShardRouter router(agents, plan.shards);
+  if (plan.sharded()) bus.set_shard_router(&router);
+
+  // Flat N x P parameter arena; agent a owns [a*P, (a+1)*P).
+  const std::size_t P = cfg.params;
+  std::vector<double> params(agents * P);
+  for (std::size_t a = 0; a < agents; ++a) {
+    for (std::size_t i = 0; i < P; ++i) {
+      params[a * P + i] = static_cast<double>(
+                              net::detail::mix64(cfg.seed ^ (a * P + i)) >> 40) *
+                          1e-6;
+    }
+  }
+
+  std::vector<fl::ExchangeItem> items(agents);
+  for (std::size_t a = 0; a < agents; ++a) {
+    const std::span<double> slice(params.data() + a * P, P);
+    items[a] = {.agent = static_cast<net::AgentId>(a),
+                .device_type = 0,
+                .send = slice,
+                .in_place = slice};
+  }
+
+  fl::ParamExchange::Options opts;
+  opts.kind = net::MessageKind::kForecastParams;
+  opts.min_group = 2;
+  opts.parallel = plan.sharded();
+  fl::ParamExchange exchange(bus, opts);
+
+  util::Stopwatch watch;
+  double imbalance_sum = 0.0;
+  for (std::size_t r = 0; r < cfg.rounds; ++r) {
+    // Local step: every agent advances its slice by a pure per-agent
+    // function of (seed, round, agent) — schedule-independent by
+    // construction, like the pipeline's forked per-job RNGs.
+    const util::ShardTiming timing = util::sharded_for(
+        util::ThreadPool::global(), agents, plan.shards,
+        [&](std::size_t a) { return plan.shard_of(a); },
+        [&](std::size_t a) {
+          for (std::size_t i = 0; i < P; ++i) {
+            const std::uint64_t g =
+                net::detail::mix64(cfg.seed ^ (r * 1315423911ULL) ^
+                                   (a * P + i));
+            params[a * P + i] =
+                params[a * P + i] * 0.999 +
+                static_cast<double>(g >> 40) * 1e-9;
+          }
+        });
+    imbalance_sum += timing.max_over_mean();
+    // Exchange barrier: broadcast along the topology (cross-shard legs
+    // batched by the router), drain, average per group, write in place.
+    exchange.round(items, r, [](std::size_t, std::span<const double>) {});
+  }
+  const double seconds = watch.elapsed_seconds();
+
+  if (out != nullptr) {
+    out->agents = agents;
+    out->shards = plan.shards;
+    out->seconds = seconds;
+    out->agent_rounds_per_sec =
+        seconds > 0.0
+            ? static_cast<double>(agents * cfg.rounds) / seconds
+            : 0.0;
+    std::uint64_t links = 0;
+    for (std::size_t a = 0; a < agents; ++a) {
+      links += bus.topology().broadcast_links(static_cast<net::AgentId>(a));
+    }
+    out->links_per_round = links;
+    out->imbalance =
+        cfg.rounds > 0 ? imbalance_sum / static_cast<double>(cfg.rounds) : 1.0;
+    out->router = router.stats();
+  }
+  return hash_params(params);
+}
+
+PointResult run_point(std::size_t agents, const SweepConfig& cfg) {
+  PointResult result;
+  const std::uint64_t first = run_engine(agents, cfg, &result);
+  const std::uint64_t twin = run_engine(agents, cfg, nullptr);
+  result.hash = first;
+  result.deterministic = first == twin;
+  return result;
+}
+
+std::vector<std::size_t> parse_csv_sizes(const char* s) {
+  std::vector<std::size_t> out;
+  std::string cur;
+  for (const char* p = s;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!cur.empty()) out.push_back(std::stoul(cur));
+      cur.clear();
+      if (*p == '\0') break;
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepConfig cfg;
+  std::vector<std::size_t> agent_counts = {100, 1000, 10000, 100000};
+  std::string out_path = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--agents") == 0 && i + 1 < argc) {
+      agent_counts = parse_csv_sizes(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      cfg.rounds = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--params") == 0 && i + 1 < argc) {
+      cfg.params = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      cfg.shards = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--fanout") == 0 && i + 1 < argc) {
+      cfg.fanout = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--topology") == 0 && i + 1 < argc) {
+      const auto kind = net::parse_topology_kind(argv[++i]);
+      if (!kind) {
+        std::fprintf(stderr, "unknown topology %s\n", argv[i]);
+        return 2;
+      }
+      cfg.topology = *kind;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--agents CSV] [--rounds R] [--params P] "
+                   "[--shards S] [--topology NAME] [--fanout N] [--out P]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (agent_counts.empty()) {
+    std::fprintf(stderr, "scale_sweep: --agents list is empty\n");
+    return 2;
+  }
+
+  bench::print_figure_header(
+      "Sharded federation engine scale sweep (perf baseline)",
+      "city-scale DFL needs O(N*degree) broadcast and bounded threads — "
+      "the sharded bulk-synchronous engine delivers both");
+  std::printf("topology=%s params=%zu rounds=%zu pool_workers=%zu\n\n",
+              net::topology_name(cfg.topology), cfg.params, cfg.rounds,
+              util::ThreadPool::global().size());
+
+  std::vector<PointResult> points;
+  bool all_deterministic = true;
+  for (std::size_t agents : agent_counts) {
+    points.push_back(run_point(agents, cfg));
+    all_deterministic = all_deterministic && points.back().deterministic;
+  }
+
+  util::TextTable table({"agents", "shards", "seconds", "agent-rounds/s",
+                         "links/round", "batched msgs", "imbalance",
+                         "deterministic"});
+  for (const auto& p : points) {
+    table.add_row({std::to_string(p.agents), std::to_string(p.shards),
+                   util::fmt_double(p.seconds, 3),
+                   util::fmt_double(p.agent_rounds_per_sec, 0),
+                   std::to_string(p.links_per_round),
+                   std::to_string(p.router.messages_batched),
+                   util::fmt_double(p.imbalance, 3),
+                   p.deterministic ? "yes" : "NO"});
+  }
+  table.print();
+
+  if (!all_deterministic) {
+    std::fprintf(stderr, "FATAL: twin identically seeded runs diverged\n");
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"scale_sweep\",\n"
+               "  \"topology\": \"%s\",\n"
+               "  \"params\": %zu,\n"
+               "  \"rounds\": %zu,\n"
+               "  \"pool_workers\": %zu,\n"
+               "  \"deterministic\": %s,\n"
+               "  \"points\": [\n",
+               net::topology_name(cfg.topology), cfg.params, cfg.rounds,
+               util::ThreadPool::global().size(),
+               all_deterministic ? "true" : "false");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& p = points[i];
+    std::fprintf(f,
+                 "    {\"agents\": %zu, \"shards\": %zu, "
+                 "\"seconds\": %.6f, \"agent_rounds_per_sec\": %.1f, "
+                 "\"links_per_round\": %" PRIu64 ", "
+                 "\"batched_msgs\": %" PRIu64 ", "
+                 "\"batched_bytes\": %" PRIu64 ", "
+                 "\"batches\": %" PRIu64 ", "
+                 "\"max_batch_depth\": %" PRIu64 ", "
+                 "\"imbalance\": %.3f, "
+                 "\"param_hash\": \"%016" PRIx64 "\"}%s\n",
+                 p.agents, p.shards, p.seconds, p.agent_rounds_per_sec,
+                 p.links_per_round, p.router.messages_batched,
+                 p.router.batched_bytes, p.router.batches_flushed,
+                 p.router.max_batch_depth, p.imbalance, p.hash,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nbaseline written to %s\n", out_path.c_str());
+
+  bench::dump_metrics("scale_sweep");
+  return 0;
+}

@@ -34,7 +34,15 @@
 //                       crashed homes warm-restart from the last snapshot
 //   --snapshot-out PATH snapshot file (default pfdrl_snapshot.pfrc)
 //   --resume PATH       restore a snapshot and continue training from its
-//                       recorded cursor (must match method/homes/seed)
+//                       recorded cursor (must match method/homes/seed);
+//                       accepts whole-run files or a per-shard base path
+//   --shards N          bulk-synchronous shards for the federation engine
+//                       (docs/scaling.md); 0/1 = legacy flat fan-out.
+//                       Also shards the snapshot files (one per shard)
+//   --topology NAME     federation topology override: full_mesh | star |
+//                       ring | hierarchical | gossip (default: method's)
+//   --cluster-size N    hierarchical topology cluster size  (default 8)
+//   --fanout N          gossip topology out-degree           (default 4)
 #include <algorithm>
 #include <cstdio>
 #include <optional>
@@ -43,6 +51,8 @@
 
 #include "core/pipeline.hpp"
 #include "net/fault.hpp"
+#include "net/topology.hpp"
+#include "sim/shard.hpp"
 #include "obs/metrics.hpp"
 #include "sim/experiment.hpp"
 #include "sim/scenario.hpp"
@@ -87,6 +97,9 @@ int main(int argc, char** argv) {
   std::uint64_t snapshot_every = 0;
   std::string snapshot_out = "pfdrl_snapshot.pfrc";
   std::string resume_path;
+  std::size_t shards = 0;
+  std::optional<net::TopologyKind> topology;
+  net::TopologyOptions topo_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -152,6 +165,16 @@ int main(int argc, char** argv) {
       snapshot_out = next();
     } else if (arg == "--resume") {
       resume_path = next();
+    } else if (arg == "--shards") {
+      shards = std::stoul(next());
+    } else if (arg == "--topology") {
+      const auto kind = net::parse_topology_kind(next());
+      if (!kind) usage_error("unknown topology");
+      topology = *kind;
+    } else if (arg == "--cluster-size") {
+      topo_opts.cluster_size = std::stoul(next());
+    } else if (arg == "--fanout") {
+      topo_opts.fanout = std::stoul(next());
     } else {
       usage_error(("unknown flag " + arg).c_str());
     }
@@ -184,13 +207,22 @@ int main(int argc, char** argv) {
   cfg.secure_aggregation = secure;
   cfg.fault = fault;
   cfg.robustness = robustness;
+  cfg.shards = shards;
+  cfg.topology = topology;
+  cfg.topology_options = topo_opts;
 
+  const sim::ShardPlan plan = sim::ShardPlan::make(homes, shards);
   std::printf(
       "method=%s homes=%u days=%zu alpha=%zu beta=%.1fh gamma=%.1fh "
-      "seed=%llu%s%s\n\n",
+      "seed=%llu%s%s%s\n",
       core::ems_method_name(method), homes, days, alpha, beta, gamma,
       static_cast<unsigned long long>(seed),
-      paper_scale ? " [paper-scale]" : "", secure ? " [secure-agg]" : "");
+      paper_scale ? " [paper-scale]" : "", secure ? " [secure-agg]" : "",
+      topology ? (std::string(" topology=") + net::topology_name(*topology))
+                     .c_str()
+               : "");
+  if (plan.sharded()) std::printf("shards: %s\n", plan.describe().c_str());
+  std::printf("\n");
 
   core::EmsPipeline pipeline(scenario.traces, cfg);
   const std::size_t day = data::kMinutesPerDay;
@@ -203,7 +235,14 @@ int main(int argc, char** argv) {
     // training: restoring replaces both training phases up to the
     // recorded cursor, so only the remaining EMS rounds run.
     try {
-      const sim::RunSnapshot snap = sim::load_snapshot(resume_path);
+      sim::RunSnapshot snap;
+      try {
+        snap = sim::load_snapshot(resume_path);
+      } catch (const std::exception&) {
+        // No whole-run file at this path — try it as the base path of a
+        // per-shard snapshot set (--shards runs write one file per shard).
+        snap = sim::load_sharded_snapshot(resume_path);
+      }
       sim::restore_run(pipeline, snap);
       ems_begin = std::max<std::size_t>(
           ems_begin, static_cast<std::size_t>(snap.train_cursor_minutes));
@@ -226,6 +265,7 @@ int main(int argc, char** argv) {
     so.every_rounds = snapshot_every;
     so.train_begin_minute = ems_begin;
     so.train_end_minute = eval_begin;
+    so.shards = shards;
     snapshots.emplace(pipeline, so);
   }
   if (ems_begin < eval_begin) pipeline.train_ems(ems_begin, eval_begin);

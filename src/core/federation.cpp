@@ -11,12 +11,20 @@ namespace pfdrl::core {
 DrlFederation::DrlFederation(std::size_t num_homes, std::size_t share_layers,
                              net::TopologyKind topology, net::FaultPlan fault,
                              obs::MetricsRegistry* metrics,
-                             fl::ExchangePolicy policy)
+                             fl::ExchangePolicy policy,
+                             net::TopologyOptions topology_options,
+                             std::size_t shards)
     : share_layers_(share_layers),
-      bus_(net::Topology(topology, std::max<std::size_t>(1, num_homes)),
+      router_(shards > 1 ? std::make_unique<net::ShardRouter>(
+                               std::max<std::size_t>(1, num_homes), shards)
+                         : nullptr),
+      bus_(net::Topology(topology, std::max<std::size_t>(1, num_homes),
+                         topology_options),
            std::move(fault)),
       metrics_(metrics),
-      policy_(std::move(policy)) {}
+      policy_(std::move(policy)) {
+  if (router_) bus_.set_shard_router(router_.get());
+}
 
 void DrlFederation::round(std::vector<FederatedDevice>& devices,
                           std::uint64_t round_id) {
@@ -48,6 +56,7 @@ void DrlFederation::round(std::vector<FederatedDevice>& devices,
   options.metrics = metrics_;
   options.group_size_histogram = "drl.agg_group_size";
   options.policy = policy_;
+  options.parallel = router_ != nullptr;
   fl::ParamExchange exchange(bus_, options);
   const fl::ExchangeStats stats = exchange.round(
       items, round_id, [&](std::size_t i, std::span<const double>) {
@@ -61,6 +70,9 @@ void DrlFederation::round(std::vector<FederatedDevice>& devices,
     metrics_->counter("drl.contributions_rejected").add(stats.rejected);
     metrics_->counter("drl.params_averaged").add(stats.params_averaged);
     obs::record_bus_stats(*metrics_, "bus.drl", bus_.stats());
+    if (router_) {
+      obs::record_shard_router_stats(*metrics_, "bus.drl", router_->stats());
+    }
   }
 }
 

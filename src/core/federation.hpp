@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fl/exchange.hpp"
@@ -38,10 +39,17 @@ class DrlFederation {
   /// shape guard keeps averaging well-formed). `metrics` (optional)
   /// receives per-round drl.* instruments. `policy` adds deadline /
   /// quorum / crash / straggler degradation to every round.
+  /// `topology_options` tunes the sparse topologies (hierarchical
+  /// cluster size, gossip fanout/seed); mesh/star/ring ignore it.
+  /// `shards` > 1 attaches a net::ShardRouter: cross-shard plan messages
+  /// are batched per shard pair per round and the drain/aggregate phases
+  /// run on the global pool (see docs/scaling.md).
   DrlFederation(std::size_t num_homes, std::size_t share_layers,
                 net::TopologyKind topology, net::FaultPlan fault = {},
                 obs::MetricsRegistry* metrics = nullptr,
-                fl::ExchangePolicy policy = {});
+                fl::ExchangePolicy policy = {},
+                net::TopologyOptions topology_options = {},
+                std::size_t shards = 0);
 
   /// One federation round over all registered devices: broadcast each
   /// agent's shared slice, then average per device type at each home
@@ -56,9 +64,15 @@ class DrlFederation {
   /// sim/snapshot.hpp).
   [[nodiscard]] net::MessageBus& bus() noexcept { return bus_; }
   [[nodiscard]] const net::MessageBus& bus() const noexcept { return bus_; }
+  /// Attached cross-shard router; nullptr when unsharded.
+  [[nodiscard]] const net::ShardRouter* shard_router() const noexcept {
+    return router_.get();
+  }
 
  private:
   std::size_t share_layers_;
+  /// Declared before bus_ — the bus holds a non-owning router pointer.
+  std::unique_ptr<net::ShardRouter> router_;
   net::MessageBus bus_;
   obs::MetricsRegistry* metrics_;
   fl::ExchangePolicy policy_;

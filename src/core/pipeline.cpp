@@ -39,7 +39,8 @@ EmsPipeline::EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
                  std::size_t end) {
             return forecast_series(home, dev, begin, end);
           },
-          cfg_.meter_interval_minutes, &metrics()) {
+          cfg_.meter_interval_minutes, &metrics()),
+      shard_runner_(traces.size(), cfg.shards, &metrics()) {
   if (traces_.empty()) throw std::invalid_argument("EmsPipeline: no traces");
 
   // Forecasting backend.
@@ -65,6 +66,9 @@ EmsPipeline::EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
     dc.fault = cfg_.fault;  // seed 0 → DflTrainer derives bus-1 stream
     dc.robustness = cfg_.robustness;
     dc.metrics = &metrics();
+    dc.shards = cfg_.shards;
+    dc.topology = cfg_.topology;
+    dc.topology_options = cfg_.topology_options;
     dfl_.emplace(traces_, dc);
   }
 
@@ -108,9 +112,9 @@ EmsPipeline::EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
     const std::size_t share =
         cfg_.method == EmsMethod::kFrl ? layers
                                        : std::min(cfg_.alpha, layers);
-    const auto topology = cfg_.method == EmsMethod::kFrl
-                              ? net::TopologyKind::kStar
-                              : net::TopologyKind::kFullMesh;
+    const auto topology = cfg_.topology.value_or(
+        cfg_.method == EmsMethod::kFrl ? net::TopologyKind::kStar
+                                       : net::TopologyKind::kFullMesh);
     // The DRL plan exchange rides the same fault plan as the forecast
     // path but on its own RNG stream (bus id 2) so the two buses never
     // share a drop mask; the per-type shape guard keeps averaging
@@ -120,7 +124,8 @@ EmsPipeline::EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
       drl_fault.seed = net::derive_fault_seed(cfg_.seed, 2);
     }
     federation_.emplace(traces_.size(), share, topology, std::move(drl_fault),
-                        &metrics(), cfg_.robustness);
+                        &metrics(), cfg_.robustness, cfg_.topology_options,
+                        cfg_.shards);
   }
 }
 
@@ -193,9 +198,13 @@ void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
     std::size_t home, dev;
   };
   std::vector<Job> jobs;
+  std::vector<std::size_t> job_homes;
   for (std::size_t h = 0; h < agents_.size(); ++h) {
     for (std::size_t d = 0; d < agents_[h].size(); ++d) {
-      if (agents_[h][d]) jobs.push_back({h, d});
+      if (agents_[h][d]) {
+        jobs.push_back({h, d});
+        job_homes.push_back(h);
+      }
     }
   }
 
@@ -205,7 +214,10 @@ void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
   const std::size_t stride =
       std::max<std::size_t>(1, cfg_.meter_interval_minutes);
 
-  util::ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t j) {
+  // Shard-local EMS steps: one pool task per shard of homes (the legacy
+  // flat parallel_for when unsharded). Jobs are independent, so the
+  // sharded grouping never changes per-agent results.
+  shard_runner_.run(job_homes, [&](std::size_t j) {
     const auto [h, d] = jobs[j];
     rl::DqnAgent& agent = *agents_[h][d];
     const ems::EmsEnvironment env = runner_.environment(h, d, begin, end);
@@ -290,13 +302,18 @@ void EmsPipeline::for_each_greedy_rollout(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, const ems::EmsEnvironment&,
                              const std::vector<int>&)>& visit) const {
-  util::ThreadPool::global().parallel_for(0, traces_.size(), [&](std::size_t h) {
-    for (std::size_t d = 0; d < agents_[h].size(); ++d) {
-      if (!agents_[h][d]) continue;
-      const ems::EmsEnvironment env = runner_.environment(h, d, begin, end);
-      visit(h, env, EpisodeRunner::greedy_actions(*agents_[h][d], env));
-    }
-  });
+  std::vector<std::size_t> homes(traces_.size());
+  for (std::size_t h = 0; h < homes.size(); ++h) homes[h] = h;
+  shard_runner_.run(
+      homes,
+      [&](std::size_t h) {
+        for (std::size_t d = 0; d < agents_[h].size(); ++d) {
+          if (!agents_[h][d]) continue;
+          const ems::EmsEnvironment env = runner_.environment(h, d, begin, end);
+          visit(h, env, EpisodeRunner::greedy_actions(*agents_[h][d], env));
+        }
+      },
+      "ems.eval_shard");
 }
 
 std::vector<ems::EpisodeResult> EmsPipeline::evaluate(std::size_t begin,
@@ -342,6 +359,14 @@ void EmsPipeline::sync_runtime_metrics() const {
   obs::MetricsRegistry& reg = metrics();
   obs::record_bus_stats(reg, "bus.forecast", forecast_comm_stats());
   obs::record_bus_stats(reg, "bus.drl", drl_comm_stats());
+  if (dfl_ && dfl_->shard_router() != nullptr) {
+    obs::record_shard_router_stats(reg, "bus.forecast",
+                                   dfl_->shard_router()->stats());
+  }
+  if (federation_ && federation_->shard_router() != nullptr) {
+    obs::record_shard_router_stats(reg, "bus.drl",
+                                   federation_->shard_router()->stats());
+  }
   obs::record_thread_pool_stats(reg, "pool",
                                 util::ThreadPool::global().stats());
   obs::record_nn_workspace_stats(reg);

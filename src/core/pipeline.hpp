@@ -21,6 +21,7 @@
 #include "core/episode.hpp"
 #include "core/federation.hpp"
 #include "core/method.hpp"
+#include "core/sharded_runner.hpp"
 #include "data/tariff.hpp"
 #include "data/trace.hpp"
 #include "ems/accounting.hpp"
@@ -78,6 +79,20 @@ struct PipelineConfig {
   obs::MetricsRegistry* metrics = nullptr;
 
   std::uint64_t seed = 123;
+
+  // Bulk-synchronous sharding (docs/scaling.md). 0/1 = the legacy flat
+  // fan-out. > 1 partitions homes into contiguous shards: EMS/training
+  // steps run one pool task per shard, cross-shard parameter messages
+  // batch per shard pair per round (net::ShardRouter), and the exchange
+  // drain/aggregate phases run on the pool. On a clean fault plan,
+  // results are bitwise identical to the unsharded engine.
+  std::size_t shards = 0;
+  /// Federation topology override for BOTH exchange paths; nullopt keeps
+  /// the method defaults (DFL full mesh / FL+FRL star). The sparse kinds
+  /// (kHierarchical, kGossip) cut broadcast cost to O(N·degree).
+  std::optional<net::TopologyKind> topology;
+  /// Cluster size / gossip fanout+seed for the sparse topologies.
+  net::TopologyOptions topology_options{};
 };
 
 class EmsPipeline {
@@ -218,6 +233,9 @@ class EmsPipeline {
   std::optional<DrlFederation> federation_;  // FRL / PFDRL
   /// Declared after cfg_ (its ForecastFn and metrics sink read it).
   EpisodeRunner runner_;
+  /// Bulk-synchronous fan-out stage (cfg_.shards); with shards <= 1 it
+  /// reproduces the legacy flat parallel_for scheduling exactly.
+  ShardedRunner shard_runner_;
   std::uint64_t ems_rounds_done_ = 0;
   std::function<void(std::uint64_t)> on_round_end_;
   std::function<void(std::size_t)> on_home_restart_;

@@ -1,0 +1,38 @@
+#include "core/sharded_runner.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "util/shard.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pfdrl::core {
+
+ShardedRunner::ShardedRunner(std::size_t num_homes, std::size_t shards,
+                             obs::MetricsRegistry* metrics)
+    : homes_(num_homes),
+      shards_(shards == 0 ? 1 : std::min(shards, num_homes)),
+      metrics_(metrics) {
+  if (metrics_ != nullptr && shards_ > 1) {
+    metrics_->gauge("ems.shard.count").set(static_cast<double>(shards_));
+  }
+}
+
+std::size_t ShardedRunner::shard_of_home(std::size_t home) const noexcept {
+  return util::shard_of(home, homes_, shards_);
+}
+
+void ShardedRunner::run(const std::vector<std::size_t>& job_homes,
+                        const std::function<void(std::size_t)>& body,
+                        const char* metric_prefix) const {
+  const util::ShardTiming timing = util::sharded_for(
+      util::ThreadPool::global(), job_homes.size(), shards_,
+      [&](std::size_t j) { return shard_of_home(job_homes[j]); }, body);
+  if (timing.shard_seconds.empty()) return;
+  last_imbalance_ = timing.max_over_mean();
+  if (metrics_ != nullptr) {
+    obs::record_shard_timing(*metrics_, metric_prefix, timing);
+  }
+}
+
+}  // namespace pfdrl::core

@@ -1,0 +1,58 @@
+// The bulk-synchronous fan-out stage of the EMS pipeline. The legacy
+// engine threw every (home, device) job at the global pool as one flat
+// parallel_for — fine at 20 homes, but at city scale the scheduler, the
+// forecast cache and the federation bus all want work grouped by home
+// shard. ShardedRunner owns the pinned home→shard assignment (contiguous
+// balanced blocks, util::shard_of — the same assignment net::ShardRouter
+// uses for agent ids, so a shard's homes and its bus endpoints coincide)
+// and dispatches one pool task per shard, recording per-shard wall time
+// as ems.shard.imbalance / ems.shard.seconds. With shards <= 1 it
+// degrades to the exact legacy parallel_for scheduling, which keeps
+// unsharded runs bitwise identical to the pre-shard engine.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace pfdrl::obs {
+class MetricsRegistry;
+}
+
+namespace pfdrl::core {
+
+class ShardedRunner {
+ public:
+  /// `shards` == 0 or 1 means unsharded; clamped to num_homes.
+  ShardedRunner(std::size_t num_homes, std::size_t shards,
+                obs::MetricsRegistry* metrics);
+
+  [[nodiscard]] std::size_t num_homes() const noexcept { return homes_; }
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  [[nodiscard]] bool sharded() const noexcept { return shards_ > 1; }
+  [[nodiscard]] std::size_t shard_of_home(std::size_t home) const noexcept;
+
+  /// Run `body(j)` for every job j; `job_homes[j]` names the home that
+  /// owns job j (jobs of one home always land in one shard). Shards run
+  /// concurrently on the global pool — thread count is bounded by the
+  /// pool size, never by the job count — and jobs within a shard run in
+  /// order. Bodies must be independent across jobs. Records shard timing
+  /// metrics under `<metric_prefix>.` when sharded.
+  void run(const std::vector<std::size_t>& job_homes,
+           const std::function<void(std::size_t)>& body,
+           const char* metric_prefix = "ems.shard") const;
+
+  /// max/mean per-shard seconds of the most recent sharded run() on this
+  /// runner (1.0 when unsharded or before any run).
+  [[nodiscard]] double last_imbalance() const noexcept {
+    return last_imbalance_;
+  }
+
+ private:
+  std::size_t homes_;
+  std::size_t shards_;
+  obs::MetricsRegistry* metrics_;
+  mutable double last_imbalance_ = 1.0;
+};
+
+}  // namespace pfdrl::core

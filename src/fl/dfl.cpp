@@ -9,6 +9,7 @@
 #include "fl/exchange.hpp"
 #include "forecast/metrics.hpp"
 #include "obs/metrics.hpp"
+#include "util/shard.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -42,9 +43,15 @@ DflTrainer::DflTrainer(const std::vector<data::HouseholdTrace>& traces,
                        DflConfig cfg)
     : traces_(traces),
       cfg_(cfg),
-      bus_(net::Topology(topology_for(cfg.aggregation),
-                         std::max<std::size_t>(1, traces.size())),
+      router_(cfg.shards > 1
+                  ? std::make_unique<net::ShardRouter>(
+                        std::max<std::size_t>(1, traces.size()), cfg.shards)
+                  : nullptr),
+      bus_(net::Topology(cfg.topology.value_or(topology_for(cfg.aggregation)),
+                         std::max<std::size_t>(1, traces.size()),
+                         cfg.topology_options),
            seeded_fault(cfg.fault, cfg.seed)) {
+  if (router_) bus_.set_shard_router(router_.get());
   if (traces_.empty()) throw std::invalid_argument("DflTrainer: no traces");
   if (cfg_.secure_aggregation &&
       (!cfg_.fault.reliable() || cfg_.robustness.degraded())) {
@@ -52,6 +59,13 @@ DflTrainer::DflTrainer(const std::vector<data::HouseholdTrace>& traces,
         "DflTrainer: secure aggregation needs a reliable link and no "
         "degradation policy (pairwise masks only cancel under full "
         "participation)");
+  }
+  const net::TopologyKind bus_kind = bus_.topology().kind();
+  if (cfg_.secure_aggregation && bus_kind != net::TopologyKind::kFullMesh &&
+      bus_kind != net::TopologyKind::kStar) {
+    throw std::invalid_argument(
+        "DflTrainer: secure aggregation needs a full-view topology "
+        "(full_mesh or star) — sparse broadcasts leave masks uncancelled");
   }
   const std::size_t minutes = traces_.front().minutes();
   for (const auto& t : traces_) {
@@ -110,7 +124,7 @@ void DflTrainer::round(std::size_t begin, std::size_t end) {
   // span/stride arithmetic the sampling cap uses). Relaxed atomic: jobs
   // only accumulate; the fold into the registry happens once below.
   std::atomic<std::uint64_t> round_windows{0};
-  util::ThreadPool::global().parallel_for(0, jobs.size(), [&](std::size_t j) {
+  const auto train_job = [&](std::size_t j) {
     const auto [h, d] = jobs[j];
     // Per-job RNG forked deterministically: results do not depend on the
     // thread schedule.
@@ -135,7 +149,19 @@ void DflTrainer::round(std::size_t begin, std::size_t end) {
     round_windows.fetch_add(span / std::max<std::size_t>(1, train.stride),
                             std::memory_order_relaxed);
     model.train(traces_[h].devices[d], begin, end, train, rng);
-  });
+  };
+  // Sharded engine: one pool task per shard of homes instead of one per
+  // job. The per-job RNG fork keeps results independent of which path
+  // (or thread) runs a job, so sharding never changes training output.
+  const util::ShardTiming timing = util::sharded_for(
+      util::ThreadPool::global(), jobs.size(), cfg_.shards,
+      [&](std::size_t j) {
+        return util::shard_of(jobs[j].home, agents_.size(), cfg_.shards);
+      },
+      train_job);
+  if (cfg_.metrics != nullptr) {
+    obs::record_shard_timing(*cfg_.metrics, "dfl.shard", timing);
+  }
 
   if (cfg_.aggregation != AggregationMode::kNone && agents_.size() > 1) {
     broadcast_and_aggregate(rounds_done_);
@@ -147,6 +173,10 @@ void DflTrainer::round(std::size_t begin, std::size_t end) {
     cfg_.metrics->counter("dfl.train_windows")
         .add(round_windows.load(std::memory_order_relaxed));
     obs::record_bus_stats(*cfg_.metrics, "bus.forecast", bus_.stats());
+    if (router_) {
+      obs::record_shard_router_stats(*cfg_.metrics, "bus.forecast",
+                                     router_->stats());
+    }
   }
 }
 
@@ -179,6 +209,7 @@ void DflTrainer::broadcast_and_aggregate(std::uint64_t round_id) {
   options.metrics = cfg_.metrics;
   options.group_size_histogram = "dfl.agg_group_size";
   options.policy = cfg_.robustness;
+  options.parallel = router_ != nullptr;
   ParamExchange exchange(bus_, options);
   const ExchangeStats stats = exchange.round(
       items, round_id, [&](std::size_t i, std::span<const double> averaged) {

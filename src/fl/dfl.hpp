@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "data/household.hpp"
@@ -72,6 +73,20 @@ struct DflConfig {
   /// Metrics sink for the dfl.* / bus.forecast.* instruments; nullptr
   /// disables recording.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Broadcast topology override; nullopt keeps the aggregation-mode
+  /// default (full mesh for decentralized, star for centralized). The
+  /// sparse kinds (hierarchical, gossip) drop broadcast cost from O(N²)
+  /// links to O(N·degree) for city-scale runs — see docs/scaling.md.
+  std::optional<net::TopologyKind> topology;
+  /// Cluster size / gossip fanout+seed for the sparse topologies.
+  net::TopologyOptions topology_options{};
+  /// Shards for the bulk-synchronous engine: > 1 buckets per-home
+  /// training onto one pool task per shard, batches cross-shard
+  /// parameter messages per shard pair per round (net::ShardRouter), and
+  /// parallelizes the exchange drain/aggregate phases. 0/1 = the legacy
+  /// flat fan-out (bitwise identical results either way on a clean
+  /// fault plan).
+  std::size_t shards = 0;
 };
 
 /// One agent's per-device model set.
@@ -128,6 +143,10 @@ class DflTrainer {
   /// The broadcast bus (fault-RNG and stats restore).
   [[nodiscard]] net::MessageBus& bus() noexcept { return bus_; }
   [[nodiscard]] const net::MessageBus& bus() const noexcept { return bus_; }
+  /// Attached cross-shard router; nullptr when unsharded.
+  [[nodiscard]] const net::ShardRouter* shard_router() const noexcept {
+    return router_.get();
+  }
 
  private:
   void broadcast_and_aggregate(std::uint64_t round_id);
@@ -135,6 +154,8 @@ class DflTrainer {
   const std::vector<data::HouseholdTrace>& traces_;
   DflConfig cfg_;
   std::vector<AgentModels> agents_;
+  /// Declared before bus_ — the bus holds a non-owning router pointer.
+  std::unique_ptr<net::ShardRouter> router_;
   net::MessageBus bus_;
   std::uint64_t rounds_done_ = 0;
 };

@@ -1,11 +1,13 @@
 #include "fl/exchange.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 
 #include "fl/aggregate.hpp"
 #include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pfdrl::fl {
 
@@ -69,6 +71,10 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
     msg.payload = sent[i];
     bus_.broadcast(msg);
   }
+  // Tick barrier: hand parked cross-shard traffic over to the inboxes as
+  // one batch per shard pair, in pinned (src, dst) order. No-op without
+  // an attached net::ShardRouter.
+  bus_.flush_shard_batches();
 
   // Star topology: the hub relays leaf messages to the other leaves and
   // keeps a copy for its own aggregation — the "cloud aggregator" tax of
@@ -128,10 +134,15 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
   // late (past-deadline) deliveries, and sort the survivors by
   // (sender, device_type) so averaging order never depends on delivery
   // interleaving. Crashed agents keep their backlog for next time.
+  // Inboxes are independent, so with Options::parallel this fans out on
+  // the global pool; the counters are order-independent sums, so the
+  // result is bitwise identical either way.
   const double deadline = policy.round_deadline_s;
+  std::atomic<std::uint64_t> stale_msgs{0};
+  std::atomic<std::uint64_t> late_msgs{0};
   std::vector<std::vector<net::Message>> inboxes(bus_.num_agents());
-  for (std::size_t h = 0; h < bus_.num_agents(); ++h) {
-    if (is_crashed(static_cast<net::AgentId>(h))) continue;
+  const auto drain_inbox = [&](std::size_t h) {
+    if (is_crashed(static_cast<net::AgentId>(h))) return;
     auto raw = bus_.drain(static_cast<net::AgentId>(h));
     if (h == 0 && !hub_keep.empty()) {
       raw.insert(raw.end(), std::make_move_iterator(hub_keep.begin()),
@@ -142,11 +153,11 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
     kept.reserve(raw.size());
     for (auto& m : raw) {
       if (m.round != round_id) {
-        ++stats.stale_msgs;
+        stale_msgs.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       if (deadline > 0.0 && m.arrival_s > deadline) {
-        ++stats.late_msgs;
+        late_msgs.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       kept.push_back(std::move(m));
@@ -156,7 +167,14 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
                 if (a.sender != b.sender) return a.sender < b.sender;
                 return a.device_type < b.device_type;
               });
+  };
+  if (options_.parallel) {
+    util::ThreadPool::global().parallel_for(0, bus_.num_agents(), drain_inbox);
+  } else {
+    for (std::size_t h = 0; h < bus_.num_agents(); ++h) drain_inbox(h);
   }
+  stats.stale_msgs = stale_msgs.load();
+  stats.late_msgs = late_msgs.load();
 
   obs::Histogram* group_hist = nullptr;
   obs::Histogram* caller_hist = nullptr;
@@ -175,13 +193,24 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
   // weighs exactly 1/K in the mean. An item whose group misses the
   // quorum (or min_group) keeps its local parameters untouched: one more
   // item-round of staleness, never an average over garbage.
-  std::vector<double> scratch;
-  std::vector<std::span<const double>> contributions;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (!live[i]) continue;
+  // Items only read the drained inboxes and the sent payload copies and
+  // write their own in_place span (or local scratch), so with
+  // Options::parallel they fan out on the pool; per-item results and the
+  // summed counters are bitwise identical to the serial path.
+  std::atomic<std::uint64_t> duplicates{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> local_fallbacks{0};
+  std::atomic<std::uint64_t> quorum_missed{0};
+  std::atomic<std::uint64_t> quorum_met{0};
+  std::atomic<std::uint64_t> items_averaged{0};
+  std::atomic<std::uint64_t> params_averaged{0};
+  const auto aggregate_item = [&](std::size_t i) {
+    if (!live[i]) return;
     const auto& item = items[i];
     const std::size_t shared_len = item.send.size();
-    contributions.clear();
+    std::vector<double> scratch;
+    std::vector<std::span<const double>> contributions;
     contributions.push_back(sent[i]);
     bool have_prev = false;
     net::AgentId prev_sender = 0;
@@ -189,20 +218,20 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
       if (m.device_type != item.device_type) continue;
       if (m.sender == item.agent) continue;  // echo guard
       if (have_prev && m.sender == prev_sender) {  // duplicate delivery
-        ++stats.duplicates;
+        duplicates.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       have_prev = true;
       prev_sender = m.sender;
       if (m.payload.size() != shared_len) {  // shape guard
-        ++stats.rejected;
+        rejected.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       contributions.push_back(m.payload);
-      ++stats.accepted;
+      accepted.fetch_add(1, std::memory_order_relaxed);
     }
 
-    const std::size_t nominal = groups[item.device_type].size();
+    const std::size_t nominal = groups.at(item.device_type).size();
     std::size_t required = options_.min_group;
     if (policy.quorum_fraction > 0.0) {
       required = std::max(
@@ -210,11 +239,15 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
                         policy.quorum_fraction * static_cast<double>(nominal))));
     }
     if (contributions.size() < required) {  // local fallback
-      ++stats.local_fallbacks;
-      if (policy.quorum_fraction > 0.0) ++stats.quorum_missed;
-      continue;
+      local_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      if (policy.quorum_fraction > 0.0) {
+        quorum_missed.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
     }
-    if (policy.quorum_fraction > 0.0) ++stats.quorum_met;
+    if (policy.quorum_fraction > 0.0) {
+      quorum_met.fetch_add(1, std::memory_order_relaxed);
+    }
 
     std::span<const double> averaged;
     if (!item.in_place.empty()) {
@@ -228,8 +261,8 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
       fedavg(contributions, scratch);
       averaged = scratch;
     }
-    ++stats.items_averaged;
-    stats.params_averaged += shared_len;
+    items_averaged.fetch_add(1, std::memory_order_relaxed);
+    params_averaged.fetch_add(shared_len, std::memory_order_relaxed);
     if (group_hist != nullptr) {
       group_hist->observe(static_cast<double>(contributions.size()));
     }
@@ -237,7 +270,20 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
       caller_hist->observe(static_cast<double>(contributions.size()));
     }
     if (commit) commit(i, averaged);
+  };
+  if (options_.parallel) {
+    util::ThreadPool::global().parallel_for(0, items.size(), aggregate_item);
+  } else {
+    for (std::size_t i = 0; i < items.size(); ++i) aggregate_item(i);
   }
+  stats.duplicates = duplicates.load();
+  stats.rejected = rejected.load();
+  stats.accepted = accepted.load();
+  stats.local_fallbacks = local_fallbacks.load();
+  stats.quorum_missed = quorum_missed.load();
+  stats.quorum_met = quorum_met.load();
+  stats.items_averaged = items_averaged.load();
+  stats.params_averaged = params_averaged.load();
 
   stats.payload_allocations = net::Payload::allocations() - allocations_before;
   if (options_.metrics != nullptr) {

@@ -154,6 +154,14 @@ class ParamExchange {
     /// Deadline / quorum / retry / failure-schedule policy; the default
     /// reproduces the original always-everything round.
     ExchangePolicy policy{};
+    /// Run the drain/filter/sort and per-item aggregation phases on the
+    /// global thread pool (the sharded engine sets this when shards > 1).
+    /// Results are bitwise identical to the serial path: every inbox and
+    /// every item is independent, contributions are sorted before
+    /// averaging, and stat counters are order-independent sums. The
+    /// commit callback must then be safe to invoke concurrently for
+    /// distinct items (both in-tree consumers write to per-item targets).
+    bool parallel = false;
   };
 
   /// Invoked for every averaged item after its result landed; `averaged`

@@ -97,13 +97,26 @@ void MessageBus::deliver(AgentId to, Message msg) {
 }
 
 std::size_t MessageBus::broadcast(const Message& msg) {
-  const auto targets = topology_.neighbors(msg.sender);
   {
     std::lock_guard slock(stats_mutex_);
     ++stats_.messages_sent;
   }
-  for (AgentId to : targets) deliver(to, msg);
-  return targets.size();
+  std::size_t links = 0;
+  topology_.for_each_neighbor(msg.sender, [&](AgentId to) {
+    ++links;
+    if (router_ != nullptr && router_->cross_shard(msg.sender, to)) {
+      router_->enqueue(to, msg);  // parked until flush_shard_batches()
+    } else {
+      deliver(to, msg);
+    }
+  });
+  return links;
+}
+
+std::size_t MessageBus::flush_shard_batches() {
+  if (router_ == nullptr) return 0;
+  return router_->flush(
+      [this](AgentId to, Message&& msg) { deliver(to, std::move(msg)); });
 }
 
 void MessageBus::send(AgentId to, Message msg) {

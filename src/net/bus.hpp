@@ -24,6 +24,7 @@
 
 #include "net/fault.hpp"
 #include "net/message.hpp"
+#include "net/shard_router.hpp"
 #include "net/topology.hpp"
 #include "util/rng.hpp"
 
@@ -59,8 +60,23 @@ class MessageBus {
     return topology_.num_agents();
   }
 
+  /// Attach a cross-shard batching router (non-owning; may be nullptr to
+  /// detach). With a router attached, broadcast() delivers same-shard
+  /// targets immediately and parks cross-shard deliveries in the
+  /// router's pair batches; flush_shard_batches() completes them. The
+  /// router must outlive the bus or be detached first.
+  void set_shard_router(ShardRouter* router) noexcept { router_ = router; }
+  [[nodiscard]] ShardRouter* shard_router() const noexcept { return router_; }
+
+  /// Drain the attached router's pair batches (pinned ascending
+  /// (src shard, dst shard) order) into the inboxes, applying the same
+  /// per-delivery fault/accounting path as direct delivery. Returns the
+  /// number of messages handed over; 0 with no router attached.
+  std::size_t flush_shard_batches();
+
   /// Broadcast along the topology from msg.sender. Returns the number of
-  /// inboxes the message was delivered to.
+  /// links traversed (cross-shard deliveries may still be parked in the
+  /// shard router until flush_shard_batches()).
   std::size_t broadcast(const Message& msg);
 
   /// Point-to-point send (used by the star hub to relay).
@@ -100,6 +116,7 @@ class MessageBus {
 
   Topology topology_;
   FaultPlan fault_;
+  ShardRouter* router_ = nullptr;
   util::Rng fault_rng_;
   mutable std::mutex fault_mutex_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;

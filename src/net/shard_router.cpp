@@ -1,0 +1,85 @@
+#include "net/shard_router.hpp"
+
+#include <stdexcept>
+
+#include "util/shard.hpp"
+
+namespace pfdrl::net {
+
+ShardRouter::ShardRouter(std::size_t num_agents, std::size_t num_shards)
+    : n_(num_agents), shards_(num_shards == 0 ? 1 : num_shards) {
+  if (num_agents == 0) throw std::invalid_argument("ShardRouter: zero agents");
+  if (shards_ > n_) shards_ = n_;
+  pairs_.reserve(shards_ * shards_);
+  for (std::size_t i = 0; i < shards_ * shards_; ++i) {
+    pairs_.push_back(std::make_unique<PairBatch>());
+  }
+}
+
+std::size_t ShardRouter::shard_of(AgentId agent) const noexcept {
+  return util::shard_of(agent, n_, shards_);
+}
+
+void ShardRouter::enqueue(AgentId to, Message msg) {
+  if (to >= n_ || msg.sender >= n_) {
+    throw std::out_of_range("ShardRouter: bad agent id");
+  }
+  auto& batch = *pairs_[shard_of(msg.sender) * shards_ + shard_of(to)];
+  {
+    std::lock_guard lock(batch.mutex);
+    batch.items.emplace_back(to, std::move(msg));
+  }
+  std::lock_guard slock(stats_mutex_);
+  ++stats_.messages_batched;
+}
+
+std::size_t ShardRouter::flush(
+    const std::function<void(AgentId, Message&&)>& deliver) {
+  std::size_t handed_over = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t max_depth = 0;
+  // Pinned ascending (src, dst) drain order — pairs_ is row-major in src.
+  for (auto& pair : pairs_) {
+    std::vector<std::pair<AgentId, Message>> items;
+    {
+      std::lock_guard lock(pair->mutex);
+      items.swap(pair->items);
+    }
+    if (items.empty()) continue;
+    ++batches;
+    if (items.size() > max_depth) max_depth = items.size();
+    for (auto& [to, msg] : items) {
+      bytes += msg.wire_bytes();
+      deliver(to, std::move(msg));
+      ++handed_over;
+    }
+  }
+  std::lock_guard slock(stats_mutex_);
+  ++stats_.flushes;
+  stats_.batches_flushed += batches;
+  stats_.batched_bytes += bytes;
+  if (max_depth > stats_.max_batch_depth) stats_.max_batch_depth = max_depth;
+  return handed_over;
+}
+
+std::size_t ShardRouter::pending() const {
+  std::size_t total = 0;
+  for (const auto& pair : pairs_) {
+    std::lock_guard lock(pair->mutex);
+    total += pair->items.size();
+  }
+  return total;
+}
+
+ShardRouterStats ShardRouter::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+void ShardRouter::reset_stats() {
+  std::lock_guard lock(stats_mutex_);
+  stats_ = ShardRouterStats{};
+}
+
+}  // namespace pfdrl::net

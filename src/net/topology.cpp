@@ -9,49 +9,97 @@ const char* topology_name(TopologyKind k) noexcept {
     case TopologyKind::kFullMesh: return "full_mesh";
     case TopologyKind::kStar: return "star";
     case TopologyKind::kRing: return "ring";
+    case TopologyKind::kHierarchical: return "hierarchical";
+    case TopologyKind::kGossip: return "gossip";
   }
   return "?";
 }
 
-Topology::Topology(TopologyKind kind, std::size_t num_agents)
-    : kind_(kind), n_(num_agents) {
+std::optional<TopologyKind> parse_topology_kind(const std::string& name) {
+  if (name == "full_mesh" || name == "mesh") return TopologyKind::kFullMesh;
+  if (name == "star") return TopologyKind::kStar;
+  if (name == "ring") return TopologyKind::kRing;
+  if (name == "hierarchical") return TopologyKind::kHierarchical;
+  if (name == "gossip") return TopologyKind::kGossip;
+  return std::nullopt;
+}
+
+Topology::Topology(TopologyKind kind, std::size_t num_agents,
+                   TopologyOptions options)
+    : kind_(kind), n_(num_agents), opts_(options) {
   if (num_agents == 0) throw std::invalid_argument("Topology: zero agents");
+  // Normalize the knobs once so the hot iteration never re-clamps.
+  opts_.cluster_size = std::clamp<std::size_t>(opts_.cluster_size, 1, n_);
+  opts_.fanout =
+      std::min({opts_.fanout, n_ > 0 ? n_ - 1 : std::size_t{0},
+                kMaxGossipFanout});
 }
 
 std::vector<AgentId> Topology::neighbors(AgentId sender) const {
   std::vector<AgentId> out;
-  switch (kind_) {
-    case TopologyKind::kFullMesh:
-      out.reserve(n_ - 1);
-      for (std::size_t i = 0; i < n_; ++i) {
-        if (i != sender) out.push_back(static_cast<AgentId>(i));
-      }
-      break;
-    case TopologyKind::kStar:
-      // Agent 0 is the hub. Leaves talk to the hub; the hub reaches all.
-      if (sender == 0) {
-        out.reserve(n_ - 1);
-        for (std::size_t i = 1; i < n_; ++i) {
-          out.push_back(static_cast<AgentId>(i));
-        }
-      } else {
-        out.push_back(0);
-      }
-      break;
-    case TopologyKind::kRing:
-      if (n_ > 1) {
-        out.push_back(static_cast<AgentId>((sender + 1) % n_));
-        if (n_ > 2) {
-          out.push_back(static_cast<AgentId>((sender + n_ - 1) % n_));
-        }
-      }
-      break;
-  }
+  out.reserve(broadcast_links(sender));
+  for_each_neighbor(sender, [&out](AgentId to) { out.push_back(to); });
   return out;
 }
 
 std::size_t Topology::broadcast_links(AgentId sender) const {
-  return neighbors(sender).size();
+  switch (kind_) {
+    case TopologyKind::kFullMesh:
+      return n_ - 1;
+    case TopologyKind::kStar:
+      return sender == 0 ? n_ - 1 : 1;
+    case TopologyKind::kRing:
+      return n_ > 2 ? 2 : (n_ > 1 ? 1 : 0);
+    case TopologyKind::kHierarchical:
+    case TopologyKind::kGossip: {
+      // Gossip peer counts depend on rejection sampling and hierarchical
+      // on ragged tail clusters; count via the same iteration the bus
+      // uses so accounting always agrees with delivery.
+      std::size_t links = 0;
+      for_each_neighbor(sender, [&links](AgentId) { ++links; });
+      return links;
+    }
+  }
+  return 0;
+}
+
+bool Topology::connected() const {
+  if (n_ == 0) return false;
+  if (n_ == 1) return true;
+  // Strong connectivity of the directed broadcast graph: forward BFS
+  // from agent 0 must reach everyone, and backward BFS (over reversed
+  // edges) must too. Reverse adjacency is materialized once per call —
+  // this is a diagnostic/validation primitive, not a broadcast path.
+  std::vector<std::vector<AgentId>> reverse(n_);
+  for (std::size_t s = 0; s < n_; ++s) {
+    for_each_neighbor(static_cast<AgentId>(s), [&](AgentId to) {
+      reverse[to].push_back(static_cast<AgentId>(s));
+    });
+  }
+  const auto sweep = [this, &reverse](bool forward) {
+    std::vector<char> seen(n_, 0);
+    std::vector<AgentId> stack{AgentId{0}};
+    seen[0] = 1;
+    std::size_t reached = 1;
+    while (!stack.empty()) {
+      const AgentId at = stack.back();
+      stack.pop_back();
+      const auto visit = [&](AgentId next) {
+        if (!seen[next]) {
+          seen[next] = 1;
+          ++reached;
+          stack.push_back(next);
+        }
+      };
+      if (forward) {
+        for_each_neighbor(at, visit);
+      } else {
+        for (AgentId next : reverse[at]) visit(next);
+      }
+    }
+    return reached == n_;
+  };
+  return sweep(true) && sweep(false);
 }
 
 }  // namespace pfdrl::net

@@ -1,41 +1,168 @@
 // Broadcast topologies for the decentralized network. The paper's DFL
 // broadcasts to every other residence in the building (full mesh); star
 // and ring are provided for the ablation bench comparing decentralized
-// against hub-routed aggregation.
+// against hub-routed aggregation. For city-scale runs two sparse kinds
+// exist: hierarchical (cluster hubs — clusters align with shards) and
+// gossip (seeded pseudo-random fanout), both with O(degree) lazily
+// computed neighbor iteration so a broadcast never materializes an O(N)
+// vector. See docs/scaling.md.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "net/message.hpp"
 
 namespace pfdrl::net {
 
-enum class TopologyKind : std::uint8_t { kFullMesh = 0, kStar = 1, kRing = 2 };
+enum class TopologyKind : std::uint8_t {
+  kFullMesh = 0,
+  kStar = 1,
+  kRing = 2,
+  /// Two-level topology: agents are grouped into clusters of
+  /// `TopologyOptions::cluster_size`; the first agent of each cluster is
+  /// its hub. Leaves talk to their hub; hubs talk to their cluster and
+  /// to every other hub. Broadcast cost is O(N) total instead of O(N²).
+  kHierarchical = 3,
+  /// Each agent pushes to `TopologyOptions::fanout` pseudo-random peers
+  /// chosen statically per (gossip_seed, sender) — the graph is fixed
+  /// for a run, so twin runs at the same seed share the exact peer sets.
+  kGossip = 4,
+};
 
 const char* topology_name(TopologyKind k) noexcept;
+/// Inverse of topology_name(); nullopt for unknown names.
+std::optional<TopologyKind> parse_topology_kind(const std::string& name);
+
+/// Tuning knobs for the sparse kinds; ignored by mesh/star/ring.
+struct TopologyOptions {
+  /// kHierarchical: homes per cluster (clamped to [1, N]).
+  std::size_t cluster_size = 8;
+  /// kGossip: out-degree per agent (clamped to [0, min(N-1, 32)]).
+  std::size_t fanout = 4;
+  /// kGossip: seed for the static peer selection.
+  std::uint64_t gossip_seed = 1;
+};
+
+namespace detail {
+/// splitmix64 finalizer — the stateless mixer behind gossip peer choice.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace detail
 
 class Topology {
  public:
-  Topology(TopologyKind kind, std::size_t num_agents);
+  /// Hard cap on gossip fanout; keeps the per-broadcast dedupe scratch on
+  /// the stack.
+  static constexpr std::size_t kMaxGossipFanout = 32;
+
+  Topology(TopologyKind kind, std::size_t num_agents,
+           TopologyOptions options = {});
 
   [[nodiscard]] TopologyKind kind() const noexcept { return kind_; }
   [[nodiscard]] std::size_t num_agents() const noexcept { return n_; }
+  [[nodiscard]] const TopologyOptions& options() const noexcept {
+    return opts_;
+  }
 
-  /// Agents that directly receive a broadcast from `sender`.
+  /// Visit every agent that directly receives a broadcast from `sender`,
+  /// in a deterministic order, without allocating. This is the hot path
+  /// — MessageBus::broadcast and the exchange engine iterate through it.
+  template <typename Fn>
+  void for_each_neighbor(AgentId sender, Fn&& fn) const {
+    switch (kind_) {
+      case TopologyKind::kFullMesh:
+        for (std::size_t i = 0; i < n_; ++i) {
+          if (i != sender) fn(static_cast<AgentId>(i));
+        }
+        break;
+      case TopologyKind::kStar:
+        // Agent 0 is the hub. Leaves talk to the hub; the hub reaches all.
+        if (sender == 0) {
+          for (std::size_t i = 1; i < n_; ++i) fn(static_cast<AgentId>(i));
+        } else {
+          fn(AgentId{0});
+        }
+        break;
+      case TopologyKind::kRing:
+        if (n_ > 1) {
+          fn(static_cast<AgentId>((sender + 1) % n_));
+          if (n_ > 2) fn(static_cast<AgentId>((sender + n_ - 1) % n_));
+        }
+        break;
+      case TopologyKind::kHierarchical: {
+        const std::size_t cs = opts_.cluster_size;
+        const std::size_t cluster = sender / cs;
+        const auto hub = static_cast<AgentId>(cluster * cs);
+        if (sender != hub) {
+          fn(hub);
+          break;
+        }
+        const std::size_t end = std::min(n_, (cluster + 1) * cs);
+        for (std::size_t m = hub + 1; m < end; ++m) {
+          fn(static_cast<AgentId>(m));
+        }
+        for (std::size_t c = 0; c * cs < n_; ++c) {
+          if (c != cluster) fn(static_cast<AgentId>(c * cs));
+        }
+        break;
+      }
+      case TopologyKind::kGossip: {
+        AgentId chosen[kMaxGossipFanout];
+        std::size_t count = 0;
+        const std::size_t want = opts_.fanout;
+        const std::uint64_t base =
+            detail::mix64(opts_.gossip_seed ^
+                          (0xA24BAED4963EE407ULL * (std::uint64_t{sender} + 1)));
+        // Rejection-sample distinct non-self peers; the attempt budget
+        // guards termination for adversarial (seed, N) pairs — in that
+        // degenerate case the sender just has fewer peers.
+        const std::uint64_t budget = 16 * static_cast<std::uint64_t>(want) + 64;
+        for (std::uint64_t attempt = 0; count < want && attempt < budget;
+             ++attempt) {
+          const auto cand =
+              static_cast<AgentId>(detail::mix64(base + attempt) % n_);
+          if (cand == sender) continue;
+          bool dup = false;
+          for (std::size_t j = 0; j < count; ++j) {
+            if (chosen[j] == cand) {
+              dup = true;
+              break;
+            }
+          }
+          if (dup) continue;
+          chosen[count++] = cand;
+          fn(cand);
+        }
+        break;
+      }
+    }
+  }
+
+  /// Agents that directly receive a broadcast from `sender`. Allocates a
+  /// fresh vector — kept for tests and cold paths; hot paths must use
+  /// for_each_neighbor().
   [[nodiscard]] std::vector<AgentId> neighbors(AgentId sender) const;
 
   /// Number of links a broadcast from `sender` traverses (communication
-  /// cost accounting).
+  /// cost accounting). Allocation-free.
   [[nodiscard]] std::size_t broadcast_links(AgentId sender) const;
 
-  /// True if every agent can eventually hear every other agent (all
-  /// provided topologies are connected; kept for API completeness).
-  [[nodiscard]] bool connected() const noexcept { return n_ > 0; }
+  /// True if every agent can eventually hear every other agent, i.e. the
+  /// directed broadcast graph is strongly connected. O(N + E) per call.
+  [[nodiscard]] bool connected() const;
 
  private:
   TopologyKind kind_;
   std::size_t n_;
+  TopologyOptions opts_;
 };
 
 }  // namespace pfdrl::net

@@ -413,6 +413,29 @@ void record_bus_stats(MetricsRegistry& registry, std::string_view prefix,
       .set(stats.simulated_fault_delay_seconds);
 }
 
+void record_shard_router_stats(MetricsRegistry& registry,
+                               std::string_view prefix,
+                               const net::ShardRouterStats& stats) {
+  const std::string p(prefix);
+  registry.counter(p + ".shard_batches").set(stats.batches_flushed);
+  registry.counter(p + ".shard_batched_msgs").set(stats.messages_batched);
+  registry.counter(p + ".shard_batched_bytes").set(stats.batched_bytes);
+  registry.gauge(p + ".shard_flushes")
+      .set(static_cast<double>(stats.flushes));
+  registry.gauge(p + ".shard_max_queue_depth")
+      .set(static_cast<double>(stats.max_batch_depth));
+}
+
+void record_shard_timing(MetricsRegistry& registry, std::string_view prefix,
+                         const util::ShardTiming& timing) {
+  if (timing.shard_seconds.empty()) return;
+  const std::string p(prefix);
+  registry.gauge(p + ".imbalance").set(timing.max_over_mean());
+  Histogram& hist = registry.histogram(p + ".seconds",
+                                       Histogram::time_buckets());
+  for (double s : timing.shard_seconds) hist.observe(s);
+}
+
 void record_thread_pool_stats(MetricsRegistry& registry,
                               std::string_view prefix,
                               const util::ThreadPoolStats& stats) {

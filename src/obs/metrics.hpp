@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "net/bus.hpp"
+#include "util/shard.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -223,6 +224,23 @@ class SpanTimer {
 /// not add) so it can run after every round.
 void record_bus_stats(MetricsRegistry& registry, std::string_view prefix,
                       const net::BusStats& stats);
+
+/// Fold a shard router's cumulative stats into `<prefix>.shard_batches`,
+/// `.shard_batched_msgs`, `.shard_batched_bytes` counters and
+/// `<prefix>.shard_flushes` / `.shard_max_queue_depth` gauges — the
+/// batched cross-shard side of the record_bus_stats ledger (one batch
+/// per shard pair per tick vs. one send per message). Idempotent (set,
+/// not add) so it can run after every round.
+void record_shard_router_stats(MetricsRegistry& registry,
+                               std::string_view prefix,
+                               const net::ShardRouterStats& stats);
+
+/// Fold one sharded dispatch's per-shard wall-clock timings into a
+/// `<prefix>.imbalance` gauge (max/mean shard seconds — 1.0 is perfectly
+/// balanced) and a `<prefix>.seconds` histogram (one observation per
+/// shard). No-op for an unsharded dispatch (empty timing).
+void record_shard_timing(MetricsRegistry& registry, std::string_view prefix,
+                         const util::ShardTiming& timing);
 
 /// Fold a pool's cumulative counters into `<prefix>.tasks_executed`,
 /// `.tasks_stolen` counters and a `<prefix>.max_queue_depth` gauge.

@@ -18,8 +18,10 @@ namespace {
 
 /// Snapshot payload layout version, independent of the record-stream
 /// framing version (util::records::kVersion covers the framing; this
-/// covers what the payloads mean).
-constexpr std::uint32_t kSnapshotVersion = 1;
+/// covers what the payloads mean). Version 2 appended the shard identity
+/// (shard_index, shard_count) to the header; version-1 files are still
+/// readable and deserialize as whole-run snapshots ({0, 1}).
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 // --- Little-endian payload codec --------------------------------------
 // All multi-byte fields are little-endian. The reader bounds-checks
@@ -428,6 +430,8 @@ std::vector<std::uint8_t> serialize_snapshot(const RunSnapshot& snap) {
     w.u8(snap.cloud_backend ? 1 : 0);
     w.u64(snap.agents.size());
     w.u64(snap.forecasters.size());
+    w.u64(snap.shard_index);
+    w.u64(snap.shard_count);
     writer.append(w.take());
   }
   {  // Record 1: metrics.
@@ -476,7 +480,7 @@ RunSnapshot deserialize_snapshot(std::span<const std::uint8_t> bytes) {
   {
     ByteReader r(next_record());
     const std::uint32_t version = r.u32();
-    if (version != kSnapshotVersion) {
+    if (version < 1 || version > kSnapshotVersion) {
       throw std::runtime_error("snapshot: unsupported snapshot version");
     }
     snap.seed = r.u64();
@@ -490,6 +494,13 @@ RunSnapshot deserialize_snapshot(std::span<const std::uint8_t> bytes) {
     snap.cloud_backend = r.u8() != 0;
     n_agents = r.u64();
     n_forecasters = r.u64();
+    if (version >= 2) {
+      snap.shard_index = r.u64();
+      snap.shard_count = r.u64();
+      if (snap.shard_count == 0 || snap.shard_index >= snap.shard_count) {
+        throw std::runtime_error("snapshot: invalid shard identity");
+      }
+    }
     r.expect_done();
   }
   {
@@ -536,6 +547,122 @@ void save_snapshot(const RunSnapshot& snap, const std::string& path) {
 RunSnapshot load_snapshot(const std::string& path) {
   const std::vector<std::uint8_t> bytes = util::read_file(path);
   return deserialize_snapshot(bytes);
+}
+
+// --- Per-shard snapshots ----------------------------------------------
+
+std::string shard_snapshot_path(const std::string& base, std::size_t shard) {
+  return base + ".shard" + std::to_string(shard);
+}
+
+namespace {
+
+/// Header scalars every shard part repeats (so any single file is enough
+/// to identify the run it belongs to and rebuild the ShardPlan).
+void copy_header_scalars(RunSnapshot& dst, const RunSnapshot& src) {
+  dst.seed = src.seed;
+  dst.method = src.method;
+  dst.forecast_method = src.forecast_method;
+  dst.num_homes = src.num_homes;
+  dst.ems_rounds_done = src.ems_rounds_done;
+  dst.forecast_rounds_done = src.forecast_rounds_done;
+  dst.train_cursor_minutes = src.train_cursor_minutes;
+  dst.cloud_backend = src.cloud_backend;
+}
+
+}  // namespace
+
+std::vector<RunSnapshot> split_shards(const RunSnapshot& snapshot,
+                                      const ShardPlan& plan) {
+  if (snapshot.shard_count != 1) {
+    throw std::invalid_argument("split_shards: input is already a shard part");
+  }
+  if (plan.num_homes != snapshot.num_homes) {
+    throw std::invalid_argument("split_shards: plan/home-count mismatch");
+  }
+  std::vector<RunSnapshot> parts(plan.shards);
+  for (std::size_t k = 0; k < plan.shards; ++k) {
+    copy_header_scalars(parts[k], snapshot);
+    parts[k].shard_index = k;
+    parts[k].shard_count = plan.shards;
+  }
+  // Global (non-per-home) state rides shard 0 only, so merging never
+  // double-counts and the other shard files stay purely per-home.
+  parts[0].raw_bytes_uploaded = snapshot.raw_bytes_uploaded;
+  parts[0].forecast_bus = snapshot.forecast_bus;
+  parts[0].drl_bus = snapshot.drl_bus;
+  parts[0].metrics = snapshot.metrics;
+  for (const AgentSnapshot& a : snapshot.agents) {
+    parts[plan.shard_of(static_cast<std::size_t>(a.home))].agents.push_back(a);
+  }
+  for (const ForecasterSnapshot& f : snapshot.forecasters) {
+    // Cloud-backend forecasters are global per-device-type models keyed
+    // by type, not by home — they live with the rest of the global state.
+    const std::size_t k =
+        snapshot.cloud_backend
+            ? 0
+            : plan.shard_of(static_cast<std::size_t>(f.home));
+    parts[k].forecasters.push_back(f);
+  }
+  return parts;
+}
+
+RunSnapshot merge_shards(const std::vector<RunSnapshot>& parts) {
+  if (parts.empty()) {
+    throw std::invalid_argument("merge_shards: no parts");
+  }
+  const std::uint64_t count = parts.front().shard_count;
+  if (count != parts.size()) {
+    throw std::invalid_argument("merge_shards: wrong number of parts");
+  }
+  std::vector<const RunSnapshot*> ordered(parts.size(), nullptr);
+  for (const RunSnapshot& p : parts) {
+    if (p.shard_count != count || p.shard_index >= count ||
+        p.seed != parts.front().seed ||
+        p.num_homes != parts.front().num_homes ||
+        p.ems_rounds_done != parts.front().ems_rounds_done) {
+      throw std::invalid_argument("merge_shards: inconsistent shard headers");
+    }
+    if (ordered[static_cast<std::size_t>(p.shard_index)] != nullptr) {
+      throw std::invalid_argument("merge_shards: duplicate shard index");
+    }
+    ordered[static_cast<std::size_t>(p.shard_index)] = &p;
+  }
+  RunSnapshot merged;
+  copy_header_scalars(merged, *ordered[0]);
+  merged.raw_bytes_uploaded = ordered[0]->raw_bytes_uploaded;
+  merged.forecast_bus = ordered[0]->forecast_bus;
+  merged.drl_bus = ordered[0]->drl_bus;
+  merged.metrics = ordered[0]->metrics;
+  // Ascending shard order = ascending home order = the order capture_run
+  // itself emits, so a split → merge round trip is byte-identical.
+  for (const RunSnapshot* p : ordered) {
+    merged.agents.insert(merged.agents.end(), p->agents.begin(),
+                         p->agents.end());
+    merged.forecasters.insert(merged.forecasters.end(),
+                              p->forecasters.begin(), p->forecasters.end());
+  }
+  return merged;
+}
+
+void save_sharded_snapshot(const RunSnapshot& snapshot,
+                           const std::string& base, const ShardPlan& plan) {
+  const std::vector<RunSnapshot> parts = split_shards(snapshot, plan);
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    save_snapshot(parts[k], shard_snapshot_path(base, k));
+  }
+}
+
+RunSnapshot load_sharded_snapshot(const std::string& base) {
+  RunSnapshot first = load_snapshot(shard_snapshot_path(base, 0));
+  const auto count = static_cast<std::size_t>(first.shard_count);
+  std::vector<RunSnapshot> parts;
+  parts.reserve(count);
+  parts.push_back(std::move(first));
+  for (std::size_t k = 1; k < count; ++k) {
+    parts.push_back(load_snapshot(shard_snapshot_path(base, k)));
+  }
+  return merge_shards(parts);
 }
 
 // --- SnapshotManager --------------------------------------------------
@@ -593,7 +720,7 @@ SnapshotManager::SnapshotManager(core::EmsPipeline& pipeline, Options options)
                            rounds_done - 1);
     }
     last_ = std::move(fresh);
-    if (!options_.path.empty()) save_snapshot(*last_, options_.path);
+    persist();
     ++saves_;
   });
   pipeline_.set_on_home_restart([this](std::size_t home) {
@@ -613,8 +740,19 @@ SnapshotManager::~SnapshotManager() {
 void SnapshotManager::save_now() {
   last_ = capture_run(pipeline_,
                       cursor_for_rounds(pipeline_.ems_rounds_done()));
-  if (!options_.path.empty()) save_snapshot(*last_, options_.path);
+  persist();
   ++saves_;
+}
+
+void SnapshotManager::persist() const {
+  if (options_.path.empty() || !last_) return;
+  if (options_.shards >= 2) {
+    save_sharded_snapshot(
+        *last_, options_.path,
+        ShardPlan::make(pipeline_.num_homes(), options_.shards));
+  } else {
+    save_snapshot(*last_, options_.path);
+  }
 }
 
 std::uint64_t SnapshotManager::cursor_for_rounds(

@@ -28,6 +28,7 @@
 #include "net/bus.hpp"
 #include "obs/metrics.hpp"
 #include "rl/dqn.hpp"
+#include "sim/shard.hpp"
 #include "util/rng.hpp"
 
 namespace pfdrl::sim {
@@ -74,6 +75,13 @@ struct RunSnapshot {
   /// resumed run's train_ems() should continue from.
   std::uint64_t train_cursor_minutes = 0;
   bool cloud_backend = false;
+  /// Shard identity of this (possibly partial) snapshot. Whole-run
+  /// snapshots carry {0, 1}. Per-shard files written by a sharded
+  /// SnapshotManager carry {k, S} and hold only shard k's agents and
+  /// forecasters; the global state (buses, metrics, upload accounting)
+  /// rides shard 0. Version-1 files deserialize as {0, 1}.
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
   BusSnapshot forecast_bus;
   BusSnapshot drl_bus;
   obs::MetricsSnapshot metrics;
@@ -112,6 +120,41 @@ void restore_home(core::EmsPipeline& pipeline, const RunSnapshot& snapshot,
 void save_snapshot(const RunSnapshot& snapshot, const std::string& path);
 [[nodiscard]] RunSnapshot load_snapshot(const std::string& path);
 
+// --- Per-shard snapshots (docs/scaling.md) ----------------------------
+// A city-scale run persists one file per shard instead of one monolithic
+// blob: shards save independently (smaller atomic writes, no 100k-agent
+// serialization on one thread's critical path) and a warm restart only
+// rereads the shards it hosts. split → save each → load → merge is
+// byte-identical to the whole-run snapshot.
+
+/// File path of shard `shard` under base path `base` ("run.snap" →
+/// "run.snap.shard3").
+[[nodiscard]] std::string shard_snapshot_path(const std::string& base,
+                                              std::size_t shard);
+
+/// Partition a whole-run snapshot into plan.shards per-shard parts.
+/// Shard k receives the agents and forecasters of homes in shard k's
+/// range (Cloud-backend global forecasters ride shard 0); every part
+/// repeats the header scalars, and shard 0 additionally carries the bus
+/// states, metrics and upload accounting. Requires plan.num_homes ==
+/// snapshot.num_homes and a whole-run input (shard_count == 1).
+[[nodiscard]] std::vector<RunSnapshot> split_shards(
+    const RunSnapshot& snapshot, const ShardPlan& plan);
+
+/// Reassemble a whole-run snapshot from per-shard parts (any order;
+/// validated to be exactly one of each shard index with consistent
+/// headers). Merging the output of split_shards reproduces the original
+/// snapshot byte-for-byte after serialization.
+[[nodiscard]] RunSnapshot merge_shards(const std::vector<RunSnapshot>& parts);
+
+/// Split + atomically save one file per shard under `base`.
+void save_sharded_snapshot(const RunSnapshot& snapshot,
+                           const std::string& base, const ShardPlan& plan);
+
+/// Load shard 0 of `base` to learn the shard count, then load and merge
+/// every shard file. Throws on missing shards or header mismatch.
+[[nodiscard]] RunSnapshot load_sharded_snapshot(const std::string& base);
+
 /// Ties snapshots into a running pipeline via its hooks:
 ///  * after every `every_rounds`-th EMS round, captures the pipeline and
 ///    atomically rewrites `path` (and keeps the snapshot in memory);
@@ -133,6 +176,11 @@ class SnapshotManager {
     /// train_cursor_minutes into periodic saves.
     std::uint64_t train_begin_minute = 0;
     std::uint64_t train_end_minute = 0;
+    /// >= 2 writes one file per shard (shard_snapshot_path(path, k))
+    /// instead of a single monolithic file; 0/1 keeps the legacy
+    /// whole-run file. The in-memory snapshot stays whole-run either
+    /// way, so per-home warm restarts are unchanged.
+    std::size_t shards = 0;
   };
 
   SnapshotManager(core::EmsPipeline& pipeline, Options options);
@@ -154,6 +202,8 @@ class SnapshotManager {
 
  private:
   [[nodiscard]] std::uint64_t cursor_for_rounds(std::uint64_t rounds) const;
+  /// Write last_ to disk — whole-run or per-shard per options_.shards.
+  void persist() const;
 
   core::EmsPipeline& pipeline_;
   Options options_;

@@ -1,0 +1,61 @@
+#include "util/shard.hpp"
+
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pfdrl::util {
+
+std::size_t shard_of(std::size_t i, std::size_t n, std::size_t shards) noexcept {
+  if (shards <= 1 || n == 0) return 0;
+  // Inverse of shard_begin: the unique s with s*n/shards <= i < (s+1)*n/shards.
+  return ((i + 1) * shards - 1) / n;
+}
+
+std::size_t shard_begin(std::size_t s, std::size_t n,
+                        std::size_t shards) noexcept {
+  if (shards <= 1) return s == 0 ? 0 : n;
+  return (s * n) / shards;
+}
+
+double ShardTiming::max_over_mean() const noexcept {
+  if (shard_seconds.empty()) return 1.0;
+  double sum = 0.0;
+  double max = 0.0;
+  for (double s : shard_seconds) {
+    sum += s;
+    if (s > max) max = s;
+  }
+  const double mean = sum / static_cast<double>(shard_seconds.size());
+  return mean > 0.0 ? max / mean : 1.0;
+}
+
+ShardTiming sharded_for(ThreadPool& pool, std::size_t n_items,
+                        std::size_t shards,
+                        const std::function<std::size_t(std::size_t)>& shard_of_item,
+                        const std::function<void(std::size_t)>& body) {
+  ShardTiming timing;
+  if (shards <= 1 || n_items <= 1) {
+    pool.parallel_for(0, n_items, body);
+    return timing;
+  }
+  std::vector<std::vector<std::size_t>> buckets(shards);
+  for (std::size_t i = 0; i < n_items; ++i) {
+    const std::size_t s = shard_of_item(i);
+    if (s >= shards) throw std::out_of_range("sharded_for: bad shard index");
+    buckets[s].push_back(i);
+  }
+  timing.shard_seconds.assign(shards, 0.0);
+  pool.parallel_for(
+      0, shards,
+      [&](std::size_t s) {
+        const Stopwatch watch;
+        for (std::size_t i : buckets[s]) body(i);
+        timing.shard_seconds[s] = watch.elapsed_seconds();
+      },
+      /*grain=*/1);
+  return timing;
+}
+
+}  // namespace pfdrl::util

@@ -369,5 +369,202 @@ TEST(SimSnapshot, ManagerWritesLoadableFiles) {
   std::remove(path.c_str());
 }
 
+// --- Per-shard snapshots ----------------------------------------------
+
+// split -> merge reproduces the whole-run snapshot byte-for-byte, the
+// property the sharded save path rests on.
+TEST(SimShardSnapshot, SplitMergeRoundTripsByteIdentical) {
+  const auto traces = make_traces(7);
+  obs::MetricsRegistry reg;
+  core::EmsPipeline p(traces, make_config(reg, 7));
+  p.train_forecasters(0, kDay);
+  p.train_ems(kDay, kDay + kRoundMinutes);
+  const sim::RunSnapshot snap = sim::capture_run(p, kDay + kRoundMinutes);
+
+  const auto plan = sim::ShardPlan::make(snap.num_homes, 2);
+  const auto parts = sim::split_shards(snap, plan);
+  ASSERT_EQ(parts.size(), 2u);
+
+  // Shard identity stamped; agents bucketed by the plan; global state
+  // (buses, metrics, upload accounting) rides shard 0 only.
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    EXPECT_EQ(parts[k].shard_index, k);
+    EXPECT_EQ(parts[k].shard_count, 2u);
+    EXPECT_EQ(parts[k].seed, snap.seed);
+    EXPECT_EQ(parts[k].num_homes, snap.num_homes);
+    for (const auto& a : parts[k].agents) {
+      EXPECT_EQ(plan.shard_of(a.home), k) << "home " << a.home;
+    }
+  }
+  EXPECT_TRUE(parts[0].forecast_bus.present == snap.forecast_bus.present);
+  EXPECT_FALSE(parts[1].forecast_bus.present);
+  EXPECT_FALSE(parts[1].drl_bus.present);
+  EXPECT_TRUE(parts[1].metrics.counters.empty());
+
+  const sim::RunSnapshot merged = sim::merge_shards(parts);
+  EXPECT_EQ(sim::serialize_snapshot(merged), sim::serialize_snapshot(snap));
+
+  // Merge accepts the parts in any order.
+  std::vector<sim::RunSnapshot> reversed = {parts[1], parts[0]};
+  EXPECT_EQ(sim::serialize_snapshot(sim::merge_shards(reversed)),
+            sim::serialize_snapshot(snap));
+}
+
+// Per-shard files on disk: save writes base.shard<k>, load merges them
+// back to the original snapshot.
+TEST(SimShardSnapshot, ShardedSaveLoadRoundTrip) {
+  const auto traces = make_traces(7);
+  obs::MetricsRegistry reg;
+  core::EmsPipeline p(traces, make_config(reg, 7));
+  p.train_forecasters(0, kDay);
+  const sim::RunSnapshot snap = sim::capture_run(p);
+
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "pfdrl_shard_test.pfrc")
+          .string();
+  const auto plan = sim::ShardPlan::make(snap.num_homes, 3);
+  sim::save_sharded_snapshot(snap, base, plan);
+  for (std::size_t k = 0; k < plan.shards; ++k) {
+    EXPECT_TRUE(
+        std::filesystem::exists(sim::shard_snapshot_path(base, k)))
+        << "shard " << k;
+  }
+
+  const sim::RunSnapshot back = sim::load_sharded_snapshot(base);
+  EXPECT_EQ(sim::serialize_snapshot(back), sim::serialize_snapshot(snap));
+
+  // A missing shard file must fail the whole load, never a partial merge.
+  std::remove(sim::shard_snapshot_path(base, 1).c_str());
+  EXPECT_THROW((void)sim::load_sharded_snapshot(base), std::runtime_error);
+  for (std::size_t k = 0; k < plan.shards; ++k) {
+    std::remove(sim::shard_snapshot_path(base, k).c_str());
+  }
+}
+
+TEST(SimShardSnapshot, SplitAndMergeValidateInputs) {
+  const auto traces = make_traces(7);
+  obs::MetricsRegistry reg;
+  core::EmsPipeline p(traces, make_config(reg, 7));
+  p.train_forecasters(0, kDay);
+  const sim::RunSnapshot snap = sim::capture_run(p);
+
+  // Plan for a different population.
+  EXPECT_THROW((void)sim::split_shards(
+                   snap, sim::ShardPlan::make(snap.num_homes + 1, 2)),
+               std::invalid_argument);
+
+  auto parts = sim::split_shards(
+      snap, sim::ShardPlan::make(snap.num_homes, 2));
+  // Splitting an already-partial snapshot is refused.
+  EXPECT_THROW((void)sim::split_shards(
+                   parts[0], sim::ShardPlan::make(snap.num_homes, 2)),
+               std::invalid_argument);
+
+  // Duplicate shard index.
+  std::vector<sim::RunSnapshot> dup = {parts[0], parts[0]};
+  EXPECT_THROW((void)sim::merge_shards(dup), std::invalid_argument);
+  // Wrong part count for the declared shard_count.
+  std::vector<sim::RunSnapshot> missing = {parts[0]};
+  EXPECT_THROW((void)sim::merge_shards(missing), std::invalid_argument);
+  // Inconsistent headers across parts.
+  std::vector<sim::RunSnapshot> skewed = parts;
+  skewed[1].seed ^= 1;
+  EXPECT_THROW((void)sim::merge_shards(skewed), std::invalid_argument);
+}
+
+// A version-2 stream round-trips the shard identity; hostile shard
+// identities are rejected at deserialize time.
+TEST(SimShardSnapshot, SerializedShardIdentityRoundTripsAndValidates) {
+  const auto traces = make_traces(7);
+  obs::MetricsRegistry reg;
+  core::EmsPipeline p(traces, make_config(reg, 7));
+  p.train_forecasters(0, kDay);
+  sim::RunSnapshot snap = sim::capture_run(p);
+  snap.shard_index = 2;
+  snap.shard_count = 5;
+
+  const auto back = sim::deserialize_snapshot(sim::serialize_snapshot(snap));
+  EXPECT_EQ(back.shard_index, 2u);
+  EXPECT_EQ(back.shard_count, 5u);
+
+  snap.shard_index = 5;  // out of range for shard_count = 5
+  EXPECT_THROW(
+      (void)sim::deserialize_snapshot(sim::serialize_snapshot(snap)),
+      std::runtime_error);
+}
+
+// SnapshotManager with Options::shards >= 2 persists per-shard files
+// whose merge equals its in-memory whole-run snapshot, and the sharded
+// crash-resume matches the monolithic one bitwise.
+TEST(SimShardSnapshot, ManagerWritesMergeableShardFiles) {
+  const auto traces = make_traces(7);
+  obs::MetricsRegistry reg;
+  core::EmsPipeline p(traces, make_config(reg, 7));
+  p.train_forecasters(0, kDay);
+
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "pfdrl_mgr_shard.pfrc")
+          .string();
+  sim::SnapshotManager::Options so;
+  so.path = base;
+  so.every_rounds = 2;
+  so.train_begin_minute = kDay;
+  so.train_end_minute = 2 * kDay;
+  so.shards = 2;
+  sim::SnapshotManager manager(p, so);
+  p.train_ems(kDay, 2 * kDay);
+
+  EXPECT_EQ(manager.saves(), 3u);
+  ASSERT_NE(manager.last(), nullptr);
+  EXPECT_FALSE(std::filesystem::exists(base));  // no monolithic file
+  const sim::RunSnapshot from_disk = sim::load_sharded_snapshot(base);
+  EXPECT_EQ(from_disk.ems_rounds_done, 6u);
+  expect_runs_equal(*manager.last(), from_disk);
+  EXPECT_EQ(sim::serialize_snapshot(from_disk),
+            sim::serialize_snapshot(*manager.last()));
+  for (std::size_t k = 0; k < 2; ++k) {
+    std::remove(sim::shard_snapshot_path(base, k).c_str());
+  }
+}
+
+// End-to-end: interrupt a run, persist per-shard, resume from the merged
+// shards in a fresh pipeline — bitwise identical to never stopping.
+// (The sharded twin of CrashResumeGoldenBitwise.)
+TEST(SimShardSnapshot, ShardedCrashResumeGoldenBitwise) {
+  const auto traces = make_traces(42);
+
+  obs::MetricsRegistry reg_a;
+  core::EmsPipeline a(traces, make_config(reg_a));
+  a.train_forecasters(0, kDay);
+  a.train_ems(kDay, 2 * kDay);
+  const sim::RunSnapshot final_a = sim::capture_run(a);
+
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "pfdrl_shard_resume.pfrc")
+          .string();
+  {
+    obs::MetricsRegistry reg_b;
+    core::EmsPipeline b(traces, make_config(reg_b));
+    b.train_forecasters(0, kDay);
+    b.train_ems(kDay, kDay + 3 * kRoundMinutes);
+    const auto snap = sim::capture_run(b, kDay + 3 * kRoundMinutes);
+    sim::save_sharded_snapshot(
+        snap, base, sim::ShardPlan::make(snap.num_homes, 2));
+  }
+
+  obs::MetricsRegistry reg_c;
+  core::EmsPipeline c(traces, make_config(reg_c));
+  const sim::RunSnapshot snap = sim::load_sharded_snapshot(base);
+  EXPECT_EQ(snap.ems_rounds_done, 3u);
+  EXPECT_EQ(snap.shard_count, 1u);  // merged back to whole-run identity
+  sim::restore_run(c, snap);
+  c.train_ems(kDay + 3 * kRoundMinutes, 2 * kDay);
+
+  expect_runs_equal(final_a, sim::capture_run(c));
+  for (std::size_t k = 0; k < 2; ++k) {
+    std::remove(sim::shard_snapshot_path(base, k).c_str());
+  }
+}
+
 }  // namespace
 }  // namespace pfdrl

@@ -9,13 +9,13 @@
 # the two runs' evaluation lines must agree exactly.
 #
 # Expected -D inputs: MICRO_KERNELS, EMS_THROUGHPUT, DFL_THROUGHPUT,
-# PFDRL_CLI (executable paths), WORK_DIR (scratch directory).
+# SCALE_SWEEP, PFDRL_CLI (executable paths), WORK_DIR (scratch directory).
 
 if(NOT DEFINED MICRO_KERNELS OR NOT DEFINED EMS_THROUGHPUT
-   OR NOT DEFINED DFL_THROUGHPUT OR NOT DEFINED PFDRL_CLI
-   OR NOT DEFINED WORK_DIR)
+   OR NOT DEFINED DFL_THROUGHPUT OR NOT DEFINED SCALE_SWEEP
+   OR NOT DEFINED PFDRL_CLI OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR
-    "bench_smoke: MICRO_KERNELS, EMS_THROUGHPUT, DFL_THROUGHPUT, PFDRL_CLI and WORK_DIR must be set")
+    "bench_smoke: MICRO_KERNELS, EMS_THROUGHPUT, DFL_THROUGHPUT, SCALE_SWEEP, PFDRL_CLI and WORK_DIR must be set")
 endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
@@ -61,6 +61,21 @@ if(NOT dfl_rc EQUAL 0)
   message(FATAL_ERROR "dfl_throughput failed (${dfl_rc}):\n${dfl_out}\n${dfl_err}")
 endif()
 
+# --- scale_sweep: small agent counts, explicitly sharded so the
+# ShardRouter batching + parallel exchange path runs. The emitter's twin
+# run is the engine's end-to-end determinism check (bitwise-identical
+# final parameters per point regardless of the thread schedule).
+set(scale_json "${WORK_DIR}/BENCH_scale.json")
+execute_process(
+  COMMAND "${SCALE_SWEEP}" --agents 20,50 --rounds 2 --shards 4
+    --out "${scale_json}"
+  RESULT_VARIABLE scale_rc
+  OUTPUT_VARIABLE scale_out
+  ERROR_VARIABLE scale_err)
+if(NOT scale_rc EQUAL 0)
+  message(FATAL_ERROR "scale_sweep failed (${scale_rc}):\n${scale_out}\n${scale_err}")
+endif()
+
 # --- validate the emitted JSON. string(JSON) needs CMake >= 3.19; on
 # older CMake fall back to substring checks of the required keys.
 function(check_keys path)
@@ -88,6 +103,17 @@ check_keys("${pipeline_json}" bench decisions workspace_decisions_per_sec
   nn_workspace_allocs nn_scratch_bytes)
 check_keys("${dfl_json}" bench lstm_windows lstm_windows_per_sec
   gru_windows gru_windows_per_sec deterministic)
+check_keys("${scale_json}" bench topology params rounds deterministic points)
+
+# Twin sharded engine runs must agree bitwise (the scaling determinism
+# contract from docs/scaling.md, re-checked end-to-end).
+file(READ "${scale_json}" doc)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON scale_det GET "${doc}" deterministic)
+  if(NOT scale_det STREQUAL "ON" AND NOT scale_det STREQUAL "true")
+    message(FATAL_ERROR "scale_sweep: twin runs diverged (deterministic = ${scale_det})")
+  endif()
+endif()
 
 # Train rounds must be bitwise reproducible (the kernel determinism
 # contract, re-checked end-to-end by the emitter's twin run).
@@ -156,3 +182,48 @@ foreach(line_re "forecast accuracy [^\n]*" "traffic: [^\n]*")
   endif()
 endforeach()
 message(STATUS "bench_smoke: pfdrl_cli snapshot/resume round-trip agreed")
+
+# --- sharded snapshot/resume: the same round-trip through the sharded
+# engine (--shards 2 writes one snapshot file per shard; --resume takes
+# the base path and merges the shard set). On a clean fault plan the
+# sharded run's results must also match the unsharded run above bitwise.
+set(sharded_base "${WORK_DIR}/smoke_sharded.pfrc")
+execute_process(
+  COMMAND "${PFDRL_CLI}" ${cli_flags} --shards 2
+    --snapshot-every 1 --snapshot-out "${sharded_base}"
+  RESULT_VARIABLE ssave_rc
+  OUTPUT_VARIABLE ssave_out
+  ERROR_VARIABLE ssave_err)
+if(NOT ssave_rc EQUAL 0)
+  message(FATAL_ERROR "pfdrl_cli sharded snapshot run failed (${ssave_rc}):\n${ssave_out}\n${ssave_err}")
+endif()
+if(NOT EXISTS "${sharded_base}.shard0" OR NOT EXISTS "${sharded_base}.shard1")
+  message(FATAL_ERROR "pfdrl_cli --shards 2 did not write per-shard snapshot files")
+endif()
+
+execute_process(
+  COMMAND "${PFDRL_CLI}" ${cli_flags} --shards 2 --resume "${sharded_base}"
+  RESULT_VARIABLE sresume_rc
+  OUTPUT_VARIABLE sresume_out
+  ERROR_VARIABLE sresume_err)
+if(NOT sresume_rc EQUAL 0)
+  message(FATAL_ERROR "pfdrl_cli sharded resume run failed (${sresume_rc}):\n${sresume_out}\n${sresume_err}")
+endif()
+if(NOT sresume_out MATCHES "resumed from")
+  message(FATAL_ERROR "pfdrl_cli sharded resume did not restore:\n${sresume_out}")
+endif()
+
+foreach(line_re "forecast accuracy [^\n]*" "traffic: [^\n]*")
+  string(REGEX MATCH "${line_re}" save_line "${save_out}")
+  string(REGEX MATCH "${line_re}" sharded_line "${ssave_out}")
+  string(REGEX MATCH "${line_re}" sresume_line "${sresume_out}")
+  if(NOT save_line STREQUAL sharded_line)
+    message(FATAL_ERROR
+      "sharded run diverged from unsharded:\n  unsharded: ${save_line}\n  sharded:   ${sharded_line}")
+  endif()
+  if(NOT sharded_line STREQUAL sresume_line)
+    message(FATAL_ERROR
+      "sharded resume diverged:\n  saved:   ${sharded_line}\n  resumed: ${sresume_line}")
+  endif()
+endforeach()
+message(STATUS "bench_smoke: sharded snapshot/resume round-trip agreed")
