@@ -16,10 +16,19 @@
 // strip-mined kernels are fixed-order reductions, so run-to-run drift
 // here is a bug, not noise.
 //
+// Fused-vs-per-home column (docs/fused_training.md): for each home
+// count in --fuse-homes, N virtual homes train over the same recorded
+// trace — once through the legacy per-home loop, once through one
+// forecast::FusedForecastTrainer group — and the column reports both
+// rates plus the speedup. The per-home cost is identical across homes
+// by construction, which isolates the fusion effect; the two paths'
+// final parameters must match bitwise per home (the fused determinism
+// contract, re-checked end-to-end at every sweep point).
+//
 // Writes a JSON summary (default BENCH_dfl.json in the CWD; the
 // committed baseline at the repo root carries before/after sections —
 // see docs/performance.md). Flags: --days N, --rounds R, --round-minutes
-// M, --hidden H, --out PATH.
+// M, --fuse-homes LIST, --out PATH.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +39,7 @@
 #include "common.hpp"
 #include "data/dataset.hpp"
 #include "forecast/forecaster.hpp"
+#include "forecast/fused.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -111,12 +121,139 @@ MethodResult run_method(forecast::Method method, const data::DeviceTrace& trace,
   return result;
 }
 
+struct FusedPoint {
+  std::size_t homes = 0;
+  std::size_t windows = 0;  // epoch-weighted, per path (paths are equal)
+  double per_home_seconds = 0.0;
+  double fused_seconds = 0.0;
+  bool bitwise_match = false;
+
+  [[nodiscard]] double per_home_windows_per_sec() const noexcept {
+    return per_home_seconds > 0.0
+               ? static_cast<double>(windows) / per_home_seconds
+               : 0.0;
+  }
+  [[nodiscard]] double fused_windows_per_sec() const noexcept {
+    return fused_seconds > 0.0 ? static_cast<double>(windows) / fused_seconds
+                               : 0.0;
+  }
+  [[nodiscard]] double speedup() const noexcept {
+    return fused_seconds > 0.0 ? per_home_seconds / fused_seconds : 0.0;
+  }
+};
+
+/// One fused-vs-per-home sweep point: `homes` LSTM forecasters (distinct
+/// seeds, same architecture) retrain over the same rounds, legacy loop
+/// vs one maximal fused group. Short epochs keep the big points quick;
+/// both paths and the window accounting use the same resolved config.
+FusedPoint run_fused_point(forecast::Method method,
+                           const data::DeviceTrace& trace, std::size_t homes,
+                           std::size_t rounds, std::size_t round_minutes,
+                           std::size_t total_minutes) {
+  FusedPoint point;
+  point.homes = homes;
+
+  forecast::TrainConfig sweep;
+  sweep.epochs = 2;  // explicit values win over the per-method defaults
+  const forecast::TrainConfig resolved =
+      forecast::resolve_train_config(method, sweep);
+
+  data::WindowConfig window;  // production defaults (16-step, calendar)
+  std::vector<std::unique_ptr<forecast::Forecaster>> legacy;
+  std::vector<std::unique_ptr<forecast::Forecaster>> fused;
+  for (std::size_t h = 0; h < homes; ++h) {
+    legacy.push_back(forecast::make_forecaster(method, window, 7 + h));
+    fused.push_back(forecast::make_forecaster(method, window, 7 + h));
+  }
+
+  // Per-job RNG forks mirror fl::DflTrainer's (round, job) scheme; both
+  // paths consume identical streams, so the final parameters must match
+  // bitwise per home.
+  const auto job_rng = [](std::size_t r, std::size_t h) {
+    return util::Rng(1).fork(r * 10000 + h * 100);
+  };
+
+  forecast::FusedForecastTrainer trainer;
+  const auto fused_round = [&](std::size_t r, std::size_t begin,
+                               std::size_t end) {
+    std::vector<util::Rng> rngs;
+    rngs.reserve(homes);
+    std::vector<forecast::FusedTrainJob> jobs;
+    jobs.reserve(homes);
+    for (std::size_t h = 0; h < homes; ++h) {
+      rngs.push_back(job_rng(r, h));
+      jobs.push_back({fused[h].get(), &trace, &rngs.back(), 0.0});
+    }
+    if (!trainer.train(jobs, begin, end, sweep)) {
+      std::fprintf(stderr, "FATAL: fused trainer refused a uniform group\n");
+      std::exit(1);
+    }
+  };
+
+  // Warm-up round on both paths: sizes the slabs and gradient arenas so
+  // the timed rounds measure the steady state (and keeps the two paths'
+  // total training identical for the bitwise check).
+  const std::size_t warm_end = std::min(round_minutes, total_minutes);
+  for (std::size_t h = 0; h < homes; ++h) {
+    util::Rng rng = util::Rng(1).fork(990000 + h);
+    legacy[h]->train(trace, 0, warm_end, sweep, rng);
+  }
+  {
+    std::vector<util::Rng> rngs;
+    rngs.reserve(homes);
+    std::vector<forecast::FusedTrainJob> jobs;
+    jobs.reserve(homes);
+    for (std::size_t h = 0; h < homes; ++h) {
+      rngs.push_back(util::Rng(1).fork(990000 + h));
+      jobs.push_back({fused[h].get(), &trace, &rngs.back(), 0.0});
+    }
+    if (!trainer.train(jobs, 0, warm_end, sweep)) {
+      std::fprintf(stderr, "FATAL: fused trainer refused a uniform group\n");
+      std::exit(1);
+    }
+  }
+
+  util::Stopwatch watch;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::size_t begin = (r * round_minutes) % total_minutes;
+    const std::size_t end = std::min(begin + round_minutes, total_minutes);
+
+    watch.reset();
+    for (std::size_t h = 0; h < homes; ++h) {
+      util::Rng rng = job_rng(r, h);
+      legacy[h]->train(trace, begin, end, sweep, rng);
+    }
+    point.per_home_seconds += watch.elapsed_seconds();
+
+    watch.reset();
+    fused_round(r, begin, end);
+    point.fused_seconds += watch.elapsed_seconds();
+
+    data::WindowConfig wc = window;
+    wc.stride = resolved.stride;
+    const auto set = data::make_sequences(trace, wc, begin, end);
+    point.windows += set.size() * resolved.epochs * homes;
+  }
+
+  point.bitwise_match = true;
+  for (std::size_t h = 0; h < homes && point.bitwise_match; ++h) {
+    const auto a = legacy[h]->parameters();
+    const auto b = fused[h]->parameters();
+    if (a.size() != b.size()) point.bitwise_match = false;
+    for (std::size_t i = 0; point.bitwise_match && i < a.size(); ++i) {
+      if (a[i] != b[i]) point.bitwise_match = false;
+    }
+  }
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t days = 2;
   std::size_t rounds = 6;
   std::size_t round_minutes = 360;  // one 6-hour broadcast period
+  std::vector<std::size_t> fuse_homes = {20, 100};  // quick default sweep
   std::string out_path = "BENCH_dfl.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
@@ -125,13 +262,19 @@ int main(int argc, char** argv) {
       rounds = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--round-minutes") == 0 && i + 1 < argc) {
       round_minutes = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--fuse-homes") == 0 && i + 1 < argc) {
+      fuse_homes.clear();
+      for (const char* tok = std::strtok(argv[++i], ","); tok != nullptr;
+           tok = std::strtok(nullptr, ",")) {
+        fuse_homes.push_back(static_cast<std::size_t>(std::atol(tok)));
+      }
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(
-          stderr,
-          "usage: %s [--days N] [--rounds R] [--round-minutes M] [--out P]\n",
-          argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--days N] [--rounds R] [--round-minutes M] "
+                   "[--fuse-homes N,N,...] [--out P]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -172,6 +315,35 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Fused-vs-per-home sweep (LSTM, the paper's production method).
+  std::vector<FusedPoint> fused_points;
+  for (const std::size_t homes : fuse_homes) {
+    if (homes < 2) continue;
+    fused_points.push_back(run_fused_point(forecast::Method::kLstm, *trace,
+                                           homes, rounds, round_minutes,
+                                           total_minutes));
+  }
+  bool fused_match = true;
+  if (!fused_points.empty()) {
+    std::printf("\nfused vs per-home (LSTM, one group per round):\n");
+    util::TextTable ftable({"homes", "windows", "per-home w/s", "fused w/s",
+                            "speedup", "bitwise"});
+    for (const auto& p : fused_points) {
+      ftable.add_row({std::to_string(p.homes), std::to_string(p.windows),
+                      std::to_string(p.per_home_windows_per_sec()),
+                      std::to_string(p.fused_windows_per_sec()),
+                      std::to_string(p.speedup()),
+                      p.bitwise_match ? "yes" : "NO"});
+      fused_match = fused_match && p.bitwise_match;
+    }
+    ftable.print();
+  }
+  if (!fused_match) {
+    std::fprintf(stderr,
+                 "FATAL: fused training diverged from the per-home path\n");
+    return 1;
+  }
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -189,12 +361,26 @@ int main(int argc, char** argv) {
                "  \"gru_windows\": %zu,\n"
                "  \"gru_seconds\": %.6f,\n"
                "  \"gru_windows_per_sec\": %.1f,\n"
-               "  \"deterministic\": %s\n"
-               "}\n",
+               "  \"deterministic\": %s,\n"
+               "  \"fused_bitwise_match\": %s,\n"
+               "  \"fused_points\": [",
                days, rounds, round_minutes, lstm.windows, lstm.seconds,
                lstm.windows_per_sec(), gru.windows, gru.seconds,
                gru.windows_per_sec(),
-               lstm.deterministic && gru.deterministic ? "true" : "false");
+               lstm.deterministic && gru.deterministic ? "true" : "false",
+               fused_match ? "true" : "false");
+  for (std::size_t i = 0; i < fused_points.size(); ++i) {
+    const auto& p = fused_points[i];
+    std::fprintf(f,
+                 "%s\n    {\"homes\": %zu, \"windows\": %zu,"
+                 " \"per_home_windows_per_sec\": %.1f,"
+                 " \"fused_windows_per_sec\": %.1f,"
+                 " \"speedup\": %.2f, \"bitwise_match\": %s}",
+                 i == 0 ? "" : ",", p.homes, p.windows,
+                 p.per_home_windows_per_sec(), p.fused_windows_per_sec(),
+                 p.speedup(), p.bitwise_match ? "true" : "false");
+  }
+  std::fprintf(f, "%s]\n}\n", fused_points.empty() ? "" : "\n  ");
   std::fclose(f);
   std::printf("\nbaseline written to %s\n", out_path.c_str());
 

@@ -39,6 +39,10 @@
 //   --shards N          bulk-synchronous shards for the federation engine
 //                       (docs/scaling.md); 0/1 = legacy flat fan-out.
 //                       Also shards the snapshot files (one per shard)
+//   --fuse-homes N      cross-home fused training group size
+//                       (docs/fused_training.md); up to N homes per group
+//                       train as one stacked batch per gate, bitwise
+//                       identical to per-home. 0/1 = legacy per-home path
 //   --topology NAME     federation topology override: full_mesh | star |
 //                       ring | hierarchical | gossip (default: method's)
 //   --cluster-size N    hierarchical topology cluster size  (default 8)
@@ -98,6 +102,7 @@ int main(int argc, char** argv) {
   std::string snapshot_out = "pfdrl_snapshot.pfrc";
   std::string resume_path;
   std::size_t shards = 0;
+  std::size_t fuse_homes = 0;
   std::optional<net::TopologyKind> topology;
   net::TopologyOptions topo_opts;
 
@@ -167,6 +172,8 @@ int main(int argc, char** argv) {
       resume_path = next();
     } else if (arg == "--shards") {
       shards = std::stoul(next());
+    } else if (arg == "--fuse-homes") {
+      fuse_homes = std::stoul(next());
     } else if (arg == "--topology") {
       const auto kind = net::parse_topology_kind(next());
       if (!kind) usage_error("unknown topology");
@@ -208,6 +215,7 @@ int main(int argc, char** argv) {
   cfg.fault = fault;
   cfg.robustness = robustness;
   cfg.shards = shards;
+  cfg.fuse_homes = fuse_homes;
   cfg.topology = topology;
   cfg.topology_options = topo_opts;
 
@@ -222,6 +230,10 @@ int main(int argc, char** argv) {
                      .c_str()
                : "");
   if (plan.sharded()) std::printf("shards: %s\n", plan.describe().c_str());
+  if (fuse_homes > 1) {
+    std::printf("fused training: up to %zu homes per batch group\n",
+                fuse_homes);
+  }
   std::printf("\n");
 
   core::EmsPipeline pipeline(scenario.traces, cfg);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "rl/fused.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pfdrl::core {
@@ -67,6 +68,7 @@ EmsPipeline::EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
     dc.robustness = cfg_.robustness;
     dc.metrics = &metrics();
     dc.shards = cfg_.shards;
+    dc.fuse_homes = cfg_.fuse_homes;
     dc.topology = cfg_.topology;
     dc.topology_options = cfg_.topology_options;
     dfl_.emplace(traces_, dc);
@@ -128,6 +130,8 @@ EmsPipeline::EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
                         cfg_.shards);
   }
 }
+
+EmsPipeline::~EmsPipeline() = default;
 
 void EmsPipeline::train_forecasters(std::size_t begin, std::size_t end) {
   obs::SpanTimer span(metrics().histogram("forecast.train_seconds"));
@@ -214,10 +218,7 @@ void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
   const std::size_t stride =
       std::max<std::size_t>(1, cfg_.meter_interval_minutes);
 
-  // Shard-local EMS steps: one pool task per shard of homes (the legacy
-  // flat parallel_for when unsharded). Jobs are independent, so the
-  // sharded grouping never changes per-agent results.
-  shard_runner_.run(job_homes, [&](std::size_t j) {
+  const auto run_job = [&](std::size_t j) {
     const auto [h, d] = jobs[j];
     rl::DqnAgent& agent = *agents_[h][d];
     const ems::EmsEnvironment env = runner_.environment(h, d, begin, end);
@@ -257,7 +258,111 @@ void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
     env_steps.add(steps);
     replay_pushes.add(steps);
     learn_calls.add(learns);
-  });
+  };
+
+  if (cfg_.fuse_homes > 1 && !jobs.empty()) {
+    // Fused dispatch (docs/fused_training.md): consecutive jobs of up to
+    // fuse_homes homes — never crossing a shard boundary — run their EMS
+    // rollouts in lockstep, and every learn tick (the gate is
+    // home-independent) stacks the group's replay minibatches into one
+    // fused DQN batch. Per-agent act/remember/learn sequences are
+    // unchanged, so fused rounds stay bitwise identical to per-job ones.
+    struct Group {
+      std::size_t begin_j, end_j;
+    };
+    std::vector<Group> groups;
+    std::vector<std::size_t> group_homes;
+    std::size_t start = 0;
+    while (start < jobs.size()) {
+      const std::size_t shard = shard_runner_.shard_of_home(jobs[start].home);
+      std::size_t j = start;
+      std::size_t homes_in = 0;
+      while (j < jobs.size() &&
+             shard_runner_.shard_of_home(jobs[j].home) == shard) {
+        if (j == start || jobs[j].home != jobs[j - 1].home) {
+          if (homes_in == cfg_.fuse_homes) break;
+          ++homes_in;
+        }
+        ++j;
+      }
+      groups.push_back({start, j});
+      group_homes.push_back(jobs[start].home);
+      start = j;
+    }
+    while (fused_learners_.size() < groups.size()) {
+      fused_learners_.push_back(std::make_unique<rl::FusedDqnLearner>());
+    }
+    shard_runner_.run(group_homes, [&](std::size_t g) {
+      const auto [gb, ge] = groups[g];
+      const std::size_t n = ge - gb;
+      std::vector<ems::EmsEnvironment> envs;
+      std::vector<rl::DqnAgent*> group_agents;
+      envs.reserve(n);
+      group_agents.reserve(n);
+      for (std::size_t j = gb; j < ge; ++j) {
+        const auto [h, d] = jobs[j];
+        envs.push_back(runner_.environment(h, d, begin, end));
+        group_agents.push_back(agents_[h][d].get());
+      }
+      const std::size_t len = envs.front().length();
+      for (const ems::EmsEnvironment& env : envs) {
+        if (env.length() != len) {
+          // Ragged environments can't run in lockstep; per-job fallback.
+          for (std::size_t j = gb; j < ge; ++j) run_job(j);
+          return;
+        }
+      }
+      std::uint64_t steps = 0;
+      std::uint64_t learns = 0;
+      std::vector<std::array<double, ems::EmsEnvironment::kStateDim>> states(n);
+      std::vector<std::array<double, ems::EmsEnvironment::kStateDim>>
+          next_states(n);
+      for (std::size_t i = 0; i < n; ++i) envs[i].state_into(0, states[i]);
+      std::vector<double> losses(n);
+      rl::FusedDqnLearner& learner = *fused_learners_[g];
+      for (std::size_t t = 0; t < len; t += stride) {
+        const std::size_t t_next = std::min(t + stride, len);
+        const bool terminal = t_next >= len;
+        for (std::size_t i = 0; i < n; ++i) {
+          rl::DqnAgent& agent = *group_agents[i];
+          const ems::EmsEnvironment& env = envs[i];
+          const int action = agent.act(states[i]);
+          double r = 0.0;
+          for (std::size_t m = t; m < t_next; ++m) {
+            r += env.reward_at(m, action);
+          }
+          if (terminal) {
+            next_states[i] = states[i];
+          } else {
+            env.state_into(t_next, next_states[i]);
+          }
+          agent.remember({{states[i].begin(), states[i].end()},
+                          action,
+                          r,
+                          {next_states[i].begin(), next_states[i].end()},
+                          terminal});
+          states[i] = next_states[i];
+        }
+        // Same interval-aware gate as the per-job loop; it depends only
+        // on (begin, t), so the whole group learns on the same ticks.
+        if ((begin + t) % cfg_.learn_every_minutes < stride) {
+          if (!learner.learn(group_agents, losses)) {
+            for (rl::DqnAgent* a : group_agents) a->learn();
+          }
+          learns += n;
+        }
+        steps += n;
+      }
+      env_steps.add(steps);
+      replay_pushes.add(steps);
+      learn_calls.add(learns);
+    });
+  } else {
+    // Shard-local EMS steps: one pool task per shard of homes (the
+    // legacy flat parallel_for when unsharded). Jobs are independent, so
+    // the sharded grouping never changes per-agent results.
+    shard_runner_.run(job_homes, run_job);
+  }
 
   // Mean exploration rate across agents after this round — the epsilon
   // trajectory is the quickest convergence sanity check in a dump.
@@ -371,6 +476,7 @@ void EmsPipeline::sync_runtime_metrics() const {
                                 util::ThreadPool::global().stats());
   obs::record_nn_workspace_stats(reg);
   obs::record_nn_kernel_stats(reg);
+  obs::record_nn_fused_stats(reg);
 }
 
 const rl::DqnAgent& EmsPipeline::agent(std::size_t home,

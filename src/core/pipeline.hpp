@@ -34,6 +34,10 @@ namespace pfdrl::obs {
 class MetricsRegistry;
 }
 
+namespace pfdrl::rl {
+class FusedDqnLearner;
+}
+
 namespace pfdrl::core {
 
 struct PipelineConfig {
@@ -87,6 +91,13 @@ struct PipelineConfig {
   // drain/aggregate phases run on the pool. On a clean fault plan,
   // results are bitwise identical to the unsharded engine.
   std::size_t shards = 0;
+  /// Cross-home fused training (docs/fused_training.md): > 1 gathers up
+  /// to this many homes' jobs — never crossing a shard boundary — into
+  /// one fused batch group. Forecast rounds fuse their minibatches and
+  /// EMS rounds run in lockstep so DQN learn steps stack into one slab
+  /// per group. 0/1 = the legacy per-home paths. Results are bitwise
+  /// identical either way; non-fusable groups fall back per home.
+  std::size_t fuse_homes = 0;
   /// Federation topology override for BOTH exchange paths; nullopt keeps
   /// the method defaults (DFL full mesh / FL+FRL star). The sparse kinds
   /// (kHierarchical, kGossip) cut broadcast cost to O(N·degree).
@@ -99,6 +110,7 @@ class EmsPipeline {
  public:
   EmsPipeline(const std::vector<data::HouseholdTrace>& traces,
               PipelineConfig cfg);
+  ~EmsPipeline();
 
   [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t num_homes() const noexcept {
@@ -236,6 +248,10 @@ class EmsPipeline {
   /// Bulk-synchronous fan-out stage (cfg_.shards); with shards <= 1 it
   /// reproduces the legacy flat parallel_for scheduling exactly.
   ShardedRunner shard_runner_;
+  /// Per-group fused DQN learners (cfg_.fuse_homes > 1). Group
+  /// boundaries are pinned by (jobs, shards, fuse_homes), so group g
+  /// reuses the same learner's slab capacity every round.
+  std::vector<std::unique_ptr<rl::FusedDqnLearner>> fused_learners_;
   std::uint64_t ems_rounds_done_ = 0;
   std::function<void(std::uint64_t)> on_round_end_;
   std::function<void(std::size_t)> on_home_restart_;

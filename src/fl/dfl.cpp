@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "fl/exchange.hpp"
+#include "forecast/fused.hpp"
 #include "forecast/metrics.hpp"
 #include "obs/metrics.hpp"
 #include "util/shard.hpp"
@@ -87,6 +88,8 @@ DflTrainer::DflTrainer(const std::vector<data::HouseholdTrace>& traces,
   }
 }
 
+DflTrainer::~DflTrainer() = default;
+
 std::size_t DflTrainer::run(std::size_t train_begin, std::size_t train_end) {
   const auto round_minutes = static_cast<std::size_t>(
       cfg_.broadcast_period_hours * 60.0);
@@ -124,20 +127,17 @@ void DflTrainer::round(std::size_t begin, std::size_t end) {
   // span/stride arithmetic the sampling cap uses). Relaxed atomic: jobs
   // only accumulate; the fold into the registry happens once below.
   std::atomic<std::uint64_t> round_windows{0};
-  const auto train_job = [&](std::size_t j) {
-    const auto [h, d] = jobs[j];
-    // Per-job RNG forked deterministically: results do not depend on the
-    // thread schedule.
-    util::Rng rng =
-        util::Rng(cfg_.seed).fork(rounds_done_ * 10000 + h * 100 + d);
-    auto& model = *agents_[h].devices[d];
+  // Per-round train config + trainable-window span for one model.
+  // Small-batch training (paper Table 2): federated agents train on a
+  // bounded sample of each round's windows and lean on aggregation for
+  // coverage; the Local baseline (kNone) uses everything it has. The
+  // span/stride arithmetic is home-independent (every forecaster shares
+  // cfg_.window), which is what lets fused groups share one config.
+  const auto capped_train = [&](const forecast::Forecaster& model) {
     forecast::TrainConfig train =
         forecast::resolve_train_config(cfg_.method, cfg_.train);
     const std::size_t hist = data::history_needed(model.window_config());
     const std::size_t span = end > begin + hist ? end - begin - hist : 0;
-    // Small-batch training (paper Table 2): federated agents train on a
-    // bounded sample of each round's windows and lean on aggregation for
-    // coverage; the Local baseline (kNone) uses everything it has.
     if (cfg_.max_round_samples > 0 &&
         cfg_.aggregation != AggregationMode::kNone) {
       const std::size_t windows = span / std::max<std::size_t>(1, train.stride);
@@ -146,6 +146,16 @@ void DflTrainer::round(std::size_t begin, std::size_t end) {
                        cfg_.max_round_samples;
       }
     }
+    return std::pair{train, span};
+  };
+  const auto train_job = [&](std::size_t j) {
+    const auto [h, d] = jobs[j];
+    // Per-job RNG forked deterministically: results do not depend on the
+    // thread schedule.
+    util::Rng rng =
+        util::Rng(cfg_.seed).fork(rounds_done_ * 10000 + h * 100 + d);
+    auto& model = *agents_[h].devices[d];
+    const auto [train, span] = capped_train(model);
     round_windows.fetch_add(span / std::max<std::size_t>(1, train.stride),
                             std::memory_order_relaxed);
     model.train(traces_[h].devices[d], begin, end, train, rng);
@@ -153,12 +163,83 @@ void DflTrainer::round(std::size_t begin, std::size_t end) {
   // Sharded engine: one pool task per shard of homes instead of one per
   // job. The per-job RNG fork keeps results independent of which path
   // (or thread) runs a job, so sharding never changes training output.
-  const util::ShardTiming timing = util::sharded_for(
-      util::ThreadPool::global(), jobs.size(), cfg_.shards,
-      [&](std::size_t j) {
-        return util::shard_of(jobs[j].home, agents_.size(), cfg_.shards);
-      },
-      train_job);
+  util::ShardTiming timing;
+  if (cfg_.fuse_homes > 1 && !jobs.empty()) {
+    // Fused dispatch (docs/fused_training.md): consecutive jobs of up to
+    // fuse_homes homes — never crossing a shard boundary — form one
+    // fused batch group. Per-job RNG forks and window accounting are
+    // unchanged, so fused rounds stay bitwise identical to per-job ones.
+    struct Group {
+      std::size_t begin_j, end_j;
+    };
+    std::vector<Group> groups;
+    std::size_t start = 0;
+    while (start < jobs.size()) {
+      const std::size_t shard =
+          util::shard_of(jobs[start].home, agents_.size(), cfg_.shards);
+      std::size_t j = start;
+      std::size_t homes_in = 0;
+      while (j < jobs.size() &&
+             util::shard_of(jobs[j].home, agents_.size(), cfg_.shards) ==
+                 shard) {
+        if (j == start || jobs[j].home != jobs[j - 1].home) {
+          if (homes_in == cfg_.fuse_homes) break;
+          ++homes_in;
+        }
+        ++j;
+      }
+      groups.push_back({start, j});
+      start = j;
+    }
+    while (fused_pool_.size() < groups.size()) {
+      fused_pool_.push_back(
+          std::make_unique<forecast::FusedForecastTrainer>());
+    }
+    const auto train_group = [&](std::size_t g) {
+      const auto [gb, ge] = groups[g];
+      std::vector<util::Rng> rngs;
+      rngs.reserve(ge - gb);
+      std::vector<forecast::FusedTrainJob> fjobs(ge - gb);
+      for (std::size_t j = gb; j < ge; ++j) {
+        const auto [h, d] = jobs[j];
+        rngs.push_back(
+            util::Rng(cfg_.seed).fork(rounds_done_ * 10000 + h * 100 + d));
+      }
+      for (std::size_t j = gb; j < ge; ++j) {
+        const auto [h, d] = jobs[j];
+        fjobs[j - gb] = {agents_[h].devices[d].get(), &traces_[h].devices[d],
+                         &rngs[j - gb], 0.0};
+      }
+      const auto [train, span] = capped_train(*fjobs.front().forecaster);
+      round_windows.fetch_add(
+          static_cast<std::uint64_t>(ge - gb) *
+              (span / std::max<std::size_t>(1, train.stride)),
+          std::memory_order_relaxed);
+      if (!fused_pool_[g]->train(fjobs, begin, end, train)) {
+        // Non-fusable group (closed-form method, mismatched shapes):
+        // per-job fallback with the still-unconsumed forked RNGs.
+        for (std::size_t j = gb; j < ge; ++j) {
+          const auto [h, d] = jobs[j];
+          agents_[h].devices[d]->train(traces_[h].devices[d], begin, end,
+                                       train, rngs[j - gb]);
+        }
+      }
+    };
+    timing = util::sharded_for(
+        util::ThreadPool::global(), groups.size(), cfg_.shards,
+        [&](std::size_t g) {
+          return util::shard_of(jobs[groups[g].begin_j].home, agents_.size(),
+                                cfg_.shards);
+        },
+        train_group);
+  } else {
+    timing = util::sharded_for(
+        util::ThreadPool::global(), jobs.size(), cfg_.shards,
+        [&](std::size_t j) {
+          return util::shard_of(jobs[j].home, agents_.size(), cfg_.shards);
+        },
+        train_job);
+  }
   if (cfg_.metrics != nullptr) {
     obs::record_shard_timing(*cfg_.metrics, "dfl.shard", timing);
   }

@@ -33,6 +33,10 @@ namespace pfdrl::obs {
 class MetricsRegistry;
 }
 
+namespace pfdrl::forecast {
+class FusedForecastTrainer;
+}
+
 namespace pfdrl::fl {
 
 enum class AggregationMode : std::uint8_t {
@@ -87,6 +91,13 @@ struct DflConfig {
   /// flat fan-out (bitwise identical results either way on a clean
   /// fault plan).
   std::size_t shards = 0;
+  /// Cross-home fused training (docs/fused_training.md): > 1 gathers the
+  /// (home, device) jobs of up to this many homes — never crossing a
+  /// shard boundary — into one fused batch group per training step, so
+  /// each gate runs one big slab matmul instead of per-home stripes.
+  /// 0/1 = the legacy per-job path. Bitwise identical results either
+  /// way; groups that turn out non-fusable fall back per job.
+  std::size_t fuse_homes = 0;
 };
 
 /// One agent's per-device model set.
@@ -99,6 +110,7 @@ class DflTrainer {
   /// `traces` holds one HouseholdTrace per residence; all must cover the
   /// same number of minutes.
   DflTrainer(const std::vector<data::HouseholdTrace>& traces, DflConfig cfg);
+  ~DflTrainer();
 
   [[nodiscard]] std::size_t num_agents() const noexcept {
     return agents_.size();
@@ -154,6 +166,10 @@ class DflTrainer {
   const std::vector<data::HouseholdTrace>& traces_;
   DflConfig cfg_;
   std::vector<AgentModels> agents_;
+  /// Per-group fused trainers (cfg_.fuse_homes > 1). Group boundaries
+  /// are pinned by (jobs, shards, fuse_homes), so group g reuses the
+  /// same trainer's slab capacity every round.
+  std::vector<std::unique_ptr<forecast::FusedForecastTrainer>> fused_pool_;
   /// Declared before bus_ — the bus holds a non-owning router pointer.
   std::unique_ptr<net::ShardRouter> router_;
   net::MessageBus bus_;

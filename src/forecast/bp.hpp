@@ -30,6 +30,10 @@ class BpForecaster final : public Forecaster {
   [[nodiscard]] std::unique_ptr<Forecaster> clone() const override;
 
  private:
+  // Fused cross-home training (forecast/fused.hpp) replays this class's
+  // train loop against shared slabs; it needs net_ and opt_ only.
+  friend struct FusedAccess;
+
   BpForecaster(const BpForecaster&) = default;
 
   nn::Mlp net_;

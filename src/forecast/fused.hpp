@@ -1,0 +1,103 @@
+// Cross-home fused forecaster training (docs/fused_training.md).
+//
+// A DFL round trains one forecaster per (home, device) on that device's
+// newly recorded minutes — thousands of tiny minibatches through
+// identical architectures. The fused trainer takes a group of such jobs
+// (same method, same window/train config), builds every job's dataset,
+// and then runs the group's epochs in lockstep: at each (epoch, batch
+// index) the participating jobs' minibatches are gathered into one
+// home-major slab and trained through the nn::Fused* engines against
+// each job's own parameter bank and Adam state.
+//
+// Determinism contract: PRESERVED. Per job, the observable sequence is
+// exactly the per-home Forecaster::train() loop — the empty-dataset
+// early-out fires before any RNG use, each epoch shuffles the job's own
+// index order with the job's own RNG (util::Rng::shuffle consumes the
+// stream as a function of the vector size alone, so trainer-owned order
+// vectors are stream-identical to the forecaster-owned ones), batches
+// are visited in the same offsets, and each slice's forward/BPTT/Adam
+// step is bitwise the solo train_batch (nn/fused.hpp). Jobs whose
+// dataset runs out of batches early simply drop out of later fused
+// batches; their epoch-loss bookkeeping is untouched by the others.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/trace.hpp"
+#include "forecast/forecaster.hpp"
+#include "nn/fused.hpp"
+#include "nn/matrix.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace pfdrl::nn {
+class GruRegressor;
+class LstmRegressor;
+class Mlp;
+}  // namespace pfdrl::nn
+
+namespace pfdrl::forecast {
+
+/// One (home, device) training job inside a fused group. `loss` receives
+/// the value Forecaster::train() would have returned.
+struct FusedTrainJob {
+  Forecaster* forecaster = nullptr;
+  const data::DeviceTrace* trace = nullptr;
+  util::Rng* rng = nullptr;
+  double loss = 0.0;
+};
+
+/// Fused multi-home forecaster trainer. One train() call performs one
+/// Forecaster::train(trace, begin, end, cfg, rng) per job, bitwise
+/// identical to running the jobs one by one.
+class FusedForecastTrainer {
+ public:
+  /// Runs the whole group over [begin, end) with the shared config.
+  /// Returns false — with no job state touched — when the group is not
+  /// fusable (non-NN or mixed methods, mismatched network or dataset
+  /// shapes); the caller must fall back to per-job Forecaster::train().
+  bool train(std::span<FusedTrainJob> jobs, std::size_t begin,
+             std::size_t end, const TrainConfig& cfg);
+
+ private:
+  bool train_lstm(std::span<FusedTrainJob> jobs, std::size_t begin,
+                  std::size_t end, const TrainConfig& tcfg);
+  bool train_gru(std::span<FusedTrainJob> jobs, std::size_t begin,
+                 std::size_t end, const TrainConfig& tcfg);
+  bool train_bp(std::span<FusedTrainJob> jobs, std::size_t begin,
+                std::size_t end, const TrainConfig& tcfg);
+
+  nn::FusedLstm lstm_;
+  nn::FusedGru gru_;
+  nn::FusedMlp mlp_;
+  // Per-job datasets (rebuilt per round; building is pure so a fallback
+  // after dataset construction still leaves job state untouched).
+  std::vector<data::SequenceSet> seq_sets_;
+  std::vector<data::SupervisedSet> sup_sets_;
+  // Per-job shuffle orders (trainer-owned stand-ins for the forecaster's
+  // private order_ buffers; RNG-stream-identical, see header comment).
+  std::vector<std::vector<std::size_t>> orders_;
+  // Capacity-reusing slab + dispatch buffers.
+  std::vector<nn::Matrix> slab_xs_;  // per-step slabs ([0] only for BP)
+  nn::Matrix slab_y_;
+  std::vector<std::size_t> active_;  // jobs with non-empty datasets
+  std::vector<std::size_t> part_;    // jobs participating in one batch
+  std::vector<nn::FusedSlice> slices_;
+  std::vector<const nn::Matrix*> xs_ptrs_;
+  std::vector<nn::Optimizer*> opts_;
+  std::vector<double> batch_losses_;
+  std::vector<double> loss_sums_;
+  std::vector<std::size_t> batch_counts_;
+  std::vector<nn::LstmRegressor*> lstm_nets_;
+  std::vector<nn::GruRegressor*> gru_nets_;
+  std::vector<nn::Mlp*> mlp_nets_;
+  std::vector<nn::LstmRegressor*> lstm_all_;
+  std::vector<nn::GruRegressor*> gru_all_;
+  std::vector<nn::Mlp*> mlp_all_;
+  std::vector<nn::Adam*> adam_all_;
+};
+
+}  // namespace pfdrl::forecast

@@ -32,6 +32,10 @@ class GruForecaster final : public Forecaster {
   [[nodiscard]] std::unique_ptr<Forecaster> clone() const override;
 
  private:
+  // Fused cross-home training (forecast/fused.hpp) replays this class's
+  // train loop against shared slabs; it needs net_ and opt_ only.
+  friend struct FusedAccess;
+
   GruForecaster(const GruForecaster&) = default;
 
   nn::GruRegressor net_;

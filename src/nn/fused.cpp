@@ -1,0 +1,770 @@
+#include "nn/fused.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+#include "nn/gru.hpp"
+#include "nn/kernels.hpp"
+#include "nn/lstm.hpp"
+#include "nn/mlp.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pfdrl::nn {
+
+namespace {
+
+constexpr std::size_t kRB = kernels::kRowBlock;
+
+/// Row pointers of a block of kRB consecutive slab rows.
+template <class M>
+void block_rows(M& m, std::size_t r, double* out[kRB]) noexcept {
+  for (std::size_t i = 0; i < kRB; ++i) out[i] = m.row(r + i).data();
+}
+template <class M>
+void block_rows_const(const M& m, std::size_t r,
+                      const double* out[kRB]) noexcept {
+  for (std::size_t i = 0; i < kRB; ++i) out[i] = m.row(r + i).data();
+}
+
+/// Dense head rows for one slice: out[r] = b + h_last[r] * W. Identical
+/// per-row loop to LstmRegressor::head_into / GruRegressor::head_into.
+void head_slice(const double* w, const double* b, std::size_t h,
+                std::size_t o, const Matrix& h_last, Matrix& out,
+                const FusedSlice& s) {
+  for (std::size_t r = s.row_begin; r < s.row_begin + s.rows; ++r) {
+    const double* hr = h_last.row(r).data();
+    double* yr = out.row(r).data();
+    for (std::size_t j = 0; j < o; ++j) yr[j] = b[j];
+    for (std::size_t k = 0; k < h; ++k) {
+      kernels::axpy(hr[k], w + k * o, yr, o);
+    }
+  }
+}
+
+/// Head backward for one slice: per-row bias/outer accumulation into the
+/// member's head gradients and dh[r][k] = dot(grad_out[r], W_head row k).
+/// Identical per-row loop to the recurrent models' head backward.
+void head_backward_slice(const double* w, std::size_t h, std::size_t o,
+                         const Matrix& grad_out, const Matrix& h_last,
+                         Matrix& dh, double* gw_head, double* gb_head,
+                         const FusedSlice& s) {
+  for (std::size_t r = s.row_begin; r < s.row_begin + s.rows; ++r) {
+    const double* go = grad_out.row(r).data();
+    const double* hr = h_last.row(r).data();
+    double* dhr = dh.row(r).data();
+    for (std::size_t j = 0; j < o; ++j) gb_head[j] += go[j];
+    kernels::outer_acc(hr, h, go, o, gw_head);
+    for (std::size_t k = 0; k < h; ++k) {
+      dhr[k] = kernels::dot(go, w + k * o, o);
+    }
+  }
+}
+
+/// Member's fused-vs-per-home uniformity is the caller's contract; the
+/// slices must tile [0, rows) of the slab in order.
+void check_slices(std::span<const FusedSlice> slices, std::size_t rows) {
+  std::size_t at = 0;
+  for (const FusedSlice& s : slices) {
+    if (s.row_begin != at) {
+      throw std::invalid_argument("fused: slices must tile the slab in order");
+    }
+    at += s.rows;
+  }
+  if (at != rows) {
+    throw std::invalid_argument("fused: slices must cover every slab row");
+  }
+}
+
+// ---------------------------------------------------------------- LSTM --
+
+struct LstmOffsets {
+  std::size_t wx, wh, b, w_head, b_head, total;
+};
+
+LstmOffsets lstm_offsets(std::size_t f, std::size_t h, std::size_t o) {
+  LstmOffsets ofs{};
+  ofs.wx = 0;
+  ofs.wh = f * 4 * h;
+  ofs.b = ofs.wh + h * 4 * h;
+  ofs.w_head = ofs.b + 4 * h;
+  ofs.b_head = ofs.w_head + h * o;
+  ofs.total = ofs.b_head + o;
+  return ofs;
+}
+
+/// LSTM backward Phase-1 elementwise deltas for one row — the exact
+/// per-element op sequence of LstmRegressor::backward. kHasCPrev lifts
+/// the t == 0 check out of the loop: the body is branch-free either way
+/// (cp folds to 0.0 at t == 0, preserving the signed-zero products of
+/// the scalar code), so the compiler can vectorize the j loop.
+template <bool kHasCPrev>
+void lstm_phase1_row(const double* __restrict zg, const double* __restrict tc,
+                     const double* __restrict cpr, double* __restrict dhr,
+                     double* __restrict dcr, double* __restrict dzr,
+                     std::size_t h) {
+  for (std::size_t j = 0; j < h; ++j) {
+    const double i_g = zg[j];
+    const double f_g = zg[h + j];
+    const double g_g = zg[2 * h + j];
+    const double o_g = zg[3 * h + j];
+    const double cp = kHasCPrev ? cpr[j] : 0.0;
+
+    const double do_g = dhr[j] * tc[j];
+    dcr[j] += dhr[j] * o_g * (1.0 - tc[j] * tc[j]);
+    const double di = dcr[j] * g_g;
+    const double df = dcr[j] * cp;
+    const double dg = dcr[j] * i_g;
+
+    dzr[j] = di * i_g * (1.0 - i_g);
+    dzr[h + j] = df * f_g * (1.0 - f_g);
+    dzr[2 * h + j] = dg * (1.0 - g_g * g_g);
+    dzr[3 * h + j] = do_g * o_g * (1.0 - o_g);
+
+    dcr[j] *= f_g;
+  }
+}
+
+/// One LSTM step over one slice's rows: blocked gate preactivation, then
+/// the per-row nonlinearity/state-update sequence of step_compute.
+void lstm_step_slice(const double* pwx, const double* pwh, const double* pb,
+                     std::size_t f, std::size_t h, const Matrix& x,
+                     const Matrix& h_prev, const Matrix& c_prev, Matrix& gates,
+                     Matrix& c, Matrix& tanh_c, Matrix& hm,
+                     const FusedSlice& s) {
+  const std::size_t g4 = 4 * h;
+  const std::size_t r_end = s.row_begin + s.rows;
+  std::size_t r = s.row_begin;
+  for (; r + kRB <= r_end; r += kRB) {
+    double* zr[kRB];
+    const double* xr[kRB];
+    const double* hr[kRB];
+    block_rows(gates, r, zr);
+    block_rows_const(x, r, xr);
+    block_rows_const(h_prev, r, hr);
+    kernels::fused_gates_rows(pb, xr, f, pwx, hr, h, pwh, g4, zr, g4);
+  }
+  for (; r < r_end; ++r) {
+    double* z = gates.row(r).data();
+    for (std::size_t j = 0; j < g4; ++j) z[j] = pb[j];
+    const double* xr = x.row(r).data();
+    for (std::size_t k = 0; k < f; ++k) {
+      kernels::axpy(xr[k], pwx + k * g4, z, g4);
+    }
+    const double* hr = h_prev.row(r).data();
+    for (std::size_t k = 0; k < h; ++k) {
+      kernels::axpy(hr[k], pwh + k * g4, z, g4);
+    }
+  }
+  for (r = s.row_begin; r < r_end; ++r) {
+    double* z = gates.row(r).data();
+    kernels::sigmoid_inplace(z, 2 * h);
+    kernels::tanh_inplace(z + 2 * h, h);
+    kernels::sigmoid_inplace(z + 3 * h, h);
+    const double* cprev = c_prev.row(r).data();
+    double* cr = c.row(r).data();
+    double* tc = tanh_c.row(r).data();
+    double* hv = hm.row(r).data();
+    for (std::size_t j = 0; j < h; ++j) {
+      cr[j] = z[h + j] * cprev[j] + z[j] * z[2 * h + j];
+      tc[j] = cr[j];
+    }
+    kernels::tanh_inplace(tc, h);
+    for (std::size_t j = 0; j < h; ++j) hv[j] = z[3 * h + j] * tc[j];
+  }
+}
+
+// ----------------------------------------------------------------- GRU --
+
+struct GruOffsets {
+  std::size_t wx, wh, b, w_head, b_head, total;
+};
+
+GruOffsets gru_offsets(std::size_t f, std::size_t h, std::size_t o) {
+  GruOffsets ofs{};
+  ofs.wx = 0;
+  ofs.wh = f * 3 * h;
+  ofs.b = ofs.wh + h * 3 * h;
+  ofs.w_head = ofs.b + 3 * h;
+  ofs.b_head = ofs.w_head + h * o;
+  ofs.total = ofs.b_head + o;
+  return ofs;
+}
+
+void gru_step_slice(const double* pwx, const double* pwh, const double* pb,
+                    std::size_t f, std::size_t h, const Matrix& x,
+                    const Matrix& h_prev, Matrix& gates, Matrix& hm,
+                    Matrix& coeff, std::size_t coeff_base,
+                    const FusedSlice& s) {
+  const std::size_t g3 = 3 * h;
+  const std::size_t r_end = s.row_begin + s.rows;
+  std::size_t r = s.row_begin;
+  for (; r + kRB <= r_end; r += kRB) {
+    double* zr[kRB];
+    const double* xr[kRB];
+    const double* hp[kRB];
+    block_rows(gates, r, zr);
+    block_rows_const(x, r, xr);
+    block_rows_const(h_prev, r, hp);
+    for (std::size_t i = 0; i < kRB; ++i) {
+      for (std::size_t j = 0; j < g3; ++j) zr[i][j] = pb[j];
+    }
+    kernels::fused_acc_rows(xr, f, pwx, g3, zr, g3);
+    // z and r gates see h directly; candidate comes after r is known.
+    kernels::fused_acc_rows(hp, h, pwh, g3, zr, 2 * h);
+    for (std::size_t i = 0; i < kRB; ++i) {
+      kernels::sigmoid_inplace(zr[i], 2 * h);
+    }
+    // Candidate pre-activation gets (r ⊙ h): the coefficient product is
+    // the same single rounding the per-home axpy computes inline.
+    double* cf[kRB];
+    double* zc[kRB];
+    const double* cf_const[kRB];
+    for (std::size_t i = 0; i < kRB; ++i) {
+      cf[i] = coeff.row(coeff_base + i).data();
+      zc[i] = zr[i] + 2 * h;
+      cf_const[i] = cf[i];
+      for (std::size_t k = 0; k < h; ++k) cf[i][k] = zr[i][h + k] * hp[i][k];
+    }
+    kernels::fused_acc_rows(cf_const, h, pwh + 2 * h, g3, zc, h);
+    for (std::size_t i = 0; i < kRB; ++i) {
+      kernels::tanh_inplace(zc[i], h);
+      double* hv = hm.row(r + i).data();
+      for (std::size_t j = 0; j < h; ++j) {
+        const double zg = zr[i][j];
+        hv[j] = (1.0 - zg) * hp[i][j] + zg * zr[i][2 * h + j];
+      }
+    }
+  }
+  for (; r < r_end; ++r) {
+    double* z = gates.row(r).data();
+    for (std::size_t j = 0; j < g3; ++j) z[j] = pb[j];
+    const double* xr = x.row(r).data();
+    for (std::size_t k = 0; k < f; ++k) {
+      kernels::axpy(xr[k], pwx + k * g3, z, g3);
+    }
+    const double* hp = h_prev.row(r).data();
+    for (std::size_t k = 0; k < h; ++k) {
+      kernels::axpy(hp[k], pwh + k * g3, z, 2 * h);
+    }
+    kernels::sigmoid_inplace(z, 2 * h);
+    for (std::size_t k = 0; k < h; ++k) {
+      kernels::axpy(z[h + k] * hp[k], pwh + k * g3 + 2 * h, z + 2 * h, h);
+    }
+    kernels::tanh_inplace(z + 2 * h, h);
+    double* hv = hm.row(r).data();
+    for (std::size_t j = 0; j < h; ++j) {
+      const double zg = z[j];
+      hv[j] = (1.0 - zg) * hp[j] + zg * z[2 * h + j];
+    }
+  }
+}
+
+// ----------------------------------------------------------------- MLP --
+
+/// Blocked dense forward preactivation for one slice (activation applies
+/// slab-wide afterwards). Matches the batched dense_forward row kernel;
+/// the per-home batch-1 matvec1 dispatch is bitwise identical to it by
+/// the dense.hpp contract, so slicing never changes results.
+void dense_forward_slice(std::span<const double> params, std::size_t in,
+                         std::size_t out, const Matrix& x, Matrix& y,
+                         const FusedSlice& s) {
+  const double* w = params.data();
+  const double* b = params.data() + in * out;
+  const std::size_t r_end = s.row_begin + s.rows;
+  std::size_t r = s.row_begin;
+  for (; r + kRB <= r_end; r += kRB) {
+    double* yr[kRB];
+    const double* xr[kRB];
+    block_rows(y, r, yr);
+    block_rows_const(x, r, xr);
+    kernels::fused_gates_rows(b, xr, in, w, nullptr, 0, nullptr, out, yr, out);
+  }
+  for (; r < r_end; ++r) {
+    const double* xr = x.row(r).data();
+    double* yr = y.row(r).data();
+    for (std::size_t j = 0; j < out; ++j) yr[j] = b[j];
+    for (std::size_t k = 0; k < in; ++k) {
+      kernels::axpy(xr[k], w + k * out, yr, out);
+    }
+  }
+}
+
+/// Blocked dense backward for one slice: bias/weight gradients into the
+/// member's own gradient slice, dL/dx rows into grad_x. `grad_y` must
+/// already hold the pre-activation delta (the caller scales the slab
+/// once — element-independent, so slab-wide equals per-slice).
+void dense_backward_slice(std::span<const double> params, std::size_t in,
+                          std::size_t out, const Matrix& x,
+                          const Matrix& grad_y, std::span<double> grad_params,
+                          Matrix* grad_x, const FusedSlice& s) {
+  double* gw = grad_params.data();
+  double* gb = grad_params.data() + in * out;
+  const double* w = params.data();
+  const std::size_t r_end = s.row_begin + s.rows;
+  std::size_t r = s.row_begin;
+  for (; r + kRB <= r_end; r += kRB) {
+    const double* dr[kRB];
+    const double* xr[kRB];
+    block_rows_const(grad_y, r, dr);
+    block_rows_const(x, r, xr);
+    kernels::fused_bias_acc_rows(dr, out, gb);
+    kernels::fused_outer_acc_rows(xr, in, dr, out, gw, out);
+    if (grad_x != nullptr) {
+      double* gx[kRB];
+      block_rows(*grad_x, r, gx);
+      double dots[kRB];
+      for (std::size_t k = 0; k < in; ++k) {
+        kernels::fused_dot_rows(dr, w + k * out, out, dots);
+        for (std::size_t i = 0; i < kRB; ++i) gx[i][k] = dots[i];
+      }
+    }
+  }
+  for (; r < r_end; ++r) {
+    const double* xr = x.row(r).data();
+    const double* dr = grad_y.row(r).data();
+    for (std::size_t j = 0; j < out; ++j) gb[j] += dr[j];
+    kernels::outer_acc(xr, in, dr, out, gw);
+    if (grad_x != nullptr) {
+      double* gxr = grad_x->row(r).data();
+      for (std::size_t k = 0; k < in; ++k) {
+        gxr[k] = kernels::dot(dr, w + k * out, out);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// note_fused_batch and the fused telemetry getters live in kernels.cpp
+// next to the train-batch counter, so the sanitizer stress jobs (which
+// rebuild kernels.cpp + metrics.cpp without this file) still link.
+
+// ------------------------------------------------------------ FusedLstm --
+
+void FusedLstm::train_batch(std::span<LstmRegressor* const> nets,
+                            std::span<const FusedSlice> slices,
+                            std::span<const Matrix* const> xs, const Matrix& y,
+                            LossKind loss, std::span<Optimizer* const> opts,
+                            std::span<double> losses, double clip_norm) {
+  const std::size_t members = nets.size();
+  if (members == 0 || xs.empty()) return;
+  assert(slices.size() == members && opts.size() == members &&
+         losses.size() == members);
+  const std::size_t T = xs.size();
+  const std::size_t rows = xs[0]->rows();
+  check_slices(slices, rows);
+  const LstmRegressor& n0 = *nets[0];
+  const std::size_t f = n0.feature_dim();
+  const std::size_t h = n0.hidden_dim();
+  const std::size_t o = n0.output_dim();
+  const LstmOffsets ofs = lstm_offsets(f, h, o);
+  for (const LstmRegressor* n : nets) {
+    if (n->feature_dim() != f || n->hidden_dim() != h ||
+        n->output_dim() != o) {
+      throw std::invalid_argument("FusedLstm: member shape mismatch");
+    }
+  }
+
+  ws_.reset();
+  gates_.resize(T);
+  c_.resize(T);
+  tanh_c_.resize(T);
+  h_.resize(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    gates_[t] = &ws_.take(rows, 4 * h);
+    c_[t] = &ws_.take(rows, h);
+    tanh_c_[t] = &ws_.take(rows, h);
+    h_[t] = &ws_.take(rows, h);
+  }
+  Matrix& h0 = ws_.take(rows, h);
+  Matrix& c0 = ws_.take(rows, h);
+  Matrix& pred = ws_.take(rows, o);
+  Matrix& grad_out = ws_.take(rows, o);
+  Matrix& dh = ws_.take(rows, h);
+  Matrix& dc = ws_.take(rows, h);
+  Matrix& dz = ws_.take(rows, 4 * h);
+  h0.zero();
+  c0.zero();
+
+#ifndef NDEBUG
+  for (std::size_t t = 0; t < T; ++t) {
+    assert(xs[t]->rows() == rows && xs[t]->cols() == f);
+  }
+#endif
+
+  // ---- Member-major execution: one task per member runs its forward,
+  // loss, BPTT, clip and Adam step over its own slice rows against its
+  // own bank. Members share the activation/delta slabs but write
+  // disjoint row ranges and never share an accumulator, so fanning the
+  // members out across the pool cannot change any member's arithmetic —
+  // the fused result stays bitwise the per-home one at every thread
+  // count. Member-major order also keeps each bank hot in cache for the
+  // whole sequence instead of re-streaming every bank per timestep.
+  grads_.assign(members * ofs.total, 0.0);
+  dc.zero();
+  const auto member_task = [&](std::size_t i) {
+    const FusedSlice& s = slices[i];
+    const double* p = nets[i]->parameters().data();
+
+    // ---- Forward: all T steps over this member's rows. ----
+    for (std::size_t t = 0; t < T; ++t) {
+      const Matrix& hp = t > 0 ? *h_[t - 1] : h0;
+      const Matrix& cp = t > 0 ? *c_[t - 1] : c0;
+      lstm_step_slice(p + ofs.wx, p + ofs.wh, p + ofs.b, f, h, *xs[t], hp, cp,
+                      *gates_[t], *c_[t], *tanh_c_[t], *h_[t], s);
+    }
+    head_slice(p + ofs.w_head, p + ofs.b_head, h, o, *h_[T - 1], pred, s);
+
+    // ---- Loss over this member's row range. ----
+    losses[i] = loss_value_rows(loss, pred, y, s.row_begin, s.rows);
+    loss_grad_rows(loss, pred, y, s.row_begin, s.rows, grad_out);
+
+    // ---- Backward: shared delta slabs, own gradient bank. ----
+    double* g = grads_.data() + i * ofs.total;
+    head_backward_slice(p + ofs.w_head, h, o, grad_out, *h_[T - 1], dh,
+                        g + ofs.w_head, g + ofs.b_head, s);
+    const double* pwh = p + ofs.wh;
+    for (std::size_t t = T; t-- > 0;) {
+      const Matrix& gates = *gates_[t];
+      const Matrix& tanh_c = *tanh_c_[t];
+      const Matrix* c_prev = t > 0 ? c_[t - 1] : nullptr;
+      const Matrix& h_prev = t > 0 ? *h_[t - 1] : h0;
+      const std::size_t r_end = s.row_begin + s.rows;
+      // Phase 1 — elementwise deltas (identical scalar sequence per
+      // row). The c_prev presence test is hoisted to a template
+      // parameter so the j loop is branch-free and auto-vectorizes.
+      for (std::size_t r = s.row_begin; r < r_end; ++r) {
+        const double* zg = gates.row(r).data();
+        const double* tc = tanh_c.row(r).data();
+        double* dhr = dh.row(r).data();
+        double* dcr = dc.row(r).data();
+        double* dzr = dz.row(r).data();
+        if (c_prev != nullptr) {
+          lstm_phase1_row<true>(zg, tc, c_prev->row(r).data(), dhr, dcr, dzr,
+                                h);
+        } else {
+          lstm_phase1_row<false>(zg, tc, nullptr, dhr, dcr, dzr, h);
+        }
+      }
+      // Phase 2 — parameter gradients + dh_{t-1}, blocked.
+      std::size_t r = s.row_begin;
+      for (; r + kRB <= r_end; r += kRB) {
+        const double* dzr[kRB];
+        const double* xr[kRB];
+        block_rows_const(dz, r, dzr);
+        block_rows_const(*xs[t], r, xr);
+        kernels::fused_bias_acc_rows(dzr, 4 * h, g + ofs.b);
+        kernels::fused_outer_acc_rows(xr, f, dzr, 4 * h, g + ofs.wx, 4 * h);
+        if (t > 0) {
+          const double* hp[kRB];
+          block_rows_const(h_prev, r, hp);
+          kernels::fused_outer_acc_rows(hp, h, dzr, 4 * h, g + ofs.wh, 4 * h);
+        }
+        double* dhr[kRB];
+        block_rows(dh, r, dhr);
+        double dots[kRB];
+        for (std::size_t k = 0; k < h; ++k) {
+          kernels::fused_dot_rows(dzr, pwh + k * 4 * h, 4 * h, dots);
+          for (std::size_t b = 0; b < kRB; ++b) dhr[b][k] = dots[b];
+        }
+      }
+      for (; r < r_end; ++r) {
+        const double* dzr = dz.row(r).data();
+        const double* xr = xs[t]->row(r).data();
+        for (std::size_t j = 0; j < 4 * h; ++j) g[ofs.b + j] += dzr[j];
+        kernels::outer_acc(xr, f, dzr, 4 * h, g + ofs.wx);
+        if (t > 0) {
+          const double* hp = h_prev.row(r).data();
+          kernels::outer_acc(hp, h, dzr, 4 * h, g + ofs.wh);
+        }
+        double* dhr = dh.row(r).data();
+        for (std::size_t k = 0; k < h; ++k) {
+          dhr[k] = kernels::dot(dzr, pwh + k * 4 * h, 4 * h);
+        }
+      }
+    }
+
+    // ---- Clip + Adam step (same sequence as train_batch). ----
+    std::span<double> gspan(g, ofs.total);
+    if (clip_norm > 0.0) {
+      const double sq = kernels::dot(gspan.data(), gspan.data(), gspan.size());
+      const double norm = std::sqrt(sq);
+      if (norm > clip_norm) {
+        const double scale = clip_norm / norm;
+        for (double& gv : gspan) gv *= scale;
+      }
+    }
+    opts[i]->step(nets[i]->parameters(), gspan);
+    kernels::note_train_batch();
+  };
+  util::ThreadPool::global().parallel_for(0, members, member_task);
+  note_fused_batch(members, rows);
+}
+
+// ------------------------------------------------------------- FusedGru --
+
+void FusedGru::train_batch(std::span<GruRegressor* const> nets,
+                           std::span<const FusedSlice> slices,
+                           std::span<const Matrix* const> xs, const Matrix& y,
+                           LossKind loss, std::span<Optimizer* const> opts,
+                           std::span<double> losses, double clip_norm) {
+  const std::size_t members = nets.size();
+  if (members == 0 || xs.empty()) return;
+  assert(slices.size() == members && opts.size() == members &&
+         losses.size() == members);
+  const std::size_t T = xs.size();
+  const std::size_t rows = xs[0]->rows();
+  check_slices(slices, rows);
+  const GruRegressor& n0 = *nets[0];
+  const std::size_t f = n0.feature_dim();
+  const std::size_t h = n0.hidden_dim();
+  const std::size_t o = n0.output_dim();
+  const GruOffsets ofs = gru_offsets(f, h, o);
+  for (const GruRegressor* n : nets) {
+    if (n->feature_dim() != f || n->hidden_dim() != h ||
+        n->output_dim() != o) {
+      throw std::invalid_argument("FusedGru: member shape mismatch");
+    }
+  }
+
+  ws_.reset();
+  gates_.resize(T);
+  h_.resize(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    gates_[t] = &ws_.take(rows, 3 * h);
+    h_[t] = &ws_.take(rows, h);
+  }
+  Matrix& h0 = ws_.take(rows, h);
+  Matrix& pred = ws_.take(rows, o);
+  Matrix& grad_out = ws_.take(rows, o);
+  Matrix& dh = ws_.take(rows, h);
+  Matrix& dz = ws_.take(rows, 3 * h);
+  // kRB (r ⊙ h) coefficient rows per member — member-private scratch.
+  Matrix& coeff = ws_.take(members * kRB, h);
+  h0.zero();
+
+#ifndef NDEBUG
+  for (std::size_t t = 0; t < T; ++t) {
+    assert(xs[t]->rows() == rows && xs[t]->cols() == f);
+  }
+#endif
+
+  // Member-major execution, same scheme (and same bitwise argument) as
+  // FusedLstm::train_batch: disjoint slice rows, no shared accumulators,
+  // members fan out across the pool.
+  grads_.assign(members * ofs.total, 0.0);
+  const auto member_task = [&](std::size_t i) {
+    const FusedSlice& s = slices[i];
+    const double* p = nets[i]->parameters().data();
+    const std::size_t coeff_base = i * kRB;
+
+    for (std::size_t t = 0; t < T; ++t) {
+      const Matrix& hp = t > 0 ? *h_[t - 1] : h0;
+      gru_step_slice(p + ofs.wx, p + ofs.wh, p + ofs.b, f, h, *xs[t], hp,
+                     *gates_[t], *h_[t], coeff, coeff_base, s);
+    }
+    head_slice(p + ofs.w_head, p + ofs.b_head, h, o, *h_[T - 1], pred, s);
+
+    losses[i] = loss_value_rows(loss, pred, y, s.row_begin, s.rows);
+    loss_grad_rows(loss, pred, y, s.row_begin, s.rows, grad_out);
+
+    double* g = grads_.data() + i * ofs.total;
+    head_backward_slice(p + ofs.w_head, h, o, grad_out, *h_[T - 1], dh,
+                        g + ofs.w_head, g + ofs.b_head, s);
+    const double* pwh = p + ofs.wh;
+    for (std::size_t t = T; t-- > 0;) {
+      const Matrix& gates = *gates_[t];
+      const Matrix& h_prev = t > 0 ? *h_[t - 1] : h0;
+      const std::size_t r_end = s.row_begin + s.rows;
+      // Phase 1 — elementwise deltas and recurrent dots. The per-row
+      // op sequence matches GruRegressor::backward; dots over shared
+      // weight rows run row-inner so the row stays hot across the block.
+      for (std::size_t r = s.row_begin; r < r_end; ++r) {
+        const double* zg = gates.row(r).data();
+        const double* hp = h_prev.row(r).data();
+        double* dhr = dh.row(r).data();
+        double* dzr = dz.row(r).data();
+        for (std::size_t j = 0; j < h; ++j) {
+          const double z_g = zg[j];
+          const double cand = zg[2 * h + j];
+          const double dht = dhr[j];
+
+          const double dzg = dht * (cand - hp[j]);
+          const double dcand = dht * z_g;
+          dhr[j] = dht * (1.0 - z_g);
+
+          const double dcand_pre = dcand * (1.0 - cand * cand);
+          dzr[2 * h + j] = dcand_pre;
+          dzr[j] = dzg * z_g * (1.0 - z_g);
+          dzr[h + j] = 0.0;
+        }
+        for (std::size_t k = 0; k < h; ++k) {
+          const double sck =
+              kernels::dot(dzr + 2 * h, pwh + k * 3 * h + 2 * h, h);
+          const double rk = zg[h + k];
+          dzr[h + k] = sck * hp[k] * rk * (1.0 - rk);
+          dhr[k] += sck * rk;
+        }
+        for (std::size_t k = 0; k < h; ++k) {
+          dhr[k] += kernels::dot(dzr, pwh + k * 3 * h, 2 * h);
+        }
+      }
+      // Phase 2 — parameter gradients, blocked.
+      std::size_t r = s.row_begin;
+      for (; r + kRB <= r_end; r += kRB) {
+        const double* dzr[kRB];
+        const double* xr[kRB];
+        const double* hp[kRB];
+        block_rows_const(dz, r, dzr);
+        block_rows_const(*xs[t], r, xr);
+        block_rows_const(h_prev, r, hp);
+        kernels::fused_bias_acc_rows(dzr, 3 * h, g + ofs.b);
+        kernels::fused_outer_acc_rows(xr, f, dzr, 3 * h, g + ofs.wx, 3 * h);
+        kernels::fused_outer_acc_rows(hp, h, dzr, 2 * h, g + ofs.wh, 3 * h);
+        // (r ⊙ h) coefficients feed the candidate column block.
+        const double* dz2[kRB];
+        const double* cf_const[kRB];
+        for (std::size_t b = 0; b < kRB; ++b) {
+          double* cf = coeff.row(coeff_base + b).data();
+          const double* zg = gates.row(r + b).data();
+          for (std::size_t k = 0; k < h; ++k) cf[k] = zg[h + k] * hp[b][k];
+          dz2[b] = dzr[b] + 2 * h;
+          cf_const[b] = cf;
+        }
+        kernels::fused_outer_acc_rows(cf_const, h, dz2, h,
+                                      g + ofs.wh + 2 * h, 3 * h);
+      }
+      for (; r < r_end; ++r) {
+        const double* dzr = dz.row(r).data();
+        const double* xr = xs[t]->row(r).data();
+        const double* hp = h_prev.row(r).data();
+        for (std::size_t j = 0; j < 3 * h; ++j) g[ofs.b + j] += dzr[j];
+        kernels::outer_acc(xr, f, dzr, 3 * h, g + ofs.wx);
+        for (std::size_t k = 0; k < h; ++k) {
+          double* gp = g + ofs.wh + k * 3 * h;
+          kernels::axpy(hp[k], dzr, gp, 2 * h);
+          const double rh = gates(r, h + k) * hp[k];
+          kernels::axpy(rh, dzr + 2 * h, gp + 2 * h, h);
+        }
+      }
+    }
+
+    std::span<double> gspan(g, ofs.total);
+    if (clip_norm > 0.0) {
+      const double sq = kernels::dot(gspan.data(), gspan.data(), gspan.size());
+      const double norm = std::sqrt(sq);
+      if (norm > clip_norm) {
+        const double scale = clip_norm / norm;
+        for (double& gv : gspan) gv *= scale;
+      }
+    }
+    opts[i]->step(nets[i]->parameters(), gspan);
+    kernels::note_train_batch();
+  };
+  util::ThreadPool::global().parallel_for(0, members, member_task);
+  note_fused_batch(members, rows);
+}
+
+// ------------------------------------------------------------- FusedMlp --
+
+const Matrix& FusedMlp::forward(std::span<Mlp* const> nets,
+                                std::span<const FusedSlice> slices,
+                                const Matrix& x) {
+  assert(!nets.empty() && nets.size() == slices.size());
+  const Mlp& n0 = *nets[0];
+  check_slices(slices, x.rows());
+  for (const Mlp* n : nets) {
+    if (!n->same_architecture(n0)) {
+      throw std::invalid_argument("FusedMlp: member architecture mismatch");
+    }
+  }
+  const auto& dims = n0.dims();
+  const std::size_t layers = n0.num_layers();
+  ws_.reset();
+  acts_.assign(layers + 1, nullptr);
+  input_ = &x;
+  for (std::size_t l = 0; l < layers; ++l) {
+    acts_[l + 1] = &ws_.take(x.rows(), dims[l + 1]);
+  }
+  // Member-major: each member drives its own slice rows through the
+  // whole layer stack (its activations depend on its own rows only), so
+  // the members fan out across the pool without changing any member's
+  // arithmetic. The per-slice activation application is bitwise the
+  // slab-wide one (element-independent).
+  util::ThreadPool::global().parallel_for(0, nets.size(), [&](std::size_t i) {
+    const FusedSlice& s = slices[i];
+    const Matrix* cur = &x;
+    for (std::size_t l = 0; l < layers; ++l) {
+      Matrix& slab = *acts_[l + 1];
+      dense_forward_slice(nets[i]->layer_parameters(l), dims[l], dims[l + 1],
+                          *cur, slab, s);
+      const Activation act =
+          l + 1 == layers ? n0.output_activation() : n0.hidden_activation();
+      activate_rows(act, slab, s.row_begin, s.rows);
+      cur = &slab;
+    }
+  });
+  return *acts_[layers];
+}
+
+void FusedMlp::backward(std::span<Mlp* const> nets,
+                        std::span<const FusedSlice> slices, Matrix& grad_out) {
+  assert(input_ != nullptr && "backward() requires a preceding forward()");
+  const Mlp& n0 = *nets[0];
+  const auto& dims = n0.dims();
+  const std::size_t layers = n0.num_layers();
+  // Delta slabs for layers layers-1 .. 1, taken up front so the member
+  // tasks never touch the workspace.
+  grad_slabs_.assign(layers, nullptr);
+  for (std::size_t l = layers; l-- > 1;) {
+    grad_slabs_[l] = &ws_.take(grad_out.rows(), dims[l]);
+  }
+  // Member-major, same scheme as forward(): each member back-propagates
+  // its own slice rows into its own Mlp::gradients() buffer.
+  util::ThreadPool::global().parallel_for(0, nets.size(), [&](std::size_t i) {
+    const FusedSlice& s = slices[i];
+    Matrix* g = &grad_out;
+    for (std::size_t l = layers; l-- > 0;) {
+      const Activation act =
+          l + 1 == layers ? n0.output_activation() : n0.hidden_activation();
+      scale_by_activation_grad_rows(act, *acts_[l + 1], *g, s.row_begin,
+                                    s.rows);
+      Matrix* gx = l > 0 ? grad_slabs_[l] : nullptr;
+      const Matrix& in = l == 0 ? *input_ : *acts_[l];
+      auto grad_slice = nets[i]->gradients().subspan(
+          nets[i]->layer_offset(l), nets[i]->layer_param_count(l));
+      dense_backward_slice(nets[i]->layer_parameters(l), dims[l], dims[l + 1],
+                           in, *g, grad_slice, gx, s);
+      g = gx;
+    }
+  });
+}
+
+void FusedMlp::train_batch(std::span<Mlp* const> nets,
+                           std::span<const FusedSlice> slices, const Matrix& x,
+                           const Matrix& y, LossKind loss,
+                           std::span<Optimizer* const> opts,
+                           std::span<double> losses) {
+  assert(opts.size() == nets.size() && losses.size() == nets.size());
+  const Matrix& pred = forward(nets, slices, x);
+  Matrix& grad = ws_.take(pred.rows(), pred.cols());
+  // Loss rows and gradient buffers are member-disjoint, so these loops
+  // fan out like forward()/backward() without changing any result.
+  util::ThreadPool::global().parallel_for(0, nets.size(), [&](std::size_t i) {
+    losses[i] = loss_value_rows(loss, pred, y, slices[i].row_begin,
+                                slices[i].rows);
+    loss_grad_rows(loss, pred, y, slices[i].row_begin, slices[i].rows, grad);
+    nets[i]->zero_grad();
+  });
+  backward(nets, slices, grad);
+  util::ThreadPool::global().parallel_for(0, nets.size(), [&](std::size_t i) {
+    opts[i]->step(nets[i]->parameters(), nets[i]->gradients());
+    kernels::note_train_batch();
+  });
+  note_fused_batch(nets.size(), x.rows());
+}
+
+}  // namespace pfdrl::nn

@@ -1,0 +1,135 @@
+// Cross-home fused training batches (docs/fused_training.md).
+//
+// Every home trains the same forecaster/DQN architecture on the same
+// window shapes, so a federation round is thousands of tiny per-home
+// batches that leave the PR 5 strip-mined kernels starved. The fused
+// layer gathers a group of homes' minibatches into one home-major slab —
+// rows [home0's batch | home1's batch | ...] — and runs the whole slab
+// through register-blocked kernels (nn::kernels::fused_*), slice by
+// slice against each home's own parameter bank, then scatters per-home
+// gradient slices back into each home's own optimizer state.
+//
+// Because parameter banks stay per-home, the "one big matmul per gate"
+// is block-diagonal: each home's row slice multiplies its own weights.
+// The win is structural, not algebraic — one assembly pass, one scratch
+// arena, 4-row register tiles that stream each weight row once per
+// kernels::kRowBlock rows, and member-major scheduling: since members
+// share no accumulators (disjoint slab row slices, own parameter bank,
+// own gradient buffer, own optimizer state), each member's entire
+// forward/loss/backward/step becomes one task fanned out across
+// util::ThreadPool — each bank stays hot in cache for the whole
+// sequence, and the pool's static chunking leaves every member's
+// arithmetic untouched, so results are bitwise identical at any thread
+// count.
+//
+// Determinism contract: PRESERVED, not re-blessed. Every fused kernel
+// keeps each output element a single accumulator walked in the exact
+// term order of the per-home path (see kernels.hpp), every nonlinearity
+// is invoked with the identical per-row slice the per-home path uses,
+// and per-home loss/clip/Adam steps run in the same per-home sequence.
+// Fused and per-home training are bitwise interchangeable; the
+// equivalence is pinned by nn_fused_test across LSTM/GRU/MLP/DQN.
+//
+// All scratch lives in nn::Workspace slots (and capacity-reusing member
+// buffers), so steady-state fused batches of a stable shape perform no
+// heap allocation — the same zero-churn contract as the PR 4/5 paths,
+// pinned by the fused zero-alloc test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/matrix.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/workspace.hpp"
+
+namespace pfdrl::nn {
+
+class GruRegressor;
+class LstmRegressor;
+class Mlp;
+
+/// One member's row range inside a fused home-major slab. slices[i]
+/// covers rows [row_begin, row_begin + rows) and belongs to nets[i].
+struct FusedSlice {
+  std::size_t row_begin = 0;
+  std::size_t rows = 0;
+};
+
+/// Process-wide fused-batch telemetry (exported by the obs layer as
+/// `nn.fused_homes` — high-water group members per fused batch — and
+/// `nn.fused_batch_rows` — cumulative slab rows trained). One relaxed
+/// atomic update per fused batch.
+void note_fused_batch(std::size_t members, std::size_t rows) noexcept;
+[[nodiscard]] std::uint64_t total_fused_batches() noexcept;
+[[nodiscard]] std::uint64_t total_fused_rows() noexcept;
+[[nodiscard]] std::uint64_t max_fused_members() noexcept;
+
+/// Fused multi-home LSTM trainer. One train_batch call runs forward +
+/// per-slice loss + BPTT + per-home clip/Adam for every member over the
+/// shared slab — bitwise identical to calling nets[i]->train_batch on
+/// slice i's rows alone.
+class FusedLstm {
+ public:
+  /// xs[t] is the total_rows x F step-t slab; y is total_rows x O.
+  /// nets/slices/opts/losses are parallel arrays (losses receives each
+  /// member's batch loss). All nets must share (F, H, O).
+  void train_batch(std::span<LstmRegressor* const> nets,
+                   std::span<const FusedSlice> slices,
+                   std::span<const Matrix* const> xs, const Matrix& y,
+                   LossKind loss, std::span<Optimizer* const> opts,
+                   std::span<double> losses, double clip_norm = 5.0);
+
+ private:
+  Workspace ws_;
+  // Per-step slab pointers into ws_ (stable addresses; rebuilt per batch).
+  std::vector<Matrix*> gates_, c_, tanh_c_, h_;
+  // Per-member gradient arena (member count x parameter count), zeroed
+  // per batch with capacity reuse.
+  std::vector<double> grads_;
+};
+
+/// Fused multi-home GRU trainer; same contract as FusedLstm.
+class FusedGru {
+ public:
+  void train_batch(std::span<GruRegressor* const> nets,
+                   std::span<const FusedSlice> slices,
+                   std::span<const Matrix* const> xs, const Matrix& y,
+                   LossKind loss, std::span<Optimizer* const> opts,
+                   std::span<double> losses, double clip_norm = 5.0);
+
+ private:
+  Workspace ws_;
+  std::vector<Matrix*> gates_, h_;
+  std::vector<double> grads_;
+};
+
+/// Fused multi-home MLP: shared activation slabs, per-home weight banks.
+/// forward() caches slab activations for backward(); backward()
+/// accumulates each member's gradients into that member's own
+/// Mlp::gradients() buffer (callers zero_grad and step per member, the
+/// same sequence the per-home path runs). All nets must share
+/// architecture (Mlp::same_architecture).
+class FusedMlp {
+ public:
+  const Matrix& forward(std::span<Mlp* const> nets,
+                        std::span<const FusedSlice> slices, const Matrix& x);
+  void backward(std::span<Mlp* const> nets, std::span<const FusedSlice> slices,
+                Matrix& grad_out);
+  /// Forward + per-slice loss + backward + per-member optimizer step.
+  void train_batch(std::span<Mlp* const> nets,
+                   std::span<const FusedSlice> slices, const Matrix& x,
+                   const Matrix& y, LossKind loss,
+                   std::span<Optimizer* const> opts, std::span<double> losses);
+
+ private:
+  Workspace ws_;
+  std::vector<Matrix*> acts_;  // acts_[i] = layer i output slab (1-based)
+  std::vector<Matrix*> grad_slabs_;  // backward delta slab per layer (l >= 1)
+  const Matrix* input_ = nullptr;
+};
+
+}  // namespace pfdrl::nn

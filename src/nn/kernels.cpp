@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cmath>
 
+#include "nn/fused.hpp"
+
 #if defined(__AVX2__) && defined(PFDRL_HAVE_LIBMVEC)
 #include <immintrin.h>
 // glibc's x86-64 vector-math entry points (4-wide double, AVX2 width).
@@ -86,3 +88,36 @@ void note_train_batch() noexcept {
 }
 
 }  // namespace pfdrl::nn::kernels
+
+// Fused-batch telemetry (declared in nn/fused.hpp). Defined here, next
+// to the train-batch counter, so translation units that link metrics
+// recording without the fused engines (the sanitizer stress jobs build
+// kernels.cpp + metrics.cpp directly) still resolve these symbols.
+namespace pfdrl::nn {
+
+namespace {
+std::atomic<std::uint64_t> g_fused_batches{0};
+std::atomic<std::uint64_t> g_fused_rows{0};
+std::atomic<std::uint64_t> g_fused_members_hw{0};
+}  // namespace
+
+void note_fused_batch(std::size_t members, std::size_t rows) noexcept {
+  g_fused_batches.fetch_add(1, std::memory_order_relaxed);
+  g_fused_rows.fetch_add(rows, std::memory_order_relaxed);
+  std::uint64_t hw = g_fused_members_hw.load(std::memory_order_relaxed);
+  while (members > hw && !g_fused_members_hw.compare_exchange_weak(
+                             hw, members, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t total_fused_batches() noexcept {
+  return g_fused_batches.load(std::memory_order_relaxed);
+}
+std::uint64_t total_fused_rows() noexcept {
+  return g_fused_rows.load(std::memory_order_relaxed);
+}
+std::uint64_t max_fused_members() noexcept {
+  return g_fused_members_hw.load(std::memory_order_relaxed);
+}
+
+}  // namespace pfdrl::nn

@@ -35,6 +35,10 @@
 #include <cstddef>
 #include <cstdint>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 namespace pfdrl::nn::kernels {
 
 /// Lane count of the strip-mined reduction (one AVX2 register of
@@ -72,6 +76,415 @@ inline void outer_acc(const double* __restrict x, std::size_t m,
                       const double* __restrict d, std::size_t n,
                       double* __restrict g) noexcept {
   for (std::size_t k = 0; k < m; ++k) axpy(x[k], d, g + k * n, n);
+}
+
+/// Row block width of the fused cross-home kernels below. Four rows share
+/// one weight stream: a register tile of kRowBlock x (a few columns)
+/// accumulators turns the per-row axpy read-modify-write sweeps into
+/// load-once/store-once tiles. Unlike kLanes this is not a reduction
+/// order knob — the fused kernels keep every output element a single
+/// accumulator, so changing it would not require a golden re-bless.
+inline constexpr std::size_t kRowBlock = 4;
+
+/// Fused-batch accumulate for a block of kRowBlock rows sharing one
+/// weight matrix: z[r][j] += sum_k x[r][k] * w[k * w_stride + j] for
+/// j in [0, n), with each (r, j) element a SINGLE accumulator initialized
+/// from the stored z value and advanced in ascending k. That is exactly
+/// the rounding sequence of running axpy(x[r][k], w + k * w_stride,
+/// z[r], n) over k for each row separately — so the fused training path
+/// is bitwise identical to the per-home path (docs/fused_training.md) —
+/// while the weight row is streamed once per 4 rows and z is touched
+/// twice per tile instead of once per k-term.
+/// `w_stride` >= n lets callers accumulate into a column window of a
+/// wider gate matrix (the GRU candidate block). x rows, w and z rows must
+/// not overlap.
+inline void fused_acc_rows(const double* const* x, std::size_t m,
+                           const double* w, std::size_t w_stride,
+                           double* const* z, std::size_t n) noexcept {
+#if defined(__AVX2__)
+  // Explicit mul-then-add intrinsics (never fmadd): per element the
+  // arithmetic sequence is exactly the scalar path's, lanes are
+  // independent elements, so this is bitwise the generic code below.
+  // Spelled out because the 4x8 accumulator tile must live in ymm
+  // registers; the scalar-array form spills under -ffp-contract=off.
+  {
+    const double* __restrict x0 = x[0];
+    const double* __restrict x1 = x[1];
+    const double* __restrict x2 = x[2];
+    const double* __restrict x3 = x[3];
+    double* __restrict z0 = z[0];
+    double* __restrict z1 = z[1];
+    double* __restrict z2 = z[2];
+    double* __restrict z3 = z[3];
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256d a00 = _mm256_loadu_pd(z0 + j), a01 = _mm256_loadu_pd(z0 + j + 4);
+      __m256d a10 = _mm256_loadu_pd(z1 + j), a11 = _mm256_loadu_pd(z1 + j + 4);
+      __m256d a20 = _mm256_loadu_pd(z2 + j), a21 = _mm256_loadu_pd(z2 + j + 4);
+      __m256d a30 = _mm256_loadu_pd(z3 + j), a31 = _mm256_loadu_pd(z3 + j + 4);
+      const double* wk = w + j;
+      for (std::size_t k = 0; k < m; ++k, wk += w_stride) {
+        const __m256d w0 = _mm256_loadu_pd(wk);
+        const __m256d w1 = _mm256_loadu_pd(wk + 4);
+        __m256d b = _mm256_set1_pd(x0[k]);
+        a00 = _mm256_add_pd(a00, _mm256_mul_pd(b, w0));
+        a01 = _mm256_add_pd(a01, _mm256_mul_pd(b, w1));
+        b = _mm256_set1_pd(x1[k]);
+        a10 = _mm256_add_pd(a10, _mm256_mul_pd(b, w0));
+        a11 = _mm256_add_pd(a11, _mm256_mul_pd(b, w1));
+        b = _mm256_set1_pd(x2[k]);
+        a20 = _mm256_add_pd(a20, _mm256_mul_pd(b, w0));
+        a21 = _mm256_add_pd(a21, _mm256_mul_pd(b, w1));
+        b = _mm256_set1_pd(x3[k]);
+        a30 = _mm256_add_pd(a30, _mm256_mul_pd(b, w0));
+        a31 = _mm256_add_pd(a31, _mm256_mul_pd(b, w1));
+      }
+      _mm256_storeu_pd(z0 + j, a00);
+      _mm256_storeu_pd(z0 + j + 4, a01);
+      _mm256_storeu_pd(z1 + j, a10);
+      _mm256_storeu_pd(z1 + j + 4, a11);
+      _mm256_storeu_pd(z2 + j, a20);
+      _mm256_storeu_pd(z2 + j + 4, a21);
+      _mm256_storeu_pd(z3 + j, a30);
+      _mm256_storeu_pd(z3 + j + 4, a31);
+    }
+    for (; j < n; ++j) {
+      double a0 = z0[j], a1 = z1[j], a2 = z2[j], a3 = z3[j];
+      const double* wk = w + j;
+      for (std::size_t k = 0; k < m; ++k, wk += w_stride) {
+        const double wv = *wk;
+        a0 += x0[k] * wv;
+        a1 += x1[k] * wv;
+        a2 += x2[k] * wv;
+        a3 += x3[k] * wv;
+      }
+      z0[j] = a0;
+      z1[j] = a1;
+      z2[j] = a2;
+      z3[j] = a3;
+    }
+    return;
+  }
+#endif
+  const double* __restrict x0 = x[0];
+  const double* __restrict x1 = x[1];
+  const double* __restrict x2 = x[2];
+  const double* __restrict x3 = x[3];
+  double* __restrict z0 = z[0];
+  double* __restrict z1 = z[1];
+  double* __restrict z2 = z[2];
+  double* __restrict z3 = z[3];
+  constexpr std::size_t kTile = 8;  // 2 AVX2 registers of doubles per row
+  std::size_t j = 0;
+  for (; j + kTile <= n; j += kTile) {
+    double a0[kTile], a1[kTile], a2[kTile], a3[kTile];
+    for (std::size_t t = 0; t < kTile; ++t) {
+      a0[t] = z0[j + t];
+      a1[t] = z1[j + t];
+      a2[t] = z2[j + t];
+      a3[t] = z3[j + t];
+    }
+    const double* wk = w + j;
+    for (std::size_t k = 0; k < m; ++k, wk += w_stride) {
+      const double b0 = x0[k], b1 = x1[k], b2 = x2[k], b3 = x3[k];
+      for (std::size_t t = 0; t < kTile; ++t) {
+        const double wv = wk[t];
+        a0[t] += b0 * wv;
+        a1[t] += b1 * wv;
+        a2[t] += b2 * wv;
+        a3[t] += b3 * wv;
+      }
+    }
+    for (std::size_t t = 0; t < kTile; ++t) {
+      z0[j + t] = a0[t];
+      z1[j + t] = a1[t];
+      z2[j + t] = a2[t];
+      z3[j + t] = a3[t];
+    }
+  }
+  for (; j < n; ++j) {
+    double a0 = z0[j], a1 = z1[j], a2 = z2[j], a3 = z3[j];
+    const double* wk = w + j;
+    for (std::size_t k = 0; k < m; ++k, wk += w_stride) {
+      const double wv = *wk;
+      a0 += x0[k] * wv;
+      a1 += x1[k] * wv;
+      a2 += x2[k] * wv;
+      a3 += x3[k] * wv;
+    }
+    z0[j] = a0;
+    z1[j] = a1;
+    z2[j] = a2;
+    z3[j] = a3;
+  }
+}
+
+/// Fused outer-product accumulate for a block of kRowBlock rows into one
+/// shared gradient matrix: g[k * g_stride + j] += x[r][k] * d[r][j],
+/// applied for r = 0..3 as SEQUENTIAL separate roundings in ascending r
+/// per element — bitwise identical to calling outer_acc(x[r], m, d[r],
+/// n, g) for each row in order, with g loaded and stored once per
+/// element instead of once per row.
+inline void fused_outer_acc_rows(const double* const* x, std::size_t m,
+                                 const double* const* d, std::size_t n,
+                                 double* g, std::size_t g_stride) noexcept {
+#if defined(__AVX2__)
+  // Same mul-then-add element order as the generic path (r ascending
+  // per element), vectorized 4 columns wide.
+  {
+    const double* __restrict d0 = d[0];
+    const double* __restrict d1 = d[1];
+    const double* __restrict d2 = d[2];
+    const double* __restrict d3 = d[3];
+    for (std::size_t k = 0; k < m; ++k) {
+      double* __restrict gk = g + k * g_stride;
+      const __m256d b0 = _mm256_set1_pd(x[0][k]);
+      const __m256d b1 = _mm256_set1_pd(x[1][k]);
+      const __m256d b2 = _mm256_set1_pd(x[2][k]);
+      const __m256d b3 = _mm256_set1_pd(x[3][k]);
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        __m256d acc = _mm256_loadu_pd(gk + j);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(b0, _mm256_loadu_pd(d0 + j)));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(b1, _mm256_loadu_pd(d1 + j)));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(b2, _mm256_loadu_pd(d2 + j)));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(b3, _mm256_loadu_pd(d3 + j)));
+        _mm256_storeu_pd(gk + j, acc);
+      }
+      const double s0 = x[0][k], s1 = x[1][k], s2 = x[2][k], s3 = x[3][k];
+      for (; j < n; ++j) {
+        double acc = gk[j];
+        acc += s0 * d0[j];
+        acc += s1 * d1[j];
+        acc += s2 * d2[j];
+        acc += s3 * d3[j];
+        gk[j] = acc;
+      }
+    }
+    return;
+  }
+#endif
+  const double* __restrict d0 = d[0];
+  const double* __restrict d1 = d[1];
+  const double* __restrict d2 = d[2];
+  const double* __restrict d3 = d[3];
+  for (std::size_t k = 0; k < m; ++k) {
+    double* __restrict gk = g + k * g_stride;
+    const double b0 = x[0][k], b1 = x[1][k], b2 = x[2][k], b3 = x[3][k];
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = gk[j];
+      acc += b0 * d0[j];
+      acc += b1 * d1[j];
+      acc += b2 * d2[j];
+      acc += b3 * d3[j];
+      gk[j] = acc;
+    }
+  }
+}
+
+/// Fused bias accumulate: b[j] += d[r][j] for r = 0..3 as sequential
+/// separate roundings in ascending r — bitwise identical to the per-row
+/// bias loops it replaces.
+/// Full gate-preactivation tile for a block of kRowBlock rows:
+/// z[r][j] = b[j] + sum_k x[r][k] * wx[k * w_stride + j]
+///                + sum_k hp[r][k] * wh[k * w_stride + j]
+/// with every (r, j) element one accumulator initialized from the bias
+/// and advanced wx terms first then wh terms, each in ascending k — the
+/// exact rounding sequence of writing the bias row and running the two
+/// axpy sweeps separately. The AVX2 path keeps the whole 4x8 tile in
+/// registers across BOTH weight passes, so z is stored exactly once per
+/// tile instead of round-tripping between the bias fill and each
+/// accumulate pass. Pass hm == 0 to skip the second matrix (dense
+/// layers).
+inline void fused_gates_rows(const double* b, const double* const* x,
+                             std::size_t fm, const double* wx,
+                             const double* const* hp, std::size_t hm,
+                             const double* wh, std::size_t w_stride,
+                             double* const* z, std::size_t n) noexcept {
+#if defined(__AVX2__)
+  {
+    const double* __restrict x0 = x[0];
+    const double* __restrict x1 = x[1];
+    const double* __restrict x2 = x[2];
+    const double* __restrict x3 = x[3];
+    double* __restrict z0 = z[0];
+    double* __restrict z1 = z[1];
+    double* __restrict z2 = z[2];
+    double* __restrict z3 = z[3];
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256d b0 = _mm256_loadu_pd(b + j);
+      const __m256d b1 = _mm256_loadu_pd(b + j + 4);
+      __m256d a00 = b0, a01 = b1;
+      __m256d a10 = b0, a11 = b1;
+      __m256d a20 = b0, a21 = b1;
+      __m256d a30 = b0, a31 = b1;
+      const double* wk = wx + j;
+      for (std::size_t k = 0; k < fm; ++k, wk += w_stride) {
+        const __m256d w0 = _mm256_loadu_pd(wk);
+        const __m256d w1 = _mm256_loadu_pd(wk + 4);
+        __m256d s = _mm256_set1_pd(x0[k]);
+        a00 = _mm256_add_pd(a00, _mm256_mul_pd(s, w0));
+        a01 = _mm256_add_pd(a01, _mm256_mul_pd(s, w1));
+        s = _mm256_set1_pd(x1[k]);
+        a10 = _mm256_add_pd(a10, _mm256_mul_pd(s, w0));
+        a11 = _mm256_add_pd(a11, _mm256_mul_pd(s, w1));
+        s = _mm256_set1_pd(x2[k]);
+        a20 = _mm256_add_pd(a20, _mm256_mul_pd(s, w0));
+        a21 = _mm256_add_pd(a21, _mm256_mul_pd(s, w1));
+        s = _mm256_set1_pd(x3[k]);
+        a30 = _mm256_add_pd(a30, _mm256_mul_pd(s, w0));
+        a31 = _mm256_add_pd(a31, _mm256_mul_pd(s, w1));
+      }
+      if (hm != 0) {
+        const double* __restrict h0 = hp[0];
+        const double* __restrict h1 = hp[1];
+        const double* __restrict h2 = hp[2];
+        const double* __restrict h3 = hp[3];
+        const double* whk = wh + j;
+        for (std::size_t k = 0; k < hm; ++k, whk += w_stride) {
+          const __m256d w0 = _mm256_loadu_pd(whk);
+          const __m256d w1 = _mm256_loadu_pd(whk + 4);
+          __m256d s = _mm256_set1_pd(h0[k]);
+          a00 = _mm256_add_pd(a00, _mm256_mul_pd(s, w0));
+          a01 = _mm256_add_pd(a01, _mm256_mul_pd(s, w1));
+          s = _mm256_set1_pd(h1[k]);
+          a10 = _mm256_add_pd(a10, _mm256_mul_pd(s, w0));
+          a11 = _mm256_add_pd(a11, _mm256_mul_pd(s, w1));
+          s = _mm256_set1_pd(h2[k]);
+          a20 = _mm256_add_pd(a20, _mm256_mul_pd(s, w0));
+          a21 = _mm256_add_pd(a21, _mm256_mul_pd(s, w1));
+          s = _mm256_set1_pd(h3[k]);
+          a30 = _mm256_add_pd(a30, _mm256_mul_pd(s, w0));
+          a31 = _mm256_add_pd(a31, _mm256_mul_pd(s, w1));
+        }
+      }
+      _mm256_storeu_pd(z0 + j, a00);
+      _mm256_storeu_pd(z0 + j + 4, a01);
+      _mm256_storeu_pd(z1 + j, a10);
+      _mm256_storeu_pd(z1 + j + 4, a11);
+      _mm256_storeu_pd(z2 + j, a20);
+      _mm256_storeu_pd(z2 + j + 4, a21);
+      _mm256_storeu_pd(z3 + j, a30);
+      _mm256_storeu_pd(z3 + j + 4, a31);
+    }
+    for (; j < n; ++j) {
+      double a0 = b[j], a1 = b[j], a2 = b[j], a3 = b[j];
+      const double* wk = wx + j;
+      for (std::size_t k = 0; k < fm; ++k, wk += w_stride) {
+        const double wv = *wk;
+        a0 += x0[k] * wv;
+        a1 += x1[k] * wv;
+        a2 += x2[k] * wv;
+        a3 += x3[k] * wv;
+      }
+      if (hm != 0) {
+        const double* whk = wh + j;
+        for (std::size_t k = 0; k < hm; ++k, whk += w_stride) {
+          const double wv = *whk;
+          a0 += hp[0][k] * wv;
+          a1 += hp[1][k] * wv;
+          a2 += hp[2][k] * wv;
+          a3 += hp[3][k] * wv;
+        }
+      }
+      z0[j] = a0;
+      z1[j] = a1;
+      z2[j] = a2;
+      z3[j] = a3;
+    }
+    return;
+  }
+#endif
+  for (std::size_t r = 0; r < kRowBlock; ++r) {
+    for (std::size_t j = 0; j < n; ++j) z[r][j] = b[j];
+  }
+  fused_acc_rows(x, fm, wx, w_stride, z, n);
+  if (hm != 0) fused_acc_rows(hp, hm, wh, w_stride, z, n);
+}
+
+/// Four dot products sharing one right-hand vector: out[r] =
+/// dot(d[r], y, n) for r = 0..3, with each dot using the EXACT lane
+/// decomposition and combine order of kernels::dot — lane m sums terms
+/// k = m (mod 4) in ascending k, combined as ((l0 + l1) + (l2 + l3)) +
+/// tail — so the results are bitwise identical to four dot() calls
+/// while y is streamed once instead of four times.
+inline void fused_dot_rows(const double* const* d, const double* y,
+                           std::size_t n, double* out) noexcept {
+#if defined(__AVX2__)
+  {
+    const double* __restrict d0 = d[0];
+    const double* __restrict d1 = d[1];
+    const double* __restrict d2 = d[2];
+    const double* __restrict d3 = d[3];
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    std::size_t k = 0;
+    for (; k + kLanes <= n; k += kLanes) {
+      const __m256d yv = _mm256_loadu_pd(y + k);
+      a0 = _mm256_add_pd(a0, _mm256_mul_pd(_mm256_loadu_pd(d0 + k), yv));
+      a1 = _mm256_add_pd(a1, _mm256_mul_pd(_mm256_loadu_pd(d1 + k), yv));
+      a2 = _mm256_add_pd(a2, _mm256_mul_pd(_mm256_loadu_pd(d2 + k), yv));
+      a3 = _mm256_add_pd(a3, _mm256_mul_pd(_mm256_loadu_pd(d3 + k), yv));
+    }
+    // Combine lanes in dot()'s fixed order: ((l0 + l1) + (l2 + l3)).
+    alignas(32) double l[kLanes];
+    const __m256d acc[kRowBlock] = {a0, a1, a2, a3};
+    for (std::size_t r = 0; r < kRowBlock; ++r) {
+      _mm256_store_pd(l, acc[r]);
+      double v = (l[0] + l[1]) + (l[2] + l[3]);
+      double tail = 0.0;
+      for (std::size_t t = k; t < n; ++t) tail += d[r][t] * y[t];
+      out[r] = v + tail;
+    }
+    return;
+  }
+#endif
+  for (std::size_t r = 0; r < kRowBlock; ++r) out[r] = dot(d[r], y, n);
+}
+
+inline void fused_bias_acc_rows(const double* const* d, std::size_t n,
+                                double* b) noexcept {
+#if defined(__AVX2__)
+  {
+    const double* __restrict d0 = d[0];
+    const double* __restrict d1 = d[1];
+    const double* __restrict d2 = d[2];
+    const double* __restrict d3 = d[3];
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      __m256d acc = _mm256_loadu_pd(b + j);
+      acc = _mm256_add_pd(acc, _mm256_loadu_pd(d0 + j));
+      acc = _mm256_add_pd(acc, _mm256_loadu_pd(d1 + j));
+      acc = _mm256_add_pd(acc, _mm256_loadu_pd(d2 + j));
+      acc = _mm256_add_pd(acc, _mm256_loadu_pd(d3 + j));
+      _mm256_storeu_pd(b + j, acc);
+    }
+    for (; j < n; ++j) {
+      double acc = b[j];
+      acc += d0[j];
+      acc += d1[j];
+      acc += d2[j];
+      acc += d3[j];
+      b[j] = acc;
+    }
+    return;
+  }
+#endif
+  const double* __restrict d0 = d[0];
+  const double* __restrict d1 = d[1];
+  const double* __restrict d2 = d[2];
+  const double* __restrict d3 = d[3];
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = b[j];
+    acc += d0[j];
+    acc += d1[j];
+    acc += d2[j];
+    acc += d3[j];
+    b[j] = acc;
+  }
 }
 
 /// x[j] = 1 / (1 + exp(-x[j])) for j in [0, n). Batched so the whole

@@ -75,6 +75,71 @@ void loss_grad(LossKind kind, const Matrix& pred, const Matrix& target,
   }
 }
 
+double loss_value_rows(LossKind kind, const Matrix& pred,
+                       const Matrix& target, std::size_t row_begin,
+                       std::size_t rows, double huber_delta) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  assert(row_begin + rows <= pred.rows());
+  const std::size_t begin = row_begin * pred.cols();
+  const std::size_t count = rows * pred.cols();
+  const auto ps = pred.data().subspan(begin, count);
+  const auto ts = target.data().subspan(begin, count);
+  if (ps.empty()) return 0.0;
+  const auto n = static_cast<double>(ps.size());
+  double total = 0.0;
+  switch (kind) {
+    case LossKind::kMse:
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        const double e = ps[i] - ts[i];
+        total += e * e;
+      }
+      return total / n;
+    case LossKind::kMae:
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        total += std::abs(ps[i] - ts[i]);
+      }
+      return total / n;
+    case LossKind::kHuber:
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        total += huber(ps[i] - ts[i], huber_delta);
+      }
+      return total / n;
+  }
+  return 0.0;
+}
+
+void loss_grad_rows(LossKind kind, const Matrix& pred, const Matrix& target,
+                    std::size_t row_begin, std::size_t rows, Matrix& grad,
+                    double huber_delta) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  assert(grad.rows() == pred.rows() && grad.cols() == pred.cols());
+  assert(row_begin + rows <= pred.rows());
+  const std::size_t begin = row_begin * pred.cols();
+  const std::size_t count = rows * pred.cols();
+  const auto ps = pred.data().subspan(begin, count);
+  const auto ts = target.data().subspan(begin, count);
+  auto gs = grad.data().subspan(begin, count);
+  const double inv_n = ps.empty() ? 0.0 : 1.0 / static_cast<double>(ps.size());
+  switch (kind) {
+    case LossKind::kMse:
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        gs[i] = 2.0 * (ps[i] - ts[i]) * inv_n;
+      }
+      break;
+    case LossKind::kMae:
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        const double e = ps[i] - ts[i];
+        gs[i] = (e > 0.0 ? 1.0 : (e < 0.0 ? -1.0 : 0.0)) * inv_n;
+      }
+      break;
+    case LossKind::kHuber:
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        gs[i] = huber_grad(ps[i] - ts[i], huber_delta) * inv_n;
+      }
+      break;
+  }
+}
+
 const char* loss_name(LossKind kind) noexcept {
   switch (kind) {
     case LossKind::kMse: return "mse";

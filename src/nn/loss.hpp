@@ -18,6 +18,22 @@ double loss_value(LossKind kind, const Matrix& pred, const Matrix& target,
 void loss_grad(LossKind kind, const Matrix& pred, const Matrix& target,
                Matrix& grad, double huber_delta = 1.0);
 
+/// Mean loss over the row range [row_begin, row_begin + rows) only — the
+/// fused cross-home path normalizes each home's slab slice by its own
+/// element count, so the value is bitwise identical to loss_value over
+/// that home's standalone batch (rows are contiguous and iterated in the
+/// same ascending element order).
+double loss_value_rows(LossKind kind, const Matrix& pred,
+                       const Matrix& target, std::size_t row_begin,
+                       std::size_t rows, double huber_delta = 1.0);
+
+/// loss_grad over the row range [row_begin, row_begin + rows): writes
+/// d(mean slice loss)/d(pred) into the same rows of `grad` (which must
+/// already have pred's shape) and leaves the other rows untouched.
+void loss_grad_rows(LossKind kind, const Matrix& pred, const Matrix& target,
+                    std::size_t row_begin, std::size_t rows, Matrix& grad,
+                    double huber_delta = 1.0);
+
 /// Scalar Huber loss (exposed for tests and the RL temporal-difference
 /// error path, which operates on single Q-values).
 double huber(double error, double delta = 1.0) noexcept;

@@ -38,6 +38,12 @@ class Mlp {
   [[nodiscard]] const std::vector<std::size_t>& dims() const noexcept {
     return dims_;
   }
+  [[nodiscard]] Activation hidden_activation() const noexcept {
+    return hidden_act_;
+  }
+  [[nodiscard]] Activation output_activation() const noexcept {
+    return output_act_;
+  }
 
   [[nodiscard]] std::size_t parameter_count() const noexcept {
     return params_.size();

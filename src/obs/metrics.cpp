@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/fused.hpp"
 #include "nn/kernels.hpp"
 #include "nn/workspace.hpp"
 
@@ -459,6 +460,13 @@ void record_nn_kernel_stats(MetricsRegistry& registry) {
       .set(static_cast<double>(nn::kernels::kLanes));
   registry.gauge("nn.kernel_vector_math")
       .set(nn::kernels::vector_math_active() ? 1.0 : 0.0);
+}
+
+void record_nn_fused_stats(MetricsRegistry& registry) {
+  registry.counter("nn.fused_batches").set(nn::total_fused_batches());
+  registry.counter("nn.fused_batch_rows").set(nn::total_fused_rows());
+  registry.gauge("nn.fused_homes")
+      .set(static_cast<double>(nn::max_fused_members()));
 }
 
 }  // namespace pfdrl::obs

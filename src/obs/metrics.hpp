@@ -263,4 +263,12 @@ void record_nn_workspace_stats(MetricsRegistry& registry);
 /// (set, not add) so it can run after every round.
 void record_nn_kernel_stats(MetricsRegistry& registry);
 
+/// Fold the process-wide fused-batch telemetry (nn/fused.hpp) into an
+/// `nn.fused_batches` counter (fused train steps), an
+/// `nn.fused_batch_rows` counter (cumulative slab rows trained fused),
+/// and an `nn.fused_homes` gauge (high-water group members per fused
+/// batch — 0 when every batch ran the per-home path). Idempotent (set,
+/// not add) so it can run after every round.
+void record_nn_fused_stats(MetricsRegistry& registry);
+
 }  // namespace pfdrl::obs

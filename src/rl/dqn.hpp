@@ -117,6 +117,11 @@ class DqnAgent {
   void restore_state(const DqnAgentState& state);
 
  private:
+  // The fused cross-home learner (rl/fused.hpp) replays this agent's
+  // learn() sequence against shared slabs; it needs the same private
+  // state learn() touches.
+  friend class FusedDqnLearner;
+
   /// Single-state forward through the workspace; returns the Q-row, which
   /// lives in ws_ until the next q_row()/learn() call.
   [[nodiscard]] std::span<const double> q_row(

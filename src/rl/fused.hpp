@@ -1,0 +1,66 @@
+// Cross-home fused DQN learning (docs/fused_training.md).
+//
+// Every residence runs the same Q-network architecture, so one EMS learn
+// tick across a group of homes is N identical tiny minibatches. The
+// fused learner stacks the group's replay minibatches into home-major
+// state/next-state slabs and drives them through three shared
+// nn::FusedMlp passes (target bootstrap, optional double-DQN online
+// bootstrap, online forward/backward) against each agent's own
+// parameter bank, then scatters per-agent TD gradients back into each
+// agent's own Adam state.
+//
+// Determinism contract: PRESERVED. Per agent, the operation sequence is
+// exactly DqnAgent::learn() — the replay-not-full gate fires before any
+// RNG use, sample_into consumes the agent's own RNG identically, every
+// matmul slice is bitwise the per-home kernel result (nn/fused.hpp), the
+// TD target/Huber-gradient arithmetic is per-row, and clip-free
+// zero_grad/backward/step/target-sync run per agent in group order.
+// Fused and per-agent learning are bitwise interchangeable (pinned by
+// rl_dqn_test's fused equivalence cases).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/fused.hpp"
+#include "nn/matrix.hpp"
+#include "rl/dqn.hpp"
+
+namespace pfdrl::rl {
+
+/// Fused multi-agent DQN learner. One learn() call performs one
+/// DqnAgent::learn() step for every agent in the group, bitwise
+/// identical to calling agents[i]->learn() in order.
+class FusedDqnLearner {
+ public:
+  /// Runs one fused learn step. `losses` is parallel to `agents` and
+  /// receives each agent's TD loss (0.0 for agents whose replay buffer
+  /// is still warming up — those agents are skipped without touching
+  /// their RNG, matching the per-agent early return).
+  ///
+  /// Returns false — with no agent state touched — when the group is not
+  /// fusable (mismatched state/action dims, batch sizes, double-DQN
+  /// settings, or network architectures); the caller must fall back to
+  /// per-agent learn().
+  bool learn(std::span<DqnAgent* const> agents, std::span<double> losses);
+
+ private:
+  // Shared forward engines. Separate instances because each caches its
+  // own activation slabs: the target and double-DQN bootstrap passes
+  // must not disturb the online pass's backward caches.
+  nn::FusedMlp target_fwd_;
+  nn::FusedMlp online_next_;
+  nn::FusedMlp online_;
+  // Capacity-reusing assembly buffers (steady-state learn() calls of a
+  // stable group shape allocate nothing).
+  nn::Matrix states_;
+  nn::Matrix next_states_;
+  nn::Matrix grad_;
+  std::vector<std::size_t> active_;  // indices into `agents`
+  std::vector<nn::Mlp*> online_nets_;
+  std::vector<nn::Mlp*> target_nets_;
+  std::vector<nn::FusedSlice> slices_;
+};
+
+}  // namespace pfdrl::rl

@@ -212,6 +212,47 @@ TEST(Pipeline, LearnCadenceAndAccountingFollowMeterInterval) {
   EXPECT_EQ(reg.histogram("ems.round_seconds").count(), 2u);
 }
 
+// The fused-training contract end-to-end (docs/fused_training.md):
+// fuse_homes > 1 runs EMS rounds in cross-home lockstep (stacked DQN
+// learn slabs) and fuses DFL forecast minibatches, but every agent
+// parameter and every evaluation number must stay bitwise identical to
+// the legacy per-home pipeline — with and without sharding on top.
+TEST(Pipeline, FusedHomesBitwiseMatchesLegacy) {
+  const auto scenario = tiny();
+  const std::size_t day = data::kMinutesPerDay;
+  const auto run = [&](std::size_t fuse_homes, std::size_t shards,
+                       forecast::Method fm) {
+    auto cfg = tiny_pipeline(EmsMethod::kPfdrl);
+    cfg.forecast_method = fm;
+    cfg.fuse_homes = fuse_homes;
+    cfg.shards = shards;
+    EmsPipeline pipeline(scenario.traces, cfg);
+    pipeline.train_forecasters(0, day);
+    pipeline.train_ems(day, 2 * day);
+    std::vector<double> fingerprint;
+    for (std::size_t h = 0; h < scenario.traces.size(); ++h) {
+      for (std::size_t d = 0; d < scenario.traces[h].devices.size(); ++d) {
+        const auto* agent = pipeline.agent_ptr(h, d);
+        if (agent == nullptr) continue;
+        const auto p = agent->network().parameters();
+        fingerprint.insert(fingerprint.end(), p.begin(), p.end());
+      }
+    }
+    for (const auto& r : pipeline.evaluate(day, 2 * day)) {
+      fingerprint.push_back(r.total_reward);
+    }
+    return fingerprint;
+  };
+  // kLr forecasts: the DFL groups fall back per job (non-NN method), the
+  // EMS rounds fuse — covers the fallback seam.
+  const auto legacy_lr = run(0, 0, forecast::Method::kLr);
+  EXPECT_EQ(run(2, 0, forecast::Method::kLr), legacy_lr);
+  EXPECT_EQ(run(2, 2, forecast::Method::kLr), legacy_lr);
+  // kBp forecasts: both the forecast and the EMS fused paths engage.
+  const auto legacy_bp = run(0, 0, forecast::Method::kBp);
+  EXPECT_EQ(run(3, 0, forecast::Method::kBp), legacy_bp);
+}
+
 TEST(Pipeline, DeterministicAcrossRuns) {
   const auto scenario = tiny();
   const std::size_t day = data::kMinutesPerDay;

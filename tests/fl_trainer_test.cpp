@@ -248,6 +248,69 @@ TEST(DflTrainer, DeterministicAcrossRunsDespiteThreadPool) {
   EXPECT_EQ(run(), run());
 }
 
+// --- Cross-home fused training (docs/fused_training.md) ---------------
+
+namespace {
+
+/// Every forecaster parameter of every (home, device), flattened — the
+/// bitwise fingerprint the fused-vs-legacy comparisons use.
+std::vector<double> all_parameters(const DflTrainer& trainer,
+                                   const std::vector<data::HouseholdTrace>& traces) {
+  std::vector<double> all;
+  for (std::size_t h = 0; h < traces.size(); ++h) {
+    for (std::size_t d = 0; d < traces[h].devices.size(); ++d) {
+      const auto p = trainer.forecaster(h, d).parameters();
+      all.insert(all.end(), p.begin(), p.end());
+    }
+  }
+  return all;
+}
+
+}  // namespace
+
+// The fused-training contract at the DFL layer: fuse_homes > 1 gathers
+// cross-home minibatches into shared slabs, but the trained parameters
+// must stay bitwise identical to the legacy per-job path — at every
+// shard count, for each NN method.
+TEST(DflTrainer, FusedHomesBitwiseMatchesLegacy) {
+  const auto traces = small_traces(5, 2);
+  for (const auto method :
+       {forecast::Method::kBp, forecast::Method::kLstm, forecast::Method::kGru}) {
+    auto cfg = fast_dfl(AggregationMode::kDecentralized);
+    cfg.method = method;
+    cfg.train.epochs = 2;         // keep the recurrent methods quick
+    cfg.max_round_samples = 120;  // (explicit values win over defaults)
+    const auto run = [&](std::size_t fuse_homes, std::size_t shards) {
+      auto c = cfg;
+      c.fuse_homes = fuse_homes;
+      c.shards = shards;
+      DflTrainer trainer(traces, c);
+      trainer.run(0, data::kMinutesPerDay);
+      return all_parameters(trainer, traces);
+    };
+    const auto legacy = run(0, 0);
+    EXPECT_EQ(run(3, 0), legacy) << forecast::method_name(method);
+    EXPECT_EQ(run(16, 0), legacy) << forecast::method_name(method)
+                                  << " (one group spanning all homes)";
+    EXPECT_EQ(run(2, 2), legacy) << forecast::method_name(method)
+                                 << " (groups within shard boundaries)";
+  }
+}
+
+// Non-NN methods cannot fuse: the group trainer must refuse and the
+// per-job fallback must reproduce the legacy result bitwise (the forked
+// per-job RNGs are handed over unconsumed).
+TEST(DflTrainer, FusedFallbackForNonNnMethodsMatchesLegacy) {
+  const auto traces = small_traces(4, 1);
+  auto cfg = fast_dfl(AggregationMode::kDecentralized);  // kLr
+  DflTrainer legacy(traces, cfg);
+  legacy.run(0, data::kMinutesPerDay);
+  cfg.fuse_homes = 3;
+  DflTrainer fused(traces, cfg);
+  fused.run(0, data::kMinutesPerDay);
+  EXPECT_EQ(all_parameters(fused, traces), all_parameters(legacy, traces));
+}
+
 TEST(DflTrainer, SmallBatchCapOnlyAppliesToFederatedModes) {
   // The Local baseline trains on everything (Table 2: no small-batch
   // column); with BP this shows as a measurable accuracy edge for Local

@@ -1,0 +1,335 @@
+// Bitwise equivalence of the fused cross-home training path against the
+// per-home reference, plus the steady-state zero-alloc pin for the fused
+// assembly (docs/fused_training.md). These tests are the determinism
+// contract: fused and per-home training must be interchangeable down to
+// the last bit, so every EXPECT below compares doubles with EXPECT_EQ.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/fused.hpp"
+#include "nn/gru.hpp"
+#include "nn/kernels.hpp"
+#include "nn/lstm.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/workspace.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pfdrl::nn::Activation;
+using pfdrl::nn::Adam;
+using pfdrl::nn::FusedGru;
+using pfdrl::nn::FusedLstm;
+using pfdrl::nn::FusedMlp;
+using pfdrl::nn::FusedSlice;
+using pfdrl::nn::GruRegressor;
+using pfdrl::nn::InitScheme;
+using pfdrl::nn::LossKind;
+using pfdrl::nn::LstmRegressor;
+using pfdrl::nn::Matrix;
+using pfdrl::nn::Mlp;
+using pfdrl::util::Rng;
+
+void fill_random(Matrix& m, Rng& rng) {
+  for (double& v : m.data()) v = rng.uniform(-1.0, 1.0);
+}
+
+/// Home-major slab + slice table from per-home batches.
+struct Slab {
+  std::vector<FusedSlice> slices;
+  std::size_t total_rows = 0;
+};
+
+Slab make_slices(const std::vector<std::size_t>& batch_sizes) {
+  Slab s;
+  for (std::size_t bs : batch_sizes) {
+    s.slices.push_back({s.total_rows, bs});
+    s.total_rows += bs;
+  }
+  return s;
+}
+
+void copy_rows(const Matrix& src, Matrix& dst, std::size_t dst_begin) {
+  for (std::size_t r = 0; r < src.rows(); ++r) {
+    for (std::size_t c = 0; c < src.cols(); ++c) {
+      dst(dst_begin + r, c) = src(r, c);
+    }
+  }
+}
+
+void expect_bitwise_equal(std::span<const double> a, std::span<const double> b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " diverges at flat index " << i;
+  }
+}
+
+constexpr std::size_t kF = 3;     // features per step
+constexpr std::size_t kH = 10;    // hidden width (exercises j-tile tails)
+constexpr std::size_t kT = 5;     // sequence length
+constexpr std::size_t kRounds = 4;
+// Mixed batch sizes: multiples of the row block, remainders, and a
+// batch-1 member (the per-home matvec1 dispatch case for the MLP).
+const std::vector<std::size_t> kBatches = {5, 8, 1, 4, 7};
+
+TEST(NnFused, LstmBitwiseMatchesPerHome) {
+  Rng rng(1234);
+  const std::size_t members = kBatches.size();
+  std::vector<LstmRegressor> base;
+  base.reserve(members);
+  for (std::size_t i = 0; i < members; ++i) {
+    Rng init = rng.fork(100 + i);
+    base.emplace_back(kF, kH, 1, init);
+  }
+  std::vector<LstmRegressor> solo = base;  // per-home reference copies
+
+  const Slab slab = make_slices(kBatches);
+  FusedLstm fused;
+  std::vector<Adam> fused_opts(members, Adam(3e-3));
+  std::vector<Adam> solo_opts(members, Adam(3e-3));
+
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    // Per-home batches and the fused slab built from the same data.
+    std::vector<std::vector<Matrix>> xs(members);
+    std::vector<Matrix> ys(members);
+    std::vector<Matrix> slab_xs(kT);
+    Matrix slab_y(slab.total_rows, 1);
+    for (Matrix& m : slab_xs) m = Matrix(slab.total_rows, kF);
+    for (std::size_t i = 0; i < members; ++i) {
+      xs[i].resize(kT);
+      for (std::size_t t = 0; t < kT; ++t) {
+        xs[i][t] = Matrix(kBatches[i], kF);
+        fill_random(xs[i][t], rng);
+        copy_rows(xs[i][t], slab_xs[t], slab.slices[i].row_begin);
+      }
+      ys[i] = Matrix(kBatches[i], 1);
+      fill_random(ys[i], rng);
+      copy_rows(ys[i], slab_y, slab.slices[i].row_begin);
+    }
+
+    std::vector<double> solo_losses(members);
+    for (std::size_t i = 0; i < members; ++i) {
+      solo_losses[i] =
+          solo[i].train_batch(xs[i], ys[i], LossKind::kMae, solo_opts[i]);
+    }
+
+    std::vector<LstmRegressor*> nets;
+    std::vector<pfdrl::nn::Optimizer*> opts;
+    std::vector<const Matrix*> xs_ptrs;
+    for (std::size_t i = 0; i < members; ++i) {
+      nets.push_back(&base[i]);
+      opts.push_back(&fused_opts[i]);
+    }
+    for (const Matrix& m : slab_xs) xs_ptrs.push_back(&m);
+    std::vector<double> fused_losses(members);
+    fused.train_batch(nets, slab.slices, xs_ptrs, slab_y, LossKind::kMae,
+                      opts, fused_losses);
+
+    for (std::size_t i = 0; i < members; ++i) {
+      ASSERT_EQ(fused_losses[i], solo_losses[i]) << "round " << round;
+      expect_bitwise_equal(base[i].parameters(), solo[i].parameters(),
+                           "lstm params");
+    }
+  }
+}
+
+TEST(NnFused, GruBitwiseMatchesPerHome) {
+  Rng rng(987);
+  const std::size_t members = kBatches.size();
+  std::vector<GruRegressor> base;
+  base.reserve(members);
+  for (std::size_t i = 0; i < members; ++i) {
+    Rng init = rng.fork(200 + i);
+    base.emplace_back(kF, kH, 1, init);
+  }
+  std::vector<GruRegressor> solo = base;
+
+  const Slab slab = make_slices(kBatches);
+  FusedGru fused;
+  std::vector<Adam> fused_opts(members, Adam(3e-3));
+  std::vector<Adam> solo_opts(members, Adam(3e-3));
+
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    std::vector<std::vector<Matrix>> xs(members);
+    std::vector<Matrix> ys(members);
+    std::vector<Matrix> slab_xs(kT);
+    Matrix slab_y(slab.total_rows, 1);
+    for (Matrix& m : slab_xs) m = Matrix(slab.total_rows, kF);
+    for (std::size_t i = 0; i < members; ++i) {
+      xs[i].resize(kT);
+      for (std::size_t t = 0; t < kT; ++t) {
+        xs[i][t] = Matrix(kBatches[i], kF);
+        fill_random(xs[i][t], rng);
+        copy_rows(xs[i][t], slab_xs[t], slab.slices[i].row_begin);
+      }
+      ys[i] = Matrix(kBatches[i], 1);
+      fill_random(ys[i], rng);
+      copy_rows(ys[i], slab_y, slab.slices[i].row_begin);
+    }
+
+    std::vector<double> solo_losses(members);
+    for (std::size_t i = 0; i < members; ++i) {
+      solo_losses[i] =
+          solo[i].train_batch(xs[i], ys[i], LossKind::kMae, solo_opts[i]);
+    }
+
+    std::vector<GruRegressor*> nets;
+    std::vector<pfdrl::nn::Optimizer*> opts;
+    std::vector<const Matrix*> xs_ptrs;
+    for (std::size_t i = 0; i < members; ++i) {
+      nets.push_back(&base[i]);
+      opts.push_back(&fused_opts[i]);
+    }
+    for (const Matrix& m : slab_xs) xs_ptrs.push_back(&m);
+    std::vector<double> fused_losses(members);
+    fused.train_batch(nets, slab.slices, xs_ptrs, slab_y, LossKind::kMae,
+                      opts, fused_losses);
+
+    for (std::size_t i = 0; i < members; ++i) {
+      ASSERT_EQ(fused_losses[i], solo_losses[i]) << "round " << round;
+      expect_bitwise_equal(base[i].parameters(), solo[i].parameters(),
+                           "gru params");
+    }
+  }
+}
+
+TEST(NnFused, MlpBitwiseMatchesPerHome) {
+  Rng rng(555);
+  const std::size_t members = kBatches.size();
+  const std::vector<std::size_t> dims = {4, 12, 9, 2};
+  std::vector<Mlp> base;
+  base.reserve(members);
+  for (std::size_t i = 0; i < members; ++i) {
+    Rng init = rng.fork(300 + i);
+    base.emplace_back(dims, Activation::kRelu, Activation::kIdentity,
+                      InitScheme::kHeNormal, init);
+  }
+  std::vector<Mlp> solo = base;
+
+  const Slab slab = make_slices(kBatches);
+  FusedMlp fused;
+  std::vector<Adam> fused_opts(members, Adam(1e-3));
+  std::vector<Adam> solo_opts(members, Adam(1e-3));
+
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    std::vector<Matrix> xs(members), ys(members);
+    Matrix slab_x(slab.total_rows, dims.front());
+    Matrix slab_y(slab.total_rows, dims.back());
+    for (std::size_t i = 0; i < members; ++i) {
+      xs[i] = Matrix(kBatches[i], dims.front());
+      ys[i] = Matrix(kBatches[i], dims.back());
+      fill_random(xs[i], rng);
+      fill_random(ys[i], rng);
+      copy_rows(xs[i], slab_x, slab.slices[i].row_begin);
+      copy_rows(ys[i], slab_y, slab.slices[i].row_begin);
+    }
+
+    std::vector<double> solo_losses(members);
+    for (std::size_t i = 0; i < members; ++i) {
+      solo_losses[i] =
+          solo[i].train_batch(xs[i], ys[i], LossKind::kHuber, solo_opts[i]);
+    }
+
+    std::vector<Mlp*> nets;
+    std::vector<pfdrl::nn::Optimizer*> opts;
+    for (std::size_t i = 0; i < members; ++i) {
+      nets.push_back(&base[i]);
+      opts.push_back(&fused_opts[i]);
+    }
+    std::vector<double> fused_losses(members);
+    fused.train_batch(nets, slab.slices, slab_x, slab_y, LossKind::kHuber,
+                      opts, fused_losses);
+
+    for (std::size_t i = 0; i < members; ++i) {
+      ASSERT_EQ(fused_losses[i], solo_losses[i]) << "round " << round;
+      expect_bitwise_equal(base[i].parameters(), solo[i].parameters(),
+                           "mlp params");
+    }
+  }
+}
+
+TEST(NnFused, SliceTableMustTileTheSlab) {
+  Rng rng(77);
+  Rng i0 = rng.fork(0);
+  Rng i1 = rng.fork(1);
+  std::vector<Mlp> nets_store;
+  nets_store.emplace_back(std::vector<std::size_t>{2, 4, 1}, Activation::kRelu,
+                          Activation::kIdentity, InitScheme::kHeNormal, i0);
+  nets_store.emplace_back(std::vector<std::size_t>{2, 4, 1}, Activation::kRelu,
+                          Activation::kIdentity, InitScheme::kHeNormal, i1);
+  std::vector<Mlp*> nets = {&nets_store[0], &nets_store[1]};
+  Matrix x(6, 2);
+  fill_random(x, rng);
+  FusedMlp fused;
+  // Gap between slices.
+  std::vector<FusedSlice> gap = {{0, 2}, {3, 3}};
+  EXPECT_THROW(fused.forward(nets, gap, x), std::invalid_argument);
+  // Short coverage.
+  std::vector<FusedSlice> short_cover = {{0, 2}, {2, 2}};
+  EXPECT_THROW(fused.forward(nets, short_cover, x), std::invalid_argument);
+}
+
+TEST(NnFused, SteadyStateFusedBatchesAllocateNothing) {
+  Rng rng(42);
+  const std::size_t members = 6;
+  const std::size_t bs = 7;
+  std::vector<LstmRegressor> nets_store;
+  nets_store.reserve(members);
+  std::vector<Adam> opts_store(members, Adam(3e-3));
+  for (std::size_t i = 0; i < members; ++i) {
+    Rng init = rng.fork(i);
+    nets_store.emplace_back(kF, kH, 1, init);
+  }
+  std::vector<FusedSlice> slices;
+  for (std::size_t i = 0; i < members; ++i) slices.push_back({i * bs, bs});
+  const std::size_t rows = members * bs;
+
+  std::vector<Matrix> slab_xs(kT);
+  for (Matrix& m : slab_xs) {
+    m = Matrix(rows, kF);
+    fill_random(m, rng);
+  }
+  Matrix slab_y(rows, 1);
+  fill_random(slab_y, rng);
+
+  std::vector<LstmRegressor*> nets;
+  std::vector<pfdrl::nn::Optimizer*> opts;
+  std::vector<const Matrix*> xs_ptrs;
+  for (std::size_t i = 0; i < members; ++i) {
+    nets.push_back(&nets_store[i]);
+    opts.push_back(&opts_store[i]);
+  }
+  for (const Matrix& m : slab_xs) xs_ptrs.push_back(&m);
+  std::vector<double> losses(members);
+
+  FusedLstm fused;
+  // Warm-up: slots, gradient arena, and Adam moments all grow here.
+  fused.train_batch(nets, slices, xs_ptrs, slab_y, LossKind::kMae, opts,
+                    losses);
+  fused.train_batch(nets, slices, xs_ptrs, slab_y, LossKind::kMae, opts,
+                    losses);
+
+  const std::uint64_t before = pfdrl::nn::Workspace::total_allocations();
+  for (int i = 0; i < 3; ++i) {
+    fused.train_batch(nets, slices, xs_ptrs, slab_y, LossKind::kMae, opts,
+                      losses);
+  }
+  EXPECT_EQ(pfdrl::nn::Workspace::total_allocations(), before)
+      << "steady-state fused batches must not grow workspace slots";
+}
+
+TEST(NnFused, TelemetryCountsBatchesRowsAndMembers) {
+  const std::uint64_t batches0 = pfdrl::nn::total_fused_batches();
+  const std::uint64_t rows0 = pfdrl::nn::total_fused_rows();
+  pfdrl::nn::note_fused_batch(3, 96);
+  pfdrl::nn::note_fused_batch(11, 4);
+  EXPECT_EQ(pfdrl::nn::total_fused_batches(), batches0 + 2);
+  EXPECT_EQ(pfdrl::nn::total_fused_rows(), rows0 + 100);
+  EXPECT_GE(pfdrl::nn::max_fused_members(), 11u);
+}
+
+}  // namespace

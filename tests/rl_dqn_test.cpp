@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <array>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "nn/workspace.hpp"
+#include "rl/fused.hpp"
 #include "util/rng.hpp"
 
 namespace pfdrl::rl {
@@ -412,6 +415,154 @@ TEST(Dqn, RestoreRejectsShapeMismatch) {
   DqnAgentState state2 = agent.capture_state();
   state2.target_params.push_back(0.0);
   EXPECT_THROW(agent.restore_state(state2), std::invalid_argument);
+}
+
+// --- Cross-home fused learning (rl/fused.hpp) -------------------------
+
+namespace {
+
+/// A group of agents with distinct seeds (distinct initial parameters
+/// and replay-sampling streams) and distinct replay contents.
+std::vector<std::unique_ptr<DqnAgent>> make_group(std::size_t n,
+                                                  bool double_dqn,
+                                                  int replay_fill) {
+  std::vector<std::unique_ptr<DqnAgent>> agents;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto cfg = small_config();
+    cfg.seed = 50 + i;
+    cfg.double_dqn = double_dqn;
+    cfg.target_replace_every = 5;  // hit a few syncs within the test
+    agents.push_back(std::make_unique<DqnAgent>(cfg));
+    util::Rng fill(300 + i);
+    for (int t = 0; t < replay_fill; ++t) {
+      Transition tr;
+      tr.state = {fill.normal(), fill.normal(), fill.normal()};
+      tr.action = static_cast<int>(fill.uniform_int(0, 2));
+      tr.reward = fill.uniform(-1, 1);
+      tr.next_state = {fill.normal(), fill.normal(), fill.normal()};
+      tr.terminal = fill.uniform() < 0.1;
+      agents[i]->remember(std::move(tr));
+    }
+  }
+  return agents;
+}
+
+std::vector<DqnAgent*> pointers(
+    const std::vector<std::unique_ptr<DqnAgent>>& agents) {
+  std::vector<DqnAgent*> ptrs;
+  for (const auto& a : agents) ptrs.push_back(a.get());
+  return ptrs;
+}
+
+}  // namespace
+
+// The fused-learning contract: one FusedDqnLearner::learn() call is
+// bitwise one DqnAgent::learn() per agent — identical losses every step
+// and identical parameters after many steps (replay sampling, Adam
+// moments and target syncs all included).
+TEST(FusedDqn, LearnMatchesPerAgentBitwise) {
+  for (const bool double_dqn : {false, true}) {
+    auto fused_group = make_group(4, double_dqn, 64);
+    auto legacy_group = make_group(4, double_dqn, 64);
+    const auto ptrs = pointers(fused_group);
+    FusedDqnLearner learner;
+    std::vector<double> losses(ptrs.size(), -1.0);
+    for (int step = 0; step < 12; ++step) {
+      ASSERT_TRUE(learner.learn(ptrs, losses));
+      for (std::size_t i = 0; i < legacy_group.size(); ++i) {
+        ASSERT_EQ(losses[i], legacy_group[i]->learn())
+            << "double_dqn=" << double_dqn << " step " << step << " agent "
+            << i;
+      }
+    }
+    for (std::size_t i = 0; i < legacy_group.size(); ++i) {
+      EXPECT_EQ(fused_group[i]->learn_steps(), legacy_group[i]->learn_steps());
+      const auto pf = fused_group[i]->network().parameters();
+      const auto pl = legacy_group[i]->network().parameters();
+      ASSERT_EQ(pf.size(), pl.size());
+      for (std::size_t k = 0; k < pf.size(); ++k) {
+        ASSERT_EQ(pf[k], pl[k])
+            << "double_dqn=" << double_dqn << " agent " << i << " param " << k;
+      }
+    }
+  }
+}
+
+// Agents whose replay is still below one batch are skipped exactly like
+// the per-agent early return: loss 0.0, no learn step, no RNG use — so
+// the cold agent trains identically once it does warm up.
+TEST(FusedDqn, ColdAgentSkippedWithoutRngUse) {
+  auto fused_group = make_group(3, false, 64);
+  auto legacy_group = make_group(3, false, 64);
+  // Rebuild agent 1 with an under-filled replay in both groups.
+  auto cfg = small_config();
+  cfg.seed = 51;
+  fused_group[1] = std::make_unique<DqnAgent>(cfg);
+  legacy_group[1] = std::make_unique<DqnAgent>(cfg);
+  const auto ptrs = pointers(fused_group);
+  FusedDqnLearner learner;
+  std::vector<double> losses(ptrs.size(), -1.0);
+  ASSERT_TRUE(learner.learn(ptrs, losses));
+  EXPECT_EQ(losses[1], 0.0);
+  EXPECT_EQ(fused_group[1]->learn_steps(), 0u);
+  EXPECT_NE(losses[0], 0.0);
+  // Warm the cold agent up and keep fusing: it must still track its
+  // per-agent twin bitwise (its sampling RNG was never touched early).
+  util::Rng fill(999);
+  for (int t = 0; t < 32; ++t) {
+    Transition tr;
+    tr.state = {fill.normal(), fill.normal(), fill.normal()};
+    tr.action = t % 3;
+    tr.reward = fill.uniform(-1, 1);
+    tr.next_state = {fill.normal(), fill.normal(), fill.normal()};
+    Transition tr2 = tr;
+    fused_group[1]->remember(std::move(tr));
+    legacy_group[1]->remember(std::move(tr2));
+  }
+  legacy_group[0]->learn();  // catch the twins up to the fused step above
+  legacy_group[2]->learn();
+  for (int step = 0; step < 6; ++step) {
+    ASSERT_TRUE(learner.learn(ptrs, losses));
+    for (std::size_t i = 0; i < legacy_group.size(); ++i) {
+      ASSERT_EQ(losses[i], legacy_group[i]->learn()) << "step " << step;
+    }
+  }
+  const auto pf = fused_group[1]->network().parameters();
+  const auto pl = legacy_group[1]->network().parameters();
+  for (std::size_t k = 0; k < pf.size(); ++k) ASSERT_EQ(pf[k], pl[k]);
+}
+
+// Non-fusable groups must be refused with no agent state touched, so the
+// caller's per-agent fallback starts from a clean slate.
+TEST(FusedDqn, RejectsMixedGroupsUntouched) {
+  auto group = make_group(2, false, 64);
+  auto cfg = small_config();
+  cfg.hidden = {16, 16, 16};  // different architecture
+  group.push_back(std::make_unique<DqnAgent>(cfg));
+  util::Rng fill(77);
+  for (int t = 0; t < 64; ++t) {
+    Transition tr;
+    tr.state = {fill.normal(), fill.normal(), fill.normal()};
+    tr.action = t % 3;
+    tr.reward = fill.uniform(-1, 1);
+    tr.next_state = {fill.normal(), fill.normal(), fill.normal()};
+    group[2]->remember(std::move(tr));
+  }
+  const auto ptrs = pointers(group);
+  const auto before = [&] {
+    std::vector<double> all;
+    for (const auto& a : group) {
+      const auto p = a->network().parameters();
+      all.insert(all.end(), p.begin(), p.end());
+    }
+    return all;
+  };
+  const auto snapshot = before();
+  FusedDqnLearner learner;
+  std::vector<double> losses(ptrs.size(), -1.0);
+  EXPECT_FALSE(learner.learn(ptrs, losses));
+  EXPECT_EQ(before(), snapshot);
+  for (const auto& a : group) EXPECT_EQ(a->learn_steps(), 0u);
 }
 
 }  // namespace

@@ -102,7 +102,8 @@ check_keys("${pipeline_json}" bench decisions workspace_decisions_per_sec
   legacy_decisions_per_sec speedup steady_state_workspace_allocs
   nn_workspace_allocs nn_scratch_bytes)
 check_keys("${dfl_json}" bench lstm_windows lstm_windows_per_sec
-  gru_windows gru_windows_per_sec deterministic)
+  gru_windows gru_windows_per_sec deterministic fused_bitwise_match
+  fused_points)
 check_keys("${scale_json}" bench topology params rounds deterministic points)
 
 # Twin sharded engine runs must agree bitwise (the scaling determinism
@@ -116,12 +117,18 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
 endif()
 
 # Train rounds must be bitwise reproducible (the kernel determinism
-# contract, re-checked end-to-end by the emitter's twin run).
+# contract, re-checked end-to-end by the emitter's twin run), and the
+# fused sweep's per-home vs fused parameter comparison must have agreed
+# bitwise (the fused-training contract from docs/fused_training.md).
 file(READ "${dfl_json}" doc)
 if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   string(JSON dfl_det GET "${doc}" deterministic)
   if(NOT dfl_det STREQUAL "ON" AND NOT dfl_det STREQUAL "true")
     message(FATAL_ERROR "dfl_throughput: twin rounds diverged (deterministic = ${dfl_det})")
+  endif()
+  string(JSON fused_det GET "${doc}" fused_bitwise_match)
+  if(NOT fused_det STREQUAL "ON" AND NOT fused_det STREQUAL "true")
+    message(FATAL_ERROR "dfl_throughput: fused vs per-home training diverged (fused_bitwise_match = ${fused_det})")
   endif()
 endif()
 
@@ -227,3 +234,25 @@ foreach(line_re "forecast accuracy [^\n]*" "traffic: [^\n]*")
   endif()
 endforeach()
 message(STATUS "bench_smoke: sharded snapshot/resume round-trip agreed")
+
+# --- fused training through the shipped CLI: the same scenario with
+# --fuse-homes 2 must produce byte-identical result lines to the
+# per-home run above (the fused ≡ per-home contract of
+# docs/fused_training.md, pinned end-to-end through the CLI wiring).
+execute_process(
+  COMMAND "${PFDRL_CLI}" ${cli_flags} --fuse-homes 2
+  RESULT_VARIABLE fused_rc
+  OUTPUT_VARIABLE fused_out
+  ERROR_VARIABLE fused_err)
+if(NOT fused_rc EQUAL 0)
+  message(FATAL_ERROR "pfdrl_cli fused run failed (${fused_rc}):\n${fused_out}\n${fused_err}")
+endif()
+foreach(line_re "forecast accuracy [^\n]*" "traffic: [^\n]*")
+  string(REGEX MATCH "${line_re}" save_line "${save_out}")
+  string(REGEX MATCH "${line_re}" fused_line "${fused_out}")
+  if(NOT save_line STREQUAL fused_line)
+    message(FATAL_ERROR
+      "fused run diverged from per-home:\n  per-home: ${save_line}\n  fused:    ${fused_line}")
+  endif()
+endforeach()
+message(STATUS "bench_smoke: fused CLI run matched the per-home run")

@@ -85,7 +85,11 @@ std::set<std::string> collect_anchors(const fs::path& file) {
            (text.back() == ' ' || text.back() == '#' || text.back() == '\r')) {
       text.pop_back();
     }
-    std::string slug = slugify(strip_code_spans(text));
+    // Slug the raw heading text: GitHub keeps the contents of `inline
+    // code` spans and drops only the backticks (slugify discards them
+    // as punctuation). Stripping span *contents* here would mis-slug
+    // every heading that names a file or identifier.
+    std::string slug = slugify(text);
     const int n = seen[slug]++;
     if (n > 0) slug += "-" + std::to_string(n);
     anchors.insert(slug);
@@ -159,6 +163,8 @@ int main(int argc, char** argv) {
 
   int broken = 0;
   std::size_t checked = 0;
+  // Heading sets are parsed once per target file, not once per link.
+  std::map<fs::path, std::set<std::string>> anchor_cache;
   for (const auto& file : files) {
     for (const auto& link : collect_links(file)) {
       if (external(link.target)) continue;
@@ -182,7 +188,12 @@ int main(int argc, char** argv) {
         }
       }
       if (!anchor.empty() && target_file.extension() == ".md") {
-        const auto anchors = collect_anchors(target_file);
+        const fs::path key = target_file.lexically_normal();
+        auto it = anchor_cache.find(key);
+        if (it == anchor_cache.end()) {
+          it = anchor_cache.emplace(key, collect_anchors(target_file)).first;
+        }
+        const auto& anchors = it->second;
         if (anchors.find(anchor) == anchors.end()) {
           std::fprintf(stderr, "%s:%zu: broken anchor: %s (no heading #%s in %s)\n",
                        file.string().c_str(), link.line, link.target.c_str(),
