@@ -122,6 +122,7 @@ MethodResult run_method(forecast::Method method, const data::DeviceTrace& trace,
 }
 
 struct FusedPoint {
+  std::string method;
   std::size_t homes = 0;
   std::size_t windows = 0;  // epoch-weighted, per path (paths are equal)
   double per_home_seconds = 0.0;
@@ -151,6 +152,7 @@ FusedPoint run_fused_point(forecast::Method method,
                            std::size_t rounds, std::size_t round_minutes,
                            std::size_t total_minutes) {
   FusedPoint point;
+  point.method = forecast::method_name(method);
   point.homes = homes;
 
   forecast::TrainConfig sweep;
@@ -315,21 +317,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Fused-vs-per-home sweep (LSTM, the paper's production method).
+  // Fused-vs-per-home sweep: LSTM (the paper's production method) and
+  // GRU (its specialized register tiles land in the same fused engines;
+  // the column keeps the GRU fused path benched, not just gate-tested).
   std::vector<FusedPoint> fused_points;
-  for (const std::size_t homes : fuse_homes) {
-    if (homes < 2) continue;
-    fused_points.push_back(run_fused_point(forecast::Method::kLstm, *trace,
-                                           homes, rounds, round_minutes,
-                                           total_minutes));
+  for (const forecast::Method m :
+       {forecast::Method::kLstm, forecast::Method::kGru}) {
+    for (const std::size_t homes : fuse_homes) {
+      if (homes < 2) continue;
+      fused_points.push_back(run_fused_point(m, *trace, homes, rounds,
+                                             round_minutes, total_minutes));
+    }
   }
   bool fused_match = true;
   if (!fused_points.empty()) {
-    std::printf("\nfused vs per-home (LSTM, one group per round):\n");
-    util::TextTable ftable({"homes", "windows", "per-home w/s", "fused w/s",
-                            "speedup", "bitwise"});
+    std::printf("\nfused vs per-home (one group per round):\n");
+    util::TextTable ftable({"method", "homes", "windows", "per-home w/s",
+                            "fused w/s", "speedup", "bitwise"});
     for (const auto& p : fused_points) {
-      ftable.add_row({std::to_string(p.homes), std::to_string(p.windows),
+      ftable.add_row({p.method, std::to_string(p.homes),
+                      std::to_string(p.windows),
                       std::to_string(p.per_home_windows_per_sec()),
                       std::to_string(p.fused_windows_per_sec()),
                       std::to_string(p.speedup()),
@@ -372,11 +379,12 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < fused_points.size(); ++i) {
     const auto& p = fused_points[i];
     std::fprintf(f,
-                 "%s\n    {\"homes\": %zu, \"windows\": %zu,"
+                 "%s\n    {\"method\": \"%s\", \"homes\": %zu,"
+                 " \"windows\": %zu,"
                  " \"per_home_windows_per_sec\": %.1f,"
                  " \"fused_windows_per_sec\": %.1f,"
                  " \"speedup\": %.2f, \"bitwise_match\": %s}",
-                 i == 0 ? "" : ",", p.homes, p.windows,
+                 i == 0 ? "" : ",", p.method.c_str(), p.homes, p.windows,
                  p.per_home_windows_per_sec(), p.fused_windows_per_sec(),
                  p.speedup(), p.bitwise_match ? "true" : "false");
   }

@@ -32,6 +32,7 @@
 #include "common.hpp"
 #include "fl/exchange.hpp"
 #include "net/bus.hpp"
+#include "net/codec.hpp"
 #include "net/shard_router.hpp"
 #include "net/topology.hpp"
 #include "sim/shard.hpp"
@@ -50,6 +51,10 @@ struct SweepConfig {
   net::TopologyKind topology = net::TopologyKind::kHierarchical;
   std::size_t fanout = 4;
   std::uint64_t seed = 42;
+  /// Lossless delta/XOR wire codec on the engine bus (docs/wire.md).
+  /// On by default so the committed baseline carries post-codec bytes;
+  /// --no-wire-codec measures the uncompressed engine.
+  bool wire_codec = true;
 };
 
 struct PointResult {
@@ -60,6 +65,9 @@ struct PointResult {
   std::uint64_t links_per_round = 0;
   double imbalance = 1.0;
   net::ShardRouterStats router;
+  net::CodecStats codec;
+  std::uint64_t logical_bytes = 0;  ///< bus pre-codec bytes
+  std::uint64_t wire_bytes = 0;     ///< bus post-codec bytes
   std::uint64_t hash = 0;
   bool deterministic = false;
 };
@@ -90,6 +98,8 @@ std::uint64_t run_engine(std::size_t agents, const SweepConfig& cfg,
   net::MessageBus bus(net::Topology(cfg.topology, agents, topo), {});
   net::ShardRouter router(agents, plan.shards);
   if (plan.sharded()) bus.set_shard_router(&router);
+  net::WireCodec codec;
+  if (cfg.wire_codec) bus.set_codec(&codec);
 
   // Flat N x P parameter arena; agent a owns [a*P, (a+1)*P).
   const std::size_t P = cfg.params;
@@ -159,6 +169,9 @@ std::uint64_t run_engine(std::size_t agents, const SweepConfig& cfg,
     out->imbalance =
         cfg.rounds > 0 ? imbalance_sum / static_cast<double>(cfg.rounds) : 1.0;
     out->router = router.stats();
+    out->codec = codec.stats();
+    out->logical_bytes = bus.stats().logical_bytes;
+    out->wire_bytes = bus.stats().bytes_on_wire;
   }
   return hash_params(params);
 }
@@ -211,12 +224,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.topology = *kind;
+    } else if (std::strcmp(argv[i], "--no-wire-codec") == 0) {
+      cfg.wire_codec = false;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--agents CSV] [--rounds R] [--params P] "
-                   "[--shards S] [--topology NAME] [--fanout N] [--out P]\n",
+                   "[--shards S] [--topology NAME] [--fanout N] "
+                   "[--no-wire-codec] [--out P]\n",
                    argv[0]);
       return 2;
     }
@@ -242,14 +258,15 @@ int main(int argc, char** argv) {
   }
 
   util::TextTable table({"agents", "shards", "seconds", "agent-rounds/s",
-                         "links/round", "batched msgs", "imbalance",
-                         "deterministic"});
+                         "links/round", "batched msgs", "wire ratio",
+                         "imbalance", "deterministic"});
   for (const auto& p : points) {
     table.add_row({std::to_string(p.agents), std::to_string(p.shards),
                    util::fmt_double(p.seconds, 3),
                    util::fmt_double(p.agent_rounds_per_sec, 0),
                    std::to_string(p.links_per_round),
                    std::to_string(p.router.messages_batched),
+                   util::fmt_double(p.codec.ratio(), 2),
                    util::fmt_double(p.imbalance, 3),
                    p.deterministic ? "yes" : "NO"});
   }
@@ -272,10 +289,12 @@ int main(int argc, char** argv) {
                "  \"params\": %zu,\n"
                "  \"rounds\": %zu,\n"
                "  \"pool_workers\": %zu,\n"
+               "  \"wire_codec\": %s,\n"
                "  \"deterministic\": %s,\n"
                "  \"points\": [\n",
                net::topology_name(cfg.topology), cfg.params, cfg.rounds,
                util::ThreadPool::global().size(),
+               cfg.wire_codec ? "true" : "false",
                all_deterministic ? "true" : "false");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const PointResult& p = points[i];
@@ -285,14 +304,20 @@ int main(int argc, char** argv) {
                  "\"links_per_round\": %" PRIu64 ", "
                  "\"batched_msgs\": %" PRIu64 ", "
                  "\"batched_bytes\": %" PRIu64 ", "
+                 "\"batched_wire_bytes\": %" PRIu64 ", "
                  "\"batches\": %" PRIu64 ", "
                  "\"max_batch_depth\": %" PRIu64 ", "
+                 "\"logical_bytes\": %" PRIu64 ", "
+                 "\"wire_bytes\": %" PRIu64 ", "
+                 "\"wire_ratio\": %.3f, "
                  "\"imbalance\": %.3f, "
                  "\"param_hash\": \"%016" PRIx64 "\"}%s\n",
                  p.agents, p.shards, p.seconds, p.agent_rounds_per_sec,
                  p.links_per_round, p.router.messages_batched,
-                 p.router.batched_bytes, p.router.batches_flushed,
-                 p.router.max_batch_depth, p.imbalance, p.hash,
+                 p.router.batched_bytes, p.router.batched_wire_bytes,
+                 p.router.batches_flushed, p.router.max_batch_depth,
+                 p.logical_bytes, p.wire_bytes, p.codec.ratio(),
+                 p.imbalance, p.hash,
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -43,6 +43,12 @@
 //                       (docs/fused_training.md); up to N homes per group
 //                       train as one stacked batch per gate, bitwise
 //                       identical to per-home. 0/1 = legacy per-home path
+//   --wire-codec        lossless delta/XOR compression of parameter
+//                       payloads on both federation buses (docs/wire.md);
+//                       received parameters stay bitwise identical
+//   --wire-quant        lossy int8 wire quantization with error feedback
+//                       (implies --wire-codec; changes delivered values;
+//                       incompatible with --secure)
 //   --topology NAME     federation topology override: full_mesh | star |
 //                       ring | hierarchical | gossip (default: method's)
 //   --cluster-size N    hierarchical topology cluster size  (default 8)
@@ -103,6 +109,8 @@ int main(int argc, char** argv) {
   std::string resume_path;
   std::size_t shards = 0;
   std::size_t fuse_homes = 0;
+  bool wire_codec = false;
+  bool wire_quant = false;
   std::optional<net::TopologyKind> topology;
   net::TopologyOptions topo_opts;
 
@@ -174,6 +182,10 @@ int main(int argc, char** argv) {
       shards = std::stoul(next());
     } else if (arg == "--fuse-homes") {
       fuse_homes = std::stoul(next());
+    } else if (arg == "--wire-codec") {
+      wire_codec = true;
+    } else if (arg == "--wire-quant") {
+      wire_quant = true;
     } else if (arg == "--topology") {
       const auto kind = net::parse_topology_kind(next());
       if (!kind) usage_error("unknown topology");
@@ -198,6 +210,12 @@ int main(int argc, char** argv) {
         "--secure needs a reliable fault-free plan (no --drop, --fault-plan "
         "faults, --deadline, --quorum, --crash, --straggler or --partition)");
   }
+  if (secure && wire_quant) {
+    usage_error(
+        "--wire-quant cannot combine with --secure: quantizing "
+        "pairwise-masked payloads breaks mask cancellation "
+        "(lossless --wire-codec is fine)");
+  }
 
   sim::ScenarioConfig sc;
   sc.neighborhood.num_households = homes;
@@ -216,6 +234,8 @@ int main(int argc, char** argv) {
   cfg.robustness = robustness;
   cfg.shards = shards;
   cfg.fuse_homes = fuse_homes;
+  cfg.wire_codec = wire_codec;
+  cfg.wire_quant = wire_quant;
   cfg.topology = topology;
   cfg.topology_options = topo_opts;
 
@@ -316,6 +336,16 @@ int main(int argc, char** argv) {
   std::printf("traffic: forecast %.1f MiB, DRL %.1f MiB\n",
               static_cast<double>(fc.bytes_on_wire) / (1024.0 * 1024.0),
               static_cast<double>(drl.bytes_on_wire) / (1024.0 * 1024.0));
+  if (wire_codec || wire_quant) {
+    const std::uint64_t logical = fc.logical_bytes + drl.logical_bytes;
+    const std::uint64_t wire = fc.bytes_on_wire + drl.bytes_on_wire;
+    std::printf("wire codec: %.1f MiB logical -> %.1f MiB on wire (%.2fx)\n",
+                static_cast<double>(logical) / (1024.0 * 1024.0),
+                static_cast<double>(wire) / (1024.0 * 1024.0),
+                wire > 0 ? static_cast<double>(logical) /
+                               static_cast<double>(wire)
+                         : 1.0);
+  }
 
   if (!metrics_out.empty()) {
     pipeline.sync_runtime_metrics();

@@ -13,17 +13,23 @@ DrlFederation::DrlFederation(std::size_t num_homes, std::size_t share_layers,
                              obs::MetricsRegistry* metrics,
                              fl::ExchangePolicy policy,
                              net::TopologyOptions topology_options,
-                             std::size_t shards)
+                             std::size_t shards, bool wire_codec,
+                             bool wire_quant)
     : share_layers_(share_layers),
       router_(shards > 1 ? std::make_unique<net::ShardRouter>(
                                std::max<std::size_t>(1, num_homes), shards)
                          : nullptr),
+      codec_(wire_codec || wire_quant
+                 ? std::make_unique<net::WireCodec>(
+                       net::CodecOptions{.quantize = wire_quant})
+                 : nullptr),
       bus_(net::Topology(topology, std::max<std::size_t>(1, num_homes),
                          topology_options),
            std::move(fault)),
       metrics_(metrics),
       policy_(std::move(policy)) {
   if (router_) bus_.set_shard_router(router_.get());
+  if (codec_) bus_.set_codec(codec_.get());
 }
 
 void DrlFederation::round(std::vector<FederatedDevice>& devices,
@@ -72,6 +78,9 @@ void DrlFederation::round(std::vector<FederatedDevice>& devices,
     obs::record_bus_stats(*metrics_, "bus.drl", bus_.stats());
     if (router_) {
       obs::record_shard_router_stats(*metrics_, "bus.drl", router_->stats());
+    }
+    if (codec_) {
+      obs::record_codec_stats(*metrics_, "wire.drl", codec_->stats());
     }
   }
 }

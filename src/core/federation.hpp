@@ -43,13 +43,17 @@ class DrlFederation {
   /// cluster size, gossip fanout/seed); mesh/star/ring ignore it.
   /// `shards` > 1 attaches a net::ShardRouter: cross-shard plan messages
   /// are batched per shard pair per round and the drain/aggregate phases
-  /// run on the global pool (see docs/scaling.md).
+  /// run on the global pool (see docs/scaling.md). `wire_codec` attaches
+  /// the lossless delta/XOR wire codec to the plan-exchange bus;
+  /// `wire_quant` additionally enables lossy int8 quantization with
+  /// error feedback (docs/wire.md).
   DrlFederation(std::size_t num_homes, std::size_t share_layers,
                 net::TopologyKind topology, net::FaultPlan fault = {},
                 obs::MetricsRegistry* metrics = nullptr,
                 fl::ExchangePolicy policy = {},
                 net::TopologyOptions topology_options = {},
-                std::size_t shards = 0);
+                std::size_t shards = 0, bool wire_codec = false,
+                bool wire_quant = false);
 
   /// One federation round over all registered devices: broadcast each
   /// agent's shared slice, then average per device type at each home
@@ -68,11 +72,17 @@ class DrlFederation {
   [[nodiscard]] const net::ShardRouter* shard_router() const noexcept {
     return router_.get();
   }
+  /// Attached wire codec; nullptr unless wire_codec/wire_quant is set.
+  [[nodiscard]] net::WireCodec* wire_codec() const noexcept {
+    return codec_.get();
+  }
 
  private:
   std::size_t share_layers_;
-  /// Declared before bus_ — the bus holds a non-owning router pointer.
+  /// Declared before bus_ — the bus holds non-owning router and codec
+  /// pointers.
   std::unique_ptr<net::ShardRouter> router_;
+  std::unique_ptr<net::WireCodec> codec_;
   net::MessageBus bus_;
   obs::MetricsRegistry* metrics_;
   fl::ExchangePolicy policy_;

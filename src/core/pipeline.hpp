@@ -98,6 +98,16 @@ struct PipelineConfig {
   /// per group. 0/1 = the legacy per-home paths. Results are bitwise
   /// identical either way; non-fusable groups fall back per home.
   std::size_t fuse_homes = 0;
+  /// Lossless delta/XOR wire codec on BOTH federation buses
+  /// (docs/wire.md): payload broadcasts are delta-coded against each
+  /// sender's previous round and bill the compressed frame size.
+  /// Received parameters stay bitwise identical — default off purely
+  /// because it is new, not because it changes results.
+  bool wire_codec = false;
+  /// Opt-in lossy int8 quantization with per-home error feedback
+  /// (implies wire_codec). Changes delivered parameter values (still
+  /// twin-run deterministic), so bitwise goldens exclude it.
+  bool wire_quant = false;
   /// Federation topology override for BOTH exchange paths; nullopt keeps
   /// the method defaults (DFL full mesh / FL+FRL star). The sparse kinds
   /// (kHierarchical, kGossip) cut broadcast cost to O(N·degree).

@@ -98,6 +98,14 @@ struct DflConfig {
   /// 0/1 = the legacy per-job path. Bitwise identical results either
   /// way; groups that turn out non-fusable fall back per job.
   std::size_t fuse_homes = 0;
+  /// Lossless delta/XOR wire codec for parameter broadcasts
+  /// (docs/wire.md): received params stay bitwise identical, only the
+  /// billed wire bytes shrink. Default off.
+  bool wire_codec = false;
+  /// Opt-in lossy int8 quantization with per-home error feedback on top
+  /// of the codec (implies wire_codec); changes delivered values, so it
+  /// is excluded from the bitwise goldens. Twin runs stay deterministic.
+  bool wire_quant = false;
 };
 
 /// One agent's per-device model set.
@@ -159,6 +167,10 @@ class DflTrainer {
   [[nodiscard]] const net::ShardRouter* shard_router() const noexcept {
     return router_.get();
   }
+  /// Attached wire codec; nullptr unless wire_codec/wire_quant is set.
+  [[nodiscard]] net::WireCodec* wire_codec() const noexcept {
+    return codec_.get();
+  }
 
  private:
   void broadcast_and_aggregate(std::uint64_t round_id);
@@ -170,8 +182,10 @@ class DflTrainer {
   /// are pinned by (jobs, shards, fuse_homes), so group g reuses the
   /// same trainer's slab capacity every round.
   std::vector<std::unique_ptr<forecast::FusedForecastTrainer>> fused_pool_;
-  /// Declared before bus_ — the bus holds a non-owning router pointer.
+  /// Declared before bus_ — the bus holds non-owning router and codec
+  /// pointers.
   std::unique_ptr<net::ShardRouter> router_;
+  std::unique_ptr<net::WireCodec> codec_;
   net::MessageBus bus_;
   std::uint64_t rounds_done_ = 0;
 };

@@ -54,6 +54,12 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
     if (is_crashed(item.agent)) {
       live[i] = 0;
       ++stats.crashed_items;
+      // A crashed residence's receivers hold stale delta mirrors (and
+      // its quant error accumulator died with the process) — drop its
+      // codec streams so the first post-restart broadcast is a keyframe.
+      if (net::WireCodec* codec = bus_.codec(); codec != nullptr) {
+        codec->reset_agent(item.agent);
+      }
       continue;
     }
     const auto& group = groups[item.device_type];

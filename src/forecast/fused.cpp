@@ -95,10 +95,43 @@ bool FusedForecastTrainer::train_lstm(std::span<FusedTrainJob> jobs,
   loss_sums_.resize(jobs.size());
   batch_counts_.resize(jobs.size());
 
+  xs_ptrs_.resize(steps);
   for (std::size_t epoch = 0; epoch < tcfg.epochs; ++epoch) {
     for (const std::size_t a : active_) jobs[a].rng->shuffle(orders_[a]);
     std::fill(loss_sums_.begin(), loss_sums_.end(), 0.0);
     std::fill(batch_counts_.begin(), batch_counts_.end(), std::size_t{0});
+    // ---- Epoch arena gather: map every arena row to its (job, sample)
+    // in exact batch-consumption order, then copy each timestep slab in
+    // one sequential t-outer pass. Each batch then trains in place at
+    // its arena offset — no per-batch gather or reshape.
+    gather_job_.clear();
+    gather_src_.clear();
+    for (std::size_t ofs = 0; ofs < max_size; ofs += tcfg.batch_size) {
+      for (const std::size_t a : active_) {
+        const std::size_t n = seq_sets_[a].size();
+        if (ofs >= n) continue;  // this job ran out of batches this epoch
+        const std::size_t bs = std::min(tcfg.batch_size, n - ofs);
+        for (std::size_t i = 0; i < bs; ++i) {
+          gather_job_.push_back(a);
+          gather_src_.push_back(orders_[a][ofs + i]);
+        }
+      }
+    }
+    const std::size_t total = gather_job_.size();
+    for (std::size_t t = 0; t < steps; ++t) {
+      slab_xs_[t].reshape(total, feat);
+      for (std::size_t r = 0; r < total; ++r) {
+        auto row = seq_sets_[gather_job_[r]].xs[t].row(gather_src_[r]);
+        std::copy(row.begin(), row.end(), slab_xs_[t].row(r).begin());
+      }
+      xs_ptrs_[t] = &slab_xs_[t];
+    }
+    slab_y_.reshape(total, 1);
+    for (std::size_t r = 0; r < total; ++r) {
+      slab_y_(r, 0) = seq_sets_[gather_job_[r]].y(gather_src_[r], 0);
+    }
+
+    std::size_t batch_row0 = 0;
     for (std::size_t ofs = 0; ofs < max_size; ofs += tcfg.batch_size) {
       part_.clear();
       slices_.clear();
@@ -107,7 +140,7 @@ bool FusedForecastTrainer::train_lstm(std::span<FusedTrainJob> jobs,
       std::size_t rows = 0;
       for (const std::size_t a : active_) {
         const std::size_t n = seq_sets_[a].size();
-        if (ofs >= n) continue;  // this job ran out of batches this epoch
+        if (ofs >= n) continue;
         const std::size_t bs = std::min(tcfg.batch_size, n - ofs);
         part_.push_back(a);
         slices_.push_back({rows, bs});
@@ -115,26 +148,11 @@ bool FusedForecastTrainer::train_lstm(std::span<FusedTrainJob> jobs,
         opts_.push_back(adam_all_[a]);
         rows += bs;
       }
-      for (std::size_t t = 0; t < steps; ++t) slab_xs_[t].reshape(rows, feat);
-      slab_y_.reshape(rows, 1);
-      for (std::size_t p = 0; p < part_.size(); ++p) {
-        const std::size_t a = part_[p];
-        const data::SequenceSet& set = seq_sets_[a];
-        const std::size_t r0 = slices_[p].row_begin;
-        for (std::size_t i = 0; i < slices_[p].rows; ++i) {
-          const std::size_t src = orders_[a][ofs + i];
-          for (std::size_t t = 0; t < steps; ++t) {
-            auto row = set.xs[t].row(src);
-            std::copy(row.begin(), row.end(), slab_xs_[t].row(r0 + i).begin());
-          }
-          slab_y_(r0 + i, 0) = set.y(src, 0);
-        }
-      }
-      xs_ptrs_.resize(steps);
-      for (std::size_t t = 0; t < steps; ++t) xs_ptrs_[t] = &slab_xs_[t];
       batch_losses_.resize(part_.size());
       lstm_.train_batch(lstm_nets_, slices_, xs_ptrs_, slab_y_,
-                        nn::LossKind::kMae, opts_, batch_losses_);
+                        nn::LossKind::kMae, opts_, batch_losses_,
+                        /*clip_norm=*/5.0, /*src_row0=*/batch_row0);
+      batch_row0 += rows;
       for (std::size_t p = 0; p < part_.size(); ++p) {
         loss_sums_[part_[p]] += batch_losses_[p];
         ++batch_counts_[part_[p]];
@@ -199,10 +217,40 @@ bool FusedForecastTrainer::train_gru(std::span<FusedTrainJob> jobs,
   loss_sums_.resize(jobs.size());
   batch_counts_.resize(jobs.size());
 
+  xs_ptrs_.resize(steps);
   for (std::size_t epoch = 0; epoch < tcfg.epochs; ++epoch) {
     for (const std::size_t a : active_) jobs[a].rng->shuffle(orders_[a]);
     std::fill(loss_sums_.begin(), loss_sums_.end(), 0.0);
     std::fill(batch_counts_.begin(), batch_counts_.end(), std::size_t{0});
+    // Epoch arena gather, as in train_lstm.
+    gather_job_.clear();
+    gather_src_.clear();
+    for (std::size_t ofs = 0; ofs < max_size; ofs += tcfg.batch_size) {
+      for (const std::size_t a : active_) {
+        const std::size_t n = seq_sets_[a].size();
+        if (ofs >= n) continue;
+        const std::size_t bs = std::min(tcfg.batch_size, n - ofs);
+        for (std::size_t i = 0; i < bs; ++i) {
+          gather_job_.push_back(a);
+          gather_src_.push_back(orders_[a][ofs + i]);
+        }
+      }
+    }
+    const std::size_t total = gather_job_.size();
+    for (std::size_t t = 0; t < steps; ++t) {
+      slab_xs_[t].reshape(total, feat);
+      for (std::size_t r = 0; r < total; ++r) {
+        auto row = seq_sets_[gather_job_[r]].xs[t].row(gather_src_[r]);
+        std::copy(row.begin(), row.end(), slab_xs_[t].row(r).begin());
+      }
+      xs_ptrs_[t] = &slab_xs_[t];
+    }
+    slab_y_.reshape(total, 1);
+    for (std::size_t r = 0; r < total; ++r) {
+      slab_y_(r, 0) = seq_sets_[gather_job_[r]].y(gather_src_[r], 0);
+    }
+
+    std::size_t batch_row0 = 0;
     for (std::size_t ofs = 0; ofs < max_size; ofs += tcfg.batch_size) {
       part_.clear();
       slices_.clear();
@@ -219,26 +267,11 @@ bool FusedForecastTrainer::train_gru(std::span<FusedTrainJob> jobs,
         opts_.push_back(adam_all_[a]);
         rows += bs;
       }
-      for (std::size_t t = 0; t < steps; ++t) slab_xs_[t].reshape(rows, feat);
-      slab_y_.reshape(rows, 1);
-      for (std::size_t p = 0; p < part_.size(); ++p) {
-        const std::size_t a = part_[p];
-        const data::SequenceSet& set = seq_sets_[a];
-        const std::size_t r0 = slices_[p].row_begin;
-        for (std::size_t i = 0; i < slices_[p].rows; ++i) {
-          const std::size_t src = orders_[a][ofs + i];
-          for (std::size_t t = 0; t < steps; ++t) {
-            auto row = set.xs[t].row(src);
-            std::copy(row.begin(), row.end(), slab_xs_[t].row(r0 + i).begin());
-          }
-          slab_y_(r0 + i, 0) = set.y(src, 0);
-        }
-      }
-      xs_ptrs_.resize(steps);
-      for (std::size_t t = 0; t < steps; ++t) xs_ptrs_[t] = &slab_xs_[t];
       batch_losses_.resize(part_.size());
       gru_.train_batch(gru_nets_, slices_, xs_ptrs_, slab_y_,
-                       nn::LossKind::kMae, opts_, batch_losses_);
+                       nn::LossKind::kMae, opts_, batch_losses_,
+                       /*clip_norm=*/5.0, /*src_row0=*/batch_row0);
+      batch_row0 += rows;
       for (std::size_t p = 0; p < part_.size(); ++p) {
         loss_sums_[part_[p]] += batch_losses_[p];
         ++batch_counts_[part_[p]];
@@ -299,6 +332,31 @@ bool FusedForecastTrainer::train_bp(std::span<FusedTrainJob> jobs,
     for (const std::size_t a : active_) jobs[a].rng->shuffle(orders_[a]);
     std::fill(loss_sums_.begin(), loss_sums_.end(), 0.0);
     std::fill(batch_counts_.begin(), batch_counts_.end(), std::size_t{0});
+    // Epoch arena gather, as in train_lstm (single step slab here).
+    gather_job_.clear();
+    gather_src_.clear();
+    for (std::size_t ofs = 0; ofs < max_size; ofs += tcfg.batch_size) {
+      for (const std::size_t a : active_) {
+        const std::size_t n = sup_sets_[a].size();
+        if (ofs >= n) continue;
+        const std::size_t bs = std::min(tcfg.batch_size, n - ofs);
+        for (std::size_t i = 0; i < bs; ++i) {
+          gather_job_.push_back(a);
+          gather_src_.push_back(orders_[a][ofs + i]);
+        }
+      }
+    }
+    const std::size_t total = gather_job_.size();
+    slab_xs_[0].reshape(total, feat);
+    slab_y_.reshape(total, 1);
+    for (std::size_t r = 0; r < total; ++r) {
+      const data::SupervisedSet& set = sup_sets_[gather_job_[r]];
+      auto row = set.x.row(gather_src_[r]);
+      std::copy(row.begin(), row.end(), slab_xs_[0].row(r).begin());
+      slab_y_(r, 0) = set.y(gather_src_[r], 0);
+    }
+
+    std::size_t batch_row0 = 0;
     for (std::size_t ofs = 0; ofs < max_size; ofs += tcfg.batch_size) {
       part_.clear();
       slices_.clear();
@@ -315,22 +373,11 @@ bool FusedForecastTrainer::train_bp(std::span<FusedTrainJob> jobs,
         opts_.push_back(adam_all_[a]);
         rows += bs;
       }
-      slab_xs_[0].reshape(rows, feat);
-      slab_y_.reshape(rows, 1);
-      for (std::size_t p = 0; p < part_.size(); ++p) {
-        const std::size_t a = part_[p];
-        const data::SupervisedSet& set = sup_sets_[a];
-        const std::size_t r0 = slices_[p].row_begin;
-        for (std::size_t i = 0; i < slices_[p].rows; ++i) {
-          const std::size_t src = orders_[a][ofs + i];
-          auto row = set.x.row(src);
-          std::copy(row.begin(), row.end(), slab_xs_[0].row(r0 + i).begin());
-          slab_y_(r0 + i, 0) = set.y(src, 0);
-        }
-      }
       batch_losses_.resize(part_.size());
       mlp_.train_batch(mlp_nets_, slices_, slab_xs_[0], slab_y_,
-                       nn::LossKind::kMae, opts_, batch_losses_);
+                       nn::LossKind::kMae, opts_, batch_losses_,
+                       /*src_row0=*/batch_row0);
+      batch_row0 += rows;
       for (std::size_t p = 0; p < part_.size(); ++p) {
         loss_sums_[part_[p]] += batch_losses_[p];
         ++batch_counts_[part_[p]];

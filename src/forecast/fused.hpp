@@ -4,10 +4,12 @@
 // newly recorded minutes — thousands of tiny minibatches through
 // identical architectures. The fused trainer takes a group of such jobs
 // (same method, same window/train config), builds every job's dataset,
-// and then runs the group's epochs in lockstep: at each (epoch, batch
-// index) the participating jobs' minibatches are gathered into one
-// home-major slab and trained through the nn::Fused* engines against
-// each job's own parameter bank and Adam state.
+// and then runs the group's epochs in lockstep: each epoch's shuffled
+// rows are gathered ONCE into a persistent epoch arena laid out in
+// batch-consumption order, and each (epoch, batch index) trains its
+// home-major span of that arena in place (via the engines' src_row0
+// offset) through the nn::Fused* engines against each job's own
+// parameter bank and Adam state.
 //
 // Determinism contract: PRESERVED. Per job, the observable sequence is
 // exactly the per-home Forecaster::train() loop — the empty-dataset
@@ -80,9 +82,15 @@ class FusedForecastTrainer {
   // Per-job shuffle orders (trainer-owned stand-ins for the forecaster's
   // private order_ buffers; RNG-stream-identical, see header comment).
   std::vector<std::vector<std::size_t>> orders_;
-  // Capacity-reusing slab + dispatch buffers.
-  std::vector<nn::Matrix> slab_xs_;  // per-step slabs ([0] only for BP)
+  // Capacity-reusing epoch arena + dispatch buffers. The arena holds the
+  // WHOLE epoch's rows in exact batch-consumption order — one t-outer
+  // gather pass per epoch instead of a strided re-gather per batch — and
+  // each batch trains in place via the engines' src_row0 offset. The
+  // gather_* maps record arena row -> (job, dataset row) for the pass.
+  std::vector<nn::Matrix> slab_xs_;  // per-step arenas ([0] only for BP)
   nn::Matrix slab_y_;
+  std::vector<std::size_t> gather_job_;
+  std::vector<std::size_t> gather_src_;
   std::vector<std::size_t> active_;  // jobs with non-empty datasets
   std::vector<std::size_t> part_;    // jobs participating in one batch
   std::vector<nn::FusedSlice> slices_;

@@ -1,0 +1,292 @@
+#include "net/codec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace pfdrl::net {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t bits_of(double v) noexcept {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double double_of(std::uint64_t b) noexcept {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::size_t WireCodec::encode_frame(std::span<const double> values,
+                                    std::span<const double> prev,
+                                    std::vector<std::uint8_t>& out) {
+  const std::size_t n = values.size();
+  const bool have_prev = prev.size() == n && n > 0;
+  if (have_prev &&
+      std::memcmp(values.data(), prev.data(), n * sizeof(double)) == 0) {
+    out.assign(1, static_cast<std::uint8_t>(kRepeat));
+    return 1;
+  }
+
+  const std::size_t nibble_bytes = (n + 1) / 2;
+  // Worst case (every residual 8 bytes) plus one word of store slack for
+  // the branch-free writer below.
+  out.resize(1 + nibble_bytes + n * sizeof(double) + sizeof(std::uint64_t));
+  out[0] = static_cast<std::uint8_t>(kPacked);
+  std::uint8_t* nibbles = out.data() + 1;
+  std::memset(nibbles, 0, nibble_bytes);
+  std::uint8_t* cursor = nibbles + nibble_bytes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x =
+        bits_of(values[i]) ^ (have_prev ? bits_of(prev[i]) : std::uint64_t{0});
+    // Significant little-endian byte count: 0 for x == 0, else
+    // ceil((64 - clz) / 8); (71 - clz) / 8 computes both branch-free.
+    const unsigned sig =
+        (71u - static_cast<unsigned>(std::countl_zero(x))) / 8u;
+    nibbles[i >> 1] |=
+        static_cast<std::uint8_t>(sig << ((i & 1u) * 4u));
+    std::memcpy(cursor, &x, sizeof(x));  // full-word store, advance by sig
+    cursor += sig;
+  }
+  std::size_t size = static_cast<std::size_t>(cursor - out.data());
+  if (size >= 1 + n * sizeof(double)) {
+    // The delta would expand (keyframe of incompressible bits) — escape
+    // to a raw literal so coded never exceeds raw by more than the flag.
+    out[0] = static_cast<std::uint8_t>(kRaw);
+    if (n > 0) {
+      std::memcpy(out.data() + 1, values.data(), n * sizeof(double));
+    }
+    size = 1 + n * sizeof(double);
+  }
+  out.resize(size);
+  return size;
+}
+
+void WireCodec::decode_frame(std::span<const std::uint8_t> frame,
+                             std::span<const double> prev, std::size_t count,
+                             std::vector<double>& out) {
+  if (frame.empty()) throw std::runtime_error("codec: empty frame");
+  const bool have_prev = prev.size() == count && count > 0;
+  const std::uint8_t flag = frame[0];
+  const std::span<const std::uint8_t> body = frame.subspan(1);
+  out.resize(count);
+  switch (flag) {
+    case kRepeat: {
+      if (!body.empty()) {
+        throw std::runtime_error("codec: repeat frame carries payload bytes");
+      }
+      if (!have_prev) {
+        throw std::runtime_error("codec: repeat frame without stream state");
+      }
+      std::copy(prev.begin(), prev.end(), out.begin());
+      return;
+    }
+    case kRaw: {
+      if (body.size() != count * sizeof(double)) {
+        throw std::runtime_error("codec: raw frame size mismatch");
+      }
+      if (count > 0) std::memcpy(out.data(), body.data(), body.size());
+      return;
+    }
+    case kPacked: {
+      const std::size_t nibble_bytes = (count + 1) / 2;
+      if (body.size() < nibble_bytes) {
+        throw std::runtime_error("codec: truncated nibble table");
+      }
+      const std::uint8_t* nibbles = body.data();
+      const std::uint8_t* cursor = nibbles + nibble_bytes;
+      const std::uint8_t* const end = body.data() + body.size();
+      for (std::size_t i = 0; i < count; ++i) {
+        const unsigned sig = (nibbles[i >> 1] >> ((i & 1u) * 4u)) & 0xFu;
+        if (sig > sizeof(std::uint64_t)) {
+          throw std::runtime_error("codec: bad significant-byte count");
+        }
+        if (static_cast<std::size_t>(end - cursor) < sig) {
+          throw std::runtime_error("codec: truncated packed frame");
+        }
+        std::uint64_t x = 0;
+        std::memcpy(&x, cursor, sig);
+        cursor += sig;
+        const std::uint64_t p = have_prev ? bits_of(prev[i]) : std::uint64_t{0};
+        out[i] = double_of(x ^ p);
+      }
+      if (cursor != end) {
+        throw std::runtime_error("codec: trailing bytes in packed frame");
+      }
+      if ((count & 1u) != 0 && (nibbles[count >> 1] >> 4u) != 0) {
+        throw std::runtime_error("codec: nonzero nibble padding");
+      }
+      return;
+    }
+    case kQuant: {
+      if (body.size() != sizeof(double) + count) {
+        throw std::runtime_error("codec: quant frame size mismatch");
+      }
+      double scale = 0.0;
+      std::memcpy(&scale, body.data(), sizeof(scale));
+      if (!std::isfinite(scale) || scale < 0.0) {
+        throw std::runtime_error("codec: bad quant scale");
+      }
+      const auto* q =
+          reinterpret_cast<const std::int8_t*>(body.data() + sizeof(double));
+      for (std::size_t i = 0; i < count; ++i) {
+        out[i] = scale * static_cast<double>(q[i]);
+      }
+      return;
+    }
+    default:
+      throw std::runtime_error("codec: unknown frame flag");
+  }
+}
+
+std::size_t WireCodec::encode_quant(Stream& stream,
+                                    std::vector<double>& values,
+                                    std::vector<std::uint8_t>& out) {
+  const std::size_t n = values.size();
+  if (stream.err.size() != n) stream.err.assign(n, 0.0);
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = values[i] + stream.err[i];
+    const double a = std::abs(t);
+    if (std::isfinite(a) && a > max_abs) max_abs = a;
+  }
+  const double scale = max_abs > 0.0 ? max_abs / 127.0 : 0.0;
+  out.resize(1 + sizeof(double) + n);
+  out[0] = static_cast<std::uint8_t>(kQuant);
+  std::memcpy(out.data() + 1, &scale, sizeof(scale));
+  auto* q = reinterpret_cast<std::int8_t*>(out.data() + 1 + sizeof(double));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = values[i] + stream.err[i];
+    long qi = 0;
+    if (scale > 0.0 && std::isfinite(t)) {
+      qi = std::lround(t / scale);
+      qi = std::clamp(qi, -127L, 127L);
+    }
+    q[i] = static_cast<std::int8_t>(qi);
+    const double deq = scale * static_cast<double>(qi);
+    // Error feedback: the residual rides into the next round's frame, so
+    // the time-averaged quantization drift is unbiased. Non-finite
+    // inputs carry no residual (they quantize to 0 by definition).
+    stream.err[i] = std::isfinite(t) ? t - deq : 0.0;
+    values[i] = deq;
+  }
+  return out.size();
+}
+
+void WireCodec::encode(Message& msg) {
+  if (msg.coded_bytes != 0) return;  // relays/duplicates keep their frame
+  std::lock_guard lock(mutex_);
+  Stream& stream = streams_[Key{msg.sender,
+                                static_cast<std::uint8_t>(msg.kind),
+                                msg.device_type}];
+  const std::size_t n = msg.payload.size();
+  std::size_t coded = 0;
+  if (options_.quantize) {
+    const std::span<const double> in = msg.payload.span();
+    std::vector<double> delivered(in.begin(), in.end());
+    const std::uint64_t t0 = now_ns();
+    coded = encode_quant(stream, delivered, frame_);
+    const std::uint64_t t1 = now_ns();
+    stats_.encode_ns += t1 - t0;
+    decode_frame(std::span<const std::uint8_t>(frame_.data(), coded), {}, n,
+                 verify_);
+    stats_.decode_ns += now_ns() - t1;
+    if (verify_.size() != delivered.size() ||
+        (n > 0 && std::memcmp(verify_.data(), delivered.data(),
+                              n * sizeof(double)) != 0)) {
+      throw std::logic_error("codec: quant frame round-trip mismatch");
+    }
+    msg.payload.assign(delivered.begin(), delivered.end());
+  } else {
+    const std::span<const double> values = msg.payload.span();
+    const std::uint64_t t0 = now_ns();
+    coded = encode_frame(values, stream.prev, frame_);
+    const std::uint64_t t1 = now_ns();
+    stats_.encode_ns += t1 - t0;
+    // Verify-on-encode: the decoder runs against the same previous frame
+    // the encoder delta'd against, on every message of every run.
+    decode_frame(std::span<const std::uint8_t>(frame_.data(), coded),
+                 stream.prev, n, verify_);
+    stats_.decode_ns += now_ns() - t1;
+    if (verify_.size() != n ||
+        (n > 0 &&
+         std::memcmp(verify_.data(), values.data(), n * sizeof(double)) != 0)) {
+      throw std::logic_error("codec: lossless round-trip mismatch");
+    }
+    if (frame_[0] != kRepeat) {
+      stream.prev.assign(values.begin(), values.end());
+    }
+  }
+  msg.coded_bytes = coded;
+  ++stats_.frames;
+  if (!frame_.empty() && frame_[0] == kRepeat) ++stats_.repeat_frames;
+  if (!frame_.empty() && frame_[0] == kRaw) ++stats_.raw_escapes;
+  stats_.raw_bytes += n * sizeof(double);
+  stats_.coded_bytes += coded;
+}
+
+void WireCodec::reset_agent(AgentId sender) {
+  std::lock_guard lock(mutex_);
+  std::erase_if(streams_, [sender](const auto& kv) {
+    return std::get<0>(kv.first) == sender;
+  });
+}
+
+void WireCodec::reset_streams() {
+  std::lock_guard lock(mutex_);
+  streams_.clear();
+}
+
+CodecStats WireCodec::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void WireCodec::reset_stats() {
+  std::lock_guard lock(mutex_);
+  stats_ = CodecStats{};
+}
+
+std::vector<CodecStreamSnapshot> WireCodec::capture_streams() const {
+  std::lock_guard lock(mutex_);
+  std::vector<CodecStreamSnapshot> out;
+  out.reserve(streams_.size());
+  for (const auto& [key, stream] : streams_) {
+    CodecStreamSnapshot snap;
+    snap.sender = std::get<0>(key);
+    snap.kind = std::get<1>(key);
+    snap.device_type = std::get<2>(key);
+    snap.prev = stream.prev;
+    snap.err = stream.err;
+    out.push_back(std::move(snap));
+  }
+  return out;  // map order: sorted by key, so serialization is stable
+}
+
+void WireCodec::restore_streams(
+    const std::vector<CodecStreamSnapshot>& streams) {
+  std::lock_guard lock(mutex_);
+  streams_.clear();
+  for (const auto& snap : streams) {
+    Stream& stream = streams_[Key{snap.sender, snap.kind, snap.device_type}];
+    stream.prev = snap.prev;
+    stream.err = snap.err;
+  }
+}
+
+}  // namespace pfdrl::net

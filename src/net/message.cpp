@@ -26,9 +26,17 @@ const char* message_kind_name(MessageKind k) noexcept {
   return "?";
 }
 
+namespace {
+// 4 (sender) + 1 (kind) + 4 (device_type) + 8 (round) + 8 (len)
+constexpr std::size_t kHeader = 25;
+}  // namespace
+
 std::size_t Message::wire_bytes() const noexcept {
-  // 4 (sender) + 1 (kind) + 4 (device_type) + 8 (round) + 8 (len)
-  constexpr std::size_t kHeader = 25;
+  return kHeader + (coded_bytes != 0 ? coded_bytes
+                                     : payload.size() * sizeof(double));
+}
+
+std::size_t Message::logical_bytes() const noexcept {
   return kHeader + payload.size() * sizeof(double);
 }
 

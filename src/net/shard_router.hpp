@@ -29,8 +29,15 @@ struct ShardRouterStats {
   std::uint64_t batches_flushed = 0;
   /// flush() calls (ticks with any router attached).
   std::uint64_t flushes = 0;
-  /// Payload bytes carried inside flushed batches.
+  /// Logical (pre-codec) bytes carried inside flushed batches: the full
+  /// per-message header + raw payload, as if each message had been sent
+  /// individually and uncoded.
   std::uint64_t batched_bytes = 0;
+  /// Post-codec bytes the cross-shard transfers actually pay: one slab
+  /// header per flushed pair batch plus, per message, a slab subheader
+  /// and the coded frame (raw payload when uncoded). Compare against
+  /// batched_bytes for the achieved cross-shard compression.
+  std::uint64_t batched_wire_bytes = 0;
   /// High-water message count of any single pair batch at flush time
   /// (per-shard queue depth).
   std::uint64_t max_batch_depth = 0;

@@ -129,11 +129,13 @@ void lstm_phase1_row(const double* __restrict zg, const double* __restrict tc,
 
 /// One LSTM step over one slice's rows: blocked gate preactivation, then
 /// the per-row nonlinearity/state-update sequence of step_compute.
+/// `x_row0` offsets the rows read from x (the forecast epoch arena); the
+/// state slabs stay batch-local.
 void lstm_step_slice(const double* pwx, const double* pwh, const double* pb,
                      std::size_t f, std::size_t h, const Matrix& x,
-                     const Matrix& h_prev, const Matrix& c_prev, Matrix& gates,
-                     Matrix& c, Matrix& tanh_c, Matrix& hm,
-                     const FusedSlice& s) {
+                     std::size_t x_row0, const Matrix& h_prev,
+                     const Matrix& c_prev, Matrix& gates, Matrix& c,
+                     Matrix& tanh_c, Matrix& hm, const FusedSlice& s) {
   const std::size_t g4 = 4 * h;
   const std::size_t r_end = s.row_begin + s.rows;
   std::size_t r = s.row_begin;
@@ -142,14 +144,14 @@ void lstm_step_slice(const double* pwx, const double* pwh, const double* pb,
     const double* xr[kRB];
     const double* hr[kRB];
     block_rows(gates, r, zr);
-    block_rows_const(x, r, xr);
+    block_rows_const(x, x_row0 + r, xr);
     block_rows_const(h_prev, r, hr);
     kernels::fused_gates_rows(pb, xr, f, pwx, hr, h, pwh, g4, zr, g4);
   }
   for (; r < r_end; ++r) {
     double* z = gates.row(r).data();
     for (std::size_t j = 0; j < g4; ++j) z[j] = pb[j];
-    const double* xr = x.row(r).data();
+    const double* xr = x.row(x_row0 + r).data();
     for (std::size_t k = 0; k < f; ++k) {
       kernels::axpy(xr[k], pwx + k * g4, z, g4);
     }
@@ -193,10 +195,16 @@ GruOffsets gru_offsets(std::size_t f, std::size_t h, std::size_t o) {
   return ofs;
 }
 
+/// One GRU step over one slice's rows. `x_row0` offsets the rows read
+/// from x, as in lstm_step_slice. The bias fill + input matrix ride the
+/// specialized fused_gates_rows register tile (its generic fallback is
+/// literally that bias-fill + fused_acc_rows sequence, so the swap is
+/// bitwise free); the recurrent matrix cannot join the same call because
+/// it only feeds the z/r gate columns until (r ⊙ h) is known.
 void gru_step_slice(const double* pwx, const double* pwh, const double* pb,
                     std::size_t f, std::size_t h, const Matrix& x,
-                    const Matrix& h_prev, Matrix& gates, Matrix& hm,
-                    Matrix& coeff, std::size_t coeff_base,
+                    std::size_t x_row0, const Matrix& h_prev, Matrix& gates,
+                    Matrix& hm, Matrix& coeff, std::size_t coeff_base,
                     const FusedSlice& s) {
   const std::size_t g3 = 3 * h;
   const std::size_t r_end = s.row_begin + s.rows;
@@ -206,12 +214,10 @@ void gru_step_slice(const double* pwx, const double* pwh, const double* pb,
     const double* xr[kRB];
     const double* hp[kRB];
     block_rows(gates, r, zr);
-    block_rows_const(x, r, xr);
+    block_rows_const(x, x_row0 + r, xr);
     block_rows_const(h_prev, r, hp);
-    for (std::size_t i = 0; i < kRB; ++i) {
-      for (std::size_t j = 0; j < g3; ++j) zr[i][j] = pb[j];
-    }
-    kernels::fused_acc_rows(xr, f, pwx, g3, zr, g3);
+    kernels::fused_gates_rows(pb, xr, f, pwx, nullptr, 0, nullptr, g3, zr,
+                              g3);
     // z and r gates see h directly; candidate comes after r is known.
     kernels::fused_acc_rows(hp, h, pwh, g3, zr, 2 * h);
     for (std::size_t i = 0; i < kRB; ++i) {
@@ -241,7 +247,7 @@ void gru_step_slice(const double* pwx, const double* pwh, const double* pb,
   for (; r < r_end; ++r) {
     double* z = gates.row(r).data();
     for (std::size_t j = 0; j < g3; ++j) z[j] = pb[j];
-    const double* xr = x.row(r).data();
+    const double* xr = x.row(x_row0 + r).data();
     for (std::size_t k = 0; k < f; ++k) {
       kernels::axpy(xr[k], pwx + k * g3, z, g3);
     }
@@ -267,10 +273,12 @@ void gru_step_slice(const double* pwx, const double* pwh, const double* pb,
 /// Blocked dense forward preactivation for one slice (activation applies
 /// slab-wide afterwards). Matches the batched dense_forward row kernel;
 /// the per-home batch-1 matvec1 dispatch is bitwise identical to it by
-/// the dense.hpp contract, so slicing never changes results.
+/// the dense.hpp contract, so slicing never changes results. `in_row0`
+/// offsets the rows read from x (nonzero only for the input layer when
+/// the batch lives inside an epoch arena).
 void dense_forward_slice(std::span<const double> params, std::size_t in,
-                         std::size_t out, const Matrix& x, Matrix& y,
-                         const FusedSlice& s) {
+                         std::size_t out, const Matrix& x, std::size_t in_row0,
+                         Matrix& y, const FusedSlice& s) {
   const double* w = params.data();
   const double* b = params.data() + in * out;
   const std::size_t r_end = s.row_begin + s.rows;
@@ -279,11 +287,11 @@ void dense_forward_slice(std::span<const double> params, std::size_t in,
     double* yr[kRB];
     const double* xr[kRB];
     block_rows(y, r, yr);
-    block_rows_const(x, r, xr);
+    block_rows_const(x, in_row0 + r, xr);
     kernels::fused_gates_rows(b, xr, in, w, nullptr, 0, nullptr, out, yr, out);
   }
   for (; r < r_end; ++r) {
-    const double* xr = x.row(r).data();
+    const double* xr = x.row(in_row0 + r).data();
     double* yr = y.row(r).data();
     for (std::size_t j = 0; j < out; ++j) yr[j] = b[j];
     for (std::size_t k = 0; k < in; ++k) {
@@ -298,8 +306,9 @@ void dense_forward_slice(std::span<const double> params, std::size_t in,
 /// once — element-independent, so slab-wide equals per-slice).
 void dense_backward_slice(std::span<const double> params, std::size_t in,
                           std::size_t out, const Matrix& x,
-                          const Matrix& grad_y, std::span<double> grad_params,
-                          Matrix* grad_x, const FusedSlice& s) {
+                          std::size_t in_row0, const Matrix& grad_y,
+                          std::span<double> grad_params, Matrix* grad_x,
+                          const FusedSlice& s) {
   double* gw = grad_params.data();
   double* gb = grad_params.data() + in * out;
   const double* w = params.data();
@@ -309,7 +318,7 @@ void dense_backward_slice(std::span<const double> params, std::size_t in,
     const double* dr[kRB];
     const double* xr[kRB];
     block_rows_const(grad_y, r, dr);
-    block_rows_const(x, r, xr);
+    block_rows_const(x, in_row0 + r, xr);
     kernels::fused_bias_acc_rows(dr, out, gb);
     kernels::fused_outer_acc_rows(xr, in, dr, out, gw, out);
     if (grad_x != nullptr) {
@@ -323,7 +332,7 @@ void dense_backward_slice(std::span<const double> params, std::size_t in,
     }
   }
   for (; r < r_end; ++r) {
-    const double* xr = x.row(r).data();
+    const double* xr = x.row(in_row0 + r).data();
     const double* dr = grad_y.row(r).data();
     for (std::size_t j = 0; j < out; ++j) gb[j] += dr[j];
     kernels::outer_acc(xr, in, dr, out, gw);
@@ -348,14 +357,17 @@ void FusedLstm::train_batch(std::span<LstmRegressor* const> nets,
                             std::span<const FusedSlice> slices,
                             std::span<const Matrix* const> xs, const Matrix& y,
                             LossKind loss, std::span<Optimizer* const> opts,
-                            std::span<double> losses, double clip_norm) {
+                            std::span<double> losses, double clip_norm,
+                            std::size_t src_row0) {
   const std::size_t members = nets.size();
   if (members == 0 || xs.empty()) return;
   assert(slices.size() == members && opts.size() == members &&
          losses.size() == members);
   const std::size_t T = xs.size();
-  const std::size_t rows = xs[0]->rows();
+  std::size_t rows = 0;
+  for (const FusedSlice& s : slices) rows += s.rows;
   check_slices(slices, rows);
+  if (rows == 0) return;
   const LstmRegressor& n0 = *nets[0];
   const std::size_t f = n0.feature_dim();
   const std::size_t h = n0.hidden_dim();
@@ -391,8 +403,9 @@ void FusedLstm::train_batch(std::span<LstmRegressor* const> nets,
 
 #ifndef NDEBUG
   for (std::size_t t = 0; t < T; ++t) {
-    assert(xs[t]->rows() == rows && xs[t]->cols() == f);
+    assert(xs[t]->rows() >= src_row0 + rows && xs[t]->cols() == f);
   }
+  assert(y.rows() >= src_row0 + rows);
 #endif
 
   // ---- Member-major execution: one task per member runs its forward,
@@ -413,14 +426,18 @@ void FusedLstm::train_batch(std::span<LstmRegressor* const> nets,
     for (std::size_t t = 0; t < T; ++t) {
       const Matrix& hp = t > 0 ? *h_[t - 1] : h0;
       const Matrix& cp = t > 0 ? *c_[t - 1] : c0;
-      lstm_step_slice(p + ofs.wx, p + ofs.wh, p + ofs.b, f, h, *xs[t], hp, cp,
-                      *gates_[t], *c_[t], *tanh_c_[t], *h_[t], s);
+      lstm_step_slice(p + ofs.wx, p + ofs.wh, p + ofs.b, f, h, *xs[t],
+                      src_row0, hp, cp, *gates_[t], *c_[t], *tanh_c_[t],
+                      *h_[t], s);
     }
     head_slice(p + ofs.w_head, p + ofs.b_head, h, o, *h_[T - 1], pred, s);
 
-    // ---- Loss over this member's row range. ----
-    losses[i] = loss_value_rows(loss, pred, y, s.row_begin, s.rows);
-    loss_grad_rows(loss, pred, y, s.row_begin, s.rows, grad_out);
+    // ---- Loss over this member's row range (targets sit at the arena
+    // offset; predictions are batch-local). ----
+    losses[i] = loss_value_rows(loss, pred, s.row_begin, y,
+                                src_row0 + s.row_begin, s.rows);
+    loss_grad_rows(loss, pred, s.row_begin, y, src_row0 + s.row_begin, s.rows,
+                   grad_out);
 
     // ---- Backward: shared delta slabs, own gradient bank. ----
     double* g = grads_.data() + i * ofs.total;
@@ -455,7 +472,7 @@ void FusedLstm::train_batch(std::span<LstmRegressor* const> nets,
         const double* dzr[kRB];
         const double* xr[kRB];
         block_rows_const(dz, r, dzr);
-        block_rows_const(*xs[t], r, xr);
+        block_rows_const(*xs[t], src_row0 + r, xr);
         kernels::fused_bias_acc_rows(dzr, 4 * h, g + ofs.b);
         kernels::fused_outer_acc_rows(xr, f, dzr, 4 * h, g + ofs.wx, 4 * h);
         if (t > 0) {
@@ -473,7 +490,7 @@ void FusedLstm::train_batch(std::span<LstmRegressor* const> nets,
       }
       for (; r < r_end; ++r) {
         const double* dzr = dz.row(r).data();
-        const double* xr = xs[t]->row(r).data();
+        const double* xr = xs[t]->row(src_row0 + r).data();
         for (std::size_t j = 0; j < 4 * h; ++j) g[ofs.b + j] += dzr[j];
         kernels::outer_acc(xr, f, dzr, 4 * h, g + ofs.wx);
         if (t > 0) {
@@ -510,14 +527,17 @@ void FusedGru::train_batch(std::span<GruRegressor* const> nets,
                            std::span<const FusedSlice> slices,
                            std::span<const Matrix* const> xs, const Matrix& y,
                            LossKind loss, std::span<Optimizer* const> opts,
-                           std::span<double> losses, double clip_norm) {
+                           std::span<double> losses, double clip_norm,
+                           std::size_t src_row0) {
   const std::size_t members = nets.size();
   if (members == 0 || xs.empty()) return;
   assert(slices.size() == members && opts.size() == members &&
          losses.size() == members);
   const std::size_t T = xs.size();
-  const std::size_t rows = xs[0]->rows();
+  std::size_t rows = 0;
+  for (const FusedSlice& s : slices) rows += s.rows;
   check_slices(slices, rows);
+  if (rows == 0) return;
   const GruRegressor& n0 = *nets[0];
   const std::size_t f = n0.feature_dim();
   const std::size_t h = n0.hidden_dim();
@@ -548,8 +568,9 @@ void FusedGru::train_batch(std::span<GruRegressor* const> nets,
 
 #ifndef NDEBUG
   for (std::size_t t = 0; t < T; ++t) {
-    assert(xs[t]->rows() == rows && xs[t]->cols() == f);
+    assert(xs[t]->rows() >= src_row0 + rows && xs[t]->cols() == f);
   }
+  assert(y.rows() >= src_row0 + rows);
 #endif
 
   // Member-major execution, same scheme (and same bitwise argument) as
@@ -563,13 +584,15 @@ void FusedGru::train_batch(std::span<GruRegressor* const> nets,
 
     for (std::size_t t = 0; t < T; ++t) {
       const Matrix& hp = t > 0 ? *h_[t - 1] : h0;
-      gru_step_slice(p + ofs.wx, p + ofs.wh, p + ofs.b, f, h, *xs[t], hp,
-                     *gates_[t], *h_[t], coeff, coeff_base, s);
+      gru_step_slice(p + ofs.wx, p + ofs.wh, p + ofs.b, f, h, *xs[t],
+                     src_row0, hp, *gates_[t], *h_[t], coeff, coeff_base, s);
     }
     head_slice(p + ofs.w_head, p + ofs.b_head, h, o, *h_[T - 1], pred, s);
 
-    losses[i] = loss_value_rows(loss, pred, y, s.row_begin, s.rows);
-    loss_grad_rows(loss, pred, y, s.row_begin, s.rows, grad_out);
+    losses[i] = loss_value_rows(loss, pred, s.row_begin, y,
+                                src_row0 + s.row_begin, s.rows);
+    loss_grad_rows(loss, pred, s.row_begin, y, src_row0 + s.row_begin, s.rows,
+                   grad_out);
 
     double* g = grads_.data() + i * ofs.total;
     head_backward_slice(p + ofs.w_head, h, o, grad_out, *h_[T - 1], dh,
@@ -579,14 +602,66 @@ void FusedGru::train_batch(std::span<GruRegressor* const> nets,
       const Matrix& gates = *gates_[t];
       const Matrix& h_prev = t > 0 ? *h_[t - 1] : h0;
       const std::size_t r_end = s.row_begin + s.rows;
-      // Phase 1 — elementwise deltas and recurrent dots. The per-row
-      // op sequence matches GruRegressor::backward; dots over shared
-      // weight rows run row-inner so the row stays hot across the block.
-      for (std::size_t r = s.row_begin; r < r_end; ++r) {
-        const double* zg = gates.row(r).data();
-        const double* hp = h_prev.row(r).data();
-        double* dhr = dh.row(r).data();
-        double* dzr = dz.row(r).data();
+      // Phase 1 — elementwise deltas and recurrent dots. The per-row op
+      // sequence matches GruRegressor::backward; the recurrent dots run
+      // kRB rows at a time through fused_dot_rows (bitwise four dot()
+      // calls — exact lane decomposition) so each shared weight row
+      // streams once per block instead of once per row. Every element
+      // keeps its scalar single-accumulator chain: the candidate-dot
+      // loop writes only dzr[h, 2h) while its dots read dzr[2h, 3h),
+      // and it finishes all k before the z/r-dot loop reads dzr[0, 2h),
+      // so blocking reorders nothing within any accumulator.
+      std::size_t rp = s.row_begin;
+      for (; rp + kRB <= r_end; rp += kRB) {
+        const double* zg[kRB];
+        const double* hp[kRB];
+        double* dhr[kRB];
+        double* dzr[kRB];
+        block_rows_const(gates, rp, zg);
+        block_rows_const(h_prev, rp, hp);
+        block_rows(dh, rp, dhr);
+        block_rows(dz, rp, dzr);
+        for (std::size_t b = 0; b < kRB; ++b) {
+          for (std::size_t j = 0; j < h; ++j) {
+            const double z_g = zg[b][j];
+            const double cand = zg[b][2 * h + j];
+            const double dht = dhr[b][j];
+
+            const double dzg = dht * (cand - hp[b][j]);
+            const double dcand = dht * z_g;
+            dhr[b][j] = dht * (1.0 - z_g);
+
+            const double dcand_pre = dcand * (1.0 - cand * cand);
+            dzr[b][2 * h + j] = dcand_pre;
+            dzr[b][j] = dzg * z_g * (1.0 - z_g);
+            dzr[b][h + j] = 0.0;
+          }
+        }
+        const double* dz2[kRB];
+        const double* dzc[kRB];
+        for (std::size_t b = 0; b < kRB; ++b) {
+          dz2[b] = dzr[b] + 2 * h;
+          dzc[b] = dzr[b];
+        }
+        double dots[kRB];
+        for (std::size_t k = 0; k < h; ++k) {
+          kernels::fused_dot_rows(dz2, pwh + k * 3 * h + 2 * h, h, dots);
+          for (std::size_t b = 0; b < kRB; ++b) {
+            const double rk = zg[b][h + k];
+            dzr[b][h + k] = dots[b] * hp[b][k] * rk * (1.0 - rk);
+            dhr[b][k] += dots[b] * rk;
+          }
+        }
+        for (std::size_t k = 0; k < h; ++k) {
+          kernels::fused_dot_rows(dzc, pwh + k * 3 * h, 2 * h, dots);
+          for (std::size_t b = 0; b < kRB; ++b) dhr[b][k] += dots[b];
+        }
+      }
+      for (; rp < r_end; ++rp) {
+        const double* zg = gates.row(rp).data();
+        const double* hp = h_prev.row(rp).data();
+        double* dhr = dh.row(rp).data();
+        double* dzr = dz.row(rp).data();
         for (std::size_t j = 0; j < h; ++j) {
           const double z_g = zg[j];
           const double cand = zg[2 * h + j];
@@ -619,7 +694,7 @@ void FusedGru::train_batch(std::span<GruRegressor* const> nets,
         const double* xr[kRB];
         const double* hp[kRB];
         block_rows_const(dz, r, dzr);
-        block_rows_const(*xs[t], r, xr);
+        block_rows_const(*xs[t], src_row0 + r, xr);
         block_rows_const(h_prev, r, hp);
         kernels::fused_bias_acc_rows(dzr, 3 * h, g + ofs.b);
         kernels::fused_outer_acc_rows(xr, f, dzr, 3 * h, g + ofs.wx, 3 * h);
@@ -639,7 +714,7 @@ void FusedGru::train_batch(std::span<GruRegressor* const> nets,
       }
       for (; r < r_end; ++r) {
         const double* dzr = dz.row(r).data();
-        const double* xr = xs[t]->row(r).data();
+        const double* xr = xs[t]->row(src_row0 + r).data();
         const double* hp = h_prev.row(r).data();
         for (std::size_t j = 0; j < 3 * h; ++j) g[ofs.b + j] += dzr[j];
         kernels::outer_acc(xr, f, dzr, 3 * h, g + ofs.wx);
@@ -672,10 +747,15 @@ void FusedGru::train_batch(std::span<GruRegressor* const> nets,
 
 const Matrix& FusedMlp::forward(std::span<Mlp* const> nets,
                                 std::span<const FusedSlice> slices,
-                                const Matrix& x) {
+                                const Matrix& x, std::size_t src_row0) {
   assert(!nets.empty() && nets.size() == slices.size());
   const Mlp& n0 = *nets[0];
-  check_slices(slices, x.rows());
+  std::size_t rows = 0;
+  for (const FusedSlice& s : slices) rows += s.rows;
+  check_slices(slices, rows);
+  if (src_row0 + rows > x.rows()) {
+    throw std::invalid_argument("FusedMlp: batch rows exceed input rows");
+  }
   for (const Mlp* n : nets) {
     if (!n->same_architecture(n0)) {
       throw std::invalid_argument("FusedMlp: member architecture mismatch");
@@ -686,8 +766,9 @@ const Matrix& FusedMlp::forward(std::span<Mlp* const> nets,
   ws_.reset();
   acts_.assign(layers + 1, nullptr);
   input_ = &x;
+  input_row0_ = src_row0;
   for (std::size_t l = 0; l < layers; ++l) {
-    acts_[l + 1] = &ws_.take(x.rows(), dims[l + 1]);
+    acts_[l + 1] = &ws_.take(rows, dims[l + 1]);
   }
   // Member-major: each member drives its own slice rows through the
   // whole layer stack (its activations depend on its own rows only), so
@@ -700,7 +781,7 @@ const Matrix& FusedMlp::forward(std::span<Mlp* const> nets,
     for (std::size_t l = 0; l < layers; ++l) {
       Matrix& slab = *acts_[l + 1];
       dense_forward_slice(nets[i]->layer_parameters(l), dims[l], dims[l + 1],
-                          *cur, slab, s);
+                          *cur, l == 0 ? src_row0 : 0, slab, s);
       const Activation act =
           l + 1 == layers ? n0.output_activation() : n0.hidden_activation();
       activate_rows(act, slab, s.row_begin, s.rows);
@@ -737,7 +818,8 @@ void FusedMlp::backward(std::span<Mlp* const> nets,
       auto grad_slice = nets[i]->gradients().subspan(
           nets[i]->layer_offset(l), nets[i]->layer_param_count(l));
       dense_backward_slice(nets[i]->layer_parameters(l), dims[l], dims[l + 1],
-                           in, *g, grad_slice, gx, s);
+                           in, l == 0 ? input_row0_ : 0, *g, grad_slice, gx,
+                           s);
       g = gx;
     }
   });
@@ -747,16 +829,18 @@ void FusedMlp::train_batch(std::span<Mlp* const> nets,
                            std::span<const FusedSlice> slices, const Matrix& x,
                            const Matrix& y, LossKind loss,
                            std::span<Optimizer* const> opts,
-                           std::span<double> losses) {
+                           std::span<double> losses, std::size_t src_row0) {
   assert(opts.size() == nets.size() && losses.size() == nets.size());
-  const Matrix& pred = forward(nets, slices, x);
+  const Matrix& pred = forward(nets, slices, x, src_row0);
   Matrix& grad = ws_.take(pred.rows(), pred.cols());
   // Loss rows and gradient buffers are member-disjoint, so these loops
   // fan out like forward()/backward() without changing any result.
   util::ThreadPool::global().parallel_for(0, nets.size(), [&](std::size_t i) {
-    losses[i] = loss_value_rows(loss, pred, y, slices[i].row_begin,
+    losses[i] = loss_value_rows(loss, pred, slices[i].row_begin, y,
+                                src_row0 + slices[i].row_begin,
                                 slices[i].rows);
-    loss_grad_rows(loss, pred, y, slices[i].row_begin, slices[i].rows, grad);
+    loss_grad_rows(loss, pred, slices[i].row_begin, y,
+                   src_row0 + slices[i].row_begin, slices[i].rows, grad);
     nets[i]->zero_grad();
   });
   backward(nets, slices, grad);
@@ -764,7 +848,7 @@ void FusedMlp::train_batch(std::span<Mlp* const> nets,
     opts[i]->step(nets[i]->parameters(), nets[i]->gradients());
     kernels::note_train_batch();
   });
-  note_fused_batch(nets.size(), x.rows());
+  note_fused_batch(nets.size(), pred.rows());
 }
 
 }  // namespace pfdrl::nn

@@ -74,14 +74,20 @@ void note_fused_batch(std::size_t members, std::size_t rows) noexcept;
 /// slice i's rows alone.
 class FusedLstm {
  public:
-  /// xs[t] is the total_rows x F step-t slab; y is total_rows x O.
-  /// nets/slices/opts/losses are parallel arrays (losses receives each
-  /// member's batch loss). All nets must share (F, H, O).
+  /// xs[t] is the step-t slab and y the target slab; the batch covers
+  /// rows [src_row0, src_row0 + total_rows) of both, where total_rows is
+  /// the sum of slice rows. slices[] row_begins remain batch-local
+  /// (slice 0 starts at 0); src_row0 lets the forecast layer keep one
+  /// persistent epoch arena and train consecutive batches out of it
+  /// without re-gathering. nets/slices/opts/losses are parallel arrays
+  /// (losses receives each member's batch loss). All nets must share
+  /// (F, H, O).
   void train_batch(std::span<LstmRegressor* const> nets,
                    std::span<const FusedSlice> slices,
                    std::span<const Matrix* const> xs, const Matrix& y,
                    LossKind loss, std::span<Optimizer* const> opts,
-                   std::span<double> losses, double clip_norm = 5.0);
+                   std::span<double> losses, double clip_norm = 5.0,
+                   std::size_t src_row0 = 0);
 
  private:
   Workspace ws_;
@@ -99,7 +105,8 @@ class FusedGru {
                    std::span<const FusedSlice> slices,
                    std::span<const Matrix* const> xs, const Matrix& y,
                    LossKind loss, std::span<Optimizer* const> opts,
-                   std::span<double> losses, double clip_norm = 5.0);
+                   std::span<double> losses, double clip_norm = 5.0,
+                   std::size_t src_row0 = 0);
 
  private:
   Workspace ws_;
@@ -115,21 +122,27 @@ class FusedGru {
 /// architecture (Mlp::same_architecture).
 class FusedMlp {
  public:
+  /// As with the recurrent trainers, src_row0 offsets the rows read from
+  /// x / y (epoch-arena batches); the returned prediction slab and
+  /// grad_out stay batch-local (rows [0, total_rows)).
   const Matrix& forward(std::span<Mlp* const> nets,
-                        std::span<const FusedSlice> slices, const Matrix& x);
+                        std::span<const FusedSlice> slices, const Matrix& x,
+                        std::size_t src_row0 = 0);
   void backward(std::span<Mlp* const> nets, std::span<const FusedSlice> slices,
                 Matrix& grad_out);
   /// Forward + per-slice loss + backward + per-member optimizer step.
   void train_batch(std::span<Mlp* const> nets,
                    std::span<const FusedSlice> slices, const Matrix& x,
                    const Matrix& y, LossKind loss,
-                   std::span<Optimizer* const> opts, std::span<double> losses);
+                   std::span<Optimizer* const> opts, std::span<double> losses,
+                   std::size_t src_row0 = 0);
 
  private:
   Workspace ws_;
   std::vector<Matrix*> acts_;  // acts_[i] = layer i output slab (1-based)
   std::vector<Matrix*> grad_slabs_;  // backward delta slab per layer (l >= 1)
   const Matrix* input_ = nullptr;
+  std::size_t input_row0_ = 0;  // forward()'s src_row0, for backward()
 };
 
 }  // namespace pfdrl::nn

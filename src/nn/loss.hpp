@@ -34,6 +34,20 @@ void loss_grad_rows(LossKind kind, const Matrix& pred, const Matrix& target,
                     std::size_t row_begin, std::size_t rows, Matrix& grad,
                     double huber_delta = 1.0);
 
+/// Split-begin variants: pred rows start at `pred_row_begin`, target rows
+/// at `target_row_begin` (the fused trainers' epoch arenas hold targets
+/// at an arena offset while predictions live in batch-local slabs). Both
+/// iterate the identical ascending element order as the same-begin
+/// forms, so values and gradients stay bitwise unchanged.
+double loss_value_rows(LossKind kind, const Matrix& pred,
+                       std::size_t pred_row_begin, const Matrix& target,
+                       std::size_t target_row_begin, std::size_t rows,
+                       double huber_delta = 1.0);
+void loss_grad_rows(LossKind kind, const Matrix& pred,
+                    std::size_t pred_row_begin, const Matrix& target,
+                    std::size_t target_row_begin, std::size_t rows,
+                    Matrix& grad, double huber_delta = 1.0);
+
 /// Scalar Huber loss (exposed for tests and the RL temporal-difference
 /// error path, which operates on single Q-values).
 double huber(double error, double delta = 1.0) noexcept;

@@ -60,6 +60,14 @@ struct BusSnapshot {
   bool present = false;
   util::RngState fault_rng;
   net::BusStats stats;
+  /// Wire-codec delta state (per-sender previous-round params + lossy
+  /// error-feedback accumulators; docs/wire.md). Empty when the bus has
+  /// no codec attached or the file predates version 3. Restoring empty
+  /// state simply forces keyframes on the next round, so codec-off
+  /// snapshots resume into codec-on pipelines (and vice versa) cleanly;
+  /// restoring captured state keeps a codec-on crash-resume bitwise
+  /// identical in wire accounting too.
+  std::vector<net::CodecStreamSnapshot> codec;
 };
 
 struct RunSnapshot {

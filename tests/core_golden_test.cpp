@@ -51,7 +51,7 @@ struct SmallOutcome {
   std::vector<ems::EpisodeResult> results;
 };
 
-SmallOutcome run_small(std::size_t shards) {
+SmallOutcome run_small(std::size_t shards, bool wire_codec = false) {
   sim::ScenarioConfig sc;
   sc.neighborhood.num_households = 3;
   sc.neighborhood.min_devices = 4;
@@ -69,6 +69,7 @@ SmallOutcome run_small(std::size_t shards) {
   cfg.alpha = 2;  // genuine base/personalization split (3 dense layers)
   cfg.gamma_hours = 6.0;
   cfg.shards = shards;
+  cfg.wire_codec = wire_codec;
   obs::MetricsRegistry reg;
   cfg.metrics = &reg;
 
@@ -116,6 +117,16 @@ TEST(GoldenPfdrl, SmallRunIsBitwiseStable) { expect_golden(run_small(0)); }
 // per-job forked RNGs).
 TEST(GoldenPfdrl, ShardedRunMatchesFlatGoldenBitwise) {
   expect_golden(run_small(2));
+}
+
+// The lossless wire codec must be invisible to every pinned constant:
+// received parameters are bitwise what the sender broadcast, and coded
+// frame sizes only feed the wire-byte ledger (which no golden quantity
+// reads under the no-deadline policy). Flat and sharded engines, codec
+// on — same goldens, unmodified.
+TEST(GoldenPfdrl, WireCodecOnMatchesGoldenBitwise) {
+  expect_golden(run_small(0, /*wire_codec=*/true));
+  expect_golden(run_small(2, /*wire_codec=*/true));
 }
 
 // Chaos determinism: a fully loaded fault plan (drops, delay+jitter,

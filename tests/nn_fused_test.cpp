@@ -268,9 +268,16 @@ TEST(NnFused, SliceTableMustTileTheSlab) {
   // Gap between slices.
   std::vector<FusedSlice> gap = {{0, 2}, {3, 3}};
   EXPECT_THROW(fused.forward(nets, gap, x), std::invalid_argument);
-  // Short coverage.
+  // Short coverage is a legal epoch-arena prefix batch (rows [0, 4) of
+  // the 6-row source), not an error.
   std::vector<FusedSlice> short_cover = {{0, 2}, {2, 2}};
-  EXPECT_THROW(fused.forward(nets, short_cover, x), std::invalid_argument);
+  EXPECT_NO_THROW(fused.forward(nets, short_cover, x));
+  // But the batch may never reach past the source rows, with or without
+  // an arena offset.
+  std::vector<FusedSlice> over = {{0, 4}, {4, 3}};
+  EXPECT_THROW(fused.forward(nets, over, x), std::invalid_argument);
+  EXPECT_THROW(fused.forward(nets, short_cover, x, /*src_row0=*/3),
+               std::invalid_argument);
 }
 
 TEST(NnFused, SteadyStateFusedBatchesAllocateNothing) {

@@ -13,9 +13,10 @@
 
 if(NOT DEFINED MICRO_KERNELS OR NOT DEFINED EMS_THROUGHPUT
    OR NOT DEFINED DFL_THROUGHPUT OR NOT DEFINED SCALE_SWEEP
+   OR NOT DEFINED WIRE_THROUGHPUT
    OR NOT DEFINED PFDRL_CLI OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR
-    "bench_smoke: MICRO_KERNELS, EMS_THROUGHPUT, DFL_THROUGHPUT, SCALE_SWEEP, PFDRL_CLI and WORK_DIR must be set")
+    "bench_smoke: MICRO_KERNELS, EMS_THROUGHPUT, DFL_THROUGHPUT, SCALE_SWEEP, WIRE_THROUGHPUT, PFDRL_CLI and WORK_DIR must be set")
 endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
@@ -76,6 +77,20 @@ if(NOT scale_rc EQUAL 0)
   message(FATAL_ERROR "scale_sweep failed (${scale_rc}):\n${scale_out}\n${scale_err}")
 endif()
 
+# --- wire_throughput: the codec frame layer over real parameter shapes,
+# small rep budget. The emitter's twin sweep is the codec determinism
+# check; the LSTM converged-round ratio is asserted below against the
+# >= 2x floor docs/wire.md documents for the committed baseline.
+set(wire_json "${WORK_DIR}/BENCH_wire.json")
+execute_process(
+  COMMAND "${WIRE_THROUGHPUT}" --rounds 12 --reps 4 --out "${wire_json}"
+  RESULT_VARIABLE wire_rc
+  OUTPUT_VARIABLE wire_out
+  ERROR_VARIABLE wire_err)
+if(NOT wire_rc EQUAL 0)
+  message(FATAL_ERROR "wire_throughput failed (${wire_rc}):\n${wire_out}\n${wire_err}")
+endif()
+
 # --- validate the emitted JSON. string(JSON) needs CMake >= 3.19; on
 # older CMake fall back to substring checks of the required keys.
 function(check_keys path)
@@ -105,6 +120,28 @@ check_keys("${dfl_json}" bench lstm_windows lstm_windows_per_sec
   gru_windows gru_windows_per_sec deterministic fused_bitwise_match
   fused_points)
 check_keys("${scale_json}" bench topology params rounds deterministic points)
+check_keys("${wire_json}" bench rounds reps deterministic shapes)
+
+# Twin codec sweeps must agree frame-for-frame, and the LSTM shape's
+# converged-round compression must hold the documented >= 2x floor —
+# a packing regression that still round-trips would otherwise pass.
+file(READ "${wire_json}" doc)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON wire_det GET "${doc}" deterministic)
+  if(NOT wire_det STREQUAL "ON" AND NOT wire_det STREQUAL "true")
+    message(FATAL_ERROR "wire_throughput: twin sweeps diverged (deterministic = ${wire_det})")
+  endif()
+  string(JSON shape0 GET "${doc}" shapes 0)
+  string(JSON shape0_name GET "${shape0}" shape)
+  if(NOT shape0_name STREQUAL "lstm")
+    message(FATAL_ERROR "wire_throughput: expected shapes[0] = lstm, got ${shape0_name}")
+  endif()
+  string(JSON lstm_ratio GET "${shape0}" converged_ratio)
+  if(lstm_ratio LESS 2.0)
+    message(FATAL_ERROR "wire_throughput: lstm converged_ratio ${lstm_ratio} below the 2x floor")
+  endif()
+  message(STATUS "${wire_json}: lstm converged_ratio = ${lstm_ratio}")
+endif()
 
 # Twin sharded engine runs must agree bitwise (the scaling determinism
 # contract from docs/scaling.md, re-checked end-to-end).
