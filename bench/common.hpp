@@ -7,8 +7,10 @@
 // *shape* (ordering, optima, crossovers) is the reproduction target.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,17 @@ inline void print_figure_header(const std::string& figure,
                                 const std::string& paper_claim) {
   std::printf("=== %s ===\n", figure.c_str());
   std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+/// Fixed-order FNV-1a over raw parameter bytes — the bitwise fingerprint
+/// the determinism asserts compare across modes and pool worker counts.
+inline std::uint64_t fnv1a_params(std::span<const double> params) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(params.data());
+  for (std::size_t i = 0; i < params.size() * sizeof(double); ++i) {
+    h = (h ^ bytes[i]) * 1099511628211ULL;
+  }
+  return h;
 }
 
 /// Metrics sidecar hook: when PFDRL_METRICS_DIR is set, fold the runtime

@@ -25,10 +25,21 @@
 // final parameters must match bitwise per home (the fused determinism
 // contract, re-checked end-to-end at every sweep point).
 //
+// Pool-worker sweep (docs/scaling.md#pipelined-rounds): the recurrent
+// kernels and the fused trainer fan out over util::ThreadPool, whose
+// size is fixed once per process (PFDRL_POOL_WORKERS). The sweep
+// therefore re-executes this binary once per requested worker count in
+// a child mode that emits one JSON line — lstm/gru/fused rates plus the
+// final parameter hashes — and the parent asserts every hash is
+// identical across worker counts: the fixed-order-reduction determinism
+// contract, measured instead of assumed.
+//
 // Writes a JSON summary (default BENCH_dfl.json in the CWD; the
 // committed baseline at the repo root carries before/after sections —
 // see docs/performance.md). Flags: --days N, --rounds R, --round-minutes
-// M, --fuse-homes LIST, --out PATH.
+// M, --fuse-homes LIST, --pool-workers CSV, --out PATH (and --emit PATH,
+// the internal child mode).
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +63,7 @@ struct MethodResult {
   std::size_t windows = 0;  // epoch-weighted training windows processed
   double seconds = 0.0;
   bool deterministic = false;
+  std::uint64_t hash = 0;  // fnv1a over the final parameter vector
 
   [[nodiscard]] double windows_per_sec() const noexcept {
     return seconds > 0.0 ? static_cast<double>(windows) / seconds : 0.0;
@@ -118,6 +130,7 @@ MethodResult run_method(forecast::Method method, const data::DeviceTrace& trace,
   for (std::size_t i = 0; result.deterministic && i < a.size(); ++i) {
     if (a[i] != b[i]) result.deterministic = false;
   }
+  result.hash = bench::fnv1a_params(a);
   return result;
 }
 
@@ -150,7 +163,8 @@ struct FusedPoint {
 FusedPoint run_fused_point(forecast::Method method,
                            const data::DeviceTrace& trace, std::size_t homes,
                            std::size_t rounds, std::size_t round_minutes,
-                           std::size_t total_minutes) {
+                           std::size_t total_minutes,
+                           std::uint64_t* params_hash = nullptr) {
   FusedPoint point;
   point.method = forecast::method_name(method);
   point.homes = homes;
@@ -246,7 +260,123 @@ FusedPoint run_fused_point(forecast::Method method,
       if (a[i] != b[i]) point.bitwise_match = false;
     }
   }
+  if (params_hash != nullptr) {
+    // One fixed-order hash across every fused home — the fingerprint the
+    // pool-worker sweep compares across worker counts.
+    std::vector<double> all;
+    for (std::size_t h = 0; h < homes; ++h) {
+      const auto p = fused[h]->parameters();
+      all.insert(all.end(), p.begin(), p.end());
+    }
+    *params_hash = bench::fnv1a_params(all);
+  }
   return point;
+}
+
+std::vector<std::size_t> parse_csv_sizes(const char* s) {
+  std::vector<std::size_t> out;
+  std::string cur;
+  for (const char* p = s;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!cur.empty()) out.push_back(std::stoul(cur));
+      cur.clear();
+      if (*p == '\0') break;
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  return out;
+}
+
+/// One pool-worker sweep sample, as parsed back from a child's line.
+struct PoolPoint {
+  std::size_t pool_workers = 0;
+  double lstm_rate = 0.0;
+  double gru_rate = 0.0;
+  double fused_rate = 0.0;
+  std::size_t fused_homes = 0;
+  std::string lstm_hash;
+  std::string gru_hash;
+  std::string fused_hash;
+  bool deterministic = false;
+};
+
+bool parse_pool_line(const std::string& line, PoolPoint* out) {
+  const auto find_num = [&](const char* key, double* value) {
+    const char* at = std::strstr(line.c_str(), key);
+    return at != nullptr &&
+           std::sscanf(at + std::strlen(key), "%lf", value) == 1;
+  };
+  const auto find_hash = [&](const char* key, std::string* value) {
+    const char* at = std::strstr(line.c_str(), key);
+    if (at == nullptr) return false;
+    at += std::strlen(key);
+    value->assign(at, std::strcspn(at, "\""));
+    return true;
+  };
+  double workers = 0.0;
+  double homes = 0.0;
+  if (!find_num("\"pool_workers\": ", &workers) ||
+      !find_num("\"fused_homes\": ", &homes) ||
+      !find_num("\"lstm_windows_per_sec\": ", &out->lstm_rate) ||
+      !find_num("\"gru_windows_per_sec\": ", &out->gru_rate) ||
+      !find_num("\"fused_windows_per_sec\": ", &out->fused_rate) ||
+      !find_hash("\"lstm_hash\": \"", &out->lstm_hash) ||
+      !find_hash("\"gru_hash\": \"", &out->gru_hash) ||
+      !find_hash("\"fused_hash\": \"", &out->fused_hash)) {
+    return false;
+  }
+  out->pool_workers = static_cast<std::size_t>(workers);
+  out->fused_homes = static_cast<std::size_t>(homes);
+  out->deterministic =
+      std::strstr(line.c_str(), "\"deterministic\": true") != nullptr;
+  return true;
+}
+
+/// Child mode: rerun the lstm/gru rounds and one fused group at this
+/// process's pool size and append the sample line to `emit_path`.
+int run_pool_child(const data::DeviceTrace& trace, std::size_t rounds,
+                   std::size_t round_minutes, std::size_t total_minutes,
+                   std::size_t fused_homes, const std::string& emit_path) {
+  const MethodResult lstm = run_method(forecast::Method::kLstm, trace, rounds,
+                                       round_minutes, total_minutes);
+  const MethodResult gru = run_method(forecast::Method::kGru, trace, rounds,
+                                      round_minutes, total_minutes);
+  std::uint64_t fused_hash = 0;
+  FusedPoint fused;
+  if (fused_homes >= 2) {
+    fused = run_fused_point(forecast::Method::kLstm, trace, fused_homes,
+                            rounds, round_minutes, total_minutes, &fused_hash);
+  } else {
+    fused.bitwise_match = true;
+  }
+  const bool ok =
+      lstm.deterministic && gru.deterministic && fused.bitwise_match;
+  std::FILE* f = std::fopen(emit_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", emit_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "    {\"pool_workers\": %zu, "
+               "\"lstm_windows_per_sec\": %.1f, "
+               "\"lstm_hash\": \"%016" PRIx64 "\", "
+               "\"gru_windows_per_sec\": %.1f, "
+               "\"gru_hash\": \"%016" PRIx64 "\", "
+               "\"fused_homes\": %zu, "
+               "\"fused_windows_per_sec\": %.1f, "
+               "\"fused_hash\": \"%016" PRIx64 "\", "
+               "\"deterministic\": %s},\n",
+               util::ThreadPool::global().size(), lstm.windows_per_sec(),
+               lstm.hash, gru.windows_per_sec(), gru.hash, fused.homes,
+               fused.fused_windows_per_sec(), fused_hash,
+               ok ? "true" : "false");
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "FATAL: child training runs diverged\n");
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -256,7 +386,9 @@ int main(int argc, char** argv) {
   std::size_t rounds = 6;
   std::size_t round_minutes = 360;  // one 6-hour broadcast period
   std::vector<std::size_t> fuse_homes = {20, 100};  // quick default sweep
+  std::vector<std::size_t> worker_counts = {1, 2, 4, 8};
   std::string out_path = "BENCH_dfl.json";
+  std::string emit_path;  // non-empty: child mode
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
       days = static_cast<std::size_t>(std::atol(argv[++i]));
@@ -270,21 +402,35 @@ int main(int argc, char** argv) {
            tok = std::strtok(nullptr, ",")) {
         fuse_homes.push_back(static_cast<std::size_t>(std::atol(tok)));
       }
+    } else if (std::strcmp(argv[i], "--pool-workers") == 0 && i + 1 < argc) {
+      worker_counts = parse_csv_sizes(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--emit") == 0 && i + 1 < argc) {
+      emit_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--days N] [--rounds R] [--round-minutes M] "
-                   "[--fuse-homes N,N,...] [--out P]\n",
+                   "[--fuse-homes N,N,...] [--pool-workers CSV] [--out P]\n",
                    argv[0]);
       return 2;
     }
   }
+  // Smallest requested fused group doubles as the pool sweep's fused
+  // sample (the path that actually fans out over the pool).
+  std::size_t sweep_fused_homes = 0;
+  for (const std::size_t h : fuse_homes) {
+    if (h >= 2 && (sweep_fused_homes == 0 || h < sweep_fused_homes)) {
+      sweep_fused_homes = h;
+    }
+  }
 
-  bench::print_figure_header(
-      "DFL train-round throughput (perf baseline)",
-      "per-round LSTM/GRU retraining is the run's computation overhead "
-      "(fig. 13)");
+  if (emit_path.empty()) {
+    bench::print_figure_header(
+        "DFL train-round throughput (perf baseline)",
+        "per-round LSTM/GRU retraining is the run's computation overhead "
+        "(fig. 13)");
+  }
 
   const sim::Scenario scenario = bench::bench_scenario(days, 1);
   const std::size_t total_minutes = scenario.minutes();
@@ -294,6 +440,11 @@ int main(int argc, char** argv) {
       trace = &d;
       break;
     }
+  }
+
+  if (!emit_path.empty()) {
+    return run_pool_child(*trace, rounds, round_minutes, total_minutes,
+                          sweep_fused_homes, emit_path);
   }
 
   const MethodResult lstm = run_method(forecast::Method::kLstm, *trace, rounds,
@@ -351,6 +502,82 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Pool-worker sweep: one child process per worker count —
+  // PFDRL_POOL_WORKERS is read once at the pool's construction, so
+  // honoring it everywhere (kernels and fused trainer included) needs a
+  // fresh process per count. Every parameter hash must be identical
+  // across counts: the fixed-order reductions make worker count a pure
+  // scheduling choice.
+  std::vector<std::string> pool_lines;
+  std::vector<PoolPoint> pool_points;
+  bool pool_hash_consistent = true;
+  for (const std::size_t workers : worker_counts) {
+    const std::string child_out =
+        out_path + ".w" + std::to_string(workers) + ".tmp";
+    const std::string cmd =
+        "PFDRL_POOL_WORKERS=" + std::to_string(workers) + " '" + argv[0] +
+        "' --emit '" + child_out + "' --days " + std::to_string(days) +
+        " --rounds " + std::to_string(rounds) + " --round-minutes " +
+        std::to_string(round_minutes) + " --fuse-homes " +
+        std::to_string(sweep_fused_homes);
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "dfl_throughput: child at %zu workers failed (%d)\n",
+                   workers, rc);
+      return 1;
+    }
+    std::FILE* cf = std::fopen(child_out.c_str(), "r");
+    if (cf == nullptr) {
+      std::fprintf(stderr, "dfl_throughput: child wrote no %s\n",
+                   child_out.c_str());
+      return 1;
+    }
+    char line[1024];
+    while (std::fgets(line, sizeof(line), cf) != nullptr) {
+      PoolPoint p;
+      if (!parse_pool_line(line, &p)) {
+        std::fprintf(stderr, "dfl_throughput: unparsable child line: %s", line);
+        std::fclose(cf);
+        return 1;
+      }
+      pool_lines.emplace_back(line);
+      pool_points.push_back(std::move(p));
+    }
+    std::fclose(cf);
+    std::remove(child_out.c_str());
+  }
+  for (const PoolPoint& p : pool_points) {
+    const PoolPoint& ref = pool_points.front();
+    if (p.lstm_hash != ref.lstm_hash || p.gru_hash != ref.gru_hash ||
+        p.fused_hash != ref.fused_hash || !p.deterministic) {
+      std::fprintf(stderr,
+                   "FATAL: param_hash varies with pool workers (%zu vs %zu)\n",
+                   p.pool_workers, ref.pool_workers);
+      pool_hash_consistent = false;
+    }
+  }
+  if (!pool_points.empty()) {
+    std::printf("\npool-worker sweep (hashes must be identical per column):\n");
+    util::TextTable ptable({"workers", "lstm w/s", "gru w/s", "fused w/s",
+                            "fused homes", "hash-stable"});
+    for (const PoolPoint& p : pool_points) {
+      const PoolPoint& ref = pool_points.front();
+      const bool stable = p.lstm_hash == ref.lstm_hash &&
+                          p.gru_hash == ref.gru_hash &&
+                          p.fused_hash == ref.fused_hash;
+      ptable.add_row({std::to_string(p.pool_workers),
+                      util::fmt_double(p.lstm_rate, 0),
+                      util::fmt_double(p.gru_rate, 0),
+                      util::fmt_double(p.fused_rate, 0),
+                      std::to_string(p.fused_homes), stable ? "yes" : "NO"});
+    }
+    ptable.print();
+  }
+  if (!pool_hash_consistent) {
+    std::fprintf(stderr, "FATAL: training determinism contract violated\n");
+    return 1;
+  }
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -370,12 +597,14 @@ int main(int argc, char** argv) {
                "  \"gru_windows_per_sec\": %.1f,\n"
                "  \"deterministic\": %s,\n"
                "  \"fused_bitwise_match\": %s,\n"
+               "  \"pool_hash_consistent\": %s,\n"
                "  \"fused_points\": [",
                days, rounds, round_minutes, lstm.windows, lstm.seconds,
                lstm.windows_per_sec(), gru.windows, gru.seconds,
                gru.windows_per_sec(),
                lstm.deterministic && gru.deterministic ? "true" : "false",
-               fused_match ? "true" : "false");
+               fused_match ? "true" : "false",
+               pool_hash_consistent ? "true" : "false");
   for (std::size_t i = 0; i < fused_points.size(); ++i) {
     const auto& p = fused_points[i];
     std::fprintf(f,
@@ -388,7 +617,17 @@ int main(int argc, char** argv) {
                  p.per_home_windows_per_sec(), p.fused_windows_per_sec(),
                  p.speedup(), p.bitwise_match ? "true" : "false");
   }
-  std::fprintf(f, "%s]\n}\n", fused_points.empty() ? "" : "\n  ");
+  std::fprintf(f, "%s],\n  \"pool_sweep\": [\n", fused_points.empty() ? "" : "\n  ");
+  for (std::size_t i = 0; i < pool_lines.size(); ++i) {
+    std::string line = pool_lines[i];
+    if (i + 1 == pool_lines.size()) {
+      // Strip the trailing comma the child always emits.
+      const std::size_t tail = line.rfind("},");
+      if (tail != std::string::npos) line.replace(tail, 2, "}");
+    }
+    std::fputs(line.c_str(), f);
+  }
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nbaseline written to %s\n", out_path.c_str());
 

@@ -39,6 +39,13 @@
 //   --shards N          bulk-synchronous shards for the federation engine
 //                       (docs/scaling.md); 0/1 = legacy flat fan-out.
 //                       Also shards the snapshot files (one per shard)
+//   --sync-mode MODE    bsp | pipeline (default pipeline): round
+//                       synchronization of the sharded EMS loop.
+//                       pipeline overlaps shard compute with exchange and
+//                       is bitwise identical to bsp; ineligible runs
+//                       (unsharded, star, stochastic faults) use bsp
+//   --pool-workers N    global thread-pool size override (equivalent to
+//                       setting PFDRL_POOL_WORKERS before launch)
 //   --fuse-homes N      cross-home fused training group size
 //                       (docs/fused_training.md); up to N homes per group
 //                       train as one stacked batch per gate, bitwise
@@ -68,6 +75,7 @@
 #include "sim/scenario.hpp"
 #include "sim/snapshot.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -108,6 +116,7 @@ int main(int argc, char** argv) {
   std::string snapshot_out = "pfdrl_snapshot.pfrc";
   std::string resume_path;
   std::size_t shards = 0;
+  core::SyncMode sync_mode = core::SyncMode::kPipeline;
   std::size_t fuse_homes = 0;
   bool wire_codec = false;
   bool wire_quant = false;
@@ -180,6 +189,14 @@ int main(int argc, char** argv) {
       resume_path = next();
     } else if (arg == "--shards") {
       shards = std::stoul(next());
+    } else if (arg == "--sync-mode") {
+      const auto mode = core::parse_sync_mode(next());
+      if (!mode) usage_error("--sync-mode must be bsp or pipeline");
+      sync_mode = *mode;
+    } else if (arg == "--pool-workers") {
+      const std::size_t workers = std::stoul(next());
+      if (workers == 0) usage_error("--pool-workers must be >= 1");
+      util::ThreadPool::set_global_workers(workers);
     } else if (arg == "--fuse-homes") {
       fuse_homes = std::stoul(next());
     } else if (arg == "--wire-codec") {
@@ -233,6 +250,7 @@ int main(int argc, char** argv) {
   cfg.fault = fault;
   cfg.robustness = robustness;
   cfg.shards = shards;
+  cfg.sync_mode = sync_mode;
   cfg.fuse_homes = fuse_homes;
   cfg.wire_codec = wire_codec;
   cfg.wire_quant = wire_quant;
@@ -249,7 +267,10 @@ int main(int argc, char** argv) {
       topology ? (std::string(" topology=") + net::topology_name(*topology))
                      .c_str()
                : "");
-  if (plan.sharded()) std::printf("shards: %s\n", plan.describe().c_str());
+  if (plan.sharded()) {
+    std::printf("shards: %s (sync %s)\n", plan.describe().c_str(),
+                core::sync_mode_name(sync_mode));
+  }
   if (fuse_homes > 1) {
     std::printf("fused training: up to %zu homes per batch group\n",
                 fuse_homes);

@@ -1,6 +1,7 @@
 #include "core/federation.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/layer_split.hpp"
 #include "fl/exchange.hpp"
@@ -83,6 +84,89 @@ void DrlFederation::round(std::vector<FederatedDevice>& devices,
       obs::record_codec_stats(*metrics_, "wire.drl", codec_->stats());
     }
   }
+}
+
+void DrlFederation::begin_staged_rounds(std::vector<FederatedDevice>& devices) {
+  if (staged_.has_value()) end_staged_rounds();
+  if (bus_.num_agents() < 2) {
+    throw std::logic_error(
+        "DrlFederation: staged rounds need at least two agents");
+  }
+
+  // Identical item construction to round(), hoisted out of the per-round
+  // path: parameter spans point into the live networks, which stay at
+  // fixed addresses for the whole session, so the items are built once.
+  std::vector<fl::ExchangeItem> items;
+  items.reserve(devices.size());
+  net::MessageKind kind = net::MessageKind::kDrlBaseParams;
+  for (const auto& dev : devices) {
+    nn::Mlp& net = dev.agent->network();
+    const std::size_t prefix = base_prefix_params(net, share_layers_);
+    if (share_layers_ >= net.num_layers()) {
+      kind = net::MessageKind::kDrlFullParams;  // FRL shares everything
+    }
+    const auto params = net.parameters();
+    items.push_back({.agent = dev.home,
+                     .device_type = dev.device_type,
+                     .send = params.subspan(0, prefix),
+                     .in_place = params});
+  }
+
+  fl::ParamExchange::Options options;
+  options.kind = kind;
+  options.metrics = metrics_;
+  options.group_size_histogram = "drl.agg_group_size";
+  options.policy = policy_;
+  staged_.emplace(bus_, std::move(options), std::move(items));
+  staged_devices_ = &devices;
+  staged_folded_ = {};
+}
+
+void DrlFederation::publish_staged(std::size_t shard, std::uint64_t round_id) {
+  staged_->publish_shard(shard, round_id);
+}
+
+void DrlFederation::apply_staged(std::size_t shard, std::uint64_t round_id) {
+  staged_->apply_shard(shard, round_id,
+                       [this](std::size_t i, std::span<const double>) {
+                         (*staged_devices_)[i]
+                             .agent->notify_external_parameter_update();
+                       });
+}
+
+void DrlFederation::fold_staged_metrics(std::uint64_t rounds) {
+  if (!staged_.has_value()) return;
+  if (metrics_ != nullptr) {
+    const fl::ExchangeStats now = staged_->stats();
+    metrics_->counter("drl.rounds").add(rounds);
+    metrics_->counter("drl.messages_relayed")
+        .add(now.relayed - staged_folded_.relayed);
+    metrics_->counter("drl.contributions_accepted")
+        .add(now.accepted - staged_folded_.accepted);
+    metrics_->counter("drl.contributions_rejected")
+        .add(now.rejected - staged_folded_.rejected);
+    metrics_->counter("drl.params_averaged")
+        .add(now.params_averaged - staged_folded_.params_averaged);
+    staged_folded_ = now;
+    obs::record_bus_stats(*metrics_, "bus.drl", bus_.stats());
+    if (router_) {
+      obs::record_shard_router_stats(*metrics_, "bus.drl", router_->stats());
+    }
+    if (codec_) {
+      obs::record_codec_stats(*metrics_, "wire.drl", codec_->stats());
+    }
+  }
+  staged_->record_metrics(rounds);
+}
+
+void DrlFederation::end_staged_rounds() {
+  staged_.reset();
+  staged_devices_ = nullptr;
+  staged_folded_ = {};
+}
+
+std::size_t DrlFederation::staged_shards() const {
+  return staged_.has_value() ? staged_->num_shards() : 1;
 }
 
 }  // namespace pfdrl::core

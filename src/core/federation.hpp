@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "fl/exchange.hpp"
@@ -60,6 +61,27 @@ class DrlFederation {
   /// (Eq. 7) and stitch with the local personalization suffix (Eq. 8).
   void round(std::vector<FederatedDevice>& devices, std::uint64_t round_id);
 
+  // --- Staged (pipelined) rounds — fl::StagedExchange ------------------
+  // The dependency-driven round pipeline (core::RoundPipeline) drives
+  // federation per shard instead of per round: begin_staged_rounds builds
+  // the exchange items and engine once for a device set, then every round
+  // is publish_staged(s, r) per shard followed by apply_staged(s, r) once
+  // the shard's in-neighbors published. fold_staged_metrics runs at
+  // segment barriers (quiesced) and end_staged_rounds tears the session
+  // down. `devices` must outlive the session and stay unmoved — commits
+  // notify through it. Caller gates eligibility (no star topology, a
+  // deterministic fault plan); the engine throws otherwise.
+
+  void begin_staged_rounds(std::vector<FederatedDevice>& devices);
+  void publish_staged(std::size_t shard, std::uint64_t round_id);
+  void apply_staged(std::size_t shard, std::uint64_t round_id);
+  /// Fold drl.* / exchange.* / fault.* metric deltas for the `rounds`
+  /// staged rounds completed since the previous fold.
+  void fold_staged_metrics(std::uint64_t rounds);
+  void end_staged_rounds();
+  /// Shard count of the active staged session (1 when unsharded).
+  [[nodiscard]] std::size_t staged_shards() const;
+
   [[nodiscard]] net::BusStats comm_stats() const { return bus_.stats(); }
   [[nodiscard]] std::size_t share_layers() const noexcept {
     return share_layers_;
@@ -86,6 +108,11 @@ class DrlFederation {
   net::MessageBus bus_;
   obs::MetricsRegistry* metrics_;
   fl::ExchangePolicy policy_;
+  /// Active staged session (begin_staged_rounds .. end_staged_rounds).
+  std::optional<fl::StagedExchange> staged_;
+  std::vector<FederatedDevice>* staged_devices_ = nullptr;
+  /// Cumulative staged stats already folded into drl.* counters.
+  fl::ExchangeStats staged_folded_{};
 };
 
 }  // namespace pfdrl::core

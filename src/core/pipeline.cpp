@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <chrono>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
+#include "net/shard_router.hpp"
 #include "obs/metrics.hpp"
 #include "rl/fused.hpp"
 #include "util/thread_pool.hpp"
@@ -26,6 +30,20 @@ fl::AggregationMode forecast_aggregation(EmsMethod m) noexcept {
     case EmsMethod::kCloud: break;  // handled by CloudTrainer
   }
   return fl::AggregationMode::kNone;
+}
+
+/// Prefix starts of each shard's contiguous slice of a home-major list
+/// (size shards+1; the shard map is monotone in the home id).
+std::vector<std::size_t> shard_slices(const std::vector<std::size_t>& homes,
+                                      const ShardedRunner& runner) {
+  std::vector<std::size_t> begin(runner.shards() + 1, 0);
+  std::size_t s = 0;
+  for (std::size_t i = 0; i < homes.size(); ++i) {
+    const std::size_t is = runner.shard_of_home(homes[i]);
+    while (s < is) begin[++s] = i;
+  }
+  while (s < runner.shards()) begin[++s] = homes.size();
+  return begin;
 }
 
 }  // namespace
@@ -175,6 +193,169 @@ std::vector<double> EmsPipeline::forecast_series(std::size_t home,
   return out;
 }
 
+EmsPipeline::EmsRoundPlan EmsPipeline::prepare_round_plan() {
+  EmsRoundPlan plan;
+  for (std::size_t h = 0; h < agents_.size(); ++h) {
+    for (std::size_t d = 0; d < agents_[h].size(); ++d) {
+      if (agents_[h][d]) {
+        plan.jobs.push_back({h, d});
+        plan.job_homes.push_back(h);
+      }
+    }
+  }
+  if (cfg_.fuse_homes > 1 && !plan.jobs.empty()) {
+    // Fused grouping (docs/fused_training.md): consecutive jobs of up to
+    // fuse_homes homes, never crossing a shard boundary. Per-agent
+    // act/remember/learn sequences are unchanged by fusing, so fused
+    // rounds stay bitwise identical to per-job ones.
+    std::size_t start = 0;
+    while (start < plan.jobs.size()) {
+      const std::size_t shard =
+          shard_runner_.shard_of_home(plan.jobs[start].home);
+      std::size_t j = start;
+      std::size_t homes_in = 0;
+      while (j < plan.jobs.size() &&
+             shard_runner_.shard_of_home(plan.jobs[j].home) == shard) {
+        if (j == start || plan.jobs[j].home != plan.jobs[j - 1].home) {
+          if (homes_in == cfg_.fuse_homes) break;
+          ++homes_in;
+        }
+        ++j;
+      }
+      plan.groups.push_back({start, j});
+      plan.group_homes.push_back(plan.jobs[start].home);
+      start = j;
+    }
+    while (fused_learners_.size() < plan.groups.size()) {
+      fused_learners_.push_back(std::make_unique<rl::FusedDqnLearner>());
+    }
+  }
+  plan.shard_job_begin = shard_slices(plan.job_homes, shard_runner_);
+  plan.shard_group_begin = shard_slices(plan.group_homes, shard_runner_);
+  return plan;
+}
+
+void EmsPipeline::run_ems_job(const EmsRoundPlan& plan, std::size_t j,
+                              std::size_t begin, std::size_t end,
+                              const EmsRoundCounters& counters) {
+  // One decision step per meter interval: the agent commits a mode when a
+  // fresh reading arrives, holds it until the next report, and banks the
+  // reward integrated over the held interval.
+  const std::size_t stride =
+      std::max<std::size_t>(1, cfg_.meter_interval_minutes);
+  const auto [h, d] = plan.jobs[j];
+  rl::DqnAgent& agent = *agents_[h][d];
+  const ems::EmsEnvironment env = runner_.environment(h, d, begin, end);
+  std::uint64_t steps = 0;
+  std::uint64_t learns = 0;
+  std::array<double, ems::EmsEnvironment::kStateDim> state;
+  std::array<double, ems::EmsEnvironment::kStateDim> next_state;
+  env.state_into(0, state);
+  for (std::size_t t = 0; t < env.length(); t += stride) {
+    const std::size_t t_next = std::min(t + stride, env.length());
+    const int action = agent.act(state);
+    double r = 0.0;
+    for (std::size_t m = t; m < t_next; ++m) r += env.reward_at(m, action);
+    const bool terminal = t_next >= env.length();
+    if (terminal) {
+      next_state = state;
+    } else {
+      env.state_into(t_next, next_state);
+    }
+    agent.remember({{state.begin(), state.end()},
+                    action,
+                    r,
+                    {next_state.begin(), next_state.end()},
+                    terminal});
+    // `t` is a minute offset but advances one meter interval per step:
+    // learn whenever the step's interval [t, t+stride) crosses a
+    // multiple of the learn period, so the average learn cadence is one
+    // step per learn_every_minutes of simulated time regardless of the
+    // meter interval (and unaliased against `begin`).
+    if ((begin + t) % cfg_.learn_every_minutes < stride) {
+      agent.learn();
+      ++learns;
+    }
+    state = next_state;
+    ++steps;
+  }
+  counters.env_steps.add(steps);
+  counters.replay_pushes.add(steps);
+  counters.learn_calls.add(learns);
+}
+
+void EmsPipeline::run_fused_group(const EmsRoundPlan& plan, std::size_t g,
+                                  std::size_t begin, std::size_t end,
+                                  const EmsRoundCounters& counters) {
+  const std::size_t stride =
+      std::max<std::size_t>(1, cfg_.meter_interval_minutes);
+  const auto [gb, ge] = plan.groups[g];
+  const std::size_t n = ge - gb;
+  std::vector<ems::EmsEnvironment> envs;
+  std::vector<rl::DqnAgent*> group_agents;
+  envs.reserve(n);
+  group_agents.reserve(n);
+  for (std::size_t j = gb; j < ge; ++j) {
+    const auto [h, d] = plan.jobs[j];
+    envs.push_back(runner_.environment(h, d, begin, end));
+    group_agents.push_back(agents_[h][d].get());
+  }
+  const std::size_t len = envs.front().length();
+  for (const ems::EmsEnvironment& env : envs) {
+    if (env.length() != len) {
+      // Ragged environments can't run in lockstep; per-job fallback.
+      for (std::size_t j = gb; j < ge; ++j) {
+        run_ems_job(plan, j, begin, end, counters);
+      }
+      return;
+    }
+  }
+  std::uint64_t steps = 0;
+  std::uint64_t learns = 0;
+  std::vector<std::array<double, ems::EmsEnvironment::kStateDim>> states(n);
+  std::vector<std::array<double, ems::EmsEnvironment::kStateDim>>
+      next_states(n);
+  for (std::size_t i = 0; i < n; ++i) envs[i].state_into(0, states[i]);
+  std::vector<double> losses(n);
+  rl::FusedDqnLearner& learner = *fused_learners_[g];
+  for (std::size_t t = 0; t < len; t += stride) {
+    const std::size_t t_next = std::min(t + stride, len);
+    const bool terminal = t_next >= len;
+    for (std::size_t i = 0; i < n; ++i) {
+      rl::DqnAgent& agent = *group_agents[i];
+      const ems::EmsEnvironment& env = envs[i];
+      const int action = agent.act(states[i]);
+      double r = 0.0;
+      for (std::size_t m = t; m < t_next; ++m) {
+        r += env.reward_at(m, action);
+      }
+      if (terminal) {
+        next_states[i] = states[i];
+      } else {
+        env.state_into(t_next, next_states[i]);
+      }
+      agent.remember({{states[i].begin(), states[i].end()},
+                      action,
+                      r,
+                      {next_states[i].begin(), next_states[i].end()},
+                      terminal});
+      states[i] = next_states[i];
+    }
+    // Same interval-aware gate as the per-job loop; it depends only
+    // on (begin, t), so the whole group learns on the same ticks.
+    if ((begin + t) % cfg_.learn_every_minutes < stride) {
+      if (!learner.learn(group_agents, losses)) {
+        for (rl::DqnAgent* a : group_agents) a->learn();
+      }
+      learns += n;
+    }
+    steps += n;
+  }
+  counters.env_steps.add(steps);
+  counters.replay_pushes.add(steps);
+  counters.learn_calls.add(learns);
+}
+
 void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
   // Warm-restart hook: a residence whose crash window ended with the
   // previous round re-enters this round having lost its process state;
@@ -196,182 +377,32 @@ void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
   obs::MetricsRegistry& reg = metrics();
   obs::SpanTimer round_span(reg.histogram("ems.round_seconds"),
                             &reg.series("ems.round_seconds_series"));
-  obs::Counter& env_steps = reg.counter("ems.env_steps");
-  obs::Counter& replay_pushes = reg.counter("ems.replay_pushes");
-  obs::Counter& learn_calls = reg.counter("ems.learn_calls");
+  const EmsRoundCounters counters{reg.counter("ems.env_steps"),
+                                  reg.counter("ems.replay_pushes"),
+                                  reg.counter("ems.learn_calls")};
+  const EmsRoundPlan plan = prepare_round_plan();
 
-  struct Job {
-    std::size_t home, dev;
-  };
-  std::vector<Job> jobs;
-  std::vector<std::size_t> job_homes;
-  for (std::size_t h = 0; h < agents_.size(); ++h) {
-    for (std::size_t d = 0; d < agents_[h].size(); ++d) {
-      if (agents_[h][d]) {
-        jobs.push_back({h, d});
-        job_homes.push_back(h);
-      }
-    }
-  }
-
-  // One decision step per meter interval: the agent commits a mode when a
-  // fresh reading arrives, holds it until the next report, and banks the
-  // reward integrated over the held interval.
-  const std::size_t stride =
-      std::max<std::size_t>(1, cfg_.meter_interval_minutes);
-
-  const auto run_job = [&](std::size_t j) {
-    const auto [h, d] = jobs[j];
-    rl::DqnAgent& agent = *agents_[h][d];
-    const ems::EmsEnvironment env = runner_.environment(h, d, begin, end);
-    std::uint64_t steps = 0;
-    std::uint64_t learns = 0;
-    std::array<double, ems::EmsEnvironment::kStateDim> state;
-    std::array<double, ems::EmsEnvironment::kStateDim> next_state;
-    env.state_into(0, state);
-    for (std::size_t t = 0; t < env.length(); t += stride) {
-      const std::size_t t_next = std::min(t + stride, env.length());
-      const int action = agent.act(state);
-      double r = 0.0;
-      for (std::size_t m = t; m < t_next; ++m) r += env.reward_at(m, action);
-      const bool terminal = t_next >= env.length();
-      if (terminal) {
-        next_state = state;
-      } else {
-        env.state_into(t_next, next_state);
-      }
-      agent.remember({{state.begin(), state.end()},
-                      action,
-                      r,
-                      {next_state.begin(), next_state.end()},
-                      terminal});
-      // `t` is a minute offset but advances one meter interval per step:
-      // learn whenever the step's interval [t, t+stride) crosses a
-      // multiple of the learn period, so the average learn cadence is one
-      // step per learn_every_minutes of simulated time regardless of the
-      // meter interval (and unaliased against `begin`).
-      if ((begin + t) % cfg_.learn_every_minutes < stride) {
-        agent.learn();
-        ++learns;
-      }
-      state = next_state;
-      ++steps;
-    }
-    env_steps.add(steps);
-    replay_pushes.add(steps);
-    learn_calls.add(learns);
-  };
-
-  if (cfg_.fuse_homes > 1 && !jobs.empty()) {
-    // Fused dispatch (docs/fused_training.md): consecutive jobs of up to
-    // fuse_homes homes — never crossing a shard boundary — run their EMS
-    // rollouts in lockstep, and every learn tick (the gate is
-    // home-independent) stacks the group's replay minibatches into one
-    // fused DQN batch. Per-agent act/remember/learn sequences are
-    // unchanged, so fused rounds stay bitwise identical to per-job ones.
-    struct Group {
-      std::size_t begin_j, end_j;
-    };
-    std::vector<Group> groups;
-    std::vector<std::size_t> group_homes;
-    std::size_t start = 0;
-    while (start < jobs.size()) {
-      const std::size_t shard = shard_runner_.shard_of_home(jobs[start].home);
-      std::size_t j = start;
-      std::size_t homes_in = 0;
-      while (j < jobs.size() &&
-             shard_runner_.shard_of_home(jobs[j].home) == shard) {
-        if (j == start || jobs[j].home != jobs[j - 1].home) {
-          if (homes_in == cfg_.fuse_homes) break;
-          ++homes_in;
-        }
-        ++j;
-      }
-      groups.push_back({start, j});
-      group_homes.push_back(jobs[start].home);
-      start = j;
-    }
-    while (fused_learners_.size() < groups.size()) {
-      fused_learners_.push_back(std::make_unique<rl::FusedDqnLearner>());
-    }
-    shard_runner_.run(group_homes, [&](std::size_t g) {
-      const auto [gb, ge] = groups[g];
-      const std::size_t n = ge - gb;
-      std::vector<ems::EmsEnvironment> envs;
-      std::vector<rl::DqnAgent*> group_agents;
-      envs.reserve(n);
-      group_agents.reserve(n);
-      for (std::size_t j = gb; j < ge; ++j) {
-        const auto [h, d] = jobs[j];
-        envs.push_back(runner_.environment(h, d, begin, end));
-        group_agents.push_back(agents_[h][d].get());
-      }
-      const std::size_t len = envs.front().length();
-      for (const ems::EmsEnvironment& env : envs) {
-        if (env.length() != len) {
-          // Ragged environments can't run in lockstep; per-job fallback.
-          for (std::size_t j = gb; j < ge; ++j) run_job(j);
-          return;
-        }
-      }
-      std::uint64_t steps = 0;
-      std::uint64_t learns = 0;
-      std::vector<std::array<double, ems::EmsEnvironment::kStateDim>> states(n);
-      std::vector<std::array<double, ems::EmsEnvironment::kStateDim>>
-          next_states(n);
-      for (std::size_t i = 0; i < n; ++i) envs[i].state_into(0, states[i]);
-      std::vector<double> losses(n);
-      rl::FusedDqnLearner& learner = *fused_learners_[g];
-      for (std::size_t t = 0; t < len; t += stride) {
-        const std::size_t t_next = std::min(t + stride, len);
-        const bool terminal = t_next >= len;
-        for (std::size_t i = 0; i < n; ++i) {
-          rl::DqnAgent& agent = *group_agents[i];
-          const ems::EmsEnvironment& env = envs[i];
-          const int action = agent.act(states[i]);
-          double r = 0.0;
-          for (std::size_t m = t; m < t_next; ++m) {
-            r += env.reward_at(m, action);
-          }
-          if (terminal) {
-            next_states[i] = states[i];
-          } else {
-            env.state_into(t_next, next_states[i]);
-          }
-          agent.remember({{states[i].begin(), states[i].end()},
-                          action,
-                          r,
-                          {next_states[i].begin(), next_states[i].end()},
-                          terminal});
-          states[i] = next_states[i];
-        }
-        // Same interval-aware gate as the per-job loop; it depends only
-        // on (begin, t), so the whole group learns on the same ticks.
-        if ((begin + t) % cfg_.learn_every_minutes < stride) {
-          if (!learner.learn(group_agents, losses)) {
-            for (rl::DqnAgent* a : group_agents) a->learn();
-          }
-          learns += n;
-        }
-        steps += n;
-      }
-      env_steps.add(steps);
-      replay_pushes.add(steps);
-      learn_calls.add(learns);
+  if (!plan.groups.empty()) {
+    // Fused dispatch (docs/fused_training.md): groups run their EMS
+    // rollouts in lockstep so learn ticks stack into one fused batch.
+    shard_runner_.run(plan.group_homes, [&](std::size_t g) {
+      run_fused_group(plan, g, begin, end, counters);
     });
   } else {
     // Shard-local EMS steps: one pool task per shard of homes (the
     // legacy flat parallel_for when unsharded). Jobs are independent, so
     // the sharded grouping never changes per-agent results.
-    shard_runner_.run(job_homes, run_job);
+    shard_runner_.run(plan.job_homes, [&](std::size_t j) {
+      run_ems_job(plan, j, begin, end, counters);
+    });
   }
 
   // Mean exploration rate across agents after this round — the epsilon
   // trajectory is the quickest convergence sanity check in a dump.
-  if (!jobs.empty()) {
+  if (!plan.jobs.empty()) {
     double eps_sum = 0.0;
-    for (const auto& [h, d] : jobs) eps_sum += agents_[h][d]->epsilon();
-    const double eps = eps_sum / static_cast<double>(jobs.size());
+    for (const auto& [h, d] : plan.jobs) eps_sum += agents_[h][d]->epsilon();
+    const double eps = eps_sum / static_cast<double>(plan.jobs.size());
     reg.gauge("ems.epsilon").set(eps);
     reg.series("ems.epsilon_series").append(eps);
   }
@@ -394,11 +425,177 @@ void EmsPipeline::ems_round(std::size_t begin, std::size_t end) {
   if (on_round_end_) on_round_end_(ems_rounds_done_);
 }
 
+bool EmsPipeline::pipeline_eligible() const {
+  // The pipeline needs (a) something to overlap — multiple home shards
+  // feeding one EMS federation — and (b) a round protocol with no
+  // whole-round shared state: the star hub relay/retry handshake and
+  // stochastic fault draws both consume per-round state in a
+  // schedule-dependent order, so those configurations keep the barrier
+  // engine (fl::StagedExchange enforces the same exclusions).
+  return cfg_.sync_mode == SyncMode::kPipeline && shard_runner_.sharded() &&
+         federation_.has_value() && federation_->bus().num_agents() >= 2 &&
+         federation_->bus().topology().kind() != net::TopologyKind::kStar &&
+         cfg_.fault.deterministic_delivery();
+}
+
+void EmsPipeline::train_ems_pipelined(std::size_t begin, std::size_t end,
+                                      std::size_t round_minutes) {
+  std::vector<std::pair<std::size_t, std::size_t>> windows;
+  for (std::size_t b = begin; b < end; b += round_minutes) {
+    windows.emplace_back(b, std::min(b + round_minutes, end));
+  }
+  if (windows.empty()) return;
+
+  obs::MetricsRegistry& reg = metrics();
+  const EmsRoundCounters counters{reg.counter("ems.env_steps"),
+                                  reg.counter("ems.replay_pushes"),
+                                  reg.counter("ems.learn_calls")};
+  obs::Histogram& round_hist = reg.histogram("ems.round_seconds");
+  obs::Series& round_series = reg.series("ems.round_seconds_series");
+  obs::Counter& rounds_counter = reg.counter("ems.rounds");
+  obs::Gauge& eps_gauge = reg.gauge("ems.epsilon");
+  obs::Series& eps_series = reg.series("ems.epsilon_series");
+
+  const EmsRoundPlan plan = prepare_round_plan();
+  const std::size_t shards = shard_runner_.shards();
+
+  // Home-major federated device list, identical to the BSP build, made
+  // once: the staged session holds spans into the live networks, which
+  // never move during training.
+  std::vector<FederatedDevice> devices;
+  devices.reserve(plan.jobs.size());
+  for (const auto& [h, d] : plan.jobs) {
+    devices.push_back(
+        {static_cast<net::AgentId>(h),
+         static_cast<std::uint32_t>(traces_[h].devices[d].spec.type),
+         agents_[h][d].get()});
+  }
+  federation_->begin_staged_rounds(devices);
+  struct StagedEnd {  // tear the session down even when a shard throws
+    DrlFederation* fed;
+    ~StagedEnd() { fed->end_staged_rounds(); }
+  } staged_end{&*federation_};
+  if (federation_->staged_shards() != shards) {
+    throw std::logic_error(
+        "EmsPipeline: home shards and exchange shards disagree");
+  }
+
+  const net::ShardRouter* router = federation_->shard_router();
+  RoundPipeline pipe(shard_broadcast_graph(
+      federation_->bus().topology(),
+      [router](net::AgentId a) { return router->shard_of(a); }, shards));
+
+  // Shard slices of the full home list, for the warm-restart scan —
+  // restarts apply to every home in the shard, agents or not.
+  std::vector<std::size_t> all_homes(traces_.size());
+  for (std::size_t h = 0; h < all_homes.size(); ++h) all_homes[h] = h;
+  const std::vector<std::size_t> shard_home_begin =
+      shard_slices(all_homes, shard_runner_);
+
+  const std::uint64_t r0 = ems_rounds_done_;
+  std::uint64_t seg_first = r0;
+  // Per-(round, job) exploration rates, flat-summed in ascending job
+  // order at round_done so the recorded mean is bitwise identical to the
+  // BSP engine's serial sum (per-shard partial sums would drift in ulps).
+  std::vector<std::vector<double>> round_eps;
+  std::mutex restart_mutex;
+  auto last_round_end = std::chrono::steady_clock::now();
+
+  RoundPipeline::Ops ops;
+  ops.compute = [&](std::size_t s, std::uint64_t r) {
+    // Warm-restart hook, shard-local: the same predicate as the BSP scan
+    // but driven by the explicit round id (ems_rounds_done_ lags the
+    // shard front here). Calls are serialized; distinct homes restore
+    // independent state, so cross-shard order doesn't matter.
+    if (on_home_restart_ && r > 0) {
+      const net::FailureSchedule& failures = cfg_.robustness.failures;
+      if (!failures.crashes.empty()) {
+        for (std::size_t h = shard_home_begin[s]; h < shard_home_begin[s + 1];
+             ++h) {
+          const auto id = static_cast<net::AgentId>(h);
+          if (failures.crashed(id, r - 1) && !failures.crashed(id, r)) {
+            std::lock_guard<std::mutex> lock(restart_mutex);
+            on_home_restart_(h);
+          }
+        }
+      }
+    }
+    const auto [wb, we] = windows[static_cast<std::size_t>(r - r0)];
+    if (!plan.groups.empty()) {
+      for (std::size_t g = plan.shard_group_begin[s];
+           g < plan.shard_group_begin[s + 1]; ++g) {
+        run_fused_group(plan, g, wb, we, counters);
+      }
+    } else {
+      for (std::size_t j = plan.shard_job_begin[s];
+           j < plan.shard_job_begin[s + 1]; ++j) {
+        run_ems_job(plan, j, wb, we, counters);
+      }
+    }
+    std::vector<double>& eps =
+        round_eps[static_cast<std::size_t>(r - seg_first)];
+    for (std::size_t j = plan.shard_job_begin[s];
+         j < plan.shard_job_begin[s + 1]; ++j) {
+      const auto [h, d] = plan.jobs[j];
+      eps[j] = agents_[h][d]->epsilon();
+    }
+  };
+  ops.publish = [this](std::size_t s, std::uint64_t r) {
+    federation_->publish_staged(s, r);
+  };
+  ops.apply = [this](std::size_t s, std::uint64_t r) {
+    federation_->apply_staged(s, r);
+  };
+  ops.round_done = [&](std::uint64_t r) {
+    if (!plan.jobs.empty()) {
+      const std::vector<double>& eps =
+          round_eps[static_cast<std::size_t>(r - seg_first)];
+      double eps_sum = 0.0;
+      for (const double e : eps) eps_sum += e;
+      const double mean = eps_sum / static_cast<double>(plan.jobs.size());
+      eps_gauge.set(mean);
+      eps_series.append(mean);
+    }
+    ems_rounds_done_ = r + 1;
+    rounds_counter.add(1);
+    const auto now = std::chrono::steady_clock::now();
+    round_hist.observe(
+        std::chrono::duration<double>(now - last_round_end).count());
+    round_series.append(
+        std::chrono::duration<double>(now - last_round_end).count());
+    last_round_end = now;
+  };
+
+  // Segments: the pipeline quiesces (the one remaining full barrier)
+  // only where the round-end hook fires; with no hook the whole window
+  // is one segment.
+  const std::size_t nrounds = windows.size();
+  const std::size_t seg_len =
+      (on_round_end_ && on_round_end_every_ > 0)
+          ? static_cast<std::size_t>(on_round_end_every_)
+          : nrounds;
+  std::size_t done = 0;
+  while (done < nrounds) {
+    const std::size_t seg = std::min(seg_len, nrounds - done);
+    seg_first = r0 + done;
+    round_eps.assign(seg, std::vector<double>(plan.jobs.size(), 0.0));
+    pipe.run(util::ThreadPool::global(), r0 + done, seg, ops);
+    done += seg;
+    federation_->fold_staged_metrics(seg);
+    if (on_round_end_) on_round_end_(ems_rounds_done_);
+  }
+  record_pipeline_stats(reg, "ems.pipeline", pipe.stats());
+}
+
 void EmsPipeline::train_ems(std::size_t begin, std::size_t end) {
   const auto round_minutes =
       static_cast<std::size_t>(cfg_.gamma_hours * 60.0);
   if (round_minutes == 0) {
     throw std::invalid_argument("EmsPipeline: gamma too small");
+  }
+  if (pipeline_eligible()) {
+    train_ems_pipelined(begin, end, round_minutes);
+    return;
   }
   for (std::size_t b = begin; b < end; b += round_minutes) {
     ems_round(b, std::min(b + round_minutes, end));

@@ -9,8 +9,11 @@
 //     the γ schedule (all layers for FRL, α base layers for PFDRL).
 //
 // The per-(home,device) work inside a γ round is embarrassingly parallel
-// and fans out on the global thread pool; federation rounds are barriers,
-// mirroring the synchronous broadcast in Algorithms 1/2.
+// and fans out on the global thread pool. Federation rounds are barriers
+// in the bulk-synchronous engine, mirroring the synchronous broadcast in
+// Algorithms 1/2; the pipelined engine (PipelineConfig::sync_mode)
+// replaces them with per-shard dependency edges and produces bitwise
+// identical results (core::RoundPipeline, docs/scaling.md).
 #pragma once
 
 #include <functional>
@@ -31,6 +34,7 @@
 #include "rl/dqn.hpp"
 
 namespace pfdrl::obs {
+class Counter;
 class MetricsRegistry;
 }
 
@@ -91,6 +95,14 @@ struct PipelineConfig {
   // drain/aggregate phases run on the pool. On a clean fault plan,
   // results are bitwise identical to the unsharded engine.
   std::size_t shards = 0;
+  /// Round synchronization of the EMS loop (docs/scaling.md). kPipeline
+  /// overlaps one shard's compute with another's exchange using
+  /// per-(shard, round) readiness counters instead of global barriers;
+  /// param hashes stay bitwise identical to kBsp at any pool size. Runs
+  /// that are ineligible (unsharded, no EMS federation, star topology,
+  /// stochastic fault plans, < 2 homes) silently use the BSP engine, so
+  /// the default is safe for every method.
+  SyncMode sync_mode = SyncMode::kPipeline;
   /// Cross-home fused training (docs/fused_training.md): > 1 gathers up
   /// to this many homes' jobs — never crossing a shard boundary — into
   /// one fused batch group. Forecast rounds fuse their minibatches and
@@ -210,10 +222,19 @@ class EmsPipeline {
   /// parameters out-of-band).
   void invalidate_forecast_cache() { runner_.invalidate_forecasts(); }
 
-  /// Fires after every completed EMS round with the updated
-  /// ems_rounds_done() — the periodic-snapshot trigger.
-  void set_on_round_end(std::function<void(std::uint64_t)> hook) {
+  /// Fires with the updated ems_rounds_done() — the periodic-snapshot
+  /// trigger. The BSP engine invokes the hook after every round; the
+  /// pipelined engine runs in segments of `every_rounds` rounds and
+  /// invokes the hook only at segment boundaries, where the pipeline is
+  /// fully quiesced (every shard applied, all metrics folded). Callers
+  /// that act on a cadence anyway (sim::SnapshotManager) pass it here so
+  /// the pipeline only barriers where the hook would actually fire; the
+  /// default of 1 preserves per-round firing at the cost of per-round
+  /// quiescing.
+  void set_on_round_end(std::function<void(std::uint64_t)> hook,
+                        std::uint64_t every_rounds = 1) {
     on_round_end_ = std::move(hook);
+    on_round_end_every_ = every_rounds;
   }
   /// Fires at the start of the first EMS round after residence `home`
   /// exits a crash window (cfg.robustness.failures). With no hook
@@ -243,6 +264,53 @@ class EmsPipeline {
       const std::function<void(std::size_t home, const ems::EmsEnvironment& env,
                                const std::vector<int>& actions)>& visit) const;
 
+  // --- One γ-round, factored so both sync engines share its body ------
+  struct EmsJob {
+    std::size_t home, dev;
+  };
+  struct FusedGroup {
+    std::size_t begin_j, end_j;  ///< job range [begin_j, end_j)
+  };
+  /// The round's work-list, identical for BSP and pipelined rounds: one
+  /// job per live (home, device) agent in home-major order, optional
+  /// fused groups (never crossing a shard boundary), and the shard
+  /// slicing of both (size shards+1 prefix arrays; jobs/groups are
+  /// home-major and the shard map is monotone, so slices are contiguous).
+  struct EmsRoundPlan {
+    std::vector<EmsJob> jobs;
+    std::vector<std::size_t> job_homes;
+    std::vector<FusedGroup> groups;  ///< empty unless fuse_homes > 1
+    std::vector<std::size_t> group_homes;
+    std::vector<std::size_t> shard_job_begin;
+    std::vector<std::size_t> shard_group_begin;
+  };
+  struct EmsRoundCounters {
+    obs::Counter& env_steps;
+    obs::Counter& replay_pushes;
+    obs::Counter& learn_calls;
+  };
+  /// Build the round plan (and grow fused_learners_ to match — group
+  /// boundaries are pinned by (jobs, shards, fuse_homes), so this is
+  /// idempotent across rounds).
+  [[nodiscard]] EmsRoundPlan prepare_round_plan();
+  /// One (home, device) EMS rollout+train pass over trace minutes
+  /// [begin, end). Independent across jobs; safe to run concurrently for
+  /// jobs of distinct homes.
+  void run_ems_job(const EmsRoundPlan& plan, std::size_t j, std::size_t begin,
+                   std::size_t end, const EmsRoundCounters& counters);
+  /// Lockstep fused pass over group g's jobs (falls back to per-job runs
+  /// when the group's environments are ragged).
+  void run_fused_group(const EmsRoundPlan& plan, std::size_t g,
+                       std::size_t begin, std::size_t end,
+                       const EmsRoundCounters& counters);
+
+  /// True when train_ems may use the dependency-driven pipeline: asked
+  /// for, sharded, federated, and free of the whole-round protocols
+  /// (star relay, stochastic fault draws) that need a global barrier.
+  [[nodiscard]] bool pipeline_eligible() const;
+  void train_ems_pipelined(std::size_t begin, std::size_t end,
+                           std::size_t round_minutes);
+
   void ems_round(std::size_t begin, std::size_t end);
 
   const std::vector<data::HouseholdTrace>& traces_;
@@ -263,6 +331,7 @@ class EmsPipeline {
   /// reuses the same learner's slab capacity every round.
   std::vector<std::unique_ptr<rl::FusedDqnLearner>> fused_learners_;
   std::uint64_t ems_rounds_done_ = 0;
+  std::uint64_t on_round_end_every_ = 1;
   std::function<void(std::uint64_t)> on_round_end_;
   std::function<void(std::size_t)> on_home_restart_;
 };

@@ -1,22 +1,52 @@
-// The bulk-synchronous fan-out stage of the EMS pipeline. The legacy
-// engine threw every (home, device) job at the global pool as one flat
-// parallel_for — fine at 20 homes, but at city scale the scheduler, the
-// forecast cache and the federation bus all want work grouped by home
-// shard. ShardedRunner owns the pinned home→shard assignment (contiguous
-// balanced blocks, util::shard_of — the same assignment net::ShardRouter
-// uses for agent ids, so a shard's homes and its bus endpoints coincide)
-// and dispatches one pool task per shard, recording per-shard wall time
-// as ems.shard.imbalance / ems.shard.seconds. With shards <= 1 it
-// degrades to the exact legacy parallel_for scheduling, which keeps
-// unsharded runs bitwise identical to the pre-shard engine.
+// The fan-out stage of the EMS pipeline, in two synchronization flavors.
+//
+// The bulk-synchronous path: the legacy engine threw every (home, device)
+// job at the global pool as one flat parallel_for — fine at 20 homes, but
+// at city scale the scheduler, the forecast cache and the federation bus
+// all want work grouped by home shard. ShardedRunner owns the pinned
+// home→shard assignment (contiguous balanced blocks, util::shard_of — the
+// same assignment net::ShardRouter uses for agent ids, so a shard's homes
+// and its bus endpoints coincide) and dispatches one pool task per shard,
+// recording per-shard wall time as ems.shard.imbalance /
+// ems.shard.seconds. With shards <= 1 it degrades to the exact legacy
+// parallel_for scheduling, which keeps unsharded runs bitwise identical
+// to the pre-shard engine.
+//
+// The pipelined path: a BSP γ-round costs three full-pool barriers
+// (compute fan-out, inbox drain, aggregation) plus a serial flush, and
+// every shard waits for the slowest one at each. RoundPipeline retires
+// those barriers with per-(shard, round) readiness counters derived from
+// the broadcast topology: shard s advances to round r+1 the moment its
+// own round-r apply is done, and apply(s, r) fires the moment every
+// in-neighbor shard (self included) has published round r — delivered as
+// a continuation on the pool (util::ThreadPool::submit_detached), never
+// as a blocking wait, so the pipeline runs correctly even on a
+// single-worker pool. Fast shards overlap round r+1 compute with slow
+// shards' round-r aggregation; the only full barrier left is the segment
+// boundary the caller chooses (snapshot cadence). Determinism is
+// unaffected: every shard consumes exactly the same per-round neighbor
+// payload set in the same pinned sort order as the barrier engine, so
+// param hashes match bitwise at any worker count (docs/scaling.md).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
+
+#include "net/message.hpp"
 
 namespace pfdrl::obs {
 class MetricsRegistry;
+}
+namespace pfdrl::net {
+class Topology;
+}
+namespace pfdrl::util {
+class ThreadPool;
 }
 
 namespace pfdrl::core {
@@ -53,6 +83,106 @@ class ShardedRunner {
   std::size_t shards_;
   obs::MetricsRegistry* metrics_;
   mutable double last_imbalance_ = 1.0;
+};
+
+/// Round synchronization discipline of the EMS federation loop.
+enum class SyncMode : std::uint8_t {
+  /// Bulk-synchronous: global barrier between every round phase — the
+  /// reference engine every golden test pins, and the fallback for
+  /// configurations the pipeline excludes (star topology, stochastic
+  /// fault plans).
+  kBsp = 0,
+  /// Dependency-driven round pipelining: shards advance on per-round
+  /// readiness counters, overlapping compute with exchange.
+  kPipeline = 1,
+};
+
+[[nodiscard]] const char* sync_mode_name(SyncMode mode) noexcept;
+/// Inverse of sync_mode_name() ("bsp" / "pipeline"); nullopt otherwise.
+[[nodiscard]] std::optional<SyncMode> parse_sync_mode(const std::string& name);
+
+/// What the pipelined engine did, cumulative across run() segments. Wall
+/// and stall times are real clock measurements — observability only,
+/// never inputs to the simulation.
+struct PipelineStats {
+  /// Rounds fully retired (round_done fired).
+  std::uint64_t rounds = 0;
+  /// (shard, round) cells applied.
+  std::uint64_t shard_rounds = 0;
+  /// High-water count of simultaneously open rounds (1 = no overlap
+  /// achieved, e.g. a full-mesh topology on one worker).
+  std::uint64_t max_rounds_in_flight = 1;
+  /// Seconds shards spent between finishing their own publish and
+  /// starting their apply — waiting on neighbor publishes. The pipeline
+  /// analogue of BSP barrier wait.
+  double stall_seconds = 0.0;
+  /// Wall seconds during which at least two rounds were open at once —
+  /// the overlap the barriers forbade.
+  double overlap_seconds = 0.0;
+  /// Total wall seconds inside run().
+  double wall_seconds = 0.0;
+};
+
+/// Fold cumulative PipelineStats into `<prefix>.rounds` /
+/// `.shard_rounds` counters and `.depth`, `.stall_seconds`,
+/// `.overlap_seconds`, `.wall_seconds` gauges. Idempotent (set, not add)
+/// so it can run after every segment. Lives here rather than in obs
+/// because the obs layer sits below core in the link order.
+void record_pipeline_stats(obs::MetricsRegistry& registry,
+                           std::string_view prefix,
+                           const PipelineStats& stats);
+
+/// Shard-level broadcast reachability: out[s] lists every shard that
+/// receives at least one message when shard s's agents broadcast, self
+/// always included (a shard must see its own publish before it applies).
+/// Each list is sorted unique. `shard_of` must be monotone in the agent
+/// id (util::shard_of and the router's weighted boundaries both are).
+/// Full mesh short-circuits to all-to-all instead of walking O(N²) edges.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> shard_broadcast_graph(
+    const net::Topology& topology,
+    const std::function<std::size_t(net::AgentId)>& shard_of,
+    std::size_t shards);
+
+/// The dependency-driven round scheduler. Owns no domain logic — callers
+/// hand it four callbacks and a shard broadcast graph; it decides *when*
+/// each (shard, round) cell runs and on which pool continuation.
+class RoundPipeline {
+ public:
+  struct Ops {
+    /// Local work for the shard's jobs at `round` (rollouts, training).
+    std::function<void(std::size_t shard, std::uint64_t round)> compute;
+    /// Broadcast the shard's parameters and flush its router row.
+    std::function<void(std::size_t shard, std::uint64_t round)> publish;
+    /// Drain + aggregate + commit; the scheduler guarantees every
+    /// in-neighbor shard (self included) published `round` first.
+    std::function<void(std::size_t shard, std::uint64_t round)> apply;
+    /// Sequential epilogue, called exactly once per round in ascending
+    /// round order (serialized; cheap bookkeeping only — the global
+    /// state is NOT quiesced, later rounds may already be in flight).
+    std::function<void(std::uint64_t round)> round_done;
+  };
+
+  /// `out_neighbors` as produced by shard_broadcast_graph(); its size is
+  /// the shard count. In-degrees (the readiness targets) are derived by
+  /// transposing.
+  explicit RoundPipeline(std::vector<std::vector<std::uint32_t>> out_neighbors);
+
+  /// Run one segment: rounds [first_round, first_round + rounds). Blocks
+  /// until every cell is applied and every round_done fired — the
+  /// segment boundary is the one full barrier left, which is where
+  /// callers take snapshots. Exceptions from any callback abort the
+  /// segment (in-flight cells finish or bail) and rethrow here.
+  void run(util::ThreadPool& pool, std::uint64_t first_round,
+           std::size_t rounds, const Ops& ops);
+
+  [[nodiscard]] std::size_t shards() const noexcept { return out_.size(); }
+  /// Cumulative across run() calls on this instance.
+  [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::uint32_t> target_;  ///< in-degree incl. self, per shard
+  PipelineStats stats_;
 };
 
 }  // namespace pfdrl::core

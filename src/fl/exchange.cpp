@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <map>
+#include <stdexcept>
 
 #include "fl/aggregate.hpp"
 #include "obs/metrics.hpp"
@@ -321,6 +322,354 @@ ExchangeStats ParamExchange::round(std::span<const ExchangeItem> items,
     reg.counter("fault.crashes").add(stats.crashed_items);
   }
   return stats;
+}
+
+// ---------------------------------------------------------------------------
+// StagedExchange — ParamExchange::round carved into per-shard stages for
+// the dependency-driven pipeline. Every semantic detail (crash handling,
+// secure masking, stale/late filters, sort keys, quorum math, fedavg
+// order) is the same code path as above; only the iteration boundaries
+// and the lifetime of the sent-payload slots differ.
+
+struct StagedExchange::Impl {
+  net::MessageBus& bus;
+  ParamExchange::Options options;
+  std::vector<ExchangeItem> items;
+  // Nominal aggregation groups, computed once — membership is a property
+  // of the item set, not of any round.
+  std::map<std::uint32_t, std::vector<net::AgentId>> groups;
+  std::size_t shards = 1;
+  // Contiguous per-shard slices (size shards + 1): items owned by shard s
+  // are [item_begin[s], item_begin[s+1]), agents are
+  // [agent_begin[s], agent_begin[s+1]). Contiguity holds because items
+  // are sorted by agent and the shard map is monotone in the agent id.
+  std::vector<std::size_t> item_begin;
+  std::vector<std::size_t> agent_begin;
+  // Persistent send slots: the refcounted handles are the double buffer.
+  // publish_shard(s, r+1) overwrites a slot while inbox handles keep the
+  // round-r allocation alive for any neighbor still aggregating it.
+  std::vector<net::Payload> sent;
+  std::vector<char> live;
+  // Drained inboxes, indexed by agent. Shards touch disjoint agent
+  // ranges, so no locking; cleared after phase 3 to release handles.
+  std::vector<std::vector<net::Message>> inboxes;
+
+  obs::Histogram* group_hist = nullptr;
+  obs::Histogram* caller_hist = nullptr;
+
+  // Cumulative order-independent sums — totals are bitwise identical to
+  // the per-round BSP stats added up.
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> items_averaged{0};
+  std::atomic<std::uint64_t> params_averaged{0};
+  std::atomic<std::uint64_t> duplicates{0};
+  std::atomic<std::uint64_t> stale_msgs{0};
+  std::atomic<std::uint64_t> late_msgs{0};
+  std::atomic<std::uint64_t> quorum_met{0};
+  std::atomic<std::uint64_t> quorum_missed{0};
+  std::atomic<std::uint64_t> local_fallbacks{0};
+  std::atomic<std::uint64_t> crashed_items{0};
+
+  std::uint64_t allocations_at_ctor = 0;
+  // record_metrics() window baselines (deltas fold per segment).
+  ExchangeStats reported{};
+  net::BusStats bus_reported{};
+  std::uint64_t allocations_reported = 0;
+
+  Impl(net::MessageBus& b, ParamExchange::Options o,
+       std::vector<ExchangeItem> it)
+      : bus(b), options(std::move(o)), items(std::move(it)) {
+    if (bus.topology().kind() == net::TopologyKind::kStar) {
+      throw std::logic_error(
+          "StagedExchange: star hub relay is a whole-round protocol; use "
+          "ParamExchange");
+    }
+    if (!bus.fault_plan().deterministic_delivery()) {
+      throw std::logic_error(
+          "StagedExchange: stochastic fault plan would draw the per-bus "
+          "fault stream in schedule order; use ParamExchange");
+    }
+    for (std::size_t i = 1; i < items.size(); ++i) {
+      if (items[i].agent < items[i - 1].agent) {
+        throw std::invalid_argument(
+            "StagedExchange: items must be sorted ascending by agent");
+      }
+    }
+    for (const auto& item : items) {
+      groups[item.device_type].push_back(item.agent);
+    }
+    for (auto& [type, members] : groups) {
+      std::sort(members.begin(), members.end());
+      members.erase(std::unique(members.begin(), members.end()),
+                    members.end());
+    }
+    net::ShardRouter* router = bus.shard_router();
+    shards = router != nullptr ? router->num_shards() : 1;
+    const auto shard_of = [router](net::AgentId a) {
+      return router != nullptr ? router->shard_of(a) : std::size_t{0};
+    };
+    item_begin.assign(shards + 1, items.size());
+    item_begin[0] = 0;
+    agent_begin.assign(shards + 1, bus.num_agents());
+    agent_begin[0] = 0;
+    std::size_t s = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const std::size_t is = shard_of(items[i].agent);
+      while (s < is) item_begin[++s] = i;
+    }
+    s = 0;
+    for (std::size_t a = 0; a < bus.num_agents(); ++a) {
+      const std::size_t as = shard_of(static_cast<net::AgentId>(a));
+      if (as < s) {
+        throw std::logic_error("StagedExchange: non-monotone shard map");
+      }
+      while (s < as) agent_begin[++s] = a;
+    }
+    sent.resize(items.size());
+    live.assign(items.size(), 1);
+    inboxes.resize(bus.num_agents());
+    allocations_at_ctor = net::Payload::allocations();
+    allocations_reported = allocations_at_ctor;
+    bus_reported = bus.stats();
+    if (options.metrics != nullptr) {
+      group_hist = &options.metrics->histogram(
+          "exchange.group_size", obs::Histogram::count_buckets());
+      if (!options.group_size_histogram.empty()) {
+        caller_hist = &options.metrics->histogram(
+            options.group_size_histogram, obs::Histogram::count_buckets());
+      }
+    }
+  }
+
+  void publish_shard(std::size_t s, std::uint64_t round_id) {
+    const ExchangePolicy& policy = options.policy;
+    for (std::size_t i = item_begin[s]; i < item_begin[s + 1]; ++i) {
+      const auto& item = items[i];
+      if (policy.failures.crashed(item.agent, round_id)) {
+        live[i] = 0;
+        crashed_items.fetch_add(1, std::memory_order_relaxed);
+        if (net::WireCodec* codec = bus.codec(); codec != nullptr) {
+          codec->reset_agent(item.agent);
+        }
+        continue;
+      }
+      live[i] = 1;
+      const auto& group = groups.at(item.device_type);
+      if (options.secure != nullptr && group.size() > 1) {
+        sent[i] = options.secure->mask(item.agent, round_id, group, item.send);
+      } else {
+        sent[i] = std::vector<double>(item.send.begin(), item.send.end());
+      }
+      net::Message msg;
+      msg.sender = item.agent;
+      msg.kind = options.kind;
+      msg.device_type = item.device_type;
+      msg.round = round_id;
+      msg.arrival_s = policy.failures.compute_delay(item.agent);
+      msg.payload = sent[i];
+      bus.broadcast(msg);
+    }
+    bus.flush_shard_batches_from(s);
+  }
+
+  void apply_shard(std::size_t s, std::uint64_t round_id,
+                   const ParamExchange::CommitFn& commit) {
+    const ExchangePolicy& policy = options.policy;
+    const double deadline = policy.round_deadline_s;
+
+    // Phase 2 for this shard's agents: generational drain, stale/late
+    // filter, pinned (sender, device_type) sort. Item-less agents drain
+    // too — their inboxes must not pile up across rounds. Crashed agents
+    // keep their backlog; a later drain_round discards it as stale, the
+    // same totals as BSP's next-round drain.
+    std::size_t stale = 0;
+    std::uint64_t late = 0;
+    for (std::size_t a = agent_begin[s]; a < agent_begin[s + 1]; ++a) {
+      const auto agent = static_cast<net::AgentId>(a);
+      if (policy.failures.crashed(agent, round_id)) continue;
+      auto raw = bus.drain_round(agent, round_id, &stale);
+      auto& kept = inboxes[a];
+      kept.clear();
+      kept.reserve(raw.size());
+      for (auto& m : raw) {
+        if (deadline > 0.0 && m.arrival_s > deadline) {
+          ++late;
+          continue;
+        }
+        kept.push_back(std::move(m));
+      }
+      std::sort(kept.begin(), kept.end(),
+                [](const net::Message& x, const net::Message& y) {
+                  if (x.sender != y.sender) return x.sender < y.sender;
+                  return x.device_type < y.device_type;
+                });
+    }
+    stale_msgs.fetch_add(stale, std::memory_order_relaxed);
+    late_msgs.fetch_add(late, std::memory_order_relaxed);
+
+    // Phase 3 for this shard's items: identical aggregation semantics to
+    // ParamExchange (echo guard, dup collapse, shape guard, quorum
+    // against the nominal denominator, fedavg in caller item order).
+    for (std::size_t i = item_begin[s]; i < item_begin[s + 1]; ++i) {
+      if (!live[i]) continue;
+      const auto& item = items[i];
+      const std::size_t shared_len = item.send.size();
+      std::vector<double> scratch;
+      std::vector<std::span<const double>> contributions;
+      contributions.push_back(sent[i]);
+      bool have_prev = false;
+      net::AgentId prev_sender = 0;
+      for (const auto& m : inboxes[item.agent]) {
+        if (m.device_type != item.device_type) continue;
+        if (m.sender == item.agent) continue;  // echo guard
+        if (have_prev && m.sender == prev_sender) {
+          duplicates.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        have_prev = true;
+        prev_sender = m.sender;
+        if (m.payload.size() != shared_len) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        contributions.push_back(m.payload);
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+
+      const std::size_t nominal = groups.at(item.device_type).size();
+      std::size_t required = options.min_group;
+      if (policy.quorum_fraction > 0.0) {
+        required = std::max(
+            required,
+            static_cast<std::size_t>(std::ceil(
+                policy.quorum_fraction * static_cast<double>(nominal))));
+      }
+      if (contributions.size() < required) {
+        local_fallbacks.fetch_add(1, std::memory_order_relaxed);
+        if (policy.quorum_fraction > 0.0) {
+          quorum_missed.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      if (policy.quorum_fraction > 0.0) {
+        quorum_met.fetch_add(1, std::memory_order_relaxed);
+      }
+
+      std::span<const double> averaged;
+      if (!item.in_place.empty()) {
+        fedavg_prefix(contributions, shared_len, item.in_place);
+        averaged =
+            std::span<const double>(item.in_place).subspan(0, shared_len);
+      } else {
+        scratch.assign(shared_len, 0.0);
+        fedavg(contributions, scratch);
+        averaged = scratch;
+      }
+      items_averaged.fetch_add(1, std::memory_order_relaxed);
+      params_averaged.fetch_add(shared_len, std::memory_order_relaxed);
+      if (group_hist != nullptr) {
+        group_hist->observe(static_cast<double>(contributions.size()));
+      }
+      if (caller_hist != nullptr) {
+        caller_hist->observe(static_cast<double>(contributions.size()));
+      }
+      if (commit) commit(i, averaged);
+    }
+
+    // Release the round's payload handles for this shard's agents.
+    for (std::size_t a = agent_begin[s]; a < agent_begin[s + 1]; ++a) {
+      inboxes[a].clear();
+    }
+  }
+
+  [[nodiscard]] ExchangeStats snapshot() const {
+    ExchangeStats out;
+    out.accepted = accepted.load();
+    out.rejected = rejected.load();
+    out.items_averaged = items_averaged.load();
+    out.params_averaged = params_averaged.load();
+    out.duplicates = duplicates.load();
+    out.stale_msgs = stale_msgs.load();
+    out.late_msgs = late_msgs.load();
+    out.quorum_met = quorum_met.load();
+    out.quorum_missed = quorum_missed.load();
+    out.local_fallbacks = local_fallbacks.load();
+    out.crashed_items = crashed_items.load();
+    out.payload_allocations = net::Payload::allocations() - allocations_at_ctor;
+    return out;
+  }
+};
+
+StagedExchange::StagedExchange(net::MessageBus& bus,
+                               ParamExchange::Options options,
+                               std::vector<ExchangeItem> items)
+    : impl_(std::make_unique<Impl>(bus, std::move(options), std::move(items))) {
+  shards_ = impl_->shards;
+  // While this session is live, a pair batch holding two round
+  // generations is a broken pipeline invariant — have the router fail
+  // fast instead of silently interleaving rounds.
+  if (net::ShardRouter* router = impl_->bus.shard_router()) {
+    router->set_strict_rounds(true);
+  }
+}
+
+StagedExchange::~StagedExchange() {
+  if (net::ShardRouter* router = impl_->bus.shard_router()) {
+    router->set_strict_rounds(false);
+  }
+}
+
+void StagedExchange::publish_shard(std::size_t shard, std::uint64_t round_id) {
+  impl_->publish_shard(shard, round_id);
+}
+
+void StagedExchange::apply_shard(std::size_t shard, std::uint64_t round_id,
+                                 const ParamExchange::CommitFn& commit) {
+  impl_->apply_shard(shard, round_id, commit);
+}
+
+ExchangeStats StagedExchange::stats() const { return impl_->snapshot(); }
+
+void StagedExchange::record_metrics(std::uint64_t rounds_completed) {
+  Impl& im = *impl_;
+  if (im.options.metrics == nullptr) return;
+  const ExchangeStats cur = im.snapshot();
+  const ExchangeStats& prev = im.reported;
+  obs::MetricsRegistry& reg = *im.options.metrics;
+  reg.counter("exchange.rounds").add(rounds_completed);
+  reg.counter("exchange.items").add(im.items.size() * rounds_completed);
+  reg.counter("exchange.payload_copies")
+      .add(net::Payload::allocations() - im.allocations_reported);
+  // No star relay path in the staged engine, but the counters must exist
+  // so bsp and pipeline runs export the same exchange.* family.
+  reg.counter("exchange.relays").add(0);
+  reg.counter("exchange.retries").add(0);
+  reg.counter("exchange.quorum_met").add(cur.quorum_met - prev.quorum_met);
+  reg.counter("exchange.quorum_missed")
+      .add(cur.quorum_missed - prev.quorum_missed);
+  reg.counter("exchange.stale_rounds")
+      .add(cur.local_fallbacks - prev.local_fallbacks);
+  reg.counter("exchange.stale_msgs").add(cur.stale_msgs - prev.stale_msgs);
+  reg.counter("exchange.late_msgs").add(cur.late_msgs - prev.late_msgs);
+  reg.counter("exchange.duplicate_msgs")
+      .add(cur.duplicates - prev.duplicates);
+  reg.counter("exchange.crashed_items")
+      .add(cur.crashed_items - prev.crashed_items);
+  const net::BusStats bus_after = im.bus.stats();
+  reg.counter("fault.drops")
+      .add(bus_after.messages_dropped - im.bus_reported.messages_dropped);
+  reg.counter("fault.partition_drops")
+      .add(bus_after.messages_partition_dropped -
+           im.bus_reported.messages_partition_dropped);
+  reg.counter("fault.duplicates")
+      .add(bus_after.messages_duplicated - im.bus_reported.messages_duplicated);
+  reg.counter("fault.delayed_msgs")
+      .add(bus_after.messages_delayed - im.bus_reported.messages_delayed);
+  reg.counter("fault.crashes").add(cur.crashed_items - prev.crashed_items);
+  im.reported = cur;
+  im.bus_reported = bus_after;
+  im.allocations_reported = net::Payload::allocations();
 }
 
 }  // namespace pfdrl::fl

@@ -185,4 +185,70 @@ class ParamExchange {
   Options options_;
 };
 
+/// The same exchange round as ParamExchange, carved into per-shard
+/// publish/apply stages so the dependency-driven round pipeline
+/// (core::RoundPipeline, docs/scaling.md) can overlap one shard's
+/// encode/route with another's compute instead of running the round
+/// behind a global barrier.
+///
+/// Contract: construct once per pipelined run with items sorted
+/// ascending by agent. For every round r, publish_shard(s, r) must run
+/// before apply_shard(d, r) for every shard d that s broadcasts into
+/// (readiness is the pipeline's job); within one shard the calls are
+/// sequential. Outgoing payloads are refcounted net::Payload handles, so
+/// a shard publishing round r+1 never invalidates the round-r frames a
+/// slower neighbor is still aggregating — the handles ARE the double
+/// buffer. Inboxes are drained generationally (MessageBus::drain_round):
+/// round-r messages are extracted, older rounds are discarded as stale,
+/// newer rounds stay parked.
+///
+/// Exclusions, enforced at construction: star topologies (the hub
+/// relay/retry protocol is a whole-round barrier by nature) and fault
+/// plans with stochastic draws (FaultPlan::deterministic_delivery() —
+/// overlapped rounds would consume the shared per-bus fault stream in a
+/// schedule-dependent order). Callers fall back to ParamExchange::round
+/// for those configurations.
+///
+/// Stats accumulate across rounds (order-independent atomic sums, so
+/// totals are bitwise identical to the per-round BSP stats);
+/// record_metrics() folds exchange.*/fault.* deltas per segment instead
+/// of per round.
+class StagedExchange {
+ public:
+  StagedExchange(net::MessageBus& bus, ParamExchange::Options options,
+                 std::vector<ExchangeItem> items);
+  ~StagedExchange();
+
+  StagedExchange(const StagedExchange&) = delete;
+  StagedExchange& operator=(const StagedExchange&) = delete;
+
+  /// Shard count, derived from the bus's attached router (1 when flat).
+  [[nodiscard]] std::size_t num_shards() const noexcept { return shards_; }
+
+  /// Phase 1 for `shard` at `round_id`: broadcast every live owned item
+  /// and hand the shard's cross-shard pair batches over (flush_src).
+  void publish_shard(std::size_t shard, std::uint64_t round_id);
+
+  /// Phases 2+3 for `shard` at `round_id`: generational drain of the
+  /// shard's inboxes, deadline filter, pinned (sender, device_type)
+  /// sort, grouped average, commit. Every in-neighbor shard must have
+  /// published `round_id` first.
+  void apply_shard(std::size_t shard, std::uint64_t round_id,
+                   const ParamExchange::CommitFn& commit);
+
+  /// Cumulative stats over all staged rounds so far.
+  [[nodiscard]] ExchangeStats stats() const;
+
+  /// Fold exchange.* / fault.* metric deltas accumulated since the last
+  /// call (or construction); `rounds_completed` is the number of staged
+  /// rounds in the window. BSP records per round, the staged engine per
+  /// segment — the counter totals agree.
+  void record_metrics(std::uint64_t rounds_completed);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t shards_ = 1;
+};
+
 }  // namespace pfdrl::fl

@@ -125,6 +125,13 @@ std::size_t MessageBus::flush_shard_batches() {
       [this](AgentId to, Message&& msg) { deliver(to, std::move(msg)); });
 }
 
+std::size_t MessageBus::flush_shard_batches_from(std::size_t src_shard) {
+  if (router_ == nullptr) return 0;
+  return router_->flush_src(
+      src_shard,
+      [this](AgentId to, Message&& msg) { deliver(to, std::move(msg)); });
+}
+
 void MessageBus::send(AgentId to, Message msg) {
   {
     std::lock_guard slock(stats_mutex_);
@@ -152,6 +159,28 @@ std::vector<Message> MessageBus::drain(AgentId agent) {
   std::vector<Message> out(std::make_move_iterator(inbox.queue.begin()),
                            std::make_move_iterator(inbox.queue.end()));
   inbox.queue.clear();
+  return out;
+}
+
+std::vector<Message> MessageBus::drain_round(AgentId agent,
+                                             std::uint64_t round,
+                                             std::size_t* stale_discarded) {
+  auto& inbox = *inboxes_.at(agent);
+  std::lock_guard lock(inbox.mutex);
+  std::vector<Message> out;
+  std::size_t stale = 0;
+  for (auto it = inbox.queue.begin(); it != inbox.queue.end();) {
+    if (it->round == round) {
+      out.push_back(std::move(*it));
+      it = inbox.queue.erase(it);
+    } else if (it->round < round) {
+      ++stale;
+      it = inbox.queue.erase(it);
+    } else {
+      ++it;  // next generation — stays parked for its own drain
+    }
+  }
+  if (stale_discarded != nullptr) *stale_discarded += stale;
   return out;
 }
 

@@ -89,6 +89,13 @@ class MessageBus {
   /// number of messages handed over; 0 with no router attached.
   std::size_t flush_shard_batches();
 
+  /// Pipelined variant: drain only the batches originating from shard
+  /// `src_shard` (one row of the router's pair grid). Concurrent calls
+  /// with distinct source shards are safe; this is how a shard publishes
+  /// its round without waiting for the global barrier. Returns 0 with no
+  /// router attached.
+  std::size_t flush_shard_batches_from(std::size_t src_shard);
+
   /// Broadcast along the topology from msg.sender. Returns the number of
   /// links traversed (cross-shard deliveries may still be parked in the
   /// shard router until flush_shard_batches()).
@@ -101,6 +108,13 @@ class MessageBus {
   std::optional<Message> try_receive(AgentId agent);
   /// Drain everything currently queued for `agent`.
   std::vector<Message> drain(AgentId agent);
+  /// Generational drain for the pipelined engine: extract exactly the
+  /// messages tagged `round`, discard older generations as stale
+  /// (counted into `*stale_discarded` when non-null), and leave newer
+  /// rounds parked — a fast neighbor may already have published round
+  /// r+1 while this agent is still consuming round r.
+  std::vector<Message> drain_round(AgentId agent, std::uint64_t round,
+                                   std::size_t* stale_discarded = nullptr);
   /// Blocking receive with a wall-clock timeout; nullopt on timeout.
   std::optional<Message> receive_for(AgentId agent, double timeout_seconds);
 

@@ -94,6 +94,19 @@ struct FaultPlan {
   /// True if any partition window cuts a<->b during `round`.
   [[nodiscard]] bool severed(AgentId a, AgentId b,
                              std::uint64_t round) const noexcept;
+
+  /// True when delivery consumes no randomness: no loss, no jitter, no
+  /// duplication, no reordering. Partitions and fixed delay are pure
+  /// functions of (sender, receiver, round) and stay deterministic under
+  /// any delivery order. This is the pipelined engine's eligibility
+  /// gate — with stochastic draws, overlapping rounds would consume the
+  /// shared per-bus fault stream in a schedule-dependent order and break
+  /// bitwise reproducibility, so such plans fall back to the barrier
+  /// engine (docs/scaling.md).
+  [[nodiscard]] bool deterministic_delivery() const noexcept {
+    return link.drop_probability <= 0.0 && jitter_s <= 0.0 &&
+           duplicate_probability <= 0.0 && !reorder;
+  }
 };
 
 /// Per-bus fault stream: hashes (experiment seed, bus id) so distinct

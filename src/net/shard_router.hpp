@@ -9,6 +9,7 @@
 // deterministic per seed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -47,9 +48,18 @@ class ShardRouter {
  public:
   ShardRouter(std::size_t num_agents, std::size_t num_shards);
 
+  /// Cost-weighted assignment: explicit contiguous boundaries (size
+  /// shards+1, strictly increasing, boundaries.front() == 0 and
+  /// boundaries.back() == num_agents), as produced by
+  /// sim::ShardPlan::make_weighted. shard_of becomes an upper_bound over
+  /// the boundaries — still monotone in the agent id, so the pipelined
+  /// engine's shard_broadcast_graph precondition holds unchanged.
+  ShardRouter(std::size_t num_agents, std::vector<std::size_t> boundaries);
+
   [[nodiscard]] std::size_t num_agents() const noexcept { return n_; }
   [[nodiscard]] std::size_t num_shards() const noexcept { return shards_; }
-  /// Pinned contiguous assignment — agrees with util::shard_of.
+  /// Pinned contiguous assignment — util::shard_of arithmetic, or an
+  /// upper_bound over the explicit boundaries when constructed with one.
   [[nodiscard]] std::size_t shard_of(AgentId agent) const noexcept;
   [[nodiscard]] bool cross_shard(AgentId a, AgentId b) const noexcept {
     return shard_of(a) != shard_of(b);
@@ -65,6 +75,27 @@ class ShardRouter {
   /// re-entrant; call from the tick barrier only.
   std::size_t flush(const std::function<void(AgentId, Message&&)>& deliver);
 
+  /// Drain only the batches whose source shard is `src` (row `src` of
+  /// the pair grid), ascending dst order, same slab accounting as
+  /// flush(). This is the pipelined engine's publish step: shard src
+  /// hands its round-r traffic over as soon as its own compute is done,
+  /// without waiting for the other shards. Concurrent calls with
+  /// distinct `src` values are safe (they touch disjoint rows);
+  /// concurrent calls with the same `src` are not allowed.
+  std::size_t flush_src(std::size_t src,
+                        const std::function<void(AgentId, Message&&)>& deliver);
+
+  /// Toggle the single-generation batch invariant. The pipelined engine
+  /// flushes a source row before that shard's next round can publish, so
+  /// while a staged session is active a pair batch must never hold two
+  /// round generations — enqueue() throws if one does. The
+  /// bulk-synchronous contract is looser (a lagging flusher may park
+  /// several rounds), so the check is off by default;
+  /// fl::StagedExchange turns it on for the session's duration.
+  void set_strict_rounds(bool strict) noexcept {
+    strict_rounds_.store(strict, std::memory_order_relaxed);
+  }
+
   /// Messages currently parked across all pair batches.
   [[nodiscard]] std::size_t pending() const;
   [[nodiscard]] ShardRouterStats stats() const;
@@ -74,12 +105,21 @@ class ShardRouter {
   struct PairBatch {
     std::mutex mutex;
     std::vector<std::pair<AgentId, Message>> items;
+    /// Round tag of the messages currently parked here (checked only
+    /// under set_strict_rounds).
+    std::uint64_t epoch = 0;
   };
+
+  std::size_t drain_row(std::size_t src,
+                        const std::function<void(AgentId, Message&&)>& deliver);
 
   std::size_t n_;
   std::size_t shards_;
+  /// Empty for the uniform (N, S) assignment; else shards_+1 boundaries.
+  std::vector<std::size_t> boundaries_;
   /// Dense shards_ × shards_ grid, row = src shard.
   std::vector<std::unique_ptr<PairBatch>> pairs_;
+  std::atomic<bool> strict_rounds_{false};
   mutable std::mutex stats_mutex_;
   ShardRouterStats stats_;
 };

@@ -459,6 +459,8 @@ void record_thread_pool_stats(MetricsRegistry& registry,
   const std::string p(prefix);
   registry.counter(p + ".tasks_executed").set(stats.tasks_executed);
   registry.counter(p + ".tasks_stolen").set(stats.tasks_stolen);
+  registry.counter(p + ".tasks_inline").set(stats.tasks_inline);
+  registry.counter(p + ".tasks_heap").set(stats.tasks_heap);
   registry.gauge(p + ".max_queue_depth")
       .set(static_cast<double>(stats.max_queue_depth));
 }

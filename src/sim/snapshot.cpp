@@ -21,11 +21,14 @@ namespace {
 /// covers what the payloads mean). Version 2 appended the shard identity
 /// (shard_index, shard_count) to the header; version 3 appended the
 /// logical-byte counter and the wire-codec delta streams to each bus
-/// state (docs/wire.md). Older files are still readable: version-1
-/// deserializes as a whole-run snapshot ({0, 1}), and pre-3 bus states
-/// read back with logical_bytes = bytes_on_wire (identical by definition
-/// when no codec ran) and empty codec state.
-constexpr std::uint32_t kSnapshotVersion = 3;
+/// state (docs/wire.md); version 4 appended the writing run's
+/// round-synchronization engine (core::SyncMode) to the header. Older
+/// files are still readable: version-1 deserializes as a whole-run
+/// snapshot ({0, 1}), pre-3 bus states read back with logical_bytes =
+/// bytes_on_wire (identical by definition when no codec ran) and empty
+/// codec state, and pre-4 headers read back as kBsp — provenance only
+/// either way, since the two engines are bitwise interchangeable.
+constexpr std::uint32_t kSnapshotVersion = 4;
 
 // --- Little-endian payload codec --------------------------------------
 // All multi-byte fields are little-endian. The reader bounds-checks
@@ -292,6 +295,7 @@ RunSnapshot capture_run(const core::EmsPipeline& pipeline,
   snap.num_homes = pipeline.num_homes();
   snap.ems_rounds_done = pipeline.ems_rounds_done();
   snap.train_cursor_minutes = train_cursor_minutes;
+  snap.sync_mode = static_cast<std::uint32_t>(cfg.sync_mode);
 
   for (std::size_t h = 0; h < pipeline.num_homes(); ++h) {
     for (std::size_t d = 0; d < pipeline.num_devices(h); ++d) {
@@ -476,6 +480,7 @@ std::vector<std::uint8_t> serialize_snapshot(const RunSnapshot& snap) {
     w.u64(snap.forecasters.size());
     w.u64(snap.shard_index);
     w.u64(snap.shard_count);
+    w.u32(snap.sync_mode);
     writer.append(w.take());
   }
   {  // Record 1: metrics.
@@ -546,6 +551,7 @@ RunSnapshot deserialize_snapshot(std::span<const std::uint8_t> bytes) {
         throw std::runtime_error("snapshot: invalid shard identity");
       }
     }
+    if (version >= 4) snap.sync_mode = r.u32();
     r.expect_done();
   }
   {
@@ -613,6 +619,7 @@ void copy_header_scalars(RunSnapshot& dst, const RunSnapshot& src) {
   dst.forecast_rounds_done = src.forecast_rounds_done;
   dst.train_cursor_minutes = src.train_cursor_minutes;
   dst.cloud_backend = src.cloud_backend;
+  dst.sync_mode = src.sync_mode;
 }
 
 }  // namespace
@@ -755,19 +762,27 @@ SnapshotManager::SnapshotManager(core::EmsPipeline& pipeline, Options options)
     : pipeline_(pipeline),
       options_(std::move(options)),
       baseline_rounds_(pipeline.ems_rounds_done()) {
-  pipeline_.set_on_round_end([this](std::uint64_t rounds_done) {
-    if (options_.every_rounds == 0) return;
-    if ((rounds_done - baseline_rounds_) % options_.every_rounds != 0) return;
-    RunSnapshot fresh = capture_run(pipeline_, cursor_for_rounds(rounds_done));
-    if (last_) {
-      freeze_crashed_homes(fresh, *last_,
-                           pipeline_.config().robustness.failures,
-                           rounds_done - 1);
-    }
-    last_ = std::move(fresh);
-    persist();
-    ++saves_;
-  });
+  // The cadence is passed through so the pipelined engine only quiesces
+  // at rounds where this hook would actually save (the hook's own gate
+  // stays — the BSP engine still calls it every round).
+  pipeline_.set_on_round_end(
+      [this](std::uint64_t rounds_done) {
+        if (options_.every_rounds == 0) return;
+        if ((rounds_done - baseline_rounds_) % options_.every_rounds != 0) {
+          return;
+        }
+        RunSnapshot fresh =
+            capture_run(pipeline_, cursor_for_rounds(rounds_done));
+        if (last_) {
+          freeze_crashed_homes(fresh, *last_,
+                               pipeline_.config().robustness.failures,
+                               rounds_done - 1);
+        }
+        last_ = std::move(fresh);
+        persist();
+        ++saves_;
+      },
+      options_.every_rounds);
   pipeline_.set_on_home_restart([this](std::size_t home) {
     // No snapshot yet → nothing durable to reload; the home keeps its
     // state (degenerates to the original uplink-loss model).

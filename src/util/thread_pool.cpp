@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <exception>
 
 namespace pfdrl::util {
@@ -31,7 +32,12 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::push_task(std::function<void()> task) {
+void ThreadPool::push_task(TaskSlot task) {
+  if (task.is_inline()) {
+    tasks_inline_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    tasks_heap_.fetch_add(1, std::memory_order_relaxed);
+  }
   const std::size_t idx =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
@@ -54,8 +60,7 @@ void ThreadPool::push_task(std::function<void()> task) {
   wake_cv_.notify_one();
 }
 
-bool ThreadPool::try_pop_or_steal(std::size_t self,
-                                  std::function<void()>& out) {
+bool ThreadPool::try_pop_or_steal(std::size_t self, TaskSlot& out) {
   // Own queue first (back: LIFO for locality)...
   {
     auto& q = *queues_[self];
@@ -81,11 +86,11 @@ bool ThreadPool::try_pop_or_steal(std::size_t self,
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
-  std::function<void()> task;
+  TaskSlot task;
   for (;;) {
     if (try_pop_or_steal(index, task)) {
       task();
-      task = nullptr;
+      task = TaskSlot();
       pending_.fetch_sub(1, std::memory_order_release);
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -197,8 +202,25 @@ void ThreadPool::parallel_for_chunked(
   }
 }
 
+namespace {
+std::atomic<std::size_t> g_global_workers_override{0};
+}  // namespace
+
+void ThreadPool::set_global_workers(std::size_t workers) noexcept {
+  g_global_workers_override.store(workers, std::memory_order_relaxed);
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    const std::size_t override =
+        g_global_workers_override.load(std::memory_order_relaxed);
+    if (override > 0) return override;
+    if (const char* env = std::getenv("PFDRL_POOL_WORKERS")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};  // ctor default: hardware concurrency
+  }());
   return pool;
 }
 
@@ -207,6 +229,8 @@ ThreadPoolStats ThreadPool::stats() const noexcept {
   s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
   s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
   s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  s.tasks_inline = tasks_inline_.load(std::memory_order_relaxed);
+  s.tasks_heap = tasks_heap_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -266,5 +266,105 @@ TEST(ChaosStress, SnapshotResumeUnderChaosMatchesUninterrupted) {
   }
 }
 
+// Crash-mid-pipeline resume: the same interrupt-and-restore drill with
+// the dependency-driven round pipeline engaged (sharded run, default
+// --sync-mode pipeline). The fault plan keeps delivery deterministic —
+// scheduled crash windows only, one spanning the snapshot boundary — so
+// the run stays pipeline-eligible, and the resumed run must match the
+// uninterrupted one bitwise: the snapshot is taken at a segment
+// boundary, where the pipeline has fully quiesced, so no in-flight
+// round state can leak past the cut.
+TEST(ChaosStress, PipelineCrashResumeMatchesUninterrupted) {
+  sim::ScenarioConfig sc;
+  sc.neighborhood.num_households = 4;
+  sc.neighborhood.min_devices = 4;
+  sc.neighborhood.max_devices = 4;
+  sc.neighborhood.seed = 42;
+  sc.trace.days = 2;
+  sc.trace.seed = 42;
+  const auto traces = sim::Scenario::generate(sc).traces;
+
+  const auto make_config = [](obs::MetricsRegistry& reg) {
+    auto cfg = sim::fast_pipeline(core::EmsMethod::kPfdrl, 42);
+    cfg.forecast_method = forecast::Method::kLr;
+    cfg.window.window = 8;
+    cfg.window.horizon = 5;
+    cfg.dqn.hidden = {12, 12};
+    cfg.alpha = 2;
+    cfg.beta_hours = 6.0;
+    cfg.gamma_hours = 3.0;  // 8 DRL rounds over the training day
+    cfg.shards = 2;
+    cfg.sync_mode = core::SyncMode::kPipeline;
+    cfg.robustness.failures.crashes.push_back(
+        {.agent = 2, .from_round = 0, .until_round = 2});
+    // Spans the round-4 snapshot boundary: home 1 is down both when the
+    // snapshot is taken and when the resumed run starts.
+    cfg.robustness.failures.crashes.push_back(
+        {.agent = 1, .from_round = 3, .until_round = 5});
+    cfg.metrics = &reg;
+    return cfg;
+  };
+
+  const std::size_t day = data::kMinutesPerDay;
+  const std::size_t cut = day + 4 * 180;  // after 4 of the 8 rounds
+
+  // Uninterrupted reference.
+  obs::MetricsRegistry reg_a;
+  core::EmsPipeline a(traces, make_config(reg_a));
+  a.train_forecasters(0, day);
+  a.train_ems(day, 2 * day);
+  EXPECT_GT(reg_a.counter("ems.pipeline.rounds").value(), 0u)
+      << "pipelined engine did not engage";
+
+  // Interrupted run, snapshotted through the wire format at the cut.
+  std::vector<std::uint8_t> wire;
+  {
+    obs::MetricsRegistry reg_b;
+    core::EmsPipeline b(traces, make_config(reg_b));
+    b.train_forecasters(0, day);
+    b.train_ems(day, cut);
+    EXPECT_GT(reg_b.counter("ems.pipeline.rounds").value(), 0u);
+    wire = sim::serialize_snapshot(sim::capture_run(b, cut));
+  }
+
+  obs::MetricsRegistry reg_c;
+  core::EmsPipeline c(traces, make_config(reg_c));
+  sim::restore_run(c, sim::deserialize_snapshot(wire));
+  c.train_ems(cut, 2 * day);
+  EXPECT_GT(reg_c.counter("ems.pipeline.rounds").value(), 0u)
+      << "resumed run fell back to the barrier engine";
+
+  const sim::RunSnapshot final_a = sim::capture_run(a);
+  const sim::RunSnapshot final_c = sim::capture_run(c);
+  ASSERT_EQ(final_a.agents.size(), final_c.agents.size());
+  for (std::size_t i = 0; i < final_a.agents.size(); ++i) {
+    const auto& x = final_a.agents[i].state;
+    const auto& y = final_c.agents[i].state;
+    EXPECT_EQ(nn::parameter_digest(x.online_params),
+              nn::parameter_digest(y.online_params))
+        << "agent " << i;
+    EXPECT_EQ(nn::parameter_digest(x.target_params),
+              nn::parameter_digest(y.target_params))
+        << "agent " << i;
+    EXPECT_EQ(x.rng.s, y.rng.s) << "agent " << i;
+    EXPECT_EQ(x.act_steps, y.act_steps) << "agent " << i;
+  }
+  ASSERT_EQ(final_a.forecasters.size(), final_c.forecasters.size());
+  for (std::size_t i = 0; i < final_a.forecasters.size(); ++i) {
+    EXPECT_EQ(nn::parameter_digest(final_a.forecasters[i].parameters),
+              nn::parameter_digest(final_c.forecasters[i].parameters))
+        << "forecaster " << i;
+  }
+
+  const auto ra = a.evaluate(day, 2 * day);
+  const auto rc = c.evaluate(day, 2 * day);
+  ASSERT_EQ(ra.size(), rc.size());
+  for (std::size_t h = 0; h < ra.size(); ++h) {
+    EXPECT_EQ(ra[h].total_reward, rc[h].total_reward) << "home " << h;
+    EXPECT_EQ(ra[h].comfort_violations, rc[h].comfort_violations)
+        << "home " << h;
+  }
+}
+
 }  // namespace
 }  // namespace pfdrl::fl

@@ -51,7 +51,9 @@ struct SmallOutcome {
   std::vector<ems::EpisodeResult> results;
 };
 
-SmallOutcome run_small(std::size_t shards, bool wire_codec = false) {
+SmallOutcome run_small(std::size_t shards, bool wire_codec = false,
+                       core::SyncMode sync = core::SyncMode::kPipeline,
+                       std::uint64_t* pipeline_rounds = nullptr) {
   sim::ScenarioConfig sc;
   sc.neighborhood.num_households = 3;
   sc.neighborhood.min_devices = 4;
@@ -70,6 +72,7 @@ SmallOutcome run_small(std::size_t shards, bool wire_codec = false) {
   cfg.gamma_hours = 6.0;
   cfg.shards = shards;
   cfg.wire_codec = wire_codec;
+  cfg.sync_mode = sync;
   obs::MetricsRegistry reg;
   cfg.metrics = &reg;
 
@@ -77,6 +80,9 @@ SmallOutcome run_small(std::size_t shards, bool wire_codec = false) {
   const std::size_t day = data::kMinutesPerDay;
   pipeline.train_forecasters(0, day);
   pipeline.train_ems(day, 2 * day);
+  if (pipeline_rounds != nullptr) {
+    *pipeline_rounds = reg.counter("ems.pipeline.rounds").value();
+  }
 
   SmallOutcome out;
   out.accuracy = pipeline.forecast_accuracy(day, 2 * day);
@@ -127,6 +133,31 @@ TEST(GoldenPfdrl, ShardedRunMatchesFlatGoldenBitwise) {
 TEST(GoldenPfdrl, WireCodecOnMatchesGoldenBitwise) {
   expect_golden(run_small(0, /*wire_codec=*/true));
   expect_golden(run_small(2, /*wire_codec=*/true));
+}
+
+// The dependency-driven round pipeline (--sync-mode pipeline, the
+// default) must be bitwise indistinguishable from the barrier engine:
+// every shard consumes exactly the same per-round neighbor payload set
+// in the same pinned sort order, only *when* it runs changes. Both sync
+// modes, flat and sharded, codec off and on, all against the same pinned
+// constants — and the pipelined run must prove it actually pipelined
+// (flat runs are ineligible and silently fall back to BSP, which is also
+// asserted).
+TEST(GoldenPfdrl, PipelineMatchesBspBitwise) {
+  expect_golden(run_small(2, false, core::SyncMode::kBsp));
+  expect_golden(run_small(2, true, core::SyncMode::kBsp));
+
+  std::uint64_t rounds = 0;
+  expect_golden(run_small(2, false, core::SyncMode::kPipeline, &rounds));
+  EXPECT_GT(rounds, 0u) << "pipelined engine never engaged";
+  rounds = 0;
+  expect_golden(run_small(2, true, core::SyncMode::kPipeline, &rounds));
+  EXPECT_GT(rounds, 0u) << "pipelined engine never engaged (codec on)";
+
+  // Unsharded: nothing to overlap, the pipeline must decline.
+  rounds = 1;
+  expect_golden(run_small(0, false, core::SyncMode::kPipeline, &rounds));
+  EXPECT_EQ(rounds, 0u) << "flat run must fall back to the BSP engine";
 }
 
 // Chaos determinism: a fully loaded fault plan (drops, delay+jitter,

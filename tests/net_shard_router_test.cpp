@@ -13,6 +13,7 @@
 #include "fl/exchange.hpp"
 #include "net/bus.hpp"
 #include "net/topology.hpp"
+#include "sim/shard.hpp"
 #include "util/shard.hpp"
 #include "util/thread_pool.hpp"
 
@@ -207,6 +208,101 @@ TEST(ShardedExchange, ParallelMatchesSerialBitwise) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i], parallel[i]) << "param " << i;  // bitwise
   }
+}
+
+// --- sim::ShardPlan cost-weighted assignment --------------------------
+
+TEST(WeightedShardPlan, EqualWeightsReproduceUniformBoundaries) {
+  for (std::size_t n : {7u, 10u, 100u, 1000u}) {
+    for (std::size_t shards : {2u, 3u, 8u}) {
+      const std::vector<std::size_t> weights(n, 5);
+      const auto uniform = sim::ShardPlan::make(n, shards);
+      const auto weighted = sim::ShardPlan::make_weighted(weights, shards);
+      ASSERT_TRUE(weighted.weighted());
+      ASSERT_EQ(weighted.shards, uniform.shards);  // same clamping
+      for (std::size_t s = 0; s < weighted.shards; ++s) {
+        EXPECT_EQ(weighted.shard_range(s), uniform.shard_range(s))
+            << n << " homes, " << shards << " shards, shard " << s;
+      }
+    }
+  }
+}
+
+TEST(WeightedShardPlan, ShardOfInvertsRangesAndStaysMonotone) {
+  // Device count ramps across the city — the pattern that skews the
+  // uniform equal-count plan hardest.
+  const std::size_t n = 10000;
+  std::vector<std::size_t> weights(n);
+  for (std::size_t a = 0; a < n; ++a) weights[a] = 1 + (3 * a) / n;
+  const auto plan = sim::ShardPlan::make_weighted(weights, 8);
+  ASSERT_EQ(plan.shards, 8u);
+  std::size_t covered = 0;
+  std::size_t prev_shard = 0;
+  for (std::size_t s = 0; s < plan.shards; ++s) {
+    const auto [first, last] = plan.shard_range(s);
+    EXPECT_EQ(first, covered);  // contiguous, no gaps
+    EXPECT_LT(first, last);     // non-empty
+    for (std::size_t home = first; home < last; ++home) {
+      ASSERT_EQ(plan.shard_of(home), s);
+      ASSERT_GE(s, prev_shard);  // monotone in the home id
+      prev_shard = s;
+    }
+    covered = last;
+  }
+  EXPECT_EQ(covered, n);
+}
+
+TEST(WeightedShardPlan, RampWeightsCutCostImbalance) {
+  const std::size_t n = 10000;
+  std::vector<std::size_t> weights(n);
+  for (std::size_t a = 0; a < n; ++a) weights[a] = 1 + (3 * a) / n;
+  const auto uniform = sim::ShardPlan::make(n, 8);
+  const auto weighted = sim::ShardPlan::make_weighted(weights, 8);
+  // Equal-count shards put all the heavy homes in the last shard...
+  EXPECT_GT(uniform.weight_imbalance(weights), 1.5);
+  // ...while weight-balanced boundaries even the cost out.
+  EXPECT_LT(weighted.weight_imbalance(weights), 1.05);
+  EXPECT_LT(weighted.weight_imbalance(weights),
+            uniform.weight_imbalance(weights));
+}
+
+TEST(WeightedShardPlan, DegenerateInputsFallBackToUniform) {
+  // One shard, or all-zero weights: no boundaries, uniform arithmetic.
+  EXPECT_FALSE(
+      sim::ShardPlan::make_weighted(std::vector<std::size_t>(10, 3), 1)
+          .weighted());
+  EXPECT_FALSE(
+      sim::ShardPlan::make_weighted(std::vector<std::size_t>(10, 0), 4)
+          .weighted());
+  // Fewer homes than shards clamps like make() does.
+  const auto plan =
+      sim::ShardPlan::make_weighted(std::vector<std::size_t>(3, 1), 8);
+  EXPECT_EQ(plan.shards, 3u);
+}
+
+TEST(ShardRouter, WeightedBoundariesAgreeWithPlan) {
+  const std::size_t n = 1000;
+  std::vector<std::size_t> weights(n);
+  for (std::size_t a = 0; a < n; ++a) weights[a] = 1 + (3 * a) / n;
+  const auto plan = sim::ShardPlan::make_weighted(weights, 6);
+  net::ShardRouter router(n, plan.boundaries);
+  EXPECT_EQ(router.num_shards(), plan.shards);
+  for (std::size_t a = 0; a < n; ++a) {
+    ASSERT_EQ(router.shard_of(static_cast<net::AgentId>(a)),
+              plan.shard_of(a));
+  }
+}
+
+TEST(ShardRouter, MalformedBoundariesThrow) {
+  using Bounds = std::vector<std::size_t>;
+  EXPECT_THROW(net::ShardRouter(10, Bounds{0}), std::invalid_argument);
+  EXPECT_THROW(net::ShardRouter(10, Bounds{1, 10}), std::invalid_argument);
+  EXPECT_THROW(net::ShardRouter(10, Bounds{0, 9}), std::invalid_argument);
+  EXPECT_THROW(net::ShardRouter(10, Bounds{0, 5, 5, 10}),
+               std::invalid_argument);
+  EXPECT_THROW(net::ShardRouter(10, Bounds{0, 7, 3, 10}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(net::ShardRouter(10, Bounds{0, 3, 7, 10}));
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -161,6 +163,92 @@ TEST(ThreadPool, StatsCountExecutedTasks) {
   }
   EXPECT_GE(s.tasks_executed, 8u);   // the 8 completed submits
   EXPECT_GE(s.max_queue_depth, 1u);  // every push raises depth past 0
+}
+
+TEST(TaskSlot, InvokesInlineCallable) {
+  int hits = 0;
+  TaskSlot slot([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(slot));
+  EXPECT_TRUE(slot.is_inline());
+  slot();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(TaskSlot, LargeCaptureSpillsToHeapAndStillRuns) {
+  // Capture well past kInlineBytes so the slot must take the heap path.
+  std::array<double, 32> big{};
+  big[0] = 1.5;
+  big[31] = 2.5;
+  double sum = 0.0;
+  TaskSlot slot([big, &sum] { sum = big[0] + big[31]; });
+  static_assert(sizeof(big) > TaskSlot::kInlineBytes);
+  EXPECT_FALSE(slot.is_inline());
+  slot();
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+}
+
+TEST(TaskSlot, AcceptsMoveOnlyCallable) {
+  auto flag = std::make_unique<int>(7);
+  int seen = 0;
+  TaskSlot slot([flag = std::move(flag), &seen] { seen = *flag; });
+  TaskSlot moved(std::move(slot));
+  EXPECT_FALSE(static_cast<bool>(slot));  // NOLINT(bugprone-use-after-move)
+  moved();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(TaskSlot, MoveAssignReleasesPreviousCallable) {
+  auto counted = std::make_shared<int>(0);
+  TaskSlot a([counted] { (void)counted; });
+  EXPECT_EQ(counted.use_count(), 2);
+  a = TaskSlot([] {});
+  EXPECT_EQ(counted.use_count(), 1);  // old callable destroyed on assign
+}
+
+TEST(ThreadPool, SubmitDetachedRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::mutex m;
+  std::condition_variable cv;
+  for (int i = 0; i < 32; ++i) {
+    pool.submit_detached([&] {
+      if (count.fetch_add(1, std::memory_order_acq_rel) + 1 == 32) {
+        std::lock_guard lock(m);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock lock(m);
+  cv.wait(lock, [&] { return count.load(std::memory_order_acquire) == 32; });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, StatsCountInlineVsHeapTasks) {
+  ThreadPool pool(2);
+  // Small capture: must ride the inline buffer.
+  pool.submit_detached([] {});
+  // Oversized capture: must spill to the heap slot.
+  std::array<double, 32> big{};
+  pool.submit_detached([big] { (void)big; });
+  ThreadPoolStats s{};
+  for (int spin = 0; spin < 2000; ++spin) {
+    s = pool.stats();
+    if (s.tasks_inline >= 1 && s.tasks_heap >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(s.tasks_inline, 1u);
+  EXPECT_GE(s.tasks_heap, 1u);
+}
+
+TEST(ThreadPool, SubmitTakesInlinePathForSmallLambdas) {
+  ThreadPool pool(1);
+  const ThreadPoolStats before = pool.stats();
+  pool.submit([] { return 1; }).get();
+  const ThreadPoolStats after = pool.stats();
+  // packaged_task<int()> of a captureless lambda fits the slot buffer:
+  // the submit hot path performs no shared_ptr heap allocation.
+  EXPECT_EQ(after.tasks_heap, before.tasks_heap);
+  EXPECT_GT(after.tasks_inline, before.tasks_inline);
 }
 
 TEST(ThreadPool, GlobalPoolIsStable) {

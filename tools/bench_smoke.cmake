@@ -51,10 +51,12 @@ endif()
 
 # --- dfl_throughput: one tiny federated round per recurrent method. The
 # emitter's built-in twin run doubles as an end-to-end determinism check
-# (bitwise-identical parameters across two identically seeded rounds).
+# (bitwise-identical parameters across two identically seeded rounds),
+# and the --pool-workers sweep re-runs the rounds at 1 and 4 pool
+# workers and fails hard unless the final parameter hashes agree.
 execute_process(
   COMMAND "${DFL_THROUGHPUT}" --days 1 --rounds 1 --round-minutes 120
-    --out "${dfl_json}"
+    --pool-workers 1,4 --out "${dfl_json}"
   RESULT_VARIABLE dfl_rc
   OUTPUT_VARIABLE dfl_out
   ERROR_VARIABLE dfl_err)
@@ -65,11 +67,14 @@ endif()
 # --- scale_sweep: small agent counts, explicitly sharded so the
 # ShardRouter batching + parallel exchange path runs. The emitter's twin
 # run is the engine's end-to-end determinism check (bitwise-identical
-# final parameters per point regardless of the thread schedule).
+# final parameters per point regardless of the thread schedule), and the
+# --pool-workers sweep runs every point in both sync modes at 1 and 4
+# workers — param_hash must be identical across all four combinations
+# per agent count (the bsp ≡ pipeline contract from docs/scaling.md).
 set(scale_json "${WORK_DIR}/BENCH_scale.json")
 execute_process(
   COMMAND "${SCALE_SWEEP}" --agents 20,50 --rounds 2 --shards 4
-    --out "${scale_json}"
+    --pool-workers 1,4 --out "${scale_json}"
   RESULT_VARIABLE scale_rc
   OUTPUT_VARIABLE scale_out
   ERROR_VARIABLE scale_err)
@@ -118,8 +123,9 @@ check_keys("${pipeline_json}" bench decisions workspace_decisions_per_sec
   nn_workspace_allocs nn_scratch_bytes)
 check_keys("${dfl_json}" bench lstm_windows lstm_windows_per_sec
   gru_windows gru_windows_per_sec deterministic fused_bitwise_match
-  fused_points)
-check_keys("${scale_json}" bench topology params rounds deterministic points)
+  fused_points pool_hash_consistent pool_sweep)
+check_keys("${scale_json}" bench topology params rounds deterministic
+  hash_consistent points speedups)
 check_keys("${wire_json}" bench rounds reps deterministic shapes)
 
 # Twin codec sweeps must agree frame-for-frame, and the LSTM shape's
@@ -151,6 +157,12 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   if(NOT scale_det STREQUAL "ON" AND NOT scale_det STREQUAL "true")
     message(FATAL_ERROR "scale_sweep: twin runs diverged (deterministic = ${scale_det})")
   endif()
+  # One param_hash per agent count across every (sync mode, pool worker
+  # count) combination — bsp ≡ pipeline, single- ≡ multi-threaded.
+  string(JSON scale_hash GET "${doc}" hash_consistent)
+  if(NOT scale_hash STREQUAL "ON" AND NOT scale_hash STREQUAL "true")
+    message(FATAL_ERROR "scale_sweep: param_hash varies across sync mode / pool workers (hash_consistent = ${scale_hash})")
+  endif()
 endif()
 
 # Train rounds must be bitwise reproducible (the kernel determinism
@@ -166,6 +178,11 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   string(JSON fused_det GET "${doc}" fused_bitwise_match)
   if(NOT fused_det STREQUAL "ON" AND NOT fused_det STREQUAL "true")
     message(FATAL_ERROR "dfl_throughput: fused vs per-home training diverged (fused_bitwise_match = ${fused_det})")
+  endif()
+  # Final parameter hashes must be identical at every pool worker count.
+  string(JSON dfl_pool GET "${doc}" pool_hash_consistent)
+  if(NOT dfl_pool STREQUAL "ON" AND NOT dfl_pool STREQUAL "true")
+    message(FATAL_ERROR "dfl_throughput: param_hash varies across pool workers (pool_hash_consistent = ${dfl_pool})")
   endif()
 endif()
 
